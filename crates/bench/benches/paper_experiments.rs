@@ -1,0 +1,104 @@
+//! Criterion benchmarks — one target per table/figure of the paper.
+//!
+//! These time reduced versions of the experiment pipelines (so `cargo
+//! bench` completes in minutes); the full-scale numbers live in the
+//! `src/bin/*` binaries and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig6::Fig6Options;
+use pipette_bench::{fig3, fig5a, fig5b, fig6, fig7, fig8, fig9, table1, table2};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_environment", |b| {
+        b.iter(|| black_box(table1::run(black_box(4))))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_profiling_40_days", |b| {
+        b.iter(|| black_box(fig3::run(ClusterKind::HighEnd, 4, 40, black_box(7))))
+    });
+}
+
+fn bench_fig5a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_latency_mape");
+    g.sample_size(10);
+    g.bench_function("mid_range_4_nodes", |b| {
+        b.iter(|| black_box(fig5a::run(ClusterKind::MidRange, 4, 128, black_box(3))))
+    });
+    g.finish();
+}
+
+fn bench_fig5b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_top10_runnability");
+    g.sample_size(10);
+    g.bench_function("mid_range_4_nodes", |b| {
+        b.iter(|| black_box(fig5b::run_with_training(ClusterKind::MidRange, 4, 128, 10, black_box(5), 2_000)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_speedup");
+    g.sample_size(10);
+    g.bench_function("mid_range_4_nodes_quick", |b| {
+        b.iter(|| black_box(fig6::run(ClusterKind::MidRange, 4, 128, &Fig6Options::quick())))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_memory_mape");
+    g.sample_size(10);
+    g.bench_function("mid_range_4_nodes_reduced_training", |b| {
+        b.iter(|| black_box(fig7::run_with_training(ClusterKind::MidRange, 4, 3, 1_000)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_scalability");
+    g.sample_size(10);
+    g.bench_function("mid_range_two_points", |b| {
+        b.iter(|| {
+            black_box(fig8::run(ClusterKind::MidRange, &[32, 64], 128, &Fig6Options::quick()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_sensitivity");
+    g.sample_size(10);
+    g.bench_function("mid_range_micro_1", |b| {
+        b.iter(|| black_box(fig9::run_micro_sweep(ClusterKind::MidRange, 4, &[1], 2_000, 3)))
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_overhead");
+    g.sample_size(10);
+    g.bench_function("mid_range_8_nodes", |b| {
+        b.iter(|| {
+            black_box(table2::run_cell(ClusterKind::MidRange, 8, 256, &Fig6Options::quick()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table1,
+    bench_fig3,
+    bench_fig5a,
+    bench_fig5b,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_table2
+);
+criterion_main!(paper);

@@ -1,0 +1,32 @@
+//! Runs every table and figure of the paper in sequence — the full
+//! reproduction, as recorded in EXPERIMENTS.md.
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig6::Fig6Options;
+use pipette_bench::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick { Fig6Options::quick() } else { Fig6Options::default() };
+    let sa = if quick { 4_000 } else { 30_000 };
+
+    table1::print(&table1::run(16));
+    fig3::print(&fig3::run(ClusterKind::HighEnd, 8, 40, 2024));
+    for kind in ClusterKind::both() {
+        fig5a::print(&fig5a::run(kind, 16, 512, 2024));
+    }
+    fig5b::print(&fig5b::run(ClusterKind::MidRange, 16, 512, 10, 2024));
+    for kind in ClusterKind::both() {
+        fig6::print(&fig6::run(kind, 16, 512, &opts));
+    }
+    for kind in ClusterKind::both() {
+        fig7::print(&fig7::run(kind, 16, 2024));
+    }
+    table2::print(&table2::run(512, &opts));
+    for kind in ClusterKind::both() {
+        fig8::print(&fig8::run(kind, &[32, 64, 96, 128], 256, &opts));
+    }
+    for kind in ClusterKind::both() {
+        fig9::print(&fig9::run_micro_sweep(kind, 16, &[1, 2, 4, 8], sa, 2024));
+        fig9::print(&fig9::run_mini_sweep(kind, 16, &[64, 128, 256, 512, 1024], sa, 2024));
+    }
+}

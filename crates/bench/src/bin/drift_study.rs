@@ -1,0 +1,57 @@
+//! Extension study: how quickly does an optimized worker mapping go stale
+//! as the interconnect drifts (Fig. 3's 40-day wander), and what does
+//! periodic re-profiling buy?
+//!
+//! For each simulated day we measure three placements on that day's true
+//! bandwidths: the identity mapping, the mapping annealed once against the
+//! day-0 profile (stale), and a mapping re-annealed against a fresh
+//! profile (fresh).
+
+use pipette::latency::PipetteLatencyModel;
+use pipette::mapping::{Annealer, AnnealerConfig};
+use pipette_bench::context::ClusterKind;
+use pipette_cluster::TemporalDrift;
+use pipette_model::{MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ComputeProfiler, IterationSim, Mapping};
+
+fn main() {
+    let cluster = ClusterKind::MidRange.cluster(8);
+    let gpt = ClusterKind::MidRange.model_for_gpus(64);
+    let cfg = ParallelConfig::new(2, 4, 8);
+    let plan = MicrobatchPlan::new(32, 1).unwrap();
+    let gpu = cluster.gpu().clone();
+    let days = 40;
+    let series = TemporalDrift::default().series(cluster.bandwidth(), days, 2024);
+    let identity = Mapping::identity(cfg, *cluster.topology());
+
+    let anneal_against = |matrix: &pipette_cluster::BandwidthMatrix, seed: u64| {
+        let (profiled, _) = cluster.profiler().profile(matrix, seed);
+        let compute = ComputeProfiler::default().profile(matrix, &gpu, &gpt, cfg, plan, seed);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        let sa = Annealer::new(AnnealerConfig { iterations: 20_000, seed, ..Default::default() });
+        sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute)).0
+    };
+    let stale = anneal_against(&series[0], 1);
+
+    println!("drift study — {} cluster, {cfg}, {} days", cluster.name(), days);
+    println!("{:<6} {:>10} {:>10} {:>10} {:>16}", "day", "identity", "stale", "fresh", "stale penalty");
+    let mut worst_penalty: f64 = 0.0;
+    for (day, matrix) in series.iter().enumerate().step_by(5) {
+        let measure = |m: &Mapping| {
+            IterationSim::new(matrix, &gpu, &gpt).simulate(cfg, m, plan).total_seconds
+        };
+        let t_id = measure(&identity);
+        let t_stale = measure(&stale);
+        let fresh = anneal_against(matrix, 100 + day as u64);
+        let t_fresh = measure(&fresh);
+        let penalty = t_stale / t_fresh - 1.0;
+        worst_penalty = worst_penalty.max(penalty);
+        println!(
+            "{:<6} {:>8.3} s {:>8.3} s {:>8.3} s {:>15.1}%",
+            day, t_id, t_stale, t_fresh, penalty * 100.0
+        );
+    }
+    println!("\nworst staleness penalty over {days} days: {:.1}%", worst_penalty * 100.0);
+    println!("(the paper profiles continuously for 40 days — Fig. 3 — precisely because");
+    println!(" attained bandwidths drift; this study quantifies the cost of not re-profiling)");
+}

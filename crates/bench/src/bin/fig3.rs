@@ -1,0 +1,8 @@
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig3;
+
+fn main() {
+    // The paper profiles 8 nodes of the high-end environment for 40 days.
+    let r = fig3::run(ClusterKind::HighEnd, 8, 40, 2024);
+    fig3::print(&r);
+}

@@ -1,0 +1,9 @@
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig5a;
+
+fn main() {
+    for kind in ClusterKind::both() {
+        let r = fig5a::run(kind, 16, 512, 2024);
+        fig5a::print(&r);
+    }
+}

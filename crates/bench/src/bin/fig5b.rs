@@ -1,0 +1,8 @@
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig5b;
+
+fn main() {
+    // The paper's experiment runs on the mid-range cluster.
+    let r = fig5b::run(ClusterKind::MidRange, 16, 512, 10, 2024);
+    fig5b::print(&r);
+}

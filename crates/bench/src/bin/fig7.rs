@@ -1,0 +1,9 @@
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig7;
+
+fn main() {
+    for kind in ClusterKind::both() {
+        let r = fig7::run(kind, 16, 2024);
+        fig7::print(&r);
+    }
+}

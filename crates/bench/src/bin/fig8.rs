@@ -1,0 +1,12 @@
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig6::Fig6Options;
+use pipette_bench::fig8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick { Fig6Options::quick() } else { Fig6Options::default() };
+    for kind in ClusterKind::both() {
+        let r = fig8::run(kind, &[32, 64, 96, 128], 256, &opts);
+        fig8::print(&r);
+    }
+}

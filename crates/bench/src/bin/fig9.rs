@@ -1,0 +1,13 @@
+use pipette_bench::context::ClusterKind;
+use pipette_bench::fig9;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sa = if quick { 4_000 } else { 30_000 };
+    for kind in ClusterKind::both() {
+        let micro = fig9::run_micro_sweep(kind, 16, &[1, 2, 4, 8], sa, 2024);
+        fig9::print(&micro);
+        let mini = fig9::run_mini_sweep(kind, 16, &[64, 128, 256, 512, 1024], sa, 2024);
+        fig9::print(&mini);
+    }
+}

@@ -1,0 +1,6 @@
+use pipette_bench::table1;
+
+fn main() {
+    let rows = table1::run(16);
+    table1::print(&rows);
+}

@@ -1,0 +1,82 @@
+//! Shared experiment context: the two Table-I clusters and their default
+//! models/batches.
+
+use pipette_cluster::{presets, Cluster};
+use pipette_model::GptConfig;
+
+/// Master seed for all experiments (change to re-draw the synthetic
+/// cluster).
+pub const MASTER_SEED: u64 = 2024;
+
+/// Which of the paper's two clusters an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// 16 × 8 V100, IB-EDR (Table I top).
+    MidRange,
+    /// 16 × 8 A100, IB-HDR (Table I bottom).
+    HighEnd,
+}
+
+impl ClusterKind {
+    /// Short label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusterKind::MidRange => "mid-range",
+            ClusterKind::HighEnd => "high-end",
+        }
+    }
+
+    /// Builds the cluster with `nodes` nodes.
+    pub fn cluster(&self, nodes: usize) -> Cluster {
+        match self {
+            ClusterKind::MidRange => presets::mid_range(nodes).build(MASTER_SEED),
+            ClusterKind::HighEnd => presets::high_end(nodes).build(MASTER_SEED ^ 0x9e37),
+        }
+    }
+
+    /// The default (128-GPU) evaluation model: 3.1B mid-range, 11.1B
+    /// high-end (§VII-A).
+    pub fn default_model(&self) -> GptConfig {
+        match self {
+            ClusterKind::MidRange => GptConfig::gpt_3_1b(),
+            ClusterKind::HighEnd => GptConfig::gpt_11_1b(),
+        }
+    }
+
+    /// Weak-scaled model for a given GPU count (Fig. 8, Table II).
+    pub fn model_for_gpus(&self, n_gpus: usize) -> GptConfig {
+        match self {
+            ClusterKind::MidRange => GptConfig::mid_range_for_gpus(n_gpus),
+            ClusterKind::HighEnd => GptConfig::high_end_for_gpus(n_gpus),
+        }
+    }
+
+    /// Both clusters, for experiments that sweep them.
+    pub fn both() -> [ClusterKind; 2] {
+        [ClusterKind::MidRange, ClusterKind::HighEnd]
+    }
+}
+
+/// The paper's default global batch (it evaluates 128–512; we use 512 for
+/// the headline runs, matching the largest minibatch sweep point).
+pub const DEFAULT_GLOBAL_BATCH: u64 = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_match_table_one() {
+        let mid = ClusterKind::MidRange.cluster(16);
+        assert_eq!(mid.topology().num_gpus(), 128);
+        assert_eq!(mid.gpu().name, "V100");
+        let high = ClusterKind::HighEnd.cluster(16);
+        assert_eq!(high.gpu().name, "A100");
+    }
+
+    #[test]
+    fn default_models_match_paper() {
+        assert!((ClusterKind::MidRange.default_model().size_billions() - 3.1).abs() < 0.2);
+        assert!((ClusterKind::HighEnd.default_model().size_billions() - 11.1).abs() < 0.4);
+    }
+}

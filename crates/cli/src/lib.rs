@@ -1,0 +1,14 @@
+//! Library backing the `pipette` command-line tool.
+//!
+//! The CLI reads a [`JobSpec`] (JSON), runs Algorithm 1, verifies the
+//! recommendation on the simulated cluster, and prints a report — or, with
+//! `--compare`, a full baseline shoot-out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod spec;
+
+pub use report::{run_compare, run_configure, CliReport};
+pub use spec::{ClusterSpec, JobSpec, ModelSpec, SpecError};

@@ -1,0 +1,126 @@
+//! `pipette-cli` — configure LLM training from the command line.
+//!
+//! ```sh
+//! pipette-cli configure job.json        # human-readable recommendation
+//! pipette-cli configure job.json --json # machine-readable report
+//! pipette-cli compare job.json          # shoot-out vs AMP/Varuna/Megatron-LM
+//! pipette-cli example-spec              # print a starter job.json
+//! ```
+
+use pipette_cli::{run_compare, run_configure, JobSpec};
+use std::process::ExitCode;
+
+const EXAMPLE_SPEC: &str = r#"{
+  "cluster": { "preset": "mid-range", "nodes": 8, "seed": 42 },
+  "model":   { "preset": "gpt-1.1b" },
+  "global_batch": 256,
+  "max_micro": 8,
+  "worker_dedication": true,
+  "sa_iterations": 30000,
+  "seed": 7
+}"#;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pipette-cli <configure|compare> <job.json> [--json]");
+    eprintln!("       pipette-cli import-mpigraph <table.txt> <gpus-per-node>");
+    eprintln!("       pipette-cli example-spec");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    match command.as_str() {
+        "example-spec" => {
+            println!("{EXAMPLE_SPEC}");
+            ExitCode::SUCCESS
+        }
+        "import-mpigraph" => {
+            let (Some(path), Some(gpn)) = (args.get(1), args.get(2)) else { return usage() };
+            let Ok(gpus_per_node) = gpn.parse::<usize>() else { return usage() };
+            match import_mpigraph(path, gpus_per_node) {
+                Ok(json) => {
+                    println!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "configure" | "compare" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let json_output = args.iter().any(|a| a == "--json");
+            let spec: JobSpec = match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+            {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("error: cannot read job spec {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let result = if command == "configure" {
+                configure(&spec, json_output)
+            } else {
+                compare(&spec, json_output)
+            };
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Parses an mpiGraph bandwidth table into a cluster JSON (mid-range
+/// nominal link specs, V100 hardware) printed to stdout.
+fn import_mpigraph(path: &str, gpus_per_node: usize) -> Result<String, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let preset = pipette_cluster::presets::mid_range(2);
+    let matrix =
+        pipette_cluster::parse_mpigraph(&text, gpus_per_node, preset.intra, preset.inter)?;
+    let cluster =
+        pipette_cluster::Cluster::new("imported", preset.gpu.clone(), matrix, preset.profiler);
+    Ok(cluster.to_json()?)
+}
+
+fn configure(spec: &JobSpec, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let report = run_configure(spec)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+        return Ok(());
+    }
+    println!("recommended configuration : (pp={}, tp={}, dp={})", report.pp, report.tp, report.dp);
+    println!(
+        "microbatch                : {} ({} microbatches/iteration)",
+        report.micro_batch, report.n_microbatches
+    );
+    println!("estimated iteration time  : {:.3} s", report.estimated_seconds);
+    println!("measured iteration time   : {:.3} s (simulated verification)", report.measured_seconds);
+    println!("peak GPU memory           : {:.1} GiB", report.peak_memory_gib);
+    println!(
+        "search                    : {} candidates, {} rejected by the memory estimator",
+        report.examined, report.memory_rejected
+    );
+    Ok(())
+}
+
+fn compare(spec: &JobSpec, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = run_compare(spec)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        return Ok(());
+    }
+    println!("{:<14} {:>28} {:>12} {:>9}", "method", "config", "iter time", "launches");
+    for r in &rows {
+        println!("{:<14} {:>28} {:>10.3} s {:>9}", r.method, r.config, r.seconds, r.launches);
+    }
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! Running a job spec and rendering the outcome.
+
+use crate::spec::JobSpec;
+use pipette::baselines::{first_runnable, AmpConfigurator, MegatronTuner, VarunaConfigurator};
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette::mapping::AnnealerConfig;
+use pipette_sim::ClusterRun;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+
+/// Machine-readable result of a `configure` run (also printed as JSON with
+/// `--json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CliReport {
+    /// Chosen pipeline ways.
+    pub pp: usize,
+    /// Chosen tensor ways.
+    pub tp: usize,
+    /// Chosen data ways.
+    pub dp: usize,
+    /// Chosen microbatch size.
+    pub micro_batch: u64,
+    /// Microbatches per iteration per replica.
+    pub n_microbatches: u64,
+    /// Estimated iteration seconds.
+    pub estimated_seconds: f64,
+    /// Measured (simulated) iteration seconds.
+    pub measured_seconds: f64,
+    /// Peak memory of the worst GPU, GiB.
+    pub peak_memory_gib: f64,
+    /// Candidates examined / rejected by the memory estimator.
+    pub examined: usize,
+    /// Rejected candidate count.
+    pub memory_rejected: usize,
+    /// Worker→GPU assignment (worker linear index → GPU id).
+    pub mapping: Vec<usize>,
+}
+
+fn options_for(spec: &JobSpec) -> PipetteOptions {
+    let mut memory = pipette::memory::MemoryEstimatorConfig::default();
+    memory.train.iterations = spec.memory_training_iterations;
+    PipetteOptions {
+        max_micro: spec.max_micro,
+        use_worker_dedication: spec.worker_dedication,
+        annealer: AnnealerConfig { iterations: spec.sa_iterations, ..AnnealerConfig::default() },
+        memory,
+        seed: spec.seed,
+        ..PipetteOptions::default()
+    }
+}
+
+/// Runs Algorithm 1 for the spec and verifies the answer on the simulated
+/// cluster.
+///
+/// # Errors
+///
+/// Propagates spec, configuration, and simulation errors.
+pub fn run_configure(spec: &JobSpec) -> Result<CliReport, Box<dyn Error>> {
+    let cluster = spec.build_cluster()?;
+    let gpt = spec.build_model()?;
+    let rec = Pipette::new(&cluster, &gpt, spec.global_batch, options_for(spec)).run()?;
+    let runner = ClusterRun::new(&cluster, &gpt);
+    let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
+    Ok(CliReport {
+        pp: rec.config.pp,
+        tp: rec.config.tp,
+        dp: rec.config.dp,
+        micro_batch: rec.plan.micro_batch,
+        n_microbatches: rec.plan.n_microbatches,
+        estimated_seconds: rec.estimated_seconds,
+        measured_seconds: measured.iteration_seconds,
+        peak_memory_gib: measured.peak_memory_bytes as f64 / (1u64 << 30) as f64,
+        examined: rec.examined,
+        memory_rejected: rec.memory_rejected,
+        mapping: rec.mapping.as_slice().iter().map(|g| g.0).collect(),
+    })
+}
+
+/// One row of the `--compare` table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Method name.
+    pub method: String,
+    /// Chosen configuration, rendered.
+    pub config: String,
+    /// Measured iteration seconds (infinite if nothing ran).
+    pub seconds: f64,
+    /// Cluster launches spent.
+    pub launches: usize,
+}
+
+/// Runs Pipette plus the three baselines on the spec's job.
+///
+/// # Errors
+///
+/// Propagates spec errors; methods that find nothing runnable produce
+/// rows with infinite seconds rather than failing the run.
+pub fn run_compare(spec: &JobSpec) -> Result<Vec<CompareRow>, Box<dyn Error>> {
+    let cluster = spec.build_cluster()?;
+    let gpt = spec.build_model()?;
+    let runner = ClusterRun::new(&cluster, &gpt);
+    let mut rows = Vec::new();
+
+    if let Some(t) = MegatronTuner::new(&cluster, &gpt, spec.global_batch)
+        .with_max_micro(spec.max_micro)
+        .tune(&runner)
+    {
+        rows.push(CompareRow {
+            method: "megatron-lm".into(),
+            config: format!("{} micro={}", t.config, t.plan.micro_batch),
+            seconds: t.measured.iteration_seconds,
+            launches: t.trials,
+        });
+    }
+
+    let vr_runner = ClusterRun::new(&cluster, &gpt).with_recompute(true);
+    let vr = VarunaConfigurator::new(&cluster, &gpt, spec.global_batch)
+        .with_max_micro(spec.max_micro)
+        .rank();
+    if let Some(hit) = first_runnable(&vr, &vr_runner) {
+        rows.push(CompareRow {
+            method: "varuna".into(),
+            config: format!("{} micro={}", hit.candidate.config, hit.candidate.plan.micro_batch),
+            seconds: hit.measured.iteration_seconds,
+            launches: hit.attempts,
+        });
+    }
+
+    let amp = AmpConfigurator::new(&cluster, &gpt, spec.global_batch)
+        .with_max_micro(spec.max_micro)
+        .rank();
+    if let Some(hit) = first_runnable(&amp, &runner) {
+        rows.push(CompareRow {
+            method: "amp".into(),
+            config: format!("{} micro={}", hit.candidate.config, hit.candidate.plan.micro_batch),
+            seconds: hit.measured.iteration_seconds,
+            launches: hit.attempts,
+        });
+    }
+
+    let report = run_configure(spec)?;
+    rows.push(CompareRow {
+        method: "pipette".into(),
+        config: format!("(pp={}, tp={}, dp={}) micro={}", report.pp, report.tp, report.dp, report.micro_batch),
+        seconds: report.measured_seconds,
+        launches: 1,
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, ModelSpec};
+
+    fn small_spec() -> JobSpec {
+        JobSpec {
+            cluster: ClusterSpec { preset: "mid-range".into(), nodes: 2, seed: 3 },
+            model: ModelSpec::Custom { layers: 8, hidden: 1024, heads: 16, seq_len: 2048, vocab: 51200 },
+            global_batch: 64,
+            max_micro: 4,
+            worker_dedication: true,
+            sa_iterations: 1_500,
+            seed: 1,
+            memory_training_iterations: 1_500,
+        }
+    }
+
+    #[test]
+    fn configure_produces_a_runnable_report() {
+        let report = run_configure(&small_spec()).expect("feasible job");
+        assert_eq!(report.pp * report.tp * report.dp, 16);
+        assert!(report.measured_seconds > 0.0);
+        assert!(report.peak_memory_gib < 16.0);
+        assert_eq!(report.mapping.len(), 16);
+    }
+
+    #[test]
+    fn compare_includes_all_four_methods() {
+        let rows = run_compare(&small_spec()).expect("feasible job");
+        let names: Vec<&str> = rows.iter().map(|r| r.method.as_str()).collect();
+        assert!(names.contains(&"pipette"));
+        assert!(names.contains(&"megatron-lm"));
+        assert!(names.contains(&"amp"));
+        assert!(names.contains(&"varuna"));
+        let pipette = rows.iter().find(|r| r.method == "pipette").unwrap();
+        let amp = rows.iter().find(|r| r.method == "amp").unwrap();
+        assert!(pipette.seconds <= amp.seconds * 1.03);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = run_configure(&small_spec()).expect("feasible job");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"pp\""));
+        let back: CliReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pp, report.pp);
+    }
+}

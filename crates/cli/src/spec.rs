@@ -1,0 +1,239 @@
+//! The JSON job specification the CLI consumes.
+//!
+//! ```json
+//! {
+//!   "cluster": { "preset": "mid-range", "nodes": 8, "seed": 42 },
+//!   "model":   { "preset": "gpt-1.1b" },
+//!   "global_batch": 256,
+//!   "max_micro": 8,
+//!   "worker_dedication": true,
+//!   "sa_iterations": 30000,
+//!   "seed": 7
+//! }
+//! ```
+//!
+//! `model` may instead spell out hyperparameters:
+//! `{ "layers": 24, "hidden": 1920, "heads": 24, "seq_len": 2048,
+//!    "vocab": 51200 }`.
+
+use pipette_cluster::{presets, Cluster};
+use pipette_model::GptConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which synthetic cluster to build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// `"mid-range"` (V100/EDR) or `"high-end"` (A100/HDR).
+    pub preset: String,
+    /// Number of 8-GPU nodes.
+    pub nodes: usize,
+    /// Seed realizing the heterogeneous bandwidth matrix.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// The model to train: a named preset or explicit hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ModelSpec {
+    /// A named preset, e.g. `{"preset": "gpt-3.1b"}`.
+    Preset {
+        /// One of `gpt-1.1b`, `gpt-3.1b`, `gpt-8.1b`, `gpt-11.1b`.
+        preset: String,
+    },
+    /// Explicit hyperparameters.
+    Custom {
+        /// Transformer layers.
+        layers: usize,
+        /// Hidden dimension.
+        hidden: usize,
+        /// Attention heads.
+        heads: usize,
+        /// Sequence length (default 2048).
+        #[serde(default = "default_seq")]
+        seq_len: usize,
+        /// Vocabulary size (default 51200).
+        #[serde(default = "default_vocab")]
+        vocab: usize,
+    },
+}
+
+fn default_seq() -> usize {
+    2048
+}
+
+fn default_vocab() -> usize {
+    51200
+}
+
+/// The full job specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Cluster to configure for.
+    pub cluster: ClusterSpec,
+    /// Model to train.
+    pub model: ModelSpec,
+    /// Samples per optimizer step.
+    pub global_batch: u64,
+    /// Largest microbatch considered (default 8).
+    #[serde(default = "default_micro")]
+    pub max_micro: u64,
+    /// Enable fine-grained worker dedication (default true).
+    #[serde(default = "default_true")]
+    pub worker_dedication: bool,
+    /// Simulated-annealing iterations per candidate (default 30000).
+    #[serde(default = "default_sa")]
+    pub sa_iterations: usize,
+    /// Search seed (default 0).
+    #[serde(default)]
+    pub seed: u64,
+    /// Memory-estimator training iterations (default 12000; lower for
+    /// quick runs).
+    #[serde(default = "default_mem_iterations")]
+    pub memory_training_iterations: usize,
+}
+
+fn default_mem_iterations() -> usize {
+    12_000
+}
+
+fn default_micro() -> u64 {
+    8
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_sa() -> usize {
+    30_000
+}
+
+/// Errors turning a spec into concrete objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Unknown cluster preset name.
+    UnknownCluster(String),
+    /// Unknown model preset name.
+    UnknownModel(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownCluster(name) => {
+                write!(f, "unknown cluster preset {name:?} (try \"mid-range\" or \"high-end\")")
+            }
+            SpecError::UnknownModel(name) => write!(
+                f,
+                "unknown model preset {name:?} (try \"gpt-1.1b\", \"gpt-3.1b\", \"gpt-8.1b\", \"gpt-11.1b\")"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl JobSpec {
+    /// Realizes the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownCluster`] for unrecognized preset names.
+    pub fn build_cluster(&self) -> Result<Cluster, SpecError> {
+        let preset = match self.cluster.preset.as_str() {
+            "mid-range" | "mid_range" | "midrange" => presets::mid_range(self.cluster.nodes),
+            "high-end" | "high_end" | "highend" => presets::high_end(self.cluster.nodes),
+            other => return Err(SpecError::UnknownCluster(other.to_owned())),
+        };
+        Ok(preset.build(self.cluster.seed))
+    }
+
+    /// Realizes the model.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownModel`] for unrecognized preset names.
+    pub fn build_model(&self) -> Result<GptConfig, SpecError> {
+        match &self.model {
+            ModelSpec::Preset { preset } => match preset.as_str() {
+                "gpt-1.1b" => Ok(GptConfig::gpt_1_1b()),
+                "gpt-3.1b" => Ok(GptConfig::gpt_3_1b()),
+                "gpt-8.1b" => Ok(GptConfig::gpt_8_1b()),
+                "gpt-11.1b" => Ok(GptConfig::gpt_11_1b()),
+                other => Err(SpecError::UnknownModel(other.to_owned())),
+            },
+            ModelSpec::Custom { layers, hidden, heads, seq_len, vocab } => {
+                Ok(GptConfig::new(*layers, *hidden, *heads, *seq_len, *vocab))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_spec() {
+        let json = r#"{
+            "cluster": {"preset": "mid-range", "nodes": 4},
+            "model": {"preset": "gpt-1.1b"},
+            "global_batch": 256
+        }"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.max_micro, 8);
+        assert!(spec.worker_dedication);
+        assert_eq!(spec.sa_iterations, 30_000);
+        let cluster = spec.build_cluster().unwrap();
+        assert_eq!(cluster.topology().num_gpus(), 32);
+        let model = spec.build_model().unwrap();
+        assert_eq!(model.n_layers, 24);
+    }
+
+    #[test]
+    fn parses_custom_model() {
+        let json = r#"{
+            "cluster": {"preset": "high-end", "nodes": 2, "seed": 9},
+            "model": {"layers": 12, "hidden": 768, "heads": 12},
+            "global_batch": 64,
+            "worker_dedication": false
+        }"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        let model = spec.build_model().unwrap();
+        assert_eq!(model.hidden, 768);
+        assert_eq!(model.seq_len, 2048);
+        assert!(!spec.worker_dedication);
+    }
+
+    #[test]
+    fn unknown_presets_are_reported() {
+        let json = r#"{
+            "cluster": {"preset": "quantum", "nodes": 4},
+            "model": {"preset": "gpt-9000b"},
+            "global_batch": 256
+        }"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert!(matches!(spec.build_cluster(), Err(SpecError::UnknownCluster(_))));
+        assert!(matches!(spec.build_model(), Err(SpecError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec {
+            cluster: ClusterSpec { preset: "mid-range".into(), nodes: 8, seed: 1 },
+            model: ModelSpec::Preset { preset: "gpt-3.1b".into() },
+            global_batch: 512,
+            max_micro: 4,
+            worker_dedication: true,
+            sa_iterations: 10_000,
+            seed: 5,
+            memory_training_iterations: 12_000,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.global_batch, 512);
+        assert_eq!(back.max_micro, 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end tests driving the compiled `pipette-cli` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pipette-cli"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn example_spec_is_valid_json() {
+    let out = bin().arg("example-spec").output().expect("binary runs");
+    assert!(out.status.success());
+    let spec: pipette_cli::JobSpec =
+        serde_json::from_slice(&out.stdout).expect("printed spec must parse");
+    assert_eq!(spec.global_batch, 256);
+}
+
+#[test]
+fn configure_runs_end_to_end_from_a_file() {
+    let dir = std::env::temp_dir().join("pipette_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("job.json");
+    std::fs::write(
+        &path,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 2, "seed": 3},
+            "model": {"layers": 8, "hidden": 1024, "heads": 16},
+            "global_batch": 64,
+            "max_micro": 2,
+            "sa_iterations": 800,
+            "memory_training_iterations": 1200
+        }"#,
+    )
+    .unwrap();
+    let out = bin().args(["configure", path.to_str().unwrap(), "--json"]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report: pipette_cli::CliReport = serde_json::from_slice(&out.stdout).expect("json report");
+    assert_eq!(report.pp * report.tp * report.dp, 16);
+}
+
+#[test]
+fn import_mpigraph_produces_a_loadable_cluster() {
+    let dir = std::env::temp_dir().join("pipette_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("table.txt");
+    std::fs::write(&path, "0 9500 11000\n9600 0 10000\n11100 9900 0\n").unwrap();
+    let out = bin()
+        .args(["import-mpigraph", path.to_str().unwrap(), "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let cluster =
+        pipette_cluster::Cluster::from_json(&String::from_utf8_lossy(&out.stdout)).expect("json");
+    assert_eq!(cluster.topology().num_nodes(), 3);
+    assert_eq!(cluster.topology().gpus_per_node(), 8);
+}
+
+#[test]
+fn malformed_spec_fails_cleanly() {
+    let dir = std::env::temp_dir().join("pipette_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = bin().args(["configure", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

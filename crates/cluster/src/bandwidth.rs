@@ -1,0 +1,315 @@
+//! The attained pairwise bandwidth matrix — the central observable of the
+//! paper.
+//!
+//! `B(g1, g2)` is the bandwidth actually achieved between two GPUs, which in
+//! a real cluster differs per link (Fig. 3) even when all links share the
+//! same nominal spec.
+
+use crate::link::{LinkClass, LinkSpec};
+use crate::topology::{ClusterTopology, GpuId};
+use serde::{Deserialize, Serialize};
+
+/// Dense GPU×GPU matrix of attained bandwidths in GiB/s.
+///
+/// The diagonal is conventionally `f64::INFINITY` (no transfer). The matrix
+/// is *directional*: `between(a, b)` may differ slightly from
+/// `between(b, a)`, mirroring the paper's observation that bidirectional
+/// bandwidths are "often almost symmetric" (which motivates the SA *reverse*
+/// move).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthMatrix {
+    topology: ClusterTopology,
+    intra_spec: LinkSpec,
+    inter_spec: LinkSpec,
+    /// Row-major `num_gpus x num_gpus` attained bandwidth, GiB/s. The
+    /// diagonal is `INFINITY`, which JSON cannot represent, so the field
+    /// round-trips through a null-aware codec.
+    #[serde(with = "infinite_f64_vec")]
+    data: Vec<f64>,
+}
+
+/// Serde codec mapping non-finite `f64`s to JSON `null` and back.
+mod infinite_f64_vec {
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(data: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let encoded: Vec<Option<f64>> =
+            data.iter().map(|&v| if v.is_finite() { Some(v) } else { None }).collect();
+        encoded.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let encoded: Vec<Option<f64>> = Vec::deserialize(d)?;
+        encoded
+            .into_iter()
+            .map(|v| match v {
+                Some(x) if x.is_finite() => Ok(x),
+                Some(x) => Err(D::Error::custom(format!("non-finite bandwidth {x}"))),
+                None => Ok(f64::INFINITY),
+            })
+            .collect()
+    }
+}
+
+impl BandwidthMatrix {
+    /// Builds a matrix from raw per-pair data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not `num_gpus²` long or contains a non-positive
+    /// off-diagonal entry.
+    pub fn from_raw(
+        topology: ClusterTopology,
+        intra_spec: LinkSpec,
+        inter_spec: LinkSpec,
+        data: Vec<f64>,
+    ) -> Self {
+        let n = topology.num_gpus();
+        assert_eq!(data.len(), n * n, "bandwidth matrix must be num_gpus^2");
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert!(data[i * n + j] > 0.0, "bandwidth ({i},{j}) must be positive");
+                }
+            }
+        }
+        Self { topology, intra_spec, inter_spec, data }
+    }
+
+    /// Builds a perfectly homogeneous matrix at nominal speeds.
+    ///
+    /// This is the world the baselines assume: every intra-node pair runs at
+    /// the NVLink datasheet number and every inter-node pair at the
+    /// InfiniBand datasheet number.
+    pub fn homogeneous(
+        topology: ClusterTopology,
+        intra_spec: LinkSpec,
+        inter_spec: LinkSpec,
+    ) -> Self {
+        let n = topology.num_gpus();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = if i == j {
+                    f64::INFINITY
+                } else if topology.same_node(GpuId(i), GpuId(j)) {
+                    intra_spec.bandwidth_gib_s
+                } else {
+                    inter_spec.bandwidth_gib_s
+                };
+            }
+        }
+        Self { topology, intra_spec, inter_spec, data }
+    }
+
+    /// The topology this matrix is defined over.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Nominal spec of the intra-node fabric.
+    pub fn intra_spec(&self) -> LinkSpec {
+        self.intra_spec
+    }
+
+    /// Nominal spec of the inter-node fabric.
+    pub fn inter_spec(&self) -> LinkSpec {
+        self.inter_spec
+    }
+
+    /// Link class between two GPUs.
+    pub fn link_class(&self, a: GpuId, b: GpuId) -> LinkClass {
+        if a == b {
+            LinkClass::Loopback
+        } else if self.topology.same_node(a, b) {
+            LinkClass::IntraNode
+        } else {
+            LinkClass::InterNode
+        }
+    }
+
+    /// Per-message latency (alpha) between two GPUs, in seconds.
+    pub fn latency(&self, a: GpuId, b: GpuId) -> f64 {
+        match self.link_class(a, b) {
+            LinkClass::Loopback => 0.0,
+            LinkClass::IntraNode => self.intra_spec.latency_s,
+            LinkClass::InterNode => self.inter_spec.latency_s,
+        }
+    }
+
+    /// Attained bandwidth from `a` to `b` in GiB/s (`INFINITY` if `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn between(&self, a: GpuId, b: GpuId) -> f64 {
+        let n = self.topology.num_gpus();
+        assert!(a.0 < n && b.0 < n, "gpu id out of range");
+        self.data[a.0 * n + b.0]
+    }
+
+    /// Sets the attained bandwidth of one directed pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range, if `a == b`, or `gib_s <= 0`.
+    pub fn set(&mut self, a: GpuId, b: GpuId, gib_s: f64) {
+        let n = self.topology.num_gpus();
+        assert!(a.0 < n && b.0 < n, "gpu id out of range");
+        assert!(a != b, "cannot set loopback bandwidth");
+        assert!(gib_s > 0.0, "bandwidth must be positive");
+        self.data[a.0 * n + b.0] = gib_s;
+    }
+
+    /// The slowest directed link among all ordered pairs drawn from `group`.
+    ///
+    /// This is the `min B` term of the hierarchical all-reduce latency
+    /// (Eq. 6): a ring all-reduce runs at the speed of its slowest member
+    /// link. Returns `INFINITY` for groups of fewer than two GPUs.
+    pub fn min_over_group(&self, group: &[GpuId]) -> f64 {
+        let mut min = f64::INFINITY;
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                min = min.min(self.between(a, b));
+                min = min.min(self.between(b, a));
+            }
+        }
+        min
+    }
+
+    /// Mean attained bandwidth over inter-node directed pairs.
+    pub fn mean_inter_node(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for a in self.topology.gpus() {
+            for b in self.topology.gpus() {
+                if self.link_class(a, b) == LinkClass::InterNode {
+                    sum += self.between(a, b);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Restricts the matrix to the first `nodes` nodes of the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the node count.
+    pub fn truncated(&self, nodes: usize) -> Self {
+        let small = self.topology.truncated(nodes);
+        let n = small.num_gpus();
+        let big_n = self.topology.num_gpus();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = self.data[i * big_n + j];
+            }
+        }
+        Self {
+            topology: small,
+            intra_spec: self.intra_spec,
+            inter_spec: self.inter_spec,
+            data,
+        }
+    }
+
+    /// Node-to-node attained bandwidth: the bandwidth between local rank 0
+    /// GPUs of the two nodes. Used for reporting (Fig. 3 traces).
+    pub fn node_pair(&self, a: crate::topology::NodeId, b: crate::topology::NodeId) -> f64 {
+        self.between(self.topology.gpu(a.0, 0), self.topology.gpu(b.0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    fn specs() -> (LinkSpec, LinkSpec) {
+        (LinkSpec::new(300.0, 2e-6), LinkSpec::new(11.6, 5e-6))
+    }
+
+    fn homog() -> BandwidthMatrix {
+        let (intra, inter) = specs();
+        BandwidthMatrix::homogeneous(ClusterTopology::new(2, 4), intra, inter)
+    }
+
+    #[test]
+    fn homogeneous_matches_specs() {
+        let m = homog();
+        assert_eq!(m.between(GpuId(0), GpuId(1)), 300.0);
+        assert_eq!(m.between(GpuId(0), GpuId(4)), 11.6);
+        assert!(m.between(GpuId(3), GpuId(3)).is_infinite());
+    }
+
+    #[test]
+    fn set_and_get_directed() {
+        let mut m = homog();
+        m.set(GpuId(0), GpuId(4), 6.0);
+        assert_eq!(m.between(GpuId(0), GpuId(4)), 6.0);
+        assert_eq!(m.between(GpuId(4), GpuId(0)), 11.6);
+    }
+
+    #[test]
+    fn min_over_group_finds_slowest() {
+        let mut m = homog();
+        m.set(GpuId(0), GpuId(4), 3.0);
+        assert_eq!(m.min_over_group(&[GpuId(0), GpuId(4)]), 3.0);
+        assert_eq!(m.min_over_group(&[GpuId(0), GpuId(1)]), 300.0);
+        assert!(m.min_over_group(&[GpuId(0)]).is_infinite());
+    }
+
+    #[test]
+    fn link_class_and_latency() {
+        let m = homog();
+        assert_eq!(m.link_class(GpuId(0), GpuId(0)), LinkClass::Loopback);
+        assert_eq!(m.link_class(GpuId(0), GpuId(1)), LinkClass::IntraNode);
+        assert_eq!(m.link_class(GpuId(0), GpuId(5)), LinkClass::InterNode);
+        assert_eq!(m.latency(GpuId(0), GpuId(5)), 5e-6);
+        assert_eq!(m.latency(GpuId(0), GpuId(0)), 0.0);
+    }
+
+    #[test]
+    fn truncation_preserves_prefix_links() {
+        let mut m = homog();
+        m.set(GpuId(1), GpuId(2), 200.0);
+        let t = m.truncated(1);
+        assert_eq!(t.topology().num_gpus(), 4);
+        assert_eq!(t.between(GpuId(1), GpuId(2)), 200.0);
+    }
+
+    #[test]
+    fn mean_inter_node_of_homogeneous_is_nominal() {
+        let m = homog();
+        assert!((m.mean_inter_node() - 11.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_pair_uses_rank0() {
+        let mut m = homog();
+        m.set(GpuId(0), GpuId(4), 5.5);
+        assert_eq!(m.node_pair(NodeId(0), NodeId(1)), 5.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot set loopback")]
+    fn set_rejects_loopback() {
+        homog().set(GpuId(0), GpuId(0), 1.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_infinite_diagonal() {
+        let m = homog();
+        let json = serde_json::to_string(&m).expect("serializable");
+        let back: BandwidthMatrix = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, m);
+        assert!(back.between(GpuId(2), GpuId(2)).is_infinite());
+    }
+}

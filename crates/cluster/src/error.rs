@@ -1,0 +1,48 @@
+//! Error types for the cluster crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or querying cluster models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A preset was asked for more nodes than it supports.
+    InvalidNodeCount {
+        /// Requested node count.
+        requested: usize,
+        /// Maximum supported node count.
+        max: usize,
+    },
+    /// An imported bandwidth table could not be parsed.
+    MalformedMatrix {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidNodeCount { requested, max } => {
+                write!(f, "requested {requested} nodes but preset supports at most {max}")
+            }
+            ClusterError::MalformedMatrix { reason } => {
+                write!(f, "malformed bandwidth table: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = ClusterError::InvalidNodeCount { requested: 32, max: 16 };
+        assert!(e.to_string().contains("32"));
+    }
+}

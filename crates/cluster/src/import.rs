@@ -1,0 +1,169 @@
+//! Importing measured bandwidth matrices.
+//!
+//! Real deployments would feed Pipette the output of mpiGraph or
+//! NCCL-tests instead of a synthetic heterogeneity model. This module
+//! parses the mpiGraph result table — a whitespace/comma-separated matrix
+//! of per-node-pair send bandwidths (MB/s, as mpiGraph reports) — and
+//! expands it to a GPU-level [`BandwidthMatrix`].
+
+use crate::bandwidth::BandwidthMatrix;
+use crate::error::ClusterError;
+use crate::link::LinkSpec;
+use crate::topology::{ClusterTopology, GpuId};
+
+/// Parses an mpiGraph-style send-bandwidth table.
+///
+/// Expected layout (header row/column optional, `-` or `0` on the
+/// diagonal):
+///
+/// ```text
+/// to:     node0   node1   node2
+/// node0   -       9500    11800
+/// node1   9400    -       10100
+/// node2   11700   10000   -
+/// ```
+///
+/// Values are MB/s per node pair. Every GPU pair across two nodes
+/// inherits the node-pair bandwidth; intra-node pairs run at
+/// `intra_spec`'s nominal speed.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::MalformedMatrix`] when the table is ragged,
+/// empty, or contains unparseable/non-positive off-diagonal entries.
+pub fn parse_mpigraph(
+    text: &str,
+    gpus_per_node: usize,
+    intra_spec: LinkSpec,
+    inter_spec: LinkSpec,
+) -> Result<BandwidthMatrix, ClusterError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> =
+            line.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty()).collect();
+        // Keep the numeric payload: "-" (diagonal) and parseable numbers.
+        // Labels ("node3", "to:") are dropped; a line with no payload at
+        // all is a header. A line that mixes unparseable tokens *between*
+        // numbers is malformed.
+        let first_numeric = cells
+            .iter()
+            .position(|c| *c == "-" || c.parse::<f64>().is_ok());
+        let Some(first_numeric) = first_numeric else { continue };
+        let mut row = Vec::with_capacity(cells.len() - first_numeric);
+        for cell in &cells[first_numeric..] {
+            if *cell == "-" {
+                row.push(0.0);
+            } else {
+                let v: f64 = cell.parse().map_err(|_| ClusterError::MalformedMatrix {
+                    reason: format!("cannot parse bandwidth cell {cell:?}"),
+                })?;
+                row.push(v);
+            }
+        }
+        rows.push(row);
+    }
+    let n = rows.len();
+    if n == 0 {
+        return Err(ClusterError::MalformedMatrix { reason: "empty table".into() });
+    }
+    if rows.iter().any(|r| r.len() != n) {
+        return Err(ClusterError::MalformedMatrix {
+            reason: format!("table is not square ({n} rows)"),
+        });
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j && v <= 0.0 {
+                return Err(ClusterError::MalformedMatrix {
+                    reason: format!("non-positive bandwidth at ({i},{j})"),
+                });
+            }
+        }
+    }
+
+    let topology = ClusterTopology::new(n, gpus_per_node);
+    let mut matrix = BandwidthMatrix::homogeneous(topology, intra_spec, inter_spec);
+    const MB: f64 = 1e6;
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &mb_s) in row.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let gib_s = mb_s * MB / crate::link::GIB;
+            for a in 0..gpus_per_node {
+                for b in 0..gpus_per_node {
+                    matrix.set(
+                        GpuId(i * gpus_per_node + a),
+                        GpuId(j * gpus_per_node + b),
+                        gib_s,
+                    );
+                }
+            }
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    fn specs() -> (LinkSpec, LinkSpec) {
+        (LinkSpec::new(279.0, 3e-6), LinkSpec::new(11.64, 6e-6))
+    }
+
+    const SAMPLE: &str = "\
+# mpiGraph send bandwidth (MB/s)
+to:     node0   node1   node2
+node0   -       9500    11800
+node1   9400    -       10100
+node2   11700   10000   -
+";
+
+    #[test]
+    fn parses_labeled_table() {
+        let (intra, inter) = specs();
+        let m = parse_mpigraph(SAMPLE, 4, intra, inter).expect("valid table");
+        assert_eq!(m.topology().num_nodes(), 3);
+        assert_eq!(m.topology().gpus_per_node(), 4);
+        // 9500 MB/s = 8.85 GiB/s.
+        let v = m.node_pair(NodeId(0), NodeId(1));
+        assert!((v - 9500.0 * 1e6 / (1024.0f64.powi(3))).abs() < 1e-9);
+        // Asymmetric directions preserved.
+        assert!(m.node_pair(NodeId(0), NodeId(1)) > m.node_pair(NodeId(1), NodeId(0)));
+        // Intra-node pairs at nominal NVLink.
+        assert_eq!(m.between(GpuId(0), GpuId(1)), intra.bandwidth_gib_s);
+    }
+
+    #[test]
+    fn parses_bare_numeric_table() {
+        let (intra, inter) = specs();
+        let text = "0 1000\n1000 0\n";
+        let m = parse_mpigraph(text, 8, intra, inter).expect("valid");
+        assert_eq!(m.topology().num_nodes(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_and_bad_cells() {
+        let (intra, inter) = specs();
+        assert!(parse_mpigraph("", 4, intra, inter).is_err());
+        assert!(parse_mpigraph("0 100\n100 0 3\n", 4, intra, inter).is_err());
+        assert!(parse_mpigraph("0 abc\n100 0\n", 4, intra, inter).is_err());
+        assert!(parse_mpigraph("0 -5\n100 0\n", 4, intra, inter).is_err());
+    }
+
+    #[test]
+    fn imported_matrix_drives_the_stack() {
+        // End-to-end: an imported matrix is a first-class BandwidthMatrix.
+        let (intra, inter) = specs();
+        let m = parse_mpigraph(SAMPLE, 4, intra, inter).unwrap();
+        assert!(m.mean_inter_node() > 8.0);
+        let t = m.truncated(2);
+        assert_eq!(t.topology().num_nodes(), 2);
+    }
+}

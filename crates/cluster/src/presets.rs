@@ -1,0 +1,236 @@
+//! Cluster presets mirroring Table I of the paper, and the assembled
+//! [`Cluster`] value the rest of the workspace consumes.
+
+use crate::bandwidth::BandwidthMatrix;
+use crate::hardware::GpuSpec;
+use crate::heterogeneity::HeterogeneityModel;
+use crate::link::{gbps_to_gib_s, LinkSpec};
+use crate::profiler::NetworkProfiler;
+use crate::topology::ClusterTopology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully realized cluster: topology, hardware, and the ground-truth
+/// attained bandwidth matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    name: String,
+    gpu: GpuSpec,
+    bandwidth: BandwidthMatrix,
+    profiler: NetworkProfiler,
+}
+
+impl Cluster {
+    /// Assembles a cluster from parts.
+    pub fn new(
+        name: impl Into<String>,
+        gpu: GpuSpec,
+        bandwidth: BandwidthMatrix,
+        profiler: NetworkProfiler,
+    ) -> Self {
+        Self { name: name.into(), gpu, bandwidth, profiler }
+    }
+
+    /// Human-readable cluster name, e.g. "mid-range".
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The GPU model installed on every node.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The ground-truth attained bandwidth matrix.
+    pub fn bandwidth(&self) -> &BandwidthMatrix {
+        &self.bandwidth
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        self.bandwidth.topology()
+    }
+
+    /// The network profiler configured for this cluster.
+    pub fn profiler(&self) -> NetworkProfiler {
+        self.profiler
+    }
+
+    /// A copy of this cluster restricted to its first `nodes` nodes, used
+    /// for memory-estimator sample collection (≤ 4 nodes) and scalability
+    /// sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the node count.
+    pub fn truncated(&self, nodes: usize) -> Self {
+        Self {
+            name: format!("{} ({} nodes)", self.name, nodes),
+            gpu: self.gpu.clone(),
+            bandwidth: self.bandwidth.truncated(nodes),
+            profiler: self.profiler,
+        }
+    }
+}
+
+impl Cluster {
+    /// Serializes the cluster (topology, hardware, and full attained
+    /// matrix) to pretty JSON — useful for pinning a drawn cluster or
+    /// shipping a measured one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (effectively unreachable for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a cluster from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} | {}]", self.name, self.topology(), self.gpu)
+    }
+}
+
+/// A parameterized cluster recipe (Table I row); `build(seed)` realizes the
+/// heterogeneous attained-bandwidth matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPreset {
+    /// Cluster name.
+    pub name: String,
+    /// Topology shape.
+    pub topology: ClusterTopology,
+    /// GPU model.
+    pub gpu: GpuSpec,
+    /// Nominal intra-node link (NVLink / NVSwitch).
+    pub intra: LinkSpec,
+    /// Nominal inter-node link (InfiniBand).
+    pub inter: LinkSpec,
+    /// Heterogeneity statistics of the attained bandwidths.
+    pub heterogeneity: HeterogeneityModel,
+    /// Profiling noise/cost model.
+    pub profiler: NetworkProfiler,
+}
+
+impl ClusterPreset {
+    /// Realizes the preset into a concrete cluster. Deterministic in `seed`.
+    pub fn build(&self, seed: u64) -> Cluster {
+        let matrix = self.heterogeneity.generate(self.topology, self.intra, self.inter, seed);
+        Cluster::new(self.name.clone(), self.gpu.clone(), matrix, self.profiler)
+    }
+}
+
+/// The paper's mid-range cluster: `nodes` × 8 V100, NVLink 300 GB/s
+/// intra-node, InfiniBand EDR (100 Gb/s) inter-node.
+pub fn mid_range(nodes: usize) -> ClusterPreset {
+    ClusterPreset {
+        name: "mid-range".to_owned(),
+        topology: ClusterTopology::new(nodes, 8),
+        gpu: GpuSpec::v100(),
+        intra: LinkSpec::new(300.0e9 / crate::link::GIB, 3e-6),
+        inter: LinkSpec::new(gbps_to_gib_s(100.0), 6e-6),
+        heterogeneity: HeterogeneityModel::realistic(),
+        // Fitted to Table II: 58.13 s at 8 nodes, 119.62 s at 16 nodes.
+        profiler: NetworkProfiler::new(0.01, 39.4, 0.335),
+    }
+}
+
+/// The paper's high-end cluster: `nodes` × 8 A100, NVSwitch 600 GB/s
+/// intra-node, InfiniBand HDR (200 Gb/s) inter-node.
+pub fn high_end(nodes: usize) -> ClusterPreset {
+    ClusterPreset {
+        name: "high-end".to_owned(),
+        topology: ClusterTopology::new(nodes, 8),
+        gpu: GpuSpec::a100(),
+        intra: LinkSpec::new(600.0e9 / crate::link::GIB, 2e-6),
+        inter: LinkSpec::new(gbps_to_gib_s(200.0), 5e-6),
+        heterogeneity: HeterogeneityModel::realistic(),
+        // Fitted to Table II: 113.67 s at 8 nodes, 239.21 s at 16 nodes.
+        profiler: NetworkProfiler::new(0.01, 75.5, 0.682),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_one() {
+        let mid = mid_range(16);
+        assert_eq!(mid.topology.num_gpus(), 128);
+        assert_eq!(mid.gpu.name, "V100");
+        // 100 Gb/s EDR ~ 11.64 GiB/s nominal.
+        assert!((mid.inter.bandwidth_gib_s - 11.64).abs() < 0.01);
+
+        let high = high_end(16);
+        assert_eq!(high.gpu.name, "A100");
+        assert!((high.inter.bandwidth_gib_s - 23.28).abs() < 0.01);
+        assert!(high.intra.bandwidth_gib_s > mid.intra.bandwidth_gib_s);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let preset = mid_range(4);
+        assert_eq!(preset.build(9), preset.build(9));
+        assert_ne!(preset.build(9), preset.build(10));
+    }
+
+    #[test]
+    fn truncated_cluster_shrinks() {
+        let c = high_end(8).build(1);
+        let t = c.truncated(2);
+        assert_eq!(t.topology().num_nodes(), 2);
+        assert_eq!(t.gpu(), c.gpu());
+        assert!(t.name().contains("2 nodes"));
+    }
+
+    #[test]
+    fn display_mentions_name_and_gpu() {
+        let c = mid_range(2).build(0);
+        let s = c.to_string();
+        assert!(s.contains("mid-range") && s.contains("V100"));
+    }
+
+    #[test]
+    fn cluster_round_trips_through_json() {
+        let c = mid_range(2).build(4);
+        let json = c.to_json().expect("serializable");
+        let back = Cluster::from_json(&json).expect("parseable");
+        // The JSON float formatter in this toolchain loses the last ULP,
+        // so compare semantically rather than bit-for-bit.
+        assert_eq!(back.name(), c.name());
+        assert_eq!(back.gpu(), c.gpu());
+        assert_eq!(back.topology(), c.topology());
+        for a in c.topology().gpus() {
+            for b in c.topology().gpus() {
+                if a == b {
+                    assert!(back.bandwidth().between(a, b).is_infinite());
+                } else {
+                    let (x, y) = (back.bandwidth().between(a, b), c.bandwidth().between(a, b));
+                    assert!((x / y - 1.0).abs() < 1e-12, "({a},{b}): {x} vs {y}");
+                }
+            }
+        }
+        assert!(Cluster::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn profiling_costs_match_table_two_shape() {
+        let mid = mid_range(16);
+        let c = mid.profiler.cost(&mid.topology);
+        assert!((c.seconds - 119.8).abs() < 1.0);
+        let high = high_end(16);
+        let c = high.profiler.cost(&high.topology);
+        assert!((c.seconds - 239.2).abs() < 1.0);
+    }
+}

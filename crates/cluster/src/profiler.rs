@@ -1,0 +1,181 @@
+//! Simulated network profiler (stand-in for mpiGraph / NCCL-tests).
+//!
+//! Pipette's first step (Algorithm 1, line 1) is `network_profile()`: run a
+//! pairwise bandwidth benchmark on the real cluster. We simulate that by
+//! reading the true attained matrix through a small multiplicative
+//! measurement noise — the estimator then works with *measured* bandwidths
+//! while the ground-truth simulator uses the *true* ones, reproducing the
+//! estimation-error structure of Fig. 5a. The profiler also carries a cost
+//! model for Table II's "Bandwidth Profiling" row.
+
+use crate::bandwidth::BandwidthMatrix;
+use crate::rand_util::normal;
+use crate::topology::{ClusterTopology, GpuId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Measured bandwidth matrix, as Pipette's estimator sees it.
+///
+/// A thin newtype over [`BandwidthMatrix`] so the type system distinguishes
+/// profiled (noisy) bandwidths from ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledBandwidth(BandwidthMatrix);
+
+impl ProfiledBandwidth {
+    /// Access the measured matrix.
+    pub fn matrix(&self) -> &BandwidthMatrix {
+        &self.0
+    }
+
+    /// Consumes the wrapper, returning the measured matrix.
+    pub fn into_matrix(self) -> BandwidthMatrix {
+        self.0
+    }
+
+    /// Treats a matrix as "profiled" without noise (for tests/ablations).
+    pub fn exact(matrix: BandwidthMatrix) -> Self {
+        Self(matrix)
+    }
+}
+
+/// Wall-clock cost of a profiling run, for Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingCost {
+    /// Total profiling time in seconds.
+    pub seconds: f64,
+    /// Number of directed node pairs measured.
+    pub node_pairs: usize,
+}
+
+/// Simulated mpiGraph/NCCL-tests runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfiler {
+    /// Relative standard deviation of a single bandwidth measurement.
+    pub noise_sigma: f64,
+    /// Fixed cost of launching the benchmark suite (seconds).
+    pub base_seconds: f64,
+    /// Cost per directed node pair (seconds).
+    pub per_pair_seconds: f64,
+}
+
+impl Default for NetworkProfiler {
+    fn default() -> Self {
+        Self { noise_sigma: 0.02, base_seconds: 40.0, per_pair_seconds: 0.33 }
+    }
+}
+
+impl NetworkProfiler {
+    /// Creates a profiler with a given measurement noise and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative.
+    pub fn new(noise_sigma: f64, base_seconds: f64, per_pair_seconds: f64) -> Self {
+        assert!(noise_sigma >= 0.0 && base_seconds >= 0.0 && per_pair_seconds >= 0.0);
+        Self { noise_sigma, base_seconds, per_pair_seconds }
+    }
+
+    /// Measures the cluster: returns the noisy matrix and the time it took.
+    ///
+    /// Deterministic in `seed`.
+    pub fn profile(&self, truth: &BandwidthMatrix, seed: u64) -> (ProfiledBandwidth, ProfilingCost) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut measured = truth.clone();
+        let topo = *truth.topology();
+        for a in topo.gpus() {
+            for b in topo.gpus() {
+                if a == b {
+                    continue;
+                }
+                let factor = normal(&mut rng, 1.0, self.noise_sigma).clamp(0.8, 1.2);
+                measured.set(GpuId(a.0), GpuId(b.0), truth.between(a, b) * factor);
+            }
+        }
+        (ProfiledBandwidth(measured), self.cost(&topo))
+    }
+
+    /// Cost of profiling a cluster of the given shape, without running it.
+    pub fn cost(&self, topology: &ClusterTopology) -> ProfilingCost {
+        let n = topology.num_nodes();
+        let node_pairs = n * n.saturating_sub(1);
+        ProfilingCost {
+            seconds: self.base_seconds + self.per_pair_seconds * node_pairs as f64,
+            node_pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heterogeneity::HeterogeneityModel;
+    use crate::link::LinkSpec;
+
+    fn truth() -> BandwidthMatrix {
+        HeterogeneityModel::realistic().generate(
+            ClusterTopology::new(4, 4),
+            LinkSpec::new(300.0, 2e-6),
+            LinkSpec::new(11.64, 5e-6),
+            21,
+        )
+    }
+
+    #[test]
+    fn measurement_is_close_to_truth() {
+        let t = truth();
+        let (p, _) = NetworkProfiler::default().profile(&t, 1);
+        for a in t.topology().gpus() {
+            for b in t.topology().gpus() {
+                if a != b {
+                    let ratio = p.matrix().between(a, b) / t.between(a, b);
+                    assert!((ratio - 1.0).abs() < 0.21, "ratio {ratio}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_is_noisy_but_deterministic() {
+        let t = truth();
+        let (p1, _) = NetworkProfiler::default().profile(&t, 1);
+        let (p2, _) = NetworkProfiler::default().profile(&t, 1);
+        let (p3, _) = NetworkProfiler::default().profile(&t, 2);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_ne!(p1.matrix(), &t);
+    }
+
+    #[test]
+    fn cost_scales_with_node_pairs() {
+        let prof = NetworkProfiler::new(0.0, 40.0, 0.33);
+        let c8 = prof.cost(&ClusterTopology::new(8, 8));
+        let c16 = prof.cost(&ClusterTopology::new(16, 8));
+        assert_eq!(c8.node_pairs, 56);
+        assert_eq!(c16.node_pairs, 240);
+        // Shape from Table II: ~58 s at 8 nodes, ~120 s at 16 nodes.
+        assert!((c8.seconds - 58.48).abs() < 0.1);
+        assert!((c16.seconds - 119.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn exact_profile_has_no_noise() {
+        let t = truth();
+        let p = ProfiledBandwidth::exact(t.clone());
+        assert_eq!(p.matrix(), &t);
+        assert_eq!(p.into_matrix(), t);
+    }
+
+    #[test]
+    fn zero_noise_profiler_reproduces_truth() {
+        let t = truth();
+        let (p, _) = NetworkProfiler::new(0.0, 0.0, 0.0).profile(&t, 9);
+        for a in t.topology().gpus() {
+            for b in t.topology().gpus() {
+                if a != b {
+                    assert!((p.matrix().between(a, b) - t.between(a, b)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

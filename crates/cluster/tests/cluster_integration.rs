@@ -1,0 +1,143 @@
+//! Integration tests for the cluster substrate: preset realism, profiler
+//! fidelity, drift behaviour, and the import/export round trip working
+//! together.
+
+use pipette_cluster::{
+    parse_mpigraph, presets, Cluster, HeterogeneityModel, NetworkProfiler, TemporalDrift,
+};
+use proptest::prelude::*;
+
+#[test]
+fn presets_produce_physically_sensible_clusters() {
+    for (preset, nominal_inter) in [(presets::mid_range(8), 11.64), (presets::high_end(8), 23.28)] {
+        let cluster = preset.build(3);
+        let bw = cluster.bandwidth();
+        // Attained inter-node bandwidth: below nominal, above a sane floor.
+        let mean = bw.mean_inter_node();
+        assert!(mean < nominal_inter, "attained {mean} must undershoot nominal {nominal_inter}");
+        assert!(mean > 0.3 * nominal_inter, "attained {mean} implausibly low");
+        // Intra-node is at least an order of magnitude faster than inter.
+        let topo = cluster.topology();
+        let intra = bw.between(topo.gpu(0, 0), topo.gpu(0, 1));
+        assert!(intra > 8.0 * mean);
+    }
+}
+
+#[test]
+fn profiling_noise_shrinks_with_configured_sigma() {
+    let cluster = presets::mid_range(4).build(9);
+    let truth = cluster.bandwidth();
+    let mut errors = Vec::new();
+    for sigma in [0.0, 0.01, 0.05] {
+        let (profiled, _) = NetworkProfiler::new(sigma, 1.0, 0.1).profile(truth, 5);
+        let mut err = 0.0;
+        let mut count = 0;
+        for a in truth.topology().gpus() {
+            for b in truth.topology().gpus() {
+                if a != b {
+                    err += (profiled.matrix().between(a, b) / truth.between(a, b) - 1.0).abs();
+                    count += 1;
+                }
+            }
+        }
+        errors.push(err / count as f64);
+    }
+    assert_eq!(errors[0], 0.0);
+    assert!(errors[1] < errors[2]);
+}
+
+#[test]
+fn drift_series_preserves_heterogeneity_structure() {
+    // Fast pairs stay (statistically) faster than slow pairs over time:
+    // rank correlation between day 0 and day 30 stays positive.
+    let cluster = presets::high_end(8).build(4);
+    let series = TemporalDrift::default().series(cluster.bandwidth(), 31, 8);
+    let topo = cluster.topology();
+    let mut day0 = Vec::new();
+    let mut day30 = Vec::new();
+    for i in 0..8 {
+        for j in 0..8 {
+            if i != j {
+                day0.push(series[0].node_pair(pipette_cluster::NodeId(i), pipette_cluster::NodeId(j)));
+                day30.push(series[30].node_pair(pipette_cluster::NodeId(i), pipette_cluster::NodeId(j)));
+            }
+        }
+    }
+    let n = day0.len() as f64;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+    let (m0, m30) = (mean(&day0), mean(&day30));
+    let cov: f64 =
+        day0.iter().zip(&day30).map(|(a, b)| (a - m0) * (b - m30)).sum::<f64>() / n;
+    let sd = |v: &[f64], m: f64| (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n).sqrt();
+    let corr = cov / (sd(&day0, m0) * sd(&day30, m30));
+    assert!(corr > 0.7, "pair identity should persist over a month: corr {corr:.2}");
+    let _ = topo;
+}
+
+#[test]
+fn imported_matrix_composes_with_the_profiler() {
+    let table = "0 9000 11000\n9100 0 10000\n11200 9900 0\n";
+    let preset = presets::mid_range(3);
+    let matrix = parse_mpigraph(table, 8, preset.intra, preset.inter).expect("valid table");
+    let cluster = Cluster::new("imported", preset.gpu.clone(), matrix, preset.profiler);
+    let (profiled, cost) = cluster.profiler().profile(cluster.bandwidth(), 2);
+    assert!(cost.seconds > 0.0);
+    assert_eq!(profiled.matrix().topology().num_nodes(), 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any heterogeneity parameters within sane ranges yield matrices
+    /// bounded by nominal and strictly positive.
+    #[test]
+    fn generated_matrices_are_bounded(
+        mean_eff in 0.4f64..1.0,
+        sigma in 0.0f64..0.4,
+        straggler_frac in 0.0f64..0.3,
+        seed in 0u64..200,
+    ) {
+        let model = HeterogeneityModel {
+            inter_mean_efficiency: mean_eff,
+            inter_sigma: sigma,
+            straggler_fraction: straggler_frac,
+            straggler_factor: 0.4,
+            asymmetry_sigma: 0.02,
+            intra_sigma: 0.01,
+            intra_mean_efficiency: 0.95,
+        };
+        let mut preset = presets::mid_range(4);
+        preset.heterogeneity = model;
+        let cluster = preset.build(seed);
+        let bw = cluster.bandwidth();
+        let nominal = bw.inter_spec().bandwidth_gib_s;
+        for a in bw.topology().gpus() {
+            for b in bw.topology().gpus() {
+                if a == b { continue; }
+                let v = bw.between(a, b);
+                prop_assert!(v > 0.0);
+                if !bw.topology().same_node(a, b) {
+                    prop_assert!(v <= nominal * 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Truncation commutes with generation prefix: the first nodes of a
+    /// big cluster equal the truncated matrix's content.
+    #[test]
+    fn truncation_is_a_prefix_view(nodes in 2usize..6, seed in 0u64..50) {
+        let cluster = presets::mid_range(8).build(seed);
+        let small = cluster.truncated(nodes);
+        for a in small.topology().gpus() {
+            for b in small.topology().gpus() {
+                if a != b {
+                    prop_assert_eq!(
+                        small.bandwidth().between(a, b),
+                        cluster.bandwidth().between(a, b)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! AMP (NeurIPS '22), the paper's main automatic baseline.
+//!
+//! AMP profiles compute, then exhaustively scores `(pp, tp, dp,
+//! microbatch)` with the Eq. 1 latency model over document-specified
+//! bandwidths and returns its ranking. It performs no memory check — the
+//! paper shows 8 of its top-10 recommendations OOM (Fig. 5b) — and no
+//! placement search.
+
+use crate::baselines::RankedCandidate;
+use crate::latency::AmpLatencyModel;
+use pipette_cluster::Cluster;
+use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::ComputeProfiler;
+
+/// The AMP configurator.
+#[derive(Debug, Clone)]
+pub struct AmpConfigurator<'a> {
+    cluster: &'a Cluster,
+    gpt: &'a GptConfig,
+    global_batch: u64,
+    max_micro: u64,
+    seed: u64,
+}
+
+impl<'a> AmpConfigurator<'a> {
+    /// Creates the configurator for a cluster/model/global batch.
+    pub fn new(cluster: &'a Cluster, gpt: &'a GptConfig, global_batch: u64) -> Self {
+        Self { cluster, gpt, global_batch, max_micro: 8, seed: 0 }
+    }
+
+    /// Overrides the largest microbatch considered (paper sweeps 1–8).
+    pub fn with_max_micro(mut self, max_micro: u64) -> Self {
+        self.max_micro = max_micro;
+        self
+    }
+
+    /// Overrides the profiling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scores every candidate and returns them best-first.
+    pub fn rank(&self) -> Vec<RankedCandidate> {
+        let topo = self.cluster.topology();
+        let model = AmpLatencyModel::from_specs_of(self.cluster.bandwidth(), self.gpt);
+        let profiler = ComputeProfiler::default();
+        let gpu = self.cluster.gpu().clone();
+        let mut out = Vec::new();
+        for cfg in
+            ParallelConfig::enumerate(topo.num_gpus(), topo.gpus_per_node(), self.gpt.n_layers)
+        {
+            let Ok(mini) = BatchConfig::new(self.global_batch).minibatch(cfg.dp) else {
+                continue;
+            };
+            for plan in MicrobatchPlan::enumerate(mini, self.max_micro) {
+                let compute = profiler.profile(
+                    self.cluster.bandwidth(),
+                    &gpu,
+                    self.gpt,
+                    cfg,
+                    plan,
+                    self.seed,
+                );
+                let est = model.estimate(cfg, plan, &compute);
+                out.push(RankedCandidate { config: cfg, plan, estimated_seconds: est });
+            }
+        }
+        out.sort_by(|a, b| a.estimated_seconds.total_cmp(&b.estimated_seconds));
+        out
+    }
+
+    /// The top `k` recommendations (Fig. 5b examines the top 10).
+    pub fn top_k(&self, k: usize) -> Vec<RankedCandidate> {
+        let mut ranked = self.rank();
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::presets;
+
+    fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+        (presets::mid_range(2).build(17), GptConfig::new(8, 1024, 16, 2048, 51200))
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_exhaustive() {
+        let (cluster, gpt) = setup();
+        let ranked = AmpConfigurator::new(&cluster, &gpt, 64).rank();
+        assert!(!ranked.is_empty());
+        assert!(ranked.windows(2).all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
+        // All products match the cluster.
+        assert!(ranked.iter().all(|c| c.config.num_workers() == 16));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (cluster, gpt) = setup();
+        let amp = AmpConfigurator::new(&cluster, &gpt, 64);
+        assert_eq!(amp.top_k(3).len(), 3);
+    }
+
+    #[test]
+    fn memory_unaware_ranking_includes_large_microbatches() {
+        // AMP considers (and often prefers) big microbatches that OOM.
+        let (cluster, gpt) = setup();
+        let ranked = AmpConfigurator::new(&cluster, &gpt, 64).rank();
+        assert!(ranked.iter().any(|c| c.plan.micro_batch >= 4));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (cluster, gpt) = setup();
+        let a = AmpConfigurator::new(&cluster, &gpt, 64).rank();
+        let b = AmpConfigurator::new(&cluster, &gpt, 64).rank();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Varuna (EuroSys '22) baseline.
+//!
+//! Varuna "emphasizes using the pipeline parallel-only configuration for
+//! LLM training": it avoids tensor parallelism entirely (tp = 1) and
+//! searches `(pp, dp, microbatch)` with a GPipe-era latency model. Like
+//! AMP it performs no memory check — Fig. 5b shows its top picks OOM just
+//! as often.
+
+use crate::baselines::RankedCandidate;
+use crate::latency::AmpLatencyModel;
+use pipette_cluster::Cluster;
+use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::ComputeProfiler;
+
+/// The Varuna-style configurator.
+#[derive(Debug, Clone)]
+pub struct VarunaConfigurator<'a> {
+    cluster: &'a Cluster,
+    gpt: &'a GptConfig,
+    global_batch: u64,
+    max_micro: u64,
+    seed: u64,
+}
+
+impl<'a> VarunaConfigurator<'a> {
+    /// Creates the configurator.
+    pub fn new(cluster: &'a Cluster, gpt: &'a GptConfig, global_batch: u64) -> Self {
+        Self { cluster, gpt, global_batch, max_micro: 8, seed: 0 }
+    }
+
+    /// Overrides the largest microbatch considered.
+    pub fn with_max_micro(mut self, max_micro: u64) -> Self {
+        self.max_micro = max_micro;
+        self
+    }
+
+    /// Scores every pipeline-only candidate, best first.
+    pub fn rank(&self) -> Vec<RankedCandidate> {
+        let topo = self.cluster.topology();
+        let model = AmpLatencyModel::from_specs_of(self.cluster.bandwidth(), self.gpt);
+        let profiler = ComputeProfiler::default();
+        let gpu = self.cluster.gpu().clone();
+        let mut out = Vec::new();
+        for cfg in
+            ParallelConfig::enumerate(topo.num_gpus(), topo.gpus_per_node(), self.gpt.n_layers)
+        {
+            if cfg.tp != 1 {
+                continue;
+            }
+            let Ok(mini) = BatchConfig::new(self.global_batch).minibatch(cfg.dp) else {
+                continue;
+            };
+            for plan in MicrobatchPlan::enumerate(mini, self.max_micro) {
+                let compute = profiler.profile(
+                    self.cluster.bandwidth(),
+                    &gpu,
+                    self.gpt,
+                    cfg,
+                    plan,
+                    self.seed,
+                );
+                let est = model.estimate(cfg, plan, &compute);
+                out.push(RankedCandidate { config: cfg, plan, estimated_seconds: est });
+            }
+        }
+        out.sort_by(|a, b| a.estimated_seconds.total_cmp(&b.estimated_seconds));
+        out
+    }
+
+    /// The top `k` recommendations.
+    pub fn top_k(&self, k: usize) -> Vec<RankedCandidate> {
+        let mut ranked = self.rank();
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::presets;
+
+    #[test]
+    fn only_pipeline_parallel_configs() {
+        let cluster = presets::mid_range(2).build(9);
+        let gpt = GptConfig::new(16, 1024, 16, 2048, 51200);
+        let ranked = VarunaConfigurator::new(&cluster, &gpt, 64).rank();
+        assert!(!ranked.is_empty());
+        assert!(ranked.iter().all(|c| c.config.tp == 1));
+        assert!(ranked.iter().any(|c| c.config.pp > 1));
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let cluster = presets::mid_range(2).build(9);
+        let gpt = GptConfig::new(16, 1024, 16, 2048, 51200);
+        let ranked = VarunaConfigurator::new(&cluster, &gpt, 64).with_max_micro(4).rank();
+        assert!(ranked.windows(2).all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
+    }
+}

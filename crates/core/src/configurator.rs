@@ -1,0 +1,419 @@
+//! Algorithm 1 — the Pipette procedure.
+//!
+//! ```text
+//! BW ← network_profile()
+//! for Conf ∈ {(pp, tp, dp) | pp·tp·dp = G}:
+//!   for bs_micro ∈ divisors(bs_mini):
+//!     if MemEstimator(Conf, bs_micro) > M_limit: continue
+//!     while Map ← SA_NextMap(Map):
+//!       T ← LatEstimator(Conf, Map, bs_mini, bs_micro, BW)
+//!       keep the best (Conf, Map, T)
+//! ```
+//!
+//! Two ablation points mirror the paper's Fig. 6: `PPT-L` (latency +
+//! memory estimators, identity mapping) and `PPT-LF` (adding fine-grained
+//! worker dedication).
+
+use crate::error::ConfigureError;
+use crate::latency::PipetteLatencyModel;
+use crate::mapping::{AnnealStats, Annealer, AnnealerConfig};
+use crate::memory::{collect_samples, MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec};
+use crate::report::OverheadReport;
+use pipette_cluster::Cluster;
+use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ClusterRun, ComputeProfiler, Mapping, ProfiledCompute};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Knobs of the Pipette procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipetteOptions {
+    /// Largest microbatch size considered (the paper sweeps 1–8).
+    pub max_micro: u64,
+    /// Enable fine-grained worker dedication (PPT-LF); disable for the
+    /// PPT-L ablation.
+    pub use_worker_dedication: bool,
+    /// Simulated-annealing budget per annealed candidate.
+    pub annealer: AnnealerConfig,
+    /// How many of the best candidates (by identity-mapping estimate) get
+    /// an SA pass. Annealing every candidate matches Algorithm 1 exactly
+    /// but wastes budget on hopeless configurations.
+    pub sa_top_k: usize,
+    /// Memory-estimator training protocol (used only when no pretrained
+    /// estimator is supplied).
+    pub memory: MemoryEstimatorConfig,
+    /// Seed for profiling noise and annealing.
+    pub seed: u64,
+}
+
+impl Default for PipetteOptions {
+    fn default() -> Self {
+        Self {
+            max_micro: 8,
+            use_worker_dedication: true,
+            annealer: AnnealerConfig::default(),
+            sa_top_k: 4,
+            memory: MemoryEstimatorConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl PipetteOptions {
+    /// A configuration small enough for unit tests and doc tests.
+    pub fn fast_test() -> Self {
+        Self {
+            annealer: AnnealerConfig::fast_test(),
+            sa_top_k: 2,
+            memory: MemoryEstimatorConfig {
+                train: pipette_mlp::TrainConfig {
+                    iterations: 1_200,
+                    learning_rate: 3e-3,
+                    batch_size: 64,
+                    record_every: 400,
+                    seed: 0,
+                },
+                hidden: 32,
+                depth: 2,
+                soft_margin: 0.08,
+                seed: 0,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The PPT-L ablation: latency + memory estimators, no worker
+    /// dedication.
+    pub fn latency_only(mut self) -> Self {
+        self.use_worker_dedication = false;
+        self
+    }
+}
+
+/// One scored candidate before annealing.
+#[derive(Debug, Clone)]
+struct Candidate {
+    config: ParallelConfig,
+    plan: MicrobatchPlan,
+    compute: ProfiledCompute,
+    identity_estimate: f64,
+}
+
+/// Pipette's final answer.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Chosen `(pp, tp, dp)`.
+    pub config: ParallelConfig,
+    /// Chosen microbatch plan.
+    pub plan: MicrobatchPlan,
+    /// Chosen worker → GPU mapping.
+    pub mapping: Mapping,
+    /// Estimated iteration latency of the recommendation (seconds).
+    pub estimated_seconds: f64,
+    /// Configuration-time cost breakdown (Table II).
+    pub overhead: OverheadReport,
+    /// Candidates examined (Algorithm 1's loop trips).
+    pub examined: usize,
+    /// Candidates rejected by the memory estimator.
+    pub memory_rejected: usize,
+    /// Annealing statistics of the winning candidate (None for PPT-L).
+    pub anneal_stats: Option<AnnealStats>,
+    /// Runner-up candidates (identity mapping), best first — the rest of
+    /// Pipette's recommendation list, should the top pick fail to launch.
+    pub alternatives: Vec<(ParallelConfig, MicrobatchPlan)>,
+}
+
+/// The Pipette configurator (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct Pipette<'a> {
+    cluster: &'a Cluster,
+    gpt: &'a GptConfig,
+    global_batch: u64,
+    options: PipetteOptions,
+    pretrained: Option<MemoryEstimator>,
+}
+
+impl<'a> Pipette<'a> {
+    /// Creates a configurator for a cluster, model, and global batch size.
+    pub fn new(
+        cluster: &'a Cluster,
+        gpt: &'a GptConfig,
+        global_batch: u64,
+        options: PipetteOptions,
+    ) -> Self {
+        Self { cluster, gpt, global_batch, options, pretrained: None }
+    }
+
+    /// Supplies a pretrained memory estimator (training is once per
+    /// cluster; reuse it across configurator invocations).
+    pub fn with_memory_estimator(mut self, estimator: MemoryEstimator) -> Self {
+        self.pretrained = Some(estimator);
+        self
+    }
+
+    /// Trains a memory estimator for this cluster following the paper's
+    /// protocol (≤ 4-node profiling sweep over a ladder of model scales).
+    pub fn train_memory_estimator(&self) -> (MemoryEstimator, Duration, Vec<MemorySample>) {
+        let start = Instant::now();
+        let truth = ClusterRun::new(self.cluster, self.gpt).memory_sim();
+        let nodes = self.cluster.topology().num_nodes().min(4);
+        let gpus_per_node = self.cluster.topology().gpus_per_node();
+        let mut gpu_counts: Vec<usize> =
+            (1..=nodes).map(|n| n * gpus_per_node).collect();
+        gpu_counts.dedup();
+        let mut global_batches = vec![self.global_batch.min(128), self.global_batch.min(256), self.global_batch];
+        global_batches.sort_unstable();
+        global_batches.dedup();
+        let spec = SampleSpec {
+            gpu_counts,
+            gpus_per_node,
+            models: model_ladder(self.gpt),
+            global_batches,
+            max_micro: self.options.max_micro,
+        };
+        let samples = collect_samples(&spec, &truth);
+        let estimator = MemoryEstimator::train(&samples, &self.options.memory);
+        (estimator, start.elapsed(), samples)
+    }
+
+    /// Runs Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigureError::NoValidBatchSplit`] if no configuration divides
+    /// the global batch; [`ConfigureError::NoFeasibleConfig`] if every
+    /// candidate is rejected by the memory estimator.
+    pub fn run(&self) -> Result<Recommendation, ConfigureError> {
+        // Line 1: profile the actual bandwidth matrix.
+        let (profiled, profiling_cost) =
+            self.cluster.profiler().profile(self.cluster.bandwidth(), self.options.seed);
+
+        // Memory estimator (pretrained or trained now).
+        let (estimator, training_time) = match &self.pretrained {
+            Some(e) => (e.clone(), Duration::ZERO),
+            None => {
+                let (e, t, _) = self.train_memory_estimator();
+                (e, t)
+            }
+        };
+
+        let topo = self.cluster.topology();
+        let limit = self.cluster.gpu().memory_bytes;
+        let profiler = ComputeProfiler::default();
+        let gpu = self.cluster.gpu().clone();
+        let latency = PipetteLatencyModel::new(&profiled, self.gpt);
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut examined = 0usize;
+        let mut rejected = 0usize;
+        let mut any_split = false;
+        let mut mem_time = Duration::ZERO;
+
+        // Lines 3-7: enumerate, memory-filter, estimate with the default
+        // placement.
+        for cfg in
+            ParallelConfig::enumerate(topo.num_gpus(), topo.gpus_per_node(), self.gpt.n_layers)
+        {
+            let Ok(mini) = BatchConfig::new(self.global_batch).minibatch(cfg.dp) else {
+                continue;
+            };
+            any_split = true;
+            for plan in MicrobatchPlan::enumerate(mini, self.options.max_micro) {
+                examined += 1;
+                let features = MemorySample::features_for(
+                    self.gpt,
+                    topo.num_gpus(),
+                    cfg,
+                    plan,
+                    self.global_batch,
+                );
+                let t0 = Instant::now();
+                let runnable = estimator.is_runnable(&features, limit);
+                mem_time += t0.elapsed();
+                if !runnable {
+                    rejected += 1;
+                    continue;
+                }
+                let compute = profiler.profile(
+                    self.cluster.bandwidth(),
+                    &gpu,
+                    self.gpt,
+                    cfg,
+                    plan,
+                    self.options.seed,
+                );
+                let identity = Mapping::identity(cfg, *topo);
+                let est = latency.estimate(cfg, &identity, plan, &compute);
+                candidates.push(Candidate {
+                    config: cfg,
+                    plan,
+                    compute,
+                    identity_estimate: est,
+                });
+            }
+        }
+
+        if !any_split {
+            return Err(ConfigureError::NoValidBatchSplit { global_batch: self.global_batch });
+        }
+        if candidates.is_empty() {
+            return Err(ConfigureError::NoFeasibleConfig { examined, memory_rejected: rejected });
+        }
+        candidates.sort_by(|a, b| a.identity_estimate.total_cmp(&b.identity_estimate));
+
+        // Lines 9-15: fine-grained worker dedication on the most promising
+        // candidates.
+        let mut best_cfg = candidates[0].config;
+        let mut best_plan = candidates[0].plan;
+        let mut best_mapping = Mapping::identity(best_cfg, *topo);
+        let mut best_t = candidates[0].identity_estimate;
+        let mut best_stats: Option<AnnealStats> = None;
+        let mut sa_time = Duration::ZERO;
+
+        if self.options.use_worker_dedication {
+            for (i, cand) in candidates.iter().take(self.options.sa_top_k.max(1)).enumerate() {
+                let initial = Mapping::identity(cand.config, *topo);
+                let objective = |m: &Mapping| {
+                    latency.estimate(cand.config, m, cand.plan, &cand.compute)
+                };
+                let mut sa_cfg = self.options.annealer;
+                sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
+                let (mapping, cost, stats) = Annealer::new(sa_cfg).anneal(&initial, objective);
+                sa_time += stats.elapsed;
+                if cost < best_t {
+                    best_cfg = cand.config;
+                    best_plan = cand.plan;
+                    best_mapping = mapping;
+                    best_t = cost;
+                    best_stats = Some(stats);
+                }
+            }
+        }
+
+        let alternatives: Vec<(ParallelConfig, MicrobatchPlan)> = candidates
+            .iter()
+            .filter(|c| !(c.config == best_cfg && c.plan == best_plan))
+            .map(|c| (c.config, c.plan))
+            .collect();
+
+        Ok(Recommendation {
+            config: best_cfg,
+            plan: best_plan,
+            mapping: best_mapping,
+            estimated_seconds: best_t,
+            overhead: OverheadReport {
+                bandwidth_profiling: Duration::from_secs_f64(profiling_cost.seconds),
+                simulated_annealing: sa_time,
+                memory_estimation: mem_time,
+                memory_training: training_time,
+            },
+            examined,
+            memory_rejected: rejected,
+            anneal_stats: best_stats,
+            alternatives,
+        })
+    }
+}
+
+/// A ladder of model scales around the target, used to give the memory
+/// estimator coverage in `n_layers`/`hidden`/`n_heads` (Eq. 7 features).
+fn model_ladder(gpt: &GptConfig) -> Vec<GptConfig> {
+    let mut ladder = vec![*gpt];
+    let heads = gpt.n_heads;
+    let scaled_hidden = |num: usize, den: usize| ((gpt.hidden * num / den) / heads * heads).max(heads);
+    for (ln, ld, hn, hd) in [(1usize, 2usize, 1usize, 2usize), (3, 4, 3, 4), (1, 2, 1, 1), (1, 1, 1, 2), (1, 4, 1, 2)] {
+        let layers = (gpt.n_layers * ln / ld).max(2);
+        let hidden = scaled_hidden(hn, hd);
+        let candidate = GptConfig::new(layers, hidden, heads, gpt.seq_len, gpt.vocab);
+        if !ladder.contains(&candidate) {
+            ladder.push(candidate);
+        }
+    }
+    ladder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::presets;
+    use pipette_sim::SimError;
+
+    fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+        (presets::mid_range(2).build(3), GptConfig::new(8, 1024, 16, 2048, 51200))
+    }
+
+    #[test]
+    fn recommends_a_runnable_configuration() {
+        let (cluster, gpt) = setup();
+        let rec = Pipette::new(&cluster, &gpt, 64, PipetteOptions::fast_test())
+            .run()
+            .expect("feasible space");
+        // The recommendation must actually run on the ground-truth cluster.
+        let run = ClusterRun::new(&cluster, &gpt);
+        let measured = run
+            .execute(rec.config, &rec.mapping, rec.plan)
+            .expect("Pipette must not recommend OOM configs");
+        assert!(measured.iteration_seconds > 0.0);
+        assert!(rec.examined > 0);
+    }
+
+    #[test]
+    fn worker_dedication_never_hurts_the_estimate() {
+        let (cluster, gpt) = setup();
+        let mut opts = PipetteOptions::fast_test();
+        opts.seed = 5;
+        let with_sa = Pipette::new(&cluster, &gpt, 64, opts).run().unwrap();
+        let without = Pipette::new(&cluster, &gpt, 64, opts.latency_only()).run().unwrap();
+        assert!(with_sa.estimated_seconds <= without.estimated_seconds + 1e-9);
+        assert!(without.anneal_stats.is_none());
+    }
+
+    #[test]
+    fn overhead_report_is_populated() {
+        let (cluster, gpt) = setup();
+        let rec = Pipette::new(&cluster, &gpt, 64, PipetteOptions::fast_test()).run().unwrap();
+        assert!(rec.overhead.bandwidth_profiling.as_secs_f64() > 0.0);
+        assert!(rec.overhead.memory_training.as_secs_f64() > 0.0);
+        assert!(rec.overhead.total().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn pretrained_estimator_is_reused() {
+        let (cluster, gpt) = setup();
+        let pip = Pipette::new(&cluster, &gpt, 64, PipetteOptions::fast_test());
+        let (est, _, _) = pip.train_memory_estimator();
+        let rec = pip.with_memory_estimator(est).run().unwrap();
+        assert_eq!(rec.overhead.memory_training, Duration::ZERO);
+    }
+
+    #[test]
+    fn infeasible_batch_is_reported() {
+        let (cluster, _gpt) = setup();
+        // A ~51B-parameter model: even fully split over 16 V100s, the
+        // model state alone exceeds every GPU.
+        let huge = GptConfig::new(16, 16384, 32, 2048, 51200);
+        let err = Pipette::new(&cluster, &huge, 512, PipetteOptions::fast_test())
+            .run()
+            .expect_err("a 51B model cannot fit on 16 V100s");
+        assert!(matches!(err, ConfigureError::NoFeasibleConfig { .. }));
+        // And the ground truth agrees that e.g. the MLM-style config OOMs.
+        let run = ClusterRun::new(&cluster, &huge);
+        let cfg = ParallelConfig::new(2, 8, 1);
+        let mapping = Mapping::identity(cfg, *cluster.topology());
+        assert!(matches!(
+            run.execute(cfg, &mapping, MicrobatchPlan::new(512, 8).unwrap()),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn model_ladder_contains_target_and_smaller() {
+        let g = GptConfig::gpt_3_1b();
+        let ladder = model_ladder(&g);
+        assert!(ladder.contains(&g));
+        assert!(ladder.iter().any(|m| m.num_params() < g.num_params()));
+        for m in &ladder {
+            assert_eq!(m.hidden % m.n_heads, 0);
+        }
+    }
+}

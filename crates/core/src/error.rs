@@ -1,0 +1,68 @@
+//! Error types for the configurator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while searching for a configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigureError {
+    /// No `(pp, tp, dp, microbatch)` combination satisfied the memory
+    /// limit.
+    NoFeasibleConfig {
+        /// Candidates examined.
+        examined: usize,
+        /// Candidates rejected by the memory estimator.
+        memory_rejected: usize,
+    },
+    /// The global batch is not divisible by any candidate `dp`.
+    NoValidBatchSplit {
+        /// The requested global batch.
+        global_batch: u64,
+    },
+    /// A structural problem with the requested configuration space.
+    Invalid(pipette_model::ModelError),
+}
+
+impl fmt::Display for ConfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigureError::NoFeasibleConfig { examined, memory_rejected } => write!(
+                f,
+                "no feasible configuration found ({examined} examined, {memory_rejected} rejected for memory)"
+            ),
+            ConfigureError::NoValidBatchSplit { global_batch } => {
+                write!(f, "global batch {global_batch} cannot be split by any candidate dp")
+            }
+            ConfigureError::Invalid(e) => write!(f, "invalid search space: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigureError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigureError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pipette_model::ModelError> for ConfigureError {
+    fn from(e: pipette_model::ModelError) -> Self {
+        ConfigureError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ConfigureError::NoFeasibleConfig { examined: 40, memory_rejected: 40 };
+        assert!(e.to_string().contains("40"));
+        let e = ConfigureError::NoValidBatchSplit { global_batch: 13 };
+        assert!(e.to_string().contains("13"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The prior-art latency model (Eq. 1), as used by AMP.
+//!
+//! ```text
+//! T_prev = (n_mb − 1)·(C + T_tp) + pp·(C + T_tp) + (pp − 1)·T_pp + T_dp
+//! ```
+//!
+//! Two systematic errors, both diagnosed in §II-B/§V of the paper:
+//!
+//! * it models the GPipe-era schedule, charging the inter-stage
+//!   communication `(pp − 1)` hops *once*, while the memory-efficient 1F1B
+//!   schedule actually pays a round trip every `pp` microbatches;
+//! * it uses the *document-specified* homogeneous bandwidth for every
+//!   link, while attained bandwidths vary per pair.
+
+use pipette_cluster::{BandwidthMatrix, LinkSpec};
+use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::iteration::OPTIMIZER_STEP_S;
+use pipette_sim::{CommModel, Mapping, ProfiledCompute};
+
+/// How Eq. 1's compute term `C` is interpreted.
+///
+/// The DATE paper writes Eq. 1 with a single scalar `C` ("the
+/// computational latency to process one microbatch"), implicitly assuming
+/// uniform stages — that literal reading is [`Eq1Flavor::Scalar`] and is
+/// what Fig. 5a's 23.18 % MAPE measures. AMP *the system*, however, plans
+/// with per-layer costs and does know that the last stage carries the LM
+/// head; [`Eq1Flavor::PerStage`] models that more charitable reading and
+/// is what the configurator baseline uses (otherwise AMP walks into
+/// degenerate deep-pipeline configurations no real run of it picked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Eq1Flavor {
+    /// Single scalar `C` = mean per-stage cost (Eq. 1 verbatim).
+    Scalar,
+    /// Straggler-aware `C` = max per-stage cost.
+    #[default]
+    PerStage,
+}
+
+/// Eq. 1 latency model over nominal (datasheet) bandwidths.
+#[derive(Debug, Clone)]
+pub struct AmpLatencyModel<'a> {
+    nominal: BandwidthMatrix,
+    gpt: &'a GptConfig,
+    flavor: Eq1Flavor,
+}
+
+impl<'a> AmpLatencyModel<'a> {
+    /// Builds the model for a cluster shape with nominal link specs.
+    pub fn new(
+        topology: pipette_cluster::ClusterTopology,
+        intra: LinkSpec,
+        inter: LinkSpec,
+        gpt: &'a GptConfig,
+    ) -> Self {
+        Self { nominal: BandwidthMatrix::homogeneous(topology, intra, inter), gpt, flavor: Eq1Flavor::default() }
+    }
+
+    /// Selects the Eq. 1 interpretation (see [`Eq1Flavor`]).
+    pub fn with_flavor(mut self, flavor: Eq1Flavor) -> Self {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Convenience constructor taking the nominal specs from an existing
+    /// matrix (uses its `intra_spec`/`inter_spec`, ignoring attained data).
+    pub fn from_specs_of(matrix: &BandwidthMatrix, gpt: &'a GptConfig) -> Self {
+        Self::new(*matrix.topology(), matrix.intra_spec(), matrix.inter_spec(), gpt)
+    }
+
+    /// The homogeneous matrix the model believes in.
+    pub fn nominal_matrix(&self) -> &BandwidthMatrix {
+        &self.nominal
+    }
+
+    /// Estimated iteration latency (seconds) for `cfg`. The model is
+    /// placement-unaware: it always assumes the identity mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute` has a different stage count than `cfg.pp`.
+    pub fn estimate(
+        &self,
+        cfg: ParallelConfig,
+        plan: MicrobatchPlan,
+        compute: &ProfiledCompute,
+    ) -> f64 {
+        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        let mapping = Mapping::identity(cfg, *self.nominal.topology());
+        let comm = CommModel::new(&self.nominal);
+
+        // Eq. 1 uses a single scalar `C + T_tp` — the per-microbatch cost
+        // of "a stage", implicitly assuming uniform stages. We average the
+        // profiled per-stage costs, which is exactly where the model loses
+        // accuracy when the last stage carries the LM head.
+        let tp_bytes = messages::tp_allreduce_bytes(self.gpt, plan.micro_batch);
+        let stage_cost: Vec<f64> = (0..cfg.pp)
+            .map(|s| {
+                let layers = self.gpt.layers_of_stage(cfg.pp, s) as f64;
+                let ar = comm.ring_allreduce(&mapping.tensor_group(s, 0), tp_bytes);
+                compute.compute(s) + messages::TP_ALLREDUCES_PER_LAYER as f64 * layers * ar
+            })
+            .collect();
+        let c_sum: f64 = stage_cost.iter().sum();
+        let c_steady = match self.flavor {
+            Eq1Flavor::Scalar => c_sum / cfg.pp as f64,
+            Eq1Flavor::PerStage => stage_cost.iter().cloned().fold(0.0, f64::max),
+        };
+
+        // (pp - 1) single hops at nominal speed, forward + backward.
+        let msg_pp = messages::pp_message_bytes(self.gpt, plan.micro_batch);
+        let hop = if cfg.pp > 1 {
+            let a = mapping.gpu_of(pipette_model::WorkerId { stage: 0, tensor: 0, data: 0 });
+            let b = mapping.gpu_of(pipette_model::WorkerId { stage: 1, tensor: 0, data: 0 });
+            comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp)
+        } else {
+            0.0
+        };
+        let t_pp = (cfg.pp as f64 - 1.0) * hop;
+
+        let t_dp = if cfg.dp > 1 {
+            let bytes = messages::dp_gradient_bytes(self.gpt, cfg.pp, cfg.tp, 0);
+            comm.hierarchical_allreduce(&mapping.data_group(0, 0), bytes)
+        } else {
+            0.0
+        };
+
+        // Eq. 1: straggler term + bubble terms + PP + DP.
+        (plan.n_microbatches as f64 - 1.0) * c_steady + c_sum + t_pp + t_dp + OPTIMIZER_STEP_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::PipetteLatencyModel;
+    use pipette_cluster::presets;
+    use pipette_sim::{ComputeProfiler, IterationSim};
+
+    fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+        (presets::mid_range(2).build(33), GptConfig::new(8, 1024, 16, 2048, 51200))
+    }
+
+    #[test]
+    fn amp_underestimates_pipeline_heavy_configs() {
+        // With many stages and many microbatches, the hidden critical path
+        // makes reality slower than Eq. 1 predicts.
+        let (cluster, gpt) = setup();
+        let cfg = ParallelConfig::new(4, 4, 1);
+        let plan = MicrobatchPlan::new(64, 1).unwrap();
+        let gpu = cluster.gpu().clone();
+        let compute = ComputeProfiler::new(0.0)
+            .profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
+        let amp = AmpLatencyModel::from_specs_of(cluster.bandwidth(), &gpt)
+            .estimate(cfg, plan, &compute);
+        let mapping = Mapping::identity(cfg, *cluster.topology());
+        let truth = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+            .simulate(cfg, &mapping, plan)
+            .total_seconds;
+        assert!(amp < truth, "Eq.1 {amp:.3}s should undershoot 1F1B reality {truth:.3}s");
+    }
+
+    #[test]
+    fn pipette_model_is_more_accurate_than_amp() {
+        // Needs enough nodes that data-parallel groups span the inter-node
+        // fabric, where AMP's nominal-bandwidth assumption bites.
+        let cluster = presets::mid_range(4).build(33);
+        let gpt = GptConfig::new(16, 2048, 16, 2048, 51200);
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 5);
+        let mut amp_errs = Vec::new();
+        let mut ppt_errs = Vec::new();
+        for (cfg, micro) in [
+            (ParallelConfig::new(2, 1, 16), 1u64),
+            (ParallelConfig::new(2, 2, 8), 1),
+            (ParallelConfig::new(4, 1, 8), 2),
+            (ParallelConfig::new(2, 4, 4), 2),
+            (ParallelConfig::new(4, 4, 2), 1),
+            (ParallelConfig::new(8, 4, 1), 1),
+        ] {
+            let plan = MicrobatchPlan::new(128, micro).unwrap();
+            let compute = ComputeProfiler::default()
+                .profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 9);
+            let mapping = Mapping::identity(cfg, *cluster.topology());
+            let truth = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+                .simulate(cfg, &mapping, plan)
+                .total_seconds;
+            let amp = AmpLatencyModel::from_specs_of(cluster.bandwidth(), &gpt)
+                .estimate(cfg, plan, &compute);
+            let ppt = PipetteLatencyModel::new(&profiled, &gpt)
+                .estimate(cfg, &mapping, plan, &compute);
+            amp_errs.push((amp - truth).abs() / truth);
+            ppt_errs.push((ppt - truth).abs() / truth);
+        }
+        let amp_mape: f64 = amp_errs.iter().sum::<f64>() / amp_errs.len() as f64;
+        let ppt_mape: f64 = ppt_errs.iter().sum::<f64>() / ppt_errs.len() as f64;
+        assert!(
+            ppt_mape < amp_mape,
+            "Pipette MAPE {ppt_mape:.3} should beat AMP MAPE {amp_mape:.3}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_positive_and_monotone_in_microbatches() {
+        let (cluster, gpt) = setup();
+        let cfg = ParallelConfig::new(2, 4, 2);
+        let gpu = cluster.gpu().clone();
+        let model = AmpLatencyModel::from_specs_of(cluster.bandwidth(), &gpt);
+        let p16 = MicrobatchPlan::new(16, 1).unwrap();
+        let p64 = MicrobatchPlan::new(64, 1).unwrap();
+        let c16 = ComputeProfiler::new(0.0).profile(cluster.bandwidth(), &gpu, &gpt, cfg, p16, 1);
+        let t16 = model.estimate(cfg, p16, &c16);
+        let t64 = model.estimate(cfg, p64, &c16);
+        assert!(t16 > 0.0 && t64 > t16);
+    }
+}

@@ -1,0 +1,354 @@
+//! Pipette's latency estimator (Eqs. 3–4).
+//!
+//! ```text
+//! T_Pipette   = T_bubble · (n_mb / pp) + T_straggler + T_dp
+//! T_bubble    = Σ_s (C_s + T_tp_s)  +  (pp − 1) · T_pp      (≈ pp·(C+T_tp) for uniform stages)
+//! T_straggler = (pp − 1) · max_s (C_s + T_tp_s)
+//! ```
+//!
+//! The `(n_mb / pp)` factor on the bubble term is the paper's key insight:
+//! under the memory-efficient 1F1B schedule, the first stage cannot run
+//! more than `pp` microbatches ahead, so the pipeline re-synchronizes —
+//! and pays the inter-stage communication round trip — `n_mb / pp` times
+//! per iteration, not once. Communication terms use the *profiled*
+//! bandwidth matrix; compute terms use profiled timings.
+
+use crate::latency::terms;
+use pipette_cluster::{BandwidthMatrix, ProfiledBandwidth};
+use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::iteration::OPTIMIZER_STEP_S;
+use pipette_sim::{Mapping, ProfiledCompute};
+
+/// Latency estimator bound to one profiled cluster and model.
+#[derive(Debug, Clone, Copy)]
+pub struct PipetteLatencyModel<'a> {
+    profiled: &'a BandwidthMatrix,
+    gpt: &'a GptConfig,
+}
+
+impl<'a> PipetteLatencyModel<'a> {
+    /// Creates an estimator over a profiled bandwidth matrix.
+    pub fn new(profiled: &'a ProfiledBandwidth, gpt: &'a GptConfig) -> Self {
+        Self { profiled: profiled.matrix(), gpt }
+    }
+
+    /// Creates an estimator over a raw matrix (for ablations that feed the
+    /// ground-truth or nominal matrix instead of a measurement).
+    pub fn from_matrix(matrix: &'a BandwidthMatrix, gpt: &'a GptConfig) -> Self {
+        Self { profiled: matrix, gpt }
+    }
+
+    /// Estimated iteration latency (seconds) of `cfg` under `mapping`.
+    ///
+    /// `compute` must have been profiled for the same `(cfg, micro_batch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute` has a different stage count than `cfg.pp` or the
+    /// mapping belongs to a different configuration.
+    pub fn estimate(
+        &self,
+        cfg: ParallelConfig,
+        mapping: &Mapping,
+        plan: MicrobatchPlan,
+        compute: &ProfiledCompute,
+    ) -> f64 {
+        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        assert_eq!(mapping.config(), cfg, "mapping built for another configuration");
+        let pp = cfg.pp as f64;
+        let msg_pp = messages::pp_message_bytes(self.gpt, plan.micro_batch);
+
+        // Per-stage data-parallel all-reduce times (mapping-dependent).
+        let dp_times: Vec<f64> = (0..cfg.pp)
+            .map(|s| terms::t_dp_stage(self.profiled, mapping, self.gpt, s))
+            .collect();
+
+        // Per-replica critical paths; the slowest replica gates the DP sync.
+        let mut worst = 0.0f64;
+        for z in 0..cfg.dp {
+            let stage_cost: Vec<f64> = (0..cfg.pp)
+                .map(|s| {
+                    compute.compute(s)
+                        + terms::t_tp_stage(self.profiled, mapping, self.gpt, plan.micro_batch, s, z)
+                })
+                .collect();
+            let sum: f64 = stage_cost.iter().sum();
+            let max = stage_cost.iter().cloned().fold(0.0, f64::max);
+            let mean = sum / pp;
+            let t_pp = terms::t_pp_chain(self.profiled, mapping, msg_pp, z);
+            // Decomposition mirroring Eq. 3, generalized to non-uniform
+            // stages (the last stage carries the LM head):
+            //
+            // * straggler steady-state work: `n_mb · max_s C_s`
+            //   (Eq. 4's straggler term, which dominates when one stage is
+            //   slower than the dependency loop);
+            // * one pipeline fill+drain: `(pp − 1) · C̄ + T_pp`
+            //   (Eq. 4's bubble);
+            // * the hidden critical path: the 1F1B loop (forward down,
+            //   backward up) closes `n_mb/pp − 1` times (§V), each time
+            //   charging however much the loop `Σ C_s + T_pp` exceeds the
+            //   straggler-bound work `pp · max_s C_s`.
+            let loops = (plan.n_microbatches as f64 / pp - 1.0).max(0.0);
+            let loop_excess = (sum + t_pp - pp * max).max(0.0);
+            let chain = plan.n_microbatches as f64 * max
+                + (pp - 1.0) * mean
+                + t_pp
+                + loops * loop_excess;
+
+            // Data-parallel sync. Stage 0 finishes its final backward last,
+            // so its all-reduce is fully exposed (Eq. 6). A later stage `s`
+            // finishes earlier by the backward-wave gap (the time the final
+            // gradient takes to travel from `s` to stage 0), so its
+            // all-reduce only matters if it exceeds that slack.
+            let mut gap = 0.0;
+            let mut dp_exposed: f64 = dp_times[0];
+            for s in 1..cfg.pp {
+                let hop = terms::t_pp_chain_hop(self.profiled, mapping, msg_pp, z, s - 1);
+                gap += 2.0 * stage_cost[s - 1] / 3.0 + hop / 2.0;
+                dp_exposed = dp_exposed.max(dp_times[s] - gap);
+            }
+            worst = worst.max(chain + dp_exposed);
+        }
+        worst + OPTIMIZER_STEP_S
+    }
+
+    /// Latency estimate for the *interleaved* 1F1B schedule with `v`
+    /// virtual stages per device — the same critical-path decomposition at
+    /// chunk granularity (an extension beyond the paper; see
+    /// `pipette_sim::interleaved`). Accuracy against the simulator is
+    /// ~±10 % at `v = 2` and degrades to ~±20 % for deeper interleaving
+    /// (the chunk-level overlap is only approximated).
+    ///
+    /// `compute` must be profiled at `pp · v` stage granularity
+    /// ([`pipette_sim::ComputeProfiler::profile_stages`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v < 2`, `compute` has the wrong stage count, the mapping
+    /// belongs to another configuration, or `pp` does not divide `n_mb`.
+    pub fn estimate_interleaved(
+        &self,
+        cfg: ParallelConfig,
+        mapping: &Mapping,
+        plan: MicrobatchPlan,
+        v: usize,
+        compute: &ProfiledCompute,
+    ) -> f64 {
+        assert!(v >= 2, "use estimate() for v = 1");
+        assert_eq!(mapping.config(), cfg, "mapping built for another configuration");
+        let s_total = cfg.pp * v;
+        assert_eq!(compute.num_stages(), s_total, "profiled stages mismatch");
+        assert!(plan.n_microbatches.is_multiple_of(cfg.pp as u64), "interleaving requires pp | n_mb");
+        let pp = cfg.pp as f64;
+        let msg_pp = messages::pp_message_bytes(self.gpt, plan.micro_batch);
+        let comm = pipette_sim::CommModel::new(self.profiled);
+        let tp_bytes = messages::tp_allreduce_bytes(self.gpt, plan.micro_batch);
+
+        // Per-device DP all-reduce (all chunks' gradients sync together).
+        let dp_times: Vec<f64> = (0..cfg.pp)
+            .map(|d| {
+                if cfg.dp < 2 {
+                    return 0.0;
+                }
+                let bytes: u64 = (0..v)
+                    .map(|c| messages::dp_gradient_bytes(self.gpt, s_total, cfg.tp, c * cfg.pp + d))
+                    .sum();
+                (0..cfg.tp)
+                    .map(|y| comm.hierarchical_allreduce(&mapping.data_group(d, y), bytes))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+
+        let mut worst = 0.0f64;
+        for z in 0..cfg.dp {
+            // Per-virtual-stage cost: profiled compute plus the device's
+            // tensor-parallel all-reduces for that chunk's layers.
+            let stage_cost: Vec<f64> = (0..s_total)
+                .map(|s| {
+                    let device = s % cfg.pp;
+                    let layers = self.gpt.layers_of_stage(s_total, s) as f64;
+                    let ar = comm.ring_allreduce(&mapping.tensor_group(device, z), tp_bytes);
+                    compute.compute(s)
+                        + messages::TP_ALLREDUCES_PER_LAYER as f64 * layers * ar
+                })
+                .collect();
+            // Per-device work per microbatch (all its chunks).
+            let device_work: Vec<f64> = (0..cfg.pp)
+                .map(|d| (0..v).map(|c| stage_cost[c * cfg.pp + d]).sum())
+                .collect();
+            let w_max = device_work.iter().cloned().fold(0.0, f64::max);
+            let sum: f64 = stage_cost.iter().sum();
+
+            // Chain communication: every hop between consecutive virtual
+            // stages that crosses devices (including the wrap-around).
+            let mut t_pp = 0.0;
+            for s in 0..(s_total - 1) {
+                let (da, db) = (s % cfg.pp, (s + 1) % cfg.pp);
+                if da == db {
+                    continue;
+                }
+                let mut hop: f64 = 0.0;
+                for y in 0..cfg.tp {
+                    let a = mapping
+                        .gpu_of(pipette_model::WorkerId { stage: da, tensor: y, data: z });
+                    let b = mapping
+                        .gpu_of(pipette_model::WorkerId { stage: db, tensor: y, data: z });
+                    hop = hop.max(comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp));
+                }
+                t_pp += hop;
+            }
+
+            // Same decomposition as the non-interleaved model, at device
+            // granularity. The interleaved warm-up lets the first device
+            // run `(pp·(v+1) − 1)/v` microbatches ahead (its warm-up of
+            // `2(pp−1) + (v−1)·pp` chunk-items, `v` items per microbatch),
+            // so the hidden-path loop closes every `window` microbatches
+            // and each closure charges whatever the full-chain round trip
+            // exceeds the work that window provides.
+            let window = ((pp * (v as f64 + 1.0)) - 1.0) / v as f64;
+            let loops = (plan.n_microbatches as f64 / window - 1.0).max(0.0);
+            let loop_excess = (sum + t_pp - window * w_max).max(0.0);
+            let mean_chunk = sum / s_total as f64;
+            let chain = plan.n_microbatches as f64 * w_max
+                + (pp - 1.0) * mean_chunk
+                + t_pp
+                + loops * loop_excess;
+
+            let mut gap = 0.0;
+            let mut dp_exposed: f64 = dp_times[0];
+            for d in 1..cfg.pp {
+                gap += 2.0 * device_work[d - 1] / (3.0 * v as f64);
+                dp_exposed = dp_exposed.max(dp_times[d] - gap);
+            }
+            worst = worst.max(chain + dp_exposed);
+        }
+        worst + OPTIMIZER_STEP_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::presets;
+    use pipette_sim::{ComputeProfiler, IterationSim};
+
+    fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+        (presets::mid_range(2).build(21), GptConfig::new(8, 1024, 16, 2048, 51200))
+    }
+
+    fn estimate_and_truth(
+        cluster: &pipette_cluster::Cluster,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        micro: u64,
+        mini: u64,
+    ) -> (f64, f64) {
+        let mapping = Mapping::identity(cfg, *cluster.topology());
+        let plan = MicrobatchPlan::new(mini, micro).unwrap();
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
+        let compute = ComputeProfiler::default()
+            .profile(cluster.bandwidth(), &gpu, gpt, cfg, plan, 4);
+        let est = PipetteLatencyModel::new(&profiled, gpt)
+            .estimate(cfg, &mapping, plan, &compute);
+        let truth = IterationSim::new(cluster.bandwidth(), &gpu, gpt)
+            .simulate(cfg, &mapping, plan)
+            .total_seconds;
+        (est, truth)
+    }
+
+    #[test]
+    fn estimate_tracks_simulation_within_reason() {
+        let (cluster, gpt) = setup();
+        for (cfg, micro) in [
+            (ParallelConfig::new(2, 4, 2), 2),
+            (ParallelConfig::new(4, 4, 1), 2),
+            (ParallelConfig::new(2, 8, 1), 4),
+            (ParallelConfig::new(1, 8, 2), 2),
+        ] {
+            let (est, truth) = estimate_and_truth(&cluster, &gpt, cfg, micro, 32);
+            let err = (est - truth).abs() / truth;
+            assert!(err < 0.25, "{cfg}: est {est:.3}s vs sim {truth:.3}s (err {err:.2})");
+        }
+    }
+
+    #[test]
+    fn estimate_scales_with_microbatches() {
+        let (cluster, gpt) = setup();
+        let (e16, _) = estimate_and_truth(&cluster, &gpt, ParallelConfig::new(2, 4, 2), 2, 16);
+        let (e64, _) = estimate_and_truth(&cluster, &gpt, ParallelConfig::new(2, 4, 2), 2, 64);
+        assert!(e64 > 3.0 * e16);
+    }
+
+    #[test]
+    fn interleaved_estimate_tracks_interleaved_simulation() {
+        use pipette_sim::TrainingOptions;
+        let cluster = presets::mid_range(4).build(27);
+        let gpt = GptConfig::new(16, 2048, 16, 2048, 51200);
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        for (cfg, v, micro) in [
+            (ParallelConfig::new(4, 8, 1), 2usize, 1u64),
+            (ParallelConfig::new(4, 4, 2), 2, 2),
+            (ParallelConfig::new(2, 8, 2), 4, 1),
+        ] {
+            let mini = 64 / cfg.dp as u64;
+            let plan = MicrobatchPlan::new(mini, micro).unwrap();
+            let mapping = Mapping::identity(cfg, *cluster.topology());
+            let compute = ComputeProfiler::default().profile_stages(
+                cluster.bandwidth(),
+                &gpu,
+                &gpt,
+                cfg.pp * v,
+                cfg.tp,
+                plan,
+                9,
+            );
+            let est = model.estimate_interleaved(cfg, &mapping, plan, v, &compute);
+            let truth = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+                .with_options(TrainingOptions::new().with_interleaving(v))
+                .simulate(cfg, &mapping, plan)
+                .total_seconds;
+            let err = (est - truth).abs() / truth;
+            let tolerance = if v <= 2 { 0.12 } else { 0.20 };
+            assert!(
+                err < tolerance,
+                "{cfg} v={v} micro={micro}: est {est:.3} vs sim {truth:.3} ({err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_sensitivity_matches_direction() {
+        // The estimator must prefer the same mapping the simulator prefers,
+        // otherwise SA would optimize the wrong thing.
+        let (cluster, gpt) = setup();
+        let cfg = ParallelConfig::new(2, 8, 1);
+        let plan = MicrobatchPlan::new(64, 2).unwrap();
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
+        let compute = ComputeProfiler::default()
+            .profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 4);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        let sim = IterationSim::new(cluster.bandwidth(), &gpu, &gpt);
+
+        let identity = Mapping::identity(cfg, *cluster.topology());
+        let mut rev_assign: Vec<_> = cluster.topology().gpus().collect();
+        rev_assign.reverse();
+        // Keep tensor ranks in ascending order within each node.
+        for chunk in rev_assign.chunks_mut(8) {
+            chunk.reverse();
+        }
+        let reversed = Mapping::from_assignment(cfg, rev_assign);
+
+        let e_id = model.estimate(cfg, &identity, plan, &compute);
+        let e_rev = model.estimate(cfg, &reversed, plan, &compute);
+        let s_id = sim.simulate(cfg, &identity, plan).total_seconds;
+        let s_rev = sim.simulate(cfg, &reversed, plan).total_seconds;
+        // Same preference direction (or both essentially equal).
+        if (s_id - s_rev).abs() / s_id > 0.01 {
+            assert_eq!(e_id < e_rev, s_id < s_rev, "estimator disagrees with simulator");
+        }
+    }
+}

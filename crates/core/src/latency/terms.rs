@@ -1,0 +1,183 @@
+//! The individual communication terms of the latency model (Eqs. 5–6).
+
+use pipette_cluster::BandwidthMatrix;
+use pipette_model::{messages, GptConfig, WorkerId};
+use pipette_sim::{CommModel, Mapping};
+
+/// Eq. 5 — pipeline-parallel communication on the critical path for one
+/// data replica `z`: the slowest tensor rank of each hop, summed along the
+/// chain, doubled for forward+backward.
+pub fn t_pp_chain(matrix: &BandwidthMatrix, mapping: &Mapping, msg_pp: u64, z: usize) -> f64 {
+    let cfg = mapping.config();
+    let comm = CommModel::new(matrix);
+    let mut total = 0.0;
+    for x in 0..cfg.pp.saturating_sub(1) {
+        let mut hop: f64 = 0.0;
+        for y in 0..cfg.tp {
+            let a = mapping.gpu_of(WorkerId { stage: x, tensor: y, data: z });
+            let b = mapping.gpu_of(WorkerId { stage: x + 1, tensor: y, data: z });
+            hop = hop.max(comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp));
+        }
+        total += hop;
+    }
+    total
+}
+
+/// One hop of Eq. 5's chain: the round-trip transfer time between stages
+/// `x` and `x + 1` of replica `z` (slowest tensor rank).
+pub fn t_pp_chain_hop(
+    matrix: &BandwidthMatrix,
+    mapping: &Mapping,
+    msg_pp: u64,
+    z: usize,
+    x: usize,
+) -> f64 {
+    let cfg = mapping.config();
+    assert!(x + 1 < cfg.pp, "hop {x} out of range");
+    let comm = CommModel::new(matrix);
+    let mut hop: f64 = 0.0;
+    for y in 0..cfg.tp {
+        let a = mapping.gpu_of(WorkerId { stage: x, tensor: y, data: z });
+        let b = mapping.gpu_of(WorkerId { stage: x + 1, tensor: y, data: z });
+        hop = hop.max(comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp));
+    }
+    hop
+}
+
+/// Eq. 5's outer `max` — the slowest end-to-end pipeline over all replicas.
+pub fn t_pp(matrix: &BandwidthMatrix, mapping: &Mapping, msg_pp: u64) -> f64 {
+    let cfg = mapping.config();
+    (0..cfg.dp)
+        .map(|z| t_pp_chain(matrix, mapping, msg_pp, z))
+        .fold(0.0, f64::max)
+}
+
+/// Data-parallel all-reduce time of one pipeline stage: hierarchical ring
+/// over each tensor rank's replica group, the slowest rank dominating.
+pub fn t_dp_stage(matrix: &BandwidthMatrix, mapping: &Mapping, gpt: &GptConfig, stage: usize) -> f64 {
+    let cfg = mapping.config();
+    if cfg.dp < 2 {
+        return 0.0;
+    }
+    let comm = CommModel::new(matrix);
+    let bytes = messages::dp_gradient_bytes(gpt, cfg.pp, cfg.tp, stage);
+    (0..cfg.tp)
+        .map(|y| comm.hierarchical_allreduce(&mapping.data_group(stage, y), bytes))
+        .fold(0.0, f64::max)
+}
+
+/// Eq. 6 — data-parallel all-reduce of the *first* pipeline stage, which
+/// is usually the only stage whose DP communication lies on the critical
+/// path (Fig. 4): it finishes its final backward last and carries the
+/// embedding gradients.
+pub fn t_dp_first_stage(matrix: &BandwidthMatrix, mapping: &Mapping, gpt: &GptConfig) -> f64 {
+    t_dp_stage(matrix, mapping, gpt, 0)
+}
+
+/// Tensor-parallel all-reduce time for one microbatch on stage `stage` of
+/// replica `z`: four all-reduces per layer (two forward, two backward)
+/// over the group's slowest link, from the profiled matrix.
+pub fn t_tp_stage(
+    matrix: &BandwidthMatrix,
+    mapping: &Mapping,
+    gpt: &GptConfig,
+    micro_batch: u64,
+    stage: usize,
+    z: usize,
+) -> f64 {
+    let cfg = mapping.config();
+    if cfg.tp < 2 {
+        return 0.0;
+    }
+    let comm = CommModel::new(matrix);
+    let bytes = messages::tp_allreduce_bytes(gpt, micro_batch);
+    let layers = gpt.layers_of_stage(cfg.pp, stage) as f64;
+    messages::TP_ALLREDUCES_PER_LAYER as f64
+        * layers
+        * comm.ring_allreduce(&mapping.tensor_group(stage, z), bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::{presets, ClusterTopology, GpuId};
+    use pipette_model::ParallelConfig;
+
+    fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+        (presets::mid_range(4).build(11), GptConfig::new(8, 1024, 16, 2048, 51200))
+    }
+
+    #[test]
+    fn t_pp_zero_for_single_stage() {
+        let (c, _) = setup();
+        let cfg = ParallelConfig::new(1, 8, 4);
+        let m = Mapping::identity(cfg, *c.topology());
+        assert_eq!(t_pp(c.bandwidth(), &m, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn t_pp_grows_with_message_size() {
+        let (c, _) = setup();
+        let cfg = ParallelConfig::new(4, 8, 1);
+        let m = Mapping::identity(cfg, *c.topology());
+        let small = t_pp(c.bandwidth(), &m, 1 << 20);
+        let big = t_pp(c.bandwidth(), &m, 1 << 24);
+        assert!(big > 10.0 * small);
+    }
+
+    #[test]
+    fn t_pp_is_max_over_chains() {
+        let (c, _) = setup();
+        let cfg = ParallelConfig::new(2, 8, 2);
+        let m = Mapping::identity(cfg, *c.topology());
+        let full = t_pp(c.bandwidth(), &m, 1 << 22);
+        let per_chain: Vec<f64> =
+            (0..2).map(|z| t_pp_chain(c.bandwidth(), &m, 1 << 22, z)).collect();
+        assert_eq!(full, per_chain.iter().cloned().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn t_dp_zero_without_replicas() {
+        let (c, gpt) = setup();
+        let cfg = ParallelConfig::new(4, 8, 1);
+        let m = Mapping::identity(cfg, *c.topology());
+        assert_eq!(t_dp_first_stage(c.bandwidth(), &m, &gpt), 0.0);
+    }
+
+    #[test]
+    fn t_dp_positive_with_replicas() {
+        let (c, gpt) = setup();
+        let cfg = ParallelConfig::new(2, 8, 2);
+        let m = Mapping::identity(cfg, *c.topology());
+        assert!(t_dp_first_stage(c.bandwidth(), &m, &gpt) > 0.0);
+    }
+
+    #[test]
+    fn t_tp_zero_without_tensor_parallelism() {
+        let (c, gpt) = setup();
+        let cfg = ParallelConfig::new(4, 1, 8);
+        let m = Mapping::identity(cfg, *c.topology());
+        assert_eq!(t_tp_stage(c.bandwidth(), &m, &gpt, 2, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn mapping_changes_t_pp() {
+        // A homogeneous-intra cluster with one slowed inter-node link: a
+        // mapping that routes the pipeline over the slow link is worse.
+        let (c, _) = setup();
+        let cfg = ParallelConfig::new(4, 8, 1);
+        let identity = Mapping::identity(cfg, *c.topology());
+        let t_id = t_pp(c.bandwidth(), &identity, 1 << 24);
+        // Reorder nodes: 0,2,1,3.
+        let topo: ClusterTopology = *c.topology();
+        let mut assign = Vec::new();
+        for node in [0usize, 2, 1, 3] {
+            for r in 0..8 {
+                assign.push(topo.gpu(node, r));
+            }
+        }
+        let reordered = Mapping::from_assignment(cfg, assign.into_iter().map(|g| GpuId(g.0)).collect());
+        let t_re = t_pp(c.bandwidth(), &reordered, 1 << 24);
+        assert_ne!(t_id, t_re);
+    }
+}

@@ -1,0 +1,383 @@
+//! Simulated annealing over worker mappings (§IV).
+//!
+//! Classic SA with the paper's parameters: geometric cooling with
+//! α = 0.999, a wall-clock budget (the paper uses 10 s per configuration),
+//! and the migration/swap/reverse move set. The mapping problem is
+//! analogous to NoC core mapping [17, 18], for which SA is the standard
+//! tool.
+
+use crate::mapping::moves::Move;
+use pipette_sim::Mapping;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Annealer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealerConfig {
+    /// Maximum number of iterations (objective evaluations).
+    pub iterations: usize,
+    /// Optional wall-clock budget; the paper uses 10 seconds.
+    pub time_limit: Option<Duration>,
+    /// Geometric cooling coefficient (paper: 0.999).
+    pub alpha: f64,
+    /// Initial temperature as a fraction of the initial cost.
+    pub initial_temp_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Restrict the move set (ablation): allow the migration move.
+    pub enable_migration: bool,
+    /// Allow the swap move.
+    pub enable_swap: bool,
+    /// Allow the reverse move.
+    pub enable_reverse: bool,
+}
+
+impl Default for AnnealerConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 20_000,
+            time_limit: None,
+            alpha: 0.999,
+            initial_temp_fraction: 0.05,
+            seed: 0,
+            enable_migration: true,
+            enable_swap: true,
+            enable_reverse: true,
+        }
+    }
+}
+
+impl AnnealerConfig {
+    /// The paper's configuration: 10-second budget, α = 0.999.
+    pub fn paper() -> Self {
+        Self { time_limit: Some(Duration::from_secs(10)), iterations: usize::MAX, ..Self::default() }
+    }
+
+    /// A tiny budget for unit tests.
+    pub fn fast_test() -> Self {
+        Self { iterations: 1_500, ..Self::default() }
+    }
+}
+
+/// Statistics of one annealing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealStats {
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+    /// Accepted moves (including uphill acceptances).
+    pub accepted: usize,
+    /// Moves that strictly improved the best cost.
+    pub improvements: usize,
+    /// Cost of the initial mapping.
+    pub initial_cost: f64,
+    /// Cost of the best mapping found.
+    pub best_cost: f64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl AnnealStats {
+    /// Relative improvement over the initial mapping, in `[0, 1)`.
+    pub fn improvement(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.best_cost / self.initial_cost
+    }
+}
+
+/// Simulated-annealing searcher over mappings.
+///
+/// ```
+/// use pipette::mapping::{Annealer, AnnealerConfig};
+/// use pipette_cluster::ClusterTopology;
+/// use pipette_model::ParallelConfig;
+/// use pipette_sim::Mapping;
+///
+/// let cfg = ParallelConfig::new(4, 2, 2);
+/// let identity = Mapping::identity(cfg, ClusterTopology::new(4, 4));
+/// // Toy objective: prefer GPU 0 to host the *last* worker.
+/// let objective = |m: &Mapping| m.as_slice().iter().position(|g| g.0 == 0).unwrap() as f64;
+/// let annealer = Annealer::new(AnnealerConfig { iterations: 2_000, ..Default::default() });
+/// let (best, cost, stats) = annealer.anneal(&identity, objective);
+/// assert!(cost <= stats.initial_cost);
+/// assert!(best.is_permutation());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Annealer {
+    config: AnnealerConfig,
+}
+
+impl Annealer {
+    /// Creates an annealer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1)` or every move is disabled.
+    pub fn new(config: AnnealerConfig) -> Self {
+        assert!(config.alpha > 0.0 && config.alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(
+            config.enable_migration || config.enable_swap || config.enable_reverse,
+            "at least one move kind must be enabled"
+        );
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> AnnealerConfig {
+        self.config
+    }
+
+    /// Minimizes `objective` starting from `initial`, moving blocks of
+    /// `tp` consecutive workers (tensor groups) as units.
+    ///
+    /// Returns the best mapping found, its cost, and run statistics. The
+    /// initial mapping is always a candidate, so the result is never worse
+    /// than the input.
+    pub fn anneal<F>(&self, initial: &Mapping, objective: F) -> (Mapping, f64, AnnealStats)
+    where
+        F: Fn(&Mapping) -> f64,
+    {
+        let start = Instant::now();
+        let block = initial.config().tp.max(1);
+        let num_blocks = initial.as_slice().len() / block;
+        let initial_cost = objective(initial);
+
+        let mut stats = AnnealStats {
+            evaluations: 1,
+            accepted: 0,
+            improvements: 0,
+            initial_cost,
+            best_cost: initial_cost,
+            elapsed: Duration::ZERO,
+        };
+
+        if num_blocks < 2 {
+            stats.elapsed = start.elapsed();
+            return (initial.clone(), initial_cost, stats);
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut current = initial.clone();
+        let mut current_cost = initial_cost;
+        let mut best = initial.clone();
+        let mut best_cost = initial_cost;
+        let mut temp = initial_cost * self.config.initial_temp_fraction;
+
+        for _ in 0..self.config.iterations {
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() >= limit {
+                    break;
+                }
+            }
+            let mv = self.sample_move(&mut rng, num_blocks);
+            let mut candidate = current.clone();
+            mv.apply(candidate.as_mut_slice(), block);
+            let cost = objective(&candidate);
+            stats.evaluations += 1;
+            let delta = cost - current_cost;
+            let accept = delta <= 0.0
+                || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+            if accept {
+                current = candidate;
+                current_cost = cost;
+                stats.accepted += 1;
+                if cost < best_cost {
+                    best = current.clone();
+                    best_cost = cost;
+                    stats.improvements += 1;
+                }
+            }
+            temp *= self.config.alpha;
+        }
+
+        stats.best_cost = best_cost;
+        stats.elapsed = start.elapsed();
+        (best, best_cost, stats)
+    }
+
+    fn sample_move<R: Rng + ?Sized>(&self, rng: &mut R, num_blocks: usize) -> Move {
+        loop {
+            let mv = Move::random(rng, num_blocks);
+            let ok = match mv {
+                Move::Migration { .. } => self.config.enable_migration,
+                Move::Swap { .. } => self.config.enable_swap,
+                Move::Reverse { .. } => self.config.enable_reverse,
+            };
+            if ok {
+                return mv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::ClusterTopology;
+    use pipette_model::ParallelConfig;
+
+    /// Toy objective: prefer the GPU ids to be in a target permutation by
+    /// penalizing displacement.
+    fn displacement_cost(target: &[usize]) -> impl Fn(&Mapping) -> f64 + '_ {
+        move |m: &Mapping| {
+            m.as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    let want = target[i] as f64;
+                    (g.0 as f64 - want).abs()
+                })
+                .sum()
+        }
+    }
+
+    fn setup(pp: usize, tp: usize, dp: usize) -> Mapping {
+        let cfg = ParallelConfig::new(pp, tp, dp);
+        let topo = ClusterTopology::new(cfg.num_workers() / 4, 4);
+        Mapping::identity(cfg, topo)
+    }
+
+    #[test]
+    fn finds_a_block_permutation_target() {
+        // Target: blocks in reverse order. Reachable by block moves alone.
+        let initial = setup(4, 2, 2); // 16 workers, block = 2
+        let mut target: Vec<usize> = (0..16).collect();
+        for c in target.chunks_mut(2) {
+            c.reverse();
+        }
+        target.reverse();
+        for c in target.chunks_mut(2) {
+            c.reverse();
+        }
+        // target is now block-reversed identity.
+        let objective = displacement_cost(&target);
+        let annealer = Annealer::new(AnnealerConfig { iterations: 8_000, seed: 3, ..Default::default() });
+        let (best, cost, stats) = annealer.anneal(&initial, objective);
+        assert!(cost < stats.initial_cost, "must improve: {stats:?}");
+        assert!(best.is_permutation());
+        assert_eq!(cost, stats.best_cost);
+    }
+
+    #[test]
+    fn never_returns_worse_than_initial() {
+        let initial = setup(2, 2, 2);
+        // Adversarial objective that prefers the identity.
+        let objective = |m: &Mapping| {
+            m.as_slice().iter().enumerate().map(|(i, g)| (g.0 as f64 - i as f64).powi(2)).sum()
+        };
+        let annealer = Annealer::new(AnnealerConfig { iterations: 500, seed: 1, ..Default::default() });
+        let (_, cost, stats) = annealer.anneal(&initial, objective);
+        assert_eq!(cost, 0.0);
+        assert_eq!(stats.initial_cost, 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let initial = setup(4, 2, 2);
+        let target: Vec<usize> = (0..16).rev().collect();
+        let cfg = AnnealerConfig { iterations: 2_000, seed: 9, ..Default::default() };
+        let a = Annealer::new(cfg).anneal(&initial, displacement_cost(&target));
+        let b = Annealer::new(cfg).anneal(&initial, displacement_cost(&target));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn respects_time_limit() {
+        let initial = setup(4, 2, 2);
+        let cfg = AnnealerConfig {
+            iterations: usize::MAX,
+            time_limit: Some(Duration::from_millis(50)),
+            seed: 2,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let _ = Annealer::new(cfg).anneal(&initial, |m| m.as_slice()[0].0 as f64);
+        assert!(start.elapsed() < Duration::from_secs(3));
+    }
+
+    #[test]
+    fn single_block_returns_immediately() {
+        let cfg = ParallelConfig::new(1, 4, 1);
+        let topo = ClusterTopology::new(1, 4);
+        let m = Mapping::identity(cfg, topo);
+        let (best, cost, stats) = Annealer::new(AnnealerConfig::default())
+            .anneal(&m, |_| 42.0);
+        assert_eq!(best, m);
+        assert_eq!(cost, 42.0);
+        assert_eq!(stats.evaluations, 1);
+    }
+
+    #[test]
+    fn move_ablation_still_works() {
+        let initial = setup(4, 2, 2);
+        let target: Vec<usize> = (0..16).rev().collect();
+        for (mig, swap, rev) in [(true, false, false), (false, true, false), (false, false, true)] {
+            let cfg = AnnealerConfig {
+                iterations: 3_000,
+                seed: 5,
+                enable_migration: mig,
+                enable_swap: swap,
+                enable_reverse: rev,
+                ..Default::default()
+            };
+            let (_, cost, stats) = Annealer::new(cfg).anneal(&initial, displacement_cost(&target));
+            assert!(cost <= stats.initial_cost);
+        }
+    }
+
+    #[test]
+    fn high_temperature_accepts_uphill_moves() {
+        // With a huge initial temperature nearly every move is accepted;
+        // with zero temperature only improvements are.
+        let initial = setup(4, 2, 2);
+        let target: Vec<usize> = (0..16).rev().collect();
+        let hot = Annealer::new(AnnealerConfig {
+            iterations: 1_000,
+            seed: 4,
+            initial_temp_fraction: 100.0,
+            alpha: 0.9999,
+            ..Default::default()
+        });
+        let cold = Annealer::new(AnnealerConfig {
+            iterations: 1_000,
+            seed: 4,
+            initial_temp_fraction: 1e-12,
+            ..Default::default()
+        });
+        let (_, _, hot_stats) = hot.anneal(&initial, displacement_cost(&target));
+        let (_, _, cold_stats) = cold.anneal(&initial, displacement_cost(&target));
+        assert!(
+            hot_stats.accepted > 2 * cold_stats.accepted,
+            "hot {} vs cold {}",
+            hot_stats.accepted,
+            cold_stats.accepted
+        );
+        // Cold SA is pure descent: accepted == improvements-ish (every
+        // accepted move is non-worsening).
+        assert!(cold_stats.accepted >= cold_stats.improvements);
+    }
+
+    #[test]
+    fn stats_account_for_evaluations() {
+        let initial = setup(2, 2, 2);
+        let cfg = AnnealerConfig { iterations: 123, seed: 8, ..Default::default() };
+        let (_, _, stats) = Annealer::new(cfg).anneal(&initial, |m| m.as_slice()[0].0 as f64);
+        assert_eq!(stats.evaluations, 124); // initial + iterations
+        assert!(stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one move")]
+    fn all_moves_disabled_rejected() {
+        Annealer::new(AnnealerConfig {
+            enable_migration: false,
+            enable_swap: false,
+            enable_reverse: false,
+            ..Default::default()
+        });
+    }
+}

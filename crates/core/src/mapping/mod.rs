@@ -1,0 +1,15 @@
+//! Fine-grained worker dedication (§IV): simulated annealing over the
+//! logical-worker → GPU mapping.
+//!
+//! The mapping type itself lives in `pipette-sim` (both the simulator and
+//! the estimator consume it); this module contributes the search — the
+//! three SA moves (*migration*, *swap*, *reverse*) and the annealer with
+//! the paper's temperature schedule (α = 0.999).
+
+mod annealer;
+mod moves;
+mod search;
+
+pub use annealer::{AnnealStats, Annealer, AnnealerConfig};
+pub use moves::Move;
+pub use search::{greedy_swap, random_search};

@@ -1,0 +1,163 @@
+//! Alternative mapping-search strategies, for comparing against the
+//! paper's simulated annealing.
+//!
+//! * [`random_search`] — sample uniformly random block permutations and
+//!   keep the best; the "is SA even doing anything" control.
+//! * [`greedy_swap`] — steepest-descent over the swap neighbourhood;
+//!   fast, deterministic, but stops at the first local optimum.
+//!
+//! Both respect the same tensor-group block granularity as the annealer.
+
+use crate::mapping::moves::Move;
+use pipette_sim::Mapping;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `budget` random block permutations of `initial` and returns
+/// the best (including `initial` itself).
+pub fn random_search<F>(initial: &Mapping, objective: F, budget: usize, seed: u64) -> (Mapping, f64)
+where
+    F: Fn(&Mapping) -> f64,
+{
+    let block = initial.config().tp.max(1);
+    let num_blocks = initial.as_slice().len() / block;
+    let mut best = initial.clone();
+    let mut best_cost = objective(initial);
+    if num_blocks < 2 {
+        return (best, best_cost);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..budget {
+        let mut candidate = initial.clone();
+        // Fisher-Yates over blocks.
+        let slice = candidate.as_mut_slice();
+        for i in (1..num_blocks).rev() {
+            let j = rng.gen_range(0..=i);
+            if i != j {
+                Move::Swap { a: i, b: j }.apply(slice, block);
+            }
+        }
+        let cost = objective(&candidate);
+        if cost < best_cost {
+            best = candidate;
+            best_cost = cost;
+        }
+    }
+    (best, best_cost)
+}
+
+/// Steepest-descent over block swaps: repeatedly applies the best
+/// improving swap until none exists or `max_rounds` passes complete.
+/// Evaluates `O(num_blocks²)` candidates per round.
+pub fn greedy_swap<F>(initial: &Mapping, objective: F, max_rounds: usize) -> (Mapping, f64)
+where
+    F: Fn(&Mapping) -> f64,
+{
+    let block = initial.config().tp.max(1);
+    let num_blocks = initial.as_slice().len() / block;
+    let mut current = initial.clone();
+    let mut current_cost = objective(initial);
+    if num_blocks < 2 {
+        return (current, current_cost);
+    }
+    for _ in 0..max_rounds {
+        let mut best_move: Option<(usize, usize)> = None;
+        let mut best_cost = current_cost;
+        for a in 0..num_blocks {
+            for b in (a + 1)..num_blocks {
+                let mut candidate = current.clone();
+                Move::Swap { a, b }.apply(candidate.as_mut_slice(), block);
+                let cost = objective(&candidate);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_move = Some((a, b));
+                }
+            }
+        }
+        match best_move {
+            Some((a, b)) => {
+                Move::Swap { a, b }.apply(current.as_mut_slice(), block);
+                current_cost = best_cost;
+            }
+            None => break,
+        }
+    }
+    (current, current_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Annealer, AnnealerConfig};
+    use pipette_cluster::ClusterTopology;
+    use pipette_model::ParallelConfig;
+
+    fn setup() -> Mapping {
+        let cfg = ParallelConfig::new(4, 2, 2);
+        Mapping::identity(cfg, ClusterTopology::new(4, 4))
+    }
+
+    /// Prefer block order reversed.
+    fn reversal_cost(m: &Mapping) -> f64 {
+        let n = m.as_slice().len();
+        m.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let want = (n - 1 - (i / 2) * 2 - (1 - i % 2)) as f64;
+                (g.0 as f64 - want).abs()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn random_search_improves_and_preserves_permutation() {
+        let initial = setup();
+        let (best, cost) = random_search(&initial, reversal_cost, 300, 3);
+        assert!(cost < reversal_cost(&initial));
+        assert!(best.is_permutation());
+    }
+
+    #[test]
+    fn greedy_swap_reaches_a_local_optimum() {
+        let initial = setup();
+        let (best, cost) = greedy_swap(&initial, reversal_cost, 50);
+        assert!(cost <= reversal_cost(&initial));
+        assert!(best.is_permutation());
+        // No single swap improves further.
+        let block = 2;
+        let nb = best.as_slice().len() / block;
+        for a in 0..nb {
+            for b in (a + 1)..nb {
+                let mut cand = best.clone();
+                Move::Swap { a, b }.apply(cand.as_mut_slice(), block);
+                assert!(reversal_cost(&cand) >= cost - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn annealer_matches_or_beats_random_search_at_equal_budget() {
+        let initial = setup();
+        let budget = 2_000;
+        let (_, random_cost) = random_search(&initial, reversal_cost, budget, 7);
+        let sa = Annealer::new(AnnealerConfig { iterations: budget, seed: 7, ..Default::default() });
+        let (_, sa_cost, _) = sa.anneal(&initial, reversal_cost);
+        assert!(
+            sa_cost <= random_cost,
+            "SA {sa_cost} should beat random search {random_cost} at equal budget"
+        );
+    }
+
+    #[test]
+    fn single_block_degenerates_gracefully() {
+        let cfg = ParallelConfig::new(1, 4, 1);
+        let m = Mapping::identity(cfg, ClusterTopology::new(1, 4));
+        let (a, ca) = random_search(&m, |_| 1.0, 10, 0);
+        let (b, cb) = greedy_swap(&m, |_| 1.0, 10);
+        assert_eq!(a, m);
+        assert_eq!(b, m);
+        assert_eq!(ca, 1.0);
+        assert_eq!(cb, 1.0);
+    }
+}

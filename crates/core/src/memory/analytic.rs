@@ -1,0 +1,90 @@
+//! The analytic memory baseline (\[20\] in the paper).
+//!
+//! "A common way to estimate the memory requirement is by dividing the
+//! model size by the number of stages and tensor-parallel ways and then
+//! approximating the activation size by considering the layer structures."
+//! It counts model state plus the activations of *one* microbatch — it is
+//! blind to the 1F1B in-flight multiplicity and to every framework/library
+//! overhead, which is why it "underestimates the maximum memory usage"
+//! (Fig. 7).
+
+use pipette_model::{memory, GptConfig, MicrobatchPlan, ParallelConfig};
+
+/// Stateless analytic estimator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyticMemoryEstimator;
+
+impl AnalyticMemoryEstimator {
+    /// Creates the estimator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Estimated peak bytes per GPU for `stage`.
+    pub fn stage_bytes(
+        &self,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        plan: MicrobatchPlan,
+        stage: usize,
+    ) -> u64 {
+        let layers = gpt.layers_of_stage(cfg.pp, stage) as u64;
+        memory::model_state_bytes(gpt, cfg.pp, cfg.tp, stage)
+            + layers * memory::activation_bytes_per_layer(gpt, plan.micro_batch, cfg.tp)
+    }
+
+    /// Estimated peak bytes per GPU (worst stage).
+    pub fn estimate_bytes(&self, gpt: &GptConfig, cfg: ParallelConfig, plan: MicrobatchPlan) -> u64 {
+        (0..cfg.pp)
+            .map(|s| self.stage_bytes(gpt, cfg, plan, s))
+            .max()
+            .expect("at least one stage")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_sim::MemorySim;
+
+    #[test]
+    fn underestimates_ground_truth() {
+        let gpt = GptConfig::gpt_3_1b();
+        let truth = MemorySim::new(1);
+        let analytic = AnalyticMemoryEstimator::new();
+        for (cfg, micro) in [
+            (ParallelConfig::new(8, 4, 4), 2u64),
+            (ParallelConfig::new(4, 8, 4), 4),
+            (ParallelConfig::new(2, 8, 8), 1),
+        ] {
+            let plan = MicrobatchPlan::new(32, micro).unwrap();
+            let t = truth.report(&gpt, cfg, plan).peak_bytes;
+            let e = analytic.estimate_bytes(&gpt, cfg, plan);
+            assert!(e < t, "{cfg}: analytic {e} must undershoot truth {t}");
+        }
+    }
+
+    #[test]
+    fn severe_underestimation_with_deep_pipelines() {
+        // With pp=8 the first stage holds 8 in-flight microbatches the
+        // baseline does not count: the error should be large (Fig. 7 shows
+        // ~60 % MAPE).
+        let gpt = GptConfig::gpt_3_1b();
+        let cfg = ParallelConfig::new(8, 4, 4);
+        let plan = MicrobatchPlan::new(32, 2).unwrap();
+        let t = MemorySim::new(1).report(&gpt, cfg, plan).peak_bytes as f64;
+        let e = AnalyticMemoryEstimator::new().estimate_bytes(&gpt, cfg, plan) as f64;
+        let err = (t - e) / t;
+        assert!(err > 0.4, "relative underestimation {err:.2} should be severe");
+    }
+
+    #[test]
+    fn monotone_in_microbatch() {
+        let gpt = GptConfig::gpt_1_1b();
+        let cfg = ParallelConfig::new(4, 4, 2);
+        let a = AnalyticMemoryEstimator::new();
+        let m1 = a.estimate_bytes(&gpt, cfg, MicrobatchPlan::new(32, 1).unwrap());
+        let m4 = a.estimate_bytes(&gpt, cfg, MicrobatchPlan::new(32, 4).unwrap());
+        assert!(m4 > m1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Memory estimation (§VI): the analytic baseline \[20\] and Pipette's
+//! learned MLP estimator, plus the sample-collection pipeline that feeds
+//! it.
+
+mod analytic;
+mod calibration;
+mod dataset;
+mod estimator;
+
+pub use analytic::AnalyticMemoryEstimator;
+pub use calibration::{calibrate, CalibrationReport};
+pub use dataset::{collect_samples, MemorySample, SampleSpec};
+pub use estimator::{MemoryEstimator, MemoryEstimatorConfig};

@@ -1,0 +1,227 @@
+//! The multi-layer perceptron: a stack of dense layers with ReLU between.
+
+use crate::layer::{Dense, DenseGrads};
+use crate::matrix::Matrix;
+use crate::optim::Adam;
+use crate::train::{TrainConfig, TrainReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network `in → hidden… → out` with ReLU on every layer
+/// except the last.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `&[10, 200, 200, 200,
+    /// 200, 1]` for the paper's five-layer/200-hidden memory estimator.
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = widths.len() - 1;
+        let layers = (0..n)
+            .map(|i| Dense::new(widths[i], widths[i + 1], i + 1 < n, &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// The architecture the paper specifies: five layers of 200 hidden
+    /// units mapping `in_dim` features to one output (Eq. 7).
+    pub fn paper_architecture(in_dim: usize, seed: u64) -> Self {
+        Self::new(&[in_dim, 200, 200, 200, 200, 1], seed)
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Forward pass for inference (no caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.infer(&h);
+        }
+        h
+    }
+
+    /// One forward+backward pass on a batch; returns the MSE loss and
+    /// applies gradients through `optimizers` (one per layer, weights then
+    /// bias interleaved by [`Self::fit`]).
+    fn train_step(&mut self, x: &Matrix, y: &Matrix, opt: &mut Adam) -> f64 {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h);
+        }
+        let n = (x.rows() * y.cols()) as f64;
+        let diff = h.zip(y, |p, t| p - t);
+        let loss = diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n;
+        let mut grad = diff.map(|d| 2.0 * d / n);
+        let mut layer_grads: Vec<DenseGrads> = Vec::with_capacity(self.layers.len());
+        for l in self.layers.iter_mut().rev() {
+            let (g_in, grads) = l.backward(&grad);
+            layer_grads.push(grads);
+            grad = g_in;
+        }
+        layer_grads.reverse();
+
+        // Flatten all parameter gradients in a fixed order and take one
+        // Adam step over the whole network.
+        let mut flat_params = Vec::with_capacity(self.num_params());
+        let mut flat_grads = Vec::with_capacity(self.num_params());
+        for (l, g) in self.layers.iter().zip(&layer_grads) {
+            flat_params.extend_from_slice(l.weights.as_slice());
+            flat_params.extend_from_slice(&l.bias);
+            flat_grads.extend_from_slice(g.weights.as_slice());
+            flat_grads.extend_from_slice(&g.bias);
+        }
+        opt.step(&mut flat_params, &flat_grads);
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wn = l.weights.rows() * l.weights.cols();
+            l.weights.as_mut_slice().copy_from_slice(&flat_params[off..off + wn]);
+            off += wn;
+            let bn = l.bias.len();
+            l.bias.copy_from_slice(&flat_params[off..off + bn]);
+            off += bn;
+        }
+        loss
+    }
+
+    /// Trains the network on `(x, y)` with minibatch Adam under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree on row count or widths mismatch the
+    /// network.
+    pub fn fit(&mut self, x: &Matrix, y: &Matrix, config: &TrainConfig) -> TrainReport {
+        assert_eq!(x.rows(), y.rows(), "x and y must have the same number of rows");
+        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut opt = Adam::new(self.num_params(), config.learning_rate);
+        let batch = config.batch_size.min(x.rows()).max(1);
+        let mut losses = Vec::new();
+        let mut last = f64::INFINITY;
+        for it in 0..config.iterations {
+            let (bx, by) = if batch == x.rows() {
+                (x.clone(), y.clone())
+            } else {
+                use rand::Rng;
+                let idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..x.rows())).collect();
+                (x.select_rows(&idx), y.select_rows(&idx))
+            };
+            last = self.train_step(&bx, &by, &mut opt);
+            if it % config.record_every == 0 {
+                losses.push(last);
+            }
+        }
+        TrainReport { iterations: config.iterations, final_loss: last, loss_curve: losses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architecture_shape() {
+        let mlp = Mlp::paper_architecture(10, 0);
+        assert_eq!(mlp.in_dim(), 10);
+        assert_eq!(mlp.out_dim(), 1);
+        // 5 weight matrices: 10*200 + 3*(200*200) + 200*1, plus biases.
+        assert_eq!(
+            mlp.num_params(),
+            10 * 200 + 200 + 3 * (200 * 200 + 200) + 200 + 1
+        );
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y = x.map(|v| 3.0 * v - 1.0);
+        let mut mlp = Mlp::new(&[1, 32, 1], 1);
+        let report = mlp.fit(
+            &x,
+            &y,
+            &TrainConfig { iterations: 3000, learning_rate: 0.01, ..TrainConfig::default() },
+        );
+        assert!(report.final_loss < 1e-2, "loss {}", report.final_loss);
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        // y = x0² + x1, needs the hidden layer.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64 / 5.0 - 1.0, (i / 10) as f64 / 5.0 - 1.0])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y_data: Vec<f64> = rows.iter().map(|r| r[0] * r[0] + r[1]).collect();
+        let y = Matrix::from_vec(100, 1, y_data);
+        let mut mlp = Mlp::new(&[2, 64, 64, 1], 3);
+        let report = mlp.fit(
+            &x,
+            &y,
+            &TrainConfig { iterations: 4000, learning_rate: 0.005, ..TrainConfig::default() },
+        );
+        assert!(report.final_loss < 5e-3, "loss {}", report.final_loss);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0]]);
+        let cfg = TrainConfig { iterations: 200, ..TrainConfig::default() };
+        let mut a = Mlp::new(&[1, 8, 1], 5);
+        let mut b = Mlp::new(&[1, 8, 1], 5);
+        let ra = a.fit(&x, &y, &cfg);
+        let rb = b.fit(&x, &y, &cfg);
+        assert_eq!(ra.final_loss, rb.final_loss);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loss_curve_descends() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[1.5]]);
+        let y = x.map(|v| 2.0 * v);
+        let mut mlp = Mlp::new(&[1, 16, 1], 9);
+        let report = mlp.fit(
+            &x,
+            &y,
+            &TrainConfig { iterations: 1000, record_every: 100, ..TrainConfig::default() },
+        );
+        assert!(report.loss_curve.first().unwrap() > report.loss_curve.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn predict_checks_width() {
+        Mlp::new(&[2, 4, 1], 0).predict(&Matrix::zeros(1, 3));
+    }
+}

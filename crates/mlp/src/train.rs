@@ -1,0 +1,64 @@
+//! Training configuration and reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`crate::Mlp::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of Adam steps (the paper trains for 50,000).
+    pub iterations: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Minibatch size (capped at the dataset size; full batch if larger).
+    pub batch_size: usize,
+    /// Record the loss every this many iterations.
+    pub record_every: usize,
+    /// RNG seed for minibatch sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 5_000,
+            learning_rate: 1e-3,
+            batch_size: 64,
+            record_every: 100,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's training protocol: 50,000 iterations.
+    pub fn paper() -> Self {
+        Self { iterations: 50_000, ..Self::default() }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Steps taken.
+    pub iterations: usize,
+    /// Loss of the last step.
+    pub final_loss: f64,
+    /// Sampled loss curve (every `record_every` steps).
+    pub loss_curve: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_protocol_is_50k() {
+        assert_eq!(TrainConfig::paper().iterations, 50_000);
+    }
+
+    #[test]
+    fn default_is_reasonable() {
+        let c = TrainConfig::default();
+        assert!(c.learning_rate > 0.0 && c.batch_size > 0 && c.record_every > 0);
+    }
+}

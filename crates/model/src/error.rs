@@ -1,0 +1,82 @@
+//! Error types for model-side configuration arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from invalid batch or parallel configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// `dp` does not divide the global batch.
+    IndivisibleBatch {
+        /// Global batch size.
+        global: u64,
+        /// Data-parallel degree.
+        dp: usize,
+    },
+    /// The microbatch size does not divide the minibatch.
+    IndivisibleMicrobatch {
+        /// Per-replica minibatch.
+        minibatch: u64,
+        /// Requested microbatch.
+        micro: u64,
+    },
+    /// `pp·tp·dp` does not equal the GPU count.
+    WorkerMismatch {
+        /// Logical workers in the configuration.
+        workers: usize,
+        /// Physical GPUs available.
+        gpus: usize,
+    },
+    /// Tensor parallelism wider than allowed (usually the node size).
+    TensorWaysTooLarge {
+        /// Requested tensor ways.
+        tp: usize,
+        /// Maximum allowed.
+        max_tp: usize,
+    },
+    /// More pipeline stages than transformer layers.
+    TooManyStages {
+        /// Requested stages.
+        pp: usize,
+        /// Available layers.
+        layers: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::IndivisibleBatch { global, dp } => {
+                write!(f, "data parallel degree {dp} does not divide global batch {global}")
+            }
+            ModelError::IndivisibleMicrobatch { minibatch, micro } => {
+                write!(f, "microbatch {micro} does not divide minibatch {minibatch}")
+            }
+            ModelError::WorkerMismatch { workers, gpus } => {
+                write!(f, "configuration has {workers} workers but cluster has {gpus} GPUs")
+            }
+            ModelError::TensorWaysTooLarge { tp, max_tp } => {
+                write!(f, "tensor parallel ways {tp} exceed the maximum {max_tp}")
+            }
+            ModelError::TooManyStages { pp, layers } => {
+                write!(f, "{pp} pipeline stages exceed the {layers} model layers")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ModelError::IndivisibleBatch { global: 100, dp: 3 };
+        assert!(e.to_string().contains("100"));
+        let e = ModelError::TensorWaysTooLarge { tp: 16, max_tp: 8 };
+        assert!(e.to_string().contains("16"));
+    }
+}

@@ -1,0 +1,96 @@
+//! FLOP counting for transformer training.
+//!
+//! These counts feed the compute term `C` (per-microbatch computation time)
+//! of both latency models. The constants follow the standard Megatron-LM
+//! accounting: a transformer layer performs `24 h²` matmul FLOPs per token
+//! in the forward pass plus `4 s h` for the attention score/value products,
+//! and the backward pass costs twice the forward.
+
+use crate::gpt::GptConfig;
+
+/// Forward FLOPs for one transformer layer over `tokens` tokens.
+pub fn layer_fwd_flops(cfg: &GptConfig, tokens: u64) -> f64 {
+    let h = cfg.hidden as f64;
+    let s = cfg.seq_len as f64;
+    tokens as f64 * (24.0 * h * h + 4.0 * s * h)
+}
+
+/// Backward FLOPs for one transformer layer over `tokens` tokens (2× fwd).
+pub fn layer_bwd_flops(cfg: &GptConfig, tokens: u64) -> f64 {
+    2.0 * layer_fwd_flops(cfg, tokens)
+}
+
+/// Forward FLOPs of the output-head projection (logits) over `tokens`.
+pub fn head_fwd_flops(cfg: &GptConfig, tokens: u64) -> f64 {
+    2.0 * tokens as f64 * cfg.hidden as f64 * cfg.vocab as f64
+}
+
+/// Forward FLOPs of pipeline stage `stage` for one microbatch of
+/// `micro_batch` samples.
+///
+/// The head projection is attributed to the last stage; the (cheap)
+/// embedding lookup is ignored.
+pub fn stage_fwd_flops(cfg: &GptConfig, pp: usize, stage: usize, micro_batch: u64) -> f64 {
+    let tokens = micro_batch * cfg.seq_len as u64;
+    let mut f = cfg.layers_of_stage(pp, stage) as f64 * layer_fwd_flops(cfg, tokens);
+    if stage == pp - 1 {
+        f += head_fwd_flops(cfg, tokens);
+    }
+    f
+}
+
+/// Backward FLOPs of pipeline stage `stage` for one microbatch (2× fwd).
+pub fn stage_bwd_flops(cfg: &GptConfig, pp: usize, stage: usize, micro_batch: u64) -> f64 {
+    2.0 * stage_fwd_flops(cfg, pp, stage, micro_batch)
+}
+
+/// Total training FLOPs for one iteration over `global_batch` samples,
+/// using the `6 · params · tokens` rule of thumb (fwd + bwd).
+pub fn iteration_flops(cfg: &GptConfig, global_batch: u64) -> f64 {
+    6.0 * cfg.num_params() as f64 * (global_batch * cfg.seq_len as u64) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let g = GptConfig::gpt_1_1b();
+        assert_eq!(layer_bwd_flops(&g, 100), 2.0 * layer_fwd_flops(&g, 100));
+        assert_eq!(stage_bwd_flops(&g, 4, 1, 2), 2.0 * stage_fwd_flops(&g, 4, 1, 2));
+    }
+
+    #[test]
+    fn stage_flops_sum_close_to_six_nd_rule() {
+        // Sum of fwd+bwd over stages should approximate 6 * N * T within the
+        // usual ~10-15 % (embeddings excluded from the per-stage count).
+        let g = GptConfig::gpt_3_1b();
+        let micro = 4u64;
+        let pp = 4;
+        let sum: f64 = (0..pp)
+            .map(|s| stage_fwd_flops(&g, pp, s, micro) + stage_bwd_flops(&g, pp, s, micro))
+            .sum();
+        let rule = 6.0 * g.num_params() as f64 * (micro * g.seq_len as u64) as f64;
+        let ratio = sum / rule;
+        assert!(ratio > 0.8 && ratio < 1.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn flops_scale_linearly_in_microbatch() {
+        let g = GptConfig::gpt_1_1b();
+        let f1 = stage_fwd_flops(&g, 2, 0, 1);
+        let f4 = stage_fwd_flops(&g, 2, 0, 4);
+        assert!((f4 / f1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_stage_carries_head() {
+        let g = GptConfig::new(8, 1024, 16, 2048, 51200);
+        // Same layer count per stage at pp=2; last stage adds the head.
+        let f0 = stage_fwd_flops(&g, 2, 0, 1);
+        let f1 = stage_fwd_flops(&g, 2, 1, 1);
+        assert!(f1 > f0);
+        assert!((f1 - f0 - head_fwd_flops(&g, 2048)).abs() < 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Communication message sizes for the three parallel dimensions.
+//!
+//! These are the `msg_PP` and `msg_DP` terms of Eqs. 5–6 and the payload of
+//! the per-microbatch tensor-parallel all-reduces.
+
+use crate::gpt::GptConfig;
+
+/// Bytes of an fp16 activation tensor for one microbatch
+/// (`micro · seq · hidden · 2`). This is the pipeline-parallel message
+/// (`msg_PP`) sent between adjacent stages per microbatch per direction.
+pub fn pp_message_bytes(cfg: &GptConfig, micro_batch: u64) -> u64 {
+    micro_batch * cfg.seq_len as u64 * cfg.hidden as u64 * 2
+}
+
+/// Bytes all-reduced by one tensor-parallel all-reduce (the activation
+/// tensor, fp16).
+pub fn tp_allreduce_bytes(cfg: &GptConfig, micro_batch: u64) -> u64 {
+    pp_message_bytes(cfg, micro_batch)
+}
+
+/// Number of tensor-parallel all-reduces per layer per microbatch:
+/// two in the forward pass (attention output, MLP output) and two in the
+/// backward pass.
+pub const TP_ALLREDUCES_PER_LAYER: u64 = 4;
+
+/// Bytes of gradients all-reduced by data parallelism for one GPU of stage
+/// `stage`: the fp32 gradients of its tensor-parallel shard (`msg_DP`).
+pub fn dp_gradient_bytes(cfg: &GptConfig, pp: usize, tp: usize, stage: usize) -> u64 {
+    let shard = cfg.stage_params(pp, stage).div_ceil(tp as u64);
+    shard * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_message_scales_with_microbatch() {
+        let g = GptConfig::gpt_1_1b();
+        assert_eq!(pp_message_bytes(&g, 4), 4 * pp_message_bytes(&g, 1));
+        // 1 sample * 2048 seq * 1920 hidden * 2 bytes = 7.5 MiB
+        assert_eq!(pp_message_bytes(&g, 1), 2048 * 1920 * 2);
+    }
+
+    #[test]
+    fn dp_gradient_shrinks_with_tp() {
+        let g = GptConfig::gpt_3_1b();
+        let full = dp_gradient_bytes(&g, 4, 1, 1);
+        let shard = dp_gradient_bytes(&g, 4, 8, 1);
+        assert!(full > 7 * shard && full < 9 * shard);
+    }
+
+    #[test]
+    fn first_stage_gradients_include_embeddings() {
+        let g = GptConfig::gpt_3_1b();
+        assert!(dp_gradient_bytes(&g, 4, 1, 0) > dp_gradient_bytes(&g, 4, 1, 1));
+    }
+
+    #[test]
+    fn tp_allreduce_matches_activation_size() {
+        let g = GptConfig::gpt_1_1b();
+        assert_eq!(tp_allreduce_bytes(&g, 2), pp_message_bytes(&g, 2));
+    }
+}

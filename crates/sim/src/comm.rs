@@ -1,0 +1,280 @@
+//! Communication time models over the attained-bandwidth matrix.
+//!
+//! Point-to-point transfers use the classic `alpha + bytes/B` model; ring
+//! all-reduce follows Thakur et al. (the paper's \[19\]): `2·(n-1)/n ·
+//! msg / B_min` plus per-step latency; the hierarchical variant composes an
+//! intra-node phase (counted twice: reduce-scatter before, all-gather
+//! after) with one inter-node ring, which is Eq. 6's structure.
+
+use pipette_cluster::{BandwidthMatrix, GpuId, GIB};
+use std::collections::BTreeMap;
+
+/// Communication calculator bound to one bandwidth matrix.
+///
+/// ```
+/// use pipette_cluster::{presets, GpuId};
+/// use pipette_sim::CommModel;
+///
+/// let cluster = presets::mid_range(2).build(1);
+/// let comm = CommModel::new(cluster.bandwidth());
+/// // A 16 MiB activation hop across nodes takes a few milliseconds...
+/// let hop = comm.p2p(GpuId(0), GpuId(8), 16 << 20);
+/// assert!(hop > 1e-4 && hop < 0.1);
+/// // ...and a gradient all-reduce is paced by its slowest ring link.
+/// let group: Vec<GpuId> = (0..16).map(GpuId).collect();
+/// assert!(comm.hierarchical_allreduce(&group, 256 << 20) > hop);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CommModel<'a> {
+    matrix: &'a BandwidthMatrix,
+    /// Concurrent flows sharing each node's NIC (inter-node links only).
+    inter_flows: f64,
+}
+
+impl<'a> CommModel<'a> {
+    /// Creates a model over `matrix` (no NIC contention).
+    pub fn new(matrix: &'a BandwidthMatrix) -> Self {
+        Self { matrix, inter_flows: 1.0 }
+    }
+
+    /// Models `flows` concurrent transfers sharing each node's NIC:
+    /// every inter-node link's attained bandwidth is divided by `flows`.
+    /// With `tp` tensor ranks per node each running its own data-parallel
+    /// communicator, `flows = tp` is the realistic setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows == 0`.
+    pub fn with_inter_flows(mut self, flows: usize) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        self.inter_flows = flows as f64;
+        self
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a BandwidthMatrix {
+        self.matrix
+    }
+
+    /// Effective directed bandwidth after NIC sharing.
+    fn effective(&self, a: GpuId, b: GpuId) -> f64 {
+        let raw = self.matrix.between(a, b);
+        if self.matrix.topology().same_node(a, b) {
+            raw
+        } else {
+            raw / self.inter_flows
+        }
+    }
+
+    /// Time to send `bytes` from `src` to `dst` (seconds). Zero for
+    /// loopback.
+    pub fn p2p(&self, src: GpuId, dst: GpuId, bytes: u64) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        self.matrix.latency(src, dst) + bytes as f64 / (self.effective(src, dst) * GIB)
+    }
+
+    /// Flat ring all-reduce over `group` of `bytes` per rank, with the
+    /// ring built in group order (how NCCL lays out its ring from the
+    /// communicator's rank order).
+    ///
+    /// `2·(n-1)/n · bytes / B_ring + 2·(n-1)·alpha`, where `B_ring` is the
+    /// slowest *ring-order* directed link `g[i] → g[i+1 mod n]` — the ring
+    /// runs at the pace of its slowest hop, but only the hops actually on
+    /// the ring matter. This is what makes worker dedication effective:
+    /// steering the ring away from straggler links speeds the collective
+    /// up (§IV). Zero for groups of size < 2.
+    pub fn ring_allreduce(&self, group: &[GpuId], bytes: u64) -> f64 {
+        let n = group.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut min_bw = f64::INFINITY;
+        for i in 0..n {
+            min_bw = min_bw.min(self.effective(group[i], group[(i + 1) % n]));
+        }
+        let alpha = self.max_latency(group);
+        let nf = n as f64;
+        2.0 * (nf - 1.0) / nf * bytes as f64 / (min_bw * GIB) + 2.0 * (nf - 1.0) * alpha
+    }
+
+    /// Hierarchical-ring all-reduce over `group` of `bytes` per rank
+    /// (Eq. 6): two intra-node phases plus one inter-node ring between node
+    /// leaders. Falls back to a flat ring when the group occupies a single
+    /// node, and to a pure inter-node ring when every node hosts a single
+    /// member.
+    pub fn hierarchical_allreduce(&self, group: &[GpuId], bytes: u64) -> f64 {
+        let n = group.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let topo = self.matrix.topology();
+        // Group members by node, preserving first-seen node order so the
+        // inter-node leader ring follows the communicator's rank order
+        // (and is therefore steerable by the worker mapping).
+        let mut by_node: BTreeMap<usize, Vec<GpuId>> = BTreeMap::new();
+        let mut node_order: Vec<usize> = Vec::new();
+        for &g in group {
+            let node = topo.node_of(g).0;
+            if !by_node.contains_key(&node) {
+                node_order.push(node);
+            }
+            by_node.entry(node).or_default().push(g);
+        }
+        if by_node.len() == 1 {
+            return self.ring_allreduce(group, bytes);
+        }
+        // Leaders: the first member on each node, in rank order.
+        let leaders: Vec<GpuId> = node_order.iter().map(|n| by_node[n][0]).collect();
+        // Worst intra-node subgroup dominates the two intra phases.
+        let mut intra = 0.0f64;
+        for members in by_node.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let m = members.len() as f64;
+            let min_bw = self.matrix.min_over_group(members);
+            let alpha = self.max_latency(members);
+            let phase =
+                2.0 * (m - 1.0) / m * bytes as f64 / (min_bw * GIB) + 2.0 * (m - 1.0) * alpha;
+            intra = intra.max(phase);
+        }
+        // Two intra-node phases (reduce-scatter + all-gather) — Eq. 6's
+        // coefficient 4 — plus one inter-node ring over the leaders.
+        2.0 * intra + self.ring_allreduce(&leaders, bytes)
+    }
+
+    fn max_latency(&self, group: &[GpuId]) -> f64 {
+        let mut alpha: f64 = 0.0;
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                alpha = alpha.max(self.matrix.latency(a, b));
+            }
+        }
+        alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::{
+        heterogeneity::HeterogeneityModel, link::LinkSpec, topology::ClusterTopology,
+        BandwidthMatrix,
+    };
+
+    fn homog() -> BandwidthMatrix {
+        BandwidthMatrix::homogeneous(
+            ClusterTopology::new(4, 4),
+            LinkSpec::new(256.0, 0.0),
+            LinkSpec::new(8.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn p2p_time_matches_arithmetic() {
+        let m = homog();
+        let c = CommModel::new(&m);
+        // 8 GiB over an 8 GiB/s inter-node link = 1 s.
+        let t = c.p2p(GpuId(0), GpuId(4), 8 * (1u64 << 30));
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(c.p2p(GpuId(3), GpuId(3), 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_bandwidth_term() {
+        let m = homog();
+        let c = CommModel::new(&m);
+        // 4-way intra-node ring of 1 GiB: 2*(3/4)*1/256 s.
+        let group = [GpuId(0), GpuId(1), GpuId(2), GpuId(3)];
+        let t = c.ring_allreduce(&group, 1 << 30);
+        assert!((t - 2.0 * 0.75 / 256.0).abs() < 1e-9);
+        assert_eq!(c.ring_allreduce(&group[..1], 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_paced_by_slowest_link() {
+        let mut m = homog();
+        m.set(GpuId(0), GpuId(1), 32.0);
+        let c = CommModel::new(&m);
+        let group = [GpuId(0), GpuId(1), GpuId(2), GpuId(3)];
+        let t = c.ring_allreduce(&group, 1 << 30);
+        assert!((t - 2.0 * 0.75 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        // With 2 nodes × 4 GPUs, a flat 8-way ring pays the inter-node
+        // bandwidth on the full ring; hierarchical pays it only between 2
+        // leaders.
+        let m = homog();
+        let c = CommModel::new(&m);
+        let group: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let flat = c.ring_allreduce(&group, 1 << 30);
+        let hier = c.hierarchical_allreduce(&group, 1 << 30);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn hierarchical_reduces_to_flat_within_node() {
+        let m = homog();
+        let c = CommModel::new(&m);
+        let group = [GpuId(0), GpuId(1), GpuId(2)];
+        assert_eq!(c.hierarchical_allreduce(&group, 123 << 20), c.ring_allreduce(&group, 123 << 20));
+    }
+
+    #[test]
+    fn hierarchical_pure_inter_node_is_leader_ring() {
+        let m = homog();
+        let c = CommModel::new(&m);
+        // One GPU per node.
+        let group = [GpuId(0), GpuId(4), GpuId(8), GpuId(12)];
+        assert_eq!(c.hierarchical_allreduce(&group, 1 << 30), c.ring_allreduce(&group, 1 << 30));
+    }
+
+    #[test]
+    fn heterogeneous_groups_slower_than_homogeneous() {
+        let topo = ClusterTopology::new(4, 4);
+        let (intra, inter) = (LinkSpec::new(256.0, 0.0), LinkSpec::new(8.0, 0.0));
+        let het = HeterogeneityModel::realistic().generate(topo, intra, inter, 5);
+        let hom = BandwidthMatrix::homogeneous(topo, intra, inter);
+        let group: Vec<GpuId> = (0..16).step_by(4).map(GpuId).collect();
+        let t_het = CommModel::new(&het).hierarchical_allreduce(&group, 1 << 30);
+        let t_hom = CommModel::new(&hom).hierarchical_allreduce(&group, 1 << 30);
+        assert!(t_het > t_hom);
+    }
+
+    #[test]
+    fn nic_contention_slows_inter_node_only() {
+        let m = homog();
+        let base = CommModel::new(&m);
+        let contended = CommModel::new(&m).with_inter_flows(4);
+        // Intra-node unaffected.
+        let intra = [GpuId(0), GpuId(1), GpuId(2), GpuId(3)];
+        assert_eq!(
+            base.ring_allreduce(&intra, 1 << 28),
+            contended.ring_allreduce(&intra, 1 << 28)
+        );
+        // Inter-node p2p slows by the flow count.
+        let t1 = base.p2p(GpuId(0), GpuId(4), 1 << 30);
+        let t4 = contended.p2p(GpuId(0), GpuId(4), 1 << 30);
+        assert!((t4 / t1 - 4.0).abs() < 1e-9);
+        // Hierarchical all-reduce across nodes gets slower, not 4x (the
+        // intra phases are unaffected).
+        let group: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let h1 = base.hierarchical_allreduce(&group, 1 << 28);
+        let h4 = contended.hierarchical_allreduce(&group, 1 << 28);
+        assert!(h4 > h1 && h4 < 4.0 * h1);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_bytes() {
+        let m = homog();
+        let c = CommModel::new(&m);
+        let group: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let t1 = c.hierarchical_allreduce(&group, 1 << 20);
+        let t2 = c.hierarchical_allreduce(&group, 1 << 25);
+        assert!(t2 > t1);
+    }
+}

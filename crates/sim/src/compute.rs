@@ -1,0 +1,84 @@
+//! Per-stage compute time model.
+//!
+//! A microbatch's forward/backward time on a stage is its FLOP count
+//! divided by the tensor-parallel degree and the GPU's effective
+//! throughput, plus a small fixed kernel-launch overhead per layer.
+
+use pipette_cluster::GpuSpec;
+use pipette_model::{flops, GptConfig};
+
+/// Per-layer fixed overhead (kernel launches, optimizer glue), seconds.
+pub const LAYER_OVERHEAD_S: f64 = 40e-6;
+
+/// Forward time of one microbatch on stage `stage` (compute only, no
+/// communication).
+pub fn stage_fwd_time(
+    gpt: &GptConfig,
+    gpu: &GpuSpec,
+    pp: usize,
+    tp: usize,
+    stage: usize,
+    micro_batch: u64,
+) -> f64 {
+    let f = flops::stage_fwd_flops(gpt, pp, stage, micro_batch);
+    let layers = gpt.layers_of_stage(pp, stage) as f64;
+    f / (tp as f64 * gpu.effective_flops()) + layers * LAYER_OVERHEAD_S
+}
+
+/// Backward time of one microbatch on stage `stage` (2× the forward
+/// FLOPs).
+pub fn stage_bwd_time(
+    gpt: &GptConfig,
+    gpu: &GpuSpec,
+    pp: usize,
+    tp: usize,
+    stage: usize,
+    micro_batch: u64,
+) -> f64 {
+    let f = flops::stage_bwd_flops(gpt, pp, stage, micro_batch);
+    let layers = gpt.layers_of_stage(pp, stage) as f64;
+    f / (tp as f64 * gpu.effective_flops()) + layers * LAYER_OVERHEAD_S
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::v100()
+    }
+
+    #[test]
+    fn backward_roughly_twice_forward() {
+        let g = GptConfig::gpt_1_1b();
+        let f = stage_fwd_time(&g, &gpu(), 4, 2, 1, 2);
+        let b = stage_bwd_time(&g, &gpu(), 4, 2, 1, 2);
+        let ratio = b / f;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tensor_parallelism_cuts_compute() {
+        let g = GptConfig::gpt_1_1b();
+        let t1 = stage_fwd_time(&g, &gpu(), 2, 1, 0, 2);
+        let t8 = stage_fwd_time(&g, &gpu(), 2, 8, 0, 2);
+        assert!(t1 / t8 > 6.0 && t1 / t8 < 8.5);
+    }
+
+    #[test]
+    fn a100_is_faster() {
+        let g = GptConfig::gpt_3_1b();
+        let v = stage_fwd_time(&g, &GpuSpec::v100(), 4, 8, 0, 1);
+        let a = stage_fwd_time(&g, &GpuSpec::a100(), 4, 8, 0, 1);
+        assert!(a < v);
+    }
+
+    #[test]
+    fn plausible_magnitude() {
+        // One microbatch (1 sample, 2048 tokens) of GPT-3.1B on a V100
+        // stage with pp=4, tp=8 should take on the order of milliseconds.
+        let g = GptConfig::gpt_3_1b();
+        let t = stage_fwd_time(&g, &gpu(), 4, 8, 1, 1);
+        assert!(t > 1e-4 && t < 0.2, "t = {t}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Pipeline execution traces: per-task timings and a text Gantt renderer.
+//!
+//! Useful for eyeballing why a configuration is slow — where the bubbles
+//! sit, whether the hidden critical path binds, which stage straggles.
+
+use crate::schedule::{Task, TaskKind};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One executed task with its exact start/finish times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskEvent {
+    /// Pipeline stage (device) the task ran on.
+    pub stage: usize,
+    /// The task (pass + microbatch).
+    pub task: Task,
+    /// Start time, seconds.
+    pub start: f64,
+    /// Finish time, seconds.
+    pub finish: f64,
+}
+
+/// Renders a fixed-width text Gantt chart of a trace: one row per stage,
+/// `F`/`B` cells for forward/backward work, `.` for idle.
+///
+/// # Panics
+///
+/// Panics if `width < 10` or `events` is empty.
+pub fn render_gantt(events: &[TaskEvent], stages: usize, width: usize) -> String {
+    assert!(width >= 10, "need at least 10 columns");
+    assert!(!events.is_empty(), "nothing to render");
+    let makespan = events.iter().map(|e| e.finish).fold(0.0, f64::max);
+    let scale = width as f64 / makespan;
+    let mut out = String::new();
+    for stage in 0..stages {
+        let mut row = vec!['.'; width];
+        for e in events.iter().filter(|e| e.stage == stage) {
+            let a = ((e.start * scale) as usize).min(width - 1);
+            let b = ((e.finish * scale) as usize).clamp(a + 1, width);
+            let ch = match e.task.kind {
+                TaskKind::Forward => 'F',
+                TaskKind::Backward => 'B',
+            };
+            for cell in &mut row[a..b] {
+                *cell = ch;
+            }
+        }
+        let _ = writeln!(out, "stage {stage:>2} |{}|", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "          0 {:>w$.3} s", makespan, w = width - 2);
+    out
+}
+
+/// Idle fraction per stage computed from a trace.
+pub fn idle_fractions(events: &[TaskEvent], stages: usize) -> Vec<f64> {
+    let makespan = events.iter().map(|e| e.finish).fold(0.0, f64::max);
+    (0..stages)
+        .map(|s| {
+            let busy: f64 = events
+                .iter()
+                .filter(|e| e.stage == s)
+                .map(|e| e.finish - e.start)
+                .sum();
+            if makespan > 0.0 {
+                1.0 - busy / makespan
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ChainSpec;
+    use crate::schedule::PipelineSchedule;
+
+    fn traced() -> (crate::engine::ChainResult, Vec<TaskEvent>) {
+        ChainSpec {
+            pp: 3,
+            n_mb: 6,
+            schedule: PipelineSchedule::OneFOneB,
+            fwd_time: vec![1.0; 3],
+            bwd_time: vec![2.0; 3],
+            fwd_comm: vec![0.1; 2],
+            bwd_comm: vec![0.1; 2],
+        }
+        .trace()
+    }
+
+    #[test]
+    fn trace_is_consistent_with_simulate() {
+        let (result, events) = traced();
+        assert_eq!(events.len(), 3 * 2 * 6);
+        let max_finish = events.iter().map(|e| e.finish).fold(0.0, f64::max);
+        assert!((max_finish - result.makespan).abs() < 1e-12);
+        // Tasks on one stage never overlap.
+        for s in 0..3 {
+            let mut mine: Vec<_> = events.iter().filter(|e| e.stage == s).collect();
+            mine.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in mine.windows(2) {
+                assert!(w[1].start >= w[0].finish - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_stages() {
+        let (_, events) = traced();
+        let chart = render_gantt(&events, 3, 60);
+        assert_eq!(chart.lines().count(), 4);
+        assert!(chart.contains('F') && chart.contains('B'));
+    }
+
+    #[test]
+    fn first_stage_idles_least_in_1f1b() {
+        let (_, events) = traced();
+        let idle = idle_fractions(&events, 3);
+        // Later stages idle during fill and drain.
+        assert!(idle[2] >= idle[0] - 1e-9, "idle {idle:?}");
+        assert!(idle.iter().all(|&f| (0.0..1.0).contains(&f)));
+    }
+}

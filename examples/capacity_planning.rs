@@ -1,0 +1,76 @@
+//! Capacity planning: which models fit on this cluster, and at what cost?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! Uses Pipette's memory machinery the way an ML-platform team would when
+//! sizing a training job: for a ladder of GPT scales on an 8-node A100
+//! cluster, find the smallest pipeline depth that fits, the learned memory
+//! estimate for its first stage, and the projected days for a 300K-step
+//! run under the best configuration Pipette finds.
+
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette::report::training_days;
+use pipette_cluster::presets;
+use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::ClusterRun;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = presets::high_end(8).build(11);
+    let global_batch = 256;
+    println!("cluster: {cluster}, global batch {global_batch}\n");
+
+    let ladder = [
+        GptConfig::gpt_1_1b(),
+        GptConfig::gpt_3_1b(),
+        GptConfig::gpt_8_1b(),
+        GptConfig::gpt_11_1b(),
+    ];
+
+    println!(
+        "{:<34} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "model", "min pp", "peak mem", "config", "iter time", "300K run"
+    );
+    for gpt in &ladder {
+        let runner = ClusterRun::new(&cluster, gpt);
+        // Smallest pipeline depth whose best-case (micro = 1, tp = 8)
+        // memory fits — the "will it even run" question.
+        let mut min_pp = None;
+        for pp in [1usize, 2, 4, 8] {
+            if pp > gpt.n_layers {
+                break;
+            }
+            let dp = 64 / (pp * 8);
+            if dp == 0 || global_batch % dp as u64 != 0 {
+                continue;
+            }
+            let cfg = ParallelConfig::new(pp, 8, dp);
+            let plan = MicrobatchPlan::new(global_batch / dp as u64, 1)?;
+            if runner.peak_memory(cfg, plan).peak_bytes <= cluster.gpu().memory_bytes {
+                min_pp = Some((pp, cfg, plan));
+                break;
+            }
+        }
+        let Some((pp, probe_cfg, probe_plan)) = min_pp else {
+            println!("{:<34} does not fit on this cluster at any pipeline depth", gpt.to_string());
+            continue;
+        };
+        let peak = runner.peak_memory(probe_cfg, probe_plan).peak_bytes;
+
+        // Full Pipette pass for the actual recommendation.
+        let options = PipetteOptions { seed: 3, ..PipetteOptions::default() };
+        let rec = Pipette::new(&cluster, gpt, global_batch, options).run()?;
+        let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
+        println!(
+            "{:<34} {:>8} {:>9.1} GiB {:>12} {:>10.2} s {:>7.1} d",
+            gpt.to_string(),
+            pp,
+            peak as f64 / (1u64 << 30) as f64,
+            rec.config.to_string(),
+            measured.iteration_seconds,
+            training_days(measured.iteration_seconds, 300_000),
+        );
+    }
+    Ok(())
+}

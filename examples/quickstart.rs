@@ -1,0 +1,65 @@
+//! Quickstart: configure LLM training for a cluster in a few lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a synthetic 4-node V100 cluster, asks Pipette for the best
+//! 3D-parallel configuration of a 1.1B-parameter GPT at global batch 256,
+//! and verifies the recommendation by running it on the simulated cluster.
+
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette_cluster::presets;
+use pipette_model::GptConfig;
+use pipette_sim::ClusterRun;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-node (32-GPU) mid-range cluster with realistic link
+    // heterogeneity. The seed makes the cluster reproducible.
+    let cluster = presets::mid_range(4).build(42);
+    let gpt = GptConfig::gpt_1_1b();
+    let global_batch = 256;
+
+    println!("cluster : {cluster}");
+    println!("model   : {gpt}");
+    println!("batch   : {global_batch} samples/iteration\n");
+
+    // Run Algorithm 1: profile the network, train the memory estimator,
+    // enumerate (pp, tp, dp, microbatch), and anneal the worker mapping.
+    let recommendation =
+        Pipette::new(&cluster, &gpt, global_batch, PipetteOptions::default()).run()?;
+
+    println!("recommended configuration : {}", recommendation.config);
+    println!(
+        "microbatch                : {} ({} microbatches/iteration)",
+        recommendation.plan.micro_batch, recommendation.plan.n_microbatches
+    );
+    println!("estimated iteration time  : {:.3} s", recommendation.estimated_seconds);
+    println!(
+        "candidates examined       : {} ({} rejected by the memory estimator)",
+        recommendation.examined, recommendation.memory_rejected
+    );
+    if let Some(stats) = recommendation.anneal_stats {
+        println!(
+            "worker dedication         : {:.1} % latency cut over the default placement",
+            stats.improvement() * 100.0
+        );
+    }
+    println!("configuration overhead    : {}", recommendation.overhead);
+
+    // Verify on the (simulated) cluster — the recommendation must fit in
+    // GPU memory and the measured time should be near the estimate.
+    let runner = ClusterRun::new(&cluster, &gpt);
+    let measured =
+        runner.execute(recommendation.config, &recommendation.mapping, recommendation.plan)?;
+    println!("\nmeasured iteration time   : {:.3} s", measured.iteration_seconds);
+    println!(
+        "peak GPU memory           : {:.1} GiB of {:.0} GiB",
+        measured.peak_memory_bytes as f64 / (1u64 << 30) as f64,
+        cluster.gpu().memory_gib()
+    );
+    let err = (recommendation.estimated_seconds - measured.iteration_seconds).abs()
+        / measured.iteration_seconds;
+    println!("estimation error          : {:.1} %", err * 100.0);
+    Ok(())
+}

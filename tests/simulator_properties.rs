@@ -1,0 +1,172 @@
+//! Cross-crate property tests: invariants that must hold for *any* valid
+//! configuration, batch shape, and mapping — the relationships the
+//! configurator's correctness rests on.
+
+use proptest::prelude::*;
+use pipette::latency::PipetteLatencyModel;
+use pipette_cluster::{presets, Cluster, ProfiledBandwidth};
+use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{
+    ActivationMode, ClusterRun, CommModel, ComputeProfiler, IterationSim, Mapping, MemorySim,
+    TrainingOptions,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn cluster() -> Cluster {
+    presets::mid_range(2).build(99)
+}
+
+fn small_gpt() -> GptConfig {
+    GptConfig::new(8, 1024, 16, 2048, 51200)
+}
+
+/// Strategy: a valid `(cfg, plan)` for a 16-GPU cluster.
+fn config_strategy() -> impl Strategy<Value = (ParallelConfig, MicrobatchPlan)> {
+    let configs: Vec<ParallelConfig> = ParallelConfig::enumerate(16, 8, 8);
+    (0..configs.len(), 0usize..3).prop_map(move |(ci, mi)| {
+        let cfg = configs[ci];
+        let mini = BatchConfig::new(64).minibatch(cfg.dp).expect("64 divisible");
+        let plans = MicrobatchPlan::enumerate(mini, 4);
+        let plan = plans[mi.min(plans.len() - 1)];
+        (cfg, plan)
+    })
+}
+
+/// A random block-respecting mapping for `cfg`.
+fn random_mapping(cfg: ParallelConfig, cluster: &Cluster, seed: u64) -> Mapping {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut mapping = Mapping::identity(cfg, *cluster.topology());
+    let block = cfg.tp;
+    let blocks = mapping.as_slice().len() / block;
+    for i in (1..blocks).rev() {
+        let j = rng.gen_range(0..=i);
+        if i != j {
+            pipette::mapping::Move::Swap { a: i, b: j }.apply(mapping.as_mut_slice(), block);
+        }
+    }
+    mapping
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulated iteration can never beat its busiest stage's work.
+    #[test]
+    fn simulation_respects_busy_lower_bound((cfg, plan) in config_strategy(), seed in 0u64..50) {
+        let cluster = cluster();
+        let gpt = small_gpt();
+        let gpu = cluster.gpu().clone();
+        let mapping = random_mapping(cfg, &cluster, seed);
+        let report = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+            .simulate(cfg, &mapping, plan);
+        prop_assert!(report.total_seconds >= report.critical_busy_seconds - 1e-12);
+        prop_assert!(report.pipeline_seconds <= report.total_seconds);
+        prop_assert!(report.dp_exposed_seconds >= -1e-12);
+    }
+
+    /// Estimator and simulator stay within a bounded band for any mapping.
+    #[test]
+    fn estimator_tracks_simulator_for_any_mapping((cfg, plan) in config_strategy(), seed in 0u64..50) {
+        let cluster = cluster();
+        let gpt = small_gpt();
+        let gpu = cluster.gpu().clone();
+        let mapping = random_mapping(cfg, &cluster, seed);
+        let profiled = ProfiledBandwidth::exact(cluster.bandwidth().clone());
+        let compute = ComputeProfiler::new(0.0)
+            .profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
+        let est = PipetteLatencyModel::new(&profiled, &gpt)
+            .estimate(cfg, &mapping, plan, &compute);
+        let truth = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+            .simulate(cfg, &mapping, plan)
+            .total_seconds;
+        let err = (est - truth).abs() / truth;
+        prop_assert!(err < 0.25, "{cfg} micro={} err {err:.3}", plan.micro_batch);
+    }
+
+    /// Peak memory is monotone in the microbatch size.
+    #[test]
+    fn memory_monotone_in_microbatch((cfg, _) in config_strategy(), seed in 0u64..10) {
+        let gpt = small_gpt();
+        let truth = MemorySim::new(seed);
+        let mini = BatchConfig::new(64).minibatch(cfg.dp).unwrap();
+        let mut last = 0u64;
+        for plan in MicrobatchPlan::enumerate(mini, 4) {
+            let peak = truth.report(&gpt, cfg, plan).peak_bytes;
+            // Jitter is ±3 %, so allow a hair of slack.
+            prop_assert!(peak as f64 > last as f64 * 0.93,
+                "{cfg} micro={}: {peak} after {last}", plan.micro_batch);
+            last = last.max(peak);
+        }
+    }
+
+    /// Activation policies order memory the same way for every config.
+    #[test]
+    fn activation_policy_ordering_is_universal((cfg, plan) in config_strategy()) {
+        let gpt = small_gpt();
+        let peak = |mode| {
+            MemorySim::new(1)
+                .with_options(TrainingOptions::new().with_activation(mode))
+                .report(&gpt, cfg, plan)
+                .peak_bytes as f64
+        };
+        let full = peak(ActivationMode::Full);
+        let selective = peak(ActivationMode::Selective);
+        let ckpt = peak(ActivationMode::FullRecompute);
+        prop_assert!(selective <= full * 1.05);
+        prop_assert!(ckpt <= selective * 1.05);
+    }
+
+    /// The all-reduce time scales (weakly) monotonically with payload and
+    /// never beats the point-to-point lower bound.
+    #[test]
+    fn allreduce_scaling(bytes_exp in 18u32..30, seed in 0u64..30) {
+        let cluster = cluster();
+        let comm = CommModel::new(cluster.bandwidth());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let size = rng.gen_range(2..=8usize);
+        let mut group = Vec::new();
+        while group.len() < size {
+            let g = pipette_cluster::GpuId(rng.gen_range(0..16));
+            if !group.contains(&g) {
+                group.push(g);
+            }
+        }
+        let small = comm.ring_allreduce(&group, 1 << bytes_exp);
+        let large = comm.ring_allreduce(&group, 1 << (bytes_exp + 1));
+        prop_assert!(large > small);
+        let hier = comm.hierarchical_allreduce(&group, 1 << bytes_exp);
+        prop_assert!(hier > 0.0);
+    }
+
+    /// Execution is invariant under the trivial relabeling of tensor ranks
+    /// within a node when tp equals the node size (the group set does not
+    /// change, only rank order within the node's NVLink clique).
+    #[test]
+    fn iteration_deterministic_and_mapping_valid((cfg, plan) in config_strategy(), seed in 0u64..20) {
+        let cluster = cluster();
+        let gpt = small_gpt();
+        let gpu = cluster.gpu().clone();
+        let mapping = random_mapping(cfg, &cluster, seed);
+        prop_assert!(mapping.is_permutation());
+        let a = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+            .simulate(cfg, &mapping, plan)
+            .total_seconds;
+        let b = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
+            .simulate(cfg, &mapping, plan)
+            .total_seconds;
+        prop_assert_eq!(a, b);
+    }
+
+    /// OOM classification agrees between `peak_memory` and `execute`.
+    #[test]
+    fn oom_classification_is_consistent((cfg, plan) in config_strategy()) {
+        let cluster = cluster();
+        let gpt = GptConfig::new(8, 2048, 16, 2048, 51200); // bigger: some OOM
+        let runner = ClusterRun::new(&cluster, &gpt);
+        let mapping = Mapping::identity(cfg, *cluster.topology());
+        let fits = runner.peak_memory(cfg, plan).peak_bytes <= cluster.gpu().memory_bytes;
+        let ran = runner.execute(cfg, &mapping, plan).is_ok();
+        prop_assert_eq!(fits, ran);
+    }
+}

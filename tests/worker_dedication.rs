@@ -1,0 +1,210 @@
+//! Integration tests of fine-grained worker dedication: the simulated
+//! annealer's improvements in the *estimator* must transfer to the
+//! *simulator* (otherwise SA optimizes a fiction), and the move set must
+//! preserve mapping invariants under real workloads.
+
+use pipette::latency::PipetteLatencyModel;
+use pipette::mapping::{Annealer, AnnealerConfig};
+use pipette_cluster::presets;
+use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ComputeProfiler, IterationSim, Mapping};
+
+struct Bench {
+    cluster: pipette_cluster::Cluster,
+    gpt: GptConfig,
+}
+
+impl Bench {
+    fn new(nodes: usize, seed: u64) -> Self {
+        Self { cluster: presets::mid_range(nodes).build(seed), gpt: GptConfig::gpt_1_1b() }
+    }
+
+    fn anneal(
+        &self,
+        cfg: ParallelConfig,
+        plan: MicrobatchPlan,
+        iterations: usize,
+        seed: u64,
+    ) -> (Mapping, Mapping, f64, f64) {
+        let (profiled, _) = self.cluster.profiler().profile(self.cluster.bandwidth(), seed);
+        let gpu = self.cluster.gpu().clone();
+        let compute = ComputeProfiler::default().profile(
+            self.cluster.bandwidth(),
+            &gpu,
+            &self.gpt,
+            cfg,
+            plan,
+            seed,
+        );
+        let model = PipetteLatencyModel::new(&profiled, &self.gpt);
+        let identity = Mapping::identity(cfg, *self.cluster.topology());
+        let annealer = Annealer::new(AnnealerConfig { iterations, seed, ..Default::default() });
+        let (best, best_cost, stats) =
+            annealer.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
+        assert!(best_cost <= stats.initial_cost);
+        (identity, best, stats.initial_cost, best_cost)
+    }
+
+    fn simulate(&self, cfg: ParallelConfig, plan: MicrobatchPlan, mapping: &Mapping) -> f64 {
+        let gpu = self.cluster.gpu().clone();
+        IterationSim::new(self.cluster.bandwidth(), &gpu, &self.gpt)
+            .simulate(cfg, mapping, plan)
+            .total_seconds
+    }
+}
+
+#[test]
+fn estimator_gains_transfer_to_the_simulator() {
+    // The §IV claim, end to end: annealing on the estimator makes the
+    // *simulated* iteration faster. Averaged across configurations to
+    // be robust to individual noise.
+    let bench = Bench::new(8, 41);
+    let cases = [
+        (ParallelConfig::new(2, 8, 4), MicrobatchPlan::new(64, 2).unwrap()),
+        (ParallelConfig::new(2, 4, 8), MicrobatchPlan::new(32, 1).unwrap()),
+        (ParallelConfig::new(4, 8, 2), MicrobatchPlan::new(128, 2).unwrap()),
+    ];
+    let mut est_gain = 0.0;
+    let mut sim_gain = 0.0;
+    for (cfg, plan) in cases {
+        let (identity, best, est_id, est_best) = bench.anneal(cfg, plan, 15_000, 5);
+        let t_id = bench.simulate(cfg, plan, &identity);
+        let t_best = bench.simulate(cfg, plan, &best);
+        est_gain += 1.0 - est_best / est_id;
+        sim_gain += 1.0 - t_best / t_id;
+    }
+    est_gain /= cases.len() as f64;
+    sim_gain /= cases.len() as f64;
+    assert!(est_gain > 0.01, "annealer should find estimator gains: {est_gain:.4}");
+    assert!(
+        sim_gain > est_gain * 0.3,
+        "estimator gains ({est_gain:.4}) must mostly transfer to the simulator ({sim_gain:.4})"
+    );
+}
+
+#[test]
+fn annealed_mappings_preserve_tensor_group_locality() {
+    // Block moves must keep each tensor group inside one node, so TP
+    // all-reduces stay on NVLink.
+    let bench = Bench::new(4, 9);
+    let cfg = ParallelConfig::new(2, 4, 4);
+    let plan = MicrobatchPlan::new(32, 2).unwrap();
+    let (_, best, _, _) = bench.anneal(cfg, plan, 8_000, 3);
+    assert!(best.is_permutation());
+    let topo = bench.cluster.topology();
+    for stage in 0..cfg.pp {
+        for data in 0..cfg.dp {
+            let group = best.tensor_group(stage, data);
+            let node = topo.node_of(group[0]);
+            assert!(
+                group.iter().all(|&g| topo.node_of(g) == node),
+                "tensor group ({stage},{data}) split across nodes: {group:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dedication_gains_grow_with_cluster_size() {
+    // Fig. 8's observation: heterogeneity "appears less" on smaller
+    // clusters, so dedication gains shrink. Compare relative estimator
+    // gains at 2 vs 8 nodes (sim-transfer is tested separately).
+    let small = Bench::new(2, 23);
+    let large = Bench::new(8, 23);
+    let plan_small = MicrobatchPlan::new(32, 2).unwrap();
+    let plan_large = MicrobatchPlan::new(32, 2).unwrap();
+    let (_, _, id_s, best_s) =
+        small.anneal(ParallelConfig::new(2, 8, 1), plan_small, 10_000, 3);
+    let (_, _, id_l, best_l) =
+        large.anneal(ParallelConfig::new(2, 8, 4), plan_large, 10_000, 3);
+    let gain_small = 1.0 - best_s / id_s;
+    let gain_large = 1.0 - best_l / id_l;
+    assert!(
+        gain_large >= gain_small,
+        "more nodes, more heterogeneity to exploit: {gain_large:.4} vs {gain_small:.4}"
+    );
+}
+
+#[test]
+fn reverse_move_earns_its_place() {
+    // The paper motivates the `reverse` move by near-symmetric link
+    // bandwidths. With the same budget, the full move set must do at
+    // least as well as migration+swap alone on a pipeline-heavy config.
+    let bench = Bench::new(8, 51);
+    let cfg = ParallelConfig::new(8, 8, 1);
+    let plan = MicrobatchPlan::new(256, 1).unwrap();
+    let (profiled, _) = bench.cluster.profiler().profile(bench.cluster.bandwidth(), 3);
+    let gpu = bench.cluster.gpu().clone();
+    let compute = ComputeProfiler::default().profile(
+        bench.cluster.bandwidth(),
+        &gpu,
+        &bench.gpt,
+        cfg,
+        plan,
+        3,
+    );
+    let model = PipetteLatencyModel::new(&profiled, &bench.gpt);
+    let identity = Mapping::identity(cfg, *bench.cluster.topology());
+    let objective = |m: &Mapping| model.estimate(cfg, m, plan, &compute);
+
+    let mut costs = Vec::new();
+    for enable_reverse in [false, true] {
+        let mut best = f64::INFINITY;
+        for seed in 0..3u64 {
+            let sa = Annealer::new(AnnealerConfig {
+                iterations: 6_000,
+                seed,
+                enable_reverse,
+                ..Default::default()
+            });
+            let (_, cost, _) = sa.anneal(&identity, objective);
+            best = best.min(cost);
+        }
+        costs.push(best);
+    }
+    assert!(
+        costs[1] <= costs[0] * 1.01,
+        "full move set ({:.4}) should not lose to migration+swap ({:.4})",
+        costs[1],
+        costs[0]
+    );
+}
+
+#[test]
+fn dedication_helps_even_from_an_adversarial_start() {
+    // Start from a deliberately bad mapping (pipeline zig-zagged across
+    // the cluster) and check SA recovers most of the loss.
+    let bench = Bench::new(4, 33);
+    let cfg = ParallelConfig::new(4, 8, 1);
+    let plan = MicrobatchPlan::new(64, 1).unwrap();
+    let topo = bench.cluster.topology();
+
+    // Adversarial: stages hop 0 → 2 → 1 → 3.
+    let mut assign = Vec::new();
+    for node in [0usize, 2, 1, 3] {
+        for r in 0..8 {
+            assign.push(topo.gpu(node, r));
+        }
+    }
+    let bad = Mapping::from_assignment(cfg, assign);
+    let t_bad = bench.simulate(cfg, plan, &bad);
+
+    let (profiled, _) = bench.cluster.profiler().profile(bench.cluster.bandwidth(), 3);
+    let gpu = bench.cluster.gpu().clone();
+    let compute = ComputeProfiler::default().profile(
+        bench.cluster.bandwidth(),
+        &gpu,
+        &bench.gpt,
+        cfg,
+        plan,
+        3,
+    );
+    let model = PipetteLatencyModel::new(&profiled, &bench.gpt);
+    let sa = Annealer::new(AnnealerConfig { iterations: 10_000, seed: 1, ..Default::default() });
+    let (fixed, _, _) = sa.anneal(&bad, |m| model.estimate(cfg, m, plan, &compute));
+    let t_fixed = bench.simulate(cfg, plan, &fixed);
+    assert!(
+        t_fixed <= t_bad * 1.001,
+        "SA must not leave an adversarial start worse: {t_fixed:.3} vs {t_bad:.3}"
+    );
+}
