@@ -37,8 +37,7 @@ fn ablation_sa_moves(c: &mut Criterion) {
     let plan = MicrobatchPlan::new(32, 1).unwrap();
     let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
     let gpu = cluster.gpu().clone();
-    let compute =
-        ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+    let compute = ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
     let model = PipetteLatencyModel::new(&profiled, &gpt);
     let identity = Mapping::identity(cfg, *cluster.topology());
 
@@ -59,8 +58,7 @@ fn ablation_sa_moves(c: &mut Criterion) {
             enable_reverse: rev,
             ..Default::default()
         });
-        let (_, cost, stats) =
-            sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
+        let (_, cost, stats) = sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
         println!(
             "ablation_sa_moves/{name}: best {:.4}s ({:.2}% improvement)",
             cost,
@@ -68,8 +66,7 @@ fn ablation_sa_moves(c: &mut Criterion) {
         );
         g.bench_function(name, |b| {
             b.iter(|| {
-                let (_, cost, _) =
-                    sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
+                let (_, cost, _) = sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
                 black_box(cost)
             })
         });
@@ -92,7 +89,9 @@ fn ablation_latency_model(c: &mut Criterion) {
     // Collect (truth, eq1, pipette) for every runnable config.
     let mut rows: Vec<(f64, f64, f64)> = Vec::new();
     for cfg in ParallelConfig::enumerate(topo.num_gpus(), 8, gpt.n_layers) {
-        let Ok(mini) = BatchConfig::new(128).minibatch(cfg.dp) else { continue };
+        let Ok(mini) = BatchConfig::new(128).minibatch(cfg.dp) else {
+            continue;
+        };
         for plan in MicrobatchPlan::enumerate(mini, 4) {
             if runner.peak_memory(cfg, plan).peak_bytes > cluster.gpu().memory_bytes {
                 continue;
@@ -105,8 +104,8 @@ fn ablation_latency_model(c: &mut Criterion) {
             let eq1 = AmpLatencyModel::from_specs_of(cluster.bandwidth(), &gpt)
                 .with_flavor(Eq1Flavor::Scalar)
                 .estimate(cfg, plan, &compute);
-            let ppt = PipetteLatencyModel::new(&profiled, &gpt)
-                .estimate(cfg, &mapping, plan, &compute);
+            let ppt =
+                PipetteLatencyModel::new(&profiled, &gpt).estimate(cfg, &mapping, plan, &compute);
             rows.push((truth, eq1, ppt));
         }
     }
@@ -158,7 +157,9 @@ fn ablation_profiled_bw(c: &mut Criterion) {
     let mut errs_profiled = Vec::new();
     let mut errs_nominal = Vec::new();
     for cfg in ParallelConfig::enumerate(topo.num_gpus(), 8, gpt.n_layers) {
-        let Ok(mini) = BatchConfig::new(128).minibatch(cfg.dp) else { continue };
+        let Ok(mini) = BatchConfig::new(128).minibatch(cfg.dp) else {
+            continue;
+        };
         for plan in MicrobatchPlan::enumerate(mini, 2) {
             if runner.peak_memory(cfg, plan).peak_bytes > cluster.gpu().memory_bytes {
                 continue;
@@ -168,10 +169,10 @@ fn ablation_profiled_bw(c: &mut Criterion) {
                 .simulate(cfg, &mapping, plan)
                 .total_seconds;
             let compute = profiler.profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 5);
-            let with = PipetteLatencyModel::new(&profiled, &gpt)
-                .estimate(cfg, &mapping, plan, &compute);
-            let without = PipetteLatencyModel::new(&nominal, &gpt)
-                .estimate(cfg, &mapping, plan, &compute);
+            let with =
+                PipetteLatencyModel::new(&profiled, &gpt).estimate(cfg, &mapping, plan, &compute);
+            let without =
+                PipetteLatencyModel::new(&nominal, &gpt).estimate(cfg, &mapping, plan, &compute);
             errs_profiled.push((with - truth).abs() / truth);
             errs_nominal.push((without - truth).abs() / truth);
         }
@@ -270,10 +271,22 @@ fn ablation_training_features(c: &mut Criterion) {
 
     let variants: Vec<(&str, TrainingOptions)> = vec![
         ("one_f_one_b", TrainingOptions::new()),
-        ("gpipe", TrainingOptions::new().with_schedule(PipelineSchedule::GPipe)),
-        ("interleaved_v2", TrainingOptions::new().with_interleaving(2)),
-        ("selective_recompute", TrainingOptions::new().with_activation(ActivationMode::Selective)),
-        ("full_recompute", TrainingOptions::new().with_activation(ActivationMode::FullRecompute)),
+        (
+            "gpipe",
+            TrainingOptions::new().with_schedule(PipelineSchedule::GPipe),
+        ),
+        (
+            "interleaved_v2",
+            TrainingOptions::new().with_interleaving(2),
+        ),
+        (
+            "selective_recompute",
+            TrainingOptions::new().with_activation(ActivationMode::Selective),
+        ),
+        (
+            "full_recompute",
+            TrainingOptions::new().with_activation(ActivationMode::FullRecompute),
+        ),
         ("zero1", TrainingOptions::new().with_zero1(true)),
     ];
     let mut g = c.benchmark_group("ablation_training_features");
@@ -283,7 +296,10 @@ fn ablation_training_features(c: &mut Criterion) {
             .with_options(options)
             .simulate(cfg, &mapping, plan)
             .total_seconds;
-        let mem = MemorySim::new(1).with_options(options).report(&gpt, cfg, plan).peak_bytes;
+        let mem = MemorySim::new(1)
+            .with_options(options)
+            .report(&gpt, cfg, plan)
+            .peak_bytes;
         println!(
             "ablation_training_features/{name}: {time:.3} s/iter, {:.2} GiB peak",
             mem as f64 / (1u64 << 30) as f64
@@ -312,14 +328,17 @@ fn ablation_search_strategies(c: &mut Criterion) {
     let plan = MicrobatchPlan::new(32, 1).unwrap();
     let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
     let gpu = cluster.gpu().clone();
-    let compute =
-        ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+    let compute = ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
     let model = PipetteLatencyModel::new(&profiled, &gpt);
     let identity = Mapping::identity(cfg, *cluster.topology());
     let objective = |m: &Mapping| model.estimate(cfg, m, plan, &compute);
 
     let budget = 3_000;
-    let sa = Annealer::new(AnnealerConfig { iterations: budget, seed: 1, ..Default::default() });
+    let sa = Annealer::new(AnnealerConfig {
+        iterations: budget,
+        seed: 1,
+        ..Default::default()
+    });
     let (_, sa_cost, _) = sa.anneal(&identity, objective);
     let (_, rand_cost) = random_search(&identity, objective, budget, 1);
     let (_, greedy_cost) = greedy_swap(&identity, objective, 12);

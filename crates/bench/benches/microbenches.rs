@@ -58,8 +58,7 @@ fn bench_estimator(c: &mut Criterion) {
     let plan = MicrobatchPlan::new(64, 2).unwrap();
     let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
     let gpu = cluster.gpu().clone();
-    let compute =
-        ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+    let compute = ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
     let model = PipetteLatencyModel::new(&profiled, &gpt);
     let mapping = Mapping::identity(cfg, *cluster.topology());
     c.bench_function("latency_estimate_128_gpus", |b| {
@@ -85,17 +84,19 @@ fn bench_annealer(c: &mut Criterion) {
     let plan = MicrobatchPlan::new(64, 2).unwrap();
     let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
     let gpu = cluster.gpu().clone();
-    let compute =
-        ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+    let compute = ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
     let model = PipetteLatencyModel::new(&profiled, &gpt);
     let identity = Mapping::identity(cfg, *cluster.topology());
-    let sa = Annealer::new(AnnealerConfig { iterations: 1_000, seed: 2, ..Default::default() });
+    let sa = Annealer::new(AnnealerConfig {
+        iterations: 1_000,
+        seed: 2,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("annealer");
     g.sample_size(10);
     g.bench_function("sa_1000_iterations_64_gpus", |b| {
         b.iter(|| {
-            let (_, cost, _) =
-                sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
+            let (_, cost, _) = sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
             black_box(cost)
         })
     });
@@ -114,7 +115,11 @@ fn bench_memsim(c: &mut Criterion) {
 
 fn bench_mlp(c: &mut Criterion) {
     let rows: Vec<Vec<f64>> = (0..256)
-        .map(|i| (0..10).map(|j| ((i * 7 + j * 13) % 100) as f64 / 10.0).collect())
+        .map(|i| {
+            (0..10)
+                .map(|j| ((i * 7 + j * 13) % 100) as f64 / 10.0)
+                .collect()
+        })
         .collect();
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
     let x = Matrix::from_rows(&refs);
@@ -129,13 +134,18 @@ fn bench_mlp(c: &mut Criterion) {
             let report = mlp.fit(
                 &x,
                 &y,
-                &TrainConfig { iterations: 500, ..TrainConfig::default() },
+                &TrainConfig {
+                    iterations: 500,
+                    ..TrainConfig::default()
+                },
             );
             black_box(report.final_loss)
         })
     });
     let mlp = Mlp::paper_architecture(10, 3);
-    g.bench_function("predict_batch_256", |b| b.iter(|| black_box(mlp.predict(&x))));
+    g.bench_function("predict_batch_256", |b| {
+        b.iter(|| black_box(mlp.predict(&x)))
+    });
     g.finish();
 }
 

@@ -35,7 +35,16 @@ fn bench_fig5b(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5b_top10_runnability");
     g.sample_size(10);
     g.bench_function("mid_range_4_nodes", |b| {
-        b.iter(|| black_box(fig5b::run_with_training(ClusterKind::MidRange, 4, 128, 10, black_box(5), 2_000)))
+        b.iter(|| {
+            black_box(fig5b::run_with_training(
+                ClusterKind::MidRange,
+                4,
+                128,
+                10,
+                black_box(5),
+                2_000,
+            ))
+        })
     });
     g.finish();
 }
@@ -44,7 +53,14 @@ fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_speedup");
     g.sample_size(10);
     g.bench_function("mid_range_4_nodes_quick", |b| {
-        b.iter(|| black_box(fig6::run(ClusterKind::MidRange, 4, 128, &Fig6Options::quick())))
+        b.iter(|| {
+            black_box(fig6::run(
+                ClusterKind::MidRange,
+                4,
+                128,
+                &Fig6Options::quick(),
+            ))
+        })
     });
     g.finish();
 }
@@ -63,7 +79,12 @@ fn bench_fig8(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("mid_range_two_points", |b| {
         b.iter(|| {
-            black_box(fig8::run(ClusterKind::MidRange, &[32, 64], 128, &Fig6Options::quick()))
+            black_box(fig8::run(
+                ClusterKind::MidRange,
+                &[32, 64],
+                128,
+                &Fig6Options::quick(),
+            ))
         })
     });
     g.finish();
@@ -73,7 +94,15 @@ fn bench_fig9(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_sensitivity");
     g.sample_size(10);
     g.bench_function("mid_range_micro_1", |b| {
-        b.iter(|| black_box(fig9::run_micro_sweep(ClusterKind::MidRange, 4, &[1], 2_000, 3)))
+        b.iter(|| {
+            black_box(fig9::run_micro_sweep(
+                ClusterKind::MidRange,
+                4,
+                &[1],
+                2_000,
+                3,
+            ))
+        })
     });
     g.finish();
 }
@@ -83,7 +112,12 @@ fn bench_table2(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("mid_range_8_nodes", |b| {
         b.iter(|| {
-            black_box(table2::run_cell(ClusterKind::MidRange, 8, 256, &Fig6Options::quick()))
+            black_box(table2::run_cell(
+                ClusterKind::MidRange,
+                8,
+                256,
+                &Fig6Options::quick(),
+            ))
         })
     });
     g.finish();

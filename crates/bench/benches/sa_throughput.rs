@@ -1,0 +1,120 @@
+//! SA objective throughput: full re-estimation vs the incremental
+//! objective, on the paper's 128-GPU mid-range cluster.
+//!
+//! The interesting number is evaluations per second — criterion reports
+//! time per evaluation, so the speedup is the ratio of the two medians.
+//! `perf_baseline` (in `src/bin`) measures the same quantities without
+//! criterion and writes them to `BENCH_configurator.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipette::latency::PipetteLatencyModel;
+use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
+use pipette_cluster::presets;
+use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ComputeProfiler, Mapping};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+struct Setup {
+    cluster: pipette_cluster::Cluster,
+    gpt: GptConfig,
+    cfg: ParallelConfig,
+    plan: MicrobatchPlan,
+}
+
+fn setup() -> Setup {
+    Setup {
+        // 16 nodes × 8 GPUs — the paper's 128-GPU scale.
+        cluster: presets::mid_range(16).build(3),
+        gpt: GptConfig::gpt_3_1b(),
+        cfg: ParallelConfig::new(8, 8, 2),
+        plan: MicrobatchPlan::new(64, 2).unwrap(),
+    }
+}
+
+fn bench_objective_eval(c: &mut Criterion) {
+    let s = setup();
+    let (profiled, _) = s.cluster.profiler().profile(s.cluster.bandwidth(), 3);
+    let gpu = s.cluster.gpu().clone();
+    let compute =
+        ComputeProfiler::default().profile(s.cluster.bandwidth(), &gpu, &s.gpt, s.cfg, s.plan, 3);
+    let model = PipetteLatencyModel::new(&profiled, &s.gpt);
+    let identity = Mapping::identity(s.cfg, *s.cluster.topology());
+    let block = s.cfg.tp.max(1);
+    let num_blocks = s.cfg.num_workers() / block;
+
+    let mut g = c.benchmark_group("sa_objective_eval");
+
+    // One SA evaluation the old way: a move lands, the whole mapping is
+    // re-estimated.
+    g.bench_function("full_estimate_128_gpus", |b| {
+        let mut mapping = identity.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        b.iter(|| {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            black_box(model.estimate(s.cfg, &mapping, s.plan, &compute))
+        })
+    });
+
+    // The same evaluation through the incremental objective, alternating
+    // commit and rollback so both bookkeeping paths are in the measurement.
+    g.bench_function("incremental_propose_128_gpus", |b| {
+        let mut mapping = identity.clone();
+        let mut obj = IncrementalObjective::from_model(&model, &s.gpt, s.plan, &compute, &mapping);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut flip = false;
+        b.iter(|| {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            let cost = obj.propose(mv, &mapping);
+            if flip {
+                obj.commit();
+            } else {
+                obj.rollback();
+                mv.inverse().apply(mapping.as_mut_slice(), block);
+            }
+            flip = !flip;
+            black_box(cost)
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_anneal_pass(c: &mut Criterion) {
+    let s = setup();
+    let (profiled, _) = s.cluster.profiler().profile(s.cluster.bandwidth(), 3);
+    let gpu = s.cluster.gpu().clone();
+    let compute =
+        ComputeProfiler::default().profile(s.cluster.bandwidth(), &gpu, &s.gpt, s.cfg, s.plan, 3);
+    let model = PipetteLatencyModel::new(&profiled, &s.gpt);
+    let identity = Mapping::identity(s.cfg, *s.cluster.topology());
+    let sa = Annealer::new(AnnealerConfig {
+        iterations: 500,
+        seed: 2,
+        ..Default::default()
+    });
+
+    let mut g = c.benchmark_group("sa_anneal_500_iters");
+    g.sample_size(10);
+    g.bench_function("closure", |b| {
+        b.iter(|| {
+            let (_, cost, _) = sa.anneal(&identity, |m| model.estimate(s.cfg, m, s.plan, &compute));
+            black_box(cost)
+        })
+    });
+    g.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut obj =
+                IncrementalObjective::from_model(&model, &s.gpt, s.plan, &compute, &identity);
+            let (_, cost, _) = sa.anneal_with(&identity, &mut obj);
+            black_box(cost)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(sa_throughput, bench_objective_eval, bench_anneal_pass);
+criterion_main!(sa_throughput);

@@ -6,7 +6,11 @@ use pipette_bench::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let opts = if quick { Fig6Options::quick() } else { Fig6Options::default() };
+    let opts = if quick {
+        Fig6Options::quick()
+    } else {
+        Fig6Options::default()
+    };
     let sa = if quick { 4_000 } else { 30_000 };
 
     table1::print(&table1::run(16));
@@ -27,6 +31,12 @@ fn main() {
     }
     for kind in ClusterKind::both() {
         fig9::print(&fig9::run_micro_sweep(kind, 16, &[1, 2, 4, 8], sa, 2024));
-        fig9::print(&fig9::run_mini_sweep(kind, 16, &[64, 128, 256, 512, 1024], sa, 2024));
+        fig9::print(&fig9::run_mini_sweep(
+            kind,
+            16,
+            &[64, 128, 256, 512, 1024],
+            sa,
+            2024,
+        ));
     }
 }

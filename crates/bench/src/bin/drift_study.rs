@@ -28,17 +28,31 @@ fn main() {
         let (profiled, _) = cluster.profiler().profile(matrix, seed);
         let compute = ComputeProfiler::default().profile(matrix, &gpu, &gpt, cfg, plan, seed);
         let model = PipetteLatencyModel::new(&profiled, &gpt);
-        let sa = Annealer::new(AnnealerConfig { iterations: 20_000, seed, ..Default::default() });
-        sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute)).0
+        let sa = Annealer::new(AnnealerConfig {
+            iterations: 20_000,
+            seed,
+            ..Default::default()
+        });
+        sa.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute))
+            .0
     };
     let stale = anneal_against(&series[0], 1);
 
-    println!("drift study — {} cluster, {cfg}, {} days", cluster.name(), days);
-    println!("{:<6} {:>10} {:>10} {:>10} {:>16}", "day", "identity", "stale", "fresh", "stale penalty");
+    println!(
+        "drift study — {} cluster, {cfg}, {} days",
+        cluster.name(),
+        days
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>16}",
+        "day", "identity", "stale", "fresh", "stale penalty"
+    );
     let mut worst_penalty: f64 = 0.0;
     for (day, matrix) in series.iter().enumerate().step_by(5) {
         let measure = |m: &Mapping| {
-            IterationSim::new(matrix, &gpu, &gpt).simulate(cfg, m, plan).total_seconds
+            IterationSim::new(matrix, &gpu, &gpt)
+                .simulate(cfg, m, plan)
+                .total_seconds
         };
         let t_id = measure(&identity);
         let t_stale = measure(&stale);
@@ -48,10 +62,17 @@ fn main() {
         worst_penalty = worst_penalty.max(penalty);
         println!(
             "{:<6} {:>8.3} s {:>8.3} s {:>8.3} s {:>15.1}%",
-            day, t_id, t_stale, t_fresh, penalty * 100.0
+            day,
+            t_id,
+            t_stale,
+            t_fresh,
+            penalty * 100.0
         );
     }
-    println!("\nworst staleness penalty over {days} days: {:.1}%", worst_penalty * 100.0);
+    println!(
+        "\nworst staleness penalty over {days} days: {:.1}%",
+        worst_penalty * 100.0
+    );
     println!("(the paper profiles continuously for 40 days — Fig. 3 — precisely because");
     println!(" attained bandwidths drift; this study quantifies the cost of not re-profiling)");
 }

@@ -32,22 +32,41 @@ fn main() {
 
     let naive = Mapping::identity(cfg, *cluster.topology());
     let runner = ClusterRun::new(&cluster, &gpt);
-    let t_naive = runner.execute(cfg, &naive, plan).expect("fits").iteration_seconds;
+    let t_naive = runner
+        .execute(cfg, &naive, plan)
+        .expect("fits")
+        .iteration_seconds;
 
     // Fine-grained worker dedication.
     let profiled = ProfiledBandwidth::exact(cluster.bandwidth().clone());
     let gpu = cluster.gpu().clone();
     let compute = ComputeProfiler::new(0.0).profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
     let model = PipetteLatencyModel::new(&profiled, &gpt);
-    let (dedicated, _, _) = Annealer::new(AnnealerConfig { iterations: 20_000, seed: 4, ..Default::default() })
-        .anneal(&naive, |m| model.estimate(cfg, m, plan, &compute));
-    let t_dedicated = runner.execute(cfg, &dedicated, plan).expect("fits").iteration_seconds;
+    let (dedicated, _, _) = Annealer::new(AnnealerConfig {
+        iterations: 20_000,
+        seed: 4,
+        ..Default::default()
+    })
+    .anneal(&naive, |m| model.estimate(cfg, m, plan, &compute));
+    let t_dedicated = runner
+        .execute(cfg, &dedicated, plan)
+        .expect("fits")
+        .iteration_seconds;
 
     println!("Fig. 4 (conceptual) — six-node toy cluster, pp=3, dp=2, 6 microbatches\n");
-    for (label, mapping, t) in [("(a) naive alphabetical mapping", &naive, t_naive),
-                                ("(b) fine-grained worker dedication", &dedicated, t_dedicated)] {
+    for (label, mapping, t) in [
+        ("(a) naive alphabetical mapping", &naive, t_naive),
+        (
+            "(b) fine-grained worker dedication",
+            &dedicated,
+            t_dedicated,
+        ),
+    ] {
         println!("{label}: {t:.3} s/iteration");
-        println!("   nodes by pipeline position (replica 0 | replica 1): {}", render_assignment(mapping, cfg));
+        println!(
+            "   nodes by pipeline position (replica 0 | replica 1): {}",
+            render_assignment(mapping, cfg)
+        );
         let chart = gantt_for(&cluster, &gpt, cfg, mapping, plan);
         println!("{chart}");
     }
@@ -94,8 +113,12 @@ fn gantt_for(
         bwd_time: (0..cfg.pp)
             .map(|s| stage_bwd_time(gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
             .collect(),
-        fwd_comm: (0..cfg.pp - 1).map(|s| comm.p2p(chain[s], chain[s + 1], msg)).collect(),
-        bwd_comm: (0..cfg.pp - 1).map(|s| comm.p2p(chain[s + 1], chain[s], msg)).collect(),
+        fwd_comm: (0..cfg.pp - 1)
+            .map(|s| comm.p2p(chain[s], chain[s + 1], msg))
+            .collect(),
+        bwd_comm: (0..cfg.pp - 1)
+            .map(|s| comm.p2p(chain[s + 1], chain[s], msg))
+            .collect(),
     };
     let (_, events) = spec.trace();
     render_gantt(&events, cfg.pp, 72)

@@ -3,7 +3,11 @@ use pipette_bench::fig6;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let opts = if quick { fig6::Fig6Options::quick() } else { fig6::Fig6Options::default() };
+    let opts = if quick {
+        fig6::Fig6Options::quick()
+    } else {
+        fig6::Fig6Options::default()
+    };
     for kind in ClusterKind::both() {
         let r = fig6::run(kind, 16, DEFAULT_GLOBAL_BATCH, &opts);
         fig6::print(&r);

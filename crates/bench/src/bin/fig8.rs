@@ -4,7 +4,11 @@ use pipette_bench::fig8;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let opts = if quick { Fig6Options::quick() } else { Fig6Options::default() };
+    let opts = if quick {
+        Fig6Options::quick()
+    } else {
+        Fig6Options::default()
+    };
     for kind in ClusterKind::both() {
         let r = fig8::run(kind, &[32, 64, 96, 128], 256, &opts);
         fig8::print(&r);

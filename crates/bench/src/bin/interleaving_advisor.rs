@@ -19,8 +19,14 @@ fn main() {
         let global_batch = 256;
         let mut memory = pipette::memory::MemoryEstimatorConfig::default();
         memory.train.iterations = 6_000;
-        let opts = PipetteOptions { seed: 11, memory, ..PipetteOptions::default() };
-        let rec = Pipette::new(&cluster, &gpt, global_batch, opts).run().expect("feasible");
+        let opts = PipetteOptions {
+            seed: 11,
+            memory,
+            ..PipetteOptions::default()
+        };
+        let rec = Pipette::new(&cluster, &gpt, global_batch, opts)
+            .run()
+            .expect("feasible");
         let cfg = rec.config;
         let plan = rec.plan;
         println!(

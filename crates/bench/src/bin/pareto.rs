@@ -15,17 +15,23 @@ fn main() {
         let global = 256u64;
         let runner = ClusterRun::new(&cluster, &gpt);
         let topo = cluster.topology();
-        let peak_total =
-            cluster.gpu().peak_fp16_tflops * 1e12 * topo.num_gpus() as f64;
+        let peak_total = cluster.gpu().peak_fp16_tflops * 1e12 * topo.num_gpus() as f64;
 
         // Measure everything runnable.
         let mut points: Vec<(ParallelConfig, u64, f64, u64)> = Vec::new();
         for cfg in ParallelConfig::enumerate(topo.num_gpus(), topo.gpus_per_node(), gpt.n_layers) {
-            let Ok(mini) = BatchConfig::new(global).minibatch(cfg.dp) else { continue };
+            let Ok(mini) = BatchConfig::new(global).minibatch(cfg.dp) else {
+                continue;
+            };
             for plan in MicrobatchPlan::enumerate(mini, 8) {
                 let mapping = Mapping::identity(cfg, *topo);
                 if let Ok(m) = runner.execute(cfg, &mapping, plan) {
-                    points.push((cfg, plan.micro_batch, m.iteration_seconds, m.peak_memory_bytes));
+                    points.push((
+                        cfg,
+                        plan.micro_batch,
+                        m.iteration_seconds,
+                        m.peak_memory_bytes,
+                    ));
                 }
             }
         }

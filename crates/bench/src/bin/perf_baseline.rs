@@ -1,0 +1,191 @@
+//! Configurator performance baseline — writes `BENCH_configurator.json`.
+//!
+//! Measures, without criterion (so it runs in seconds and emits one JSON
+//! artifact CI and future sessions can diff):
+//!
+//! * SA objective throughput (evaluations/second) for the full-estimate
+//!   path and the incremental objective, and the resulting speedup, on
+//!   the paper's 128-GPU mid-range cluster (pp = 8, tp = 8, dp = 2);
+//! * end-to-end `Pipette::run` wall-clock on that cluster;
+//! * the SA improvement reached within a fixed 1-second budget through
+//!   the incremental objective (the paper's budget is 10 s; 1 s keeps
+//!   the baseline cheap while still running hundreds of thousands of
+//!   incremental evaluations).
+//!
+//! `--smoke` shrinks every measurement to a CI-friendly sanity check
+//! (same code paths, tiny budgets, no meaning in the absolute numbers).
+
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette::latency::PipetteLatencyModel;
+use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
+use pipette_cluster::presets;
+use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ComputeProfiler, Mapping};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    cluster: ClusterShape,
+    objective: ObjectiveThroughput,
+    end_to_end: EndToEnd,
+    sa_budgeted: SaBudgeted,
+}
+
+#[derive(Serialize)]
+struct ClusterShape {
+    nodes: usize,
+    gpus_per_node: usize,
+    pp: usize,
+    tp: usize,
+    dp: usize,
+}
+
+#[derive(Serialize)]
+struct ObjectiveThroughput {
+    evaluations: usize,
+    full_evals_per_sec: f64,
+    incremental_evals_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    wall_clock_seconds: f64,
+    examined: usize,
+    memory_rejected: usize,
+    estimated_iteration_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct SaBudgeted {
+    budget_seconds: f64,
+    evaluations: usize,
+    improvement: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let nodes = if smoke { 2 } else { 16 };
+    let cluster = presets::mid_range(nodes).build(3);
+    let gpt = GptConfig::gpt_3_1b();
+    let cfg = if smoke {
+        ParallelConfig::new(4, 2, 2)
+    } else {
+        ParallelConfig::new(8, 8, 2)
+    };
+    let plan = MicrobatchPlan::new(64, 2).unwrap();
+    let evals = if smoke { 200 } else { 5_000 };
+
+    let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
+    let gpu = cluster.gpu().clone();
+    let compute = ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+    let model = PipetteLatencyModel::new(&profiled, &gpt);
+    let identity = Mapping::identity(cfg, *cluster.topology());
+    let block = cfg.tp.max(1);
+    let num_blocks = cfg.num_workers() / block;
+
+    // Throughput of the full-estimate path: move, re-estimate everything.
+    let mut mapping = identity.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut sink = 0.0f64;
+    let t0 = Instant::now();
+    for _ in 0..evals {
+        let mv = Move::random(&mut rng, num_blocks);
+        mv.apply(mapping.as_mut_slice(), block);
+        sink += model.estimate(cfg, &mapping, plan, &compute);
+    }
+    let full_elapsed = t0.elapsed().as_secs_f64();
+
+    // Throughput of the incremental path: same move stream, alternating
+    // commit/rollback so both bookkeeping branches are measured.
+    let mut mapping = identity.clone();
+    let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &mapping);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let t0 = Instant::now();
+    for i in 0..evals {
+        let mv = Move::random(&mut rng, num_blocks);
+        mv.apply(mapping.as_mut_slice(), block);
+        sink += obj.propose(mv, &mapping);
+        if i % 2 == 0 {
+            obj.commit();
+        } else {
+            obj.rollback();
+            mv.inverse().apply(mapping.as_mut_slice(), block);
+        }
+    }
+    let inc_elapsed = t0.elapsed().as_secs_f64();
+
+    let objective = ObjectiveThroughput {
+        evaluations: evals,
+        full_evals_per_sec: evals as f64 / full_elapsed,
+        incremental_evals_per_sec: evals as f64 / inc_elapsed,
+        speedup: full_elapsed / inc_elapsed,
+    };
+
+    // End-to-end Algorithm 1 on the same cluster, with a modest memory
+    // training budget (the estimator is trained once per cluster in
+    // practice and its cost is reported separately in Table II).
+    let mut options = PipetteOptions::fast_test();
+    options.seed = 3;
+    if smoke {
+        options.sa_top_k = 1;
+        options.annealer.iterations = 200;
+    }
+    let t0 = Instant::now();
+    let rec = Pipette::new(&cluster, &gpt, 256, options)
+        .run()
+        .expect("feasible space");
+    let end_to_end = EndToEnd {
+        wall_clock_seconds: t0.elapsed().as_secs_f64(),
+        examined: rec.examined,
+        memory_rejected: rec.memory_rejected,
+        estimated_iteration_seconds: rec.estimated_seconds,
+    };
+
+    // Fixed-wall-clock SA: how much mapping improvement one budget buys
+    // through the incremental objective.
+    let budget = if smoke {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_secs(1)
+    };
+    let sa = Annealer::new(AnnealerConfig {
+        time_limit: Some(budget),
+        iterations: usize::MAX,
+        seed: 2,
+        ..Default::default()
+    });
+    let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &identity);
+    let (_, _, stats) = sa.anneal_with(&identity, &mut obj);
+    let sa_budgeted = SaBudgeted {
+        budget_seconds: budget.as_secs_f64(),
+        evaluations: stats.evaluations,
+        improvement: stats.improvement(),
+    };
+
+    let report = Report {
+        smoke,
+        cluster: ClusterShape {
+            nodes,
+            gpus_per_node: cluster.topology().gpus_per_node(),
+            pp: cfg.pp,
+            tp: cfg.tp,
+            dp: cfg.dp,
+        },
+        objective,
+        end_to_end,
+        sa_budgeted,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_configurator.json", &json).expect("write BENCH_configurator.json");
+    println!("{json}");
+    eprintln!(
+        "wrote BENCH_configurator.json  (objective speedup: {:.1}x, checksum {sink:.3})",
+        report.objective.speedup
+    );
+}

@@ -3,7 +3,11 @@ use pipette_bench::table2;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let opts = if quick { Fig6Options::quick() } else { Fig6Options::default() };
+    let opts = if quick {
+        Fig6Options::quick()
+    } else {
+        Fig6Options::default()
+    };
     let rows = table2::run(512, &opts);
     table2::print(&rows);
 }

@@ -83,10 +83,18 @@ pub fn run(kind: ClusterKind, nodes: usize, days: usize, seed: u64) -> Fig3Resul
                     (message_bytes as f64 / (bw * pipette_cluster::GIB)) * 1e3
                 })
                 .collect();
-            traces.push(PairTrace { from: i, to: j, latency_ms });
+            traces.push(PairTrace {
+                from: i,
+                to: j,
+                latency_ms,
+            });
         }
     }
-    Fig3Result { days, message_bytes, traces }
+    Fig3Result {
+        days,
+        message_bytes,
+        traces,
+    }
 }
 
 /// Prints summary statistics plus a text rendering of a few traces.
@@ -122,7 +130,10 @@ pub fn print(r: &Fig3Result) {
             .map(|&v| char::from_digit(((v / max * 8.0) as u32).clamp(1, 9), 10).unwrap_or('?'))
             .collect();
         let mean = t.latency_ms.iter().sum::<f64>() / t.latency_ms.len() as f64;
-        println!("node{:>2} -> node{:<2} mean {mean:>6.2} ms  [{bars}]", t.from, t.to);
+        println!(
+            "node{:>2} -> node{:<2} mean {mean:>6.2} ms  [{bars}]",
+            t.from, t.to
+        );
     }
     println!();
 }
@@ -137,9 +148,16 @@ mod tests {
         assert_eq!(r.traces.len(), 56);
         assert!(r.traces.iter().all(|t| t.latency_ms.len() == 40));
         // The paper's core observations.
-        assert!(r.spread() > 1.5, "pairs should differ: spread {}", r.spread());
+        assert!(
+            r.spread() > 1.5,
+            "pairs should differ: spread {}",
+            r.spread()
+        );
         let drift = r.mean_daily_drift();
-        assert!(drift > 0.005 && drift < 0.2, "drift should be visible but bounded: {drift}");
+        assert!(
+            drift > 0.005 && drift < 0.2,
+            "drift should be visible but bounded: {drift}"
+        );
     }
 
     #[test]

@@ -39,8 +39,7 @@ pub struct Fig5aResult {
 impl Fig5aResult {
     /// Pipette estimator MAPE.
     pub fn pipette_mape(&self) -> f64 {
-        let (p, t): (Vec<f64>, Vec<f64>) =
-            self.points.iter().map(|x| (x.pipette, x.truth)).unzip();
+        let (p, t): (Vec<f64>, Vec<f64>) = self.points.iter().map(|x| (x.pipette, x.truth)).unzip();
         util::mape(&p, &t)
     }
 
@@ -68,7 +67,9 @@ pub fn run(kind: ClusterKind, nodes: usize, global_batch: u64, seed: u64) -> Fig
 
     let mut points = Vec::new();
     for cfg in ParallelConfig::enumerate(topo.num_gpus(), topo.gpus_per_node(), gpt.n_layers) {
-        let Ok(mini) = BatchConfig::new(global_batch).minibatch(cfg.dp) else { continue };
+        let Ok(mini) = BatchConfig::new(global_batch).minibatch(cfg.dp) else {
+            continue;
+        };
         for plan in MicrobatchPlan::enumerate(mini, 8) {
             if runner.peak_memory(cfg, plan).peak_bytes > cluster.gpu().memory_bytes {
                 continue;
@@ -77,26 +78,45 @@ pub fn run(kind: ClusterKind, nodes: usize, global_batch: u64, seed: u64) -> Fig
             let truth = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
                 .simulate(cfg, &mapping, plan)
                 .total_seconds;
-            let compute =
-                profiler.profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, seed ^ 0x5a);
+            let compute = profiler.profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, seed ^ 0x5a);
             let pipette = ppt_model.estimate(cfg, &mapping, plan, &compute);
             let amp = amp_model.estimate(cfg, plan, &compute);
-            points.push(EstimatePoint { config: cfg, micro_batch: plan.micro_batch, truth, pipette, amp });
+            points.push(EstimatePoint {
+                config: cfg,
+                micro_batch: plan.micro_batch,
+                truth,
+                pipette,
+                amp,
+            });
         }
     }
-    Fig5aResult { cluster: kind.label().to_owned(), points }
+    Fig5aResult {
+        cluster: kind.label().to_owned(),
+        points,
+    }
 }
 
 /// Prints the MAPE comparison and the worst offenders.
 pub fn print(r: &Fig5aResult) {
-    println!("Fig. 5a — latency estimation accuracy ({} cluster, {} runnable configs)", r.cluster, r.points.len());
-    util::rule(78);
     println!(
-        "{:<22} {:>12} {:>12}",
-        "estimator", "measured", "paper"
+        "Fig. 5a — latency estimation accuracy ({} cluster, {} runnable configs)",
+        r.cluster,
+        r.points.len()
     );
-    println!("{:<22} {:>11.2}% {:>12}", "AMP (Eq. 1)", r.amp_mape() * 100.0, "23.18%");
-    println!("{:<22} {:>11.2}% {:>12}", "Pipette (Eqs. 3-6)", r.pipette_mape() * 100.0, "5.87%");
+    util::rule(78);
+    println!("{:<22} {:>12} {:>12}", "estimator", "measured", "paper");
+    println!(
+        "{:<22} {:>11.2}% {:>12}",
+        "AMP (Eq. 1)",
+        r.amp_mape() * 100.0,
+        "23.18%"
+    );
+    println!(
+        "{:<22} {:>11.2}% {:>12}",
+        "Pipette (Eqs. 3-6)",
+        r.pipette_mape() * 100.0,
+        "5.87%"
+    );
     util::rule(78);
     let mut worst: Vec<&EstimatePoint> = r.points.iter().collect();
     worst.sort_by(|a, b| {
@@ -130,6 +150,9 @@ mod tests {
         assert!(r.points.len() >= 6, "need a population: {}", r.points.len());
         let (ppt, amp) = (r.pipette_mape(), r.amp_mape());
         assert!(ppt < 0.10, "Pipette MAPE too high: {ppt:.3}");
-        assert!(amp > 2.0 * ppt, "AMP {amp:.3} should be much worse than Pipette {ppt:.3}");
+        assert!(
+            amp > 2.0 * ppt,
+            "AMP {amp:.3} should be much worse than Pipette {ppt:.3}"
+        );
     }
 }

@@ -56,8 +56,14 @@ pub fn run_with_training(
     let runner_recompute = ClusterRun::new(&cluster, &gpt).with_recompute(true);
     let limit = cluster.gpu().memory_bytes;
 
-    let amp = AmpConfigurator::new(&cluster, &gpt, global_batch).top_k(k);
-    let varuna = VarunaConfigurator::new(&cluster, &gpt, global_batch).top_k(k);
+    // The run seed drives every stochastic component: the baselines'
+    // compute-profiling noise as well as Pipette's own options below.
+    let amp = AmpConfigurator::new(&cluster, &gpt, global_batch)
+        .with_seed(seed)
+        .top_k(k);
+    let varuna = VarunaConfigurator::new(&cluster, &gpt, global_batch)
+        .with_seed(seed)
+        .top_k(k);
 
     // Pipette's top-k: the configurator's own ranked list (winner first,
     // then its alternatives, already ordered by the latency estimate and
@@ -69,7 +75,9 @@ pub fn run_with_training(
         .run()
         .expect("Pipette finds candidates");
     let mut pipette_list: Vec<(ParallelConfig, MicrobatchPlan)> =
-        std::iter::once((rec.config, rec.plan)).chain(rec.alternatives).collect();
+        std::iter::once((rec.config, rec.plan))
+            .chain(rec.alternatives)
+            .collect();
     pipette_list.truncate(k);
     let pipette_oom = pipette_list
         .iter()
@@ -87,8 +95,14 @@ pub fn run_with_training(
         amp_oom: count_oom_in_top_k(&amp, &runner, k),
         varuna_oom: count_oom_in_top_k(&varuna, &runner_recompute, k),
         pipette_oom,
-        amp_top1_runs: amp.first().map(|c| !oom(c.config, c.plan, false)).unwrap_or(false),
-        varuna_top1_runs: varuna.first().map(|c| !oom(c.config, c.plan, true)).unwrap_or(false),
+        amp_top1_runs: amp
+            .first()
+            .map(|c| !oom(c.config, c.plan, false))
+            .unwrap_or(false),
+        varuna_top1_runs: varuna
+            .first()
+            .map(|c| !oom(c.config, c.plan, true))
+            .unwrap_or(false),
         pipette_top1_runs: pipette_list
             .first()
             .map(|(c, p)| !oom(*c, *p, false))
@@ -98,20 +112,35 @@ pub fn run_with_training(
 
 /// Prints the comparison with paper reference values.
 pub fn print(r: &Fig5bResult) {
-    println!("Fig. 5b — OOM configurations among the top-{} recommendations ({} cluster)", r.k, r.cluster);
+    println!(
+        "Fig. 5b — OOM configurations among the top-{} recommendations ({} cluster)",
+        r.k, r.cluster
+    );
     util::rule(72);
-    println!("{:<10} {:>14} {:>12} {:>14}", "method", "OOM in top-10", "top-1 runs", "paper OOM");
     println!(
         "{:<10} {:>14} {:>12} {:>14}",
-        "AMP", r.amp_oom, yes_no(r.amp_top1_runs), "8/10 (top-1 OOM)"
+        "method", "OOM in top-10", "top-1 runs", "paper OOM"
     );
     println!(
         "{:<10} {:>14} {:>12} {:>14}",
-        "Varuna", r.varuna_oom, yes_no(r.varuna_top1_runs), "8/10 (top-1 OOM)"
+        "AMP",
+        r.amp_oom,
+        yes_no(r.amp_top1_runs),
+        "8/10 (top-1 OOM)"
     );
     println!(
         "{:<10} {:>14} {:>12} {:>14}",
-        "Pipette", r.pipette_oom, yes_no(r.pipette_top1_runs), "0/10"
+        "Varuna",
+        r.varuna_oom,
+        yes_no(r.varuna_top1_runs),
+        "8/10 (top-1 OOM)"
+    );
+    println!(
+        "{:<10} {:>14} {:>12} {:>14}",
+        "Pipette",
+        r.pipette_oom,
+        yes_no(r.pipette_top1_runs),
+        "0/10"
     );
     println!();
 }
@@ -131,8 +160,16 @@ mod tests {
     #[test]
     fn baselines_recommend_oom_pipette_does_not() {
         let r = run_with_training(ClusterKind::MidRange, 8, 256, 10, 5, 3_000);
-        assert!(r.amp_oom >= 5, "AMP should OOM most of its top-10: {}", r.amp_oom);
-        assert!(r.varuna_oom >= 3, "Varuna should OOM several of its top-10: {}", r.varuna_oom);
+        assert!(
+            r.amp_oom >= 5,
+            "AMP should OOM most of its top-10: {}",
+            r.amp_oom
+        );
+        assert!(
+            r.varuna_oom >= 3,
+            "Varuna should OOM several of its top-10: {}",
+            r.varuna_oom
+        );
         assert_eq!(r.pipette_oom, 0, "Pipette must not recommend OOM configs");
         assert!(r.pipette_top1_runs);
     }

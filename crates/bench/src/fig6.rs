@@ -78,14 +78,24 @@ pub struct Fig6Options {
 
 impl Default for Fig6Options {
     fn default() -> Self {
-        Self { sa_iterations: 30_000, sa_top_k: 4, mem_iterations: 8_000, seed: 7 }
+        Self {
+            sa_iterations: 30_000,
+            sa_top_k: 4,
+            mem_iterations: 8_000,
+            seed: 7,
+        }
     }
 }
 
 impl Fig6Options {
     /// Reduced budget for criterion benches and CI.
     pub fn quick() -> Self {
-        Self { sa_iterations: 4_000, sa_top_k: 2, mem_iterations: 2_000, seed: 7 }
+        Self {
+            sa_iterations: 4_000,
+            sa_top_k: 2,
+            mem_iterations: 2_000,
+            seed: 7,
+        }
     }
 
     /// Pipette options implementing this budget.
@@ -167,9 +177,14 @@ pub fn run_on(
     let base = Pipette::new(cluster, gpt, global_batch, opts.pipette_options());
     let (estimator, _, _) = base.train_memory_estimator();
 
-    let ppt_l = Pipette::new(cluster, gpt, global_batch, opts.pipette_options().latency_only())
-        .with_memory_estimator(estimator.clone())
-        .run();
+    let ppt_l = Pipette::new(
+        cluster,
+        gpt,
+        global_batch,
+        opts.pipette_options().latency_only(),
+    )
+    .with_memory_estimator(estimator.clone())
+    .run();
     rows.push(execute_recommendation("PPT-L", ppt_l, &run));
 
     let ppt_lf = Pipette::new(cluster, gpt, global_batch, opts.pipette_options())
@@ -177,7 +192,12 @@ pub fn run_on(
         .run();
     rows.push(execute_recommendation("PPT-LF", ppt_lf, &run));
 
-    Fig6Result { cluster: label.to_owned(), model: gpt.to_string(), global_batch, rows }
+    Fig6Result {
+        cluster: label.to_owned(),
+        model: gpt.to_string(),
+        global_batch,
+        rows,
+    }
 }
 
 fn none_row(method: &str) -> MethodResult {
@@ -195,7 +215,9 @@ fn execute_recommendation(
     rec: Result<pipette::Recommendation, pipette::ConfigureError>,
     run: &ClusterRun<'_>,
 ) -> MethodResult {
-    let Ok(rec) = rec else { return none_row(method) };
+    let Ok(rec) = rec else {
+        return none_row(method);
+    };
     // Launch the top recommendation; on the (rare) OOM miss of the memory
     // estimator, walk the rest of the list like any practitioner would —
     // `launches` records the attempts, comparable to the baselines'.
@@ -226,7 +248,10 @@ pub fn print(result: &Fig6Result) {
     util::rule(92);
     let mlm = result.seconds_of("MLM");
     for r in &result.rows {
-        let cfg = r.config.map(|c| c.to_string()).unwrap_or_else(|| "-".into());
+        let cfg = r
+            .config
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into());
         let (micro, n_mb) = r
             .plan
             .map(|p| (p.micro_batch.to_string(), p.n_microbatches.to_string()))
@@ -249,7 +274,10 @@ pub fn print(result: &Fig6Result) {
         ("PPT-LF", "AMP", 1.12, 1.46),
         ("PPT-LF", "MLM", 1.07, 1.26),
     ];
-    println!("{:<20} {:>10} {:>18}", "speedup", "measured", "paper (mid/high)");
+    println!(
+        "{:<20} {:>10} {:>18}",
+        "speedup", "measured", "paper (mid/high)"
+    );
     for (a, b, mid, high) in paper {
         println!(
             "{:<20} {:>9.2}x {:>13.2}/{:.2}x",
@@ -275,8 +303,17 @@ mod tests {
         let amp = r.seconds_of("AMP");
         let lf = r.seconds_of("PPT-LF");
         assert!(lf.is_finite(), "Pipette must produce a runnable config");
-        assert!(amp.is_finite(), "AMP must eventually find a runnable config");
-        assert!(vr > amp, "pipeline-only Varuna should lose to AMP: {vr} vs {amp}");
-        assert!(lf <= amp * 1.02, "Pipette should not lose to AMP: {lf} vs {amp}");
+        assert!(
+            amp.is_finite(),
+            "AMP must eventually find a runnable config"
+        );
+        assert!(
+            vr > amp,
+            "pipeline-only Varuna should lose to AMP: {vr} vs {amp}"
+        );
+        assert!(
+            lf <= amp * 1.02,
+            "Pipette should not lose to AMP: {lf} vs {amp}"
+        );
     }
 }

@@ -73,7 +73,12 @@ pub fn run(kind: ClusterKind, nodes: usize, seed: u64) -> Fig7Result {
 }
 
 /// [`run`] with an explicit MLP training budget (tests use a smaller one).
-pub fn run_with_training(kind: ClusterKind, nodes: usize, seed: u64, iterations: usize) -> Fig7Result {
+pub fn run_with_training(
+    kind: ClusterKind,
+    nodes: usize,
+    seed: u64,
+    iterations: usize,
+) -> Fig7Result {
     let cluster = kind.cluster(nodes);
     let gpt = kind.model_for_gpus(cluster.topology().num_gpus());
     let truth = ClusterRun::new(&cluster, &gpt).memory_sim();
@@ -82,8 +87,10 @@ pub fn run_with_training(kind: ClusterKind, nodes: usize, seed: u64, iterations:
     // The paper profiles the models of interest on up to four nodes
     // (32 GPUs) and validates extrapolation up to 128 GPUs. The models of
     // interest are the weak-scaling family evaluated on this cluster.
-    let family: Vec<GptConfig> =
-        [32usize, 64, 96, 128].iter().map(|&g| kind.model_for_gpus(g)).collect();
+    let family: Vec<GptConfig> = [32usize, 64, 96, 128]
+        .iter()
+        .map(|&g| kind.model_for_gpus(g))
+        .collect();
     let train_spec = SampleSpec {
         gpu_counts: vec![8, 16, 24, 32],
         gpus_per_node,
@@ -117,8 +124,10 @@ pub fn run_with_training(kind: ClusterKind, nodes: usize, seed: u64, iterations:
         .map(|n| n * gpus_per_node)
         .filter(|g| *g <= cluster.topology().num_gpus())
         .collect();
-    let eval_models: Vec<GptConfig> =
-        eval_counts.iter().map(|&g| kind.model_for_gpus(g)).collect();
+    let eval_models: Vec<GptConfig> = eval_counts
+        .iter()
+        .map(|&g| kind.model_for_gpus(g))
+        .collect();
     let spec = SampleSpec {
         gpu_counts: eval_counts,
         gpus_per_node,
@@ -155,14 +164,25 @@ pub fn run_with_training(kind: ClusterKind, nodes: usize, seed: u64, iterations:
             break; // the paper's sample count
         }
     }
-    Fig7Result { cluster: kind.label().to_owned(), points }
+    Fig7Result {
+        cluster: kind.label().to_owned(),
+        points,
+    }
 }
 
 /// Prints MAPEs against the paper's numbers.
 pub fn print(r: &Fig7Result) {
-    println!("Fig. 7 — memory estimation accuracy ({} cluster, {} points)", r.cluster, r.points.len());
+    println!(
+        "Fig. 7 — memory estimation accuracy ({} cluster, {} points)",
+        r.cluster,
+        r.points.len()
+    );
     util::rule(78);
-    let paper = if r.cluster == "mid-range" { ("65.71%", "7.39%") } else { ("59.49%", "6.42%") };
+    let paper = if r.cluster == "mid-range" {
+        ("65.71%", "7.39%")
+    } else {
+        ("59.49%", "6.42%")
+    };
     println!("{:<26} {:>12} {:>10}", "estimator", "measured", "paper");
     println!(
         "{:<26} {:>11.2}% {:>10}",
@@ -194,7 +214,10 @@ mod tests {
         let learned = r.learned_mape();
         let analytic = r.analytic_mape();
         assert!(learned < 0.15, "learned MAPE {learned:.3}");
-        assert!(analytic > 0.35, "analytic MAPE should be large: {analytic:.3}");
+        assert!(
+            analytic > 0.35,
+            "analytic MAPE should be large: {analytic:.3}"
+        );
         assert!(r.analytic_underestimates() > 0.9);
     }
 }

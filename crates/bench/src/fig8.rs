@@ -41,7 +41,12 @@ pub struct Fig8Result {
 
 /// Runs the weak-scaling sweep over `gpu_counts` (the paper uses
 /// 32/64/96/128; 96 is skipped when the node count is not divisible).
-pub fn run(kind: ClusterKind, gpu_counts: &[usize], global_batch: u64, opts: &Fig6Options) -> Fig8Result {
+pub fn run(
+    kind: ClusterKind,
+    gpu_counts: &[usize],
+    global_batch: u64,
+    opts: &Fig6Options,
+) -> Fig8Result {
     let mut points = Vec::new();
     for &g in gpu_counts {
         assert!(g % 8 == 0, "GPU counts must be whole nodes");
@@ -55,12 +60,18 @@ pub fn run(kind: ClusterKind, gpu_counts: &[usize], global_batch: u64, opts: &Fi
             pipette_seconds: r.seconds_of("PPT-LF"),
         });
     }
-    Fig8Result { cluster: kind.label().to_owned(), points }
+    Fig8Result {
+        cluster: kind.label().to_owned(),
+        points,
+    }
 }
 
 /// Prints the sweep with the paper's reference band.
 pub fn print(r: &Fig8Result) {
-    println!("Fig. 8 — weak-scaling speedup of Pipette over AMP ({} cluster)", r.cluster);
+    println!(
+        "Fig. 8 — weak-scaling speedup of Pipette over AMP ({} cluster)",
+        r.cluster
+    );
     util::rule(78);
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>10} {:>14}",
@@ -86,15 +97,15 @@ mod tests {
 
     #[test]
     fn speedup_holds_across_scales() {
-        let r = run(
-            ClusterKind::MidRange,
-            &[32, 64],
-            256,
-            &Fig6Options::quick(),
-        );
+        let r = run(ClusterKind::MidRange, &[32, 64], 256, &Fig6Options::quick());
         assert_eq!(r.points.len(), 2);
         for p in &r.points {
-            assert!(p.speedup() > 0.97, "Pipette should not lose at {} GPUs: {:.3}", p.n_gpus, p.speedup());
+            assert!(
+                p.speedup() > 0.97,
+                "Pipette should not lose at {} GPUs: {:.3}",
+                p.n_gpus,
+                p.speedup()
+            );
             assert!(p.pipette_seconds.is_finite());
         }
     }

@@ -62,15 +62,19 @@ fn run_pinned(
     let ranked: Vec<_> = AmpConfigurator::new(&cluster, &gpt, global_batch)
         .with_max_micro(micro)
         .rank();
-    let amp_seconds =
-        first_runnable(&ranked, &runner).map(|h| h.measured.iteration_seconds).unwrap_or(f64::INFINITY);
+    let amp_seconds = first_runnable(&ranked, &runner)
+        .map(|h| h.measured.iteration_seconds)
+        .unwrap_or(f64::INFINITY);
 
     // Pipette under the same cap.
     let mut memory = pipette::memory::MemoryEstimatorConfig::default();
     memory.train.iterations = 3_000;
     let opts = PipetteOptions {
         max_micro: micro,
-        annealer: AnnealerConfig { iterations: sa_iterations, ..AnnealerConfig::default() },
+        annealer: AnnealerConfig {
+            iterations: sa_iterations,
+            ..AnnealerConfig::default()
+        },
         seed,
         memory,
         ..PipetteOptions::default()
@@ -98,10 +102,18 @@ pub fn run_micro_sweep(
         .iter()
         .map(|&m| {
             let (amp, ppt) = run_pinned(kind, nodes, global_batch, m, sa_iterations, seed);
-            SensitivityPoint { pinned: m, amp_seconds: amp, pipette_seconds: ppt }
+            SensitivityPoint {
+                pinned: m,
+                amp_seconds: amp,
+                pipette_seconds: ppt,
+            }
         })
         .collect();
-    Fig9Result { cluster: kind.label().to_owned(), sweep: "microbatch".into(), points }
+    Fig9Result {
+        cluster: kind.label().to_owned(),
+        sweep: "microbatch".into(),
+        points,
+    }
 }
 
 /// Minibatch sweep at fixed microbatch (paper: microbatch 8).
@@ -116,17 +128,34 @@ pub fn run_mini_sweep(
         .iter()
         .map(|&global| {
             let (amp, ppt) = run_pinned(kind, nodes, global, 8, sa_iterations, seed);
-            SensitivityPoint { pinned: global, amp_seconds: amp, pipette_seconds: ppt }
+            SensitivityPoint {
+                pinned: global,
+                amp_seconds: amp,
+                pipette_seconds: ppt,
+            }
         })
         .collect();
-    Fig9Result { cluster: kind.label().to_owned(), sweep: "minibatch".into(), points }
+    Fig9Result {
+        cluster: kind.label().to_owned(),
+        sweep: "minibatch".into(),
+        points,
+    }
 }
 
 /// Prints a sweep.
 pub fn print(r: &Fig9Result) {
-    println!("Fig. 9 — {} sensitivity ({} cluster); paper: stable 1.14-1.44x over AMP", r.sweep, r.cluster);
+    println!(
+        "Fig. 9 — {} sensitivity ({} cluster); paper: stable 1.14-1.44x over AMP",
+        r.sweep, r.cluster
+    );
     util::rule(70);
-    println!("{:<12} {:>12} {:>12} {:>10}", r.sweep.as_str(), "AMP", "Pipette", "speedup");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        r.sweep.as_str(),
+        "AMP",
+        "Pipette",
+        "speedup"
+    );
     for p in &r.points {
         println!(
             "{:<12} {:>12} {:>12} {:>9.2}x",
@@ -147,7 +176,11 @@ mod tests {
     fn micro_sensitivity_never_loses() {
         let r = run_micro_sweep(ClusterKind::MidRange, 4, &[1, 2], 3_000, 3);
         for p in &r.points {
-            assert!(p.pipette_seconds.is_finite(), "Pipette must run at micro={}", p.pinned);
+            assert!(
+                p.pipette_seconds.is_finite(),
+                "Pipette must run at micro={}",
+                p.pinned
+            );
             assert!(
                 p.speedup() > 0.97,
                 "Pipette should match or beat AMP at micro={}: {:.3}",

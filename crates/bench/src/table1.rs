@@ -56,7 +56,14 @@ pub fn print(rows: &[ClusterSpecRow]) {
     util::rule(100);
     println!(
         "{:<12} {:>6} {:>8} {:>8} {:>14} {:>14} {:>16} {:>10}",
-        "cluster", "GPU", "nodes", "GPUs", "inter nominal", "inter attained", "intra nominal", "GPU mem"
+        "cluster",
+        "GPU",
+        "nodes",
+        "GPUs",
+        "inter nominal",
+        "inter attained",
+        "intra nominal",
+        "GPU mem"
     );
     for r in rows {
         println!(

@@ -47,7 +47,12 @@ pub struct Table2Row {
 }
 
 /// Runs the overhead analysis for one (cluster, nodes) cell.
-pub fn run_cell(kind: ClusterKind, nodes: usize, global_batch: u64, opts: &Fig6Options) -> Table2Row {
+pub fn run_cell(
+    kind: ClusterKind,
+    nodes: usize,
+    global_batch: u64,
+    opts: &Fig6Options,
+) -> Table2Row {
     let cluster = kind.cluster(nodes);
     let gpt = kind.model_for_gpus(cluster.topology().num_gpus());
     let runner = ClusterRun::new(&cluster, &gpt);
@@ -99,7 +104,17 @@ pub fn print(rows: &[Table2Row]) {
     util::rule(112);
     println!(
         "{:<11} {:>6} {:>7} {:>11} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}",
-        "cluster", "nodes", "model", "profiling", "SA", "mem-est", "total", "overhead", "AMP", "Pipette", "saved"
+        "cluster",
+        "nodes",
+        "model",
+        "profiling",
+        "SA",
+        "mem-est",
+        "total",
+        "overhead",
+        "AMP",
+        "Pipette",
+        "saved"
     );
     for r in rows {
         println!(
@@ -133,7 +148,11 @@ mod tests {
     fn overhead_is_negligible_and_savings_positive() {
         let row = run_cell(ClusterKind::MidRange, 8, 256, &Fig6Options::quick());
         assert!(row.profiling_s > 30.0, "profiling models Table II seconds");
-        assert!(row.overhead_pct < 0.2, "overhead must be tiny: {}", row.overhead_pct);
+        assert!(
+            row.overhead_pct < 0.2,
+            "overhead must be tiny: {}",
+            row.overhead_pct
+        );
         assert!(row.pipette_days.is_finite());
         assert!(
             row.saved_days > -0.5,

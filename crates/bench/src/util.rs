@@ -1,8 +1,8 @@
 //! Small shared helpers for experiment output.
 
 use pipette::Recommendation;
-use pipette_sim::{ClusterRun, Mapping, Measured};
 use pipette_model::{MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ClusterRun, Mapping, Measured};
 
 /// Launches a Pipette recommendation, falling back to its runner-up list
 /// on OOM (the practitioner protocol; `launches` counts attempts).
@@ -10,7 +10,9 @@ pub fn launch_recommendation(
     rec: &Recommendation,
     run: &ClusterRun<'_>,
 ) -> Option<(ParallelConfig, MicrobatchPlan, Measured, usize)> {
-    if let Ok(m) = run.execute(rec.config, &rec.mapping, rec.plan) { return Some((rec.config, rec.plan, m, 1)) }
+    if let Ok(m) = run.execute(rec.config, &rec.mapping, rec.plan) {
+        return Some((rec.config, rec.plan, m, 1));
+    }
     let mut launches = 1;
     for &(cfg, plan) in &rec.alternatives {
         launches += 1;

@@ -29,15 +29,21 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else { return usage() };
+    let Some(command) = args.first() else {
+        return usage();
+    };
     match command.as_str() {
         "example-spec" => {
             println!("{EXAMPLE_SPEC}");
             ExitCode::SUCCESS
         }
         "import-mpigraph" => {
-            let (Some(path), Some(gpn)) = (args.get(1), args.get(2)) else { return usage() };
-            let Ok(gpus_per_node) = gpn.parse::<usize>() else { return usage() };
+            let (Some(path), Some(gpn)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Ok(gpus_per_node) = gpn.parse::<usize>() else {
+                return usage();
+            };
             match import_mpigraph(path, gpus_per_node) {
                 Ok(json) => {
                     println!("{json}");
@@ -50,7 +56,9 @@ fn main() -> ExitCode {
             }
         }
         "configure" | "compare" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let json_output = args.iter().any(|a| a == "--json");
             let spec: JobSpec = match std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
@@ -84,8 +92,7 @@ fn main() -> ExitCode {
 fn import_mpigraph(path: &str, gpus_per_node: usize) -> Result<String, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     let preset = pipette_cluster::presets::mid_range(2);
-    let matrix =
-        pipette_cluster::parse_mpigraph(&text, gpus_per_node, preset.intra, preset.inter)?;
+    let matrix = pipette_cluster::parse_mpigraph(&text, gpus_per_node, preset.intra, preset.inter)?;
     let cluster =
         pipette_cluster::Cluster::new("imported", preset.gpu.clone(), matrix, preset.profiler);
     Ok(cluster.to_json()?)
@@ -97,14 +104,26 @@ fn configure(spec: &JobSpec, json: bool) -> Result<(), Box<dyn std::error::Error
         println!("{}", serde_json::to_string_pretty(&report)?);
         return Ok(());
     }
-    println!("recommended configuration : (pp={}, tp={}, dp={})", report.pp, report.tp, report.dp);
+    println!(
+        "recommended configuration : (pp={}, tp={}, dp={})",
+        report.pp, report.tp, report.dp
+    );
     println!(
         "microbatch                : {} ({} microbatches/iteration)",
         report.micro_batch, report.n_microbatches
     );
-    println!("estimated iteration time  : {:.3} s", report.estimated_seconds);
-    println!("measured iteration time   : {:.3} s (simulated verification)", report.measured_seconds);
-    println!("peak GPU memory           : {:.1} GiB", report.peak_memory_gib);
+    println!(
+        "estimated iteration time  : {:.3} s",
+        report.estimated_seconds
+    );
+    println!(
+        "measured iteration time   : {:.3} s (simulated verification)",
+        report.measured_seconds
+    );
+    println!(
+        "peak GPU memory           : {:.1} GiB",
+        report.peak_memory_gib
+    );
     println!(
         "search                    : {} candidates, {} rejected by the memory estimator",
         report.examined, report.memory_rejected
@@ -118,9 +137,15 @@ fn compare(spec: &JobSpec, json: bool) -> Result<(), Box<dyn std::error::Error>>
         println!("{}", serde_json::to_string_pretty(&rows)?);
         return Ok(());
     }
-    println!("{:<14} {:>28} {:>12} {:>9}", "method", "config", "iter time", "launches");
+    println!(
+        "{:<14} {:>28} {:>12} {:>9}",
+        "method", "config", "iter time", "launches"
+    );
     for r in &rows {
-        println!("{:<14} {:>28} {:>10.3} s {:>9}", r.method, r.config, r.seconds, r.launches);
+        println!(
+            "{:<14} {:>28} {:>10.3} s {:>9}",
+            r.method, r.config, r.seconds, r.launches
+        );
     }
     Ok(())
 }

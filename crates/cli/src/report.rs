@@ -42,7 +42,10 @@ fn options_for(spec: &JobSpec) -> PipetteOptions {
     PipetteOptions {
         max_micro: spec.max_micro,
         use_worker_dedication: spec.worker_dedication,
-        annealer: AnnealerConfig { iterations: spec.sa_iterations, ..AnnealerConfig::default() },
+        annealer: AnnealerConfig {
+            iterations: spec.sa_iterations,
+            ..AnnealerConfig::default()
+        },
         memory,
         seed: spec.seed,
         ..PipetteOptions::default()
@@ -120,7 +123,10 @@ pub fn run_compare(spec: &JobSpec) -> Result<Vec<CompareRow>, Box<dyn Error>> {
     if let Some(hit) = first_runnable(&vr, &vr_runner) {
         rows.push(CompareRow {
             method: "varuna".into(),
-            config: format!("{} micro={}", hit.candidate.config, hit.candidate.plan.micro_batch),
+            config: format!(
+                "{} micro={}",
+                hit.candidate.config, hit.candidate.plan.micro_batch
+            ),
             seconds: hit.measured.iteration_seconds,
             launches: hit.attempts,
         });
@@ -132,7 +138,10 @@ pub fn run_compare(spec: &JobSpec) -> Result<Vec<CompareRow>, Box<dyn Error>> {
     if let Some(hit) = first_runnable(&amp, &runner) {
         rows.push(CompareRow {
             method: "amp".into(),
-            config: format!("{} micro={}", hit.candidate.config, hit.candidate.plan.micro_batch),
+            config: format!(
+                "{} micro={}",
+                hit.candidate.config, hit.candidate.plan.micro_batch
+            ),
             seconds: hit.measured.iteration_seconds,
             launches: hit.attempts,
         });
@@ -141,7 +150,10 @@ pub fn run_compare(spec: &JobSpec) -> Result<Vec<CompareRow>, Box<dyn Error>> {
     let report = run_configure(spec)?;
     rows.push(CompareRow {
         method: "pipette".into(),
-        config: format!("(pp={}, tp={}, dp={}) micro={}", report.pp, report.tp, report.dp, report.micro_batch),
+        config: format!(
+            "(pp={}, tp={}, dp={}) micro={}",
+            report.pp, report.tp, report.dp, report.micro_batch
+        ),
         seconds: report.measured_seconds,
         launches: 1,
     });
@@ -155,8 +167,18 @@ mod tests {
 
     fn small_spec() -> JobSpec {
         JobSpec {
-            cluster: ClusterSpec { preset: "mid-range".into(), nodes: 2, seed: 3 },
-            model: ModelSpec::Custom { layers: 8, hidden: 1024, heads: 16, seq_len: 2048, vocab: 51200 },
+            cluster: ClusterSpec {
+                preset: "mid-range".into(),
+                nodes: 2,
+                seed: 3,
+            },
+            model: ModelSpec::Custom {
+                layers: 8,
+                hidden: 1024,
+                heads: 16,
+                seq_len: 2048,
+                vocab: 51200,
+            },
             global_batch: 64,
             max_micro: 4,
             worker_dedication: true,

@@ -164,9 +164,13 @@ impl JobSpec {
                 "gpt-11.1b" => Ok(GptConfig::gpt_11_1b()),
                 other => Err(SpecError::UnknownModel(other.to_owned())),
             },
-            ModelSpec::Custom { layers, hidden, heads, seq_len, vocab } => {
-                Ok(GptConfig::new(*layers, *hidden, *heads, *seq_len, *vocab))
-            }
+            ModelSpec::Custom {
+                layers,
+                hidden,
+                heads,
+                seq_len,
+                vocab,
+            } => Ok(GptConfig::new(*layers, *hidden, *heads, *seq_len, *vocab)),
         }
     }
 }
@@ -215,15 +219,27 @@ mod tests {
             "global_batch": 256
         }"#;
         let spec: JobSpec = serde_json::from_str(json).unwrap();
-        assert!(matches!(spec.build_cluster(), Err(SpecError::UnknownCluster(_))));
-        assert!(matches!(spec.build_model(), Err(SpecError::UnknownModel(_))));
+        assert!(matches!(
+            spec.build_cluster(),
+            Err(SpecError::UnknownCluster(_))
+        ));
+        assert!(matches!(
+            spec.build_model(),
+            Err(SpecError::UnknownModel(_))
+        ));
     }
 
     #[test]
     fn spec_round_trips_through_json() {
         let spec = JobSpec {
-            cluster: ClusterSpec { preset: "mid-range".into(), nodes: 8, seed: 1 },
-            model: ModelSpec::Preset { preset: "gpt-3.1b".into() },
+            cluster: ClusterSpec {
+                preset: "mid-range".into(),
+                nodes: 8,
+                seed: 1,
+            },
+            model: ModelSpec::Preset {
+                preset: "gpt-3.1b".into(),
+            },
             global_batch: 512,
             max_micro: 4,
             worker_dedication: true,

@@ -39,8 +39,15 @@ fn configure_runs_end_to_end_from_a_file() {
         }"#,
     )
     .unwrap();
-    let out = bin().args(["configure", path.to_str().unwrap(), "--json"]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["configure", path.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report: pipette_cli::CliReport = serde_json::from_slice(&out.stdout).expect("json report");
     assert_eq!(report.pp * report.tp * report.dp, 16);
 }
@@ -55,7 +62,11 @@ fn import_mpigraph_produces_a_loadable_cluster() {
         .args(["import-mpigraph", path.to_str().unwrap(), "8"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let cluster =
         pipette_cluster::Cluster::from_json(&String::from_utf8_lossy(&out.stdout)).expect("json");
     assert_eq!(cluster.topology().num_nodes(), 3);
@@ -68,7 +79,10 @@ fn malformed_spec_fails_cleanly() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bad.json");
     std::fs::write(&path, "{ not json").unwrap();
-    let out = bin().args(["configure", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["configure", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }

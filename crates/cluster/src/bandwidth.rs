@@ -34,8 +34,10 @@ mod infinite_f64_vec {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
     pub fn serialize<S: Serializer>(data: &[f64], s: S) -> Result<S::Ok, S::Error> {
-        let encoded: Vec<Option<f64>> =
-            data.iter().map(|&v| if v.is_finite() { Some(v) } else { None }).collect();
+        let encoded: Vec<Option<f64>> = data
+            .iter()
+            .map(|&v| if v.is_finite() { Some(v) } else { None })
+            .collect();
         encoded.serialize(s)
     }
 
@@ -70,11 +72,19 @@ impl BandwidthMatrix {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    assert!(data[i * n + j] > 0.0, "bandwidth ({i},{j}) must be positive");
+                    assert!(
+                        data[i * n + j] > 0.0,
+                        "bandwidth ({i},{j}) must be positive"
+                    );
                 }
             }
         }
-        Self { topology, intra_spec, inter_spec, data }
+        Self {
+            topology,
+            intra_spec,
+            inter_spec,
+            data,
+        }
     }
 
     /// Builds a perfectly homogeneous matrix at nominal speeds.
@@ -100,7 +110,12 @@ impl BandwidthMatrix {
                 };
             }
         }
-        Self { topology, intra_spec, inter_spec, data }
+        Self {
+            topology,
+            intra_spec,
+            inter_spec,
+            data,
+        }
     }
 
     /// The topology this matrix is defined over.

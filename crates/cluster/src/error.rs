@@ -25,7 +25,10 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::InvalidNodeCount { requested, max } => {
-                write!(f, "requested {requested} nodes but preset supports at most {max}")
+                write!(
+                    f,
+                    "requested {requested} nodes but preset supports at most {max}"
+                )
             }
             ClusterError::MalformedMatrix { reason } => {
                 write!(f, "malformed bandwidth table: {reason}")
@@ -42,7 +45,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let e = ClusterError::InvalidNodeCount { requested: 32, max: 16 };
+        let e = ClusterError::InvalidNodeCount {
+            requested: 32,
+            max: 16,
+        };
         assert!(e.to_string().contains("32"));
     }
 }

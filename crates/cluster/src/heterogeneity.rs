@@ -96,8 +96,8 @@ impl HeterogeneityModel {
                 }
                 let base = base.clamp(0.05, 1.0);
                 let fwd = base;
-                let rev = (base * normal(&mut rng, 0.0, self.asymmetry_sigma).exp())
-                    .clamp(0.05, 1.0);
+                let rev =
+                    (base * normal(&mut rng, 0.0, self.asymmetry_sigma).exp()).clamp(0.05, 1.0);
                 node_eff[i * nodes + j] = fwd;
                 node_eff[j * nodes + i] = rev;
             }
@@ -171,7 +171,10 @@ mod tests {
         }
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min > 1.3, "expected meaningful spread, got {min}..{max}");
+        assert!(
+            max / min > 1.3,
+            "expected meaningful spread, got {min}..{max}"
+        );
         assert!(max <= inter.bandwidth_gib_s + 1e-9);
     }
 

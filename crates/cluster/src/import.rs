@@ -43,8 +43,10 @@ pub fn parse_mpigraph(
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let cells: Vec<&str> =
-            line.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty()).collect();
+        let cells: Vec<&str> = line
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|s| !s.is_empty())
+            .collect();
         // Keep the numeric payload: "-" (diagonal) and parseable numbers.
         // Labels ("node3", "to:") are dropped; a line with no payload at
         // all is a header. A line that mixes unparseable tokens *between*
@@ -52,7 +54,9 @@ pub fn parse_mpigraph(
         let first_numeric = cells
             .iter()
             .position(|c| *c == "-" || c.parse::<f64>().is_ok());
-        let Some(first_numeric) = first_numeric else { continue };
+        let Some(first_numeric) = first_numeric else {
+            continue;
+        };
         let mut row = Vec::with_capacity(cells.len() - first_numeric);
         for cell in &cells[first_numeric..] {
             if *cell == "-" {
@@ -68,7 +72,9 @@ pub fn parse_mpigraph(
     }
     let n = rows.len();
     if n == 0 {
-        return Err(ClusterError::MalformedMatrix { reason: "empty table".into() });
+        return Err(ClusterError::MalformedMatrix {
+            reason: "empty table".into(),
+        });
     }
     if rows.iter().any(|r| r.len() != n) {
         return Err(ClusterError::MalformedMatrix {

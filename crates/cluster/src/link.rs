@@ -48,7 +48,10 @@ impl LinkSpec {
     pub fn new(bandwidth_gib_s: f64, latency_s: f64) -> Self {
         assert!(bandwidth_gib_s > 0.0, "bandwidth must be positive");
         assert!(latency_s >= 0.0, "latency must be non-negative");
-        Self { bandwidth_gib_s, latency_s }
+        Self {
+            bandwidth_gib_s,
+            latency_s,
+        }
     }
 
     /// Time in seconds to move `bytes` over this link at nominal speed.

@@ -28,7 +28,12 @@ impl Cluster {
         bandwidth: BandwidthMatrix,
         profiler: NetworkProfiler,
     ) -> Self {
-        Self { name: name.into(), gpu, bandwidth, profiler }
+        Self {
+            name: name.into(),
+            gpu,
+            bandwidth,
+            profiler,
+        }
     }
 
     /// Human-readable cluster name, e.g. "mid-range".
@@ -125,7 +130,9 @@ pub struct ClusterPreset {
 impl ClusterPreset {
     /// Realizes the preset into a concrete cluster. Deterministic in `seed`.
     pub fn build(&self, seed: u64) -> Cluster {
-        let matrix = self.heterogeneity.generate(self.topology, self.intra, self.inter, seed);
+        let matrix = self
+            .heterogeneity
+            .generate(self.topology, self.intra, self.inter, seed);
         Cluster::new(self.name.clone(), self.gpu.clone(), matrix, self.profiler)
     }
 }

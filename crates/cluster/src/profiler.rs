@@ -61,7 +61,11 @@ pub struct NetworkProfiler {
 
 impl Default for NetworkProfiler {
     fn default() -> Self {
-        Self { noise_sigma: 0.02, base_seconds: 40.0, per_pair_seconds: 0.33 }
+        Self {
+            noise_sigma: 0.02,
+            base_seconds: 40.0,
+            per_pair_seconds: 0.33,
+        }
     }
 }
 
@@ -73,13 +77,21 @@ impl NetworkProfiler {
     /// Panics if any parameter is negative.
     pub fn new(noise_sigma: f64, base_seconds: f64, per_pair_seconds: f64) -> Self {
         assert!(noise_sigma >= 0.0 && base_seconds >= 0.0 && per_pair_seconds >= 0.0);
-        Self { noise_sigma, base_seconds, per_pair_seconds }
+        Self {
+            noise_sigma,
+            base_seconds,
+            per_pair_seconds,
+        }
     }
 
     /// Measures the cluster: returns the noisy matrix and the time it took.
     ///
     /// Deterministic in `seed`.
-    pub fn profile(&self, truth: &BandwidthMatrix, seed: u64) -> (ProfiledBandwidth, ProfilingCost) {
+    pub fn profile(
+        &self,
+        truth: &BandwidthMatrix,
+        seed: u64,
+    ) -> (ProfiledBandwidth, ProfilingCost) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut measured = truth.clone();
         let topo = *truth.topology();

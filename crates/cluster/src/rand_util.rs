@@ -65,10 +65,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let (mu, sigma) = (-0.25f64, 0.15f64);
         let n = 40_000;
-        let mean: f64 =
-            (0..n).map(|_| log_normal(&mut rng, mu, sigma)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| log_normal(&mut rng, mu, sigma)).sum::<f64>() / n as f64;
         let expected = (mu + sigma * sigma / 2.0).exp();
-        assert!((mean / expected - 1.0).abs() < 0.01, "mean {mean} vs {expected}");
+        assert!(
+            (mean / expected - 1.0).abs() < 0.01,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

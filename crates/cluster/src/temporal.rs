@@ -24,7 +24,10 @@ pub struct TemporalDrift {
 
 impl Default for TemporalDrift {
     fn default() -> Self {
-        Self { daily_sigma: 0.03, reversion: 0.25 }
+        Self {
+            daily_sigma: 0.03,
+            reversion: 0.25,
+        }
     }
 }
 
@@ -36,8 +39,14 @@ impl TemporalDrift {
     /// Panics if `daily_sigma` is negative or `reversion` is outside `[0, 1]`.
     pub fn new(daily_sigma: f64, reversion: f64) -> Self {
         assert!(daily_sigma >= 0.0, "daily_sigma must be non-negative");
-        assert!((0.0..=1.0).contains(&reversion), "reversion must be in [0, 1]");
-        Self { daily_sigma, reversion }
+        assert!(
+            (0.0..=1.0).contains(&reversion),
+            "reversion must be in [0, 1]"
+        );
+        Self {
+            daily_sigma,
+            reversion,
+        }
     }
 
     /// Produces `days` consecutive daily snapshots of the matrix.
@@ -67,8 +76,7 @@ impl TemporalDrift {
                     }
                     let (na, nb) = (topo.node_of(a).0, topo.node_of(b).0);
                     let factor = dev[na * nodes + nb].exp();
-                    let bw = (base.between(a, b) * factor)
-                        .min(base.inter_spec().bandwidth_gib_s);
+                    let bw = (base.between(a, b) * factor).min(base.inter_spec().bandwidth_gib_s);
                     m.set(GpuId(a.0), GpuId(b.0), bw.max(0.05));
                 }
             }
@@ -108,11 +116,17 @@ mod tests {
         let series = TemporalDrift::default().series(&b, 10, 5);
         let last = &series[9];
         // Intra-node links stable.
-        assert_eq!(last.between(GpuId(0), GpuId(1)), b.between(GpuId(0), GpuId(1)));
+        assert_eq!(
+            last.between(GpuId(0), GpuId(1)),
+            b.between(GpuId(0), GpuId(1))
+        );
         // Some inter-node link moved.
         let moved = (0..4).any(|i| {
             (0..4).any(|j| {
-                i != j && (last.node_pair(NodeId(i), NodeId(j)) - b.node_pair(NodeId(i), NodeId(j))).abs() > 1e-6
+                i != j
+                    && (last.node_pair(NodeId(i), NodeId(j)) - b.node_pair(NodeId(i), NodeId(j)))
+                        .abs()
+                        > 1e-6
             })
         });
         assert!(moved);

@@ -57,7 +57,10 @@ impl ClusterTopology {
     pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
         assert!(nodes > 0, "cluster must have at least one node");
         assert!(gpus_per_node > 0, "nodes must host at least one GPU");
-        Self { nodes, gpus_per_node }
+        Self {
+            nodes,
+            gpus_per_node,
+        }
     }
 
     /// Number of nodes in the cluster.
@@ -98,7 +101,10 @@ impl ClusterTopology {
     /// Panics if `node` or `local_rank` are out of range.
     pub fn gpu(&self, node: usize, local_rank: usize) -> GpuId {
         assert!(node < self.nodes, "node {node} out of range");
-        assert!(local_rank < self.gpus_per_node, "local rank {local_rank} out of range");
+        assert!(
+            local_rank < self.gpus_per_node,
+            "local rank {local_rank} out of range"
+        );
         GpuId(node * self.gpus_per_node + local_rank)
     }
 
@@ -133,8 +139,14 @@ impl ClusterTopology {
     ///
     /// Panics if `nodes` is zero or exceeds the current node count.
     pub fn truncated(&self, nodes: usize) -> Self {
-        assert!(nodes > 0 && nodes <= self.nodes, "invalid truncation to {nodes} nodes");
-        Self { nodes, gpus_per_node: self.gpus_per_node }
+        assert!(
+            nodes > 0 && nodes <= self.nodes,
+            "invalid truncation to {nodes} nodes"
+        );
+        Self {
+            nodes,
+            gpus_per_node: self.gpus_per_node,
+        }
     }
 }
 

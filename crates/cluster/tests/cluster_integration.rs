@@ -9,13 +9,22 @@ use proptest::prelude::*;
 
 #[test]
 fn presets_produce_physically_sensible_clusters() {
-    for (preset, nominal_inter) in [(presets::mid_range(8), 11.64), (presets::high_end(8), 23.28)] {
+    for (preset, nominal_inter) in [
+        (presets::mid_range(8), 11.64),
+        (presets::high_end(8), 23.28),
+    ] {
         let cluster = preset.build(3);
         let bw = cluster.bandwidth();
         // Attained inter-node bandwidth: below nominal, above a sane floor.
         let mean = bw.mean_inter_node();
-        assert!(mean < nominal_inter, "attained {mean} must undershoot nominal {nominal_inter}");
-        assert!(mean > 0.3 * nominal_inter, "attained {mean} implausibly low");
+        assert!(
+            mean < nominal_inter,
+            "attained {mean} must undershoot nominal {nominal_inter}"
+        );
+        assert!(
+            mean > 0.3 * nominal_inter,
+            "attained {mean} implausibly low"
+        );
         // Intra-node is at least an order of magnitude faster than inter.
         let topo = cluster.topology();
         let intra = bw.between(topo.gpu(0, 0), topo.gpu(0, 1));
@@ -58,19 +67,30 @@ fn drift_series_preserves_heterogeneity_structure() {
     for i in 0..8 {
         for j in 0..8 {
             if i != j {
-                day0.push(series[0].node_pair(pipette_cluster::NodeId(i), pipette_cluster::NodeId(j)));
-                day30.push(series[30].node_pair(pipette_cluster::NodeId(i), pipette_cluster::NodeId(j)));
+                day0.push(
+                    series[0].node_pair(pipette_cluster::NodeId(i), pipette_cluster::NodeId(j)),
+                );
+                day30.push(
+                    series[30].node_pair(pipette_cluster::NodeId(i), pipette_cluster::NodeId(j)),
+                );
             }
         }
     }
     let n = day0.len() as f64;
     let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
     let (m0, m30) = (mean(&day0), mean(&day30));
-    let cov: f64 =
-        day0.iter().zip(&day30).map(|(a, b)| (a - m0) * (b - m30)).sum::<f64>() / n;
+    let cov: f64 = day0
+        .iter()
+        .zip(&day30)
+        .map(|(a, b)| (a - m0) * (b - m30))
+        .sum::<f64>()
+        / n;
     let sd = |v: &[f64], m: f64| (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n).sqrt();
     let corr = cov / (sd(&day0, m0) * sd(&day30, m30));
-    assert!(corr > 0.7, "pair identity should persist over a month: corr {corr:.2}");
+    assert!(
+        corr > 0.7,
+        "pair identity should persist over a month: corr {corr:.2}"
+    );
     let _ = topo;
 }
 

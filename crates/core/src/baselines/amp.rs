@@ -25,7 +25,13 @@ pub struct AmpConfigurator<'a> {
 impl<'a> AmpConfigurator<'a> {
     /// Creates the configurator for a cluster/model/global batch.
     pub fn new(cluster: &'a Cluster, gpt: &'a GptConfig, global_batch: u64) -> Self {
-        Self { cluster, gpt, global_batch, max_micro: 8, seed: 0 }
+        Self {
+            cluster,
+            gpt,
+            global_batch,
+            max_micro: 8,
+            seed: 0,
+        }
     }
 
     /// Overrides the largest microbatch considered (paper sweeps 1–8).
@@ -63,7 +69,11 @@ impl<'a> AmpConfigurator<'a> {
                     self.seed,
                 );
                 let est = model.estimate(cfg, plan, &compute);
-                out.push(RankedCandidate { config: cfg, plan, estimated_seconds: est });
+                out.push(RankedCandidate {
+                    config: cfg,
+                    plan,
+                    estimated_seconds: est,
+                });
             }
         }
         out.sort_by(|a, b| a.estimated_seconds.total_cmp(&b.estimated_seconds));
@@ -84,7 +94,10 @@ mod tests {
     use pipette_cluster::presets;
 
     fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(2).build(17), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(2).build(17),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     #[test]
@@ -92,7 +105,9 @@ mod tests {
         let (cluster, gpt) = setup();
         let ranked = AmpConfigurator::new(&cluster, &gpt, 64).rank();
         assert!(!ranked.is_empty());
-        assert!(ranked.windows(2).all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
+        assert!(ranked
+            .windows(2)
+            .all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
         // All products match the cluster.
         assert!(ranked.iter().all(|c| c.config.num_workers() == 16));
     }

@@ -36,7 +36,12 @@ pub struct MegatronTuner<'a> {
 impl<'a> MegatronTuner<'a> {
     /// Creates the tuner.
     pub fn new(cluster: &'a Cluster, gpt: &'a GptConfig, global_batch: u64) -> Self {
-        Self { cluster, gpt, global_batch, max_micro: 8 }
+        Self {
+            cluster,
+            gpt,
+            global_batch,
+            max_micro: 8,
+        }
     }
 
     /// Overrides the largest microbatch tried.
@@ -51,9 +56,7 @@ impl<'a> MegatronTuner<'a> {
         let topo = self.cluster.topology();
         let tp = topo.gpus_per_node();
         let mut out = Vec::new();
-        for cfg in
-            ParallelConfig::enumerate(topo.num_gpus(), tp, self.gpt.n_layers)
-        {
+        for cfg in ParallelConfig::enumerate(topo.num_gpus(), tp, self.gpt.n_layers) {
             if cfg.tp != tp {
                 continue;
             }
@@ -81,7 +84,12 @@ impl<'a> MegatronTuner<'a> {
                     .map(|b| measured.iteration_seconds < b.measured.iteration_seconds)
                     .unwrap_or(true);
                 if better {
-                    best = Some(TunedResult { config: cfg, plan, measured, trials });
+                    best = Some(TunedResult {
+                        config: cfg,
+                        plan,
+                        measured,
+                        trials,
+                    });
                 }
             }
         }
@@ -98,7 +106,10 @@ mod tests {
     use pipette_cluster::presets;
 
     fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(2).build(13), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(2).build(13),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     #[test]

@@ -55,7 +55,12 @@ pub fn first_runnable(ranked: &[RankedCandidate], run: &ClusterRun<'_>) -> Optio
         let mapping = Mapping::identity(cand.config, *run.cluster().topology());
         match run.execute(cand.config, &mapping, cand.plan) {
             Ok(measured) => {
-                return Some(FirstRunnable { candidate: *cand, rank, attempts: rank + 1, measured })
+                return Some(FirstRunnable {
+                    candidate: *cand,
+                    rank,
+                    attempts: rank + 1,
+                    measured,
+                })
             }
             Err(_) => continue,
         }

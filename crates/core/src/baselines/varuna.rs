@@ -25,12 +25,24 @@ pub struct VarunaConfigurator<'a> {
 impl<'a> VarunaConfigurator<'a> {
     /// Creates the configurator.
     pub fn new(cluster: &'a Cluster, gpt: &'a GptConfig, global_batch: u64) -> Self {
-        Self { cluster, gpt, global_batch, max_micro: 8, seed: 0 }
+        Self {
+            cluster,
+            gpt,
+            global_batch,
+            max_micro: 8,
+            seed: 0,
+        }
     }
 
     /// Overrides the largest microbatch considered.
     pub fn with_max_micro(mut self, max_micro: u64) -> Self {
         self.max_micro = max_micro;
+        self
+    }
+
+    /// Overrides the profiling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -60,7 +72,11 @@ impl<'a> VarunaConfigurator<'a> {
                     self.seed,
                 );
                 let est = model.estimate(cfg, plan, &compute);
-                out.push(RankedCandidate { config: cfg, plan, estimated_seconds: est });
+                out.push(RankedCandidate {
+                    config: cfg,
+                    plan,
+                    estimated_seconds: est,
+                });
             }
         }
         out.sort_by(|a, b| a.estimated_seconds.total_cmp(&b.estimated_seconds));
@@ -94,7 +110,11 @@ mod tests {
     fn ranking_is_sorted() {
         let cluster = presets::mid_range(2).build(9);
         let gpt = GptConfig::new(16, 1024, 16, 2048, 51200);
-        let ranked = VarunaConfigurator::new(&cluster, &gpt, 64).with_max_micro(4).rank();
-        assert!(ranked.windows(2).all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
+        let ranked = VarunaConfigurator::new(&cluster, &gpt, 64)
+            .with_max_micro(4)
+            .rank();
+        assert!(ranked
+            .windows(2)
+            .all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
     }
 }

@@ -16,8 +16,11 @@
 
 use crate::error::ConfigureError;
 use crate::latency::PipetteLatencyModel;
-use crate::mapping::{AnnealStats, Annealer, AnnealerConfig};
-use crate::memory::{collect_samples, MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec};
+use crate::mapping::{AnnealStats, Annealer, AnnealerConfig, IncrementalObjective};
+use crate::memory::{
+    collect_samples, MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec,
+};
+use crate::parallel;
 use crate::report::OverheadReport;
 use pipette_cluster::Cluster;
 use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
@@ -44,6 +47,14 @@ pub struct PipetteOptions {
     pub memory: MemoryEstimatorConfig,
     /// Seed for profiling noise and annealing.
     pub seed: u64,
+    /// Worker threads for candidate evaluation and the SA passes. Every
+    /// unit of work is seeded by its index, so the result is identical at
+    /// any thread count; `1` runs fully inline. Defaults to the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// Cap on [`Recommendation::alternatives`] — the paper surfaces a
+    /// short ranked list, not the whole (often hundreds-deep) feasible set.
+    pub top_n: usize,
 }
 
 impl Default for PipetteOptions {
@@ -55,6 +66,8 @@ impl Default for PipetteOptions {
             sa_top_k: 4,
             memory: MemoryEstimatorConfig::default(),
             seed: 0,
+            threads: parallel::default_threads(),
+            top_n: 10,
         }
     }
 }
@@ -118,8 +131,9 @@ pub struct Recommendation {
     pub memory_rejected: usize,
     /// Annealing statistics of the winning candidate (None for PPT-L).
     pub anneal_stats: Option<AnnealStats>,
-    /// Runner-up candidates (identity mapping), best first — the rest of
-    /// Pipette's recommendation list, should the top pick fail to launch.
+    /// Runner-up candidates (identity mapping), best first — Pipette's
+    /// ranked fallback list should the top pick fail to launch, capped at
+    /// [`PipetteOptions::top_n`].
     pub alternatives: Vec<(ParallelConfig, MicrobatchPlan)>,
 }
 
@@ -141,7 +155,13 @@ impl<'a> Pipette<'a> {
         global_batch: u64,
         options: PipetteOptions,
     ) -> Self {
-        Self { cluster, gpt, global_batch, options, pretrained: None }
+        Self {
+            cluster,
+            gpt,
+            global_batch,
+            options,
+            pretrained: None,
+        }
     }
 
     /// Supplies a pretrained memory estimator (training is once per
@@ -158,10 +178,13 @@ impl<'a> Pipette<'a> {
         let truth = ClusterRun::new(self.cluster, self.gpt).memory_sim();
         let nodes = self.cluster.topology().num_nodes().min(4);
         let gpus_per_node = self.cluster.topology().gpus_per_node();
-        let mut gpu_counts: Vec<usize> =
-            (1..=nodes).map(|n| n * gpus_per_node).collect();
+        let mut gpu_counts: Vec<usize> = (1..=nodes).map(|n| n * gpus_per_node).collect();
         gpu_counts.dedup();
-        let mut global_batches = vec![self.global_batch.min(128), self.global_batch.min(256), self.global_batch];
+        let mut global_batches = vec![
+            self.global_batch.min(128),
+            self.global_batch.min(256),
+            self.global_batch,
+        ];
         global_batches.sort_unstable();
         global_batches.dedup();
         let spec = SampleSpec {
@@ -185,8 +208,10 @@ impl<'a> Pipette<'a> {
     /// candidate is rejected by the memory estimator.
     pub fn run(&self) -> Result<Recommendation, ConfigureError> {
         // Line 1: profile the actual bandwidth matrix.
-        let (profiled, profiling_cost) =
-            self.cluster.profiler().profile(self.cluster.bandwidth(), self.options.seed);
+        let (profiled, profiling_cost) = self
+            .cluster
+            .profiler()
+            .profile(self.cluster.bandwidth(), self.options.seed);
 
         // Memory estimator (pretrained or trained now).
         let (estimator, training_time) = match &self.pretrained {
@@ -203,14 +228,12 @@ impl<'a> Pipette<'a> {
         let gpu = self.cluster.gpu().clone();
         let latency = PipetteLatencyModel::new(&profiled, self.gpt);
 
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let mut examined = 0usize;
-        let mut rejected = 0usize;
+        // Lines 3-7: enumerate the candidate space (cheap), then
+        // memory-filter + profile + estimate every entry on the worker
+        // pool. Each unit of work depends only on its own `(cfg, plan)`,
+        // so the fold below reproduces the sequential result exactly.
+        let mut work: Vec<(ParallelConfig, MicrobatchPlan)> = Vec::new();
         let mut any_split = false;
-        let mut mem_time = Duration::ZERO;
-
-        // Lines 3-7: enumerate, memory-filter, estimate with the default
-        // placement.
         for cfg in
             ParallelConfig::enumerate(topo.num_gpus(), topo.gpus_per_node(), self.gpt.n_layers)
         {
@@ -218,46 +241,65 @@ impl<'a> Pipette<'a> {
                 continue;
             };
             any_split = true;
-            for plan in MicrobatchPlan::enumerate(mini, self.options.max_micro) {
-                examined += 1;
-                let features = MemorySample::features_for(
-                    self.gpt,
-                    topo.num_gpus(),
-                    cfg,
-                    plan,
-                    self.global_batch,
-                );
-                let t0 = Instant::now();
-                let runnable = estimator.is_runnable(&features, limit);
-                mem_time += t0.elapsed();
-                if !runnable {
-                    rejected += 1;
-                    continue;
-                }
-                let compute = profiler.profile(
-                    self.cluster.bandwidth(),
-                    &gpu,
-                    self.gpt,
-                    cfg,
-                    plan,
-                    self.options.seed,
-                );
-                let identity = Mapping::identity(cfg, *topo);
-                let est = latency.estimate(cfg, &identity, plan, &compute);
-                candidates.push(Candidate {
+            work.extend(
+                MicrobatchPlan::enumerate(mini, self.options.max_micro)
+                    .into_iter()
+                    .map(|plan| (cfg, plan)),
+            );
+        }
+        let examined = work.len();
+
+        let evaluated = parallel::ordered_map(self.options.threads, &work, |_, &(cfg, plan)| {
+            let features =
+                MemorySample::features_for(self.gpt, topo.num_gpus(), cfg, plan, self.global_batch);
+            let t0 = Instant::now();
+            let runnable = estimator.is_runnable(&features, limit);
+            let mem_elapsed = t0.elapsed();
+            if !runnable {
+                return (None, mem_elapsed);
+            }
+            let compute = profiler.profile(
+                self.cluster.bandwidth(),
+                &gpu,
+                self.gpt,
+                cfg,
+                plan,
+                self.options.seed,
+            );
+            let identity = Mapping::identity(cfg, *topo);
+            let est = latency.estimate(cfg, &identity, plan, &compute);
+            (
+                Some(Candidate {
                     config: cfg,
                     plan,
                     compute,
                     identity_estimate: est,
-                });
+                }),
+                mem_elapsed,
+            )
+        });
+
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(evaluated.len());
+        let mut rejected = 0usize;
+        let mut mem_time = Duration::ZERO;
+        for (cand, mem_elapsed) in evaluated {
+            mem_time += mem_elapsed;
+            match cand {
+                Some(c) => candidates.push(c),
+                None => rejected += 1,
             }
         }
 
         if !any_split {
-            return Err(ConfigureError::NoValidBatchSplit { global_batch: self.global_batch });
+            return Err(ConfigureError::NoValidBatchSplit {
+                global_batch: self.global_batch,
+            });
         }
         if candidates.is_empty() {
-            return Err(ConfigureError::NoFeasibleConfig { examined, memory_rejected: rejected });
+            return Err(ConfigureError::NoFeasibleConfig {
+                examined,
+                memory_rejected: rejected,
+            });
         }
         candidates.sort_by(|a, b| a.identity_estimate.total_cmp(&b.identity_estimate));
 
@@ -271,18 +313,31 @@ impl<'a> Pipette<'a> {
         let mut sa_time = Duration::ZERO;
 
         if self.options.use_worker_dedication {
-            for (i, cand) in candidates.iter().take(self.options.sa_top_k.max(1)).enumerate() {
-                let initial = Mapping::identity(cand.config, *topo);
-                let objective = |m: &Mapping| {
-                    latency.estimate(cand.config, m, cand.plan, &cand.compute)
-                };
-                let mut sa_cfg = self.options.annealer;
-                sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
-                let (mapping, cost, stats) = Annealer::new(sa_cfg).anneal(&initial, objective);
+            // Each pass is seeded by its candidate index and evaluated
+            // through the incremental objective (bit-identical to the
+            // closure path, see `mapping::objective`), so the annealed
+            // results are independent of thread count and identical to the
+            // old one-candidate-at-a-time loop.
+            let k = self.options.sa_top_k.max(1).min(candidates.len());
+            let annealed =
+                parallel::ordered_map(self.options.threads, &candidates[..k], |i, cand| {
+                    let initial = Mapping::identity(cand.config, *topo);
+                    let mut objective = IncrementalObjective::new(
+                        latency.matrix(),
+                        self.gpt,
+                        cand.plan,
+                        &cand.compute,
+                        &initial,
+                    );
+                    let mut sa_cfg = self.options.annealer;
+                    sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
+                    Annealer::new(sa_cfg).anneal_with(&initial, &mut objective)
+                });
+            for (i, (mapping, cost, stats)) in annealed.into_iter().enumerate() {
                 sa_time += stats.elapsed;
                 if cost < best_t {
-                    best_cfg = cand.config;
-                    best_plan = cand.plan;
+                    best_cfg = candidates[i].config;
+                    best_plan = candidates[i].plan;
                     best_mapping = mapping;
                     best_t = cost;
                     best_stats = Some(stats);
@@ -294,6 +349,7 @@ impl<'a> Pipette<'a> {
             .iter()
             .filter(|c| !(c.config == best_cfg && c.plan == best_plan))
             .map(|c| (c.config, c.plan))
+            .take(self.options.top_n)
             .collect();
 
         Ok(Recommendation {
@@ -320,8 +376,15 @@ impl<'a> Pipette<'a> {
 fn model_ladder(gpt: &GptConfig) -> Vec<GptConfig> {
     let mut ladder = vec![*gpt];
     let heads = gpt.n_heads;
-    let scaled_hidden = |num: usize, den: usize| ((gpt.hidden * num / den) / heads * heads).max(heads);
-    for (ln, ld, hn, hd) in [(1usize, 2usize, 1usize, 2usize), (3, 4, 3, 4), (1, 2, 1, 1), (1, 1, 1, 2), (1, 4, 1, 2)] {
+    let scaled_hidden =
+        |num: usize, den: usize| ((gpt.hidden * num / den) / heads * heads).max(heads);
+    for (ln, ld, hn, hd) in [
+        (1usize, 2usize, 1usize, 2usize),
+        (3, 4, 3, 4),
+        (1, 2, 1, 1),
+        (1, 1, 1, 2),
+        (1, 4, 1, 2),
+    ] {
         let layers = (gpt.n_layers * ln / ld).max(2);
         let hidden = scaled_hidden(hn, hd);
         let candidate = GptConfig::new(layers, hidden, heads, gpt.seq_len, gpt.vocab);
@@ -339,7 +402,10 @@ mod tests {
     use pipette_sim::SimError;
 
     fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(2).build(3), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(2).build(3),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     #[test]
@@ -363,7 +429,9 @@ mod tests {
         let mut opts = PipetteOptions::fast_test();
         opts.seed = 5;
         let with_sa = Pipette::new(&cluster, &gpt, 64, opts).run().unwrap();
-        let without = Pipette::new(&cluster, &gpt, 64, opts.latency_only()).run().unwrap();
+        let without = Pipette::new(&cluster, &gpt, 64, opts.latency_only())
+            .run()
+            .unwrap();
         assert!(with_sa.estimated_seconds <= without.estimated_seconds + 1e-9);
         assert!(without.anneal_stats.is_none());
     }
@@ -371,7 +439,9 @@ mod tests {
     #[test]
     fn overhead_report_is_populated() {
         let (cluster, gpt) = setup();
-        let rec = Pipette::new(&cluster, &gpt, 64, PipetteOptions::fast_test()).run().unwrap();
+        let rec = Pipette::new(&cluster, &gpt, 64, PipetteOptions::fast_test())
+            .run()
+            .unwrap();
         assert!(rec.overhead.bandwidth_profiling.as_secs_f64() > 0.0);
         assert!(rec.overhead.memory_training.as_secs_f64() > 0.0);
         assert!(rec.overhead.total().as_secs_f64() > 0.0);

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = ConfigureError::NoFeasibleConfig { examined: 40, memory_rejected: 40 };
+        let e = ConfigureError::NoFeasibleConfig {
+            examined: 40,
+            memory_rejected: 40,
+        };
         assert!(e.to_string().contains("40"));
         let e = ConfigureError::NoValidBatchSplit { global_batch: 13 };
         assert!(e.to_string().contains("13"));

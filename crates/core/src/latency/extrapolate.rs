@@ -96,7 +96,11 @@ fn least_squares(rows: &[[f64; 4]], y: &[f64]) -> [f64; 4] {
         for j in (i + 1)..4 {
             acc -= m[i][j] * w[j];
         }
-        w[i] = if m[i][i].abs() < 1e-30 { 0.0 } else { acc / m[i][i] };
+        w[i] = if m[i][i].abs() < 1e-30 {
+            0.0
+        } else {
+            acc / m[i][i]
+        };
     }
     w
 }
@@ -125,7 +129,10 @@ impl ComputeExtrapolator {
     /// Panics if fewer than four observations are provided (the model has
     /// four coefficients).
     pub fn fit(observations: &[ComputeObservation]) -> Self {
-        assert!(observations.len() >= 4, "need at least 4 observations to fit 4 coefficients");
+        assert!(
+            observations.len() >= 4,
+            "need at least 4 observations to fit 4 coefficients"
+        );
         let rows: Vec<[f64; 4]> = observations.iter().map(|o| o.regressors).collect();
         let fwd: Vec<f64> = observations.iter().map(|o| o.fwd_seconds).collect();
         let bwd: Vec<f64> = observations.iter().map(|o| o.bwd_seconds).collect();
@@ -142,12 +149,24 @@ impl ComputeExtrapolator {
     }
 
     /// Predicted forward time of one stage (seconds).
-    pub fn predict_fwd(&self, gpt: &GptConfig, cfg: ParallelConfig, stage: usize, micro: u64) -> f64 {
+    pub fn predict_fwd(
+        &self,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        stage: usize,
+        micro: u64,
+    ) -> f64 {
         dot(&self.fwd_coeffs, &regressors(gpt, cfg, stage, micro)).max(0.0)
     }
 
     /// Predicted backward time of one stage (seconds).
-    pub fn predict_bwd(&self, gpt: &GptConfig, cfg: ParallelConfig, stage: usize, micro: u64) -> f64 {
+    pub fn predict_bwd(
+        &self,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        stage: usize,
+        micro: u64,
+    ) -> f64 {
         dot(&self.bwd_coeffs, &regressors(gpt, cfg, stage, micro)).max(0.0)
     }
 
@@ -155,12 +174,23 @@ impl ComputeExtrapolator {
     /// configuration. The tensor-parallel communication terms are left at
     /// zero — the latency model recomputes them from the profiled
     /// bandwidth matrix, which *is* available for every configuration.
-    pub fn predict(&self, gpt: &GptConfig, cfg: ParallelConfig, plan: MicrobatchPlan) -> ProfiledCompute {
-        let fwd: Vec<f64> =
-            (0..cfg.pp).map(|s| self.predict_fwd(gpt, cfg, s, plan.micro_batch)).collect();
-        let bwd: Vec<f64> =
-            (0..cfg.pp).map(|s| self.predict_bwd(gpt, cfg, s, plan.micro_batch)).collect();
-        ProfiledCompute { fwd, bwd, tp_comm: vec![0.0; cfg.pp] }
+    pub fn predict(
+        &self,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        plan: MicrobatchPlan,
+    ) -> ProfiledCompute {
+        let fwd: Vec<f64> = (0..cfg.pp)
+            .map(|s| self.predict_fwd(gpt, cfg, s, plan.micro_batch))
+            .collect();
+        let bwd: Vec<f64> = (0..cfg.pp)
+            .map(|s| self.predict_bwd(gpt, cfg, s, plan.micro_batch))
+            .collect();
+        ProfiledCompute {
+            fwd,
+            bwd,
+            tp_comm: vec![0.0; cfg.pp],
+        }
     }
 }
 
@@ -189,7 +219,9 @@ mod tests {
         ] {
             let plan = MicrobatchPlan::new(32, micro).unwrap();
             let compute = profiler.profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
-            obs.extend(ComputeExtrapolator::observations_from(&gpt, cfg, plan, &compute));
+            obs.extend(ComputeExtrapolator::observations_from(
+                &gpt, cfg, plan, &compute,
+            ));
         }
         let model = ComputeExtrapolator::fit(&obs);
         (cluster, gpt, model)
@@ -211,7 +243,11 @@ mod tests {
             for s in 0..cfg.pp {
                 let pred = model.predict_fwd(&gpt, cfg, s, micro);
                 let err = (pred - truth.fwd[s]).abs() / truth.fwd[s];
-                assert!(err < 0.08, "{cfg} stage {s} micro {micro}: pred {pred} vs {} ({err:.3})", truth.fwd[s]);
+                assert!(
+                    err < 0.08,
+                    "{cfg} stage {s} micro {micro}: pred {pred} vs {} ({err:.3})",
+                    truth.fwd[s]
+                );
             }
         }
     }
@@ -237,13 +273,15 @@ mod tests {
         let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
         let mapping = Mapping::identity(cfg, *cluster.topology());
         let compute = model.predict(&gpt, cfg, plan);
-        let est = PipetteLatencyModel::new(&profiled, &gpt)
-            .estimate(cfg, &mapping, plan, &compute);
+        let est = PipetteLatencyModel::new(&profiled, &gpt).estimate(cfg, &mapping, plan, &compute);
         let truth = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
             .simulate(cfg, &mapping, plan)
             .total_seconds;
         let err = (est - truth).abs() / truth;
-        assert!(err < 0.10, "extrapolated estimate {est:.3} vs truth {truth:.3} ({err:.3})");
+        assert!(
+            err < 0.10,
+            "extrapolated estimate {est:.3} vs truth {truth:.3} ({err:.3})"
+        );
     }
 
     #[test]

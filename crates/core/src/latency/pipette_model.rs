@@ -29,13 +29,25 @@ pub struct PipetteLatencyModel<'a> {
 impl<'a> PipetteLatencyModel<'a> {
     /// Creates an estimator over a profiled bandwidth matrix.
     pub fn new(profiled: &'a ProfiledBandwidth, gpt: &'a GptConfig) -> Self {
-        Self { profiled: profiled.matrix(), gpt }
+        Self {
+            profiled: profiled.matrix(),
+            gpt,
+        }
     }
 
     /// Creates an estimator over a raw matrix (for ablations that feed the
     /// ground-truth or nominal matrix instead of a measurement).
     pub fn from_matrix(matrix: &'a BandwidthMatrix, gpt: &'a GptConfig) -> Self {
-        Self { profiled: matrix, gpt }
+        Self {
+            profiled: matrix,
+            gpt,
+        }
+    }
+
+    /// The bandwidth matrix the estimator reads (for building an
+    /// [`crate::mapping::IncrementalObjective`] over the same data).
+    pub fn matrix(&self) -> &'a BandwidthMatrix {
+        self.profiled
     }
 
     /// Estimated iteration latency (seconds) of `cfg` under `mapping`.
@@ -54,8 +66,11 @@ impl<'a> PipetteLatencyModel<'a> {
         compute: &ProfiledCompute,
     ) -> f64 {
         assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
-        assert_eq!(mapping.config(), cfg, "mapping built for another configuration");
-        let pp = cfg.pp as f64;
+        assert_eq!(
+            mapping.config(),
+            cfg,
+            "mapping built for another configuration"
+        );
         let msg_pp = messages::pp_message_bytes(self.gpt, plan.micro_batch);
 
         // Per-stage data-parallel all-reduce times (mapping-dependent).
@@ -63,53 +78,18 @@ impl<'a> PipetteLatencyModel<'a> {
             .map(|s| terms::t_dp_stage(self.profiled, mapping, self.gpt, s))
             .collect();
 
-        // Per-replica critical paths; the slowest replica gates the DP sync.
-        let mut worst = 0.0f64;
-        for z in 0..cfg.dp {
-            let stage_cost: Vec<f64> = (0..cfg.pp)
-                .map(|s| {
-                    compute.compute(s)
-                        + terms::t_tp_stage(self.profiled, mapping, self.gpt, plan.micro_batch, s, z)
-                })
-                .collect();
-            let sum: f64 = stage_cost.iter().sum();
-            let max = stage_cost.iter().cloned().fold(0.0, f64::max);
-            let mean = sum / pp;
-            let t_pp = terms::t_pp_chain(self.profiled, mapping, msg_pp, z);
-            // Decomposition mirroring Eq. 3, generalized to non-uniform
-            // stages (the last stage carries the LM head):
-            //
-            // * straggler steady-state work: `n_mb · max_s C_s`
-            //   (Eq. 4's straggler term, which dominates when one stage is
-            //   slower than the dependency loop);
-            // * one pipeline fill+drain: `(pp − 1) · C̄ + T_pp`
-            //   (Eq. 4's bubble);
-            // * the hidden critical path: the 1F1B loop (forward down,
-            //   backward up) closes `n_mb/pp − 1` times (§V), each time
-            //   charging however much the loop `Σ C_s + T_pp` exceeds the
-            //   straggler-bound work `pp · max_s C_s`.
-            let loops = (plan.n_microbatches as f64 / pp - 1.0).max(0.0);
-            let loop_excess = (sum + t_pp - pp * max).max(0.0);
-            let chain = plan.n_microbatches as f64 * max
-                + (pp - 1.0) * mean
-                + t_pp
-                + loops * loop_excess;
-
-            // Data-parallel sync. Stage 0 finishes its final backward last,
-            // so its all-reduce is fully exposed (Eq. 6). A later stage `s`
-            // finishes earlier by the backward-wave gap (the time the final
-            // gradient takes to travel from `s` to stage 0), so its
-            // all-reduce only matters if it exceeds that slack.
-            let mut gap = 0.0;
-            let mut dp_exposed: f64 = dp_times[0];
-            for s in 1..cfg.pp {
-                let hop = terms::t_pp_chain_hop(self.profiled, mapping, msg_pp, z, s - 1);
-                gap += 2.0 * stage_cost[s - 1] / 3.0 + hop / 2.0;
-                dp_exposed = dp_exposed.max(dp_times[s] - gap);
-            }
-            worst = worst.max(chain + dp_exposed);
-        }
-        worst + OPTIMIZER_STEP_S
+        // Every term is recomputed from the mapping on each call; the
+        // incremental objective feeds the same reduction from its caches.
+        let mut stage_cost = Vec::with_capacity(cfg.pp);
+        terms::reduce_latency(
+            cfg,
+            plan,
+            compute,
+            &dp_times,
+            |s, z| terms::t_tp_stage(self.profiled, mapping, self.gpt, plan.micro_batch, s, z),
+            |x, z| terms::t_pp_chain_hop(self.profiled, mapping, msg_pp, z, x),
+            &mut stage_cost,
+        )
     }
 
     /// Latency estimate for the *interleaved* 1F1B schedule with `v`
@@ -135,10 +115,17 @@ impl<'a> PipetteLatencyModel<'a> {
         compute: &ProfiledCompute,
     ) -> f64 {
         assert!(v >= 2, "use estimate() for v = 1");
-        assert_eq!(mapping.config(), cfg, "mapping built for another configuration");
+        assert_eq!(
+            mapping.config(),
+            cfg,
+            "mapping built for another configuration"
+        );
         let s_total = cfg.pp * v;
         assert_eq!(compute.num_stages(), s_total, "profiled stages mismatch");
-        assert!(plan.n_microbatches.is_multiple_of(cfg.pp as u64), "interleaving requires pp | n_mb");
+        assert!(
+            plan.n_microbatches.is_multiple_of(cfg.pp as u64),
+            "interleaving requires pp | n_mb"
+        );
         let pp = cfg.pp as f64;
         let msg_pp = messages::pp_message_bytes(self.gpt, plan.micro_batch);
         let comm = pipette_sim::CommModel::new(self.profiled);
@@ -168,8 +155,7 @@ impl<'a> PipetteLatencyModel<'a> {
                     let device = s % cfg.pp;
                     let layers = self.gpt.layers_of_stage(s_total, s) as f64;
                     let ar = comm.ring_allreduce(&mapping.tensor_group(device, z), tp_bytes);
-                    compute.compute(s)
-                        + messages::TP_ALLREDUCES_PER_LAYER as f64 * layers * ar
+                    compute.compute(s) + messages::TP_ALLREDUCES_PER_LAYER as f64 * layers * ar
                 })
                 .collect();
             // Per-device work per microbatch (all its chunks).
@@ -189,10 +175,16 @@ impl<'a> PipetteLatencyModel<'a> {
                 }
                 let mut hop: f64 = 0.0;
                 for y in 0..cfg.tp {
-                    let a = mapping
-                        .gpu_of(pipette_model::WorkerId { stage: da, tensor: y, data: z });
-                    let b = mapping
-                        .gpu_of(pipette_model::WorkerId { stage: db, tensor: y, data: z });
+                    let a = mapping.gpu_of(pipette_model::WorkerId {
+                        stage: da,
+                        tensor: y,
+                        data: z,
+                    });
+                    let b = mapping.gpu_of(pipette_model::WorkerId {
+                        stage: db,
+                        tensor: y,
+                        data: z,
+                    });
                     hop = hop.max(comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp));
                 }
                 t_pp += hop;
@@ -233,7 +225,10 @@ mod tests {
     use pipette_sim::{ComputeProfiler, IterationSim};
 
     fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(2).build(21), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(2).build(21),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     fn estimate_and_truth(
@@ -247,10 +242,9 @@ mod tests {
         let plan = MicrobatchPlan::new(mini, micro).unwrap();
         let gpu = cluster.gpu().clone();
         let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
-        let compute = ComputeProfiler::default()
-            .profile(cluster.bandwidth(), &gpu, gpt, cfg, plan, 4);
-        let est = PipetteLatencyModel::new(&profiled, gpt)
-            .estimate(cfg, &mapping, plan, &compute);
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, gpt, cfg, plan, 4);
+        let est = PipetteLatencyModel::new(&profiled, gpt).estimate(cfg, &mapping, plan, &compute);
         let truth = IterationSim::new(cluster.bandwidth(), &gpu, gpt)
             .simulate(cfg, &mapping, plan)
             .total_seconds;
@@ -268,7 +262,10 @@ mod tests {
         ] {
             let (est, truth) = estimate_and_truth(&cluster, &gpt, cfg, micro, 32);
             let err = (est - truth).abs() / truth;
-            assert!(err < 0.25, "{cfg}: est {est:.3}s vs sim {truth:.3}s (err {err:.2})");
+            assert!(
+                err < 0.25,
+                "{cfg}: est {est:.3}s vs sim {truth:.3}s (err {err:.2})"
+            );
         }
     }
 
@@ -328,8 +325,8 @@ mod tests {
         let plan = MicrobatchPlan::new(64, 2).unwrap();
         let gpu = cluster.gpu().clone();
         let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
-        let compute = ComputeProfiler::default()
-            .profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 4);
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 4);
         let model = PipetteLatencyModel::new(&profiled, &gpt);
         let sim = IterationSim::new(cluster.bandwidth(), &gpu, &gpt);
 
@@ -348,7 +345,11 @@ mod tests {
         let s_rev = sim.simulate(cfg, &reversed, plan).total_seconds;
         // Same preference direction (or both essentially equal).
         if (s_id - s_rev).abs() / s_id > 0.01 {
-            assert_eq!(e_id < e_rev, s_id < s_rev, "estimator disagrees with simulator");
+            assert_eq!(
+                e_id < e_rev,
+                s_id < s_rev,
+                "estimator disagrees with simulator"
+            );
         }
     }
 }

@@ -1,8 +1,18 @@
-//! The individual communication terms of the latency model (Eqs. 5–6).
+//! The individual communication terms of the latency model (Eqs. 5–6),
+//! each computable per stage / per hop / per replica, plus the shared
+//! critical-path reduction over them.
+//!
+//! Both evaluation paths — the batch estimator
+//! ([`crate::latency::PipetteLatencyModel::estimate`]) and the incremental
+//! SA objective ([`crate::mapping::IncrementalObjective`]) — feed these
+//! terms through [`reduce_latency`], so the two are bit-identical by
+//! construction: the incremental path merely caches term values that the
+//! batch path recomputes.
 
-use pipette_cluster::BandwidthMatrix;
-use pipette_model::{messages, GptConfig, WorkerId};
-use pipette_sim::{CommModel, Mapping};
+use pipette_cluster::{BandwidthMatrix, GpuId};
+use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig, WorkerId};
+use pipette_sim::iteration::OPTIMIZER_STEP_S;
+use pipette_sim::{CommModel, HierScratch, Mapping, ProfiledCompute};
 
 /// Eq. 5 — pipeline-parallel communication on the critical path for one
 /// data replica `z`: the slowest tensor rank of each hop, summed along the
@@ -14,8 +24,16 @@ pub fn t_pp_chain(matrix: &BandwidthMatrix, mapping: &Mapping, msg_pp: u64, z: u
     for x in 0..cfg.pp.saturating_sub(1) {
         let mut hop: f64 = 0.0;
         for y in 0..cfg.tp {
-            let a = mapping.gpu_of(WorkerId { stage: x, tensor: y, data: z });
-            let b = mapping.gpu_of(WorkerId { stage: x + 1, tensor: y, data: z });
+            let a = mapping.gpu_of(WorkerId {
+                stage: x,
+                tensor: y,
+                data: z,
+            });
+            let b = mapping.gpu_of(WorkerId {
+                stage: x + 1,
+                tensor: y,
+                data: z,
+            });
             hop = hop.max(comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp));
         }
         total += hop;
@@ -34,12 +52,31 @@ pub fn t_pp_chain_hop(
 ) -> f64 {
     let cfg = mapping.config();
     assert!(x + 1 < cfg.pp, "hop {x} out of range");
+    // Worker (s, y, z) lives at linear index ((s·dp + z)·tp + y), so the
+    // two stages' tensor ranks are consecutive `tp`-slices of the
+    // assignment (one block each).
+    let a = (x * cfg.dp + z) * cfg.tp;
+    let b = ((x + 1) * cfg.dp + z) * cfg.tp;
+    let assign = mapping.as_slice();
+    t_pp_hop_between(
+        matrix,
+        &assign[a..a + cfg.tp],
+        &assign[b..b + cfg.tp],
+        msg_pp,
+    )
+}
+
+/// [`t_pp_chain_hop`] on raw block contents: the hop time between a block
+/// holding `a` and a block holding `b` (same tensor rank talks to same
+/// tensor rank). Depends only on the two GPU tuples — SA moves permute
+/// whole blocks, so the incremental objective tabulates this per block
+/// *pair* once and never recomputes it.
+pub fn t_pp_hop_between(matrix: &BandwidthMatrix, a: &[GpuId], b: &[GpuId], msg_pp: u64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "blocks must have equal tensor width");
     let comm = CommModel::new(matrix);
     let mut hop: f64 = 0.0;
-    for y in 0..cfg.tp {
-        let a = mapping.gpu_of(WorkerId { stage: x, tensor: y, data: z });
-        let b = mapping.gpu_of(WorkerId { stage: x + 1, tensor: y, data: z });
-        hop = hop.max(comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp));
+    for y in 0..a.len() {
+        hop = hop.max(comm.p2p(a[y], b[y], msg_pp) + comm.p2p(b[y], a[y], msg_pp));
     }
     hop
 }
@@ -54,16 +91,51 @@ pub fn t_pp(matrix: &BandwidthMatrix, mapping: &Mapping, msg_pp: u64) -> f64 {
 
 /// Data-parallel all-reduce time of one pipeline stage: hierarchical ring
 /// over each tensor rank's replica group, the slowest rank dominating.
-pub fn t_dp_stage(matrix: &BandwidthMatrix, mapping: &Mapping, gpt: &GptConfig, stage: usize) -> f64 {
+pub fn t_dp_stage(
+    matrix: &BandwidthMatrix,
+    mapping: &Mapping,
+    gpt: &GptConfig,
+    stage: usize,
+) -> f64 {
+    t_dp_stage_with(
+        &mut HierScratch::new(),
+        &mut Vec::new(),
+        matrix,
+        mapping,
+        gpt,
+        stage,
+    )
+}
+
+/// [`t_dp_stage`] with caller-provided scratch buffers (allocation-free on
+/// the hot path); returns the identical value.
+pub fn t_dp_stage_with(
+    scratch: &mut HierScratch,
+    group: &mut Vec<GpuId>,
+    matrix: &BandwidthMatrix,
+    mapping: &Mapping,
+    gpt: &GptConfig,
+    stage: usize,
+) -> f64 {
     let cfg = mapping.config();
     if cfg.dp < 2 {
         return 0.0;
     }
     let comm = CommModel::new(matrix);
     let bytes = messages::dp_gradient_bytes(gpt, cfg.pp, cfg.tp, stage);
-    (0..cfg.tp)
-        .map(|y| comm.hierarchical_allreduce(&mapping.data_group(stage, y), bytes))
-        .fold(0.0, f64::max)
+    let mut worst = 0.0f64;
+    for tensor in 0..cfg.tp {
+        group.clear();
+        group.extend((0..cfg.dp).map(|data| {
+            mapping.gpu_of(WorkerId {
+                stage,
+                tensor,
+                data,
+            })
+        }));
+        worst = worst.max(comm.hierarchical_allreduce_with(scratch, group, bytes));
+    }
+    worst
 }
 
 /// Eq. 6 — data-parallel all-reduce of the *first* pipeline stage, which
@@ -91,10 +163,90 @@ pub fn t_tp_stage(
     }
     let comm = CommModel::new(matrix);
     let bytes = messages::tp_allreduce_bytes(gpt, micro_batch);
-    let layers = gpt.layers_of_stage(cfg.pp, stage) as f64;
-    messages::TP_ALLREDUCES_PER_LAYER as f64
-        * layers
-        * comm.ring_allreduce(&mapping.tensor_group(stage, z), bytes)
+    t_tp_from_allreduce(
+        gpt,
+        cfg.pp,
+        stage,
+        comm.ring_allreduce(&mapping.tensor_group(stage, z), bytes),
+    )
+}
+
+/// Scales one tensor group's ring all-reduce time into the stage's full
+/// tensor-parallel cost (four all-reduces per layer). The all-reduce time
+/// itself depends only on the group's GPUs, so the incremental objective
+/// caches it per block and re-applies this stage-dependent scaling.
+pub fn t_tp_from_allreduce(gpt: &GptConfig, pp: usize, stage: usize, allreduce: f64) -> f64 {
+    let layers = gpt.layers_of_stage(pp, stage) as f64;
+    messages::TP_ALLREDUCES_PER_LAYER as f64 * layers * allreduce
+}
+
+/// The shared Eq. 3–6 critical-path reduction over per-stage / per-hop
+/// terms — the single source of truth behind both the batch estimator and
+/// the incremental objective.
+///
+/// `tp_term(s, z)` is the tensor-parallel cost of stage `s` in replica
+/// `z`; `hop(x, z)` is the round-trip inter-stage transfer between stages
+/// `x` and `x + 1` of replica `z`; `dp_times[s]` is the stage's
+/// data-parallel all-reduce time. `stage_cost` is caller-provided scratch.
+/// Closure call order and floating-point reduction order are fixed, so two
+/// callers feeding bitwise-equal terms get bitwise-equal estimates.
+pub fn reduce_latency<FT, FH>(
+    cfg: ParallelConfig,
+    plan: MicrobatchPlan,
+    compute: &ProfiledCompute,
+    dp_times: &[f64],
+    mut tp_term: FT,
+    mut hop: FH,
+    stage_cost: &mut Vec<f64>,
+) -> f64
+where
+    FT: FnMut(usize, usize) -> f64,
+    FH: FnMut(usize, usize) -> f64,
+{
+    let pp = cfg.pp as f64;
+    // Per-replica critical paths; the slowest replica gates the DP sync.
+    let mut worst = 0.0f64;
+    for z in 0..cfg.dp {
+        stage_cost.clear();
+        stage_cost.extend((0..cfg.pp).map(|s| compute.compute(s) + tp_term(s, z)));
+        let sum: f64 = stage_cost.iter().sum();
+        let max = stage_cost.iter().cloned().fold(0.0, f64::max);
+        let mean = sum / pp;
+        let mut t_pp = 0.0;
+        for x in 0..cfg.pp.saturating_sub(1) {
+            t_pp += hop(x, z);
+        }
+        // Decomposition mirroring Eq. 3, generalized to non-uniform
+        // stages (the last stage carries the LM head):
+        //
+        // * straggler steady-state work: `n_mb · max_s C_s`
+        //   (Eq. 4's straggler term, which dominates when one stage is
+        //   slower than the dependency loop);
+        // * one pipeline fill+drain: `(pp − 1) · C̄ + T_pp`
+        //   (Eq. 4's bubble);
+        // * the hidden critical path: the 1F1B loop (forward down,
+        //   backward up) closes `n_mb/pp − 1` times (§V), each time
+        //   charging however much the loop `Σ C_s + T_pp` exceeds the
+        //   straggler-bound work `pp · max_s C_s`.
+        let loops = (plan.n_microbatches as f64 / pp - 1.0).max(0.0);
+        let loop_excess = (sum + t_pp - pp * max).max(0.0);
+        let chain =
+            plan.n_microbatches as f64 * max + (pp - 1.0) * mean + t_pp + loops * loop_excess;
+
+        // Data-parallel sync. Stage 0 finishes its final backward last,
+        // so its all-reduce is fully exposed (Eq. 6). A later stage `s`
+        // finishes earlier by the backward-wave gap (the time the final
+        // gradient takes to travel from `s` to stage 0), so its
+        // all-reduce only matters if it exceeds that slack.
+        let mut gap = 0.0;
+        let mut dp_exposed: f64 = dp_times[0];
+        for s in 1..cfg.pp {
+            gap += 2.0 * stage_cost[s - 1] / 3.0 + hop(s - 1, z) / 2.0;
+            dp_exposed = dp_exposed.max(dp_times[s] - gap);
+        }
+        worst = worst.max(chain + dp_exposed);
+    }
+    worst + OPTIMIZER_STEP_S
 }
 
 #[cfg(test)]
@@ -104,7 +256,10 @@ mod tests {
     use pipette_model::ParallelConfig;
 
     fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(4).build(11), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(4).build(11),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     #[test]
@@ -131,8 +286,9 @@ mod tests {
         let cfg = ParallelConfig::new(2, 8, 2);
         let m = Mapping::identity(cfg, *c.topology());
         let full = t_pp(c.bandwidth(), &m, 1 << 22);
-        let per_chain: Vec<f64> =
-            (0..2).map(|z| t_pp_chain(c.bandwidth(), &m, 1 << 22, z)).collect();
+        let per_chain: Vec<f64> = (0..2)
+            .map(|z| t_pp_chain(c.bandwidth(), &m, 1 << 22, z))
+            .collect();
         assert_eq!(full, per_chain.iter().cloned().fold(0.0, f64::max));
     }
 
@@ -176,7 +332,8 @@ mod tests {
                 assign.push(topo.gpu(node, r));
             }
         }
-        let reordered = Mapping::from_assignment(cfg, assign.into_iter().map(|g| GpuId(g.0)).collect());
+        let reordered =
+            Mapping::from_assignment(cfg, assign.into_iter().map(|g| GpuId(g.0)).collect());
         let t_re = t_pp(c.bandwidth(), &reordered, 1 << 24);
         assert_ne!(t_id, t_re);
     }

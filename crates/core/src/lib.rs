@@ -47,6 +47,7 @@ pub mod error;
 pub mod latency;
 pub mod mapping;
 pub mod memory;
+pub mod parallel;
 pub mod report;
 
 pub use configurator::{Pipette, PipetteOptions, Recommendation};

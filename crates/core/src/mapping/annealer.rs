@@ -6,12 +6,18 @@
 //! analogous to NoC core mapping [17, 18], for which SA is the standard
 //! tool.
 
-use crate::mapping::moves::Move;
+use crate::mapping::moves::{Move, MoveKind};
+use crate::mapping::objective::{FnObjective, Objective};
 use pipette_sim::Mapping;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// How often (in iterations) the wall-clock budget is consulted. With the
+/// incremental objective an iteration is sub-microsecond, so checking
+/// `Instant::now()` every step would be a measurable fraction of the loop.
+const TIME_CHECK_INTERVAL: usize = 64;
 
 /// Annealer parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,12 +58,19 @@ impl Default for AnnealerConfig {
 impl AnnealerConfig {
     /// The paper's configuration: 10-second budget, α = 0.999.
     pub fn paper() -> Self {
-        Self { time_limit: Some(Duration::from_secs(10)), iterations: usize::MAX, ..Self::default() }
+        Self {
+            time_limit: Some(Duration::from_secs(10)),
+            iterations: usize::MAX,
+            ..Self::default()
+        }
     }
 
     /// A tiny budget for unit tests.
     pub fn fast_test() -> Self {
-        Self { iterations: 1_500, ..Self::default() }
+        Self {
+            iterations: 1_500,
+            ..Self::default()
+        }
     }
 }
 
@@ -117,7 +130,10 @@ impl Annealer {
     ///
     /// Panics if `alpha` is not in `(0, 1)` or every move is disabled.
     pub fn new(config: AnnealerConfig) -> Self {
-        assert!(config.alpha > 0.0 && config.alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
         assert!(
             config.enable_migration || config.enable_swap || config.enable_reverse,
             "at least one move kind must be enabled"
@@ -136,14 +152,31 @@ impl Annealer {
     /// Returns the best mapping found, its cost, and run statistics. The
     /// initial mapping is always a candidate, so the result is never worse
     /// than the input.
+    ///
+    /// This is the closure-based batch path (the objective re-evaluates the
+    /// whole mapping on every move); the hot path wraps an incremental
+    /// [`Objective`] and goes through [`Annealer::anneal_with`]. Both paths
+    /// share one loop and one RNG stream, so for a given seed they take
+    /// identical accept/reject decisions and return identical mappings.
     pub fn anneal<F>(&self, initial: &Mapping, objective: F) -> (Mapping, f64, AnnealStats)
     where
         F: Fn(&Mapping) -> f64,
     {
+        self.anneal_with(initial, &mut FnObjective::new(objective))
+    }
+
+    /// [`Annealer::anneal`] over any [`Objective`] — pass an
+    /// [`crate::mapping::IncrementalObjective`] to pay only for the terms
+    /// each move touches instead of a full estimate per iteration.
+    pub fn anneal_with<O: Objective>(
+        &self,
+        initial: &Mapping,
+        objective: &mut O,
+    ) -> (Mapping, f64, AnnealStats) {
         let start = Instant::now();
         let block = initial.config().tp.max(1);
         let num_blocks = initial.as_slice().len() / block;
-        let initial_cost = objective(initial);
+        let initial_cost = objective.evaluate(initial);
 
         let mut stats = AnnealStats {
             evaluations: 1,
@@ -159,6 +192,23 @@ impl Annealer {
             return (initial.clone(), initial_cost, stats);
         }
 
+        // Enabled move kinds, fixed once. The order mirrors the arms of
+        // `Move::random`, so with all three enabled the index draw below
+        // consumes the same `gen_range(0..3u8)` the old rejection-sampling
+        // loop did — the RNG stream (and thus every historical result for a
+        // given seed) is preserved.
+        let mut enabled: Vec<MoveKind> = Vec::with_capacity(3);
+        if self.config.enable_migration {
+            enabled.push(MoveKind::Migration);
+        }
+        if self.config.enable_swap {
+            enabled.push(MoveKind::Swap);
+        }
+        if self.config.enable_reverse {
+            enabled.push(MoveKind::Reverse);
+        }
+        debug_assert!(!enabled.is_empty(), "checked in Annealer::new");
+
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut current = initial.clone();
         let mut current_cost = initial_cost;
@@ -166,29 +216,35 @@ impl Annealer {
         let mut best_cost = initial_cost;
         let mut temp = initial_cost * self.config.initial_temp_fraction;
 
-        for _ in 0..self.config.iterations {
-            if let Some(limit) = self.config.time_limit {
-                if start.elapsed() >= limit {
-                    break;
+        for it in 0..self.config.iterations {
+            if it % TIME_CHECK_INTERVAL == 0 {
+                if let Some(limit) = self.config.time_limit {
+                    if start.elapsed() >= limit {
+                        break;
+                    }
                 }
             }
-            let mv = self.sample_move(&mut rng, num_blocks);
-            let mut candidate = current.clone();
-            mv.apply(candidate.as_mut_slice(), block);
-            let cost = objective(&candidate);
+            let kind = enabled[rng.gen_range(0..enabled.len() as u8) as usize];
+            let mv = Move::random_of_kind(&mut rng, kind, num_blocks);
+            // Apply in place; every move has an exact inverse, so rejection
+            // undoes it without cloning a candidate per iteration.
+            mv.apply(current.as_mut_slice(), block);
+            let cost = objective.propose(mv, &current);
             stats.evaluations += 1;
             let delta = cost - current_cost;
-            let accept = delta <= 0.0
-                || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+            let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
             if accept {
-                current = candidate;
+                objective.commit();
                 current_cost = cost;
                 stats.accepted += 1;
                 if cost < best_cost {
-                    best = current.clone();
+                    best.as_mut_slice().copy_from_slice(current.as_slice());
                     best_cost = cost;
                     stats.improvements += 1;
                 }
+            } else {
+                objective.rollback();
+                mv.inverse().apply(current.as_mut_slice(), block);
             }
             temp *= self.config.alpha;
         }
@@ -196,20 +252,6 @@ impl Annealer {
         stats.best_cost = best_cost;
         stats.elapsed = start.elapsed();
         (best, best_cost, stats)
-    }
-
-    fn sample_move<R: Rng + ?Sized>(&self, rng: &mut R, num_blocks: usize) -> Move {
-        loop {
-            let mv = Move::random(rng, num_blocks);
-            let ok = match mv {
-                Move::Migration { .. } => self.config.enable_migration,
-                Move::Swap { .. } => self.config.enable_swap,
-                Move::Reverse { .. } => self.config.enable_reverse,
-            };
-            if ok {
-                return mv;
-            }
-        }
     }
 }
 
@@ -254,7 +296,11 @@ mod tests {
         }
         // target is now block-reversed identity.
         let objective = displacement_cost(&target);
-        let annealer = Annealer::new(AnnealerConfig { iterations: 8_000, seed: 3, ..Default::default() });
+        let annealer = Annealer::new(AnnealerConfig {
+            iterations: 8_000,
+            seed: 3,
+            ..Default::default()
+        });
         let (best, cost, stats) = annealer.anneal(&initial, objective);
         assert!(cost < stats.initial_cost, "must improve: {stats:?}");
         assert!(best.is_permutation());
@@ -266,9 +312,17 @@ mod tests {
         let initial = setup(2, 2, 2);
         // Adversarial objective that prefers the identity.
         let objective = |m: &Mapping| {
-            m.as_slice().iter().enumerate().map(|(i, g)| (g.0 as f64 - i as f64).powi(2)).sum()
+            m.as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (g.0 as f64 - i as f64).powi(2))
+                .sum()
         };
-        let annealer = Annealer::new(AnnealerConfig { iterations: 500, seed: 1, ..Default::default() });
+        let annealer = Annealer::new(AnnealerConfig {
+            iterations: 500,
+            seed: 1,
+            ..Default::default()
+        });
         let (_, cost, stats) = annealer.anneal(&initial, objective);
         assert_eq!(cost, 0.0);
         assert_eq!(stats.initial_cost, 0.0);
@@ -278,7 +332,11 @@ mod tests {
     fn deterministic_in_seed() {
         let initial = setup(4, 2, 2);
         let target: Vec<usize> = (0..16).rev().collect();
-        let cfg = AnnealerConfig { iterations: 2_000, seed: 9, ..Default::default() };
+        let cfg = AnnealerConfig {
+            iterations: 2_000,
+            seed: 9,
+            ..Default::default()
+        };
         let a = Annealer::new(cfg).anneal(&initial, displacement_cost(&target));
         let b = Annealer::new(cfg).anneal(&initial, displacement_cost(&target));
         assert_eq!(a.0, b.0);
@@ -304,8 +362,7 @@ mod tests {
         let cfg = ParallelConfig::new(1, 4, 1);
         let topo = ClusterTopology::new(1, 4);
         let m = Mapping::identity(cfg, topo);
-        let (best, cost, stats) = Annealer::new(AnnealerConfig::default())
-            .anneal(&m, |_| 42.0);
+        let (best, cost, stats) = Annealer::new(AnnealerConfig::default()).anneal(&m, |_| 42.0);
         assert_eq!(best, m);
         assert_eq!(cost, 42.0);
         assert_eq!(stats.evaluations, 1);
@@ -315,7 +372,11 @@ mod tests {
     fn move_ablation_still_works() {
         let initial = setup(4, 2, 2);
         let target: Vec<usize> = (0..16).rev().collect();
-        for (mig, swap, rev) in [(true, false, false), (false, true, false), (false, false, true)] {
+        for (mig, swap, rev) in [
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
             let cfg = AnnealerConfig {
                 iterations: 3_000,
                 seed: 5,
@@ -364,7 +425,11 @@ mod tests {
     #[test]
     fn stats_account_for_evaluations() {
         let initial = setup(2, 2, 2);
-        let cfg = AnnealerConfig { iterations: 123, seed: 8, ..Default::default() };
+        let cfg = AnnealerConfig {
+            iterations: 123,
+            seed: 8,
+            ..Default::default()
+        };
         let (_, _, stats) = Annealer::new(cfg).anneal(&initial, |m| m.as_slice()[0].0 as f64);
         assert_eq!(stats.evaluations, 124); // initial + iterations
         assert!(stats.elapsed.as_nanos() > 0);

@@ -8,8 +8,10 @@
 
 mod annealer;
 mod moves;
+mod objective;
 mod search;
 
 pub use annealer::{AnnealStats, Annealer, AnnealerConfig};
-pub use moves::Move;
+pub use moves::{Move, MoveKind};
+pub use objective::{FnObjective, IncrementalObjective, Objective};
 pub use search::{greedy_swap, random_search};

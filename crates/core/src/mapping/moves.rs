@@ -20,6 +20,18 @@ use pipette_cluster::GpuId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The kind of a [`Move`], used to restrict the sampled move set without
+/// rejection sampling (the annealer builds the enabled-kind list once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MoveKind {
+    /// [`Move::Migration`].
+    Migration,
+    /// [`Move::Swap`].
+    Swap,
+    /// [`Move::Reverse`].
+    Reverse,
+}
+
 /// A candidate perturbation of the assignment string.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Move {
@@ -54,9 +66,23 @@ impl Move {
     ///
     /// Panics if `num_blocks < 2`.
     pub fn random<R: Rng + ?Sized>(rng: &mut R, num_blocks: usize) -> Self {
+        let kind = match rng.gen_range(0..3u8) {
+            0 => MoveKind::Migration,
+            1 => MoveKind::Swap,
+            _ => MoveKind::Reverse,
+        };
+        Self::random_of_kind(rng, kind, num_blocks)
+    }
+
+    /// Samples a random move of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks < 2`.
+    pub fn random_of_kind<R: Rng + ?Sized>(rng: &mut R, kind: MoveKind, num_blocks: usize) -> Self {
         assert!(num_blocks >= 2, "need at least two blocks to move");
-        match rng.gen_range(0..3u8) {
-            0 => {
+        match kind {
+            MoveKind::Migration => {
                 let from = rng.gen_range(0..num_blocks);
                 let mut to = rng.gen_range(0..num_blocks - 1);
                 if to >= from {
@@ -64,7 +90,7 @@ impl Move {
                 }
                 Move::Migration { from, to }
             }
-            1 => {
+            MoveKind::Swap => {
                 let a = rng.gen_range(0..num_blocks);
                 let mut b = rng.gen_range(0..num_blocks - 1);
                 if b >= a {
@@ -72,11 +98,31 @@ impl Move {
                 }
                 Move::Swap { a, b }
             }
-            _ => {
+            MoveKind::Reverse => {
                 let start = rng.gen_range(0..num_blocks - 1);
                 let end = rng.gen_range(start + 1..num_blocks);
                 Move::Reverse { start, end }
             }
+        }
+    }
+
+    /// This move's [`MoveKind`].
+    pub fn kind(&self) -> MoveKind {
+        match self {
+            Move::Migration { .. } => MoveKind::Migration,
+            Move::Swap { .. } => MoveKind::Swap,
+            Move::Reverse { .. } => MoveKind::Reverse,
+        }
+    }
+
+    /// The move that exactly undoes this one: swap and reverse are their
+    /// own inverses; a migration runs backwards. Lets the annealer and the
+    /// incremental objective revert a rejected move in place instead of
+    /// cloning the whole assignment per iteration.
+    pub fn inverse(&self) -> Move {
+        match *self {
+            Move::Migration { from, to } => Move::Migration { from: to, to: from },
+            mv => mv,
         }
     }
 
@@ -88,7 +134,22 @@ impl Move {
     /// Panics if `assign.len()` is not a multiple of `block_size` or block
     /// indices are out of range.
     pub fn apply(&self, assign: &mut [GpuId], block_size: usize) {
-        assert!(block_size > 0 && assign.len().is_multiple_of(block_size), "invalid block size");
+        self.apply_to(assign, block_size);
+    }
+
+    /// Generic [`Move::apply`]: permutes any block-structured slice. The
+    /// incremental objective uses this to permute its cached per-block
+    /// all-reduce times in lockstep with the assignment itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len()` is not a multiple of `block_size` or block
+    /// indices are out of range.
+    pub fn apply_to<T>(&self, assign: &mut [T], block_size: usize) {
+        assert!(
+            block_size > 0 && assign.len().is_multiple_of(block_size),
+            "invalid block size"
+        );
         let nb = assign.len() / block_size;
         match *self {
             Move::Migration { from, to } => {
@@ -214,6 +275,35 @@ mod tests {
             for chunk in a.chunks(bs) {
                 let base = chunk[0].0 / bs;
                 prop_assert!(chunk.iter().all(|g| g.0 / bs == base), "block torn: {chunk:?}");
+            }
+        }
+
+        #[test]
+        fn inverse_undoes_any_move(seed in 0u64..1000, blocks in 2usize..10, bs in 1usize..5) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = blocks * bs;
+            let mut a = seq(n);
+            let mv = Move::random(&mut rng, blocks);
+            mv.apply(&mut a, bs);
+            mv.inverse().apply(&mut a, bs);
+            prop_assert_eq!(ids(&a), (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn apply_to_matches_apply(seed in 0u64..1000, blocks in 2usize..10) {
+            // Permuting a parallel value array with `apply_to` tracks the
+            // assignment permutation exactly (block size 1 on block ids).
+            let bs = 3;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut a = seq(blocks * bs);
+            let mut tags: Vec<usize> = (0..blocks).collect();
+            for _ in 0..10 {
+                let mv = Move::random(&mut rng, blocks);
+                mv.apply(&mut a, bs);
+                mv.apply_to(&mut tags, 1);
+            }
+            for (pos, &tag) in tags.iter().enumerate() {
+                prop_assert_eq!(a[pos * bs].0 / bs, tag);
             }
         }
 

@@ -1,0 +1,538 @@
+//! The annealer's objective abstraction and the incremental evaluator.
+//!
+//! Algorithm 1 spends nearly all of its time inside the SA loop calling
+//! the latency estimator, and a full [`PipetteLatencyModel::estimate`]
+//! walks every tensor group, pipeline hop, and data-parallel ring of the
+//! mapping — `O(pp·tp·dp)` communication-model queries — even though one
+//! SA move displaces only a handful of blocks. [`IncrementalObjective`]
+//! caches each term at its natural granularity and re-derives only what a
+//! move touched:
+//!
+//! * **per-block ring all-reduce times** (`T_tp`'s expensive factor)
+//!   depend only on the GPUs *inside* a block, and SA moves permute whole
+//!   blocks — so these values are never recomputed at all, merely permuted
+//!   alongside the assignment via [`Move::apply_to`];
+//! * **per-hop pipeline transfer times** (Eq. 5) touch two adjacent
+//!   blocks — recomputed only for hops bordering a displaced block;
+//! * **per-stage data-parallel all-reduce times** (Eq. 6) touch one
+//!   stage's replica row — recomputed only for stages owning a displaced
+//!   block.
+//!
+//! The cached terms feed the same [`terms::reduce_latency`] reduction the
+//! batch estimator uses, so `propose` returns a bit-identical cost to a
+//! from-scratch `estimate` of the moved mapping — the annealer's
+//! accept/reject trace (and therefore its result for a given seed) is
+//! unchanged, only faster.
+
+use crate::latency::{terms, PipetteLatencyModel};
+use crate::mapping::moves::Move;
+use pipette_cluster::{BandwidthMatrix, GpuId};
+use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{HierScratch, Mapping, ProfiledCompute};
+use std::collections::HashMap;
+
+/// What the annealer needs from a cost function: a full evaluation for the
+/// starting point and a propose/commit/rollback protocol for moves.
+///
+/// The annealer owns the current mapping and applies each sampled move to
+/// it *before* calling [`Objective::propose`]; on rejection it calls
+/// [`Objective::rollback`] and un-applies the move itself.
+pub trait Objective {
+    /// Full cost of `mapping` (called once, for the initial state).
+    fn evaluate(&mut self, mapping: &Mapping) -> f64;
+
+    /// Cost of `candidate`, which is the previously evaluated mapping with
+    /// `mv` freshly applied.
+    fn propose(&mut self, mv: Move, candidate: &Mapping) -> f64;
+
+    /// The proposal was accepted; make its state current.
+    fn commit(&mut self) {}
+
+    /// The proposal was rejected; restore the pre-move state.
+    fn rollback(&mut self) {}
+}
+
+/// Adapter running a plain `Fn(&Mapping) -> f64` closure as an
+/// [`Objective`] — the legacy batch path, kept for ablations, toy
+/// objectives, and as the reference in bit-identity tests.
+#[derive(Debug, Clone)]
+pub struct FnObjective<F>(F);
+
+impl<F: Fn(&Mapping) -> f64> FnObjective<F> {
+    /// Wraps a closure.
+    pub fn new(f: F) -> Self {
+        Self(f)
+    }
+}
+
+impl<F: Fn(&Mapping) -> f64> Objective for FnObjective<F> {
+    fn evaluate(&mut self, mapping: &Mapping) -> f64 {
+        (self.0)(mapping)
+    }
+
+    fn propose(&mut self, _mv: Move, candidate: &Mapping) -> f64 {
+        (self.0)(candidate)
+    }
+}
+
+/// Undo journal of one in-flight proposal.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    mv: Move,
+    prev_cost: f64,
+}
+
+/// Stateful incremental evaluator of Eqs. 3–6 (see the module docs).
+#[derive(Debug)]
+pub struct IncrementalObjective<'a> {
+    matrix: &'a BandwidthMatrix,
+    gpt: &'a GptConfig,
+    cfg: ParallelConfig,
+    plan: MicrobatchPlan,
+    compute: &'a ProfiledCompute,
+    msg_pp: u64,
+    tp_bytes: u64,
+    /// Ring all-reduce time of the tensor group currently at each block
+    /// position `b = stage·dp + data`; permuted in lockstep with moves.
+    block_allreduce: Vec<f64>,
+    /// Round-trip hop time between stages `x` and `x+1` of replica `z`,
+    /// indexed `x·dp + z`.
+    hops: Vec<f64>,
+    /// Per-stage data-parallel all-reduce time.
+    dp_times: Vec<f64>,
+    /// Content id of the block currently at each position; permuted in
+    /// lockstep with moves. Ids name the blocks of the last `rebuild`'s
+    /// mapping, whose GPU tuples never change thereafter — every cached
+    /// term below is a pure function of content ids.
+    block_ids: Vec<u16>,
+    /// Hop time for every ordered pair of block contents, indexed
+    /// `from_id·num_blocks + to_id`; empty when disabled (see
+    /// `HOP_TABLE_MAX_ENTRIES`) or when `pp < 2`. A dirty hop is then a
+    /// table read, never a recompute.
+    hop_table: Vec<f64>,
+    /// Lazily memoized per-stage DP all-reduce times, keyed by
+    /// `(stage, packed content-id tuple)`. Values are pure in the key, so
+    /// hits are bitwise identical to recomputation.
+    dp_memo: HashMap<(usize, u128), f64>,
+    current_cost: f64,
+    pending: Option<Pending>,
+    /// `(index, old value)` journals for the in-flight proposal.
+    hop_undo: Vec<(usize, f64)>,
+    dp_undo: Vec<(usize, f64)>,
+    /// Scratch: dirty hop indices / dirty stages of the current proposal.
+    touched_hops: Vec<usize>,
+    touched_stages: Vec<usize>,
+    stage_cost: Vec<f64>,
+    group: Vec<GpuId>,
+    hier: HierScratch,
+}
+
+/// Upper bound on the eager hop table (entries = `num_blocks²`). At the
+/// limit the table is 8 MiB and costs ~2·tp·entries point-to-point model
+/// evaluations to fill — a few dozen full estimates, amortized over the
+/// (typically hundreds of thousands of) SA iterations that follow.
+const HOP_TABLE_MAX_ENTRIES: usize = 1 << 20;
+
+/// DP tuples are packed into a `u128` as 16-bit content ids, so stages
+/// with more replicas than this fall back to direct recomputation.
+const DP_MEMO_MAX_DP: usize = 8;
+
+impl<'a> IncrementalObjective<'a> {
+    /// Builds the evaluator for one candidate `(cfg, plan)` over the same
+    /// inputs the batch estimator reads, primed on `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute` has a different stage count than the mapping's
+    /// `pp`.
+    pub fn new(
+        matrix: &'a BandwidthMatrix,
+        gpt: &'a GptConfig,
+        plan: MicrobatchPlan,
+        compute: &'a ProfiledCompute,
+        initial: &Mapping,
+    ) -> Self {
+        let cfg = initial.config();
+        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        let mut obj = Self {
+            matrix,
+            gpt,
+            cfg,
+            plan,
+            compute,
+            msg_pp: messages::pp_message_bytes(gpt, plan.micro_batch),
+            tp_bytes: messages::tp_allreduce_bytes(gpt, plan.micro_batch),
+            block_allreduce: Vec::new(),
+            hops: Vec::new(),
+            dp_times: Vec::new(),
+            block_ids: Vec::new(),
+            hop_table: Vec::new(),
+            dp_memo: HashMap::new(),
+            current_cost: 0.0,
+            pending: None,
+            hop_undo: Vec::new(),
+            dp_undo: Vec::new(),
+            touched_hops: Vec::new(),
+            touched_stages: Vec::new(),
+            stage_cost: Vec::with_capacity(cfg.pp),
+            group: Vec::with_capacity(cfg.dp),
+            hier: HierScratch::new(),
+        };
+        obj.rebuild(initial);
+        obj
+    }
+
+    /// Convenience constructor reading the matrix/model out of a batch
+    /// estimator, guaranteeing both evaluate the same inputs.
+    pub fn from_model(
+        model: &PipetteLatencyModel<'a>,
+        gpt: &'a GptConfig,
+        plan: MicrobatchPlan,
+        compute: &'a ProfiledCompute,
+        initial: &Mapping,
+    ) -> Self {
+        Self::new(model.matrix(), gpt, plan, compute, initial)
+    }
+
+    /// The cost of the current (committed or in-flight) mapping.
+    pub fn cost(&self) -> f64 {
+        self.current_cost
+    }
+
+    /// Recomputes every cache from scratch for `mapping`, whose blocks
+    /// become the content ids all later proposals are tracked against.
+    fn rebuild(&mut self, mapping: &Mapping) {
+        assert_eq!(
+            mapping.config(),
+            self.cfg,
+            "mapping built for another configuration"
+        );
+        let comm = pipette_sim::CommModel::new(self.matrix);
+        let (pp, dp, tp) = (self.cfg.pp, self.cfg.dp, self.cfg.tp.max(1));
+        let num_blocks = pp * dp;
+        self.block_allreduce.clear();
+        for s in 0..pp {
+            for z in 0..dp {
+                self.block_allreduce
+                    .push(comm.ring_allreduce(&mapping.tensor_group(s, z), self.tp_bytes));
+            }
+        }
+        self.hops.clear();
+        for x in 0..pp.saturating_sub(1) {
+            for z in 0..dp {
+                self.hops.push(terms::t_pp_chain_hop(
+                    self.matrix,
+                    mapping,
+                    self.msg_pp,
+                    z,
+                    x,
+                ));
+            }
+        }
+        self.dp_times.clear();
+        for s in 0..pp {
+            self.dp_times.push(terms::t_dp_stage_with(
+                &mut self.hier,
+                &mut self.group,
+                self.matrix,
+                mapping,
+                self.gpt,
+                s,
+            ));
+        }
+
+        // Content ids: id i names the block at position i of *this*
+        // mapping. Earlier ids (from a previous rebuild) are obsolete, and
+        // so is everything memoized against them.
+        self.block_ids.clear();
+        self.block_ids.extend((0..num_blocks).map(|i| i as u16));
+        self.dp_memo.clear();
+        self.hop_table.clear();
+        if pp >= 2 && num_blocks * num_blocks <= HOP_TABLE_MAX_ENTRIES {
+            let assign = mapping.as_slice();
+            for i in 0..num_blocks {
+                let a = &assign[i * tp..(i + 1) * tp];
+                for j in 0..num_blocks {
+                    let b = &assign[j * tp..(j + 1) * tp];
+                    self.hop_table.push(if i == j {
+                        0.0
+                    } else {
+                        terms::t_pp_hop_between(self.matrix, a, b, self.msg_pp)
+                    });
+                }
+            }
+        }
+
+        self.pending = None;
+        self.current_cost = self.reduce();
+    }
+
+    /// Packs the content-id tuple of stage `s` into a memo key, or `None`
+    /// when the stage has too many replicas to pack.
+    fn dp_key(&self, s: usize) -> Option<u128> {
+        let dp = self.cfg.dp;
+        if dp > DP_MEMO_MAX_DP {
+            return None;
+        }
+        let mut key = 0u128;
+        for &id in &self.block_ids[s * dp..(s + 1) * dp] {
+            key = key << 16 | id as u128;
+        }
+        Some(key)
+    }
+
+    /// Runs the shared reduction over the cached terms.
+    fn reduce(&mut self) -> f64 {
+        let dp = self.cfg.dp;
+        let (gpt, pp_total) = (self.gpt, self.cfg.pp);
+        let tp_small = self.cfg.tp < 2;
+        let block_allreduce = &self.block_allreduce;
+        let hops = &self.hops;
+        terms::reduce_latency(
+            self.cfg,
+            self.plan,
+            self.compute,
+            &self.dp_times,
+            |s, z| {
+                if tp_small {
+                    0.0
+                } else {
+                    terms::t_tp_from_allreduce(gpt, pp_total, s, block_allreduce[s * dp + z])
+                }
+            },
+            |x, z| hops[x * dp + z],
+            &mut self.stage_cost,
+        )
+    }
+
+    /// Marks every hop and stage adjacent to block position `b` dirty.
+    fn mark_block(&mut self, b: usize) {
+        let (pp, dp) = (self.cfg.pp, self.cfg.dp);
+        let (s, z) = (b / dp, b % dp);
+        self.touched_stages.push(s);
+        if s > 0 {
+            self.touched_hops.push((s - 1) * dp + z);
+        }
+        if s + 1 < pp {
+            self.touched_hops.push(s * dp + z);
+        }
+    }
+}
+
+impl Objective for IncrementalObjective<'_> {
+    fn evaluate(&mut self, mapping: &Mapping) -> f64 {
+        self.rebuild(mapping);
+        self.current_cost
+    }
+
+    /// `candidate` must be the last evaluated/committed mapping with `mv`
+    /// applied (at `tp`-block granularity), which is exactly how the
+    /// annealer drives it.
+    fn propose(&mut self, mv: Move, candidate: &Mapping) -> f64 {
+        assert!(
+            self.pending.is_none(),
+            "propose while a proposal is in flight"
+        );
+        // Block contents travel with the move, and the per-block ring
+        // all-reduce time depends only on the contents: permute the cache,
+        // and the content ids with it.
+        mv.apply_to(&mut self.block_allreduce, 1);
+        mv.apply_to(&mut self.block_ids, 1);
+
+        self.touched_hops.clear();
+        self.touched_stages.clear();
+        match mv {
+            Move::Swap { a, b } => {
+                self.mark_block(a);
+                self.mark_block(b);
+            }
+            Move::Migration { from, to } => {
+                for b in from.min(to)..=from.max(to) {
+                    self.mark_block(b);
+                }
+            }
+            Move::Reverse { start, end } => {
+                for b in start..=end {
+                    self.mark_block(b);
+                }
+            }
+        }
+        self.touched_hops.sort_unstable();
+        self.touched_hops.dedup();
+        self.touched_stages.sort_unstable();
+        self.touched_stages.dedup();
+
+        self.hop_undo.clear();
+        let dp = self.cfg.dp;
+        let num_blocks = self.cfg.pp * dp;
+        for i in 0..self.touched_hops.len() {
+            let h = self.touched_hops[i];
+            self.hop_undo.push((h, self.hops[h]));
+            // Hop h = (x, z) joins the blocks at positions x·dp+z and
+            // (x+1)·dp+z; its time is tabulated by their content pair.
+            self.hops[h] = if self.hop_table.is_empty() {
+                terms::t_pp_chain_hop(self.matrix, candidate, self.msg_pp, h % dp, h / dp)
+            } else {
+                let from = self.block_ids[h] as usize;
+                let to = self.block_ids[h + dp] as usize;
+                self.hop_table[from * num_blocks + to]
+            };
+        }
+        self.dp_undo.clear();
+        if dp >= 2 {
+            for i in 0..self.touched_stages.len() {
+                let s = self.touched_stages[i];
+                self.dp_undo.push((s, self.dp_times[s]));
+                let key = self.dp_key(s);
+                self.dp_times[s] = match key.and_then(|k| self.dp_memo.get(&(s, k)).copied()) {
+                    Some(v) => v,
+                    None => {
+                        let v = terms::t_dp_stage_with(
+                            &mut self.hier,
+                            &mut self.group,
+                            self.matrix,
+                            candidate,
+                            self.gpt,
+                            s,
+                        );
+                        if let Some(k) = key {
+                            self.dp_memo.insert((s, k), v);
+                        }
+                        v
+                    }
+                };
+            }
+        }
+
+        let cost = self.reduce();
+        self.pending = Some(Pending {
+            mv,
+            prev_cost: self.current_cost,
+        });
+        self.current_cost = cost;
+        cost
+    }
+
+    fn commit(&mut self) {
+        assert!(self.pending.take().is_some(), "commit without a proposal");
+    }
+
+    fn rollback(&mut self) {
+        let p = self.pending.take().expect("rollback without a proposal");
+        let inv = p.mv.inverse();
+        inv.apply_to(&mut self.block_allreduce, 1);
+        inv.apply_to(&mut self.block_ids, 1);
+        for &(h, old) in &self.hop_undo {
+            self.hops[h] = old;
+        }
+        for &(s, old) in &self.dp_undo {
+            self.dp_times[s] = old;
+        }
+        self.current_cost = p.prev_cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_cluster::presets;
+    use pipette_model::ParallelConfig;
+    use pipette_sim::ComputeProfiler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+        (
+            presets::mid_range(2).build(7),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
+    }
+
+    /// Drives random moves through the incremental objective and checks
+    /// every proposal bit-for-bit against the batch estimator.
+    fn parity_run(cfg: ParallelConfig, micro: u64, seed: u64, n_moves: usize) {
+        let (cluster, gpt) = setup();
+        let plan = MicrobatchPlan::new(64, micro).unwrap();
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 2);
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        let mut mapping = Mapping::identity(cfg, *cluster.topology());
+        let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &mapping);
+        assert_eq!(
+            obj.cost().to_bits(),
+            model.estimate(cfg, &mapping, plan, &compute).to_bits(),
+            "initial cost mismatch"
+        );
+        let block = cfg.tp.max(1);
+        let num_blocks = cfg.num_workers() / block;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for i in 0..n_moves {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            let fast = obj.propose(mv, &mapping);
+            let slow = model.estimate(cfg, &mapping, plan, &compute);
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "move {i} ({mv:?}): {fast} vs {slow}"
+            );
+            // Alternate accept/reject so both paths get exercised.
+            if i % 2 == 0 {
+                obj.commit();
+            } else {
+                obj.rollback();
+                mv.inverse().apply(mapping.as_mut_slice(), block);
+                let restored = model.estimate(cfg, &mapping, plan, &compute);
+                assert_eq!(
+                    obj.cost().to_bits(),
+                    restored.to_bits(),
+                    "rollback {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proposals_match_batch_estimates_bitwise() {
+        parity_run(ParallelConfig::new(4, 2, 2), 2, 11, 60);
+        parity_run(ParallelConfig::new(2, 4, 2), 1, 12, 60);
+        parity_run(ParallelConfig::new(8, 2, 1), 2, 13, 60);
+        parity_run(ParallelConfig::new(1, 2, 8), 4, 14, 40);
+        parity_run(ParallelConfig::new(4, 1, 4), 2, 15, 40);
+    }
+
+    #[test]
+    fn fn_objective_matches_closure() {
+        let (cluster, gpt) = setup();
+        let cfg = ParallelConfig::new(2, 4, 2);
+        let mapping = Mapping::identity(cfg, *cluster.topology());
+        let plan = MicrobatchPlan::new(32, 2).unwrap();
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 2);
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        let mut f = FnObjective::new(|m: &Mapping| model.estimate(cfg, m, plan, &compute));
+        assert_eq!(
+            f.evaluate(&mapping),
+            model.estimate(cfg, &mapping, plan, &compute)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "without a proposal")]
+    fn rollback_without_proposal_panics() {
+        let (cluster, gpt) = setup();
+        let cfg = ParallelConfig::new(2, 4, 2);
+        let mapping = Mapping::identity(cfg, *cluster.topology());
+        let plan = MicrobatchPlan::new(32, 2).unwrap();
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 2);
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+        let mut obj = IncrementalObjective::new(profiled.matrix(), &gpt, plan, &compute, &mapping);
+        obj.rollback();
+    }
+}

@@ -141,7 +141,11 @@ mod tests {
         let initial = setup();
         let budget = 2_000;
         let (_, random_cost) = random_search(&initial, reversal_cost, budget, 7);
-        let sa = Annealer::new(AnnealerConfig { iterations: budget, seed: 7, ..Default::default() });
+        let sa = Annealer::new(AnnealerConfig {
+            iterations: budget,
+            seed: 7,
+            ..Default::default()
+        });
         let (_, sa_cost, _) = sa.anneal(&initial, reversal_cost);
         assert!(
             sa_cost <= random_cost,

@@ -34,7 +34,12 @@ impl AnalyticMemoryEstimator {
     }
 
     /// Estimated peak bytes per GPU (worst stage).
-    pub fn estimate_bytes(&self, gpt: &GptConfig, cfg: ParallelConfig, plan: MicrobatchPlan) -> u64 {
+    pub fn estimate_bytes(
+        &self,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        plan: MicrobatchPlan,
+    ) -> u64 {
         (0..cfg.pp)
             .map(|s| self.stage_bytes(gpt, cfg, plan, s))
             .max()
@@ -75,7 +80,10 @@ mod tests {
         let t = MemorySim::new(1).report(&gpt, cfg, plan).peak_bytes as f64;
         let e = AnalyticMemoryEstimator::new().estimate_bytes(&gpt, cfg, plan) as f64;
         let err = (t - e) / t;
-        assert!(err > 0.4, "relative underestimation {err:.2} should be severe");
+        assert!(
+            err > 0.4,
+            "relative underestimation {err:.2} should be severe"
+        );
     }
 
     #[test]

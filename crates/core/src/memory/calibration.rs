@@ -42,7 +42,10 @@ pub fn calibrate(
     config: &MemoryEstimatorConfig,
     confidence: f64,
 ) -> (MemoryEstimator, CalibrationReport) {
-    assert!(confidence > 0.0 && confidence <= 1.0, "confidence must be in (0, 1]");
+    assert!(
+        confidence > 0.0 && confidence <= 1.0,
+        "confidence must be in (0, 1]"
+    );
     assert!(samples.len() >= 20, "need at least 20 samples to calibrate");
     const HOLDOUT_EVERY: usize = 5;
     let mut train = Vec::new();
@@ -169,7 +172,10 @@ mod tests {
                 }
             }
         }
-        assert!(total_oom > 3, "corpus should contain OOM points: {total_oom}");
+        assert!(
+            total_oom > 3,
+            "corpus should contain OOM points: {total_oom}"
+        );
         assert!(
             false_accepts * 10 <= total_oom,
             "{false_accepts}/{total_oom} OOM configs accepted"

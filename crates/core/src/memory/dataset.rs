@@ -91,8 +91,7 @@ pub fn collect_samples(spec: &SampleSpec, truth: &MemorySim) -> Vec<MemorySample
         for &g in &spec.gpu_counts {
             for cfg in ParallelConfig::enumerate(g, spec.gpus_per_node, gpt.n_layers) {
                 for &global in &spec.global_batches {
-                    let Ok(mini) = pipette_model::BatchConfig::new(global).minibatch(cfg.dp)
-                    else {
+                    let Ok(mini) = pipette_model::BatchConfig::new(global).minibatch(cfg.dp) else {
                         continue;
                     };
                     for plan in MicrobatchPlan::enumerate(mini, spec.max_micro) {
@@ -150,7 +149,11 @@ mod tests {
     fn all_samples_are_valid_configs() {
         for s in collect_samples(&small_spec(), &MemorySim::new(1)) {
             let gpus = s.features[0] as usize;
-            let (tp, pp, dp) = (s.features[4] as usize, s.features[5] as usize, s.features[6] as usize);
+            let (tp, pp, dp) = (
+                s.features[4] as usize,
+                s.features[5] as usize,
+                s.features[6] as usize,
+            );
             assert_eq!(tp * pp * dp, gpus);
             assert!(tp <= 8);
             // micro divides mini.

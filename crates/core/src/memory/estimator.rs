@@ -58,7 +58,12 @@ impl MemoryEstimatorConfig {
     /// The paper's protocol: five layers of 200 hidden units, 50,000
     /// iterations.
     pub fn paper() -> Self {
-        Self { train: TrainConfig::paper(), hidden: 200, depth: 4, ..Self::default() }
+        Self {
+            train: TrainConfig::paper(),
+            hidden: 200,
+            depth: 4,
+            ..Self::default()
+        }
     }
 }
 
@@ -113,10 +118,16 @@ fn analytic_prior(features: &[f64; 10], seq_len: usize, vocab: usize) -> f64 {
         seq_len,
         vocab,
     );
-    let cfg = ParallelConfig::new(features[5] as usize, features[4] as usize, features[6] as usize);
+    let cfg = ParallelConfig::new(
+        features[5] as usize,
+        features[4] as usize,
+        features[6] as usize,
+    );
     let plan = MicrobatchPlan::new(features[8] as u64, features[7] as u64)
         .expect("feature vectors describe valid plans");
-    AnalyticMemoryEstimator::new().estimate_bytes(&gpt, cfg, plan).max(1) as f64
+    AnalyticMemoryEstimator::new()
+        .estimate_bytes(&gpt, cfg, plan)
+        .max(1) as f64
 }
 
 impl MemoryEstimator {
@@ -130,7 +141,9 @@ impl MemoryEstimator {
         let seq_len = samples[0].seq_len;
         let vocab = samples[0].vocab;
         assert!(
-            samples.iter().all(|s| s.seq_len == seq_len && s.vocab == vocab),
+            samples
+                .iter()
+                .all(|s| s.seq_len == seq_len && s.vocab == vocab),
             "profiled samples must share sequence length and vocabulary"
         );
         let rows: Vec<Vec<f64>> = samples.iter().map(|s| log_features(&s.features)).collect();
@@ -142,7 +155,9 @@ impl MemoryEstimator {
         let y_log: Vec<f64> = samples
             .iter()
             .map(|s| {
-                (s.peak_bytes as f64 / analytic_prior(&s.features, seq_len, vocab)).max(1e-6).ln()
+                (s.peak_bytes as f64 / analytic_prior(&s.features, seq_len, vocab))
+                    .max(1e-6)
+                    .ln()
             })
             .collect();
         let n = y_log.len() as f64;
@@ -160,7 +175,15 @@ impl MemoryEstimator {
         let mut mlp = Mlp::new(&widths, config.seed);
         mlp.fit(&x, &y, &config.train);
 
-        Self { mlp, x_scaler, y_mean, y_std, soft_margin: config.soft_margin, seq_len, vocab }
+        Self {
+            mlp,
+            x_scaler,
+            y_mean,
+            y_std,
+            soft_margin: config.soft_margin,
+            seq_len,
+            vocab,
+        }
     }
 
     /// The soft margin in use.
@@ -177,7 +200,9 @@ impl MemoryEstimator {
     /// Predicted peak memory in bytes for Eq. 7's feature vector.
     pub fn predict_bytes(&self, features: &[f64; 10]) -> u64 {
         let row = log_features(features);
-        let x = self.x_scaler.transform(&Matrix::from_rows(&[row.as_slice()]));
+        let x = self
+            .x_scaler
+            .transform(&Matrix::from_rows(&[row.as_slice()]));
         let out = self.mlp.predict(&x).get(0, 0);
         let correction = (out * self.y_std + self.y_mean).exp();
         (analytic_prior(features, self.seq_len, self.vocab) * correction.max(0.0)) as u64
@@ -276,8 +301,7 @@ mod tests {
                 s.features[4] as usize,
                 s.features[6] as usize,
             );
-            let plan =
-                MicrobatchPlan::new(s.features[8] as u64, s.features[7] as u64).unwrap();
+            let plan = MicrobatchPlan::new(s.features[8] as u64, s.features[7] as u64).unwrap();
             let a = analytic.estimate_bytes(&gpt, cfg, plan) as f64;
             an_err += (a - s.peak_bytes as f64).abs() / s.peak_bytes as f64;
         }
@@ -309,6 +333,9 @@ mod tests {
         let samples = corpus();
         let a = MemoryEstimator::train(&samples, &quick_config());
         let b = MemoryEstimator::train(&samples, &quick_config());
-        assert_eq!(a.predict_bytes(&samples[3].features), b.predict_bytes(&samples[3].features));
+        assert_eq!(
+            a.predict_bytes(&samples[3].features),
+            b.predict_bytes(&samples[3].features)
+        );
     }
 }

@@ -1,0 +1,133 @@
+//! Deterministic fork-join over a slice using scoped threads.
+//!
+//! The configurator's two expensive phases — candidate evaluation
+//! (memory filter + compute profiling + identity estimate) and the
+//! per-candidate annealing passes — are embarrassingly parallel: every
+//! item is independent and seeded by its *index*, not by shared RNG
+//! state. [`ordered_map`] exploits that with plain `std::thread::scope`
+//! (no extra dependencies): workers pull items off an atomic counter,
+//! tag results with their index, and the merge sorts by index — so the
+//! output is the same `Vec` a sequential `map` would produce, bit for
+//! bit, at any thread count.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` using up to `threads` worker threads, returning
+/// results in item order. `f(i, &items[i])` must be pure with respect to
+/// ordering — it may run on any thread, in any interleaving.
+///
+/// With `threads <= 1` or fewer than two items this runs inline on the
+/// caller's thread with no synchronization at all, so `threads == 1` is
+/// exactly the sequential code path, not a one-worker pool.
+///
+/// # Panics
+///
+/// Re-raises the first observed panic from `f`.
+pub fn ordered_map<I, R, F>(threads: usize, items: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The default worker count: every available core, falling back to 1 when
+/// the platform cannot report parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64, 200] {
+            let got = ordered_map(threads, &items, |_, &x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn passes_the_item_index() {
+        let items = ["a", "b", "c", "d"];
+        let got = ordered_map(4, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(ordered_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(ordered_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_sequential() {
+        assert_eq!(ordered_map(0, &[1u32, 2, 3], |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(ordered_map(32, &[1u32, 2], |_, &x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let result = panic::catch_unwind(|| {
+            ordered_map(4, &[0u32, 1, 2, 3, 4, 5, 6, 7], |_, &x| {
+                assert_ne!(x, 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

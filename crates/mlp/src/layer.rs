@@ -43,9 +43,14 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, relu: bool, rng: &mut R) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let scale = (2.0 / in_dim as f64).sqrt();
-        let data = (0..in_dim * out_dim).map(|_| standard_normal(rng) * scale).collect();
+        let data = (0..in_dim * out_dim)
+            .map(|_| standard_normal(rng) * scale)
+            .collect();
         Self {
             weights: Matrix::from_vec(in_dim, out_dim, data),
             bias: vec![0.0; out_dim],
@@ -70,7 +75,11 @@ impl Dense {
         let mut pre = x.matmul(&self.weights);
         pre.add_row(&self.bias);
         self.cache_input = Some(x.clone());
-        let out = if self.relu { pre.map(|v| v.max(0.0)) } else { pre.clone() };
+        let out = if self.relu {
+            pre.map(|v| v.max(0.0))
+        } else {
+            pre.clone()
+        };
         self.cache_pre_activation = Some(pre);
         out
     }
@@ -94,8 +103,14 @@ impl Dense {
     ///
     /// Panics if called before [`Self::forward`].
     pub fn backward(&mut self, d_out: &Matrix) -> (Matrix, DenseGrads) {
-        let x = self.cache_input.take().expect("backward called before forward");
-        let pre = self.cache_pre_activation.take().expect("missing pre-activation cache");
+        let x = self
+            .cache_input
+            .take()
+            .expect("backward called before forward");
+        let pre = self
+            .cache_pre_activation
+            .take()
+            .expect("missing pre-activation cache");
         let d_pre = if self.relu {
             d_out.zip(&pre, |g, p| if p > 0.0 { g } else { 0.0 })
         } else {
@@ -104,7 +119,13 @@ impl Dense {
         let d_w = x.transpose().matmul(&d_pre);
         let d_b = d_pre.col_sums();
         let d_x = d_pre.matmul(&self.weights.transpose());
-        (d_x, DenseGrads { weights: d_w, bias: d_b })
+        (
+            d_x,
+            DenseGrads {
+                weights: d_w,
+                bias: d_b,
+            },
+        )
     }
 
     /// Number of trainable scalars in this layer.

@@ -102,7 +102,9 @@ impl Mlp {
         let mut off = 0;
         for l in &mut self.layers {
             let wn = l.weights.rows() * l.weights.cols();
-            l.weights.as_mut_slice().copy_from_slice(&flat_params[off..off + wn]);
+            l.weights
+                .as_mut_slice()
+                .copy_from_slice(&flat_params[off..off + wn]);
             off += wn;
             let bn = l.bias.len();
             l.bias.copy_from_slice(&flat_params[off..off + bn]);
@@ -118,7 +120,11 @@ impl Mlp {
     /// Panics if `x` and `y` disagree on row count or widths mismatch the
     /// network.
     pub fn fit(&mut self, x: &Matrix, y: &Matrix, config: &TrainConfig) -> TrainReport {
-        assert_eq!(x.rows(), y.rows(), "x and y must have the same number of rows");
+        assert_eq!(
+            x.rows(),
+            y.rows(),
+            "x and y must have the same number of rows"
+        );
         assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
         assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -139,7 +145,11 @@ impl Mlp {
                 losses.push(last);
             }
         }
-        TrainReport { iterations: config.iterations, final_loss: last, loss_curve: losses }
+        TrainReport {
+            iterations: config.iterations,
+            final_loss: last,
+            loss_curve: losses,
+        }
     }
 }
 
@@ -169,7 +179,11 @@ mod tests {
         let report = mlp.fit(
             &x,
             &y,
-            &TrainConfig { iterations: 3000, learning_rate: 0.01, ..TrainConfig::default() },
+            &TrainConfig {
+                iterations: 3000,
+                learning_rate: 0.01,
+                ..TrainConfig::default()
+            },
         );
         assert!(report.final_loss < 1e-2, "loss {}", report.final_loss);
     }
@@ -188,7 +202,11 @@ mod tests {
         let report = mlp.fit(
             &x,
             &y,
-            &TrainConfig { iterations: 4000, learning_rate: 0.005, ..TrainConfig::default() },
+            &TrainConfig {
+                iterations: 4000,
+                learning_rate: 0.005,
+                ..TrainConfig::default()
+            },
         );
         assert!(report.final_loss < 5e-3, "loss {}", report.final_loss);
     }
@@ -197,7 +215,10 @@ mod tests {
     fn training_is_deterministic() {
         let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
         let y = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0]]);
-        let cfg = TrainConfig { iterations: 200, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            iterations: 200,
+            ..TrainConfig::default()
+        };
         let mut a = Mlp::new(&[1, 8, 1], 5);
         let mut b = Mlp::new(&[1, 8, 1], 5);
         let ra = a.fit(&x, &y, &cfg);
@@ -214,7 +235,11 @@ mod tests {
         let report = mlp.fit(
             &x,
             &y,
-            &TrainConfig { iterations: 1000, record_every: 100, ..TrainConfig::default() },
+            &TrainConfig {
+                iterations: 1000,
+                record_every: 100,
+                ..TrainConfig::default()
+            },
         );
         assert!(report.loss_curve.first().unwrap() > report.loss_curve.last().unwrap());
     }

@@ -32,7 +32,10 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// The paper's training protocol: 50,000 iterations.
     pub fn paper() -> Self {
-        Self { iterations: 50_000, ..Self::default() }
+        Self {
+            iterations: 50_000,
+            ..Self::default()
+        }
     }
 }
 

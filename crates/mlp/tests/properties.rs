@@ -11,7 +11,9 @@ fn random_matrix(rows: usize, cols: usize, seed: u64, scale: f64) -> Matrix {
     Matrix::from_vec(
         rows,
         cols,
-        (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect(),
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect(),
     )
 }
 
@@ -104,7 +106,9 @@ proptest! {
 #[test]
 fn end_to_end_gradient_check_via_training_descent() {
     let x = random_matrix(24, 3, 7, 1.0);
-    let y_data: Vec<f64> = (0..24).map(|r| (x.get(r, 0) * x.get(r, 1)).tanh()).collect();
+    let y_data: Vec<f64> = (0..24)
+        .map(|r| (x.get(r, 0) * x.get(r, 1)).tanh())
+        .collect();
     let y = Matrix::from_vec(24, 1, y_data);
     let mut mlp = Mlp::new(&[3, 16, 16, 1], 9);
     let report = mlp.fit(
@@ -121,7 +125,14 @@ fn end_to_end_gradient_check_via_training_descent() {
     let curve = &report.loss_curve;
     assert!(curve.len() >= 30);
     let increases = curve.windows(2).filter(|w| w[1] > w[0] * 1.001).count();
-    assert!(increases <= curve.len() / 5, "descent too bumpy: {increases} of {}", curve.len());
+    assert!(
+        increases <= curve.len() / 5,
+        "descent too bumpy: {increases} of {}",
+        curve.len()
+    );
     assert!(report.final_loss < 0.05, "final loss {}", report.final_loss);
-    assert!(report.final_loss < curve[0] / 5.0, "must improve substantially");
+    assert!(
+        report.final_loss < curve[0] / 5.0,
+        "must improve substantially"
+    );
 }

@@ -34,7 +34,10 @@ impl BatchConfig {
     pub fn minibatch(&self, dp: usize) -> Result<u64, ModelError> {
         let dp = dp as u64;
         if dp == 0 || !self.global_batch.is_multiple_of(dp) {
-            return Err(ModelError::IndivisibleBatch { global: self.global_batch, dp: dp as usize });
+            return Err(ModelError::IndivisibleBatch {
+                global: self.global_batch,
+                dp: dp as usize,
+            });
         }
         Ok(self.global_batch / dp)
     }
@@ -57,9 +60,15 @@ impl MicrobatchPlan {
     /// Returns [`ModelError::IndivisibleMicrobatch`] otherwise.
     pub fn new(minibatch: u64, micro_batch: u64) -> Result<Self, ModelError> {
         if micro_batch == 0 || !minibatch.is_multiple_of(micro_batch) {
-            return Err(ModelError::IndivisibleMicrobatch { minibatch, micro: micro_batch });
+            return Err(ModelError::IndivisibleMicrobatch {
+                minibatch,
+                micro: micro_batch,
+            });
         }
-        Ok(Self { micro_batch, n_microbatches: minibatch / micro_batch })
+        Ok(Self {
+            micro_batch,
+            n_microbatches: minibatch / micro_batch,
+        })
     }
 
     /// All valid plans for a minibatch with microbatch size at most
@@ -68,7 +77,10 @@ impl MicrobatchPlan {
         divisors(minibatch)
             .into_iter()
             .filter(|&d| d <= max_micro)
-            .map(|d| Self { micro_batch: d, n_microbatches: minibatch / d })
+            .map(|d| Self {
+                micro_batch: d,
+                n_microbatches: minibatch / d,
+            })
             .collect()
     }
 

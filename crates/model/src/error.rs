@@ -48,13 +48,22 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::IndivisibleBatch { global, dp } => {
-                write!(f, "data parallel degree {dp} does not divide global batch {global}")
+                write!(
+                    f,
+                    "data parallel degree {dp} does not divide global batch {global}"
+                )
             }
             ModelError::IndivisibleMicrobatch { minibatch, micro } => {
-                write!(f, "microbatch {micro} does not divide minibatch {minibatch}")
+                write!(
+                    f,
+                    "microbatch {micro} does not divide minibatch {minibatch}"
+                )
             }
             ModelError::WorkerMismatch { workers, gpus } => {
-                write!(f, "configuration has {workers} workers but cluster has {gpus} GPUs")
+                write!(
+                    f,
+                    "configuration has {workers} workers but cluster has {gpus} GPUs"
+                )
             }
             ModelError::TensorWaysTooLarge { tp, max_tp } => {
                 write!(f, "tensor parallel ways {tp} exceed the maximum {max_tp}")

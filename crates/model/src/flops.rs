@@ -58,7 +58,10 @@ mod tests {
     fn backward_is_twice_forward() {
         let g = GptConfig::gpt_1_1b();
         assert_eq!(layer_bwd_flops(&g, 100), 2.0 * layer_fwd_flops(&g, 100));
-        assert_eq!(stage_bwd_flops(&g, 4, 1, 2), 2.0 * stage_fwd_flops(&g, 4, 1, 2));
+        assert_eq!(
+            stage_bwd_flops(&g, 4, 1, 2),
+            2.0 * stage_fwd_flops(&g, 4, 1, 2)
+        );
     }
 
     #[test]

@@ -40,10 +40,22 @@ impl GptConfig {
     /// # Panics
     ///
     /// Panics if any dimension is zero or `n_heads` does not divide `hidden`.
-    pub fn new(n_layers: usize, hidden: usize, n_heads: usize, seq_len: usize, vocab: usize) -> Self {
+    pub fn new(
+        n_layers: usize,
+        hidden: usize,
+        n_heads: usize,
+        seq_len: usize,
+        vocab: usize,
+    ) -> Self {
         assert!(n_layers > 0 && hidden > 0 && n_heads > 0 && seq_len > 0 && vocab > 0);
         assert_eq!(hidden % n_heads, 0, "heads must divide hidden dimension");
-        Self { n_layers, hidden, n_heads, seq_len, vocab }
+        Self {
+            n_layers,
+            hidden,
+            n_heads,
+            seq_len,
+            vocab,
+        }
     }
 
     /// Parameters in one transformer layer: `12 h² + 13 h`

@@ -54,7 +54,13 @@ pub fn activation_bytes_selective(cfg: &GptConfig, micro_batch: u64, tp: usize) 
 /// fp16 weights and fp32 main gradients stay replicated within the data-
 /// parallel group, but the optimizer state (master weights + Adam moments,
 /// 12 B/param) is sharded `dp` ways.
-pub fn model_state_bytes_zero1(cfg: &GptConfig, pp: usize, tp: usize, dp: usize, stage: usize) -> u64 {
+pub fn model_state_bytes_zero1(
+    cfg: &GptConfig,
+    pp: usize,
+    tp: usize,
+    dp: usize,
+    stage: usize,
+) -> u64 {
     assert!(tp > 0 && dp > 0, "parallel degrees must be positive");
     let shard = cfg.stage_params(pp, stage).div_ceil(tp as u64);
     shard * 6 + (shard * 12).div_ceil(dp as u64)
@@ -205,7 +211,10 @@ mod tests {
         let g = GptConfig::gpt_3_1b();
         let full = activation_bytes_1f1b(&g, 8, 1, 0, 1, 64);
         let ckpt = activation_bytes_1f1b_recompute(&g, 8, 1, 0, 1, 64);
-        assert!(ckpt < full / 10, "checkpointing {ckpt} should dwarf full storage {full}");
+        assert!(
+            ckpt < full / 10,
+            "checkpointing {ckpt} should dwarf full storage {full}"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl ParallelConfig {
     ///
     /// Panics if any degree is zero.
     pub fn new(pp: usize, tp: usize, dp: usize) -> Self {
-        assert!(pp > 0 && tp > 0 && dp > 0, "parallel degrees must be positive");
+        assert!(
+            pp > 0 && tp > 0 && dp > 0,
+            "parallel degrees must be positive"
+        );
         Self { pp, tp, dp }
     }
 
@@ -74,7 +77,11 @@ impl ParallelConfig {
         let rest = idx / self.tp;
         let data = rest % self.dp;
         let stage = rest / self.dp;
-        WorkerId { stage, tensor, data }
+        WorkerId {
+            stage,
+            tensor,
+            data,
+        }
     }
 
     /// Iterates over all workers in linear-index order.
@@ -90,15 +97,29 @@ impl ParallelConfig {
     /// # Errors
     ///
     /// Returns a [`ModelError`] describing the violated constraint.
-    pub fn validate(&self, n_gpus: usize, max_tp: usize, n_layers: usize) -> Result<(), ModelError> {
+    pub fn validate(
+        &self,
+        n_gpus: usize,
+        max_tp: usize,
+        n_layers: usize,
+    ) -> Result<(), ModelError> {
         if self.num_workers() != n_gpus {
-            return Err(ModelError::WorkerMismatch { workers: self.num_workers(), gpus: n_gpus });
+            return Err(ModelError::WorkerMismatch {
+                workers: self.num_workers(),
+                gpus: n_gpus,
+            });
         }
         if self.tp > max_tp || !max_tp.is_multiple_of(self.tp) {
-            return Err(ModelError::TensorWaysTooLarge { tp: self.tp, max_tp });
+            return Err(ModelError::TensorWaysTooLarge {
+                tp: self.tp,
+                max_tp,
+            });
         }
         if self.pp > n_layers {
-            return Err(ModelError::TooManyStages { pp: self.pp, layers: n_layers });
+            return Err(ModelError::TooManyStages {
+                pp: self.pp,
+                layers: n_layers,
+            });
         }
         Ok(())
     }
@@ -182,9 +203,15 @@ mod tests {
             Err(ModelError::TensorWaysTooLarge { .. })
         ));
         let c = ParallelConfig::new(64, 1, 2);
-        assert!(matches!(c.validate(128, 8, 32), Err(ModelError::TooManyStages { .. })));
+        assert!(matches!(
+            c.validate(128, 8, 32),
+            Err(ModelError::TooManyStages { .. })
+        ));
         let c = ParallelConfig::new(2, 2, 2);
-        assert!(matches!(c.validate(128, 8, 32), Err(ModelError::WorkerMismatch { .. })));
+        assert!(matches!(
+            c.validate(128, 8, 32),
+            Err(ModelError::WorkerMismatch { .. })
+        ));
         assert!(ParallelConfig::new(4, 8, 4).validate(128, 8, 32).is_ok());
     }
 

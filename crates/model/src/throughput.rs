@@ -36,7 +36,11 @@ pub fn of_iteration(
     let samples_per_second = global_batch as f64 / iteration_seconds;
     let tokens_per_second = samples_per_second * gpt.seq_len as f64;
     let achieved = flops::iteration_flops(gpt, global_batch) / iteration_seconds;
-    Throughput { samples_per_second, tokens_per_second, mfu: achieved / peak_flops_total }
+    Throughput {
+        samples_per_second,
+        tokens_per_second,
+        mfu: achieved / peak_flops_total,
+    }
 }
 
 /// Weak-scaling efficiency between two measurements: how much of the
@@ -53,8 +57,7 @@ pub fn weak_scaling_efficiency(
 ) -> f64 {
     assert!(small_tokens_per_second > 0.0 && large_tokens_per_second > 0.0);
     assert!(small_gpus > 0 && large_gpus > 0);
-    (large_tokens_per_second / large_gpus as f64)
-        / (small_tokens_per_second / small_gpus as f64)
+    (large_tokens_per_second / large_gpus as f64) / (small_tokens_per_second / small_gpus as f64)
 }
 
 #[cfg(test)]

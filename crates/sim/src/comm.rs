@@ -7,7 +7,49 @@
 //! after) with one inter-node ring, which is Eq. 6's structure.
 
 use pipette_cluster::{BandwidthMatrix, GpuId, GIB};
-use std::collections::BTreeMap;
+
+/// Reusable buffers for [`CommModel::hierarchical_allreduce_with`]: the
+/// per-node member grouping and the leader ring. Hot callers (the
+/// incremental SA objective re-evaluates data-parallel all-reduce times
+/// thousands of times per second) keep one of these alive instead of
+/// allocating per call.
+#[derive(Debug, Default)]
+pub struct HierScratch {
+    /// Node ids in first-seen group order.
+    nodes: Vec<usize>,
+    /// Members per node, parallel to `nodes`.
+    members: Vec<Vec<GpuId>>,
+    /// Leader (first member) of each node, in `nodes` order.
+    leaders: Vec<GpuId>,
+    /// Retired member vectors, kept to reuse their allocations.
+    spare: Vec<Vec<GpuId>>,
+}
+
+impl HierScratch {
+    /// Creates an empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.leaders.clear();
+        self.spare.append(&mut self.members);
+    }
+
+    fn push(&mut self, node: usize, g: GpuId) {
+        match self.nodes.iter().position(|&n| n == node) {
+            Some(i) => self.members[i].push(g),
+            None => {
+                self.nodes.push(node);
+                let mut v = self.spare.pop().unwrap_or_default();
+                v.clear();
+                v.push(g);
+                self.members.push(v);
+            }
+        }
+    }
+}
 
 /// Communication calculator bound to one bandwidth matrix.
 ///
@@ -34,7 +76,10 @@ pub struct CommModel<'a> {
 impl<'a> CommModel<'a> {
     /// Creates a model over `matrix` (no NIC contention).
     pub fn new(matrix: &'a BandwidthMatrix) -> Self {
-        Self { matrix, inter_flows: 1.0 }
+        Self {
+            matrix,
+            inter_flows: 1.0,
+        }
     }
 
     /// Models `flows` concurrent transfers sharing each node's NIC:
@@ -105,6 +150,18 @@ impl<'a> CommModel<'a> {
     /// node, and to a pure inter-node ring when every node hosts a single
     /// member.
     pub fn hierarchical_allreduce(&self, group: &[GpuId], bytes: u64) -> f64 {
+        self.hierarchical_allreduce_with(&mut HierScratch::new(), group, bytes)
+    }
+
+    /// [`Self::hierarchical_allreduce`] with caller-provided scratch
+    /// buffers, avoiding all per-call allocation. Returns the identical
+    /// value.
+    pub fn hierarchical_allreduce_with(
+        &self,
+        scratch: &mut HierScratch,
+        group: &[GpuId],
+        bytes: u64,
+    ) -> f64 {
         let n = group.len();
         if n < 2 {
             return 0.0;
@@ -113,23 +170,18 @@ impl<'a> CommModel<'a> {
         // Group members by node, preserving first-seen node order so the
         // inter-node leader ring follows the communicator's rank order
         // (and is therefore steerable by the worker mapping).
-        let mut by_node: BTreeMap<usize, Vec<GpuId>> = BTreeMap::new();
-        let mut node_order: Vec<usize> = Vec::new();
+        scratch.reset();
         for &g in group {
-            let node = topo.node_of(g).0;
-            if !by_node.contains_key(&node) {
-                node_order.push(node);
-            }
-            by_node.entry(node).or_default().push(g);
+            scratch.push(topo.node_of(g).0, g);
         }
-        if by_node.len() == 1 {
+        if scratch.nodes.len() == 1 {
             return self.ring_allreduce(group, bytes);
         }
         // Leaders: the first member on each node, in rank order.
-        let leaders: Vec<GpuId> = node_order.iter().map(|n| by_node[n][0]).collect();
+        scratch.leaders.extend(scratch.members.iter().map(|m| m[0]));
         // Worst intra-node subgroup dominates the two intra phases.
         let mut intra = 0.0f64;
-        for members in by_node.values() {
+        for members in &scratch.members {
             if members.len() < 2 {
                 continue;
             }
@@ -142,7 +194,7 @@ impl<'a> CommModel<'a> {
         }
         // Two intra-node phases (reduce-scatter + all-gather) — Eq. 6's
         // coefficient 4 — plus one inter-node ring over the leaders.
-        2.0 * intra + self.ring_allreduce(&leaders, bytes)
+        2.0 * intra + self.ring_allreduce(&scratch.leaders, bytes)
     }
 
     fn max_latency(&self, group: &[GpuId]) -> f64 {
@@ -221,7 +273,10 @@ mod tests {
         let m = homog();
         let c = CommModel::new(&m);
         let group = [GpuId(0), GpuId(1), GpuId(2)];
-        assert_eq!(c.hierarchical_allreduce(&group, 123 << 20), c.ring_allreduce(&group, 123 << 20));
+        assert_eq!(
+            c.hierarchical_allreduce(&group, 123 << 20),
+            c.ring_allreduce(&group, 123 << 20)
+        );
     }
 
     #[test]
@@ -230,7 +285,10 @@ mod tests {
         let c = CommModel::new(&m);
         // One GPU per node.
         let group = [GpuId(0), GpuId(4), GpuId(8), GpuId(12)];
-        assert_eq!(c.hierarchical_allreduce(&group, 1 << 30), c.ring_allreduce(&group, 1 << 30));
+        assert_eq!(
+            c.hierarchical_allreduce(&group, 1 << 30),
+            c.ring_allreduce(&group, 1 << 30)
+        );
     }
 
     #[test]
@@ -266,6 +324,35 @@ mod tests {
         let h1 = base.hierarchical_allreduce(&group, 1 << 28);
         let h4 = contended.hierarchical_allreduce(&group, 1 << 28);
         assert!(h4 > h1 && h4 < 4.0 * h1);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch driven across groups of different shapes must give
+        // exactly the fresh-allocation answer every time.
+        let topo = ClusterTopology::new(4, 4);
+        let (intra, inter) = (LinkSpec::new(256.0, 2e-6), LinkSpec::new(8.0, 5e-6));
+        let het = HeterogeneityModel::realistic().generate(topo, intra, inter, 7);
+        let c = CommModel::new(&het);
+        let mut scratch = HierScratch::new();
+        let groups: Vec<Vec<GpuId>> = vec![
+            (0..16).map(GpuId).collect(),
+            (0..16).step_by(4).map(GpuId).collect(),
+            (0..3).map(GpuId).collect(),
+            vec![GpuId(1), GpuId(14), GpuId(7), GpuId(4), GpuId(5)],
+            vec![GpuId(0)],
+        ];
+        for g in &groups {
+            for bytes in [1u64 << 16, 1 << 24, 1 << 30] {
+                let fresh = c.hierarchical_allreduce(g, bytes);
+                let reused = c.hierarchical_allreduce_with(&mut scratch, g, bytes);
+                assert_eq!(
+                    fresh.to_bits(),
+                    reused.to_bits(),
+                    "group {g:?} bytes {bytes}"
+                );
+            }
+        }
     }
 
     #[test]

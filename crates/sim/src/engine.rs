@@ -86,8 +86,9 @@ impl ChainSpec {
         self.validate();
         let pp = self.pp;
         let n_mb = self.n_mb as usize;
-        let orders: Vec<Vec<Task>> =
-            (0..pp).map(|s| self.schedule.stage_order(pp, s, self.n_mb)).collect();
+        let orders: Vec<Vec<Task>> = (0..pp)
+            .map(|s| self.schedule.stage_order(pp, s, self.n_mb))
+            .collect();
 
         let unset = f64::NEG_INFINITY;
         let mut fwd_done = vec![vec![unset; n_mb]; pp];
@@ -141,7 +142,12 @@ impl ChainSpec {
                         TaskKind::Backward => bwd_done[s][m] = finish,
                     }
                     if let Some(events) = record.as_deref_mut() {
-                        events.push(crate::trace::TaskEvent { stage: s, task, start, finish });
+                        events.push(crate::trace::TaskEvent {
+                            stage: s,
+                            task,
+                            start,
+                            finish,
+                        });
                     }
                     device_free[s] = finish;
                     stage_busy[s] += dur;
@@ -150,14 +156,21 @@ impl ChainSpec {
                     progressed = true;
                 }
             }
-            assert!(progressed, "pipeline schedule deadlocked — invalid schedule");
+            assert!(
+                progressed,
+                "pipeline schedule deadlocked — invalid schedule"
+            );
         }
 
         let stage_finish: Vec<f64> = (0..pp)
             .map(|s| bwd_done[s].iter().cloned().fold(0.0, f64::max))
             .collect();
         let makespan = stage_finish.iter().cloned().fold(0.0, f64::max);
-        ChainResult { makespan, stage_finish, stage_busy }
+        ChainResult {
+            makespan,
+            stage_finish,
+            stage_busy,
+        }
     }
 }
 

@@ -22,7 +22,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { required_bytes, limit_bytes } => write!(
+            SimError::OutOfMemory {
+                required_bytes,
+                limit_bytes,
+            } => write!(
                 f,
                 "out of memory: configuration needs {:.2} GiB per GPU but only {:.2} GiB available",
                 *required_bytes as f64 / (1u64 << 30) as f64,
@@ -54,7 +57,10 @@ mod tests {
 
     #[test]
     fn oom_message_shows_gib() {
-        let e = SimError::OutOfMemory { required_bytes: 48 << 30, limit_bytes: 32 << 30 };
+        let e = SimError::OutOfMemory {
+            required_bytes: 48 << 30,
+            limit_bytes: 32 << 30,
+        };
         let s = e.to_string();
         assert!(s.contains("48.00") && s.contains("32.00"));
     }

@@ -52,30 +52,63 @@ fn backward_item(pp: usize, v: usize, k: u64) -> (usize, u64) {
 pub fn device_order(pp: usize, v: usize, device: usize, n_mb: u64) -> Vec<ChunkTask> {
     assert!(v >= 2, "interleaving needs at least two chunks per device");
     assert!(device < pp, "device out of range");
-    assert!(n_mb > 0 && n_mb.is_multiple_of(pp as u64), "n_mb must be a positive multiple of pp");
+    assert!(
+        n_mb > 0 && n_mb.is_multiple_of(pp as u64),
+        "n_mb must be a positive multiple of pp"
+    );
     let total = n_mb * v as u64;
     let warmup = ((2 * (pp - device - 1) + (v - 1) * pp) as u64).min(total);
     let mut order = Vec::with_capacity(2 * total as usize);
     for k in 0..warmup {
         let (chunk, mb) = forward_item(pp, v, k);
-        order.push(ChunkTask { chunk, task: Task { kind: TaskKind::Forward, microbatch: mb } });
+        order.push(ChunkTask {
+            chunk,
+            task: Task {
+                kind: TaskKind::Forward,
+                microbatch: mb,
+            },
+        });
     }
     for k in 0..(total - warmup) {
         let (fc, fm) = forward_item(pp, v, warmup + k);
-        order.push(ChunkTask { chunk: fc, task: Task { kind: TaskKind::Forward, microbatch: fm } });
+        order.push(ChunkTask {
+            chunk: fc,
+            task: Task {
+                kind: TaskKind::Forward,
+                microbatch: fm,
+            },
+        });
         let (bc, bm) = backward_item(pp, v, k);
-        order.push(ChunkTask { chunk: bc, task: Task { kind: TaskKind::Backward, microbatch: bm } });
+        order.push(ChunkTask {
+            chunk: bc,
+            task: Task {
+                kind: TaskKind::Backward,
+                microbatch: bm,
+            },
+        });
     }
     for k in (total - warmup)..total {
         let (bc, bm) = backward_item(pp, v, k);
-        order.push(ChunkTask { chunk: bc, task: Task { kind: TaskKind::Backward, microbatch: bm } });
+        order.push(ChunkTask {
+            chunk: bc,
+            task: Task {
+                kind: TaskKind::Backward,
+                microbatch: bm,
+            },
+        });
     }
     order
 }
 
 /// Peak in-flight activation load on `device`, where in-flight chunk `c`
 /// weighs `weights[c]` (e.g. bytes). Scans the actual execution order.
-pub fn peak_inflight_weighted(pp: usize, v: usize, device: usize, n_mb: u64, weights: &[u64]) -> u64 {
+pub fn peak_inflight_weighted(
+    pp: usize,
+    v: usize,
+    device: usize,
+    n_mb: u64,
+    weights: &[u64],
+) -> u64 {
     assert_eq!(weights.len(), v, "one weight per chunk");
     let mut load: i128 = 0;
     let mut peak: i128 = 0;
@@ -125,8 +158,14 @@ pub struct VirtualChainResult {
 impl VirtualChainSpec {
     fn validate(&self) {
         let s = self.pp * self.chunks;
-        assert!(self.pp > 0 && self.chunks >= 2, "need pp >= 1 and chunks >= 2");
-        assert!(self.n_mb > 0 && self.n_mb.is_multiple_of(self.pp as u64), "n_mb must be a multiple of pp");
+        assert!(
+            self.pp > 0 && self.chunks >= 2,
+            "need pp >= 1 and chunks >= 2"
+        );
+        assert!(
+            self.n_mb > 0 && self.n_mb.is_multiple_of(self.pp as u64),
+            "n_mb must be a multiple of pp"
+        );
         assert_eq!(self.fwd_time.len(), s, "fwd_time length");
         assert_eq!(self.bwd_time.len(), s, "bwd_time length");
         assert_eq!(self.fwd_comm.len(), s - 1, "fwd_comm length");
@@ -206,7 +245,10 @@ impl VirtualChainSpec {
                     progressed = true;
                 }
             }
-            assert!(progressed, "interleaved schedule deadlocked — invalid device order");
+            assert!(
+                progressed,
+                "interleaved schedule deadlocked — invalid device order"
+            );
         }
 
         let device_finish: Vec<f64> = (0..pp)
@@ -217,7 +259,11 @@ impl VirtualChainSpec {
             })
             .collect();
         let makespan = device_finish.iter().cloned().fold(0.0, f64::max);
-        VirtualChainResult { makespan, device_finish, device_busy }
+        VirtualChainResult {
+            makespan,
+            device_finish,
+            device_busy,
+        }
     }
 }
 
@@ -265,7 +311,10 @@ mod tests {
             for groups in [1u64, 2, 4] {
                 let n_mb = pp as u64 * groups;
                 let r = uniform_spec(pp, v, n_mb, 1.0, 0.05).simulate();
-                assert!(r.makespan.is_finite() && r.makespan > 0.0, "pp={pp} v={v} n_mb={n_mb}");
+                assert!(
+                    r.makespan.is_finite() && r.makespan > 0.0,
+                    "pp={pp} v={v} n_mb={n_mb}"
+                );
             }
         }
     }

@@ -79,7 +79,12 @@ impl<'a> IterationSim<'a> {
     /// Creates a simulator over a bandwidth matrix, GPU spec, and model,
     /// using the memory-efficient 1F1B schedule (the modern default).
     pub fn new(matrix: &'a BandwidthMatrix, gpu: &'a GpuSpec, gpt: &'a GptConfig) -> Self {
-        Self { matrix, gpu, gpt, options: TrainingOptions::default() }
+        Self {
+            matrix,
+            gpu,
+            gpt,
+            options: TrainingOptions::default(),
+        }
     }
 
     /// Replaces the full training-feature set.
@@ -91,8 +96,11 @@ impl<'a> IterationSim<'a> {
     /// Enables full activation recomputation: every backward pass first
     /// replays the forward (compute and tensor-parallel all-reduces).
     pub fn with_recompute(mut self, recompute: bool) -> Self {
-        self.options.activation =
-            if recompute { ActivationMode::FullRecompute } else { ActivationMode::Full };
+        self.options.activation = if recompute {
+            ActivationMode::FullRecompute
+        } else {
+            ActivationMode::Full
+        };
         self
     }
 
@@ -120,7 +128,11 @@ impl<'a> IterationSim<'a> {
         mapping: &Mapping,
         plan: MicrobatchPlan,
     ) -> IterationReport {
-        assert_eq!(mapping.config(), cfg, "mapping built for a different configuration");
+        assert_eq!(
+            mapping.config(),
+            cfg,
+            "mapping built for a different configuration"
+        );
         assert_eq!(
             cfg.num_workers(),
             self.matrix.topology().num_gpus(),
@@ -182,9 +194,16 @@ impl<'a> IterationSim<'a> {
                 let mut down: f64 = 0.0;
                 let mut up: f64 = 0.0;
                 for y in 0..cfg.tp {
-                    let a = mapping.gpu_of(pipette_model::WorkerId { stage: s, tensor: y, data: z });
-                    let b = mapping
-                        .gpu_of(pipette_model::WorkerId { stage: s + 1, tensor: y, data: z });
+                    let a = mapping.gpu_of(pipette_model::WorkerId {
+                        stage: s,
+                        tensor: y,
+                        data: z,
+                    });
+                    let b = mapping.gpu_of(pipette_model::WorkerId {
+                        stage: s + 1,
+                        tensor: y,
+                        data: z,
+                    });
                     down = down.max(comm.p2p(a, b, msg_pp));
                     up = up.max(comm.p2p(b, a, msg_pp));
                 }
@@ -218,19 +237,20 @@ impl<'a> IterationSim<'a> {
                 // ~3/4 of the all-reduce volume.
                 dp_time *= 0.75;
             }
-            let start = chain_results.iter().map(|c| c.stage_finish[s]).fold(0.0, f64::max);
+            let start = chain_results
+                .iter()
+                .map(|c| c.stage_finish[s])
+                .fold(0.0, f64::max);
             total = total.max(start + dp_time);
             stage_dp.push(dp_time);
         }
 
-        let pipeline_seconds =
-            chain_results.iter().map(|c| c.makespan).fold(0.0, f64::max);
+        let pipeline_seconds = chain_results.iter().map(|c| c.makespan).fold(0.0, f64::max);
         let slowest = chain_results
             .iter()
             .max_by(|a, b| a.makespan.total_cmp(&b.makespan))
             .expect("at least one replica");
-        let critical_busy =
-            slowest.stage_busy.iter().cloned().fold(0.0, f64::max);
+        let critical_busy = slowest.stage_busy.iter().cloned().fold(0.0, f64::max);
 
         IterationReport {
             total_seconds: total + OPTIMIZER_STEP_S,
@@ -338,10 +358,16 @@ impl<'a> IterationSim<'a> {
                 let mut down: f64 = 0.0;
                 let mut up: f64 = 0.0;
                 for y in 0..cfg.tp {
-                    let a = mapping
-                        .gpu_of(pipette_model::WorkerId { stage: da, tensor: y, data: z });
-                    let b = mapping
-                        .gpu_of(pipette_model::WorkerId { stage: db, tensor: y, data: z });
+                    let a = mapping.gpu_of(pipette_model::WorkerId {
+                        stage: da,
+                        tensor: y,
+                        data: z,
+                    });
+                    let b = mapping.gpu_of(pipette_model::WorkerId {
+                        stage: db,
+                        tensor: y,
+                        data: z,
+                    });
                     down = down.max(comm.p2p(a, b, msg_pp));
                     up = up.max(comm.p2p(b, a, msg_pp));
                 }
@@ -375,7 +401,10 @@ impl<'a> IterationSim<'a> {
             if self.options.zero1 {
                 dp_time *= 0.75;
             }
-            let start = chain_results.iter().map(|c| c.device_finish[d]).fold(0.0, f64::max);
+            let start = chain_results
+                .iter()
+                .map(|c| c.device_finish[d])
+                .fold(0.0, f64::max);
             total = total.max(start + dp_time);
             stage_dp.push(dp_time);
         }
@@ -404,7 +433,10 @@ mod tests {
     use pipette_cluster::presets;
 
     fn small_setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(2).build(3), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(2).build(3),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     fn sim_time(
@@ -447,8 +479,7 @@ mod tests {
         let mapping = Mapping::identity(cfg, *cluster.topology());
         let plan = MicrobatchPlan::new(32, 2).unwrap();
         let gpu = cluster.gpu().clone();
-        let a = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
-            .simulate(cfg, &mapping, plan);
+        let a = IterationSim::new(cluster.bandwidth(), &gpu, &gpt).simulate(cfg, &mapping, plan);
         let b = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
             .with_schedule(PipelineSchedule::GPipe)
             .simulate(cfg, &mapping, plan);
@@ -501,9 +532,15 @@ mod tests {
         let full = time(ActivationMode::Full);
         let selective = time(ActivationMode::Selective);
         let ckpt = time(ActivationMode::FullRecompute);
-        assert!(selective > full, "selective {selective} pays a small recompute over {full}");
+        assert!(
+            selective > full,
+            "selective {selective} pays a small recompute over {full}"
+        );
         assert!(selective < full * 1.15, "selective overhead must be small");
-        assert!(ckpt > selective, "full recompute {ckpt} pays the whole forward again");
+        assert!(
+            ckpt > selective,
+            "full recompute {ckpt} pays the whole forward again"
+        );
         assert!(ckpt > full * 1.2);
     }
 
@@ -515,8 +552,8 @@ mod tests {
         let mapping = Mapping::identity(cfg, *cluster.topology());
         let plan = MicrobatchPlan::new(32, 2).unwrap();
         let gpu = cluster.gpu().clone();
-        let plain = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
-            .simulate(cfg, &mapping, plan);
+        let plain =
+            IterationSim::new(cluster.bandwidth(), &gpu, &gpt).simulate(cfg, &mapping, plan);
         let z1 = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
             .with_options(TrainingOptions::new().with_zero1(true))
             .simulate(cfg, &mapping, plan);

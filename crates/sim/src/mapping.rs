@@ -33,7 +33,10 @@ impl Mapping {
             topology.num_gpus(),
             "mapping requires as many workers as GPUs"
         );
-        Self { config, assign: topology.gpus().collect() }
+        Self {
+            config,
+            assign: topology.gpus().collect(),
+        }
     }
 
     /// Builds a mapping from an explicit assignment vector indexed by the
@@ -43,7 +46,11 @@ impl Mapping {
     ///
     /// Panics if `assign` is not a permutation of `0..num_workers`.
     pub fn from_assignment(config: ParallelConfig, assign: Vec<GpuId>) -> Self {
-        assert_eq!(assign.len(), config.num_workers(), "assignment length mismatch");
+        assert_eq!(
+            assign.len(),
+            config.num_workers(),
+            "assignment length mismatch"
+        );
         let mut seen = vec![false; assign.len()];
         for g in &assign {
             assert!(g.0 < assign.len(), "gpu id {g} out of range");
@@ -98,21 +105,39 @@ impl Mapping {
     /// GPUs of the tensor group of `(stage, data)`, by tensor rank.
     pub fn tensor_group(&self, stage: usize, data: usize) -> Vec<GpuId> {
         (0..self.config.tp)
-            .map(|tensor| self.gpu_of(WorkerId { stage, tensor, data }))
+            .map(|tensor| {
+                self.gpu_of(WorkerId {
+                    stage,
+                    tensor,
+                    data,
+                })
+            })
             .collect()
     }
 
     /// GPUs of the data-parallel group of `(stage, tensor)`, by replica.
     pub fn data_group(&self, stage: usize, tensor: usize) -> Vec<GpuId> {
         (0..self.config.dp)
-            .map(|data| self.gpu_of(WorkerId { stage, tensor, data }))
+            .map(|data| {
+                self.gpu_of(WorkerId {
+                    stage,
+                    tensor,
+                    data,
+                })
+            })
             .collect()
     }
 
     /// GPUs of the pipeline chain `(tensor, data)`, by stage.
     pub fn pipeline_chain(&self, tensor: usize, data: usize) -> Vec<GpuId> {
         (0..self.config.pp)
-            .map(|stage| self.gpu_of(WorkerId { stage, tensor, data }))
+            .map(|stage| {
+                self.gpu_of(WorkerId {
+                    stage,
+                    tensor,
+                    data,
+                })
+            })
             .collect()
     }
 }
@@ -156,7 +181,10 @@ mod tests {
         for stage in 0..2 {
             for data in 0..2 {
                 let g = m.tensor_group(stage, data);
-                assert!(topo.same_node(g[0], g[1]), "tensor group split across nodes: {g:?}");
+                assert!(
+                    topo.same_node(g[0], g[1]),
+                    "tensor group split across nodes: {g:?}"
+                );
             }
         }
     }

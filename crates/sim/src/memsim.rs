@@ -68,7 +68,10 @@ impl MemorySim {
     /// Creates a simulator with the modern defaults (1F1B, full
     /// activation storage, replicated optimizer) and a cluster seed.
     pub fn new(seed: u64) -> Self {
-        Self { options: TrainingOptions::default(), seed }
+        Self {
+            options: TrainingOptions::default(),
+            seed,
+        }
     }
 
     /// Replaces the full training-feature set.
@@ -86,8 +89,11 @@ impl MemorySim {
     /// inputs are stored, everything else is recomputed in the backward
     /// pass. Pipeline-only systems (Varuna) rely on this to fit.
     pub fn with_recompute(mut self, recompute: bool) -> Self {
-        self.options.activation =
-            if recompute { ActivationMode::FullRecompute } else { ActivationMode::Full };
+        self.options.activation = if recompute {
+            ActivationMode::FullRecompute
+        } else {
+            ActivationMode::Full
+        };
         self
     }
 
@@ -167,9 +173,8 @@ impl MemorySim {
             let layers = gpt.layers_of_stage(cfg.pp, stage) as u64;
             layers * per_layer_stored * inflight + recompute_transient
         };
-        let communicators = u64::from(cfg.tp > 1)
-            + u64::from(cfg.dp > 1)
-            + 2 * u64::from(cfg.pp > 1);
+        let communicators =
+            u64::from(cfg.tp > 1) + u64::from(cfg.dp > 1) + 2 * u64::from(cfg.pp > 1);
         // Transient workspace for the largest matmul (the 4h MLP
         // expansion), a handful of buffers deep.
         let workspace =
@@ -179,7 +184,12 @@ impl MemorySim {
         let dynamic = model_state + activations;
         let fragmentation = (dynamic as f64 * FRAGMENTATION) as u64;
 
-        let mut b = MemoryBreakdown { model_state, activations, framework, fragmentation };
+        let mut b = MemoryBreakdown {
+            model_state,
+            activations,
+            framework,
+            fragmentation,
+        };
         // Deterministic jitter in [-JITTER, +JITTER] applied to the total,
         // folded into the framework term (which it physically resembles:
         // driver/NCCL version differences, allocator state).
@@ -192,12 +202,20 @@ impl MemorySim {
     }
 
     /// Full per-stage report; `peak_bytes` is what must fit in GPU memory.
-    pub fn report(&self, gpt: &GptConfig, cfg: ParallelConfig, plan: MicrobatchPlan) -> MemoryReport {
+    pub fn report(
+        &self,
+        gpt: &GptConfig,
+        cfg: ParallelConfig,
+        plan: MicrobatchPlan,
+    ) -> MemoryReport {
         let per_stage: Vec<u64> = (0..cfg.pp)
             .map(|s| self.stage_breakdown(gpt, cfg, plan, s).total())
             .collect();
         let peak_bytes = *per_stage.iter().max().expect("at least one stage");
-        MemoryReport { per_stage, peak_bytes }
+        MemoryReport {
+            per_stage,
+            peak_bytes,
+        }
     }
 }
 
@@ -242,8 +260,7 @@ mod tests {
         let p = plan(32, 2);
         let sim = MemorySim::new(1);
         let peak = sim.report(&g, cfg, p).peak_bytes;
-        let analytic = model_state_bytes(&g, 8, 4, 0)
-            + activation_bytes_1f1b(&g, 8, 4, 0, 2, 32);
+        let analytic = model_state_bytes(&g, 8, 4, 0) + activation_bytes_1f1b(&g, 8, 4, 0, 2, 32);
         assert!(peak > analytic, "hidden overheads must be visible");
         // But not absurdly so.
         assert!(peak < 3 * analytic);
@@ -265,7 +282,10 @@ mod tests {
         let cfg = ParallelConfig::new(4, 4, 2);
         let p = plan(64, 2);
         let a = MemorySim::new(1).report(&g, cfg, p).peak_bytes;
-        let b = MemorySim::new(1).with_schedule(PipelineSchedule::GPipe).report(&g, cfg, p).peak_bytes;
+        let b = MemorySim::new(1)
+            .with_schedule(PipelineSchedule::GPipe)
+            .report(&g, cfg, p)
+            .peak_bytes;
         assert!(b > 2 * a, "GPipe {b} should dwarf 1F1B {a}");
     }
 
@@ -322,7 +342,10 @@ mod tests {
         let selective = peak(ActivationMode::Selective);
         let ckpt = peak(ActivationMode::FullRecompute);
         assert!(selective < full, "selective {selective} < full {full}");
-        assert!(ckpt < selective, "checkpoint {ckpt} < selective {selective}");
+        assert!(
+            ckpt < selective,
+            "checkpoint {ckpt} < selective {selective}"
+        );
     }
 
     #[test]

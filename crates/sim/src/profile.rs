@@ -104,7 +104,10 @@ impl ComputeProfiler {
         plan: MicrobatchPlan,
         seed: u64,
     ) -> ProfiledCompute {
-        assert!(stages >= 1 && stages <= gpt.n_layers, "stages must be in 1..=n_layers");
+        assert!(
+            stages >= 1 && stages <= gpt.n_layers,
+            "stages must be in 1..=n_layers"
+        );
         assert!(
             tp >= 1 && tp <= matrix.topology().gpus_per_node(),
             "tp must fit within a node"
@@ -119,8 +122,22 @@ impl ComputeProfiler {
         let mut bwd = Vec::with_capacity(stages);
         let mut tp_comm = Vec::with_capacity(stages);
         for s in 0..stages {
-            fwd.push(noisy(stage_fwd_time(gpt, gpu, stages, tp, s, plan.micro_batch)));
-            bwd.push(noisy(stage_bwd_time(gpt, gpu, stages, tp, s, plan.micro_batch)));
+            fwd.push(noisy(stage_fwd_time(
+                gpt,
+                gpu,
+                stages,
+                tp,
+                s,
+                plan.micro_batch,
+            )));
+            bwd.push(noisy(stage_bwd_time(
+                gpt,
+                gpu,
+                stages,
+                tp,
+                s,
+                plan.micro_batch,
+            )));
             let layers = gpt.layers_of_stage(stages, s) as f64;
             let ar = comm.ring_allreduce(&reference_group, tp_bytes);
             tp_comm.push(noisy(4.0 * layers * ar));
@@ -135,7 +152,10 @@ mod tests {
     use pipette_cluster::presets;
 
     fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-        (presets::mid_range(2).build(5), GptConfig::new(8, 1024, 16, 2048, 51200))
+        (
+            presets::mid_range(2).build(5),
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+        )
     }
 
     #[test]
@@ -158,8 +178,10 @@ mod tests {
         let cfg = ParallelConfig::new(2, 4, 2);
         let plan = MicrobatchPlan::new(16, 2).unwrap();
         let gpu = cluster.gpu().clone();
-        let exact = ComputeProfiler::new(0.0).profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
-        let noisy = ComputeProfiler::new(0.03).profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
+        let exact =
+            ComputeProfiler::new(0.0).profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
+        let noisy =
+            ComputeProfiler::new(0.03).profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 1);
         for s in 0..2 {
             let r = noisy.compute(s) / exact.compute(s);
             assert!((r - 1.0).abs() < 0.2, "ratio {r}");

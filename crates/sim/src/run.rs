@@ -42,7 +42,10 @@ impl<'a> ClusterRun<'a> {
     /// derived from the cluster name so the two paper clusters behave
     /// differently.
     pub fn new(cluster: &'a Cluster, gpt: &'a GptConfig) -> Self {
-        let seed = cluster.name().bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+        let seed = cluster
+            .name()
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
         Self {
             cluster,
             gpt,
@@ -178,8 +181,12 @@ mod tests {
         let gpt = GptConfig::gpt_1_1b();
         let cfg = ParallelConfig::new(2, 4, 2);
         let plan = MicrobatchPlan::new(16, 1).unwrap();
-        let a = ClusterRun::new(&mid, &gpt).peak_memory(cfg, plan).peak_bytes;
-        let b = ClusterRun::new(&high, &gpt).peak_memory(cfg, plan).peak_bytes;
+        let a = ClusterRun::new(&mid, &gpt)
+            .peak_memory(cfg, plan)
+            .peak_bytes;
+        let b = ClusterRun::new(&high, &gpt)
+            .peak_memory(cfg, plan)
+            .peak_bytes;
         assert_ne!(a, b);
     }
 }

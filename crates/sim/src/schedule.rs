@@ -64,23 +64,41 @@ impl PipelineSchedule {
         match self {
             PipelineSchedule::GPipe => {
                 for m in 0..n_mb {
-                    order.push(Task { kind: TaskKind::Forward, microbatch: m });
+                    order.push(Task {
+                        kind: TaskKind::Forward,
+                        microbatch: m,
+                    });
                 }
                 for m in 0..n_mb {
-                    order.push(Task { kind: TaskKind::Backward, microbatch: m });
+                    order.push(Task {
+                        kind: TaskKind::Backward,
+                        microbatch: m,
+                    });
                 }
             }
             PipelineSchedule::OneFOneB => {
                 let warmup = ((pp - stage - 1) as u64).min(n_mb);
                 for m in 0..warmup {
-                    order.push(Task { kind: TaskKind::Forward, microbatch: m });
+                    order.push(Task {
+                        kind: TaskKind::Forward,
+                        microbatch: m,
+                    });
                 }
                 for k in 0..(n_mb - warmup) {
-                    order.push(Task { kind: TaskKind::Forward, microbatch: warmup + k });
-                    order.push(Task { kind: TaskKind::Backward, microbatch: k });
+                    order.push(Task {
+                        kind: TaskKind::Forward,
+                        microbatch: warmup + k,
+                    });
+                    order.push(Task {
+                        kind: TaskKind::Backward,
+                        microbatch: k,
+                    });
                 }
                 for m in (n_mb - warmup)..n_mb {
-                    order.push(Task { kind: TaskKind::Backward, microbatch: m });
+                    order.push(Task {
+                        kind: TaskKind::Backward,
+                        microbatch: m,
+                    });
                 }
             }
         }

@@ -45,7 +45,11 @@ pub fn render_gantt(events: &[TaskEvent], stages: usize, width: usize) -> String
                 *cell = ch;
             }
         }
-        let _ = writeln!(out, "stage {stage:>2} |{}|", row.into_iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "stage {stage:>2} |{}|",
+            row.into_iter().collect::<String>()
+        );
     }
     let _ = writeln!(out, "          0 {:>w$.3} s", makespan, w = width - 2);
     out

@@ -12,7 +12,10 @@ use pipette_sim::{
 };
 
 fn setup() -> (pipette_cluster::Cluster, GptConfig) {
-    (presets::mid_range(2).build(44), GptConfig::new(8, 1024, 16, 2048, 51200))
+    (
+        presets::mid_range(2).build(44),
+        GptConfig::new(8, 1024, 16, 2048, 51200),
+    )
 }
 
 #[test]
@@ -142,8 +145,13 @@ fn run_facade_charges_the_same_memory_as_its_memsim() {
     let cfg = ParallelConfig::new(4, 2, 2);
     let plan = MicrobatchPlan::new(32, 1).unwrap();
     let mapping = Mapping::identity(cfg, *cluster.topology());
-    let measured = run.execute(cfg, &mapping, plan).expect("fits with recompute");
-    assert_eq!(measured.peak_memory_bytes, run.peak_memory(cfg, plan).peak_bytes);
+    let measured = run
+        .execute(cfg, &mapping, plan)
+        .expect("fits with recompute");
+    assert_eq!(
+        measured.peak_memory_bytes,
+        run.peak_memory(cfg, plan).peak_bytes
+    );
     assert_eq!(measured.memory.per_stage.len(), cfg.pp);
 }
 
@@ -174,5 +182,8 @@ fn gpipe_runs_where_1f1b_runs_but_with_more_memory() {
         .with_options(TrainingOptions::new().with_schedule(PipelineSchedule::GPipe));
     let m1 = one_f.peak_memory(cfg, plan).peak_bytes;
     let m2 = gpipe.peak_memory(cfg, plan).peak_bytes;
-    assert!(m2 > 2 * m1, "GPipe {m2} should dwarf 1F1B {m1} at 64 microbatches");
+    assert!(
+        m2 > 2 * m1,
+        "GPipe {m2} should dwarf 1F1B {m1} at 64 microbatches"
+    );
 }

@@ -30,26 +30,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Hand-tuned Megatron-LM: an expert fixes tp = 8 and tries the rest.
     if let Some(mlm) = MegatronTuner::new(&cluster, &gpt, global_batch).tune(&runner) {
-        row("Megatron-LM (manual)", &mlm.config.to_string(), mlm.plan.micro_batch, mlm.measured.iteration_seconds, mlm.trials);
+        row(
+            "Megatron-LM (manual)",
+            &mlm.config.to_string(),
+            mlm.plan.micro_batch,
+            mlm.measured.iteration_seconds,
+            mlm.trials,
+        );
     }
 
     // Varuna: pipeline-parallel only, needs activation recomputation.
     let vr_runner = ClusterRun::new(&cluster, &gpt).with_recompute(true);
     let vr = VarunaConfigurator::new(&cluster, &gpt, global_batch).rank();
     if let Some(hit) = first_runnable(&vr, &vr_runner) {
-        row("Varuna (pp-only)", &hit.candidate.config.to_string(), hit.candidate.plan.micro_batch, hit.measured.iteration_seconds, hit.attempts);
+        row(
+            "Varuna (pp-only)",
+            &hit.candidate.config.to_string(),
+            hit.candidate.plan.micro_batch,
+            hit.measured.iteration_seconds,
+            hit.attempts,
+        );
     }
 
     // AMP: Eq. 1 ranking over datasheet bandwidths, memory-unaware.
     let amp = AmpConfigurator::new(&cluster, &gpt, global_batch).rank();
     if let Some(hit) = first_runnable(&amp, &runner) {
-        row("AMP (Eq. 1)", &hit.candidate.config.to_string(), hit.candidate.plan.micro_batch, hit.measured.iteration_seconds, hit.attempts);
+        row(
+            "AMP (Eq. 1)",
+            &hit.candidate.config.to_string(),
+            hit.candidate.plan.micro_batch,
+            hit.measured.iteration_seconds,
+            hit.attempts,
+        );
     }
 
     // Pipette, full pipeline (latency + memory estimators + dedication).
     let rec = Pipette::new(&cluster, &gpt, global_batch, PipetteOptions::default()).run()?;
     let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
-    row("Pipette (this crate)", &rec.config.to_string(), rec.plan.micro_batch, measured.iteration_seconds, 1);
+    row(
+        "Pipette (this crate)",
+        &rec.config.to_string(),
+        rec.plan.micro_batch,
+        measured.iteration_seconds,
+        1,
+    );
 
     println!("\nPipette needs one launch because its memory estimator pre-filters OOM configs;");
     println!("the baselines burn launches discovering them (the paper's Fig. 5b).");

@@ -53,13 +53,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let Some((pp, probe_cfg, probe_plan)) = min_pp else {
-            println!("{:<34} does not fit on this cluster at any pipeline depth", gpt.to_string());
+            println!(
+                "{:<34} does not fit on this cluster at any pipeline depth",
+                gpt.to_string()
+            );
             continue;
         };
         let peak = runner.peak_memory(probe_cfg, probe_plan).peak_bytes;
 
         // Full Pipette pass for the actual recommendation.
-        let options = PipetteOptions { seed: 3, ..PipetteOptions::default() };
+        let options = PipetteOptions {
+            seed: 3,
+            ..PipetteOptions::default()
+        };
         let rec = Pipette::new(&cluster, gpt, global_batch, options).run()?;
         let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
         println!(

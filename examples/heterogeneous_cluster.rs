@@ -32,9 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpt = GptConfig::gpt_1_1b();
     let cfg = ParallelConfig::new(2, 8, 4);
     let plan = MicrobatchPlan::new(64, 2)?;
-    println!("configuration: {cfg}, microbatch {}, model {gpt}\n", plan.micro_batch);
+    println!(
+        "configuration: {cfg}, microbatch {}, model {gpt}\n",
+        plan.micro_batch
+    );
 
-    let t_ideal = measure(&ideal, &gpt, cfg, plan, &Mapping::identity(cfg, *ideal.topology()))?;
+    let t_ideal = measure(
+        &ideal,
+        &gpt,
+        cfg,
+        plan,
+        &Mapping::identity(cfg, *ideal.topology()),
+    )?;
     let naive = Mapping::identity(cfg, *real.topology());
     let t_naive = measure(&real, &gpt, cfg, plan, &naive)?;
 
@@ -49,9 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed,
     );
     let model = PipetteLatencyModel::new(&profiled, &gpt);
-    let annealer = Annealer::new(AnnealerConfig { iterations: 30_000, ..Default::default() });
-    let (dedicated, _, stats) =
-        annealer.anneal(&naive, |m| model.estimate(cfg, m, plan, &compute));
+    let annealer = Annealer::new(AnnealerConfig {
+        iterations: 30_000,
+        ..Default::default()
+    });
+    let (dedicated, _, stats) = annealer.anneal(&naive, |m| model.estimate(cfg, m, plan, &compute));
     let t_dedicated = measure(&real, &gpt, cfg, plan, &dedicated)?;
 
     println!("ideal homogeneous fabric          : {t_ideal:.3} s/iteration");
@@ -81,5 +92,7 @@ fn measure(
     plan: MicrobatchPlan,
     mapping: &Mapping,
 ) -> Result<f64, Box<dyn std::error::Error>> {
-    Ok(ClusterRun::new(cluster, gpt).execute(cfg, mapping, plan)?.iteration_seconds)
+    Ok(ClusterRun::new(cluster, gpt)
+        .execute(cfg, mapping, plan)?
+        .iteration_seconds)
 }

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "microbatch                : {} ({} microbatches/iteration)",
         recommendation.plan.micro_batch, recommendation.plan.n_microbatches
     );
-    println!("estimated iteration time  : {:.3} s", recommendation.estimated_seconds);
+    println!(
+        "estimated iteration time  : {:.3} s",
+        recommendation.estimated_seconds
+    );
     println!(
         "candidates examined       : {} ({} rejected by the memory estimator)",
         recommendation.examined, recommendation.memory_rejected
@@ -50,9 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verify on the (simulated) cluster — the recommendation must fit in
     // GPU memory and the measured time should be near the estimate.
     let runner = ClusterRun::new(&cluster, &gpt);
-    let measured =
-        runner.execute(recommendation.config, &recommendation.mapping, recommendation.plan)?;
-    println!("\nmeasured iteration time   : {:.3} s", measured.iteration_seconds);
+    let measured = runner.execute(
+        recommendation.config,
+        &recommendation.mapping,
+        recommendation.plan,
+    )?;
+    println!(
+        "\nmeasured iteration time   : {:.3} s",
+        measured.iteration_seconds
+    );
     println!(
         "peak GPU memory           : {:.1} GiB of {:.0} GiB",
         measured.peak_memory_bytes as f64 / (1u64 << 30) as f64,

@@ -16,8 +16,7 @@ use pipette_sim::compute::{stage_bwd_time, stage_fwd_time};
 use pipette_sim::engine::ChainSpec;
 use pipette_sim::trace::{idle_fractions, render_gantt};
 use pipette_sim::{
-    ActivationMode, CommModel, IterationSim, Mapping, MemorySim, PipelineSchedule,
-    TrainingOptions,
+    ActivationMode, CommModel, IterationSim, Mapping, MemorySim, PipelineSchedule, TrainingOptions,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mapping = Mapping::identity(cfg, *cluster.topology());
     let gpu = cluster.gpu().clone();
 
-    println!("workload: {gpt}, {cfg}, {} microbatches\n", plan.n_microbatches);
+    println!(
+        "workload: {gpt}, {cfg}, {} microbatches\n",
+        plan.n_microbatches
+    );
 
     // Build the replica-0 chain and trace both schedules.
     let comm = CommModel::new(cluster.bandwidth());
@@ -45,8 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bwd_time: (0..cfg.pp)
                 .map(|s| stage_bwd_time(&gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
                 .collect(),
-            fwd_comm: (0..cfg.pp - 1).map(|s| comm.p2p(chain[s], chain[s + 1], msg)).collect(),
-            bwd_comm: (0..cfg.pp - 1).map(|s| comm.p2p(chain[s + 1], chain[s], msg)).collect(),
+            fwd_comm: (0..cfg.pp - 1)
+                .map(|s| comm.p2p(chain[s], chain[s + 1], msg))
+                .collect(),
+            bwd_comm: (0..cfg.pp - 1)
+                .map(|s| comm.p2p(chain[s + 1], chain[s], msg))
+                .collect(),
         };
         let (result, events) = spec.trace();
         println!("{schedule:?} — makespan {:.3} s", result.makespan);
@@ -59,20 +65,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Feature comparison on the full iteration (memory-efficient schedule,
     // activation/optimizer variants, interleaving).
     println!("feature comparison (same workload, full iteration with dp=1):");
-    println!("{:<28} {:>12} {:>12}", "variant", "iter time", "peak memory");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "variant", "iter time", "peak memory"
+    );
     let variants: Vec<(&str, TrainingOptions)> = vec![
         ("1F1B (default)", TrainingOptions::new()),
-        ("GPipe", TrainingOptions::new().with_schedule(PipelineSchedule::GPipe)),
-        ("1F1B + interleave v=2", TrainingOptions::new().with_interleaving(2)),
-        ("1F1B + selective recompute", TrainingOptions::new().with_activation(ActivationMode::Selective)),
-        ("1F1B + full recompute", TrainingOptions::new().with_activation(ActivationMode::FullRecompute)),
+        (
+            "GPipe",
+            TrainingOptions::new().with_schedule(PipelineSchedule::GPipe),
+        ),
+        (
+            "1F1B + interleave v=2",
+            TrainingOptions::new().with_interleaving(2),
+        ),
+        (
+            "1F1B + selective recompute",
+            TrainingOptions::new().with_activation(ActivationMode::Selective),
+        ),
+        (
+            "1F1B + full recompute",
+            TrainingOptions::new().with_activation(ActivationMode::FullRecompute),
+        ),
     ];
     for (name, options) in variants {
         let time = IterationSim::new(cluster.bandwidth(), &gpu, &gpt)
             .with_options(options)
             .simulate(cfg, &mapping, plan)
             .total_seconds;
-        let mem = MemorySim::new(1).with_options(options).report(&gpt, cfg, plan).peak_bytes;
+        let mem = MemorySim::new(1)
+            .with_options(options)
+            .report(&gpt, cfg, plan)
+            .peak_bytes;
         println!(
             "{name:<28} {time:>10.3} s {:>9.1} GiB",
             mem as f64 / (1u64 << 30) as f64

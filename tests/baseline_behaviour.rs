@@ -23,12 +23,20 @@ fn amp_and_varuna_recommend_oom_configs_pipette_does_not() {
     let vr = VarunaConfigurator::new(&cluster, &gpt, 128).top_k(10);
     let amp_oom = count_oom_in_top_k(&amp, &runner, 10);
     let vr_oom = count_oom_in_top_k(&vr, &runner_recompute, 10);
-    assert!(amp_oom >= 3, "AMP should recommend several OOM configs: {amp_oom}");
-    assert!(vr_oom >= 3, "Varuna should recommend several OOM configs: {vr_oom}");
+    assert!(
+        amp_oom >= 3,
+        "AMP should recommend several OOM configs: {amp_oom}"
+    );
+    assert!(
+        vr_oom >= 3,
+        "Varuna should recommend several OOM configs: {vr_oom}"
+    );
 
     let mut options = PipetteOptions::fast_test();
     options.memory.train.iterations = 2_500;
-    let rec = Pipette::new(&cluster, &gpt, 128, options).run().expect("feasible");
+    let rec = Pipette::new(&cluster, &gpt, 128, options)
+        .run()
+        .expect("feasible");
     assert!(
         runner.execute(rec.config, &rec.mapping, rec.plan).is_ok(),
         "Pipette's top recommendation must run"
@@ -73,9 +81,14 @@ fn varuna_is_slower_than_tensor_parallel_methods() {
     let runner = ClusterRun::new(&cluster, &gpt);
     let recompute = ClusterRun::new(&cluster, &gpt).with_recompute(true);
 
-    let vr = first_runnable(&VarunaConfigurator::new(&cluster, &gpt, 256).rank(), &recompute)
-        .expect("varuna runs with recomputation");
-    let mlm = MegatronTuner::new(&cluster, &gpt, 256).tune(&runner).expect("mlm runs");
+    let vr = first_runnable(
+        &VarunaConfigurator::new(&cluster, &gpt, 256).rank(),
+        &recompute,
+    )
+    .expect("varuna runs with recomputation");
+    let mlm = MegatronTuner::new(&cluster, &gpt, 256)
+        .tune(&runner)
+        .expect("mlm runs");
     assert!(
         vr.measured.iteration_seconds > 1.2 * mlm.measured.iteration_seconds,
         "pipeline-only should pay for skipping tensor parallelism: VR {:.3} vs MLM {:.3}",
@@ -105,8 +118,12 @@ fn pipette_matches_or_beats_amp_on_measured_time() {
     let mut options = PipetteOptions::fast_test();
     options.annealer.iterations = 6_000;
     options.seed = 12;
-    let rec = Pipette::new(&cluster, &gpt, 256, options).run().expect("feasible");
-    let ppt = runner.execute(rec.config, &rec.mapping, rec.plan).expect("runnable");
+    let rec = Pipette::new(&cluster, &gpt, 256, options)
+        .run()
+        .expect("feasible");
+    let ppt = runner
+        .execute(rec.config, &rec.mapping, rec.plan)
+        .expect("runnable");
     assert!(
         ppt.iteration_seconds <= amp.measured.iteration_seconds * 1.03,
         "Pipette {:.3}s should not lose to AMP {:.3}s",

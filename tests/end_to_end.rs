@@ -15,7 +15,9 @@ fn small_gpt() -> GptConfig {
 fn configure(cluster: &Cluster, gpt: &GptConfig, batch: u64, seed: u64) -> Recommendation {
     let mut options = PipetteOptions::fast_test();
     options.seed = seed;
-    Pipette::new(cluster, gpt, batch, options).run().expect("feasible space")
+    Pipette::new(cluster, gpt, batch, options)
+        .run()
+        .expect("feasible space")
 }
 
 #[test]
@@ -45,10 +47,17 @@ fn estimate_matches_measurement_within_tolerance() {
     let gpt = small_gpt();
     let rec = configure(&cluster, &gpt, 64, 2);
     let runner = ClusterRun::new(&cluster, &gpt);
-    let measured = runner.execute(rec.config, &rec.mapping, rec.plan).expect("runnable");
-    let err = (rec.estimated_seconds - measured.iteration_seconds).abs()
-        / measured.iteration_seconds;
-    assert!(err < 0.15, "estimate {} vs measured {} (err {err:.3})", rec.estimated_seconds, measured.iteration_seconds);
+    let measured = runner
+        .execute(rec.config, &rec.mapping, rec.plan)
+        .expect("runnable");
+    let err =
+        (rec.estimated_seconds - measured.iteration_seconds).abs() / measured.iteration_seconds;
+    assert!(
+        err < 0.15,
+        "estimate {} vs measured {} (err {err:.3})",
+        rec.estimated_seconds,
+        measured.iteration_seconds
+    );
 }
 
 #[test]
@@ -107,7 +116,9 @@ fn oversized_model_reports_no_feasible_config() {
     let huge = GptConfig::new(16, 16384, 32, 2048, 51200);
     let mut options = PipetteOptions::fast_test();
     options.seed = 5;
-    let err = Pipette::new(&cluster, &huge, 256, options).run().expect_err("must not fit");
+    let err = Pipette::new(&cluster, &huge, 256, options)
+        .run()
+        .expect_err("must not fit");
     assert!(matches!(err, ConfigureError::NoFeasibleConfig { .. }));
 
     // Ground truth agrees: even the most aggressive split OOMs.
@@ -143,9 +154,14 @@ fn alternatives_are_ordered_and_exclude_winner() {
     let cluster = presets::mid_range(2).build(3);
     let gpt = small_gpt();
     let rec = configure(&cluster, &gpt, 64, 13);
-    assert!(!rec.alternatives.is_empty(), "a small model has many feasible configs");
     assert!(
-        !rec.alternatives.iter().any(|&(c, p)| c == rec.config && p == rec.plan),
+        !rec.alternatives.is_empty(),
+        "a small model has many feasible configs"
+    );
+    assert!(
+        !rec.alternatives
+            .iter()
+            .any(|&(c, p)| c == rec.config && p == rec.plan),
         "winner must not appear among alternatives"
     );
 }

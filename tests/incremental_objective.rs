@@ -1,0 +1,191 @@
+//! Integration guarantees of the incremental SA objective and the
+//! parallel configurator:
+//!
+//! 1. every `propose` matches a from-scratch batch estimate on the moved
+//!    mapping (property-tested over random move/commit/rollback streams);
+//! 2. annealing through the incremental objective returns the *same
+//!    mapping and cost, bit for bit*, as the legacy full-evaluation
+//!    closure for a given seed — the optimization changes wall-clock,
+//!    never results;
+//! 3. `Pipette::run` is thread-count-invariant on all deterministic
+//!    fields.
+
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette::latency::PipetteLatencyModel;
+use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
+use pipette_cluster::presets;
+use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_sim::{ComputeProfiler, Mapping};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (pipette_cluster::Cluster, GptConfig) {
+    (
+        presets::mid_range(2).build(17),
+        GptConfig::new(8, 1024, 16, 2048, 51200),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random walks of moves with arbitrary accept/reject interleavings:
+    /// the incremental cost must track the batch estimator on every step.
+    #[test]
+    fn incremental_cost_tracks_batch_estimator(
+        seed in 0u64..1_000,
+        accepts in proptest::collection::vec(proptest::bool::ANY, 30),
+        cfg_idx in 0usize..3,
+    ) {
+        let (cluster, gpt) = setup();
+        let cfg = [
+            ParallelConfig::new(4, 2, 2),
+            ParallelConfig::new(2, 2, 4),
+            ParallelConfig::new(8, 2, 1),
+        ][cfg_idx];
+        let plan = MicrobatchPlan::new(64, 2).unwrap();
+        let gpu = cluster.gpu().clone();
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 9);
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 9);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        let mut mapping = Mapping::identity(cfg, *cluster.topology());
+        let mut obj =
+            IncrementalObjective::from_model(&model, &gpt, plan, &compute, &mapping);
+        let block = cfg.tp.max(1);
+        let num_blocks = cfg.num_workers() / block;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for &accept in &accepts {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            let fast = obj.propose(mv, &mapping);
+            let slow = model.estimate(cfg, &mapping, plan, &compute);
+            prop_assert!(
+                (fast - slow).abs() <= 1e-9,
+                "proposal diverged: {fast} vs {slow} for {mv:?}"
+            );
+            prop_assert_eq!(fast.to_bits(), slow.to_bits());
+            if accept {
+                obj.commit();
+            } else {
+                obj.rollback();
+                mv.inverse().apply(mapping.as_mut_slice(), block);
+            }
+            let settled = model.estimate(cfg, &mapping, plan, &compute);
+            prop_assert_eq!(obj.cost().to_bits(), settled.to_bits());
+        }
+    }
+}
+
+/// The tentpole's safety property: swapping the full re-evaluation for the
+/// incremental objective changes *nothing* about the search trajectory.
+#[test]
+fn incremental_anneal_is_bit_identical_to_closure_anneal() {
+    let (cluster, gpt) = setup();
+    for (cfg, sa_seed) in [
+        (ParallelConfig::new(4, 2, 2), 3u64),
+        (ParallelConfig::new(2, 4, 2), 4),
+        (ParallelConfig::new(2, 2, 4), 5),
+    ] {
+        let plan = MicrobatchPlan::new(64, 2).unwrap();
+        let gpu = cluster.gpu().clone();
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 9);
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 9);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        let initial = Mapping::identity(cfg, *cluster.topology());
+        let sa = Annealer::new(AnnealerConfig {
+            iterations: 2_000,
+            seed: sa_seed,
+            ..Default::default()
+        });
+
+        let (legacy_map, legacy_cost, legacy_stats) =
+            sa.anneal(&initial, |m| model.estimate(cfg, m, plan, &compute));
+        let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &initial);
+        let (inc_map, inc_cost, inc_stats) = sa.anneal_with(&initial, &mut obj);
+
+        assert_eq!(legacy_map, inc_map, "mappings diverged for {cfg:?}");
+        assert_eq!(legacy_cost.to_bits(), inc_cost.to_bits());
+        assert_eq!(legacy_stats.evaluations, inc_stats.evaluations);
+        assert_eq!(legacy_stats.accepted, inc_stats.accepted);
+        assert_eq!(legacy_stats.improvements, inc_stats.improvements);
+        assert_eq!(
+            legacy_stats.initial_cost.to_bits(),
+            inc_stats.initial_cost.to_bits()
+        );
+        assert!(
+            inc_stats.accepted > 0,
+            "trivial run proves nothing for {cfg:?}"
+        );
+    }
+}
+
+/// Thread-count invariance of the full configurator: the worker pool must
+/// be invisible in the recommendation.
+#[test]
+fn configurator_result_is_thread_count_invariant() {
+    let (cluster, gpt) = setup();
+    let mut opts = PipetteOptions::fast_test();
+    opts.seed = 11;
+    // Train the estimator once: memory-estimator training is deliberately
+    // outside the parallel region, and reusing it keeps this test fast.
+    let (estimator, _, _) = Pipette::new(&cluster, &gpt, 64, opts).train_memory_estimator();
+
+    let run_with = |threads: usize| {
+        let mut o = opts;
+        o.threads = threads;
+        Pipette::new(&cluster, &gpt, 64, o)
+            .with_memory_estimator(estimator.clone())
+            .run()
+            .expect("feasible space")
+    };
+
+    let sequential = run_with(1);
+    for threads in [2, 4, 8] {
+        let parallel = run_with(threads);
+        assert_eq!(sequential.config, parallel.config, "threads = {threads}");
+        assert_eq!(sequential.plan, parallel.plan);
+        assert_eq!(sequential.mapping, parallel.mapping);
+        assert_eq!(
+            sequential.estimated_seconds.to_bits(),
+            parallel.estimated_seconds.to_bits()
+        );
+        assert_eq!(sequential.examined, parallel.examined);
+        assert_eq!(sequential.memory_rejected, parallel.memory_rejected);
+        assert_eq!(sequential.alternatives, parallel.alternatives);
+        assert_eq!(
+            sequential.anneal_stats.map(|s| s.best_cost.to_bits()),
+            parallel.anneal_stats.map(|s| s.best_cost.to_bits())
+        );
+    }
+}
+
+/// The alternatives list respects the `top_n` cap and stays ranked.
+#[test]
+fn alternatives_are_capped_at_top_n() {
+    let (cluster, gpt) = setup();
+    let mut opts = PipetteOptions::fast_test();
+    opts.seed = 11;
+    let (estimator, _, _) = Pipette::new(&cluster, &gpt, 64, opts).train_memory_estimator();
+
+    let rec = Pipette::new(&cluster, &gpt, 64, opts)
+        .with_memory_estimator(estimator.clone())
+        .run()
+        .unwrap();
+    assert!(rec.alternatives.len() <= opts.top_n);
+
+    let mut tight = opts;
+    tight.top_n = 2;
+    let rec2 = Pipette::new(&cluster, &gpt, 64, tight)
+        .with_memory_estimator(estimator)
+        .run()
+        .unwrap();
+    assert!(rec2.alternatives.len() <= 2);
+    // Same search, shorter list: the cap must truncate, not re-rank.
+    assert_eq!(
+        rec.alternatives[..rec2.alternatives.len()],
+        rec2.alternatives[..]
+    );
+}

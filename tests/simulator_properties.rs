@@ -2,7 +2,6 @@
 //! configuration, batch shape, and mapping — the relationships the
 //! configurator's correctness rests on.
 
-use proptest::prelude::*;
 use pipette::latency::PipetteLatencyModel;
 use pipette_cluster::{presets, Cluster, ProfiledBandwidth};
 use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
@@ -10,6 +9,7 @@ use pipette_sim::{
     ActivationMode, ClusterRun, CommModel, ComputeProfiler, IterationSim, Mapping, MemorySim,
     TrainingOptions,
 };
+use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -26,7 +26,9 @@ fn config_strategy() -> impl Strategy<Value = (ParallelConfig, MicrobatchPlan)> 
     let configs: Vec<ParallelConfig> = ParallelConfig::enumerate(16, 8, 8);
     (0..configs.len(), 0usize..3).prop_map(move |(ci, mi)| {
         let cfg = configs[ci];
-        let mini = BatchConfig::new(64).minibatch(cfg.dp).expect("64 divisible");
+        let mini = BatchConfig::new(64)
+            .minibatch(cfg.dp)
+            .expect("64 divisible");
         let plans = MicrobatchPlan::enumerate(mini, 4);
         let plan = plans[mi.min(plans.len() - 1)];
         (cfg, plan)

@@ -16,7 +16,10 @@ struct Bench {
 
 impl Bench {
     fn new(nodes: usize, seed: u64) -> Self {
-        Self { cluster: presets::mid_range(nodes).build(seed), gpt: GptConfig::gpt_1_1b() }
+        Self {
+            cluster: presets::mid_range(nodes).build(seed),
+            gpt: GptConfig::gpt_1_1b(),
+        }
     }
 
     fn anneal(
@@ -26,7 +29,10 @@ impl Bench {
         iterations: usize,
         seed: u64,
     ) -> (Mapping, Mapping, f64, f64) {
-        let (profiled, _) = self.cluster.profiler().profile(self.cluster.bandwidth(), seed);
+        let (profiled, _) = self
+            .cluster
+            .profiler()
+            .profile(self.cluster.bandwidth(), seed);
         let gpu = self.cluster.gpu().clone();
         let compute = ComputeProfiler::default().profile(
             self.cluster.bandwidth(),
@@ -38,7 +44,11 @@ impl Bench {
         );
         let model = PipetteLatencyModel::new(&profiled, &self.gpt);
         let identity = Mapping::identity(cfg, *self.cluster.topology());
-        let annealer = Annealer::new(AnnealerConfig { iterations, seed, ..Default::default() });
+        let annealer = Annealer::new(AnnealerConfig {
+            iterations,
+            seed,
+            ..Default::default()
+        });
         let (best, best_cost, stats) =
             annealer.anneal(&identity, |m| model.estimate(cfg, m, plan, &compute));
         assert!(best_cost <= stats.initial_cost);
@@ -60,9 +70,18 @@ fn estimator_gains_transfer_to_the_simulator() {
     // be robust to individual noise.
     let bench = Bench::new(8, 41);
     let cases = [
-        (ParallelConfig::new(2, 8, 4), MicrobatchPlan::new(64, 2).unwrap()),
-        (ParallelConfig::new(2, 4, 8), MicrobatchPlan::new(32, 1).unwrap()),
-        (ParallelConfig::new(4, 8, 2), MicrobatchPlan::new(128, 2).unwrap()),
+        (
+            ParallelConfig::new(2, 8, 4),
+            MicrobatchPlan::new(64, 2).unwrap(),
+        ),
+        (
+            ParallelConfig::new(2, 4, 8),
+            MicrobatchPlan::new(32, 1).unwrap(),
+        ),
+        (
+            ParallelConfig::new(4, 8, 2),
+            MicrobatchPlan::new(128, 2).unwrap(),
+        ),
     ];
     let mut est_gain = 0.0;
     let mut sim_gain = 0.0;
@@ -75,7 +94,10 @@ fn estimator_gains_transfer_to_the_simulator() {
     }
     est_gain /= cases.len() as f64;
     sim_gain /= cases.len() as f64;
-    assert!(est_gain > 0.01, "annealer should find estimator gains: {est_gain:.4}");
+    assert!(
+        est_gain > 0.01,
+        "annealer should find estimator gains: {est_gain:.4}"
+    );
     assert!(
         sim_gain > est_gain * 0.3,
         "estimator gains ({est_gain:.4}) must mostly transfer to the simulator ({sim_gain:.4})"
@@ -113,10 +135,8 @@ fn dedication_gains_grow_with_cluster_size() {
     let large = Bench::new(8, 23);
     let plan_small = MicrobatchPlan::new(32, 2).unwrap();
     let plan_large = MicrobatchPlan::new(32, 2).unwrap();
-    let (_, _, id_s, best_s) =
-        small.anneal(ParallelConfig::new(2, 8, 1), plan_small, 10_000, 3);
-    let (_, _, id_l, best_l) =
-        large.anneal(ParallelConfig::new(2, 8, 4), plan_large, 10_000, 3);
+    let (_, _, id_s, best_s) = small.anneal(ParallelConfig::new(2, 8, 1), plan_small, 10_000, 3);
+    let (_, _, id_l, best_l) = large.anneal(ParallelConfig::new(2, 8, 4), plan_large, 10_000, 3);
     let gain_small = 1.0 - best_s / id_s;
     let gain_large = 1.0 - best_l / id_l;
     assert!(
@@ -133,7 +153,10 @@ fn reverse_move_earns_its_place() {
     let bench = Bench::new(8, 51);
     let cfg = ParallelConfig::new(8, 8, 1);
     let plan = MicrobatchPlan::new(256, 1).unwrap();
-    let (profiled, _) = bench.cluster.profiler().profile(bench.cluster.bandwidth(), 3);
+    let (profiled, _) = bench
+        .cluster
+        .profiler()
+        .profile(bench.cluster.bandwidth(), 3);
     let gpu = bench.cluster.gpu().clone();
     let compute = ComputeProfiler::default().profile(
         bench.cluster.bandwidth(),
@@ -189,7 +212,10 @@ fn dedication_helps_even_from_an_adversarial_start() {
     let bad = Mapping::from_assignment(cfg, assign);
     let t_bad = bench.simulate(cfg, plan, &bad);
 
-    let (profiled, _) = bench.cluster.profiler().profile(bench.cluster.bandwidth(), 3);
+    let (profiled, _) = bench
+        .cluster
+        .profiler()
+        .profile(bench.cluster.bandwidth(), 3);
     let gpu = bench.cluster.gpu().clone();
     let compute = ComputeProfiler::default().profile(
         bench.cluster.bandwidth(),
@@ -200,7 +226,11 @@ fn dedication_helps_even_from_an_adversarial_start() {
         3,
     );
     let model = PipetteLatencyModel::new(&profiled, &bench.gpt);
-    let sa = Annealer::new(AnnealerConfig { iterations: 10_000, seed: 1, ..Default::default() });
+    let sa = Annealer::new(AnnealerConfig {
+        iterations: 10_000,
+        seed: 1,
+        ..Default::default()
+    });
     let (fixed, _, _) = sa.anneal(&bad, |m| model.estimate(cfg, m, plan, &compute));
     let t_fixed = bench.simulate(cfg, plan, &fixed);
     assert!(

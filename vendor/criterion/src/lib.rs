@@ -1,0 +1,240 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Implements the API shape the workspace benches use — `Criterion`,
+//! `benchmark_group` (with `sample_size`/`measurement_time`),
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop and plain-text reporting instead of
+//! upstream's statistical machinery.
+//!
+//! When invoked by `cargo test` (args contain `--test`) each benchmark
+//! body runs exactly once as a smoke test, mirroring upstream behaviour.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark, rendered `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where an id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time / iteration counts collected by `iter`.
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measures `f`, collecting `sample_size` samples of auto-calibrated
+    /// batches. In test mode, runs `f` once and records nothing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: aim for each sample batch to take roughly
+        // measurement_time / sample_size.
+        let calibrate_start = Instant::now();
+        black_box(f());
+        let once = calibrate_start.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time / self.sample_size as u32;
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.test_mode {
+            println!("test bench {id} ... ok (smoke)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let mean: Duration =
+            self.samples.iter().sum::<Duration>() / self.samples.len().max(1) as u32;
+        let min = sorted.first().copied().unwrap_or_default();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        println!(
+            "bench {id}: mean {mean:?} / median {median:?} / min {min:?} ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            settings: Settings {
+                sample_size: 20,
+                measurement_time: Duration::from_millis(500),
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI args are handled in `Default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings.clone(), _parent: self }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), &self.settings, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is folded into calibration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(&id, &self.settings, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(&id, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report output is emitted per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, settings: &Settings, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: settings.sample_size,
+        measurement_time: settings.measurement_time,
+        test_mode: settings.test_mode,
+    };
+    f(&mut bencher);
+    bencher.report(id);
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding uniformly random booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random booleans, as `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}

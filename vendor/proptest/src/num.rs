@@ -1,0 +1,6 @@
+//! Numeric strategy helpers (compatibility module).
+//!
+//! Ranges themselves implement `Strategy` (see `strategy`); this module
+//! exists so `proptest::num::...` paths resolve if referenced.
+
+pub use crate::strategy::Strategy;

@@ -1,0 +1,111 @@
+//! Test runner and deterministic RNG for the vendored proptest.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::{self, Display};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases, as in upstream.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps offline CI fast while still
+        // exercising plenty of inputs.
+        Self { cases: 64 }
+    }
+}
+
+/// A failed (not panicked) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// The RNG handed to strategies; deterministic per (test name, case).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    pub(crate) fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index, so each
+        // test and each case draws an independent stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Self { inner: ChaCha8Rng::seed_from_u64(h) }
+    }
+
+    /// Splits off an independent child RNG (used by `prop_perturb`).
+    pub fn split(&mut self) -> Self {
+        Self { inner: ChaCha8Rng::seed_from_u64(self.inner.next_u64()) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runs the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Builds a runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `f` for each case; panics (failing the `#[test]`) on the first
+    /// case returning `Err`. No shrinking is attempted.
+    pub fn run_named<F>(&mut self, test_name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::for_case(test_name, case);
+            if let Err(e) = f(&mut rng) {
+                panic!(
+                    "proptest `{test_name}` failed at case {case}/{}:\n{e}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}

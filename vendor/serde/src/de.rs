@@ -1,0 +1,50 @@
+//! Deserialization half of the vendored serde API.
+
+use crate::value::Value;
+use std::fmt::{self, Display};
+
+/// Trait for deserialization errors, as in upstream `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The concrete error produced by the value-tree deserializer.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        Self { msg: msg.to_string() }
+    }
+}
+
+/// A data format that can deserialize values.
+///
+/// The vendored format surface is a single method yielding the parsed
+/// [`Value`] tree; the lifetime/associated-type shape matches upstream so
+/// bounds like `fn deserialize<'de, D: Deserializer<'de>>(d: D) ->
+/// Result<T, D::Error>` compile unchanged.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Produces the input as a value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}

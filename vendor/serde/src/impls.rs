@@ -1,0 +1,404 @@
+//! `Serialize`/`Deserialize` implementations for std types used in-tree.
+
+use crate::de::{DeError, Deserialize, Deserializer, Error as DeErrorTrait};
+use crate::ser::{Error as SerErrorTrait, Serialize, Serializer};
+use crate::value::{obj_take, type_error, Value, ValueDeserializer};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// Serializes a nested value with error-type conversion into `S::Error`.
+fn ser_nested<T: Serialize + ?Sized, S: Serializer>(v: &T) -> Result<Value, S::Error> {
+    crate::value::to_value(v).map_err(S::Error::custom)
+}
+
+/// Deserializes a nested value with error-type conversion into `D::Error`.
+fn de_nested<'de, T: Deserialize<'de>, D: Deserializer<'de>>(v: Value) -> Result<T, D::Error> {
+    T::deserialize(ValueDeserializer::new(v)).map_err(D::Error::custom)
+}
+
+// ---------------------------------------------------------------- integers
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| D::Error::custom(type_error("unsigned integer", &v)))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v < 0 {
+                    s.serialize_value(Value::I64(v))
+                } else {
+                    s.serialize_value(Value::U64(v as u64))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| D::Error::custom(type_error("integer", &v)))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------ floats
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        v.as_f64().ok_or_else(|| D::Error::custom(type_error("number", &v)))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| D::Error::custom(type_error("number", &v)))
+    }
+}
+
+// ------------------------------------------------------------ bool, string
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.deserialize_value()?;
+        v.as_bool().ok_or_else(|| D::Error::custom(type_error("bool", &v)))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(type_error("string", &other))),
+        }
+    }
+}
+
+// --------------------------------------------------- references and boxes
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+// ---------------------------------------------------------------- Option
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = ser_nested::<T, S>(v)?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => de_nested::<T, D>(other).map(Some),
+        }
+    }
+}
+
+// ------------------------------------------------------- sequences, maps
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(ser_nested::<T, S>(item)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(items) => items.into_iter().map(de_nested::<T, D>).collect(),
+            other => Err(D::Error::custom(type_error("array", &other))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            out.push((k.clone(), ser_nested::<V, S>(v)?));
+        }
+        s.serialize_value(Value::Object(out))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(k, v)| Ok((k, de_nested::<V, D>(v)?)))
+                .collect(),
+            other => Err(D::Error::custom(type_error("object", &other))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sort keys for deterministic output, as serde_json does with its
+        // `preserve_order`-off default (BTreeMap-backed maps).
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut out = Vec::with_capacity(entries.len());
+        for (k, v) in entries {
+            out.push((k.clone(), ser_nested::<V, S>(v)?));
+        }
+        s.serialize_value(Value::Object(out))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(k, v)| Ok((k, de_nested::<V, D>(v)?)))
+                .collect(),
+            other => Err(D::Error::custom(type_error("object", &other))),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let out = vec![$(ser_nested::<$name, S>(&self.$idx)?),+];
+                s.serialize_value(Value::Array(out))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match d.deserialize_value()? {
+                    Value::Array(items) if items.len() == ARITY => {
+                        let mut it = items.into_iter();
+                        Ok(($(de_nested::<$name, D>(it.next().expect("arity checked"))?,)+))
+                    }
+                    other => Err(D::Error::custom(type_error("array (tuple)", &other))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, E: 3)
+}
+
+// --------------------------------------------------------------- Duration
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Matches upstream serde's encoding: {"secs": u64, "nanos": u32}.
+        s.serialize_value(Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Object(mut fields) => {
+                let secs = obj_take(&mut fields, "secs")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| D::Error::custom("Duration missing u64 `secs`"))?;
+                let nanos = obj_take(&mut fields, "nanos")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| D::Error::custom("Duration missing u32 `nanos`"))?;
+                let nanos = u32::try_from(nanos)
+                    .map_err(|_| D::Error::custom("Duration `nanos` out of range"))?;
+                Ok(Duration::new(secs, nanos))
+            }
+            other => Err(D::Error::custom(type_error("object (Duration)", &other))),
+        }
+    }
+}
+
+// Keep the unused-import lint quiet if DeError is only named in signatures.
+#[allow(unused)]
+fn _assert_error_types(e: DeError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{from_value, to_value};
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = to_value(&42u64).unwrap();
+        assert_eq!(from_value::<u64>(v).unwrap(), 42);
+        let v = to_value(&-7i32).unwrap();
+        assert_eq!(from_value::<i32>(v).unwrap(), -7);
+        let v = to_value(&1.5f64).unwrap();
+        assert_eq!(from_value::<f64>(v).unwrap(), 1.5);
+        let v = to_value(&true).unwrap();
+        assert!(from_value::<bool>(v).unwrap());
+        let v = to_value("hello").unwrap();
+        assert_eq!(from_value::<String>(v).unwrap(), "hello");
+    }
+
+    #[test]
+    fn usize_max_round_trips_exactly() {
+        let v = to_value(&usize::MAX).unwrap();
+        assert_eq!(from_value::<usize>(v).unwrap(), usize::MAX);
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let data: Vec<Option<f64>> = vec![Some(1.0), None, Some(3.5)];
+        let v = to_value(&data).unwrap();
+        assert_eq!(from_value::<Vec<Option<f64>>>(v).unwrap(), data);
+    }
+
+    #[test]
+    fn duration_matches_upstream_shape() {
+        let d = Duration::new(3, 250);
+        let v = to_value(&d).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("secs".into(), Value::U64(3)),
+                ("nanos".into(), Value::U64(250)),
+            ])
+        );
+        assert_eq!(from_value::<Duration>(v).unwrap(), d);
+    }
+
+    #[test]
+    fn integer_range_checked() {
+        let v = to_value(&300u64).unwrap();
+        assert!(from_value::<u8>(v).is_err());
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1u32, "x".to_string(), 2.5f64);
+        let v = to_value(&t).unwrap();
+        assert_eq!(from_value::<(u32, String, f64)>(v).unwrap(), t);
+    }
+}

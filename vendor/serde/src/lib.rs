@@ -1,0 +1,33 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The sandbox has no crates.io access, so this crate reimplements the
+//! slice of serde the workspace uses, on a simplified internal model:
+//! every serializer consumes — and every deserializer produces — a
+//! [`__private::Value`] tree. The public trait *shapes* match upstream
+//! (`Serialize::serialize<S: Serializer>`, `Deserialize<'de>`,
+//! `Serializer::Ok/Error`, `de::Error::custom`), so workspace source
+//! written against real serde compiles unchanged; the data-format
+//! independence of real serde is collapsed to "JSON-shaped values", which
+//! is the only format the workspace uses.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+mod value;
+
+/// Implementation details shared with `serde_derive` expansions and
+/// `serde_json`. Not a stable API.
+pub mod __private {
+    pub use crate::value::{
+        from_value, obj_get, obj_take, to_value, Value, ValueDeserializer, ValueSerializer,
+    };
+    pub use crate::{de::DeError, ser::SerError};
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// The derive macros share the trait names, exactly like upstream serde's
+// `derive` feature (traits live in the type namespace, macros in the
+// macro namespace).
+pub use serde_derive::{Deserialize, Serialize};

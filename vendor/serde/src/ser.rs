@@ -1,0 +1,53 @@
+//! Serialization half of the vendored serde API.
+
+use crate::value::Value;
+use std::fmt::{self, Display};
+
+/// Trait for serialization errors, as in upstream `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The concrete error produced by the value-tree serializer.
+#[derive(Debug, Clone)]
+pub struct SerError {
+    msg: String,
+}
+
+impl Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: Display>(msg: T) -> Self {
+        Self { msg: msg.to_string() }
+    }
+}
+
+/// A data format that can serialize values.
+///
+/// Unlike upstream serde's 30-method visitor interface, the vendored
+/// format surface is a single method taking the finished [`Value`] tree;
+/// the trait's associated-type shape (`Ok`, `Error`) matches upstream so
+/// generic bounds like `fn serialize<S: Serializer>(.., s: S) ->
+/// Result<S::Ok, S::Error>` compile unchanged.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Consumes a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}

@@ -1,0 +1,154 @@
+//! The JSON-shaped value tree every vendored (de)serializer speaks.
+
+use crate::de::{DeError, Deserialize, Deserializer, Error as _};
+use crate::ser::{SerError, Serialize, Serializer};
+
+/// A dynamically-typed JSON-like value.
+///
+/// Objects preserve insertion order (serialized field order follows the
+/// struct declaration, like `serde_json` with its default map).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (exact, covers `u64::MAX`).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number (non-finite values serialize as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered key–value list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Looks up `key` in an object body.
+pub fn obj_get<'v>(obj: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Removes and returns `key` from an object body.
+pub fn obj_take(obj: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+    let idx = obj.iter().position(|(k, _)| k == key)?;
+    Some(obj.remove(idx).1)
+}
+
+/// The serializer producing a [`Value`] tree (infallible in practice).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SerError> {
+        Ok(value)
+    }
+}
+
+/// The deserializer reading back from a [`Value`] tree.
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        Self { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn deserialize_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+/// Serializes `v` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, SerError> {
+    v.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+pub fn from_value<T>(value: Value) -> Result<T, DeError>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Convenience: deserialization type-mismatch error.
+pub(crate) fn type_error(expected: &str, got: &Value) -> DeError {
+    DeError::custom(format!("expected {expected}, found {}", got.kind()))
+}

@@ -1,0 +1,721 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The sandbox has no crates.io access, so this derive is written against
+//! the bare `proc_macro` API (no `syn`/`quote`): the item is parsed with a
+//! small token-cursor, and the impl is emitted as a source string parsed
+//! back into a `TokenStream`. It targets the vendored value-tree `serde`
+//! crate in `vendor/serde` and covers the attribute surface the workspace
+//! uses: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(skip)]`, `#[serde(rename = "name")]`, `#[serde(with =
+//! "module")]`, and `#[serde(untagged)]` on enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ model
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    skip: bool,
+    rename: Option<String>,
+    with: Option<String>,
+    untagged: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields; only the arity and per-field attrs matter.
+    Tuple(Vec<SerdeAttrs>),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: SerdeAttrs,
+    data: Data,
+}
+
+// ----------------------------------------------------------------- parser
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive (vendored): expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Parses and accumulates any leading `#[...]` attributes, returning
+    /// the merged serde attrs found among them.
+    fn parse_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive (vendored): malformed attribute, found {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if let Some(TokenTree::Ident(name)) = inner.peek() {
+                if name.to_string() == "serde" {
+                    inner.pos += 1;
+                    let args = match inner.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                        other => panic!(
+                            "serde_derive (vendored): expected serde(...) args, found {other:?}"
+                        ),
+                    };
+                    parse_serde_args(args.stream(), &mut attrs);
+                }
+            }
+        }
+        attrs
+    }
+
+    /// Skips an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips a type (or other token soup) until a `,` at angle-bracket
+    /// depth zero; the comma itself is consumed. Groups are atomic tokens
+    /// so only `<`/`>` need explicit depth tracking.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    }
+                    if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_string()
+    } else {
+        panic!("serde_derive (vendored): expected string literal, found `{lit}`");
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cur = Cursor::new(stream);
+    while !cur.at_end() {
+        let key = cur.expect_ident("serde attribute name");
+        let value = if cur.eat_punct('=') {
+            match cur.next() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                other => panic!(
+                    "serde_derive (vendored): expected literal after `{key} =`, found {other:?}"
+                ),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", v) => attrs.default = Some(v),
+            ("skip", None) | ("skip_serializing", None) | ("skip_deserializing", None) => {
+                attrs.skip = true
+            }
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("with", Some(v)) => attrs.with = Some(v),
+            ("untagged", None) => attrs.untagged = true,
+            (other, _) => panic!("serde_derive (vendored): unsupported serde attribute `{other}`"),
+        }
+        cur.eat_punct(',');
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.parse_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("serde_derive (vendored): expected `:` after field `{name}`");
+        }
+        cur.skip_until_comma();
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<SerdeAttrs> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.parse_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        cur.skip_until_comma();
+        fields.push(attrs);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        // Variant-level attrs (e.g. `#[default]` from derive(Default)) are
+        // skipped; serde variant attrs are not used in this workspace.
+        let _ = cur.parse_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                cur.pos += 1;
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream());
+                cur.pos += 1;
+                Fields::Tuple(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant if present.
+        if cur.eat_punct('=') {
+            cur.skip_until_comma();
+        } else {
+            cur.eat_punct(',');
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    let attrs = cur.parse_attrs();
+    cur.skip_visibility();
+    let kind = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    let data = match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive (vendored): malformed struct body: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive (vendored): malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): expected struct or enum, found `{other}`"),
+    };
+    Input { name, attrs, data }
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Error-context paths for deserialization codegen. The normal impl body
+/// maps through `D::Error`; untagged attempt closures keep the concrete
+/// `DeError` so attempts can be tried and discarded.
+struct ErrCtx {
+    /// Path of the error type's `custom` constructor.
+    custom: &'static str,
+    /// Suffix converting a `Result<_, DeError>` into the context's error.
+    map: &'static str,
+}
+
+const D_ERR: ErrCtx = ErrCtx {
+    custom: "<__D::Error as ::serde::de::Error>::custom",
+    map: ".map_err(<__D::Error as ::serde::de::Error>::custom)",
+};
+const RAW_ERR: ErrCtx =
+    ErrCtx { custom: "<::serde::__private::DeError as ::serde::de::Error>::custom", map: "" };
+
+fn json_name(field: &Field) -> String {
+    field.attrs.rename.clone().unwrap_or_else(|| field.name.clone())
+}
+
+/// Serialize expression for one value reference `expr` (e.g. `&self.x` or
+/// a match binding), yielding a `Value` expression with `?`.
+fn ser_value_expr(expr: &str, attrs: &SerdeAttrs) -> String {
+    match &attrs.with {
+        Some(module) => format!(
+            "{module}::serialize({expr}, ::serde::__private::ValueSerializer)\
+             .map_err(<__S::Error as ::serde::ser::Error>::custom)?"
+        ),
+        None => format!(
+            "::serde::__private::to_value({expr})\
+             .map_err(<__S::Error as ::serde::ser::Error>::custom)?"
+        ),
+    }
+}
+
+/// Statements pushing the named `fields` of some bound value into a
+/// `__fields` vec; `access` maps a field name to an expression for `&field`.
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let value = ser_value_expr(&access(&f.name), &f.attrs);
+        out.push_str(&format!(
+            "__fields.push(({:?}.to_string(), {value}));\n",
+            json_name(f)
+        ));
+    }
+    out
+}
+
+/// Deserialize expression for one field taken out of `__fields` (an
+/// `Option<Value>`), in the given error context.
+fn de_field_expr(f: &Field, err: &ErrCtx) -> String {
+    if f.attrs.skip {
+        return "::core::default::Default::default()".to_string();
+    }
+    let take = format!("::serde::__private::obj_take(&mut __fields, {:?})", json_name(f));
+    let from = match &f.attrs.with {
+        Some(module) => format!(
+            "{module}::deserialize(::serde::__private::ValueDeserializer::new(__x)){}?",
+            err.map
+        ),
+        None => format!("::serde::__private::from_value(__x){}?", err.map),
+    };
+    let missing = match &f.attrs.default {
+        Some(None) => "::core::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "return ::core::result::Result::Err({}(::std::format!(\"missing field `{}`\")))",
+            err.custom,
+            json_name(f)
+        ),
+    };
+    format!(
+        "match {take} {{\n\
+         ::core::option::Option::Some(__x) => {from},\n\
+         ::core::option::Option::None => {missing},\n\
+         }}"
+    )
+}
+
+/// `Constructor { f: ..., }` expression consuming `__fields` (a
+/// `Vec<(String, Value)>` binding that must already exist as `__fields`).
+fn de_named_ctor(ctor: &str, fields: &[Field], err: &ErrCtx) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&format!("{}: {},\n", f.name, de_field_expr(f, err)));
+    }
+    format!("{ctor} {{ {body} }}")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let pushes = ser_named_fields(fields, |f| format!("&self.{f}"));
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::__private::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 __s.serialize_value(::serde::__private::Value::Object(__fields))"
+            )
+        }
+        Data::Struct(Fields::Tuple(attrs)) if attrs.len() == 1 => {
+            // Newtype structs serialize transparently, as upstream.
+            let v = ser_value_expr("&self.0", &attrs[0]);
+            format!("__s.serialize_value({v})")
+        }
+        Data::Struct(Fields::Tuple(attrs)) => {
+            let items: Vec<String> =
+                (0..attrs.len()).map(|i| ser_value_expr(&format!("&self.{i}"), &attrs[i])).collect();
+            format!(
+                "__s.serialize_value(::serde::__private::Value::Array(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => {
+            "__s.serialize_value(::serde::__private::Value::Null)".to_string()
+        }
+        Data::Enum(variants) => {
+            let untagged = input.attrs.untagged;
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let value = if untagged {
+                            "::serde::__private::Value::Null".to_string()
+                        } else {
+                            format!("::serde::__private::Value::Str({vname:?}.to_string())")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname} => __s.serialize_value({value}),\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes = ser_named_fields(fields, |f| f.to_string());
+                        let body = if untagged {
+                            "::serde::__private::Value::Object(__fields)".to_string()
+                        } else {
+                            format!(
+                                "::serde::__private::Value::Object(::std::vec![\
+                                 ({vname:?}.to_string(), \
+                                 ::serde::__private::Value::Object(__fields))])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::__private::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             __s.serialize_value({body})\n\
+                             }}\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(attrs) => {
+                        let bindings: Vec<String> =
+                            (0..attrs.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = bindings
+                            .iter()
+                            .zip(attrs)
+                            .map(|(b, a)| ser_value_expr(b, a))
+                            .collect();
+                        let inner = if attrs.len() == 1 {
+                            items[0].clone()
+                        } else {
+                            format!(
+                                "::serde::__private::Value::Array(::std::vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        let body = if untagged {
+                            inner
+                        } else {
+                            format!(
+                                "::serde::__private::Value::Object(::std::vec![\
+                                 ({vname:?}.to_string(), {inner})])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n__s.serialize_value({body})\n}}\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Deserialization of one enum variant from its (already untagged) body
+/// value `__body`, evaluating to `Result<Self, _>` in the error context.
+fn de_variant_body(name: &str, v: &Variant, err: &ErrCtx) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!("::core::result::Result::Ok({name}::{vname})"),
+        Fields::Named(fields) => {
+            let ctor = de_named_ctor(&format!("{name}::{vname}"), fields, err);
+            format!(
+                "match __body {{\n\
+                 ::serde::__private::Value::Object(mut __fields) => \
+                 ::core::result::Result::Ok({ctor}),\n\
+                 __other => ::core::result::Result::Err({}(::std::format!(\
+                 \"expected object for variant `{vname}`, found {{}}\", __other.kind()))),\n\
+                 }}",
+                err.custom
+            )
+        }
+        Fields::Tuple(attrs) if attrs.len() == 1 => format!(
+            "::core::result::Result::Ok({name}::{vname}(\
+             ::serde::__private::from_value(__body){}?))",
+            err.map
+        ),
+        Fields::Tuple(attrs) => {
+            let n = attrs.len();
+            let items: Vec<String> = (0..n)
+                .map(|_| {
+                    format!(
+                        "::serde::__private::from_value(__it.next().expect(\"len checked\")){}?",
+                        err.map
+                    )
+                })
+                .collect();
+            format!(
+                "match __body {{\n\
+                 ::serde::__private::Value::Array(__items) if __items.len() == {n} => {{\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}::{vname}({}))\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err({}(::std::format!(\
+                 \"expected {n}-element array for variant `{vname}`, found {{}}\", \
+                 __other.kind()))),\n\
+                 }}",
+                items.join(", "),
+                err.custom
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let ctor = de_named_ctor(name, fields, &D_ERR);
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 match __v {{\n\
+                 ::serde::__private::Value::Object(mut __fields) => \
+                 ::core::result::Result::Ok({ctor}),\n\
+                 __other => ::core::result::Result::Err({}(::std::format!(\
+                 \"expected object for struct {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                D_ERR.custom
+            )
+        }
+        Data::Struct(Fields::Tuple(attrs)) if attrs.len() == 1 => {
+            let inner = match &attrs[0].with {
+                Some(module) => format!(
+                    "{module}::deserialize(::serde::__private::ValueDeserializer::new(__v)){}?",
+                    D_ERR.map
+                ),
+                None => format!("::serde::__private::from_value(__v){}?", D_ERR.map),
+            };
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 ::core::result::Result::Ok({name}({inner}))"
+            )
+        }
+        Data::Struct(Fields::Tuple(attrs)) => {
+            let n = attrs.len();
+            let items: Vec<String> = (0..n)
+                .map(|_| {
+                    format!(
+                        "::serde::__private::from_value(__it.next().expect(\"len checked\")){}?",
+                        D_ERR.map
+                    )
+                })
+                .collect();
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 match __v {{\n\
+                 ::serde::__private::Value::Array(__items) if __items.len() == {n} => {{\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({}))\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err({}(::std::format!(\
+                 \"expected {n}-element array for {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                items.join(", "),
+                D_ERR.custom
+            )
+        }
+        Data::Struct(Fields::Unit) => {
+            format!(
+                "let _ = __d.deserialize_value()?;\n\
+                 ::core::result::Result::Ok({name})"
+            )
+        }
+        Data::Enum(variants) if input.attrs.untagged => {
+            // Try each variant's shape in declaration order against a clone
+            // of the input; first success wins, as in upstream untagged.
+            let mut attempts = String::new();
+            for v in variants {
+                let body = de_variant_body(name, v, &RAW_ERR);
+                attempts.push_str(&format!(
+                    "{{\n\
+                     let __attempt: ::core::result::Result<{name}, \
+                     ::serde::__private::DeError> = (|| {{\n\
+                     let __body = __v.clone();\n\
+                     {body}\n\
+                     }})();\n\
+                     if let ::core::result::Result::Ok(__ok) = __attempt {{\n\
+                     return ::core::result::Result::Ok(__ok);\n\
+                     }}\n\
+                     }}\n"
+                ));
+            }
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 {attempts}\
+                 ::core::result::Result::Err({}(\
+                 \"data did not match any variant of untagged enum {name}\"))",
+                D_ERR.custom
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    _ => {
+                        let body = de_variant_body(name, v, &D_ERR);
+                        tagged_arms.push_str(&format!("{vname:?} => {{ {body} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 match __v {{\n\
+                 ::serde::__private::Value::Str(__s0) => match __s0.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({custom}(::std::format!(\
+                 \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::__private::Value::Object(mut __obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __body) = __obj.remove(0);\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::core::result::Result::Err({custom}(::std::format!(\
+                 \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err({custom}(::std::format!(\
+                 \"expected string or single-key object for enum {name}, found {{}}\", \
+                 __other.kind()))),\n\
+                 }}",
+                custom = D_ERR.custom
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse().unwrap_or_else(|e| {
+        panic!("serde_derive (vendored): generated invalid Rust: {e}\n---\n{code}")
+    })
+}
+
+/// Derives `serde::Serialize` against the vendored value-tree serde.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(gen_serialize(&parse_input(input)))
+}
+
+/// Derives `serde::Deserialize` against the vendored value-tree serde.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(gen_deserialize(&parse_input(input)))
+}

@@ -1,0 +1,156 @@
+//! Offline vendored subset of `serde_json`.
+//!
+//! Provides `from_str` / `from_slice` / `to_string` / `to_string_pretty`
+//! over the vendored serde's value tree. The text format matches real
+//! JSON: full escape handling (including `\uXXXX` surrogate pairs),
+//! integer/float distinction, and `null` for non-finite floats, as
+//! upstream `serde_json` emits.
+
+mod parse;
+mod write;
+
+use serde::__private::{from_value, to_value};
+use std::fmt::{self, Display};
+
+/// Error type for JSON (de)serialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+/// Result alias matching upstream `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Deserializes `T` from a JSON string.
+pub fn from_str<T>(s: &str) -> Result<T>
+where
+    T: for<'de> serde::Deserialize<'de>,
+{
+    let value = parse::parse(s)?;
+    from_value(value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserializes `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T>(bytes: &[u8]) -> Result<T>
+where
+    T: for<'de> serde::Deserialize<'de>,
+{
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = to_value(value).map_err(|e| Error::new(e.to_string()))?;
+    let mut out = String::new();
+    write::write(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = to_value(value).map_err(|e| Error::new(e.to_string()))?;
+    let mut out = String::new();
+    write::write(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::__private::Value;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("2.5e-3").unwrap(), 0.0025);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<String>("\"hi\\n\"").unwrap(), "hi\n");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        // Surrogate pair for U+1F600.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v: Vec<Option<f64>> = vec![Some(1.5), None, Some(-3.0)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Option<f64>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v: Vec<u32> = vec![1, 2];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn float_precision_round_trips() {
+        let x = 0.1234567890123456789f64;
+        let s = to_string(&x).unwrap();
+        assert_eq!(from_str::<f64>(&s).unwrap(), x);
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(from_str::<u64>("42 garbage").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2,]").is_err());
+        assert!(from_str::<u64>("").is_err());
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let v = parse::parse("{\"b\": 1, \"a\": 2}").unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("b".into(), Value::U64(1)),
+                ("a".into(), Value::U64(2)),
+            ])
+        );
+    }
+}
