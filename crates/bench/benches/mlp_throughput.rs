@@ -1,0 +1,110 @@
+//! Memory-estimator MLP throughput: allocation-free blocked-kernel
+//! training vs. the original reference loop, and batched vs. row-by-row
+//! candidate screening.
+//!
+//! Both pairs compute bit-identical results (property-tested in the mlp
+//! and core crates), so the ratio of medians is pure speedup.
+//! `perf_baseline` (in `src/bin`) measures the same quantities without
+//! criterion and writes them to `BENCH_configurator.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipette::memory::{collect_samples, MemoryEstimator, MemoryEstimatorConfig, SampleSpec};
+use pipette_mlp::{Matrix, Mlp, TrainConfig};
+use pipette_model::GptConfig;
+use pipette_sim::MemorySim;
+use std::hint::black_box;
+
+fn corpus() -> Vec<pipette::memory::MemorySample> {
+    let spec = SampleSpec {
+        gpu_counts: vec![8, 16, 32],
+        gpus_per_node: 8,
+        models: vec![
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+            GptConfig::new(16, 1536, 16, 2048, 51200),
+        ],
+        global_batches: vec![64],
+        max_micro: 4,
+    };
+    collect_samples(&spec, &MemorySim::new(1))
+}
+
+fn training_matrices() -> (Matrix, Matrix) {
+    let samples = corpus();
+    let rows: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| s.features.iter().map(|f| f.max(1.0).ln()).collect())
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = Matrix::from_rows(&refs);
+    let y_data: Vec<f64> = samples
+        .iter()
+        .map(|s| (s.peak_bytes as f64 / 1e9).ln())
+        .collect();
+    let y = Matrix::from_vec(y_data.len(), 1, y_data);
+    (x, y)
+}
+
+/// Train the paper architecture (five layers × 200 hidden, batch 128) for
+/// a 50-iteration slice — per-iteration cost is flat across a run, so the
+/// slice ratio is the 50k-iteration protocol ratio.
+fn bench_train(c: &mut Criterion) {
+    let (x, y) = training_matrices();
+    let cfg = TrainConfig {
+        iterations: 50,
+        learning_rate: 1e-3,
+        batch_size: 128,
+        record_every: 100,
+        seed: 0,
+    };
+    let mut g = c.benchmark_group("mlp_train_paper_arch_50_iters");
+    g.sample_size(10);
+    g.bench_function("fast_blocked_allocation_free", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::paper_architecture(10, 0);
+            black_box(mlp.fit(&x, &y, &cfg).final_loss)
+        })
+    });
+    g.bench_function("reference_naive_allocating", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::paper_architecture(10, 0);
+            black_box(mlp.fit_reference(&x, &y, &cfg).final_loss)
+        })
+    });
+    g.finish();
+}
+
+/// Screen the whole profiling corpus as Algorithm 1 does: one prediction
+/// per candidate, row-by-row vs. one batched forward pass.
+fn bench_predict(c: &mut Criterion) {
+    let samples = corpus();
+    let mut est_cfg = MemoryEstimatorConfig::default();
+    est_cfg.train.iterations = 1_000;
+    est_cfg.hidden = 32;
+    est_cfg.depth = 2;
+    let estimator = MemoryEstimator::train(&samples, &est_cfg);
+    let features: Vec<[f64; 10]> = samples.iter().map(|s| s.features).collect();
+
+    let mut g = c.benchmark_group("mlp_screen_corpus");
+    g.bench_function("row_by_row", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            for f in &features {
+                sink = sink.wrapping_add(estimator.predict_bytes(f));
+            }
+            black_box(sink)
+        })
+    });
+    g.bench_function("batched_forward_pass", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            for p in estimator.predict_bytes_batch(&features, 1) {
+                sink = sink.wrapping_add(p);
+            }
+            black_box(sink)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_train, bench_predict);
+criterion_main!(benches);

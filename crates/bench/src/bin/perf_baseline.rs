@@ -10,7 +10,11 @@
 //! * the SA improvement reached within a fixed 1-second budget through
 //!   the incremental objective (the paper's budget is 10 s; 1 s keeps
 //!   the baseline cheap while still running hundreds of thousands of
-//!   incremental evaluations).
+//!   incremental evaluations);
+//! * the memory-estimator fast path: blocked-kernel training vs. the
+//!   naive reference loop (extrapolated to the paper's 50k-iteration
+//!   protocol), row-by-row vs. batched candidate screening, and cold
+//!   vs. warm-cache `configure()` wall clock.
 //!
 //! `--smoke` shrinks every measurement to a CI-friendly sanity check
 //! (same code paths, tiny budgets, no meaning in the absolute numbers).
@@ -18,9 +22,11 @@
 use pipette::configurator::{Pipette, PipetteOptions};
 use pipette::latency::PipetteLatencyModel;
 use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
+use pipette::memory::{collect_samples, MemoryEstimator, SampleSpec, TrainedEstimatorCache};
 use pipette_cluster::presets;
+use pipette_mlp::{Matrix, Mlp, TrainConfig};
 use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
-use pipette_sim::{ComputeProfiler, Mapping};
+use pipette_sim::{ComputeProfiler, Mapping, MemorySim};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -33,6 +39,7 @@ struct Report {
     objective: ObjectiveThroughput,
     end_to_end: EndToEnd,
     sa_budgeted: SaBudgeted,
+    memory_estimator: MemoryEstimatorPerf,
 }
 
 #[derive(Serialize)]
@@ -65,6 +72,36 @@ struct SaBudgeted {
     budget_seconds: f64,
     evaluations: usize,
     improvement: f64,
+}
+
+/// Memory-estimator fast path (PR 2): training kernel speedup, batch
+/// screening throughput, and the trained-estimator cache. The paper
+/// protocol (50k iterations, five layers × 200 hidden) is extrapolated
+/// from a measured slice — per-iteration cost is constant across the run.
+#[derive(Serialize)]
+struct MemoryEstimatorPerf {
+    corpus_samples: usize,
+    measured_train_iterations: usize,
+    fast_train_seconds: f64,
+    reference_train_seconds: f64,
+    /// Blocked kernels + allocation-free loop vs. the pre-PR naive loop,
+    /// identical arithmetic (the bench asserts bit-equal losses).
+    kernel_train_speedup: f64,
+    paper_protocol_iterations: usize,
+    paper_train_seconds_fast: f64,
+    paper_train_seconds_reference: f64,
+    single_predictions_per_sec: f64,
+    batch_predictions_per_sec: f64,
+    batch_screen_speedup: f64,
+    /// `configure()` wall clock with an estimator cache, cold (trains)
+    /// then warm (fingerprint hit, training skipped entirely).
+    cold_configure_seconds: f64,
+    warm_configure_seconds: f64,
+    warm_cache_hits: u64,
+    warm_vs_cold_speedup: f64,
+    /// Effective paper-protocol speedup for repeated `configure()` calls:
+    /// reference 50k-iteration training vs. a warm cache hit.
+    paper_train_vs_cache_hit_speedup: f64,
 }
 
 fn main() {
@@ -167,6 +204,127 @@ fn main() {
         improvement: stats.improvement(),
     };
 
+    // Memory-estimator fast path: a deterministic profiling corpus (the
+    // shape the configurator's ≤ 4-node sweep produces), the paper's MLP
+    // architecture, and the three measured claims — training kernel
+    // speedup, batched screening throughput, cache-hit wall clock.
+    let spec = SampleSpec {
+        gpu_counts: vec![8, 16, 32],
+        gpus_per_node: 8,
+        models: vec![
+            GptConfig::new(8, 1024, 16, 2048, 51200),
+            GptConfig::new(16, 1536, 16, 2048, 51200),
+        ],
+        global_batches: vec![64],
+        max_micro: 4,
+    };
+    let samples = collect_samples(&spec, &MemorySim::new(1));
+    let x_rows: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| s.features.iter().map(|f| f.max(1.0).ln()).collect())
+        .collect();
+    let x_refs: Vec<&[f64]> = x_rows.iter().map(|r| r.as_slice()).collect();
+    let x = Matrix::from_rows(&x_refs);
+    let y_data: Vec<f64> = samples
+        .iter()
+        .map(|s| (s.peak_bytes as f64 / 1e9).ln())
+        .collect();
+    let y = Matrix::from_vec(y_data.len(), 1, y_data);
+
+    let measured_iters = if smoke { 25 } else { 400 };
+    let train_cfg = TrainConfig {
+        iterations: measured_iters,
+        learning_rate: 1e-3,
+        batch_size: 128,
+        record_every: 100,
+        seed: 0,
+    };
+    let mut fast_mlp = Mlp::paper_architecture(10, 0);
+    let t0 = Instant::now();
+    let fast_report = fast_mlp.fit(&x, &y, &train_cfg);
+    let fast_train = t0.elapsed().as_secs_f64();
+    let mut ref_mlp = Mlp::paper_architecture(10, 0);
+    let t0 = Instant::now();
+    let ref_report = ref_mlp.fit_reference(&x, &y, &train_cfg);
+    let ref_train = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        fast_report.final_loss.to_bits(),
+        ref_report.final_loss.to_bits(),
+        "fast and reference training must agree bit-for-bit"
+    );
+    let paper_iters = 50_000usize;
+    let scale = paper_iters as f64 / measured_iters as f64;
+
+    // Screening throughput: one row at a time vs. one batched forward
+    // pass over the whole candidate set.
+    let mut est_cfg = pipette::memory::MemoryEstimatorConfig::default();
+    est_cfg.train.iterations = if smoke { 150 } else { 1_500 };
+    est_cfg.hidden = 32;
+    est_cfg.depth = 2;
+    let estimator = MemoryEstimator::train(&samples, &est_cfg);
+    let features: Vec<[f64; 10]> = samples.iter().map(|s| s.features).collect();
+    let reps = if smoke { 3 } else { 20 };
+    let t0 = Instant::now();
+    let mut single_sink = 0u64;
+    for _ in 0..reps {
+        for f in &features {
+            single_sink = single_sink.wrapping_add(estimator.predict_bytes(f));
+        }
+    }
+    let single_elapsed = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut batch_sink = 0u64;
+    for _ in 0..reps {
+        for p in estimator.predict_bytes_batch(&features, 1) {
+            batch_sink = batch_sink.wrapping_add(p);
+        }
+    }
+    let batch_elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        single_sink, batch_sink,
+        "batch screen must match row-by-row"
+    );
+    let predictions = (reps * features.len()) as f64;
+
+    // Cache: cold `configure()` trains; warm hits the fingerprint and
+    // skips training entirely.
+    let cache = TrainedEstimatorCache::in_memory();
+    let t0 = Instant::now();
+    let cold_rec = Pipette::new(&cluster, &gpt, 256, options)
+        .with_estimator_cache(&cache)
+        .run()
+        .expect("feasible space");
+    let cold_configure = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm_rec = Pipette::new(&cluster, &gpt, 256, options)
+        .with_estimator_cache(&cache)
+        .run()
+        .expect("feasible space");
+    let warm_configure = t0.elapsed().as_secs_f64();
+    assert_eq!(cold_rec.config, warm_rec.config);
+    assert_eq!(cold_rec.plan, warm_rec.plan);
+    assert!(cache.hits() > 0, "warm configure() must hit the cache");
+    let warm_training = warm_rec.overhead.memory_training.as_secs_f64();
+
+    let memory_estimator = MemoryEstimatorPerf {
+        corpus_samples: samples.len(),
+        measured_train_iterations: measured_iters,
+        fast_train_seconds: fast_train,
+        reference_train_seconds: ref_train,
+        kernel_train_speedup: ref_train / fast_train,
+        paper_protocol_iterations: paper_iters,
+        paper_train_seconds_fast: fast_train * scale,
+        paper_train_seconds_reference: ref_train * scale,
+        single_predictions_per_sec: predictions / single_elapsed,
+        batch_predictions_per_sec: predictions / batch_elapsed,
+        batch_screen_speedup: single_elapsed / batch_elapsed,
+        cold_configure_seconds: cold_configure,
+        warm_configure_seconds: warm_configure,
+        warm_cache_hits: cache.hits(),
+        warm_vs_cold_speedup: cold_configure / warm_configure,
+        paper_train_vs_cache_hit_speedup: (ref_train * scale) / warm_training.max(1e-9),
+    };
+
     let report = Report {
         smoke,
         cluster: ClusterShape {
@@ -179,6 +337,7 @@ fn main() {
         objective,
         end_to_end,
         sa_budgeted,
+        memory_estimator,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

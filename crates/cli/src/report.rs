@@ -61,7 +61,15 @@ fn options_for(spec: &JobSpec) -> PipetteOptions {
 pub fn run_configure(spec: &JobSpec) -> Result<CliReport, Box<dyn Error>> {
     let cluster = spec.build_cluster()?;
     let gpt = spec.build_model()?;
-    let rec = Pipette::new(&cluster, &gpt, spec.global_batch, options_for(spec)).run()?;
+    let cache = spec
+        .estimator_cache_dir
+        .as_ref()
+        .map(pipette::memory::TrainedEstimatorCache::with_dir);
+    let mut pipette = Pipette::new(&cluster, &gpt, spec.global_batch, options_for(spec));
+    if let Some(cache) = &cache {
+        pipette = pipette.with_estimator_cache(cache);
+    }
+    let rec = pipette.run()?;
     let runner = ClusterRun::new(&cluster, &gpt);
     let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
     Ok(CliReport {
@@ -185,6 +193,7 @@ mod tests {
             sa_iterations: 1_500,
             seed: 1,
             memory_training_iterations: 1_500,
+            estimator_cache_dir: None,
         }
     }
 

@@ -92,6 +92,11 @@ pub struct JobSpec {
     /// quick runs).
     #[serde(default = "default_mem_iterations")]
     pub memory_training_iterations: usize,
+    /// Directory for the on-disk trained-estimator cache. When set,
+    /// repeated `configure` runs with identical training inputs reload
+    /// the estimator (bit-exact) instead of retraining.
+    #[serde(default)]
+    pub estimator_cache_dir: Option<String>,
 }
 
 fn default_mem_iterations() -> usize {
@@ -246,6 +251,7 @@ mod tests {
             sa_iterations: 10_000,
             seed: 5,
             memory_training_iterations: 12_000,
+            estimator_cache_dir: None,
         };
         let json = serde_json::to_string(&spec).unwrap();
         let back: JobSpec = serde_json::from_str(&json).unwrap();

@@ -18,13 +18,14 @@ use crate::error::ConfigureError;
 use crate::latency::PipetteLatencyModel;
 use crate::mapping::{AnnealStats, Annealer, AnnealerConfig, IncrementalObjective};
 use crate::memory::{
-    collect_samples, MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec,
+    collect_samples_parallel, MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec,
+    TrainedEstimatorCache,
 };
 use crate::parallel;
 use crate::report::OverheadReport;
 use pipette_cluster::Cluster;
 use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
-use pipette_sim::{ClusterRun, ComputeProfiler, Mapping, ProfiledCompute};
+use pipette_sim::{ClusterRun, ComputeProfiler, Mapping, MemorySim, ProfiledCompute};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -145,6 +146,7 @@ pub struct Pipette<'a> {
     global_batch: u64,
     options: PipetteOptions,
     pretrained: Option<MemoryEstimator>,
+    estimator_cache: Option<&'a TrainedEstimatorCache>,
 }
 
 impl<'a> Pipette<'a> {
@@ -161,6 +163,7 @@ impl<'a> Pipette<'a> {
             global_batch,
             options,
             pretrained: None,
+            estimator_cache: None,
         }
     }
 
@@ -171,10 +174,20 @@ impl<'a> Pipette<'a> {
         self
     }
 
-    /// Trains a memory estimator for this cluster following the paper's
-    /// protocol (≤ 4-node profiling sweep over a ladder of model scales).
-    pub fn train_memory_estimator(&self) -> (MemoryEstimator, Duration, Vec<MemorySample>) {
-        let start = Instant::now();
+    /// Attaches a [`TrainedEstimatorCache`]: [`Self::run`] looks the
+    /// estimator up by its training-input fingerprint and only trains on a
+    /// miss. Cached estimators are bit-exact copies of what training
+    /// would produce, so recommendations are identical cold or warm. A
+    /// supplied pretrained estimator still takes precedence.
+    pub fn with_estimator_cache(mut self, cache: &'a TrainedEstimatorCache) -> Self {
+        self.estimator_cache = Some(cache);
+        self
+    }
+
+    /// The profiling sweep for this cluster/model/batch (the paper's
+    /// ≤ 4-node protocol over a ladder of model scales) and the
+    /// ground-truth simulator it runs against.
+    fn profiling_spec(&self) -> (SampleSpec, MemorySim) {
         let truth = ClusterRun::new(self.cluster, self.gpt).memory_sim();
         let nodes = self.cluster.topology().num_nodes().min(4);
         let gpus_per_node = self.cluster.topology().gpus_per_node();
@@ -194,8 +207,20 @@ impl<'a> Pipette<'a> {
             global_batches,
             max_micro: self.options.max_micro,
         };
-        let samples = collect_samples(&spec, &truth);
-        let estimator = MemoryEstimator::train(&samples, &self.options.memory);
+        (spec, truth)
+    }
+
+    /// Trains a memory estimator for this cluster following the paper's
+    /// protocol (≤ 4-node profiling sweep over a ladder of model scales).
+    pub fn train_memory_estimator(&self) -> (MemoryEstimator, Duration, Vec<MemorySample>) {
+        let start = Instant::now();
+        let (spec, truth) = self.profiling_spec();
+        let samples = collect_samples_parallel(&spec, &truth, self.options.threads);
+        let estimator = MemoryEstimator::train_with_threads(
+            &samples,
+            &self.options.memory,
+            self.options.threads,
+        );
         (estimator, start.elapsed(), samples)
     }
 
@@ -213,10 +238,22 @@ impl<'a> Pipette<'a> {
             .profiler()
             .profile(self.cluster.bandwidth(), self.options.seed);
 
-        // Memory estimator (pretrained or trained now).
-        let (estimator, training_time) = match &self.pretrained {
-            Some(e) => (e.clone(), Duration::ZERO),
-            None => {
+        // Memory estimator: pretrained > cached > trained now.
+        let (estimator, training_time) = match (&self.pretrained, self.estimator_cache) {
+            (Some(e), _) => (e.clone(), Duration::ZERO),
+            (None, Some(cache)) => {
+                let start = Instant::now();
+                let (spec, truth) = self.profiling_spec();
+                let e = cache.get_or_train(
+                    &spec,
+                    self.gpt,
+                    &self.options.memory,
+                    &truth,
+                    self.options.threads,
+                );
+                (e, start.elapsed())
+            }
+            (None, None) => {
                 let (e, t, _) = self.train_memory_estimator();
                 (e, t)
             }
@@ -249,14 +286,23 @@ impl<'a> Pipette<'a> {
         }
         let examined = work.len();
 
-        let evaluated = parallel::ordered_map(self.options.threads, &work, |_, &(cfg, plan)| {
-            let features =
-                MemorySample::features_for(self.gpt, topo.num_gpus(), cfg, plan, self.global_batch);
-            let t0 = Instant::now();
-            let runnable = estimator.is_runnable(&features, limit);
-            let mem_elapsed = t0.elapsed();
-            if !runnable {
-                return (None, mem_elapsed);
+        // Line 5: the memory screen. All candidates go through the MLP in
+        // a single batched forward pass — bit-identical to screening them
+        // one row at a time (rows are independent), but one matmul per
+        // layer instead of `examined` of them.
+        let features: Vec<[f64; 10]> = work
+            .iter()
+            .map(|&(cfg, plan)| {
+                MemorySample::features_for(self.gpt, topo.num_gpus(), cfg, plan, self.global_batch)
+            })
+            .collect();
+        let t0 = Instant::now();
+        let runnable = estimator.is_runnable_batch(&features, limit, self.options.threads);
+        let mem_time = t0.elapsed();
+
+        let evaluated = parallel::ordered_map(self.options.threads, &work, |i, &(cfg, plan)| {
+            if !runnable[i] {
+                return None;
             }
             let compute = profiler.profile(
                 self.cluster.bandwidth(),
@@ -268,22 +314,17 @@ impl<'a> Pipette<'a> {
             );
             let identity = Mapping::identity(cfg, *topo);
             let est = latency.estimate(cfg, &identity, plan, &compute);
-            (
-                Some(Candidate {
-                    config: cfg,
-                    plan,
-                    compute,
-                    identity_estimate: est,
-                }),
-                mem_elapsed,
-            )
+            Some(Candidate {
+                config: cfg,
+                plan,
+                compute,
+                identity_estimate: est,
+            })
         });
 
         let mut candidates: Vec<Candidate> = Vec::with_capacity(evaluated.len());
         let mut rejected = 0usize;
-        let mut mem_time = Duration::ZERO;
-        for (cand, mem_elapsed) in evaluated {
-            mem_time += mem_elapsed;
+        for cand in evaluated {
             match cand {
                 Some(c) => candidates.push(c),
                 None => rejected += 1,

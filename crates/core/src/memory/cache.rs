@@ -1,0 +1,269 @@
+//! Trained-estimator cache: skip the 12k–50k-iteration MLP training when
+//! an identical estimator has already been produced.
+//!
+//! A trained [`MemoryEstimator`] is a pure function of what it was trained
+//! on: the profiling sweep ([`SampleSpec`]), the ground-truth simulator
+//! ([`MemorySim`], which carries the cluster's memory options and noise
+//! seed), the target model ([`GptConfig`]), and the training protocol
+//! ([`MemoryEstimatorConfig`], which contains the `TrainConfig`, soft
+//! margin, and weight-init seed). The cache keys on a fingerprint of that
+//! tuple — FNV-1a over its canonical JSON — so two `configure()` calls
+//! that would train byte-for-byte the same network share one entry, and
+//! anything that changes the result (a different margin, seed, iteration
+//! count, cluster, or model) misses.
+//!
+//! Entries live in memory and, when a directory is configured, on disk as
+//! serde JSON. The vendored `serde_json` prints `f64` shortest-round-trip
+//! and parses correctly rounded, so a reloaded estimator is **bit-exact**:
+//! warm-cache recommendations are identical to cold ones (see
+//! `tests/estimator_cache.rs`).
+
+use crate::memory::dataset::{collect_samples_parallel, SampleSpec};
+use crate::memory::estimator::{MemoryEstimator, MemoryEstimatorConfig};
+use pipette_model::GptConfig;
+use pipette_sim::MemorySim;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a fingerprint of the training inputs (via canonical JSON).
+/// The four parts are everything a trained estimator is a deterministic
+/// function of; a `0x1e` record separator between them keeps e.g.
+/// `("ab", "c")` and `("a", "bc")` from colliding.
+pub fn estimator_fingerprint(
+    spec: &SampleSpec,
+    gpt: &GptConfig,
+    config: &MemoryEstimatorConfig,
+    truth: &MemorySim,
+) -> u64 {
+    fn fnv(hash: &mut u64, bytes: &[u8]) {
+        for byte in bytes {
+            *hash ^= u64::from(*byte);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn part<T: Serialize>(hash: &mut u64, value: &T) {
+        let json = serde_json::to_string(value).expect("cache key serializes");
+        fnv(hash, json.as_bytes());
+        fnv(hash, &[0x1e]);
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    part(&mut hash, spec);
+    part(&mut hash, gpt);
+    part(&mut hash, config);
+    part(&mut hash, truth);
+    hash
+}
+
+/// In-memory (and optionally on-disk) cache of trained memory estimators.
+///
+/// Thread-safe behind `&self`; hit/miss counters let callers (and the CI
+/// perf smoke job) assert that a warm `configure()` really skipped
+/// training.
+#[derive(Debug, Default)]
+pub struct TrainedEstimatorCache {
+    dir: Option<PathBuf>,
+    entries: Mutex<HashMap<u64, MemoryEstimator>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TrainedEstimatorCache {
+    /// A purely in-memory cache (lives as long as the value).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A cache that also persists entries as JSON files under `dir`
+    /// (created on first write). Corrupt or unreadable files are treated
+    /// as misses and overwritten.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Number of lookups answered from memory or disk.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to train.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn disk_path(&self, fp: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("pipette-mem-estimator-{fp:016x}.json")))
+    }
+
+    fn load_from_disk(&self, fp: u64) -> Option<MemoryEstimator> {
+        let path = self.disk_path(fp)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn store_to_disk(&self, fp: u64, estimator: &MemoryEstimator) {
+        let Some(path) = self.disk_path(fp) else {
+            return;
+        };
+        // Persistence is best-effort: a read-only disk must not break
+        // configuration, only cost a retrain next process.
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Ok(json) = serde_json::to_string(estimator) {
+            let _ = std::fs::write(path, json);
+        }
+    }
+
+    /// Returns the cached estimator for these training inputs, or collects
+    /// samples and trains one (recording it in memory and, if configured,
+    /// on disk). `threads` drives both the profiling sweep and the MLP
+    /// training; results are bit-identical at any thread count, so cached
+    /// and fresh estimators are interchangeable.
+    pub fn get_or_train(
+        &self,
+        spec: &SampleSpec,
+        gpt: &GptConfig,
+        config: &MemoryEstimatorConfig,
+        truth: &MemorySim,
+        threads: usize,
+    ) -> MemoryEstimator {
+        let fp = estimator_fingerprint(spec, gpt, config, truth);
+        if let Some(found) = self.entries.lock().expect("cache lock").get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        if let Some(found) = self.load_from_disk(fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.entries
+                .lock()
+                .expect("cache lock")
+                .insert(fp, found.clone());
+            return found;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let samples = collect_samples_parallel(spec, truth, threads);
+        let estimator = MemoryEstimator::train_with_threads(&samples, config, threads);
+        self.store_to_disk(fp, &estimator);
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(fp, estimator.clone());
+        estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipette_mlp::TrainConfig;
+
+    fn tiny_inputs() -> (SampleSpec, GptConfig, MemoryEstimatorConfig, MemorySim) {
+        let gpt = GptConfig::new(8, 1024, 16, 2048, 51200);
+        let spec = SampleSpec {
+            gpu_counts: vec![8],
+            gpus_per_node: 8,
+            models: vec![gpt],
+            global_batches: vec![32],
+            max_micro: 2,
+        };
+        let config = MemoryEstimatorConfig {
+            train: TrainConfig {
+                iterations: 150,
+                learning_rate: 3e-3,
+                batch_size: 32,
+                record_every: 50,
+                seed: 0,
+            },
+            hidden: 16,
+            depth: 2,
+            soft_margin: 0.08,
+            seed: 1,
+        };
+        (spec, gpt, config, MemorySim::new(1))
+    }
+
+    #[test]
+    fn fingerprint_separates_training_inputs() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let base = estimator_fingerprint(&spec, &gpt, &config, &truth);
+        assert_eq!(base, estimator_fingerprint(&spec, &gpt, &config, &truth));
+        let mut other = config;
+        other.soft_margin = 0.2;
+        assert_ne!(base, estimator_fingerprint(&spec, &gpt, &other, &truth));
+        let mut other = config;
+        other.train.iterations += 1;
+        assert_ne!(base, estimator_fingerprint(&spec, &gpt, &other, &truth));
+        let mut other_spec = spec.clone();
+        other_spec.max_micro = 4;
+        assert_ne!(
+            base,
+            estimator_fingerprint(&other_spec, &gpt, &config, &truth)
+        );
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches_exactly() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let cache = TrainedEstimatorCache::in_memory();
+        let first = cache.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_exact() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trained = {
+            let cold = TrainedEstimatorCache::with_dir(&dir);
+            cold.get_or_train(&spec, &gpt, &config, &truth, 1)
+        };
+        // A fresh cache (empty memory map) must find the file and return
+        // the identical estimator.
+        let warm = TrainedEstimatorCache::with_dir(&dir);
+        let reloaded = warm.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        assert_eq!(reloaded, trained);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_retrains() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = estimator_fingerprint(&spec, &gpt, &config, &truth);
+        std::fs::write(
+            dir.join(format!("pipette-mem-estimator-{fp:016x}.json")),
+            "not json",
+        )
+        .unwrap();
+        let cache = TrainedEstimatorCache::with_dir(&dir);
+        let _ = cache.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -86,7 +86,22 @@ impl SampleSpec {
 /// the estimator must learn where the cliff is, and a profiling job that
 /// OOMs still reports its attempted allocation size.
 pub fn collect_samples(spec: &SampleSpec, truth: &MemorySim) -> Vec<MemorySample> {
-    let mut out = Vec::new();
+    collect_samples_parallel(spec, truth, 1)
+}
+
+/// [`collect_samples`] with the grid points simulated on up to `threads`
+/// worker threads. Each grid point (model × subcluster × parallel config ×
+/// global batch) is independent and the results are merged in grid order
+/// via [`crate::parallel::ordered_map`], so the corpus is identical to the
+/// sequential sweep at any thread count.
+pub fn collect_samples_parallel(
+    spec: &SampleSpec,
+    truth: &MemorySim,
+    threads: usize,
+) -> Vec<MemorySample> {
+    // Enumerate the (cheap) outer grid sequentially, then fan the
+    // simulator runs out over the pool.
+    let mut grid: Vec<(&GptConfig, usize, ParallelConfig, u64, u64)> = Vec::new();
     for gpt in &spec.models {
         for &g in &spec.gpu_counts {
             for cfg in ParallelConfig::enumerate(g, spec.gpus_per_node, gpt.n_layers) {
@@ -94,20 +109,25 @@ pub fn collect_samples(spec: &SampleSpec, truth: &MemorySim) -> Vec<MemorySample
                     let Ok(mini) = pipette_model::BatchConfig::new(global).minibatch(cfg.dp) else {
                         continue;
                     };
-                    for plan in MicrobatchPlan::enumerate(mini, spec.max_micro) {
-                        let peak = truth.report(gpt, cfg, plan).peak_bytes;
-                        out.push(MemorySample {
-                            features: MemorySample::features_for(gpt, g, cfg, plan, global),
-                            peak_bytes: peak,
-                            seq_len: gpt.seq_len,
-                            vocab: gpt.vocab,
-                        });
-                    }
+                    grid.push((gpt, g, cfg, global, mini));
                 }
             }
         }
     }
-    out
+    crate::parallel::ordered_map(threads, &grid, |_, &(gpt, g, cfg, global, mini)| {
+        MicrobatchPlan::enumerate(mini, spec.max_micro)
+            .into_iter()
+            .map(|plan| MemorySample {
+                features: MemorySample::features_for(gpt, g, cfg, plan, global),
+                peak_bytes: truth.report(gpt, cfg, plan).peak_bytes,
+                seq_len: gpt.seq_len,
+                vocab: gpt.vocab,
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -166,5 +186,14 @@ mod tests {
         let a = collect_samples(&small_spec(), &MemorySim::new(1));
         let b = collect_samples(&small_spec(), &MemorySim::new(1));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_collection_is_thread_invariant() {
+        let seq = collect_samples(&small_spec(), &MemorySim::new(1));
+        for threads in [2, 4, 8] {
+            let par = collect_samples_parallel(&small_spec(), &MemorySim::new(1), threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
     }
 }

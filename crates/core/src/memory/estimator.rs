@@ -137,6 +137,21 @@ impl MemoryEstimator {
     ///
     /// Panics if `samples` is empty.
     pub fn train(samples: &[MemorySample], config: &MemoryEstimatorConfig) -> Self {
+        Self::train_with_threads(samples, config, 1)
+    }
+
+    /// [`Self::train`] with the MLP's forward matmuls split over up to
+    /// `threads` row blocks. Bit-identical at any thread count (rows are
+    /// independent; see `pipette_mlp::Mlp::fit_with_threads`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn train_with_threads(
+        samples: &[MemorySample],
+        config: &MemoryEstimatorConfig,
+        threads: usize,
+    ) -> Self {
         assert!(!samples.is_empty(), "need at least one training sample");
         let seq_len = samples[0].seq_len;
         let vocab = samples[0].vocab;
@@ -173,7 +188,7 @@ impl MemoryEstimator {
         widths.extend(std::iter::repeat_n(config.hidden, config.depth));
         widths.push(1);
         let mut mlp = Mlp::new(&widths, config.seed);
-        mlp.fit(&x, &y, &config.train);
+        mlp.fit_with_threads(&x, &y, &config.train, threads);
 
         Self {
             mlp,
@@ -208,11 +223,52 @@ impl MemoryEstimator {
         (analytic_prior(features, self.seq_len, self.vocab) * correction.max(0.0)) as u64
     }
 
+    /// Predicted peak memory for a whole candidate set in **one** forward
+    /// pass through the MLP (the batched screen Algorithm 1 uses).
+    ///
+    /// Every network layer is row-independent (matmul, bias broadcast,
+    /// elementwise ReLU), so stacking the candidates into one matrix
+    /// changes nothing about the arithmetic of any single row: the result
+    /// is bit-identical to calling [`Self::predict_bytes`] per candidate
+    /// (property-tested in `tests/estimator_cache.rs`), at any `threads`.
+    pub fn predict_bytes_batch(&self, features: &[[f64; 10]], threads: usize) -> Vec<u64> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f64>> = features.iter().map(log_features).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = self.x_scaler.transform(&Matrix::from_rows(&refs));
+        let out = self.mlp.predict_with_threads(&x, threads);
+        features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let correction = (out.get(i, 0) * self.y_std + self.y_mean).exp();
+                (analytic_prior(f, self.seq_len, self.vocab) * correction.max(0.0)) as u64
+            })
+            .collect()
+    }
+
     /// Whether a configuration is considered runnable under `limit_bytes`
     /// per GPU, applying the soft margin.
     pub fn is_runnable(&self, features: &[f64; 10], limit_bytes: u64) -> bool {
         let predicted = self.predict_bytes(features) as f64;
         predicted * (1.0 + self.soft_margin) <= limit_bytes as f64
+    }
+
+    /// Batched [`Self::is_runnable`]: one forward pass over all
+    /// candidates, same soft margin, same accepted/rejected set as the
+    /// one-row-at-a-time screen.
+    pub fn is_runnable_batch(
+        &self,
+        features: &[[f64; 10]],
+        limit_bytes: u64,
+        threads: usize,
+    ) -> Vec<bool> {
+        self.predict_bytes_batch(features, threads)
+            .into_iter()
+            .map(|p| p as f64 * (1.0 + self.soft_margin) <= limit_bytes as f64)
+            .collect()
     }
 
     /// Mean absolute percentage error over a sample set.

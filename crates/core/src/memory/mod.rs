@@ -3,11 +3,13 @@
 //! it.
 
 mod analytic;
+mod cache;
 mod calibration;
 mod dataset;
 mod estimator;
 
 pub use analytic::AnalyticMemoryEstimator;
+pub use cache::{estimator_fingerprint, TrainedEstimatorCache};
 pub use calibration::{calibrate, CalibrationReport};
-pub use dataset::{collect_samples, MemorySample, SampleSpec};
+pub use dataset::{collect_samples, collect_samples_parallel, MemorySample, SampleSpec};
 pub use estimator::{MemoryEstimator, MemoryEstimatorConfig};

@@ -86,7 +86,13 @@ impl Dense {
 
     /// Forward pass without caching (inference).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut pre = x.matmul(&self.weights);
+        self.infer_threaded(x, 1)
+    }
+
+    /// [`Self::infer`] with the matmul split over up to `threads` row
+    /// blocks; bit-identical at any thread count.
+    pub fn infer_threaded(&self, x: &Matrix, threads: usize) -> Matrix {
+        let mut pre = x.matmul_parallel(&self.weights, threads);
         pre.add_row(&self.bias);
         if self.relu {
             pre.map(|v| v.max(0.0))

@@ -1,7 +1,98 @@
 //! Minimal dense row-major matrix used by the MLP.
+//!
+//! Two matmul kernels live here. [`Matrix::matmul_naive`] is the
+//! reference triple loop the crate started with; [`Matrix::matmul`] (and
+//! the `*_into` / fused / transposed variants) is a register-tiled
+//! rewrite of the same arithmetic: for every output element the products
+//! are accumulated over `k` in ascending order, skipping `a == 0.0` terms
+//! exactly like the reference, so the results are **bit-identical** — the
+//! tiling only changes which intermediate lives in a register instead of
+//! memory, never the sequence of floating-point operations that produces
+//! an element. `matmul_parallel` splits output rows across threads; rows
+//! are independent, so any thread count returns the same bits
+//! (property-tested in `tests/kernels.rs`).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Width of the register tile the blocked kernels accumulate into. 32
+/// doubles (4 cache lines) keeps the accumulator in vector registers on
+/// anything from SSE2 to AVX-512 while still amortizing the loop
+/// bookkeeping over long rows.
+const TILE: usize = 32;
+
+/// One output row of `A · B`: `out_row = Σ_k a_row[k] · B[k][·]`, with an
+/// optional fused bias added after the whole sum (matching
+/// `matmul` + `add_row` exactly). `k` ascends and `a_row[k] == 0.0` terms
+/// are skipped, mirroring [`Matrix::matmul_naive`] term by term.
+#[inline]
+fn mm_row_into(a_row: &[f64], b: &[f64], p: usize, out_row: &mut [f64], bias: Option<&[f64]>) {
+    let mut j0 = 0;
+    while j0 < p {
+        let w = TILE.min(p - j0);
+        let mut acc = [0.0f64; TILE];
+        if w == TILE {
+            // Hot path: fixed-width tile, fully unrollable.
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let br = &b[k * p + j0..k * p + j0 + TILE];
+                for (ac, &bv) in acc.iter_mut().zip(br) {
+                    *ac += av * bv;
+                }
+            }
+        } else {
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let br = &b[k * p + j0..k * p + j0 + w];
+                for (ac, &bv) in acc[..w].iter_mut().zip(br) {
+                    *ac += av * bv;
+                }
+            }
+        }
+        match bias {
+            Some(bias) => {
+                for ((o, &ac), &bi) in out_row[j0..j0 + w]
+                    .iter_mut()
+                    .zip(&acc[..w])
+                    .zip(&bias[j0..j0 + w])
+                {
+                    *o = ac + bi;
+                }
+            }
+            None => out_row[j0..j0 + w].copy_from_slice(&acc[..w]),
+        }
+        j0 += w;
+    }
+}
+
+/// One output row of `Aᵀ · B` without materializing `Aᵀ`: row `i` of the
+/// product reads column `i` of `A` (stride `m`). Accumulation order and
+/// the zero-skip match `A.transpose().matmul_naive(B)` exactly.
+#[inline]
+fn mm_at_row_into(a: &[f64], m: usize, i: usize, b: &[f64], p: usize, out_row: &mut [f64]) {
+    let n = a.len() / m;
+    let mut j0 = 0;
+    while j0 < p {
+        let w = TILE.min(p - j0);
+        let mut acc = [0.0f64; TILE];
+        for k in 0..n {
+            let av = a[k * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let br = &b[k * p + j0..k * p + j0 + w];
+            for (ac, &bv) in acc[..w].iter_mut().zip(br) {
+                *ac += av * bv;
+            }
+        }
+        out_row[j0..j0 + w].copy_from_slice(&acc[..w]);
+        j0 += w;
+    }
+}
 
 /// A dense `rows × cols` matrix of `f64`, row-major.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,12 +201,194 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` through the register-tiled kernel.
+    /// Bit-identical to [`Self::matmul_naive`].
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "output shape mismatch"
+        );
+        let p = rhs.cols;
+        for (i, out_row) in out.data.chunks_mut(p).enumerate() {
+            mm_row_into(self.row(i), &rhs.data, p, out_row, None);
+        }
+    }
+
+    /// Fused `self · rhs + bias` (bias broadcast over rows), into a
+    /// caller-provided buffer. The bias is added after the full `k`
+    /// accumulation, so the result is bit-identical to
+    /// `matmul` followed by [`Self::add_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_bias_into(&self, rhs: &Matrix, bias: &[f64], out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "output shape mismatch"
+        );
+        let p = rhs.cols;
+        for (i, out_row) in out.data.chunks_mut(p).enumerate() {
+            mm_row_into(self.row(i), &rhs.data, p, out_row, Some(bias));
+        }
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose, into a
+    /// caller-provided buffer. Bit-identical to
+    /// `self.transpose().matmul(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transpose_a_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "inner dimensions must agree");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, rhs.cols),
+            "output shape mismatch"
+        );
+        let p = rhs.cols;
+        for (i, out_row) in out.data.chunks_mut(p).enumerate() {
+            mm_at_row_into(&self.data, self.cols, i, &rhs.data, p, out_row);
+        }
+    }
+
+    /// `selfᵀ · rhs`, allocating the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree.
+    pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_transpose_a_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhsᵀ` into a caller-provided buffer, using `scratch` to
+    /// hold the transposed `rhs` (rows stay contiguous for the kernel).
+    /// Bit-identical to `self.matmul(&rhs.transpose())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transpose_b_into(&self, rhs: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
+        rhs.transpose_into(scratch);
+        self.matmul_into(scratch, out);
+    }
+
+    /// `self · rhsᵀ`, allocating the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
+        let mut scratch = Matrix::zeros(rhs.cols, rhs.rows);
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_b_into(rhs, &mut scratch, &mut out);
+        out
+    }
+
+    /// Matrix product with output rows computed on up to `threads` worker
+    /// threads. Every row of the product depends only on the matching row
+    /// of `self`, so the result is bit-identical to [`Self::matmul`] at
+    /// any thread count; `threads <= 1` runs inline with no
+    /// synchronization (the same ordered fork-join discipline as
+    /// `pipette::parallel::ordered_map`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_parallel(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.mm_threaded(rhs, None, &mut out, threads);
+        out
+    }
+
+    /// Fused `self · rhs + bias` into a caller-provided buffer with output
+    /// rows split over up to `threads` workers. Bit-identical to
+    /// [`Self::matmul_bias_into`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_bias_into_threaded(
+        &self,
+        rhs: &Matrix,
+        bias: &[f64],
+        out: &mut Matrix,
+        threads: usize,
+    ) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "output shape mismatch"
+        );
+        self.mm_threaded(rhs, Some(bias), out, threads);
+    }
+
+    /// Row-split driver shared by the threaded kernels. Each worker owns a
+    /// disjoint, contiguous block of output rows, so the partition never
+    /// affects the bits.
+    fn mm_threaded(&self, rhs: &Matrix, bias: Option<&[f64]>, out: &mut Matrix, threads: usize) {
+        let p = rhs.cols;
+        let m = self.cols;
+        let workers = threads.clamp(1, self.rows);
+        if workers <= 1 {
+            for (i, out_row) in out.data.chunks_mut(p).enumerate() {
+                mm_row_into(&self.data[i * m..(i + 1) * m], &rhs.data, p, out_row, bias);
+            }
+            return;
+        }
+        let rows_per = self.rows.div_ceil(workers);
+        let a = &self.data;
+        let b = &rhs.data;
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.data.chunks_mut(rows_per * p).enumerate() {
+                scope.spawn(move || {
+                    let row0 = ci * rows_per;
+                    for (r, out_row) in out_chunk.chunks_mut(p).enumerate() {
+                        let i = row0 + r;
+                        mm_row_into(&a[i * m..(i + 1) * m], b, p, out_row, bias);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The reference matmul: the crate's original scalar triple loop,
+    /// kept verbatim as the ground truth the blocked/parallel kernels are
+    /// property-tested against (`tests/kernels.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -137,12 +410,26 @@ impl Matrix {
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong shape.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "output shape mismatch"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Adds a row vector (bias) to every row.
@@ -162,12 +449,24 @@ impl Matrix {
     /// Column sums, returned as a vector of length `cols`.
     pub fn col_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums into a caller-provided buffer (no allocation). Rows
+    /// accumulate in ascending order, matching [`Self::col_sums`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != cols`.
+    pub fn col_sums_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
         for row in self.data.chunks(self.cols) {
             for (acc, cell) in out.iter_mut().zip(row) {
                 *acc += cell;
             }
         }
-        out
     }
 
     /// Element-wise map.
@@ -219,6 +518,21 @@ impl Matrix {
             data,
         }
     }
+
+    /// Copies the selected rows into a caller-provided buffer (the
+    /// allocation-free [`Self::select_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.rows() != indices.len()`, widths differ, or an
+    /// index is out of range.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(out.rows, indices.len(), "output row count mismatch");
+        assert_eq!(out.cols, self.cols, "output width mismatch");
+        for (&i, out_row) in indices.iter().zip(out.data.chunks_mut(self.cols)) {
+            out_row.copy_from_slice(self.row(i));
+        }
+    }
 }
 
 impl fmt::Display for Matrix {
@@ -245,6 +559,7 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+        assert_eq!(c, a.matmul_naive(&b));
     }
 
     #[test]
@@ -259,6 +574,38 @@ mod tests {
         let mut a = Matrix::zeros(2, 3);
         a.add_row(&[1.0, 2.0, 3.0]);
         assert_eq!(a.col_sums(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn fused_bias_matches_two_step() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.5, 4.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, -3.0], &[1.5, 2.5]]);
+        let bias = [0.25, -0.75];
+        let mut two_step = a.matmul(&b);
+        two_step.add_row(&bias);
+        let mut fused = Matrix::zeros(2, 2);
+        a.matmul_bias_into(&b, &bias, &mut fused);
+        assert_eq!(fused, two_step);
+    }
+
+    #[test]
+    fn transpose_variants_match_materialized() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 0.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]);
+        // Aᵀ·B  (2×3ᵀ = 3×2, times 2×2)
+        assert_eq!(a.matmul_transpose_a(&b), a.transpose().matmul(&b));
+        // A·Bᵀ with B sharing A's width.
+        let c = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[3.0, -1.0, 0.5]]);
+        assert_eq!(a.matmul_transpose_b(&c), a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn gather_rows_matches_select_rows() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let idx = [2usize, 0, 2, 1];
+        let mut out = Matrix::zeros(4, 1);
+        a.gather_rows_into(&idx, &mut out);
+        assert_eq!(out, a.select_rows(&idx));
     }
 
     #[test]

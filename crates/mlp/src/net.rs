@@ -1,4 +1,13 @@
 //! The multi-layer perceptron: a stack of dense layers with ReLU between.
+//!
+//! Two training entry points exist. [`Mlp::fit`] is the fast path: it
+//! preallocates every minibatch/activation/gradient buffer once and runs
+//! the whole loop allocation-free through the blocked matmul kernels.
+//! [`Mlp::fit_reference`] is the crate's original loop (fresh matrices
+//! every step, naive kernel), kept verbatim as the ground truth: the two
+//! produce **bit-identical** weights, losses, and RNG streams (see
+//! `tests/kernels.rs`), so the fast path is a pure speedup, not a
+//! numerical change.
 
 use crate::layer::{Dense, DenseGrads};
 use crate::matrix::Matrix;
@@ -60,17 +69,31 @@ impl Mlp {
     ///
     /// Panics if `x.cols() != in_dim()`.
     pub fn predict(&self, x: &Matrix) -> Matrix {
+        self.predict_with_threads(x, 1)
+    }
+
+    /// Forward pass for inference with the layer matmuls split over up to
+    /// `threads` row blocks. Every output row depends only on the matching
+    /// input row, so the result is bit-identical to [`Self::predict`] at
+    /// any thread count — and a batch prediction over `n` rows is
+    /// bit-identical to `n` single-row predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    pub fn predict_with_threads(&self, x: &Matrix, threads: usize) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
         let mut h = x.clone();
         for l in &self.layers {
-            h = l.infer(&h);
+            h = l.infer_threaded(&h, threads);
         }
         h
     }
 
     /// One forward+backward pass on a batch; returns the MSE loss and
-    /// applies gradients through `optimizers` (one per layer, weights then
-    /// bias interleaved by [`Self::fit`]).
+    /// applies gradients through `opt` (weights then bias per layer, in
+    /// layer order). Allocates fresh matrices throughout — only used by
+    /// [`Self::fit_reference`].
     fn train_step(&mut self, x: &Matrix, y: &Matrix, opt: &mut Adam) -> f64 {
         let mut h = x.clone();
         for l in &mut self.layers {
@@ -115,11 +138,209 @@ impl Mlp {
 
     /// Trains the network on `(x, y)` with minibatch Adam under `config`.
     ///
+    /// Allocation-free after setup: minibatch gather buffers, per-layer
+    /// activation/gradient scratch, and the flattened parameter vector
+    /// are built once and reused for every iteration. Bit-identical to
+    /// [`Self::fit_reference`] (same RNG stream, same arithmetic order).
+    ///
     /// # Panics
     ///
     /// Panics if `x` and `y` disagree on row count or widths mismatch the
     /// network.
     pub fn fit(&mut self, x: &Matrix, y: &Matrix, config: &TrainConfig) -> TrainReport {
+        self.fit_with_threads(x, y, config, 1)
+    }
+
+    /// [`Self::fit`] with the forward matmuls split over up to `threads`
+    /// row blocks. Rows are independent, so results are bit-identical at
+    /// any thread count; `threads <= 1` runs fully inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree on row count or widths mismatch the
+    /// network.
+    pub fn fit_with_threads(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        config: &TrainConfig,
+        threads: usize,
+    ) -> TrainReport {
+        assert_eq!(
+            x.rows(),
+            y.rows(),
+            "x and y must have the same number of rows"
+        );
+        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut opt = Adam::new(self.num_params(), config.learning_rate);
+        let batch = config.batch_size.min(x.rows()).max(1);
+        let full_batch = batch == x.rows();
+        let n_layers = self.layers.len();
+
+        // One-time workspace. `dxs[l]` holds the gradient w.r.t. the input
+        // of layer `l + 1` (equivalently: w.r.t. the output of layer `l`);
+        // the gradient w.r.t. layer 0's input is never needed, so it is
+        // neither stored nor computed.
+        let mut bx = Matrix::zeros(batch, x.cols());
+        let mut by = Matrix::zeros(batch, y.cols());
+        let mut idx = vec![0usize; batch];
+        let mut pres: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.out_dim()))
+            .collect();
+        let mut acts: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.out_dim()))
+            .collect();
+        let mut dxs: Vec<Matrix> = self.layers[1..]
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.in_dim()))
+            .collect();
+        let mut wts: Vec<Matrix> = self.layers[1..]
+            .iter()
+            .map(|l| Matrix::zeros(l.out_dim(), l.in_dim()))
+            .collect();
+        let mut dloss = Matrix::zeros(batch, self.out_dim());
+        let mut dws: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.in_dim(), l.out_dim()))
+            .collect();
+        let mut dbs: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.out_dim()]).collect();
+        let mut flat_grads = vec![0.0; self.num_params()];
+        // Parameters stay flattened across iterations; layers are synced
+        // from this vector after every Adam step, so re-gathering each
+        // iteration (as the reference loop does) would read back the same
+        // bits.
+        let mut flat_params = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            flat_params.extend_from_slice(l.weights.as_slice());
+            flat_params.extend_from_slice(&l.bias);
+        }
+
+        let mut losses = Vec::new();
+        let mut last = f64::INFINITY;
+        for it in 0..config.iterations {
+            let (cx, cy): (&Matrix, &Matrix) = if full_batch {
+                (x, y)
+            } else {
+                use rand::Rng;
+                for slot in idx.iter_mut() {
+                    *slot = rng.gen_range(0..x.rows());
+                }
+                x.gather_rows_into(&idx, &mut bx);
+                y.gather_rows_into(&idx, &mut by);
+                (&bx, &by)
+            };
+
+            // Forward: fused matmul+bias into `pres`, activation into `acts`.
+            for l in 0..n_layers {
+                let (done, rest) = acts.split_at_mut(l);
+                let inp: &Matrix = if l == 0 { cx } else { &done[l - 1] };
+                let layer = &self.layers[l];
+                inp.matmul_bias_into_threaded(&layer.weights, &layer.bias, &mut pres[l], threads);
+                let act = &mut rest[0];
+                if layer.relu {
+                    for (a, &p) in act.as_mut_slice().iter_mut().zip(pres[l].as_slice()) {
+                        *a = p.max(0.0);
+                    }
+                } else {
+                    act.as_mut_slice().copy_from_slice(pres[l].as_slice());
+                }
+            }
+
+            // Loss and output gradient, matching the reference exactly:
+            // loss = Σ (h − t)² / n, d = 2·(h − t)/n.
+            let n = (cx.rows() * cy.cols()) as f64;
+            let h = &acts[n_layers - 1];
+            let mut sq_sum = 0.0;
+            for ((d, &p), &t) in dloss
+                .as_mut_slice()
+                .iter_mut()
+                .zip(h.as_slice())
+                .zip(cy.as_slice())
+            {
+                let diff = p - t;
+                sq_sum += diff * diff;
+                *d = 2.0 * diff / n;
+            }
+            last = sq_sum / n;
+
+            // Backward, reusing `d_out` buffers in place for the ReLU mask.
+            for l in (0..n_layers).rev() {
+                let (dx_lo, dx_hi) = dxs.split_at_mut(l);
+                let d_out: &mut Matrix = if l == n_layers - 1 {
+                    &mut dloss
+                } else {
+                    &mut dx_hi[0]
+                };
+                let layer = &self.layers[l];
+                if layer.relu {
+                    for (g, &p) in d_out.as_mut_slice().iter_mut().zip(pres[l].as_slice()) {
+                        *g = if p > 0.0 { *g } else { 0.0 };
+                    }
+                }
+                let d_pre: &Matrix = d_out;
+                let inp: &Matrix = if l == 0 { cx } else { &acts[l - 1] };
+                inp.matmul_transpose_a_into(d_pre, &mut dws[l]);
+                d_pre.col_sums_into(&mut dbs[l]);
+                if l > 0 {
+                    d_pre.matmul_transpose_b_into(
+                        &layer.weights,
+                        &mut wts[l - 1],
+                        &mut dx_lo[l - 1],
+                    );
+                }
+            }
+
+            // Flatten gradients and take one Adam step over the network.
+            let mut off = 0;
+            for l in 0..n_layers {
+                let wn = dws[l].rows() * dws[l].cols();
+                flat_grads[off..off + wn].copy_from_slice(dws[l].as_slice());
+                off += wn;
+                let bn = dbs[l].len();
+                flat_grads[off..off + bn].copy_from_slice(&dbs[l]);
+                off += bn;
+            }
+            opt.step(&mut flat_params, &flat_grads);
+            let mut off = 0;
+            for l in &mut self.layers {
+                let wn = l.weights.rows() * l.weights.cols();
+                l.weights
+                    .as_mut_slice()
+                    .copy_from_slice(&flat_params[off..off + wn]);
+                off += wn;
+                let bn = l.bias.len();
+                l.bias.copy_from_slice(&flat_params[off..off + bn]);
+                off += bn;
+            }
+
+            if it % config.record_every == 0 {
+                losses.push(last);
+            }
+        }
+        TrainReport {
+            iterations: config.iterations,
+            final_loss: last,
+            loss_curve: losses,
+        }
+    }
+
+    /// The crate's original training loop, kept verbatim (fresh matrices
+    /// every iteration, naive matmul through [`Dense::forward`] /
+    /// [`Dense::backward`]). Ground truth for the equivalence tests and
+    /// the honest baseline for the `mlp_throughput` bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree on row count or widths mismatch the
+    /// network.
+    pub fn fit_reference(&mut self, x: &Matrix, y: &Matrix, config: &TrainConfig) -> TrainReport {
         assert_eq!(
             x.rows(),
             y.rows(),
@@ -225,6 +446,64 @@ mod tests {
         let rb = b.fit(&x, &y, &cfg);
         assert_eq!(ra.final_loss, rb.final_loss);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_matches_reference_bitwise() {
+        // Minibatch path (batch < rows) and full-batch path both must
+        // reproduce the original loop exactly.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64 / 5.0 - 1.0, (i / 10) as f64 / 5.0])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y_data: Vec<f64> = rows.iter().map(|r| r[0] * 0.5 - r[1]).collect();
+        let y = Matrix::from_vec(50, 1, y_data);
+        for batch_size in [16, 64] {
+            let cfg = TrainConfig {
+                iterations: 120,
+                batch_size,
+                record_every: 10,
+                ..TrainConfig::default()
+            };
+            let mut fast = Mlp::new(&[2, 24, 24, 1], 11);
+            let mut slow = Mlp::new(&[2, 24, 24, 1], 11);
+            let rf = fast.fit(&x, &y, &cfg);
+            let rs = slow.fit_reference(&x, &y, &cfg);
+            assert_eq!(rf.final_loss, rs.final_loss, "batch {batch_size}");
+            assert_eq!(rf.loss_curve, rs.loss_curve, "batch {batch_size}");
+            assert_eq!(fast, slow, "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn fit_threads_invariant() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[1.5], &[2.0]]);
+        let y = x.map(|v| v * v);
+        let cfg = TrainConfig {
+            iterations: 150,
+            batch_size: 3,
+            ..TrainConfig::default()
+        };
+        let mut one = Mlp::new(&[1, 16, 1], 2);
+        let mut eight = Mlp::new(&[1, 16, 1], 2);
+        let r1 = one.fit_with_threads(&x, &y, &cfg, 1);
+        let r8 = eight.fit_with_threads(&x, &y, &cfg, 8);
+        assert_eq!(r1.final_loss, r8.final_loss);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn batch_predict_matches_row_predict() {
+        let mlp = Mlp::new(&[3, 16, 16, 1], 4);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 2.0, -3.0], &[0.0, 0.0, 0.0]]);
+        let batch = mlp.predict(&x);
+        for r in 0..x.rows() {
+            let single = mlp.predict(&Matrix::from_rows(&[x.row(r)]));
+            assert_eq!(single.row(0), batch.row(r), "row {r}");
+        }
+        let threaded = mlp.predict_with_threads(&x, 8);
+        assert_eq!(threaded, batch);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Integration tests for the fast memory-estimator layer: batched
+//! screening is bit-identical to row-by-row screening, and `configure()`
+//! gives bit-identical recommendations with the trained-estimator cache
+//! cold vs. warm and at any thread count.
+
+use pipette::configurator::{Pipette, PipetteOptions, Recommendation};
+use pipette::memory::{collect_samples, MemoryEstimator, SampleSpec, TrainedEstimatorCache};
+use pipette_cluster::{presets, Cluster};
+use pipette_model::GptConfig;
+use pipette_sim::MemorySim;
+
+fn setup() -> (Cluster, GptConfig) {
+    (
+        presets::mid_range(2).build(3),
+        GptConfig::new(8, 1024, 16, 2048, 51200),
+    )
+}
+
+fn assert_identical(a: &Recommendation, b: &Recommendation, what: &str) {
+    assert_eq!(a.config, b.config, "{what}: config");
+    assert_eq!(a.plan, b.plan, "{what}: plan");
+    assert_eq!(a.mapping, b.mapping, "{what}: mapping");
+    assert_eq!(
+        a.estimated_seconds.to_bits(),
+        b.estimated_seconds.to_bits(),
+        "{what}: estimate {} vs {}",
+        a.estimated_seconds,
+        b.estimated_seconds
+    );
+    assert_eq!(a.examined, b.examined, "{what}: examined");
+    assert_eq!(a.memory_rejected, b.memory_rejected, "{what}: rejected");
+    assert_eq!(a.alternatives, b.alternatives, "{what}: alternatives");
+}
+
+#[test]
+fn batch_screen_is_bit_identical_to_rowwise() {
+    let gpt = GptConfig::new(8, 1024, 16, 2048, 51200);
+    let spec = SampleSpec {
+        gpu_counts: vec![8, 16],
+        gpus_per_node: 8,
+        models: vec![gpt],
+        global_batches: vec![64],
+        max_micro: 4,
+    };
+    let samples = collect_samples(&spec, &MemorySim::new(1));
+    let mut config = pipette::memory::MemoryEstimatorConfig::default();
+    config.train.iterations = 600;
+    config.hidden = 24;
+    config.depth = 2;
+    let estimator = MemoryEstimator::train(&samples, &config);
+
+    let features: Vec<[f64; 10]> = samples.iter().map(|s| s.features).collect();
+    let limit = 16 * (1u64 << 30);
+    for threads in [1usize, 4, 8] {
+        let batch = estimator.predict_bytes_batch(&features, threads);
+        let runnable = estimator.is_runnable_batch(&features, limit, threads);
+        assert_eq!(batch.len(), features.len());
+        for (i, f) in features.iter().enumerate() {
+            assert_eq!(
+                batch[i],
+                estimator.predict_bytes(f),
+                "threads {threads}, row {i}"
+            );
+            assert_eq!(
+                runnable[i],
+                estimator.is_runnable(f, limit),
+                "threads {threads}, row {i}"
+            );
+        }
+    }
+    assert!(estimator.predict_bytes_batch(&[], 4).is_empty());
+}
+
+#[test]
+fn configure_is_identical_cold_vs_warm_cache() {
+    let (cluster, gpt) = setup();
+    let opts = PipetteOptions::fast_test();
+
+    // Baseline: no cache at all.
+    let plain = Pipette::new(&cluster, &gpt, 64, opts).run().unwrap();
+
+    let dir = std::env::temp_dir().join("pipette-estimator-cache-integration");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold: trains, stores in memory + on disk.
+    let cache = TrainedEstimatorCache::with_dir(&dir);
+    let cold = Pipette::new(&cluster, &gpt, 64, opts)
+        .with_estimator_cache(&cache)
+        .run()
+        .unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    assert_identical(&cold, &plain, "cold cache vs no cache");
+
+    // Warm, same cache value: in-memory hit, no retraining.
+    let warm = Pipette::new(&cluster, &gpt, 64, opts)
+        .with_estimator_cache(&cache)
+        .run()
+        .unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    assert_identical(&warm, &cold, "warm (memory) vs cold");
+
+    // Warm, fresh process simulation: a new cache over the same directory
+    // must reload the bit-exact estimator from disk.
+    let disk_cache = TrainedEstimatorCache::with_dir(&dir);
+    let from_disk = Pipette::new(&cluster, &gpt, 64, opts)
+        .with_estimator_cache(&disk_cache)
+        .run()
+        .unwrap();
+    assert_eq!((disk_cache.hits(), disk_cache.misses()), (1, 0));
+    assert_identical(&from_disk, &cold, "warm (disk) vs cold");
+
+    // A different soft margin is a different estimator: the cache must
+    // not serve the old entry.
+    let mut other = opts;
+    other.memory.soft_margin = 0.25;
+    let _ = Pipette::new(&cluster, &gpt, 64, other)
+        .with_estimator_cache(&disk_cache)
+        .run()
+        .unwrap();
+    assert_eq!(disk_cache.misses(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn configure_is_identical_across_thread_counts() {
+    let (cluster, gpt) = setup();
+    let mut one = PipetteOptions::fast_test();
+    one.threads = 1;
+    let mut eight = PipetteOptions::fast_test();
+    eight.threads = 8;
+    let r1 = Pipette::new(&cluster, &gpt, 64, one).run().unwrap();
+    let r8 = Pipette::new(&cluster, &gpt, 64, eight).run().unwrap();
+    assert_identical(&r1, &r8, "threads 1 vs 8");
+}
