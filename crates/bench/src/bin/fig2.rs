@@ -37,7 +37,10 @@ fn main() {
         let s = spec(schedule);
         let (result, events) = s.trace();
         println!("{label} — makespan {:.2} units", result.makespan);
-        print!("{}", render_gantt(&events, pp, 72));
+        print!(
+            "{}",
+            render_gantt(&events, pp, 72).expect("traced schedule is non-empty")
+        );
         for stage in 0..pp {
             let peak = schedule.peak_inflight(pp, stage, n_mb);
             print!("stage {stage}: {peak} in flight  ");

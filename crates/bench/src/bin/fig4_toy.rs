@@ -121,5 +121,5 @@ fn gantt_for(
             .collect(),
     };
     let (_, events) = spec.trace();
-    render_gantt(&events, cfg.pp, 72)
+    render_gantt(&events, cfg.pp, 72).expect("traced schedule is non-empty")
 }

@@ -23,9 +23,11 @@ use pipette::configurator::{Pipette, PipetteOptions};
 use pipette::latency::PipetteLatencyModel;
 use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
 use pipette::memory::{collect_samples, MemoryEstimator, SampleSpec, TrainedEstimatorCache};
+use pipette::telemetry::SaTraceObserver;
 use pipette_cluster::presets;
 use pipette_mlp::{Matrix, Mlp, TrainConfig};
 use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_obs::{Trace, TraceConfig};
 use pipette_sim::{ComputeProfiler, Mapping, MemorySim};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,6 +42,7 @@ struct Report {
     end_to_end: EndToEnd,
     sa_budgeted: SaBudgeted,
     memory_estimator: MemoryEstimatorPerf,
+    telemetry: TelemetryOverhead,
 }
 
 #[derive(Serialize)]
@@ -102,6 +105,20 @@ struct MemoryEstimatorPerf {
     /// Effective paper-protocol speedup for repeated `configure()` calls:
     /// reference 50k-iteration training vs. a warm cache hit.
     paper_train_vs_cache_hit_speedup: f64,
+}
+
+/// Cost of the observability layer on the SA hot path (PR 3): the same
+/// annealing run with the no-op observer vs. a recording
+/// [`SaTraceObserver`] at the default sampling cadence. The observed run
+/// must stay bit-identical and within a few percent of the plain one.
+#[derive(Serialize)]
+struct TelemetryOverhead {
+    sa_iterations: usize,
+    plain_evals_per_sec: f64,
+    traced_evals_per_sec: f64,
+    /// `(plain - traced) / plain` throughput loss; target < 0.05.
+    overhead_fraction: f64,
+    trace_events: usize,
 }
 
 fn main() {
@@ -325,6 +342,50 @@ fn main() {
         paper_train_vs_cache_hit_speedup: (ref_train * scale) / warm_training.max(1e-9),
     };
 
+    // Telemetry overhead on the SA hot path: identical annealing runs,
+    // no-op observer vs. default-cadence trace recording. Best-of-3 on
+    // each side to damp scheduler noise.
+    let sa_iters = if smoke { 2_000 } else { 200_000 };
+    let sa = Annealer::new(AnnealerConfig {
+        iterations: sa_iters,
+        seed: 2,
+        ..Default::default()
+    });
+    let mut plain_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    let mut plain_cost = 0.0f64;
+    let mut traced_cost = 0.0f64;
+    let mut trace_events = 0usize;
+    for _ in 0..3 {
+        let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &identity);
+        let t0 = Instant::now();
+        let (_, cost, _) = sa.anneal_with(&identity, &mut obj);
+        plain_best = plain_best.min(t0.elapsed().as_secs_f64());
+        plain_cost = cost;
+
+        let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &identity);
+        let mut trace = Trace::new(TraceConfig::default());
+        let mut observer = SaTraceObserver::new(&mut trace, 0);
+        let t0 = Instant::now();
+        let (_, cost, stats) = sa.anneal_observed(&identity, &mut obj, &mut observer);
+        traced_best = traced_best.min(t0.elapsed().as_secs_f64());
+        traced_cost = cost;
+        observer.finish(&stats);
+        trace_events = trace.len();
+    }
+    assert_eq!(
+        plain_cost.to_bits(),
+        traced_cost.to_bits(),
+        "recording telemetry must not change the search"
+    );
+    let telemetry = TelemetryOverhead {
+        sa_iterations: sa_iters,
+        plain_evals_per_sec: sa_iters as f64 / plain_best,
+        traced_evals_per_sec: sa_iters as f64 / traced_best,
+        overhead_fraction: 1.0 - plain_best / traced_best.max(1e-12),
+        trace_events,
+    };
+
     let report = Report {
         smoke,
         cluster: ClusterShape {
@@ -338,13 +399,15 @@ fn main() {
         end_to_end,
         sa_budgeted,
         memory_estimator,
+        telemetry,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_configurator.json", &json).expect("write BENCH_configurator.json");
     println!("{json}");
     eprintln!(
-        "wrote BENCH_configurator.json  (objective speedup: {:.1}x, checksum {sink:.3})",
-        report.objective.speedup
+        "wrote BENCH_configurator.json  (objective speedup: {:.1}x, telemetry overhead: {:.2}%, checksum {sink:.3})",
+        report.objective.speedup,
+        100.0 * report.telemetry.overhead_fraction
     );
 }

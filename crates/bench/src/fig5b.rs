@@ -76,7 +76,7 @@ pub fn run_with_training(
         .expect("Pipette finds candidates");
     let mut pipette_list: Vec<(ParallelConfig, MicrobatchPlan)> =
         std::iter::once((rec.config, rec.plan))
-            .chain(rec.alternatives)
+            .chain(rec.alternatives.iter().map(|a| (a.config, a.plan)))
             .collect();
     pipette_list.truncate(k);
     let pipette_oom = pipette_list

@@ -14,7 +14,8 @@ pub fn launch_recommendation(
         return Some((rec.config, rec.plan, m, 1));
     }
     let mut launches = 1;
-    for &(cfg, plan) in &rec.alternatives {
+    for alt in &rec.alternatives {
+        let (cfg, plan) = (alt.config, alt.plan);
         launches += 1;
         let mapping = Mapping::identity(cfg, *run.cluster().topology());
         if let Ok(m) = run.execute(cfg, &mapping, plan) {

@@ -10,5 +10,5 @@
 pub mod report;
 pub mod spec;
 
-pub use report::{run_compare, run_configure, CliReport};
+pub use report::{render_explain, run_compare, run_configure, run_configure_traced, CliReport};
 pub use spec::{ClusterSpec, JobSpec, ModelSpec, SpecError};

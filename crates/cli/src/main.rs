@@ -7,7 +7,8 @@
 //! pipette-cli example-spec              # print a starter job.json
 //! ```
 
-use pipette_cli::{run_compare, run_configure, JobSpec};
+use pipette_cli::{render_explain, run_compare, run_configure_traced, JobSpec};
+use pipette_obs::{Trace, TraceConfig};
 use std::process::ExitCode;
 
 const EXAMPLE_SPEC: &str = r#"{
@@ -21,10 +22,26 @@ const EXAMPLE_SPEC: &str = r#"{
 }"#;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: pipette-cli <configure|compare> <job.json> [--json]");
+    eprintln!("usage: pipette-cli <configure|compare> <job.json> [--json] [--trace-out <path>]");
+    eprintln!("       pipette-cli explain <job.json> [--trace-out <path>]");
     eprintln!("       pipette-cli import-mpigraph <table.txt> <gpus-per-node>");
     eprintln!("       pipette-cli example-spec");
+    eprintln!();
+    eprintln!("  --trace-out writes a deterministic JSONL telemetry trace of the run");
     ExitCode::from(2)
+}
+
+/// Extracts the value of `--trace-out <path>` from the argument list.
+fn trace_out_arg(args: &[String]) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == "--trace-out") {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| "--trace-out needs a file path".to_owned()),
+    }
 }
 
 fn main() -> ExitCode {
@@ -55,11 +72,18 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "configure" | "compare" => {
+        "configure" | "compare" | "explain" => {
             let Some(path) = args.get(1) else {
                 return usage();
             };
             let json_output = args.iter().any(|a| a == "--json");
+            let trace_out = match trace_out_arg(&args) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
             let spec: JobSpec = match std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
                 .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
@@ -70,10 +94,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let result = if command == "configure" {
-                configure(&spec, json_output)
-            } else {
-                compare(&spec, json_output)
+            let result = match command.as_str() {
+                "configure" => configure(&spec, json_output, trace_out.as_deref()),
+                "explain" => explain(&spec, trace_out.as_deref()),
+                _ => compare(&spec, json_output),
             };
             match result {
                 Ok(()) => ExitCode::SUCCESS,
@@ -98,8 +122,37 @@ fn import_mpigraph(path: &str, gpus_per_node: usize) -> Result<String, Box<dyn s
     Ok(cluster.to_json()?)
 }
 
-fn configure(spec: &JobSpec, json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let report = run_configure(spec)?;
+/// Runs the spec, optionally writing the telemetry trace to `trace_out`,
+/// and returns both views of the outcome.
+fn run_with_optional_trace(
+    spec: &JobSpec,
+    trace_out: Option<&str>,
+) -> Result<(pipette_cli::CliReport, pipette::Recommendation), Box<dyn std::error::Error>> {
+    match trace_out {
+        None => run_configure_traced(spec, None),
+        Some(path) => {
+            let mut trace = Trace::new(TraceConfig::default());
+            let result = run_configure_traced(spec, Some(&mut trace));
+            // Write whatever was recorded even when configuration fails —
+            // the trace is most useful for diagnosing exactly that.
+            trace.write_jsonl(std::path::Path::new(path))?;
+            result
+        }
+    }
+}
+
+fn explain(spec: &JobSpec, trace_out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let (report, rec) = run_with_optional_trace(spec, trace_out)?;
+    print!("{}", render_explain(&report, &rec, 5));
+    Ok(())
+}
+
+fn configure(
+    spec: &JobSpec,
+    json: bool,
+    trace_out: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let (report, _) = run_with_optional_trace(spec, trace_out)?;
     if json {
         println!("{}", serde_json::to_string_pretty(&report)?);
         return Ok(());

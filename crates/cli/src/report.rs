@@ -2,11 +2,14 @@
 
 use crate::spec::JobSpec;
 use pipette::baselines::{first_runnable, AmpConfigurator, MegatronTuner, VarunaConfigurator};
-use pipette::configurator::{Pipette, PipetteOptions};
+use pipette::configurator::{Pipette, PipetteOptions, Recommendation};
 use pipette::mapping::AnnealerConfig;
+use pipette::memory::CacheCounters;
+use pipette_obs::Trace;
 use pipette_sim::ClusterRun;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
+use std::fmt::Write as _;
 
 /// Machine-readable result of a `configure` run (also printed as JSON with
 /// `--json`).
@@ -34,6 +37,10 @@ pub struct CliReport {
     pub memory_rejected: usize,
     /// Worker→GPU assignment (worker linear index → GPU id).
     pub mapping: Vec<usize>,
+    /// Trained-estimator cache traffic (absent when no cache directory
+    /// was configured).
+    #[serde(default)]
+    pub estimator_cache: Option<CacheCounters>,
 }
 
 fn options_for(spec: &JobSpec) -> PipetteOptions {
@@ -59,6 +66,19 @@ fn options_for(spec: &JobSpec) -> PipetteOptions {
 ///
 /// Propagates spec, configuration, and simulation errors.
 pub fn run_configure(spec: &JobSpec) -> Result<CliReport, Box<dyn Error>> {
+    run_configure_traced(spec, None).map(|(report, _)| report)
+}
+
+/// [`run_configure`], optionally recording a structured telemetry trace,
+/// and returning the full [`Recommendation`] for explanation rendering.
+///
+/// # Errors
+///
+/// Propagates spec, configuration, and simulation errors.
+pub fn run_configure_traced(
+    spec: &JobSpec,
+    trace: Option<&mut Trace>,
+) -> Result<(CliReport, Recommendation), Box<dyn Error>> {
     let cluster = spec.build_cluster()?;
     let gpt = spec.build_model()?;
     let cache = spec
@@ -69,10 +89,13 @@ pub fn run_configure(spec: &JobSpec) -> Result<CliReport, Box<dyn Error>> {
     if let Some(cache) = &cache {
         pipette = pipette.with_estimator_cache(cache);
     }
-    let rec = pipette.run()?;
+    let rec = match trace {
+        Some(trace) => pipette.run_traced(trace)?,
+        None => pipette.run()?,
+    };
     let runner = ClusterRun::new(&cluster, &gpt);
     let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
-    Ok(CliReport {
+    let report = CliReport {
         pp: rec.config.pp,
         tp: rec.config.tp,
         dp: rec.config.dp,
@@ -84,7 +107,136 @@ pub fn run_configure(spec: &JobSpec) -> Result<CliReport, Box<dyn Error>> {
         examined: rec.examined,
         memory_rejected: rec.memory_rejected,
         mapping: rec.mapping.as_slice().iter().map(|g| g.0).collect(),
-    })
+        estimator_cache: rec.cache_counters,
+    };
+    Ok((report, rec))
+}
+
+/// Renders the `explain` report: where the estimated iteration time goes
+/// (Eqs. 3–6), which link straggles, how much memory headroom remains,
+/// how the annealer converged, and the closest runner-up configurations.
+pub fn render_explain(report: &CliReport, rec: &Recommendation, top_k: usize) -> String {
+    let mut out = String::new();
+    let terms = &rec.breakdown.terms;
+    let total = rec.estimated_seconds;
+    let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "recommendation: (pp={}, tp={}, dp={}) micro={} ({} microbatches)",
+        report.pp, report.tp, report.dp, report.micro_batch, report.n_microbatches
+    );
+    let _ = writeln!(out, "estimated iteration time: {total:.3} s\n");
+
+    let _ = writeln!(out, "latency breakdown (critical replica, Eqs. 3-6):");
+    let _ = writeln!(
+        out,
+        "  pipeline bubble   {:>9.3} s  ({:>4.1}%)",
+        terms.t_bubble,
+        pct(terms.t_bubble)
+    );
+    let _ = writeln!(
+        out,
+        "  straggler stages  {:>9.3} s  ({:>4.1}%)  worst: stage {}",
+        terms.t_straggler,
+        pct(terms.t_straggler),
+        terms.straggler_stage
+    );
+    let _ = writeln!(
+        out,
+        "  hidden critical   {:>9.3} s  ({:>4.1}%)",
+        terms.t_hidden,
+        pct(terms.t_hidden)
+    );
+    let _ = writeln!(
+        out,
+        "  exposed dp grads  {:>9.3} s  ({:>4.1}%)",
+        terms.t_dp,
+        pct(terms.t_dp)
+    );
+    let _ = writeln!(
+        out,
+        "  optimizer step    {:>9.3} s  ({:>4.1}%)",
+        terms.t_optimizer,
+        pct(terms.t_optimizer)
+    );
+    match &rec.breakdown.slow_link {
+        Some(link) => {
+            let _ = writeln!(
+                out,
+                "  slowest pp link   GPU {} -> GPU {} (stage {} boundary, {:.1} ms roundtrip)",
+                link.from.0,
+                link.to.0,
+                link.stage,
+                link.seconds * 1e3
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  slowest pp link   n/a (no pipeline communication)");
+        }
+    }
+
+    let m = &rec.memory;
+    let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+    let _ = writeln!(out, "\nmemory (worst stage, estimator):");
+    let _ = writeln!(
+        out,
+        "  predicted {:.2} GiB of {:.2} GiB ({:.0}% headroom, soft margin {:.0}%)",
+        gib(m.predicted_bytes),
+        gib(m.limit_bytes),
+        100.0 * m.headroom_fraction(),
+        100.0 * m.soft_margin
+    );
+    let _ = writeln!(
+        out,
+        "  screening: {} candidates examined, {} rejected as OOM risks",
+        report.examined, report.memory_rejected
+    );
+    if let Some(c) = &report.estimator_cache {
+        let _ = writeln!(
+            out,
+            "  estimator cache: {} hits, {} misses, {} corrupt",
+            c.hits, c.misses, c.corrupt
+        );
+    }
+
+    match &rec.anneal_stats {
+        Some(sa) => {
+            let _ = writeln!(out, "\nworker dedication (simulated annealing):");
+            let _ = writeln!(
+                out,
+                "  {} evaluations, {} accepted, {} improvements",
+                sa.evaluations, sa.accepted, sa.improvements
+            );
+            let _ = writeln!(
+                out,
+                "  cost {:.3} s -> {:.3} s ({:.2}% better than the identity mapping)",
+                sa.initial_cost,
+                sa.best_cost,
+                100.0 * sa.improvement()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "\nworker dedication: disabled (identity mapping)");
+        }
+    }
+
+    if !rec.alternatives.is_empty() {
+        let _ = writeln!(out, "\nrunner-up configurations:");
+        for (i, alt) in rec.alternatives.iter().take(top_k).enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{} (pp={}, tp={}, dp={}) micro={}  {:.3} s  (+{:.1}%)",
+                i + 2,
+                alt.config.pp,
+                alt.config.tp,
+                alt.config.dp,
+                alt.plan.micro_batch,
+                alt.estimated_seconds,
+                pct(alt.estimated_seconds - total)
+            );
+        }
+    }
+    out
 }
 
 /// One row of the `--compare` table.
@@ -217,6 +369,31 @@ mod tests {
         let pipette = rows.iter().find(|r| r.method == "pipette").unwrap();
         let amp = rows.iter().find(|r| r.method == "amp").unwrap();
         assert!(pipette.seconds <= amp.seconds * 1.03);
+    }
+
+    #[test]
+    fn explain_report_names_every_section() {
+        let mut trace = Trace::new(pipette_obs::TraceConfig::default());
+        let (report, rec) =
+            run_configure_traced(&small_spec(), Some(&mut trace)).expect("feasible job");
+        let text = render_explain(&report, &rec, 5);
+        for needle in [
+            "recommendation:",
+            "latency breakdown",
+            "pipeline bubble",
+            "straggler stages",
+            "hidden critical",
+            "optimizer step",
+            "memory (worst stage",
+            "worker dedication",
+            "runner-up configurations:",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The traced run recorded the recommendation it explains.
+        assert_eq!(trace.count_kind("run_start"), 1);
+        assert_eq!(trace.count_kind("recommendation"), 1);
+        assert!(trace.count_kind("latency_estimate") > 0);
     }
 
     #[test]

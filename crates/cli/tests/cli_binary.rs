@@ -74,6 +74,76 @@ fn import_mpigraph_produces_a_loadable_cluster() {
 }
 
 #[test]
+fn explain_with_trace_out_writes_parseable_jsonl() {
+    let dir = std::env::temp_dir().join("pipette_cli_test_explain");
+    std::fs::create_dir_all(&dir).unwrap();
+    let job = dir.join("job.json");
+    std::fs::write(
+        &job,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 2, "seed": 3},
+            "model": {"layers": 8, "hidden": 1024, "heads": 16},
+            "global_batch": 64,
+            "max_micro": 2,
+            "sa_iterations": 800,
+            "memory_training_iterations": 1200
+        }"#,
+    )
+    .unwrap();
+    let trace_path = dir.join("trace.jsonl");
+    let out = bin()
+        .args([
+            "explain",
+            job.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("latency breakdown"), "{stdout}");
+    assert!(stdout.contains("recommendation:"), "{stdout}");
+
+    // Every line must parse as a JSON object carrying at least the seq
+    // and kind envelope fields (extra payload fields are ignored here).
+    #[derive(serde::Deserialize)]
+    struct TraceLine {
+        seq: u64,
+        kind: String,
+    }
+    let jsonl = std::fs::read_to_string(&trace_path).expect("trace written");
+    let mut kinds = std::collections::BTreeSet::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        let v: TraceLine = serde_json::from_str(line).expect("each line is JSON");
+        assert_eq!(v.seq, i as u64, "seq is the line index");
+        kinds.insert(v.kind);
+    }
+    for kind in [
+        "run_start",
+        "mem_train",
+        "latency_estimate",
+        "recommendation",
+    ] {
+        assert!(kinds.contains(kind), "missing {kind} in {kinds:?}");
+    }
+}
+
+#[test]
+fn trace_out_without_a_path_is_an_error() {
+    let out = bin()
+        .args(["configure", "job.json", "--trace-out"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-out"));
+}
+
+#[test]
 fn malformed_spec_fails_cleanly() {
     let dir = std::env::temp_dir().join("pipette_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

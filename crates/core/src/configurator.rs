@@ -15,16 +15,18 @@
 //! worker dedication).
 
 use crate::error::ConfigureError;
-use crate::latency::PipetteLatencyModel;
+use crate::latency::{LatencyExplanation, PipetteLatencyModel};
 use crate::mapping::{AnnealStats, Annealer, AnnealerConfig, IncrementalObjective};
 use crate::memory::{
-    collect_samples_parallel, MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec,
-    TrainedEstimatorCache,
+    collect_samples_parallel, CacheCounters, MemoryEstimator, MemoryEstimatorConfig, MemorySample,
+    SampleSpec, TrainedEstimatorCache,
 };
 use crate::parallel;
 use crate::report::OverheadReport;
+use crate::telemetry::{self, SaTraceObserver};
 use pipette_cluster::Cluster;
 use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
+use pipette_obs::{EventKind, Trace, SCHEMA_VERSION};
 use pipette_sim::{ClusterRun, ComputeProfiler, Mapping, MemorySim, ProfiledCompute};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -111,6 +113,39 @@ struct Candidate {
     plan: MicrobatchPlan,
     compute: ProfiledCompute,
     identity_estimate: f64,
+    /// Term breakdown of `identity_estimate`; recorded only on traced
+    /// runs (`None` keeps the untraced path allocation-free).
+    explanation: Option<LatencyExplanation>,
+}
+
+/// One ranked runner-up configuration (identity-mapping estimate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alternative {
+    /// The runner-up `(pp, tp, dp)`.
+    pub config: ParallelConfig,
+    /// Its microbatch plan.
+    pub plan: MicrobatchPlan,
+    /// Its identity-mapping latency estimate (seconds).
+    pub estimated_seconds: f64,
+}
+
+/// Predicted memory position of the recommendation on its GPUs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryHeadroom {
+    /// Estimator-predicted peak bytes per GPU.
+    pub predicted_bytes: u64,
+    /// Per-GPU memory capacity.
+    pub limit_bytes: u64,
+    /// Soft margin the screen applied on top of the raw prediction.
+    pub soft_margin: f64,
+}
+
+impl MemoryHeadroom {
+    /// `1 − predicted/limit`: slack before the raw prediction exhausts
+    /// the GPU (the soft margin eats into this from below).
+    pub fn headroom_fraction(&self) -> f64 {
+        1.0 - self.predicted_bytes as f64 / self.limit_bytes as f64
+    }
 }
 
 /// Pipette's final answer.
@@ -124,6 +159,12 @@ pub struct Recommendation {
     pub mapping: Mapping,
     /// Estimated iteration latency of the recommendation (seconds).
     pub estimated_seconds: f64,
+    /// Eq. 3–6 decomposition of that estimate under the chosen mapping,
+    /// with the straggler-link identity; `breakdown.terms.total_seconds`
+    /// is bit-identical to `estimated_seconds`.
+    pub breakdown: LatencyExplanation,
+    /// Predicted memory position of the winner.
+    pub memory: MemoryHeadroom,
     /// Configuration-time cost breakdown (Table II).
     pub overhead: OverheadReport,
     /// Candidates examined (Algorithm 1's loop trips).
@@ -132,10 +173,12 @@ pub struct Recommendation {
     pub memory_rejected: usize,
     /// Annealing statistics of the winning candidate (None for PPT-L).
     pub anneal_stats: Option<AnnealStats>,
+    /// Estimator-cache counters, when a cache was attached.
+    pub cache_counters: Option<CacheCounters>,
     /// Runner-up candidates (identity mapping), best first — Pipette's
     /// ranked fallback list should the top pick fail to launch, capped at
     /// [`PipetteOptions::top_n`].
-    pub alternatives: Vec<(ParallelConfig, MicrobatchPlan)>,
+    pub alternatives: Vec<Alternative>,
 }
 
 /// The Pipette configurator (Algorithm 1).
@@ -232,6 +275,33 @@ impl<'a> Pipette<'a> {
     /// the global batch; [`ConfigureError::NoFeasibleConfig`] if every
     /// candidate is rejected by the memory estimator.
     pub fn run(&self) -> Result<Recommendation, ConfigureError> {
+        self.run_with(None)
+    }
+
+    /// [`Self::run`] recording a structured event trace of the whole
+    /// procedure — memory-estimator training, the screen, every
+    /// candidate's Eq. 3–6 latency terms, the SA passes, and the final
+    /// recommendation — into `trace` (see DESIGN.md §7d for the schema).
+    ///
+    /// Tracing never changes the search: the recommendation is
+    /// bit-identical to [`Self::run`], and the event stream itself is
+    /// identical at any `threads` setting (parallel SA passes record into
+    /// child traces absorbed in candidate order).
+    pub fn run_traced(&self, trace: &mut Trace) -> Result<Recommendation, ConfigureError> {
+        self.run_with(Some(trace))
+    }
+
+    fn run_with(&self, mut trace: Option<&mut Trace>) -> Result<Recommendation, ConfigureError> {
+        let topo = self.cluster.topology();
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(EventKind::RunStart {
+                schema: SCHEMA_VERSION,
+                seed: self.options.seed,
+                gpus: topo.num_gpus(),
+                global_batch: self.global_batch,
+            });
+        }
+
         // Line 1: profile the actual bandwidth matrix.
         let (profiled, profiling_cost) = self
             .cluster
@@ -239,11 +309,12 @@ impl<'a> Pipette<'a> {
             .profile(self.cluster.bandwidth(), self.options.seed);
 
         // Memory estimator: pretrained > cached > trained now.
-        let (estimator, training_time) = match (&self.pretrained, self.estimator_cache) {
-            (Some(e), _) => (e.clone(), Duration::ZERO),
+        let (estimator, training_time, cached) = match (&self.pretrained, self.estimator_cache) {
+            (Some(e), _) => (e.clone(), Duration::ZERO, true),
             (None, Some(cache)) => {
                 let start = Instant::now();
                 let (spec, truth) = self.profiling_spec();
+                let hits_before = cache.hits();
                 let e = cache.get_or_train(
                     &spec,
                     self.gpt,
@@ -251,15 +322,38 @@ impl<'a> Pipette<'a> {
                     &truth,
                     self.options.threads,
                 );
-                (e, start.elapsed())
+                (e, start.elapsed(), cache.hits() > hits_before)
             }
             (None, None) => {
                 let (e, t, _) = self.train_memory_estimator();
-                (e, t)
+                (e, t, false)
             }
         };
 
-        let topo = self.cluster.topology();
+        if let Some(t) = trace.as_deref_mut() {
+            let summary = estimator.train_summary();
+            t.push(EventKind::MemTrain {
+                samples: summary.samples,
+                iterations: summary.iterations,
+                final_loss: summary.final_loss,
+                cached,
+            });
+            for (i, &loss) in summary.loss_curve.iter().enumerate() {
+                t.push(EventKind::MemLoss {
+                    iteration: i * summary.record_every,
+                    loss,
+                });
+            }
+            if let Some(cache) = self.estimator_cache {
+                let c = cache.counters();
+                t.push(EventKind::CacheStats {
+                    hits: c.hits,
+                    misses: c.misses,
+                    corrupt: c.corrupt,
+                });
+            }
+        }
+
         let limit = self.cluster.gpu().memory_bytes;
         let profiler = ComputeProfiler::default();
         let gpu = self.cluster.gpu().clone();
@@ -300,6 +394,19 @@ impl<'a> Pipette<'a> {
         let runnable = estimator.is_runnable_batch(&features, limit, self.options.threads);
         let mem_time = t0.elapsed();
 
+        if let Some(t) = trace.as_deref_mut() {
+            let accepted = runnable.iter().filter(|&&r| r).count();
+            t.push(EventKind::MemScreen {
+                examined,
+                accepted,
+                rejected: examined - accepted,
+            });
+        }
+
+        // When tracing, the closure computes the term breakdown instead of
+        // the bare estimate; `breakdown.total_seconds` is bit-identical to
+        // `estimate()` (see `latency::terms`), so the search is unchanged.
+        let tracing = trace.is_some();
         let evaluated = parallel::ordered_map(self.options.threads, &work, |i, &(cfg, plan)| {
             if !runnable[i] {
                 return None;
@@ -313,20 +420,31 @@ impl<'a> Pipette<'a> {
                 self.options.seed,
             );
             let identity = Mapping::identity(cfg, *topo);
-            let est = latency.estimate(cfg, &identity, plan, &compute);
+            let (est, explanation) = if tracing {
+                let ex = latency.breakdown(cfg, &identity, plan, &compute);
+                (ex.terms.total_seconds, Some(ex))
+            } else {
+                (latency.estimate(cfg, &identity, plan, &compute), None)
+            };
             Some(Candidate {
                 config: cfg,
                 plan,
                 compute,
                 identity_estimate: est,
+                explanation,
             })
         });
 
         let mut candidates: Vec<Candidate> = Vec::with_capacity(evaluated.len());
         let mut rejected = 0usize;
-        for cand in evaluated {
+        for (i, cand) in evaluated.into_iter().enumerate() {
             match cand {
-                Some(c) => candidates.push(c),
+                Some(c) => {
+                    if let (Some(t), Some(ex)) = (trace.as_deref_mut(), c.explanation) {
+                        telemetry::push_latency_estimate(t, i, c.config, c.plan, &ex);
+                    }
+                    candidates.push(c);
+                }
                 None => rejected += 1,
             }
         }
@@ -346,9 +464,8 @@ impl<'a> Pipette<'a> {
 
         // Lines 9-15: fine-grained worker dedication on the most promising
         // candidates.
-        let mut best_cfg = candidates[0].config;
-        let mut best_plan = candidates[0].plan;
-        let mut best_mapping = Mapping::identity(best_cfg, *topo);
+        let mut best_idx = 0usize;
+        let mut best_mapping = Mapping::identity(candidates[0].config, *topo);
         let mut best_t = candidates[0].identity_estimate;
         let mut best_stats: Option<AnnealStats> = None;
         let mut sa_time = Duration::ZERO;
@@ -358,8 +475,11 @@ impl<'a> Pipette<'a> {
             // through the incremental objective (bit-identical to the
             // closure path, see `mapping::objective`), so the annealed
             // results are independent of thread count and identical to the
-            // old one-candidate-at-a-time loop.
+            // old one-candidate-at-a-time loop. Traced passes record into
+            // child traces that are absorbed below in candidate order —
+            // the merged stream never depends on thread scheduling.
             let k = self.options.sa_top_k.max(1).min(candidates.len());
+            let proto: Option<&Trace> = trace.as_deref();
             let annealed =
                 parallel::ordered_map(self.options.threads, &candidates[..k], |i, cand| {
                     let initial = Mapping::identity(cand.config, *topo);
@@ -372,13 +492,25 @@ impl<'a> Pipette<'a> {
                     );
                     let mut sa_cfg = self.options.annealer;
                     sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
-                    Annealer::new(sa_cfg).anneal_with(&initial, &mut objective)
+                    let annealer = Annealer::new(sa_cfg);
+                    match proto.map(|p| p.child()) {
+                        Some(mut child) => {
+                            let mut observer = SaTraceObserver::new(&mut child, i);
+                            let result =
+                                annealer.anneal_observed(&initial, &mut objective, &mut observer);
+                            observer.finish(&result.2);
+                            (result, Some(child))
+                        }
+                        None => (annealer.anneal_with(&initial, &mut objective), None),
+                    }
                 });
-            for (i, (mapping, cost, stats)) in annealed.into_iter().enumerate() {
+            for (i, ((mapping, cost, stats), child)) in annealed.into_iter().enumerate() {
+                if let (Some(t), Some(child)) = (trace.as_deref_mut(), child) {
+                    t.absorb(child);
+                }
                 sa_time += stats.elapsed;
                 if cost < best_t {
-                    best_cfg = candidates[i].config;
-                    best_plan = candidates[i].plan;
+                    best_idx = i;
                     best_mapping = mapping;
                     best_t = cost;
                     best_stats = Some(stats);
@@ -386,18 +518,65 @@ impl<'a> Pipette<'a> {
             }
         }
 
-        let alternatives: Vec<(ParallelConfig, MicrobatchPlan)> = candidates
+        let winner = &candidates[best_idx];
+        let (best_cfg, best_plan) = (winner.config, winner.plan);
+
+        // The winner's breakdown under its *final* (possibly annealed)
+        // mapping; the batch and incremental paths share one reduction, so
+        // this recomputation reproduces `best_t` bit for bit.
+        let breakdown = latency.breakdown(best_cfg, &best_mapping, best_plan, &winner.compute);
+        debug_assert_eq!(breakdown.terms.total_seconds.to_bits(), best_t.to_bits());
+        let memory = MemoryHeadroom {
+            predicted_bytes: estimator.predict_bytes(&MemorySample::features_for(
+                self.gpt,
+                topo.num_gpus(),
+                best_cfg,
+                best_plan,
+                self.global_batch,
+            )),
+            limit_bytes: limit,
+            soft_margin: estimator.soft_margin(),
+        };
+
+        let alternatives: Vec<Alternative> = candidates
             .iter()
             .filter(|c| !(c.config == best_cfg && c.plan == best_plan))
-            .map(|c| (c.config, c.plan))
+            .map(|c| Alternative {
+                config: c.config,
+                plan: c.plan,
+                estimated_seconds: c.identity_estimate,
+            })
             .take(self.options.top_n)
             .collect();
+
+        if let Some(t) = trace {
+            t.push(EventKind::MemHeadroom {
+                predicted_bytes: memory.predicted_bytes,
+                limit_bytes: memory.limit_bytes,
+                soft_margin: memory.soft_margin,
+                headroom_fraction: memory.headroom_fraction(),
+            });
+            telemetry::push_recommendation(t, best_cfg, best_plan, &breakdown);
+            for (rank, alt) in alternatives.iter().enumerate() {
+                t.push(EventKind::Alternative {
+                    rank: rank + 1,
+                    pp: alt.config.pp,
+                    tp: alt.config.tp,
+                    dp: alt.config.dp,
+                    micro_batch: alt.plan.micro_batch,
+                    seconds: alt.estimated_seconds,
+                    delta_seconds: alt.estimated_seconds - best_t,
+                });
+            }
+        }
 
         Ok(Recommendation {
             config: best_cfg,
             plan: best_plan,
             mapping: best_mapping,
             estimated_seconds: best_t,
+            breakdown,
+            memory,
             overhead: OverheadReport {
                 bandwidth_profiling: Duration::from_secs_f64(profiling_cost.seconds),
                 simulated_annealing: sa_time,
@@ -407,6 +586,7 @@ impl<'a> Pipette<'a> {
             examined,
             memory_rejected: rejected,
             anneal_stats: best_stats,
+            cache_counters: self.estimator_cache.map(TrainedEstimatorCache::counters),
             alternatives,
         })
     }

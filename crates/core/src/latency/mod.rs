@@ -15,4 +15,5 @@ pub mod terms;
 
 pub use amp_model::{AmpLatencyModel, Eq1Flavor};
 pub use extrapolate::ComputeExtrapolator;
-pub use pipette_model::PipetteLatencyModel;
+pub use pipette_model::{LatencyExplanation, PipetteLatencyModel, SlowLink};
+pub use terms::LatencyBreakdown;

@@ -14,10 +14,38 @@
 //! bandwidth matrix; compute terms use profiled timings.
 
 use crate::latency::terms;
-use pipette_cluster::{BandwidthMatrix, ProfiledBandwidth};
-use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
+use crate::latency::terms::LatencyBreakdown;
+use pipette_cluster::{BandwidthMatrix, GpuId, ProfiledBandwidth};
+use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig, WorkerId};
 use pipette_sim::iteration::OPTIMIZER_STEP_S;
-use pipette_sim::{Mapping, ProfiledCompute};
+use pipette_sim::{CommModel, Mapping, ProfiledCompute};
+
+/// The slowest inter-stage pipeline link of the critical replica — the
+/// "straggler link" a cluster operator would go inspect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowLink {
+    /// Sending GPU.
+    pub from: GpuId,
+    /// Receiving GPU.
+    pub to: GpuId,
+    /// Pipeline stage on the sending side (the hop is `stage → stage+1`).
+    pub stage: usize,
+    /// Round-trip transfer seconds over this link for one microbatch's
+    /// activations + gradients.
+    pub seconds: f64,
+}
+
+/// A latency estimate with its Eq. 3–6 decomposition and the identity of
+/// the straggler link ([`PipetteLatencyModel::breakdown`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyExplanation {
+    /// The term decomposition; `terms.total_seconds` is bit-identical to
+    /// [`PipetteLatencyModel::estimate`] on the same inputs.
+    pub terms: LatencyBreakdown,
+    /// Slowest pipeline hop of the critical replica; `None` when `pp = 1`
+    /// (no inter-stage links exist).
+    pub slow_link: Option<SlowLink>,
+}
 
 /// Latency estimator bound to one profiled cluster and model.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +118,82 @@ impl<'a> PipetteLatencyModel<'a> {
             |x, z| terms::t_pp_chain_hop(self.profiled, mapping, msg_pp, z, x),
             &mut stage_cost,
         )
+    }
+
+    /// [`Self::estimate`] with the full Eq. 3–6 decomposition and the
+    /// identity of the slowest pipeline link. Costs one extra pass over
+    /// the mapping's hops; the returned `terms.total_seconds` is bitwise
+    /// equal to what `estimate` returns for the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::estimate`].
+    pub fn breakdown(
+        &self,
+        cfg: ParallelConfig,
+        mapping: &Mapping,
+        plan: MicrobatchPlan,
+        compute: &ProfiledCompute,
+    ) -> LatencyExplanation {
+        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        assert_eq!(
+            mapping.config(),
+            cfg,
+            "mapping built for another configuration"
+        );
+        let msg_pp = messages::pp_message_bytes(self.gpt, plan.micro_batch);
+        let dp_times: Vec<f64> = (0..cfg.pp)
+            .map(|s| terms::t_dp_stage(self.profiled, mapping, self.gpt, s))
+            .collect();
+        let mut stage_cost = Vec::with_capacity(cfg.pp);
+        let terms = terms::reduce_latency_breakdown(
+            cfg,
+            plan,
+            compute,
+            &dp_times,
+            |s, z| terms::t_tp_stage(self.profiled, mapping, self.gpt, plan.micro_batch, s, z),
+            |x, z| terms::t_pp_chain_hop(self.profiled, mapping, msg_pp, z, x),
+            &mut stage_cost,
+        );
+        LatencyExplanation {
+            terms,
+            slow_link: self.slow_link(mapping, msg_pp, terms.critical_replica),
+        }
+    }
+
+    /// The slowest `(stage → stage+1)` tensor-rank link of replica `z`,
+    /// measured as a forward+backward round trip of the pipeline message.
+    fn slow_link(&self, mapping: &Mapping, msg_pp: u64, z: usize) -> Option<SlowLink> {
+        let cfg = mapping.config();
+        if cfg.pp < 2 {
+            return None;
+        }
+        let comm = CommModel::new(self.profiled);
+        let mut worst: Option<SlowLink> = None;
+        for x in 0..cfg.pp - 1 {
+            for y in 0..cfg.tp {
+                let a = mapping.gpu_of(WorkerId {
+                    stage: x,
+                    tensor: y,
+                    data: z,
+                });
+                let b = mapping.gpu_of(WorkerId {
+                    stage: x + 1,
+                    tensor: y,
+                    data: z,
+                });
+                let seconds = comm.p2p(a, b, msg_pp) + comm.p2p(b, a, msg_pp);
+                if worst.is_none_or(|w| seconds > w.seconds) {
+                    worst = Some(SlowLink {
+                        from: a,
+                        to: b,
+                        stage: x,
+                        seconds,
+                    });
+                }
+            }
+        }
+        worst
     }
 
     /// Latency estimate for the *interleaved* 1F1B schedule with `v`
@@ -313,6 +417,39 @@ mod tests {
                 err < tolerance,
                 "{cfg} v={v} micro={micro}: est {est:.3} vs sim {truth:.3} ({err:.3})"
             );
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_estimate_and_names_slow_link() {
+        let (cluster, gpt) = setup();
+        let gpu = cluster.gpu().clone();
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 3);
+        let model = PipetteLatencyModel::new(&profiled, &gpt);
+        for (cfg, micro) in [
+            (ParallelConfig::new(2, 4, 2), 2u64),
+            (ParallelConfig::new(4, 4, 1), 2),
+            (ParallelConfig::new(1, 8, 2), 4),
+        ] {
+            let mapping = Mapping::identity(cfg, *cluster.topology());
+            let plan = MicrobatchPlan::new(32, micro).unwrap();
+            let compute =
+                ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 4);
+            let est = model.estimate(cfg, &mapping, plan, &compute);
+            let ex = model.breakdown(cfg, &mapping, plan, &compute);
+            assert_eq!(
+                est.to_bits(),
+                ex.terms.total_seconds.to_bits(),
+                "{cfg}: breakdown total diverged"
+            );
+            if cfg.pp >= 2 {
+                let link = ex.slow_link.expect("pp >= 2 has pipeline links");
+                assert_ne!(link.from, link.to);
+                assert!(link.seconds > 0.0);
+                assert!(link.stage + 1 < cfg.pp);
+            } else {
+                assert_eq!(ex.slow_link, None);
+            }
         }
     }
 

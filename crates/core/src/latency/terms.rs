@@ -249,6 +249,113 @@ where
     worst + OPTIMIZER_STEP_S
 }
 
+/// The Eq. 3–6 decomposition of one latency estimate, as recorded for
+/// telemetry and `pipette explain`.
+///
+/// `total_seconds` is **bit-identical** to what [`reduce_latency`] returns
+/// for the same inputs ([`reduce_latency_breakdown`] mirrors its arithmetic
+/// op for op; `reduce_is_bitwise_equal_to_breakdown` guards the invariant).
+/// The component terms are reported for the critical replica — the one
+/// whose chain + exposed DP sync gates the iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// The full estimate: critical replica's path plus the optimizer step.
+    pub total_seconds: f64,
+    /// Straggler steady-state term (Eq. 4): `n_mb · max_s C_s`.
+    pub t_straggler: f64,
+    /// Pipeline fill+drain bubble (Eq. 4): `(pp − 1) · C̄ + T_pp`.
+    pub t_bubble: f64,
+    /// Hidden-critical-path term (§V): `loops · loop_excess`.
+    pub t_hidden: f64,
+    /// Exposed data-parallel all-reduce (Eq. 6) after backward-wave slack.
+    pub t_dp: f64,
+    /// Constant optimizer-step cost added on top of the critical path.
+    pub t_optimizer: f64,
+    /// Data replica whose critical path gates the iteration.
+    pub critical_replica: usize,
+    /// Stage with the largest compute + tensor-parallel cost in that
+    /// replica (first such stage on ties).
+    pub straggler_stage: usize,
+}
+
+/// [`reduce_latency`], but also reporting where the time went.
+///
+/// Mirrors [`reduce_latency`]'s floating-point operations in the same
+/// order, so `breakdown.total_seconds` is bitwise equal to the plain
+/// estimate. Kept separate from the hot-path reduction (which the SA inner
+/// loop calls thousands of times per pass) so instrumentation costs
+/// nothing when not asked for.
+pub fn reduce_latency_breakdown<FT, FH>(
+    cfg: ParallelConfig,
+    plan: MicrobatchPlan,
+    compute: &ProfiledCompute,
+    dp_times: &[f64],
+    mut tp_term: FT,
+    mut hop: FH,
+    stage_cost: &mut Vec<f64>,
+) -> LatencyBreakdown
+where
+    FT: FnMut(usize, usize) -> f64,
+    FH: FnMut(usize, usize) -> f64,
+{
+    let pp = cfg.pp as f64;
+    let mut worst = 0.0f64;
+    let mut best = LatencyBreakdown {
+        total_seconds: 0.0,
+        t_straggler: 0.0,
+        t_bubble: 0.0,
+        t_hidden: 0.0,
+        t_dp: 0.0,
+        t_optimizer: OPTIMIZER_STEP_S,
+        critical_replica: 0,
+        straggler_stage: 0,
+    };
+    for z in 0..cfg.dp {
+        stage_cost.clear();
+        stage_cost.extend((0..cfg.pp).map(|s| compute.compute(s) + tp_term(s, z)));
+        let sum: f64 = stage_cost.iter().sum();
+        let max = stage_cost.iter().cloned().fold(0.0, f64::max);
+        let mean = sum / pp;
+        let mut t_pp = 0.0;
+        for x in 0..cfg.pp.saturating_sub(1) {
+            t_pp += hop(x, z);
+        }
+        let loops = (plan.n_microbatches as f64 / pp - 1.0).max(0.0);
+        let loop_excess = (sum + t_pp - pp * max).max(0.0);
+        let chain =
+            plan.n_microbatches as f64 * max + (pp - 1.0) * mean + t_pp + loops * loop_excess;
+
+        let mut gap = 0.0;
+        let mut dp_exposed: f64 = dp_times[0];
+        for s in 1..cfg.pp {
+            gap += 2.0 * stage_cost[s - 1] / 3.0 + hop(s - 1, z) / 2.0;
+            dp_exposed = dp_exposed.max(dp_times[s] - gap);
+        }
+        let total = chain + dp_exposed;
+        if z == 0 || total > worst {
+            let mut straggler_stage = 0;
+            for (s, &c) in stage_cost.iter().enumerate() {
+                if c > stage_cost[straggler_stage] {
+                    straggler_stage = s;
+                }
+            }
+            best = LatencyBreakdown {
+                total_seconds: 0.0, // filled below from `worst`
+                t_straggler: plan.n_microbatches as f64 * max,
+                t_bubble: (pp - 1.0) * mean + t_pp,
+                t_hidden: loops * loop_excess,
+                t_dp: dp_exposed,
+                t_optimizer: OPTIMIZER_STEP_S,
+                critical_replica: z,
+                straggler_stage,
+            };
+        }
+        worst = worst.max(total);
+    }
+    best.total_seconds = worst + OPTIMIZER_STEP_S;
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +421,55 @@ mod tests {
         let cfg = ParallelConfig::new(4, 1, 8);
         let m = Mapping::identity(cfg, *c.topology());
         assert_eq!(t_tp_stage(c.bandwidth(), &m, &gpt, 2, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn reduce_is_bitwise_equal_to_breakdown() {
+        use pipette_sim::ComputeProfiler;
+        let (c, gpt) = setup();
+        for (cfg, micro, mini) in [
+            (ParallelConfig::new(2, 4, 4), 2u64, 32u64),
+            (ParallelConfig::new(4, 8, 1), 2, 64),
+            (ParallelConfig::new(1, 8, 4), 4, 16),
+            (ParallelConfig::new(8, 2, 2), 1, 32),
+        ] {
+            let m = Mapping::identity(cfg, *c.topology());
+            let plan = pipette_model::MicrobatchPlan::new(mini, micro).unwrap();
+            let compute =
+                ComputeProfiler::default().profile(c.bandwidth(), c.gpu(), &gpt, cfg, plan, 4);
+            let msg_pp = messages::pp_message_bytes(&gpt, plan.micro_batch);
+            let dp_times: Vec<f64> = (0..cfg.pp)
+                .map(|s| t_dp_stage(c.bandwidth(), &m, &gpt, s))
+                .collect();
+            let mut scratch = Vec::new();
+            let plain = reduce_latency(
+                cfg,
+                plan,
+                &compute,
+                &dp_times,
+                |s, z| t_tp_stage(c.bandwidth(), &m, &gpt, plan.micro_batch, s, z),
+                |x, z| t_pp_chain_hop(c.bandwidth(), &m, msg_pp, z, x),
+                &mut scratch,
+            );
+            let breakdown = reduce_latency_breakdown(
+                cfg,
+                plan,
+                &compute,
+                &dp_times,
+                |s, z| t_tp_stage(c.bandwidth(), &m, &gpt, plan.micro_batch, s, z),
+                |x, z| t_pp_chain_hop(c.bandwidth(), &m, msg_pp, z, x),
+                &mut scratch,
+            );
+            assert_eq!(
+                plain.to_bits(),
+                breakdown.total_seconds.to_bits(),
+                "{cfg}: breakdown diverged from the estimate"
+            );
+            assert!(breakdown.critical_replica < cfg.dp);
+            assert!(breakdown.straggler_stage < cfg.pp);
+            assert!(breakdown.t_straggler > 0.0);
+            assert_eq!(breakdown.t_optimizer, OPTIMIZER_STEP_S);
+        }
     }
 
     #[test]

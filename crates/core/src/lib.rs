@@ -49,8 +49,9 @@ pub mod mapping;
 pub mod memory;
 pub mod parallel;
 pub mod report;
+pub mod telemetry;
 
-pub use configurator::{Pipette, PipetteOptions, Recommendation};
+pub use configurator::{Alternative, MemoryHeadroom, Pipette, PipetteOptions, Recommendation};
 pub use error::ConfigureError;
 pub use latency::{AmpLatencyModel, Eq1Flavor, PipetteLatencyModel};
 pub use mapping::{AnnealStats, Annealer, AnnealerConfig};

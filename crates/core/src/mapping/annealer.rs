@@ -101,6 +101,45 @@ impl AnnealStats {
     }
 }
 
+/// Everything known about one annealing decision, handed to an
+/// [`SaObserver`] after the accept/reject verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaMoveRecord {
+    /// Iteration index within this annealing run (0-based).
+    pub iteration: usize,
+    /// Which move was proposed.
+    pub kind: MoveKind,
+    /// Objective delta of the proposal (`cost − current_cost`; negative is
+    /// an improvement).
+    pub delta: f64,
+    /// Temperature at the decision.
+    pub temperature: f64,
+    /// Whether the move was accepted (downhill, or uphill by the
+    /// Metropolis draw).
+    pub accepted: bool,
+    /// Objective of the current mapping *after* applying the verdict.
+    pub current_cost: f64,
+    /// Best objective seen so far.
+    pub best_cost: f64,
+}
+
+/// Hook into the annealing loop, called once per iteration after the
+/// accept/reject decision. Observers never touch the RNG, so an observed
+/// run takes bit-identical decisions to an unobserved one.
+pub trait SaObserver {
+    /// One decision was taken.
+    fn on_move(&mut self, record: &SaMoveRecord);
+}
+
+/// The default observer: does nothing, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOpObserver;
+
+impl SaObserver for NoOpObserver {
+    #[inline(always)]
+    fn on_move(&mut self, _record: &SaMoveRecord) {}
+}
+
 /// Simulated-annealing searcher over mappings.
 ///
 /// ```
@@ -172,6 +211,19 @@ impl Annealer {
         &self,
         initial: &Mapping,
         objective: &mut O,
+    ) -> (Mapping, f64, AnnealStats) {
+        self.anneal_observed(initial, objective, &mut NoOpObserver)
+    }
+
+    /// [`Annealer::anneal_with`] with an [`SaObserver`] receiving every
+    /// accept/reject decision. The observer sits outside the RNG stream,
+    /// so the returned mapping, cost, and stats are bit-identical to the
+    /// unobserved run (`observer_does_not_change_the_search` asserts this).
+    pub fn anneal_observed<O: Objective, Obs: SaObserver>(
+        &self,
+        initial: &Mapping,
+        objective: &mut O,
+        observer: &mut Obs,
     ) -> (Mapping, f64, AnnealStats) {
         let start = Instant::now();
         let block = initial.config().tp.max(1);
@@ -246,6 +298,15 @@ impl Annealer {
                 objective.rollback();
                 mv.inverse().apply(current.as_mut_slice(), block);
             }
+            observer.on_move(&SaMoveRecord {
+                iteration: it,
+                kind,
+                delta,
+                temperature: temp,
+                accepted: accept,
+                current_cost,
+                best_cost,
+            });
             temp *= self.config.alpha;
         }
 
@@ -433,6 +494,54 @@ mod tests {
         let (_, _, stats) = Annealer::new(cfg).anneal(&initial, |m| m.as_slice()[0].0 as f64);
         assert_eq!(stats.evaluations, 124); // initial + iterations
         assert!(stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn observer_does_not_change_the_search() {
+        let initial = setup(4, 2, 2);
+        let target: Vec<usize> = (0..16).rev().collect();
+        let cfg = AnnealerConfig {
+            iterations: 2_000,
+            seed: 9,
+            ..Default::default()
+        };
+
+        /// Records everything and checks internal consistency.
+        #[derive(Default)]
+        struct Recorder {
+            records: Vec<SaMoveRecord>,
+        }
+        impl SaObserver for Recorder {
+            fn on_move(&mut self, r: &SaMoveRecord) {
+                self.records.push(*r);
+            }
+        }
+
+        let mut rec = Recorder::default();
+        let observed = Annealer::new(cfg).anneal_observed(
+            &initial,
+            &mut FnObjective::new(displacement_cost(&target)),
+            &mut rec,
+        );
+        let plain = Annealer::new(cfg).anneal(&initial, displacement_cost(&target));
+        assert_eq!(observed.0, plain.0, "observer changed the best mapping");
+        assert_eq!(observed.1.to_bits(), plain.1.to_bits());
+        assert_eq!(observed.2.evaluations, plain.2.evaluations);
+        assert_eq!(observed.2.accepted, plain.2.accepted);
+
+        assert_eq!(rec.records.len(), cfg.iterations);
+        let accepted = rec.records.iter().filter(|r| r.accepted).count();
+        assert_eq!(accepted, observed.2.accepted);
+        // Iterations are sequential, temperature decays, best never rises.
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r.iteration, i);
+            if i > 0 {
+                assert!(r.temperature < rec.records[i - 1].temperature);
+                assert!(r.best_cost <= rec.records[i - 1].best_cost);
+            }
+        }
+        let last = rec.records.last().unwrap();
+        assert_eq!(last.best_cost, observed.2.best_cost);
     }
 
     #[test]

@@ -11,7 +11,7 @@ mod moves;
 mod objective;
 mod search;
 
-pub use annealer::{AnnealStats, Annealer, AnnealerConfig};
+pub use annealer::{AnnealStats, Annealer, AnnealerConfig, NoOpObserver, SaMoveRecord, SaObserver};
 pub use moves::{Move, MoveKind};
 pub use objective::{FnObjective, IncrementalObjective, Objective};
 pub use search::{greedy_swap, random_search};

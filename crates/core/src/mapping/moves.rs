@@ -32,6 +32,18 @@ pub enum MoveKind {
     Reverse,
 }
 
+impl MoveKind {
+    /// Stable lowercase name for telemetry (`"migration"`, `"swap"`,
+    /// `"reverse"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MoveKind::Migration => "migration",
+            MoveKind::Swap => "swap",
+            MoveKind::Reverse => "reverse",
+        }
+    }
+}
+
 /// A candidate perturbation of the assignment string.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Move {

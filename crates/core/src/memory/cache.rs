@@ -22,7 +22,7 @@ use crate::memory::dataset::{collect_samples_parallel, SampleSpec};
 use crate::memory::estimator::{MemoryEstimator, MemoryEstimatorConfig};
 use pipette_model::GptConfig;
 use pipette_sim::MemorySim;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,10 +57,24 @@ pub fn estimator_fingerprint(
     hash
 }
 
+/// Snapshot of a cache's lookup counters, for reports and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that had to train (including corrupt-entry retrains).
+    pub misses: u64,
+    /// Disk entries that existed but failed to parse and were retrained
+    /// (each such miss is counted in `misses` too). Nonzero is normal
+    /// exactly once after an estimator schema change; persistent growth
+    /// means something is clobbering the cache directory.
+    pub corrupt: u64,
+}
+
 /// In-memory (and optionally on-disk) cache of trained memory estimators.
 ///
-/// Thread-safe behind `&self`; hit/miss counters let callers (and the CI
-/// perf smoke job) assert that a warm `configure()` really skipped
+/// Thread-safe behind `&self`; hit/miss/corrupt counters let callers (and
+/// the CI perf smoke job) assert that a warm `configure()` really skipped
 /// training.
 #[derive(Debug, Default)]
 pub struct TrainedEstimatorCache {
@@ -68,6 +82,7 @@ pub struct TrainedEstimatorCache {
     entries: Mutex<HashMap<u64, MemoryEstimator>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
 }
 
 impl TrainedEstimatorCache {
@@ -96,6 +111,21 @@ impl TrainedEstimatorCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of on-disk entries that existed but failed to parse (each
+    /// also counted as a miss and retrained).
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// All lookup counters in one snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits(),
+            misses: self.misses(),
+            corrupt: self.corrupt(),
+        }
+    }
+
     /// Entries currently held in memory.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache lock").len()
@@ -115,7 +145,15 @@ impl TrainedEstimatorCache {
     fn load_from_disk(&self, fp: u64) -> Option<MemoryEstimator> {
         let path = self.disk_path(fp)?;
         let text = std::fs::read_to_string(path).ok()?;
-        serde_json::from_str(&text).ok()
+        // The file exists: a parse failure here is a *corrupt* entry
+        // (truncated write, schema change), not a plain miss.
+        match serde_json::from_str(&text) {
+            Ok(estimator) => Some(estimator),
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     fn store_to_disk(&self, fp: u64, estimator: &MemoryEstimator) {
@@ -263,7 +301,32 @@ mod tests {
         .unwrap();
         let cache = TrainedEstimatorCache::with_dir(&dir);
         let _ = cache.get_or_train(&spec, &gpt, &config, &truth, 1);
-        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 0,
+                misses: 1,
+                corrupt: 1,
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_miss_is_not_corrupt() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-plain-miss");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TrainedEstimatorCache::with_dir(&dir);
+        let _ = cache.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 0,
+                misses: 1,
+                corrupt: 0,
+            }
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -67,6 +67,24 @@ impl MemoryEstimatorConfig {
     }
 }
 
+/// How the estimator's MLP training went — kept on the trained estimator
+/// (and in its cache entries) so a warm run can still report the loss
+/// curve of the training that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSummary {
+    /// Profiled samples in the training corpus.
+    pub samples: usize,
+    /// Adam iterations taken.
+    pub iterations: usize,
+    /// Cadence of [`Self::loss_curve`] (one point per `record_every`
+    /// iterations).
+    pub record_every: usize,
+    /// Minibatch loss of the final step.
+    pub final_loss: f64,
+    /// Sampled loss curve.
+    pub loss_curve: Vec<f64>,
+}
+
 /// The trained estimator.
 ///
 /// ```
@@ -101,6 +119,8 @@ pub struct MemoryEstimator {
     seq_len: usize,
     /// Vocabulary size of the profiled models.
     vocab: usize,
+    /// Telemetry of the training run that produced this estimator.
+    train_summary: TrainSummary,
 }
 
 fn log_features(features: &[f64; 10]) -> Vec<f64> {
@@ -188,7 +208,7 @@ impl MemoryEstimator {
         widths.extend(std::iter::repeat_n(config.hidden, config.depth));
         widths.push(1);
         let mut mlp = Mlp::new(&widths, config.seed);
-        mlp.fit_with_threads(&x, &y, &config.train, threads);
+        let report = mlp.fit_with_threads(&x, &y, &config.train, threads);
 
         Self {
             mlp,
@@ -198,7 +218,20 @@ impl MemoryEstimator {
             soft_margin: config.soft_margin,
             seq_len,
             vocab,
+            train_summary: TrainSummary {
+                samples: samples.len(),
+                iterations: report.iterations,
+                record_every: config.train.record_every,
+                final_loss: report.final_loss,
+                loss_curve: report.loss_curve,
+            },
         }
+    }
+
+    /// Telemetry of the training run that produced this estimator (also
+    /// available on cache-loaded instances).
+    pub fn train_summary(&self) -> &TrainSummary {
+        &self.train_summary
     }
 
     /// The soft margin in use.
@@ -382,6 +415,24 @@ mod tests {
         // Zero-margin variant accepts the exact limit.
         let loose = est.clone().with_soft_margin(0.0);
         assert!(loose.is_runnable(&s.features, p + (p / 50)));
+    }
+
+    #[test]
+    fn train_summary_describes_the_run() {
+        let samples = corpus();
+        let config = quick_config();
+        let est = MemoryEstimator::train(&samples, &config);
+        let s = est.train_summary();
+        assert_eq!(s.samples, samples.len());
+        assert_eq!(s.iterations, config.train.iterations);
+        assert_eq!(s.record_every, config.train.record_every);
+        assert_eq!(
+            s.loss_curve.len(),
+            config.train.iterations.div_ceil(config.train.record_every)
+        );
+        assert!(s.final_loss.is_finite());
+        // Training converges: the curve ends well below where it starts.
+        assert!(s.loss_curve.last().unwrap() < s.loss_curve.first().unwrap());
     }
 
     #[test]

@@ -9,7 +9,7 @@ mod dataset;
 mod estimator;
 
 pub use analytic::AnalyticMemoryEstimator;
-pub use cache::{estimator_fingerprint, TrainedEstimatorCache};
+pub use cache::{estimator_fingerprint, CacheCounters, TrainedEstimatorCache};
 pub use calibration::{calibrate, CalibrationReport};
 pub use dataset::{collect_samples, collect_samples_parallel, MemorySample, SampleSpec};
-pub use estimator::{MemoryEstimator, MemoryEstimatorConfig};
+pub use estimator::{MemoryEstimator, MemoryEstimatorConfig, TrainSummary};

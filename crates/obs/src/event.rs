@@ -1,0 +1,703 @@
+//! The telemetry event vocabulary and its JSONL encoding.
+//!
+//! One [`Event`] becomes one JSON object on one line. Field order is
+//! fixed (`seq`, `kind`, payload fields in declaration order, then the
+//! optional `wall_ms` annotation), floats use Rust's shortest
+//! round-trip formatting, and non-finite floats serialize as `null` —
+//! so byte-equality of two trace files is exactly event-equality.
+
+use std::fmt::Write as _;
+
+/// Version stamp recorded in the `run_start` event; bump when the event
+/// vocabulary or field meanings change incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One telemetry event: a typed payload plus the optional wall-clock
+/// annotation (milliseconds since the trace epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Milliseconds since [`crate::Trace`] creation, present only when
+    /// [`crate::TraceConfig::wall_clock`] is on. Excluded from
+    /// bit-comparability guarantees.
+    pub wall_ms: Option<f64>,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Everything the Pipette pipeline can report. Logical coordinates
+/// (candidate rank, SA iteration, training iteration, …) live inside the
+/// payload; the global sequence number is the JSONL line index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A configurator run began.
+    RunStart {
+        /// Telemetry schema version ([`SCHEMA_VERSION`]).
+        schema: u32,
+        /// Search seed of the run.
+        seed: u64,
+        /// GPUs in the target cluster.
+        gpus: usize,
+        /// Global batch size being configured for.
+        global_batch: u64,
+    },
+    /// The memory estimator finished training (or loaded from cache).
+    MemTrain {
+        /// Profiled samples in the training corpus.
+        samples: usize,
+        /// Adam iterations taken.
+        iterations: usize,
+        /// Loss of the final step.
+        final_loss: f64,
+        /// Whether the estimator came out of a [`cache`](Self::CacheStats)
+        /// rather than being trained in this run.
+        cached: bool,
+    },
+    /// One recorded point of the memory-estimator training loss curve.
+    MemLoss {
+        /// Training iteration the loss was sampled at.
+        iteration: usize,
+        /// Minibatch loss at that iteration.
+        loss: f64,
+    },
+    /// Outcome of the batched memory screen over the candidate space.
+    MemScreen {
+        /// Candidates examined (Algorithm 1 loop trips).
+        examined: usize,
+        /// Candidates that passed the screen.
+        accepted: usize,
+        /// Candidates rejected as not runnable.
+        rejected: usize,
+    },
+    /// Predicted memory headroom of the final recommendation.
+    MemHeadroom {
+        /// Estimator-predicted peak bytes of the recommended config.
+        predicted_bytes: u64,
+        /// Per-GPU memory capacity.
+        limit_bytes: u64,
+        /// Soft margin the screen applied on top of the prediction.
+        soft_margin: f64,
+        /// `1 - predicted/limit` — slack before the raw prediction
+        /// exhausts the GPU.
+        headroom_fraction: f64,
+    },
+    /// Trained-estimator cache counters at the end of the run.
+    CacheStats {
+        /// Lookups answered from memory or disk.
+        hits: u64,
+        /// Lookups that had to train.
+        misses: u64,
+        /// On-disk entries that existed but failed to parse (retrained).
+        corrupt: u64,
+    },
+    /// Eq. 3–6 term breakdown of one screened candidate under the
+    /// identity mapping.
+    LatencyEstimate {
+        /// Candidate index in enumeration order.
+        candidate: usize,
+        /// Pipeline ways.
+        pp: usize,
+        /// Tensor ways.
+        tp: usize,
+        /// Data ways.
+        dp: usize,
+        /// Microbatch size.
+        micro_batch: u64,
+        /// Microbatches per iteration per replica.
+        n_microbatches: u64,
+        /// Total estimated iteration seconds.
+        seconds: f64,
+        /// Pipeline fill/drain bubble term (Eq. 4).
+        t_bubble: f64,
+        /// Straggler steady-state term (Eq. 4).
+        t_straggler: f64,
+        /// Hidden-critical-path term (§V).
+        t_hidden: f64,
+        /// Exposed data-parallel all-reduce term (Eq. 6).
+        t_dp: f64,
+        /// Stage with the largest compute + TP cost.
+        straggler_stage: usize,
+    },
+    /// One simulated-annealing move (sampled every
+    /// [`crate::TraceConfig::sa_move_sample_every`] iterations).
+    SaMove {
+        /// Candidate rank (0 = best identity estimate) this SA pass
+        /// belongs to.
+        candidate: usize,
+        /// SA iteration within the pass.
+        iteration: usize,
+        /// Move kind (`"migration"`, `"swap"`, `"reverse"`).
+        kind: &'static str,
+        /// Objective delta of the proposal (ΔJ, seconds).
+        delta: f64,
+        /// Temperature at the decision.
+        temperature: f64,
+        /// Whether the move was accepted.
+        accepted: bool,
+    },
+    /// Rolling SA convergence summary (every
+    /// [`crate::TraceConfig::sa_summary_every`] iterations).
+    SaSummary {
+        /// Candidate rank this SA pass belongs to.
+        candidate: usize,
+        /// SA iteration the window ended at.
+        iteration: usize,
+        /// Accepted / proposed within the window.
+        acceptance_rate: f64,
+        /// Objective of the current mapping.
+        current_cost: f64,
+        /// Best objective seen so far.
+        best_cost: f64,
+        /// Temperature at the end of the window.
+        temperature: f64,
+    },
+    /// Final statistics of one SA pass.
+    SaResult {
+        /// Candidate rank this SA pass belongs to.
+        candidate: usize,
+        /// Objective evaluations performed.
+        evaluations: usize,
+        /// Accepted moves (including uphill).
+        accepted: usize,
+        /// Strict best-cost improvements.
+        improvements: usize,
+        /// Cost of the initial (identity) mapping.
+        initial_cost: f64,
+        /// Cost of the best mapping found.
+        best_cost: f64,
+    },
+    /// The winning configuration with its full Eq. 3–6 breakdown.
+    Recommendation {
+        /// Pipeline ways.
+        pp: usize,
+        /// Tensor ways.
+        tp: usize,
+        /// Data ways.
+        dp: usize,
+        /// Microbatch size.
+        micro_batch: u64,
+        /// Microbatches per iteration per replica.
+        n_microbatches: u64,
+        /// Estimated iteration seconds under the chosen mapping.
+        seconds: f64,
+        /// Pipeline fill/drain bubble term.
+        t_bubble: f64,
+        /// Straggler steady-state term.
+        t_straggler: f64,
+        /// Hidden-critical-path term.
+        t_hidden: f64,
+        /// Exposed data-parallel all-reduce term.
+        t_dp: f64,
+        /// Optimizer-step constant.
+        t_optimizer: f64,
+        /// Stage with the largest compute + TP cost.
+        straggler_stage: usize,
+        /// Source GPU of the slowest pipeline hop (absent when `pp = 1`).
+        slow_link_from: Option<usize>,
+        /// Destination GPU of the slowest pipeline hop.
+        slow_link_to: Option<usize>,
+        /// Round-trip seconds over that hop.
+        slow_link_seconds: Option<f64>,
+    },
+    /// One ranked runner-up configuration.
+    Alternative {
+        /// Rank (1 = first runner-up).
+        rank: usize,
+        /// Pipeline ways.
+        pp: usize,
+        /// Tensor ways.
+        tp: usize,
+        /// Data ways.
+        dp: usize,
+        /// Microbatch size.
+        micro_batch: u64,
+        /// Identity-mapping estimated iteration seconds.
+        seconds: f64,
+        /// Estimate delta vs. the recommendation (seconds, ≥ 0).
+        delta_seconds: f64,
+    },
+    /// One executed pipeline task exported from the simulator's trace.
+    SimTask {
+        /// Pipeline stage (device) the task ran on.
+        stage: usize,
+        /// `"F"` (forward) or `"B"` (backward).
+        kind: &'static str,
+        /// Microbatch index.
+        microbatch: u64,
+        /// Start time, simulated seconds.
+        start: f64,
+        /// Finish time, simulated seconds.
+        finish: f64,
+    },
+    /// A named monotonic counter, flushed from [`crate::Metrics`].
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A named histogram summary, flushed from [`crate::Metrics`].
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Values recorded.
+        count: u64,
+        /// Sum of recorded values.
+        sum: f64,
+        /// Smallest recorded value.
+        min: f64,
+        /// Largest recorded value.
+        max: f64,
+        /// Sparse power-of-two buckets as `(binary exponent, count)`.
+        buckets: Vec<(i32, u64)>,
+    },
+}
+
+impl EventKind {
+    /// The event's `kind` tag as written to JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run_start",
+            EventKind::MemTrain { .. } => "mem_train",
+            EventKind::MemLoss { .. } => "mem_loss",
+            EventKind::MemScreen { .. } => "mem_screen",
+            EventKind::MemHeadroom { .. } => "mem_headroom",
+            EventKind::CacheStats { .. } => "cache_stats",
+            EventKind::LatencyEstimate { .. } => "latency_estimate",
+            EventKind::SaMove { .. } => "sa_move",
+            EventKind::SaSummary { .. } => "sa_summary",
+            EventKind::SaResult { .. } => "sa_result",
+            EventKind::Recommendation { .. } => "recommendation",
+            EventKind::Alternative { .. } => "alternative",
+            EventKind::SimTask { .. } => "sim_task",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// Minimal JSON object writer with a fixed field order.
+struct Obj<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> Obj<'a> {
+    fn open(out: &'a mut String) -> Self {
+        out.push('{');
+        Self { out }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.out.ends_with('{') {
+            self.out.push(',');
+        }
+        push_json_string(self.out, name);
+        self.out.push(':');
+    }
+
+    fn uint(&mut self, name: &str, v: u64) {
+        self.key(name);
+        let _ = write!(self.out, "{v}");
+    }
+
+    fn float(&mut self, name: &str, v: f64) {
+        self.key(name);
+        push_f64(self.out, v);
+    }
+
+    fn boolean(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    fn string(&mut self, name: &str, v: &str) {
+        self.key(name);
+        push_json_string(self.out, v);
+    }
+
+    fn close(self) {
+        self.out.push('}');
+    }
+}
+
+/// Shortest-round-trip float; non-finite values become `null` (JSON has
+/// no NaN/Inf).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's `Display` for f64 is the shortest decimal string that
+        // parses back to the same bits — a valid JSON number (it never
+        // emits exponent notation for finite values in this range).
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Event {
+    /// Appends this event as one JSON line (no trailing newline) with the
+    /// given sequence number. With `strip_wall`, the wall-clock annotation
+    /// is omitted even when recorded — the bit-comparable form.
+    pub fn write_json(&self, seq: usize, strip_wall: bool, out: &mut String) {
+        let mut o = Obj::open(out);
+        o.uint("seq", seq as u64);
+        o.string("kind", self.kind.kind());
+        match &self.kind {
+            EventKind::RunStart {
+                schema,
+                seed,
+                gpus,
+                global_batch,
+            } => {
+                o.uint("schema", u64::from(*schema));
+                o.uint("seed", *seed);
+                o.uint("gpus", *gpus as u64);
+                o.uint("global_batch", *global_batch);
+            }
+            EventKind::MemTrain {
+                samples,
+                iterations,
+                final_loss,
+                cached,
+            } => {
+                o.uint("samples", *samples as u64);
+                o.uint("iterations", *iterations as u64);
+                o.float("final_loss", *final_loss);
+                o.boolean("cached", *cached);
+            }
+            EventKind::MemLoss { iteration, loss } => {
+                o.uint("iteration", *iteration as u64);
+                o.float("loss", *loss);
+            }
+            EventKind::MemScreen {
+                examined,
+                accepted,
+                rejected,
+            } => {
+                o.uint("examined", *examined as u64);
+                o.uint("accepted", *accepted as u64);
+                o.uint("rejected", *rejected as u64);
+            }
+            EventKind::MemHeadroom {
+                predicted_bytes,
+                limit_bytes,
+                soft_margin,
+                headroom_fraction,
+            } => {
+                o.uint("predicted_bytes", *predicted_bytes);
+                o.uint("limit_bytes", *limit_bytes);
+                o.float("soft_margin", *soft_margin);
+                o.float("headroom_fraction", *headroom_fraction);
+            }
+            EventKind::CacheStats {
+                hits,
+                misses,
+                corrupt,
+            } => {
+                o.uint("hits", *hits);
+                o.uint("misses", *misses);
+                o.uint("corrupt", *corrupt);
+            }
+            EventKind::LatencyEstimate {
+                candidate,
+                pp,
+                tp,
+                dp,
+                micro_batch,
+                n_microbatches,
+                seconds,
+                t_bubble,
+                t_straggler,
+                t_hidden,
+                t_dp,
+                straggler_stage,
+            } => {
+                o.uint("candidate", *candidate as u64);
+                o.uint("pp", *pp as u64);
+                o.uint("tp", *tp as u64);
+                o.uint("dp", *dp as u64);
+                o.uint("micro_batch", *micro_batch);
+                o.uint("n_microbatches", *n_microbatches);
+                o.float("seconds", *seconds);
+                o.float("t_bubble", *t_bubble);
+                o.float("t_straggler", *t_straggler);
+                o.float("t_hidden", *t_hidden);
+                o.float("t_dp", *t_dp);
+                o.uint("straggler_stage", *straggler_stage as u64);
+            }
+            EventKind::SaMove {
+                candidate,
+                iteration,
+                kind,
+                delta,
+                temperature,
+                accepted,
+            } => {
+                o.uint("candidate", *candidate as u64);
+                o.uint("iteration", *iteration as u64);
+                o.string("move", kind);
+                o.float("delta", *delta);
+                o.float("temperature", *temperature);
+                o.boolean("accepted", *accepted);
+            }
+            EventKind::SaSummary {
+                candidate,
+                iteration,
+                acceptance_rate,
+                current_cost,
+                best_cost,
+                temperature,
+            } => {
+                o.uint("candidate", *candidate as u64);
+                o.uint("iteration", *iteration as u64);
+                o.float("acceptance_rate", *acceptance_rate);
+                o.float("current_cost", *current_cost);
+                o.float("best_cost", *best_cost);
+                o.float("temperature", *temperature);
+            }
+            EventKind::SaResult {
+                candidate,
+                evaluations,
+                accepted,
+                improvements,
+                initial_cost,
+                best_cost,
+            } => {
+                o.uint("candidate", *candidate as u64);
+                o.uint("evaluations", *evaluations as u64);
+                o.uint("accepted", *accepted as u64);
+                o.uint("improvements", *improvements as u64);
+                o.float("initial_cost", *initial_cost);
+                o.float("best_cost", *best_cost);
+            }
+            EventKind::Recommendation {
+                pp,
+                tp,
+                dp,
+                micro_batch,
+                n_microbatches,
+                seconds,
+                t_bubble,
+                t_straggler,
+                t_hidden,
+                t_dp,
+                t_optimizer,
+                straggler_stage,
+                slow_link_from,
+                slow_link_to,
+                slow_link_seconds,
+            } => {
+                o.uint("pp", *pp as u64);
+                o.uint("tp", *tp as u64);
+                o.uint("dp", *dp as u64);
+                o.uint("micro_batch", *micro_batch);
+                o.uint("n_microbatches", *n_microbatches);
+                o.float("seconds", *seconds);
+                o.float("t_bubble", *t_bubble);
+                o.float("t_straggler", *t_straggler);
+                o.float("t_hidden", *t_hidden);
+                o.float("t_dp", *t_dp);
+                o.float("t_optimizer", *t_optimizer);
+                o.uint("straggler_stage", *straggler_stage as u64);
+                match slow_link_from {
+                    Some(g) => o.uint("slow_link_from", *g as u64),
+                    None => {
+                        o.key("slow_link_from");
+                        o.out.push_str("null");
+                    }
+                }
+                match slow_link_to {
+                    Some(g) => o.uint("slow_link_to", *g as u64),
+                    None => {
+                        o.key("slow_link_to");
+                        o.out.push_str("null");
+                    }
+                }
+                match slow_link_seconds {
+                    Some(s) => o.float("slow_link_seconds", *s),
+                    None => {
+                        o.key("slow_link_seconds");
+                        o.out.push_str("null");
+                    }
+                }
+            }
+            EventKind::Alternative {
+                rank,
+                pp,
+                tp,
+                dp,
+                micro_batch,
+                seconds,
+                delta_seconds,
+            } => {
+                o.uint("rank", *rank as u64);
+                o.uint("pp", *pp as u64);
+                o.uint("tp", *tp as u64);
+                o.uint("dp", *dp as u64);
+                o.uint("micro_batch", *micro_batch);
+                o.float("seconds", *seconds);
+                o.float("delta_seconds", *delta_seconds);
+            }
+            EventKind::SimTask {
+                stage,
+                kind,
+                microbatch,
+                start,
+                finish,
+            } => {
+                o.uint("stage", *stage as u64);
+                o.string("task", kind);
+                o.uint("microbatch", *microbatch);
+                o.float("start", *start);
+                o.float("finish", *finish);
+            }
+            EventKind::Counter { name, value } => {
+                o.string("name", name);
+                o.uint("value", *value);
+            }
+            EventKind::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            } => {
+                o.string("name", name);
+                o.uint("count", *count);
+                o.float("sum", *sum);
+                o.float("min", *min);
+                o.float("max", *max);
+                o.key("buckets");
+                o.out.push('[');
+                for (i, (exp, n)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        o.out.push(',');
+                    }
+                    let _ = write!(o.out, "[{exp},{n}]");
+                }
+                o.out.push(']');
+            }
+        }
+        if !strip_wall {
+            if let Some(w) = self.wall_ms {
+                o.float("wall_ms", w);
+            }
+        }
+        o.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_has_fixed_shape() {
+        let e = Event {
+            wall_ms: None,
+            kind: EventKind::MemLoss {
+                iteration: 400,
+                loss: 0.125,
+            },
+        };
+        let mut out = String::new();
+        e.write_json(7, false, &mut out);
+        assert_eq!(
+            out,
+            r#"{"seq":7,"kind":"mem_loss","iteration":400,"loss":0.125}"#
+        );
+    }
+
+    #[test]
+    fn wall_clock_is_a_strippable_suffix() {
+        let e = Event {
+            wall_ms: Some(1.5),
+            kind: EventKind::MemLoss {
+                iteration: 1,
+                loss: 2.0,
+            },
+        };
+        let mut with = String::new();
+        e.write_json(0, false, &mut with);
+        let mut without = String::new();
+        e.write_json(0, true, &mut without);
+        assert!(with.ends_with(r#","wall_ms":1.5}"#));
+        assert_eq!(with.replace(r#","wall_ms":1.5"#, ""), without);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event {
+            wall_ms: None,
+            kind: EventKind::MemLoss {
+                iteration: 0,
+                loss: f64::NAN,
+            },
+        };
+        let mut out = String::new();
+        e.write_json(0, false, &mut out);
+        assert!(out.contains(r#""loss":null"#));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn every_kind_has_a_tag() {
+        let kinds = [
+            EventKind::RunStart {
+                schema: 1,
+                seed: 0,
+                gpus: 16,
+                global_batch: 64,
+            }
+            .kind(),
+            EventKind::CacheStats {
+                hits: 0,
+                misses: 1,
+                corrupt: 0,
+            }
+            .kind(),
+            EventKind::SimTask {
+                stage: 0,
+                kind: "F",
+                microbatch: 0,
+                start: 0.0,
+                finish: 1.0,
+            }
+            .kind(),
+        ];
+        assert_eq!(kinds, ["run_start", "cache_stats", "sim_task"]);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        let mut out = String::new();
+        push_f64(&mut out, 0.1 + 0.2);
+        assert_eq!(out, "0.30000000000000004");
+        let mut out = String::new();
+        push_f64(&mut out, 3.0);
+        assert_eq!(out, "3");
+    }
+}

@@ -1,0 +1,207 @@
+//! Named counters and histograms that flush into a [`Trace`].
+//!
+//! Histograms bucket by the value's IEEE-754 binary exponent — a
+//! platform-independent, branch-free `log2` floor — so two runs that
+//! record the same values always produce the same buckets, and summaries
+//! stay compact (one `(exponent, count)` pair per occupied power of two).
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// A monotonic counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A histogram over non-negative `f64` values with sparse power-of-two
+/// buckets keyed by binary exponent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// Bucket key: the unbiased IEEE-754 exponent of `|v|`. Zero and
+/// subnormals share the smallest bucket (−1023); this is `floor(log2)`
+/// for normal values, computed without floating-point math.
+fn exponent_bucket(v: f64) -> i32 {
+    (((v.abs().to_bits() >> 52) & 0x7ff) as i32) - 1023
+}
+
+impl Histogram {
+    /// Records one value. Non-finite values are counted (in `count`/`sum`
+    /// propagation rules of `f64`) but land in a sentinel bucket of 1024.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let bucket = if v.is_finite() {
+            exponent_bucket(v)
+        } else {
+            1024
+        };
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Occupied buckets as sorted `(binary exponent, count)` pairs.
+    pub fn buckets(&self) -> Vec<(i32, u64)> {
+        self.buckets.iter().map(|(&e, &n)| (e, n)).collect()
+    }
+}
+
+/// A registry of named counters and histograms. `BTreeMap`s keep flush
+/// order sorted by name, hence deterministic.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Emits every counter then every histogram into `trace` as
+    /// `counter` / `histogram` events, sorted by name.
+    pub fn emit_into(&self, trace: &mut Trace) {
+        for (name, c) in &self.counters {
+            trace.push(EventKind::Counter {
+                name: name.clone(),
+                value: c.get(),
+            });
+        }
+        for (name, h) in &self.histograms {
+            trace.push(EventKind::Histogram {
+                name: name.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                buckets: h.buckets(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_bucket_is_floor_log2() {
+        assert_eq!(exponent_bucket(1.0), 0);
+        assert_eq!(exponent_bucket(1.99), 0);
+        assert_eq!(exponent_bucket(2.0), 1);
+        assert_eq!(exponent_bucket(0.5), -1);
+        assert_eq!(exponent_bucket(0.75), -1);
+        assert_eq!(exponent_bucket(1e-3), -10);
+        assert_eq!(exponent_bucket(-4.0), 2);
+        assert_eq!(exponent_bucket(0.0), -1023);
+    }
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        let mut h = Histogram::default();
+        for v in [0.25, 0.5, 1.0, 1.5, 8.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 11.25);
+        assert_eq!(h.min(), 0.25);
+        assert_eq!(h.max(), 8.0);
+        assert_eq!(h.buckets(), vec![(-2, 1), (-1, 1), (0, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn metrics_emit_sorted_by_name() {
+        let mut m = Metrics::new();
+        m.counter("z_last").add(1);
+        m.counter("a_first").add(2);
+        m.histogram("mid").record(1.0);
+        let mut t = Trace::default();
+        m.emit_into(&mut t);
+        let names: Vec<String> = t
+            .events()
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Counter { name, .. } => name.clone(),
+                EventKind::Histogram { name, .. } => name.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, ["a_first", "z_last", "mid"]);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut m = Metrics::new();
+        m.counter("evals").inc();
+        m.counter("evals").add(9);
+        assert_eq!(m.counter("evals").get(), 10);
+    }
+}

@@ -4,6 +4,7 @@
 //! sit, whether the hidden critical path binds, which stage straggles.
 
 use crate::schedule::{Task, TaskKind};
+use pipette_obs::{EventKind, Trace};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -20,17 +21,65 @@ pub struct TaskEvent {
     pub finish: f64,
 }
 
+/// Why a Gantt chart could not be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GanttError {
+    /// The event list was empty — there is nothing to draw.
+    NoEvents,
+    /// The requested chart is too narrow to be legible.
+    WidthTooSmall {
+        /// The width that was requested.
+        width: usize,
+        /// The smallest width `render_gantt` accepts.
+        min: usize,
+    },
+}
+
+impl std::fmt::Display for GanttError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GanttError::NoEvents => write!(f, "nothing to render: empty event list"),
+            GanttError::WidthTooSmall { width, min } => {
+                write!(f, "chart width {width} too small (need at least {min})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GanttError {}
+
+/// Minimum chart width accepted by [`render_gantt`].
+pub const MIN_GANTT_WIDTH: usize = 10;
+
 /// Renders a fixed-width text Gantt chart of a trace: one row per stage,
 /// `F`/`B` cells for forward/backward work, `.` for idle.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width < 10` or `events` is empty.
-pub fn render_gantt(events: &[TaskEvent], stages: usize, width: usize) -> String {
-    assert!(width >= 10, "need at least 10 columns");
-    assert!(!events.is_empty(), "nothing to render");
+/// Returns [`GanttError::WidthTooSmall`] if `width < 10` and
+/// [`GanttError::NoEvents`] if `events` is empty.
+pub fn render_gantt(
+    events: &[TaskEvent],
+    stages: usize,
+    width: usize,
+) -> Result<String, GanttError> {
+    if width < MIN_GANTT_WIDTH {
+        return Err(GanttError::WidthTooSmall {
+            width,
+            min: MIN_GANTT_WIDTH,
+        });
+    }
+    if events.is_empty() {
+        return Err(GanttError::NoEvents);
+    }
     let makespan = events.iter().map(|e| e.finish).fold(0.0, f64::max);
-    let scale = width as f64 / makespan;
+    // A degenerate trace (all tasks at t = 0) still renders: everything
+    // collapses into the first column instead of dividing by zero.
+    let scale = if makespan > 0.0 {
+        width as f64 / makespan
+    } else {
+        0.0
+    };
     let mut out = String::new();
     for stage in 0..stages {
         let mut row = vec!['.'; width];
@@ -52,10 +101,13 @@ pub fn render_gantt(events: &[TaskEvent], stages: usize, width: usize) -> String
         );
     }
     let _ = writeln!(out, "          0 {:>w$.3} s", makespan, w = width - 2);
-    out
+    Ok(out)
 }
 
 /// Idle fraction per stage computed from a trace.
+///
+/// Empty-safe: with no events (or a zero makespan) every stage reports
+/// an idle fraction of `0.0` rather than dividing by zero.
 pub fn idle_fractions(events: &[TaskEvent], stages: usize) -> Vec<f64> {
     let makespan = events.iter().map(|e| e.finish).fold(0.0, f64::max);
     (0..stages)
@@ -72,6 +124,24 @@ pub fn idle_fractions(events: &[TaskEvent], stages: usize) -> Vec<f64> {
             }
         })
         .collect()
+}
+
+/// Exports a simulator trace into an observability [`Trace`] as
+/// [`EventKind::SimTask`] events, one per executed task, in simulator
+/// emission order (deterministic for a fixed schedule).
+pub fn export_task_events(events: &[TaskEvent], trace: &mut Trace) {
+    for e in events {
+        trace.push(EventKind::SimTask {
+            stage: e.stage,
+            kind: match e.task.kind {
+                TaskKind::Forward => "F",
+                TaskKind::Backward => "B",
+            },
+            microbatch: e.task.microbatch,
+            start: e.start,
+            finish: e.finish,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -112,9 +182,60 @@ mod tests {
     #[test]
     fn gantt_renders_all_stages() {
         let (_, events) = traced();
-        let chart = render_gantt(&events, 3, 60);
+        let chart = render_gantt(&events, 3, 60).expect("renderable");
         assert_eq!(chart.lines().count(), 4);
         assert!(chart.contains('F') && chart.contains('B'));
+    }
+
+    #[test]
+    fn gantt_rejects_empty_and_narrow_inputs() {
+        let (_, events) = traced();
+        assert_eq!(render_gantt(&[], 3, 60), Err(GanttError::NoEvents));
+        assert_eq!(
+            render_gantt(&events, 3, 9),
+            Err(GanttError::WidthTooSmall { width: 9, min: 10 })
+        );
+        // The width check fires first so the error is deterministic.
+        assert_eq!(
+            render_gantt(&[], 3, 0),
+            Err(GanttError::WidthTooSmall { width: 0, min: 10 })
+        );
+        let msg = GanttError::WidthTooSmall { width: 9, min: 10 }.to_string();
+        assert!(msg.contains('9') && msg.contains("10"), "{msg}");
+    }
+
+    #[test]
+    fn gantt_survives_a_zero_makespan_trace() {
+        let events = [TaskEvent {
+            stage: 0,
+            task: Task {
+                kind: TaskKind::Forward,
+                microbatch: 0,
+            },
+            start: 0.0,
+            finish: 0.0,
+        }];
+        let chart = render_gantt(&events, 1, 20).expect("degenerate but renderable");
+        assert!(chart.starts_with("stage  0 |F"));
+    }
+
+    #[test]
+    fn idle_fractions_is_empty_safe() {
+        assert_eq!(idle_fractions(&[], 4), vec![0.0; 4]);
+        assert!(idle_fractions(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn export_mirrors_the_event_list() {
+        let (_, events) = traced();
+        let mut trace = Trace::new(pipette_obs::TraceConfig::default());
+        export_task_events(&events, &mut trace);
+        assert_eq!(trace.len(), events.len());
+        assert_eq!(trace.count_kind("sim_task"), events.len());
+        let jsonl = trace.to_jsonl();
+        let first = jsonl.lines().next().expect("one line per event");
+        assert!(first.contains("\"kind\":\"sim_task\""), "{first}");
+        assert!(first.contains("\"task\":\"F\""), "{first}");
     }
 
     #[test]

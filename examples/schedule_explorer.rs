@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let (result, events) = spec.trace();
         println!("{schedule:?} — makespan {:.3} s", result.makespan);
-        print!("{}", render_gantt(&events, cfg.pp, 76));
+        print!(
+            "{}",
+            render_gantt(&events, cfg.pp, 76).expect("traced schedule is non-empty")
+        );
         let idle = idle_fractions(&events, cfg.pp);
         let idle_str: Vec<String> = idle.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
         println!("idle per stage: {}\n", idle_str.join(" "));

@@ -161,7 +161,12 @@ fn alternatives_are_ordered_and_exclude_winner() {
     assert!(
         !rec.alternatives
             .iter()
-            .any(|&(c, p)| c == rec.config && p == rec.plan),
+            .any(|a| a.config == rec.config && a.plan == rec.plan),
         "winner must not appear among alternatives"
     );
+    // Ranked best-first by identity-mapping estimate.
+    assert!(rec
+        .alternatives
+        .windows(2)
+        .all(|w| w[0].estimated_seconds <= w[1].estimated_seconds));
 }

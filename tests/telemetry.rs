@@ -1,0 +1,121 @@
+//! Telemetry integration tests: the structured trace must be bitwise
+//! deterministic — independent of thread count and identical across
+//! repeated runs — and must cover every phase of Algorithm 1.
+
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette_cluster::presets;
+use pipette_model::GptConfig;
+use pipette_obs::{Trace, TraceConfig};
+
+fn small_gpt() -> GptConfig {
+    GptConfig::new(8, 1024, 16, 2048, 51200)
+}
+
+fn traced_run(threads: usize, config: TraceConfig) -> (Trace, pipette::Recommendation) {
+    let cluster = presets::mid_range(2).build(5);
+    let gpt = small_gpt();
+    let mut options = PipetteOptions::fast_test();
+    options.seed = 21;
+    options.threads = threads;
+    let mut trace = Trace::new(config);
+    let rec = Pipette::new(&cluster, &gpt, 64, options)
+        .run_traced(&mut trace)
+        .expect("feasible space");
+    (trace, rec)
+}
+
+#[test]
+fn trace_is_identical_across_thread_counts() {
+    // Full-resolution tracing (every SA move) is the strongest check:
+    // any thread-dependent interleaving would reorder or change lines.
+    let (t1, r1) = traced_run(1, TraceConfig::full());
+    let (t8, r8) = traced_run(8, TraceConfig::full());
+    assert_eq!(r1.config, r8.config);
+    assert_eq!(r1.mapping, r8.mapping);
+    assert_eq!(
+        r1.estimated_seconds.to_bits(),
+        r8.estimated_seconds.to_bits()
+    );
+    let a = t1.to_jsonl_stripped();
+    let b = t8.to_jsonl_stripped();
+    if a != b {
+        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            assert_eq!(la, lb, "first divergence at line {i}");
+        }
+        assert_eq!(a.lines().count(), b.lines().count());
+    }
+}
+
+#[test]
+fn trace_is_identical_across_repeated_runs() {
+    let (a, _) = traced_run(4, TraceConfig::default());
+    let (b, _) = traced_run(4, TraceConfig::default());
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+}
+
+#[test]
+fn wall_clock_is_the_only_difference_when_enabled() {
+    let timed = TraceConfig {
+        wall_clock: true,
+        ..TraceConfig::default()
+    };
+    let (with_wall, _) = traced_run(2, timed);
+    let (without, _) = traced_run(2, TraceConfig::default());
+    // Stripping the wall-clock annotation recovers the logical trace.
+    assert_eq!(with_wall.to_jsonl_stripped(), without.to_jsonl());
+    assert!(with_wall.to_jsonl().contains("\"wall_ms\""));
+    assert!(!without.to_jsonl().contains("\"wall_ms\""));
+}
+
+#[test]
+fn trace_covers_every_phase_of_algorithm_1() {
+    let (trace, rec) = traced_run(2, TraceConfig::full());
+    for kind in [
+        "run_start",
+        "mem_train",
+        "mem_loss",
+        "mem_screen",
+        "mem_headroom",
+        "latency_estimate",
+        "sa_move",
+        "sa_summary",
+        "sa_result",
+        "recommendation",
+        "alternative",
+    ] {
+        assert!(trace.count_kind(kind) > 0, "no {kind} events recorded");
+    }
+    assert_eq!(trace.count_kind("run_start"), 1);
+    assert_eq!(trace.count_kind("recommendation"), 1);
+    assert_eq!(
+        trace.count_kind("alternative"),
+        rec.alternatives.len(),
+        "one alternative event per runner-up"
+    );
+    // The trace opens with the run header.
+    let jsonl = trace.to_jsonl();
+    let first = jsonl.lines().next().expect("non-empty trace");
+    assert!(
+        first.starts_with("{\"seq\":0,\"kind\":\"run_start\""),
+        "{first}"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_the_recommendation() {
+    let cluster = presets::mid_range(2).build(5);
+    let gpt = small_gpt();
+    let mut options = PipetteOptions::fast_test();
+    options.seed = 21;
+    let plain = Pipette::new(&cluster, &gpt, 64, options)
+        .run()
+        .expect("feasible");
+    let (_, traced) = traced_run(pipette::parallel::default_threads(), TraceConfig::full());
+    assert_eq!(plain.config, traced.config);
+    assert_eq!(plain.plan, traced.plan);
+    assert_eq!(plain.mapping, traced.mapping);
+    assert_eq!(
+        plain.estimated_seconds.to_bits(),
+        traced.estimated_seconds.to_bits()
+    );
+}
