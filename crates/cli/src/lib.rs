@@ -7,8 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsonscan;
 pub mod report;
 pub mod spec;
 
-pub use report::{render_explain, run_compare, run_configure, run_configure_traced, CliReport};
-pub use spec::{ClusterSpec, JobSpec, ModelSpec, SpecError};
+pub use report::{
+    render_drill, render_explain, run_compare, run_configure, run_configure_traced,
+    run_drill_traced, CliReport, DrillReport,
+};
+pub use spec::{parse_fault_plan_strict, ClusterSpec, JobSpec, ModelSpec, SpecError};

@@ -7,7 +7,11 @@
 //! pipette-cli example-spec              # print a starter job.json
 //! ```
 
-use pipette_cli::{render_explain, run_compare, run_configure_traced, JobSpec};
+use pipette_cli::{
+    parse_fault_plan_strict, render_drill, render_explain, run_compare, run_configure_traced,
+    run_drill_traced, JobSpec,
+};
+use pipette_cluster::FaultPlan;
 use pipette_obs::{Trace, TraceConfig};
 use std::process::ExitCode;
 
@@ -24,23 +28,38 @@ const EXAMPLE_SPEC: &str = r#"{
 fn usage() -> ExitCode {
     eprintln!("usage: pipette-cli <configure|compare> <job.json> [--json] [--trace-out <path>]");
     eprintln!("       pipette-cli explain <job.json> [--trace-out <path>]");
+    eprintln!(
+        "       pipette-cli drill <job.json> --faults <plan.json> [--json] [--trace-out <path>]"
+    );
     eprintln!("       pipette-cli import-mpigraph <table.txt> <gpus-per-node>");
-    eprintln!("       pipette-cli example-spec");
+    eprintln!("       pipette-cli example-spec [--faults]");
     eprintln!();
     eprintln!("  --trace-out writes a deterministic JSONL telemetry trace of the run");
+    eprintln!("  drill replays a fault plan: robust profiling, node exclusion, reconfiguration");
     ExitCode::from(2)
 }
 
-/// Extracts the value of `--trace-out <path>` from the argument list.
-fn trace_out_arg(args: &[String]) -> Result<Option<String>, String> {
-    match args.iter().position(|a| a == "--trace-out") {
+const EXAMPLE_FAULT_PLAN: &str = r#"{
+  "seed": 1,
+  "degraded_links": [ { "from_node": 0, "to_node": 1, "factor": 0.25 } ],
+  "straggler_gpus": [ { "gpu": 3, "slowdown": 2.0 } ],
+  "failed_gpus": [ 12 ],
+  "failed_nodes": [],
+  "corrupt_pairs": [ { "from_gpu": 0, "to_gpu": 8, "kind": "nan" } ],
+  "measurement_failure_rate": 0.05,
+  "sample_loss_rate": 0.0
+}"#;
+
+/// Extracts the value of `--<name> <value>` from the argument list.
+fn value_arg(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
             .map(Some)
-            .ok_or_else(|| "--trace-out needs a file path".to_owned()),
+            .ok_or_else(|| format!("{name} needs a file path")),
     }
 }
 
@@ -51,7 +70,11 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "example-spec" => {
-            println!("{EXAMPLE_SPEC}");
+            if args.iter().any(|a| a == "--faults") {
+                println!("{EXAMPLE_FAULT_PLAN}");
+            } else {
+                println!("{EXAMPLE_SPEC}");
+            }
             ExitCode::SUCCESS
         }
         "import-mpigraph" => {
@@ -72,21 +95,28 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "configure" | "compare" | "explain" => {
+        "configure" | "compare" | "explain" | "drill" => {
             let Some(path) = args.get(1) else {
                 return usage();
             };
             let json_output = args.iter().any(|a| a == "--json");
-            let trace_out = match trace_out_arg(&args) {
-                Ok(t) => t,
-                Err(e) => {
+            let (trace_out, faults_path) = match (
+                value_arg(&args, "--trace-out"),
+                value_arg(&args, "--faults"),
+            ) {
+                (Ok(t), Ok(f)) => (t, f),
+                (Err(e), _) | (_, Err(e)) => {
                     eprintln!("error: {e}");
                     return usage();
                 }
             };
+            if command == "drill" && faults_path.is_none() {
+                eprintln!("error: drill needs --faults <plan.json>");
+                return usage();
+            }
             let spec: JobSpec = match std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
-                .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+                .and_then(|text| JobSpec::parse_strict(&text).map_err(|e| e.to_string()))
             {
                 Ok(spec) => spec,
                 Err(e) => {
@@ -94,9 +124,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let result = match command.as_str() {
-                "configure" => configure(&spec, json_output, trace_out.as_deref()),
-                "explain" => explain(&spec, trace_out.as_deref()),
+            let faults = match faults_path.as_deref().map(read_fault_plan).transpose() {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // `configure --faults plan.json` is a synonym for `drill`:
+            // a configuration run that degrades gracefully under faults.
+            let result = match (command.as_str(), &faults) {
+                ("configure", None) => configure(&spec, json_output, trace_out.as_deref()),
+                ("configure" | "drill", Some(plan)) => {
+                    drill(&spec, plan, json_output, trace_out.as_deref())
+                }
+                ("explain", _) => explain(&spec, trace_out.as_deref()),
                 _ => compare(&spec, json_output),
             };
             match result {
@@ -109,6 +151,15 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// Reads and strictly parses a fault plan file.
+fn read_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read fault plan {path}: {e}"))
+        .and_then(|text| {
+            parse_fault_plan_strict(&text).map_err(|e| format!("fault plan {path}: {e}"))
+        })
 }
 
 /// Parses an mpiGraph bandwidth table into a cluster JSON (mid-range
@@ -181,6 +232,30 @@ fn configure(
         "search                    : {} candidates, {} rejected by the memory estimator",
         report.examined, report.memory_rejected
     );
+    Ok(())
+}
+
+fn drill(
+    spec: &JobSpec,
+    plan: &FaultPlan,
+    json: bool,
+    trace_out: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let run = |trace: Option<&mut Trace>| run_drill_traced(spec, plan, trace);
+    let (report, outcome) = match trace_out {
+        None => run(None)?,
+        Some(path) => {
+            let mut trace = Trace::new(TraceConfig::default());
+            let result = run(Some(&mut trace));
+            trace.write_jsonl(std::path::Path::new(path))?;
+            result?
+        }
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        print!("{}", render_drill(&report, &outcome));
+    }
     Ok(())
 }
 

@@ -3,8 +3,10 @@
 use crate::spec::JobSpec;
 use pipette::baselines::{first_runnable, AmpConfigurator, MegatronTuner, VarunaConfigurator};
 use pipette::configurator::{Pipette, PipetteOptions, Recommendation};
+use pipette::degraded::{run_under_faults, DegradedOutcome};
 use pipette::mapping::AnnealerConfig;
 use pipette::memory::CacheCounters;
+use pipette_cluster::{FaultPlan, RobustProfilingPolicy};
 use pipette_obs::Trace;
 use pipette_sim::ClusterRun;
 use serde::{Deserialize, Serialize};
@@ -110,6 +112,139 @@ pub fn run_configure_traced(
         estimator_cache: rec.cache_counters,
     };
     Ok((report, rec))
+}
+
+/// Machine-readable result of a `drill` run: the degraded
+/// recommendation plus the robustness accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrillReport {
+    /// The recommendation for the surviving subcluster (verified on it).
+    pub recommendation: CliReport,
+    /// GPUs the healthy cluster had.
+    pub healthy_gpus: usize,
+    /// GPUs that survived the fault plan.
+    pub surviving_gpus: usize,
+    /// GPU indices taken out of service.
+    pub excluded_gpus: Vec<usize>,
+    /// Retry attempts the robust profiler spent.
+    pub profiler_retries: usize,
+    /// Pairs whose bandwidth had to be imputed from topology priors.
+    pub imputed_pairs: usize,
+    /// Profiler samples discarded as NaN/zero/implausible.
+    pub corrupt_samples: usize,
+    /// Whether memory screening fell back to the analytic model.
+    pub analytic_memory_fallback: bool,
+    /// `degraded_seconds / healthy_seconds` when GPUs were lost.
+    #[serde(default)]
+    pub slowdown_factor: Option<f64>,
+}
+
+/// Runs the spec's job under a fault plan: robust profiling, exclusion
+/// of failed nodes, reconfiguration on the survivors, analytic fallback
+/// if estimator training degenerates — then verifies the degraded
+/// recommendation on the surviving subcluster.
+///
+/// # Errors
+///
+/// Propagates spec, fault-plan, configuration, and simulation errors.
+pub fn run_drill_traced(
+    spec: &JobSpec,
+    plan: &FaultPlan,
+    trace: Option<&mut Trace>,
+) -> Result<(DrillReport, DegradedOutcome), Box<dyn Error>> {
+    let cluster = spec.build_cluster()?;
+    let gpt = spec.build_model()?;
+    let outcome = run_under_faults(
+        &cluster,
+        &gpt,
+        spec.global_batch,
+        options_for(spec),
+        plan,
+        &RobustProfilingPolicy::default(),
+        trace,
+    )?;
+    let rec = &outcome.recommendation;
+    let runner = ClusterRun::new(&outcome.survivor, &gpt);
+    let measured = runner.execute(rec.config, &rec.mapping, rec.plan)?;
+    let report = DrillReport {
+        recommendation: CliReport {
+            pp: rec.config.pp,
+            tp: rec.config.tp,
+            dp: rec.config.dp,
+            micro_batch: rec.plan.micro_batch,
+            n_microbatches: rec.plan.n_microbatches,
+            estimated_seconds: rec.estimated_seconds,
+            measured_seconds: measured.iteration_seconds,
+            peak_memory_gib: measured.peak_memory_bytes as f64 / (1u64 << 30) as f64,
+            examined: rec.examined,
+            memory_rejected: rec.memory_rejected,
+            mapping: rec.mapping.as_slice().iter().map(|g| g.0).collect(),
+            estimator_cache: rec.cache_counters,
+        },
+        healthy_gpus: cluster.topology().num_gpus(),
+        surviving_gpus: outcome.survivor.topology().num_gpus(),
+        excluded_gpus: outcome.excluded_gpus.iter().map(|g| g.0).collect(),
+        profiler_retries: outcome.report.retries,
+        imputed_pairs: outcome.report.imputed,
+        corrupt_samples: outcome.report.corrupt_samples,
+        analytic_memory_fallback: outcome.used_analytic_fallback,
+        slowdown_factor: outcome.reconfiguration.as_ref().map(|r| r.slowdown_factor),
+    };
+    Ok((report, outcome))
+}
+
+/// Renders the human-readable `drill` transcript.
+pub fn render_drill(report: &DrillReport, outcome: &DegradedOutcome) -> String {
+    let mut out = String::new();
+    let rec = &report.recommendation;
+    let _ = writeln!(out, "fault drill on {}", outcome.survivor.name());
+    let _ = writeln!(
+        out,
+        "  gpus              : {} healthy, {} surviving ({} excluded)",
+        report.healthy_gpus,
+        report.surviving_gpus,
+        report.excluded_gpus.len()
+    );
+    let _ = writeln!(
+        out,
+        "  robust profiling  : {} retries, {} pairs imputed, {} corrupt samples discarded",
+        report.profiler_retries, report.imputed_pairs, report.corrupt_samples
+    );
+    let _ = writeln!(
+        out,
+        "  memory estimator  : {}",
+        if report.analytic_memory_fallback {
+            "analytic fallback (training corpus degenerate)"
+        } else {
+            "learned MLP (training healthy)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "degraded recommendation: (pp={}, tp={}, dp={}) micro={}",
+        rec.pp, rec.tp, rec.dp, rec.micro_batch
+    );
+    let _ = writeln!(
+        out,
+        "  estimated {:.3} s / measured {:.3} s on the survivors",
+        rec.estimated_seconds, rec.measured_seconds
+    );
+    if let Some(reconf) = &outcome.reconfiguration {
+        let h = &reconf.healthy;
+        let _ = writeln!(
+            out,
+            "reconfiguration: healthy (pp={}, tp={}, dp={}) micro={} @ {:.3} s -> {:.2}x slower",
+            h.config.pp,
+            h.config.tp,
+            h.config.dp,
+            h.plan.micro_batch,
+            h.estimated_seconds,
+            reconf.slowdown_factor
+        );
+    } else {
+        let _ = writeln!(out, "reconfiguration: none needed (no GPUs lost)");
+    }
+    out
 }
 
 /// Renders the `explain` report: where the estimated iteration time goes

@@ -16,7 +16,8 @@
 //! `{ "layers": 24, "hidden": 1920, "heads": 24, "seq_len": 2048,
 //!    "vocab": 51200 }`.
 
-use pipette_cluster::{presets, Cluster};
+use crate::jsonscan::{self, JsonValue};
+use pipette_cluster::{presets, Cluster, FaultPlan};
 use pipette_model::GptConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -122,6 +123,31 @@ pub enum SpecError {
     UnknownCluster(String),
     /// Unknown model preset name.
     UnknownModel(String),
+    /// A field the spec schema does not define (usually a typo).
+    UnknownField {
+        /// Where the field appeared, e.g. `"cluster"`.
+        context: String,
+        /// The offending key.
+        field: String,
+        /// The keys that are accepted there.
+        allowed: &'static str,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Where the field was expected.
+        context: String,
+        /// The missing key.
+        field: &'static str,
+    },
+    /// A field parsed but its value is outside the supported range.
+    OutOfRange {
+        /// The offending field.
+        field: String,
+        /// What the value must satisfy.
+        reason: String,
+    },
+    /// The document is not valid JSON (or not an object).
+    Malformed(String),
 }
 
 impl fmt::Display for SpecError {
@@ -134,13 +160,194 @@ impl fmt::Display for SpecError {
                 f,
                 "unknown model preset {name:?} (try \"gpt-1.1b\", \"gpt-3.1b\", \"gpt-8.1b\", \"gpt-11.1b\")"
             ),
+            SpecError::UnknownField {
+                context,
+                field,
+                allowed,
+            } => write!(
+                f,
+                "unknown field {field:?} in {context} (accepted fields: {allowed})"
+            ),
+            SpecError::MissingField { context, field } => {
+                write!(f, "{context} is missing required field {field:?}")
+            }
+            SpecError::OutOfRange { field, reason } => {
+                write!(f, "invalid {field}: {reason}")
+            }
+            SpecError::Malformed(reason) => write!(f, "malformed spec: {reason}"),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
 
+const TOP_FIELDS: &str = "cluster, model, global_batch, max_micro, worker_dedication, \
+     sa_iterations, seed, memory_training_iterations, estimator_cache_dir";
+const CLUSTER_FIELDS: &str = "preset, nodes, seed";
+const MODEL_FIELDS: &str = "preset — or layers, hidden, heads, seq_len, vocab";
+const PLAN_FIELDS: &str = "seed, degraded_links, straggler_gpus, failed_gpus, failed_nodes, \
+     corrupt_pairs, measurement_failure_rate, sample_loss_rate";
+
+/// Checks that every key of `value` (which must be an object) is in
+/// `allowed`, and that every `required` key is present.
+fn check_fields(
+    value: &JsonValue,
+    context: &str,
+    allowed: &[&str],
+    allowed_msg: &'static str,
+    required: &[&'static str],
+) -> Result<(), SpecError> {
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(SpecError::Malformed(format!(
+            "{context} must be an object, got {}",
+            value.type_name()
+        )));
+    }
+    for key in value.keys() {
+        if !allowed.contains(&key) {
+            return Err(SpecError::UnknownField {
+                context: context.to_owned(),
+                field: key.to_owned(),
+                allowed: allowed_msg,
+            });
+        }
+    }
+    for &field in required {
+        if value.get(field).is_none() {
+            return Err(SpecError::MissingField {
+                context: context.to_owned(),
+                field,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Walks the parsed shape of a job spec, rejecting unknown fields before
+/// the (default-filling, unknown-tolerating) serde pass runs.
+fn check_job_shape(doc: &JsonValue) -> Result<(), SpecError> {
+    check_fields(
+        doc,
+        "job spec",
+        &[
+            "cluster",
+            "model",
+            "global_batch",
+            "max_micro",
+            "worker_dedication",
+            "sa_iterations",
+            "seed",
+            "memory_training_iterations",
+            "estimator_cache_dir",
+        ],
+        TOP_FIELDS,
+        &["cluster", "model", "global_batch"],
+    )?;
+    let cluster = doc.get("cluster").expect("required above");
+    check_fields(
+        cluster,
+        "cluster",
+        &["preset", "nodes", "seed"],
+        CLUSTER_FIELDS,
+        &["preset", "nodes"],
+    )?;
+    let model = doc.get("model").expect("required above");
+    if model.get("preset").is_some() {
+        check_fields(model, "model", &["preset"], MODEL_FIELDS, &["preset"])?;
+    } else {
+        check_fields(
+            model,
+            "model",
+            &["layers", "hidden", "heads", "seq_len", "vocab"],
+            MODEL_FIELDS,
+            &["layers", "hidden", "heads"],
+        )?;
+    }
+    Ok(())
+}
+
 impl JobSpec {
+    /// Parses a job spec strictly: valid JSON only, no unknown fields
+    /// anywhere, all required fields present, all values in range. The
+    /// plain serde path stays lenient (defaults fill gaps, unknown keys
+    /// are ignored) for programmatic use; the CLI goes through here so a
+    /// typo like `"global_bacth"` fails with an actionable message
+    /// instead of silently running with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Malformed`], [`SpecError::UnknownField`],
+    /// [`SpecError::MissingField`], or [`SpecError::OutOfRange`] naming
+    /// the first problem.
+    pub fn parse_strict(text: &str) -> Result<Self, SpecError> {
+        let doc = jsonscan::parse(text).map_err(|e| SpecError::Malformed(e.to_string()))?;
+        check_job_shape(&doc)?;
+        let spec: JobSpec =
+            serde_json::from_str(text).map_err(|e| SpecError::Malformed(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Range-checks a spec's values (called by [`Self::parse_strict`];
+    /// also usable on programmatically built specs).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::OutOfRange`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let range_err = |field: &str, reason: String| {
+            Err(SpecError::OutOfRange {
+                field: field.to_owned(),
+                reason,
+            })
+        };
+        if !(1..=64).contains(&self.cluster.nodes) {
+            return range_err(
+                "cluster.nodes",
+                format!("{} not in 1..=64", self.cluster.nodes),
+            );
+        }
+        if self.global_batch == 0 {
+            return range_err("global_batch", "must be at least 1".into());
+        }
+        if self.max_micro == 0 {
+            return range_err("max_micro", "must be at least 1".into());
+        }
+        if self.sa_iterations == 0 {
+            return range_err("sa_iterations", "must be at least 1".into());
+        }
+        if self.memory_training_iterations == 0 {
+            return range_err("memory_training_iterations", "must be at least 1".into());
+        }
+        if let ModelSpec::Custom {
+            layers,
+            hidden,
+            heads,
+            seq_len,
+            vocab,
+        } = &self.model
+        {
+            for (name, value) in [
+                ("model.layers", *layers),
+                ("model.hidden", *hidden),
+                ("model.heads", *heads),
+                ("model.seq_len", *seq_len),
+                ("model.vocab", *vocab),
+            ] {
+                if value == 0 {
+                    return range_err(name, "must be at least 1".into());
+                }
+            }
+            if hidden % heads != 0 {
+                return range_err(
+                    "model.hidden",
+                    format!("{hidden} not divisible by {heads} heads"),
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Realizes the cluster.
     ///
     /// # Errors
@@ -178,6 +385,55 @@ impl JobSpec {
             } => Ok(GptConfig::new(*layers, *hidden, *heads, *seq_len, *vocab)),
         }
     }
+}
+
+/// Parses a [`FaultPlan`] strictly: no unknown fields at any level. The
+/// plan's *semantic* validity (GPU indices in range, rates in `[0, 1]`)
+/// is checked against the actual topology by `FaultPlan::validate` when
+/// the drill runs.
+///
+/// # Errors
+///
+/// [`SpecError::Malformed`] or [`SpecError::UnknownField`].
+pub fn parse_fault_plan_strict(text: &str) -> Result<FaultPlan, SpecError> {
+    let doc = jsonscan::parse(text).map_err(|e| SpecError::Malformed(e.to_string()))?;
+    check_fields(
+        &doc,
+        "fault plan",
+        &[
+            "seed",
+            "degraded_links",
+            "straggler_gpus",
+            "failed_gpus",
+            "failed_nodes",
+            "corrupt_pairs",
+            "measurement_failure_rate",
+            "sample_loss_rate",
+        ],
+        PLAN_FIELDS,
+        &[],
+    )?;
+    let item_fields: [(&str, &[&'static str], &'static str); 3] = [
+        (
+            "degraded_links",
+            &["from_node", "to_node", "factor"],
+            "from_node, to_node, factor",
+        ),
+        ("straggler_gpus", &["gpu", "slowdown"], "gpu, slowdown"),
+        (
+            "corrupt_pairs",
+            &["from_gpu", "to_gpu", "kind"],
+            "from_gpu, to_gpu, kind",
+        ),
+    ];
+    for (list, fields, msg) in item_fields {
+        if let Some(JsonValue::Array(items)) = doc.get(list) {
+            for (i, item) in items.iter().enumerate() {
+                check_fields(item, &format!("{list}[{i}]"), fields, msg, fields)?;
+            }
+        }
+    }
+    serde_json::from_str(text).map_err(|e| SpecError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]
@@ -232,6 +488,116 @@ mod tests {
             spec.build_model(),
             Err(SpecError::UnknownModel(_))
         ));
+    }
+
+    #[test]
+    fn strict_parse_accepts_valid_specs() {
+        let json = r#"{
+            "cluster": {"preset": "mid-range", "nodes": 4},
+            "model": {"layers": 12, "hidden": 768, "heads": 12},
+            "global_batch": 256,
+            "seed": 3
+        }"#;
+        let spec = JobSpec::parse_strict(json).unwrap();
+        assert_eq!(spec.global_batch, 256);
+        assert_eq!(spec.max_micro, 8, "defaults still fill in");
+    }
+
+    #[test]
+    fn strict_parse_rejects_unknown_fields() {
+        let top = r#"{
+            "cluster": {"preset": "mid-range", "nodes": 4},
+            "model": {"preset": "gpt-1.1b"},
+            "global_batch": 256,
+            "global_bacth": 512
+        }"#;
+        let err = JobSpec::parse_strict(top).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownField { .. }));
+        assert!(err.to_string().contains("global_bacth"));
+        assert!(err.to_string().contains("global_batch"));
+
+        let nested = r#"{
+            "cluster": {"preset": "mid-range", "nodes": 4, "gpus": 8},
+            "model": {"preset": "gpt-1.1b"},
+            "global_batch": 256
+        }"#;
+        let err = JobSpec::parse_strict(nested).unwrap_err();
+        assert!(err.to_string().contains("gpus") && err.to_string().contains("cluster"));
+
+        let model = r#"{
+            "cluster": {"preset": "mid-range", "nodes": 4},
+            "model": {"preset": "gpt-1.1b", "layers": 24},
+            "global_batch": 256
+        }"#;
+        assert!(JobSpec::parse_strict(model).is_err());
+    }
+
+    #[test]
+    fn strict_parse_reports_missing_and_out_of_range_fields() {
+        let missing = r#"{
+            "cluster": {"preset": "mid-range"},
+            "model": {"preset": "gpt-1.1b"},
+            "global_batch": 256
+        }"#;
+        let err = JobSpec::parse_strict(missing).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::MissingField { field: "nodes", .. }
+        ));
+
+        for (json, needle) in [
+            (
+                r#"{"cluster": {"preset": "mid-range", "nodes": 0},
+                    "model": {"preset": "gpt-1.1b"}, "global_batch": 256}"#,
+                "cluster.nodes",
+            ),
+            (
+                r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                    "model": {"preset": "gpt-1.1b"}, "global_batch": 0}"#,
+                "global_batch",
+            ),
+            (
+                r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                    "model": {"layers": 12, "hidden": 770, "heads": 12},
+                    "global_batch": 256}"#,
+                "not divisible",
+            ),
+        ] {
+            let err = JobSpec::parse_strict(json).unwrap_err();
+            assert!(matches!(err, SpecError::OutOfRange { .. }), "{json}");
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn strict_parse_rejects_non_json() {
+        assert!(matches!(
+            JobSpec::parse_strict("{ not json").unwrap_err(),
+            SpecError::Malformed(_)
+        ));
+        assert!(matches!(
+            JobSpec::parse_strict("[1, 2]").unwrap_err(),
+            SpecError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn fault_plans_parse_strictly() {
+        let plan = parse_fault_plan_strict(
+            r#"{"seed": 9, "failed_nodes": [1],
+                "straggler_gpus": [{"gpu": 2, "slowdown": 1.5}],
+                "measurement_failure_rate": 0.1}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.failed_nodes, vec![1]);
+
+        let err = parse_fault_plan_strict(r#"{"failed_node": [1]}"#).unwrap_err();
+        assert!(err.to_string().contains("failed_node"));
+        let err = parse_fault_plan_strict(r#"{"straggler_gpus": [{"gpu": 2, "slow": 1.5}]}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("slow"));
+        assert!(parse_fault_plan_strict("{}").is_ok(), "zero-fault plan");
     }
 
     #[test]

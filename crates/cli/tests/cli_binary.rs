@@ -144,6 +144,122 @@ fn trace_out_without_a_path_is_an_error() {
 }
 
 #[test]
+fn drill_replays_a_fault_plan_end_to_end() {
+    let dir = std::env::temp_dir().join("pipette_cli_test_drill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let job = dir.join("job.json");
+    std::fs::write(
+        &job,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 3, "seed": 3},
+            "model": {"layers": 8, "hidden": 1024, "heads": 16},
+            "global_batch": 64,
+            "max_micro": 2,
+            "sa_iterations": 800,
+            "memory_training_iterations": 1200
+        }"#,
+    )
+    .unwrap();
+    let plan = dir.join("faults.json");
+    std::fs::write(
+        &plan,
+        r#"{
+            "seed": 5,
+            "failed_nodes": [2],
+            "corrupt_pairs": [ { "from_gpu": 0, "to_gpu": 8, "kind": "nan" } ]
+        }"#,
+    )
+    .unwrap();
+    let trace_path = dir.join("trace.jsonl");
+    let out = bin()
+        .args([
+            "drill",
+            job.to_str().unwrap(),
+            "--faults",
+            plan.to_str().unwrap(),
+            "--json",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: pipette_cli::DrillReport = serde_json::from_slice(&out.stdout).expect("json");
+    assert_eq!(report.healthy_gpus, 24);
+    assert_eq!(report.surviving_gpus, 16);
+    assert_eq!(report.excluded_gpus.len(), 8);
+    assert!(report.profiler_retries >= 1, "the corrupt pair retries");
+    assert_eq!(
+        report.recommendation.pp * report.recommendation.tp * report.recommendation.dp,
+        16
+    );
+
+    let jsonl = std::fs::read_to_string(&trace_path).expect("trace written");
+    for kind in [
+        "fault_plan",
+        "gpu_excluded",
+        "profiler_retry",
+        "reconfiguration",
+    ] {
+        assert!(
+            jsonl.contains(&format!("\"kind\":\"{kind}\"")),
+            "missing {kind} event in trace"
+        );
+    }
+}
+
+#[test]
+fn drill_without_faults_is_rejected() {
+    let out = bin().args(["drill", "job.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--faults"));
+}
+
+#[test]
+fn unknown_spec_fields_fail_with_an_actionable_message() {
+    let dir = std::env::temp_dir().join("pipette_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("typo.json");
+    std::fs::write(
+        &path,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 2},
+            "model": {"preset": "gpt-1.1b"},
+            "global_bacth": 64
+        }"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["configure", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("global_bacth"), "{stderr}");
+    assert!(
+        stderr.contains("global_batch"),
+        "must suggest valid fields: {stderr}"
+    );
+}
+
+#[test]
+fn example_fault_plan_round_trips_through_the_strict_parser() {
+    let out = bin()
+        .args(["example-spec", "--faults"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let plan = pipette_cli::parse_fault_plan_strict(&text).expect("example plan is valid");
+    assert_eq!(plan.failed_gpus, vec![12]);
+    assert_eq!(plan.corrupt_pairs.len(), 1);
+}
+
+#[test]
 fn malformed_spec_fails_cleanly() {
     let dir = std::env::temp_dir().join("pipette_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

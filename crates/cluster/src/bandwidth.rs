@@ -5,8 +5,9 @@
 //! a real cluster differs per link (Fig. 3) even when all links share the
 //! same nominal spec.
 
+use crate::error::ClusterError;
 use crate::link::{LinkClass, LinkSpec};
-use crate::topology::{ClusterTopology, GpuId};
+use crate::topology::{ClusterTopology, GpuId, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Dense GPU×GPU matrix of attained bandwidths in GiB/s.
@@ -57,34 +58,42 @@ mod infinite_f64_vec {
 impl BandwidthMatrix {
     /// Builds a matrix from raw per-pair data.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `data` is not `num_gpus²` long or contains a non-positive
-    /// off-diagonal entry.
+    /// [`ClusterError::MalformedMatrix`] if `data` is not `num_gpus²` long
+    /// or contains a non-positive or non-finite off-diagonal entry.
     pub fn from_raw(
         topology: ClusterTopology,
         intra_spec: LinkSpec,
         inter_spec: LinkSpec,
         data: Vec<f64>,
-    ) -> Self {
+    ) -> Result<Self, ClusterError> {
         let n = topology.num_gpus();
-        assert_eq!(data.len(), n * n, "bandwidth matrix must be num_gpus^2");
+        if data.len() != n * n {
+            return Err(ClusterError::MalformedMatrix {
+                reason: format!(
+                    "expected {} entries for {n} gpus, got {}",
+                    n * n,
+                    data.len()
+                ),
+            });
+        }
         for i in 0..n {
             for j in 0..n {
-                if i != j {
-                    assert!(
-                        data[i * n + j] > 0.0,
-                        "bandwidth ({i},{j}) must be positive"
-                    );
+                let v = data[i * n + j];
+                if i != j && !(v.is_finite() && v > 0.0) {
+                    return Err(ClusterError::MalformedMatrix {
+                        reason: format!("bandwidth ({i},{j}) is {v}, must be finite and positive"),
+                    });
                 }
             }
         }
-        Self {
+        Ok(Self {
             topology,
             intra_spec,
             inter_spec,
             data,
-        }
+        })
     }
 
     /// Builds a perfectly homogeneous matrix at nominal speeds.
@@ -235,9 +244,60 @@ impl BandwidthMatrix {
         }
     }
 
+    /// Restricts the matrix to an arbitrary subset of nodes (not just a
+    /// prefix, unlike [`Self::truncated`]). Surviving nodes are renumbered
+    /// densely in ascending order of their original ids; per-pair attained
+    /// bandwidths between survivors are preserved exactly. This is the
+    /// substrate of graceful degradation: after node dropout the
+    /// configurator re-runs on the subcluster this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::EmptySelection`] if `keep` is empty after
+    /// de-duplication, [`ClusterError::InvalidParameter`] if it references
+    /// a node outside the topology.
+    pub fn select_nodes(&self, keep: &[NodeId]) -> Result<Self, ClusterError> {
+        let mut nodes: Vec<usize> = keep.iter().map(|n| n.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.is_empty() {
+            return Err(ClusterError::EmptySelection);
+        }
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= self.topology.num_nodes()) {
+            return Err(ClusterError::InvalidParameter {
+                name: "node selection".into(),
+                reason: format!(
+                    "node {bad} outside topology of {} nodes",
+                    self.topology.num_nodes()
+                ),
+            });
+        }
+        let gpn = self.topology.gpus_per_node();
+        let small = ClusterTopology::new(nodes.len(), gpn);
+        let n = small.num_gpus();
+        let big_n = self.topology.num_gpus();
+        // Old global GPU index of each surviving GPU, in new index order.
+        let old_gpu: Vec<usize> = nodes
+            .iter()
+            .flat_map(|&node| (0..gpn).map(move |lr| node * gpn + lr))
+            .collect();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                data[i * n + j] = self.data[old_gpu[i] * big_n + old_gpu[j]];
+            }
+        }
+        Ok(Self {
+            topology: small,
+            intra_spec: self.intra_spec,
+            inter_spec: self.inter_spec,
+            data,
+        })
+    }
+
     /// Node-to-node attained bandwidth: the bandwidth between local rank 0
     /// GPUs of the two nodes. Used for reporting (Fig. 3 traces).
-    pub fn node_pair(&self, a: crate::topology::NodeId, b: crate::topology::NodeId) -> f64 {
+    pub fn node_pair(&self, a: NodeId, b: NodeId) -> f64 {
         self.between(self.topology.gpu(a.0, 0), self.topology.gpu(b.0, 0))
     }
 }
@@ -317,6 +377,65 @@ mod tests {
     #[should_panic(expected = "cannot set loopback")]
     fn set_rejects_loopback() {
         homog().set(GpuId(0), GpuId(0), 1.0);
+    }
+
+    #[test]
+    fn from_raw_validates_shape_and_values() {
+        let (intra, inter) = specs();
+        let topo = ClusterTopology::new(1, 2);
+        let ok = BandwidthMatrix::from_raw(
+            topo,
+            intra,
+            inter,
+            vec![f64::INFINITY, 5.0, 6.0, f64::INFINITY],
+        )
+        .expect("valid matrix");
+        assert_eq!(ok.between(GpuId(0), GpuId(1)), 5.0);
+        let short = BandwidthMatrix::from_raw(topo, intra, inter, vec![1.0; 3]);
+        assert!(matches!(short, Err(ClusterError::MalformedMatrix { .. })));
+        let nan = BandwidthMatrix::from_raw(
+            topo,
+            intra,
+            inter,
+            vec![f64::INFINITY, f64::NAN, 6.0, f64::INFINITY],
+        );
+        assert!(matches!(nan, Err(ClusterError::MalformedMatrix { .. })));
+        let negative =
+            BandwidthMatrix::from_raw(topo, intra, inter, vec![f64::INFINITY, -1.0, 6.0, 0.0]);
+        assert!(matches!(
+            negative,
+            Err(ClusterError::MalformedMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn select_nodes_preserves_survivor_links() {
+        let (intra, inter) = specs();
+        let mut m = BandwidthMatrix::homogeneous(ClusterTopology::new(4, 2), intra, inter);
+        // Mark links touching nodes 0 and 2 with recognizable values.
+        m.set(GpuId(0), GpuId(4), 7.5); // node 0 -> node 2
+        m.set(GpuId(5), GpuId(1), 8.5); // node 2 -> node 0
+        let s = m.select_nodes(&[NodeId(2), NodeId(0)]).expect("selectable");
+        assert_eq!(s.topology().num_nodes(), 2);
+        // Node 0 stays gpus {0,1}; node 2 becomes new node 1 = gpus {2,3}.
+        assert_eq!(s.between(GpuId(0), GpuId(2)), 7.5);
+        assert_eq!(s.between(GpuId(3), GpuId(1)), 8.5);
+        assert!(s.between(GpuId(2), GpuId(2)).is_infinite());
+        // Prefix selection agrees with truncation.
+        assert_eq!(
+            m.select_nodes(&[NodeId(0), NodeId(1)]).unwrap(),
+            m.truncated(2)
+        );
+    }
+
+    #[test]
+    fn select_nodes_rejects_empty_and_out_of_range() {
+        let m = homog();
+        assert_eq!(m.select_nodes(&[]), Err(ClusterError::EmptySelection));
+        assert!(matches!(
+            m.select_nodes(&[NodeId(5)]),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -19,6 +19,21 @@ pub enum ClusterError {
         /// What went wrong.
         reason: String,
     },
+    /// A constructor argument was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A fault plan referenced hardware the topology does not have, or
+    /// carried out-of-range rates/factors.
+    InvalidFaultPlan {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A node selection (subcluster restriction) kept zero nodes.
+    EmptySelection,
 }
 
 impl fmt::Display for ClusterError {
@@ -32,6 +47,15 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::MalformedMatrix { reason } => {
                 write!(f, "malformed bandwidth table: {reason}")
+            }
+            ClusterError::InvalidParameter { name, reason } => {
+                write!(f, "invalid {name}: {reason}")
+            }
+            ClusterError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
+            ClusterError::EmptySelection => {
+                write!(f, "node selection keeps zero nodes")
             }
         }
     }

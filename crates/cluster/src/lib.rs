@@ -28,6 +28,7 @@
 
 pub mod bandwidth;
 pub mod error;
+pub mod faults;
 pub mod hardware;
 pub mod heterogeneity;
 pub mod import;
@@ -40,11 +41,15 @@ pub mod topology;
 
 pub use bandwidth::BandwidthMatrix;
 pub use error::ClusterError;
+pub use faults::{CorruptPair, CorruptionKind, DegradedLink, FaultPlan, StragglerGpu};
 pub use hardware::GpuSpec;
 pub use heterogeneity::HeterogeneityModel;
 pub use import::parse_mpigraph;
 pub use link::{LinkClass, LinkSpec, GIB};
 pub use presets::{Cluster, ClusterPreset};
-pub use profiler::{NetworkProfiler, ProfiledBandwidth, ProfilingCost};
+pub use profiler::{
+    Aggregation, MeasurementQuality, MeasurementReport, NetworkProfiler, PairIncident,
+    ProfiledBandwidth, ProfilingCost, RobustProfilingPolicy,
+};
 pub use temporal::TemporalDrift;
 pub use topology::{ClusterTopology, GpuId, NodeId};

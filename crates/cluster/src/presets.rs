@@ -2,11 +2,12 @@
 //! [`Cluster`] value the rest of the workspace consumes.
 
 use crate::bandwidth::BandwidthMatrix;
+use crate::error::ClusterError;
 use crate::hardware::GpuSpec;
 use crate::heterogeneity::HeterogeneityModel;
 use crate::link::{gbps_to_gib_s, LinkSpec};
 use crate::profiler::NetworkProfiler;
-use crate::topology::ClusterTopology;
+use crate::topology::{ClusterTopology, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -75,6 +76,38 @@ impl Cluster {
             bandwidth: self.bandwidth.truncated(nodes),
             profiler: self.profiler,
         }
+    }
+
+    /// The cluster that remains after cordoning `failed` nodes: survivors
+    /// are renumbered densely and keep their exact attained bandwidths.
+    /// This is the subcluster a degraded configuration run targets.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::EmptySelection`] if every node is failed,
+    /// [`ClusterError::InvalidParameter`] if `failed` references a node
+    /// outside the topology.
+    pub fn excluding_nodes(&self, failed: &[NodeId]) -> Result<Self, ClusterError> {
+        let topo = self.topology();
+        if let Some(&bad) = failed.iter().find(|n| n.0 >= topo.num_nodes()) {
+            return Err(ClusterError::InvalidParameter {
+                name: "failed nodes".into(),
+                reason: format!("node {bad} outside topology of {} nodes", topo.num_nodes()),
+            });
+        }
+        let survivors: Vec<NodeId> = topo.node_ids().filter(|n| !failed.contains(n)).collect();
+        let bandwidth = self.bandwidth.select_nodes(&survivors)?;
+        Ok(Self {
+            name: format!(
+                "{} ({} of {} nodes)",
+                self.name,
+                survivors.len(),
+                topo.num_nodes()
+            ),
+            gpu: self.gpu.clone(),
+            bandwidth,
+            profiler: self.profiler,
+        })
     }
 }
 
@@ -199,6 +232,27 @@ mod tests {
         assert_eq!(t.topology().num_nodes(), 2);
         assert_eq!(t.gpu(), c.gpu());
         assert!(t.name().contains("2 nodes"));
+    }
+
+    #[test]
+    fn excluding_nodes_keeps_survivor_links() {
+        let c = mid_range(4).build(3);
+        let s = c.excluding_nodes(&[NodeId(1)]).expect("survivable");
+        assert_eq!(s.topology().num_nodes(), 3);
+        assert!(s.name().contains("3 of 4 nodes"));
+        // Survivor links match the original: old node 2 is new node 1.
+        let (old, new) = (c.bandwidth(), s.bandwidth());
+        assert_eq!(
+            new.between(new.topology().gpu(1, 0), new.topology().gpu(0, 0)),
+            old.between(old.topology().gpu(2, 0), old.topology().gpu(0, 0)),
+        );
+        // Cordoning everything is an error; so is an unknown node.
+        let all: Vec<NodeId> = c.topology().node_ids().collect();
+        assert_eq!(c.excluding_nodes(&all), Err(ClusterError::EmptySelection));
+        assert!(matches!(
+            c.excluding_nodes(&[NodeId(99)]),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

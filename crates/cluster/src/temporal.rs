@@ -7,6 +7,7 @@
 //! attained bandwidth of each directed node pair.
 
 use crate::bandwidth::BandwidthMatrix;
+use crate::error::ClusterError;
 use crate::rand_util::normal;
 use crate::topology::GpuId;
 use rand::SeedableRng;
@@ -34,19 +35,27 @@ impl Default for TemporalDrift {
 impl TemporalDrift {
     /// Creates a drift model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `daily_sigma` is negative or `reversion` is outside `[0, 1]`.
-    pub fn new(daily_sigma: f64, reversion: f64) -> Self {
-        assert!(daily_sigma >= 0.0, "daily_sigma must be non-negative");
-        assert!(
-            (0.0..=1.0).contains(&reversion),
-            "reversion must be in [0, 1]"
-        );
-        Self {
+    /// [`ClusterError::InvalidParameter`] if `daily_sigma` is negative or
+    /// non-finite, or `reversion` is outside `[0, 1]`.
+    pub fn new(daily_sigma: f64, reversion: f64) -> Result<Self, ClusterError> {
+        if !(daily_sigma.is_finite() && daily_sigma >= 0.0) {
+            return Err(ClusterError::InvalidParameter {
+                name: "daily_sigma".into(),
+                reason: format!("{daily_sigma} must be finite and non-negative"),
+            });
+        }
+        if !(reversion.is_finite() && (0.0..=1.0).contains(&reversion)) {
+            return Err(ClusterError::InvalidParameter {
+                name: "reversion".into(),
+                reason: format!("{reversion} must be in [0, 1]"),
+            });
+        }
+        Ok(Self {
             daily_sigma,
             reversion,
-        }
+        })
     }
 
     /// Produces `days` consecutive daily snapshots of the matrix.
@@ -135,7 +144,7 @@ mod tests {
     #[test]
     fn drift_is_bounded_by_nominal() {
         let b = base();
-        let series = TemporalDrift::new(0.2, 0.05).series(&b, 40, 9);
+        let series = TemporalDrift::new(0.2, 0.05).unwrap().series(&b, 40, 9);
         for day in &series {
             for a in day.topology().gpus() {
                 for c in day.topology().gpus() {
@@ -158,8 +167,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reversion must be in [0, 1]")]
-    fn invalid_reversion_rejected() {
-        TemporalDrift::new(0.1, 1.5);
+    fn invalid_parameters_rejected() {
+        assert!(matches!(
+            TemporalDrift::new(0.1, 1.5),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            TemporalDrift::new(-0.1, 0.5),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            TemporalDrift::new(f64::NAN, 0.5),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+        assert!(TemporalDrift::new(0.1, 0.5).is_ok());
     }
 }

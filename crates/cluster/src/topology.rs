@@ -1,5 +1,6 @@
 //! Physical cluster topology: nodes and the GPUs they host.
 
+use crate::error::ClusterError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -61,6 +62,31 @@ impl ClusterTopology {
             nodes,
             gpus_per_node,
         }
+    }
+
+    /// Fallible variant of [`Self::new`] for dimensions that come from
+    /// user input (CLI specs, imported tables).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidParameter`] if either dimension is zero.
+    pub fn try_new(nodes: usize, gpus_per_node: usize) -> Result<Self, ClusterError> {
+        if nodes == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "nodes".into(),
+                reason: "cluster must have at least one node".into(),
+            });
+        }
+        if gpus_per_node == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "gpus_per_node".into(),
+                reason: "nodes must host at least one GPU".into(),
+            });
+        }
+        Ok(Self {
+            nodes,
+            gpus_per_node,
+        })
     }
 
     /// Number of nodes in the cluster.
@@ -213,6 +239,22 @@ mod tests {
     #[should_panic(expected = "invalid truncation")]
     fn truncation_rejects_growth() {
         ClusterTopology::new(2, 2).truncated(3);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_dimensions() {
+        assert!(matches!(
+            ClusterTopology::try_new(0, 8),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ClusterTopology::try_new(2, 0),
+            Err(ClusterError::InvalidParameter { .. })
+        ));
+        assert_eq!(
+            ClusterTopology::try_new(2, 8).unwrap(),
+            ClusterTopology::new(2, 8)
+        );
     }
 
     #[test]

@@ -18,13 +18,13 @@ use crate::error::ConfigureError;
 use crate::latency::{LatencyExplanation, PipetteLatencyModel};
 use crate::mapping::{AnnealStats, Annealer, AnnealerConfig, IncrementalObjective};
 use crate::memory::{
-    collect_samples_parallel, CacheCounters, MemoryEstimator, MemoryEstimatorConfig, MemorySample,
-    SampleSpec, TrainedEstimatorCache,
+    analytic_prior, collect_samples_parallel, CacheCounters, MemoryEstimator,
+    MemoryEstimatorConfig, MemorySample, SampleSpec, TrainedEstimatorCache,
 };
 use crate::parallel;
 use crate::report::OverheadReport;
 use crate::telemetry::{self, SaTraceObserver};
-use pipette_cluster::Cluster;
+use pipette_cluster::{Cluster, ProfiledBandwidth, ProfilingCost};
 use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
 use pipette_obs::{EventKind, Trace, SCHEMA_VERSION};
 use pipette_sim::{ClusterRun, ComputeProfiler, Mapping, MemorySim, ProfiledCompute};
@@ -181,6 +181,56 @@ pub struct Recommendation {
     pub alternatives: Vec<Alternative>,
 }
 
+/// The memory model the screen runs against: the learned MLP on the
+/// happy path, the analytic baseline \[20\] when estimator training has
+/// degenerated under faults (the last rung of the degradation ladder).
+#[derive(Debug, Clone)]
+enum MemoryModel {
+    Learned(MemoryEstimator),
+    Analytic {
+        margin: f64,
+        seq_len: usize,
+        vocab: usize,
+    },
+}
+
+impl MemoryModel {
+    fn predict_bytes(&self, features: &[f64; 10]) -> u64 {
+        match self {
+            MemoryModel::Learned(e) => e.predict_bytes(features),
+            MemoryModel::Analytic { seq_len, vocab, .. } => {
+                analytic_prior(features, *seq_len, *vocab) as u64
+            }
+        }
+    }
+
+    fn is_runnable_batch(
+        &self,
+        features: &[[f64; 10]],
+        limit_bytes: u64,
+        threads: usize,
+    ) -> Vec<bool> {
+        match self {
+            MemoryModel::Learned(e) => e.is_runnable_batch(features, limit_bytes, threads),
+            MemoryModel::Analytic {
+                margin,
+                seq_len,
+                vocab,
+            } => features
+                .iter()
+                .map(|f| analytic_prior(f, *seq_len, *vocab) * (1.0 + margin) <= limit_bytes as f64)
+                .collect(),
+        }
+    }
+
+    fn soft_margin(&self) -> f64 {
+        match self {
+            MemoryModel::Learned(e) => e.soft_margin(),
+            MemoryModel::Analytic { margin, .. } => *margin,
+        }
+    }
+}
+
 /// The Pipette configurator (Algorithm 1).
 #[derive(Debug, Clone)]
 pub struct Pipette<'a> {
@@ -190,6 +240,12 @@ pub struct Pipette<'a> {
     options: PipetteOptions,
     pretrained: Option<MemoryEstimator>,
     estimator_cache: Option<&'a TrainedEstimatorCache>,
+    /// A pre-measured bandwidth matrix (robust profiling under faults)
+    /// that replaces the in-run profiling sweep when present.
+    profiled_override: Option<(ProfiledBandwidth, ProfilingCost)>,
+    /// Screen with the analytic memory model instead of training an MLP
+    /// (the degradation ladder's last rung).
+    analytic_memory: bool,
 }
 
 impl<'a> Pipette<'a> {
@@ -207,6 +263,8 @@ impl<'a> Pipette<'a> {
             options,
             pretrained: None,
             estimator_cache: None,
+            profiled_override: None,
+            analytic_memory: false,
         }
     }
 
@@ -227,10 +285,60 @@ impl<'a> Pipette<'a> {
         self
     }
 
+    /// Supplies an already-measured bandwidth matrix (and its cost) in
+    /// place of the in-run profiling sweep. Degraded runs use this to
+    /// feed the robustly-profiled matrix of the surviving subcluster into
+    /// the search.
+    pub fn with_profiled(mut self, profiled: ProfiledBandwidth, cost: ProfilingCost) -> Self {
+        self.profiled_override = Some((profiled, cost));
+        self
+    }
+
+    /// Screens candidates with the analytic memory model \[20\] instead
+    /// of training the MLP — the explicit fallback when estimator
+    /// training degenerates (too few / collapsed profiling samples).
+    /// The analytic model overestimates less precisely than the learned
+    /// one, so recommendations may be more conservative, but the run
+    /// always completes.
+    pub fn with_analytic_memory(mut self) -> Self {
+        self.analytic_memory = true;
+        self
+    }
+
+    /// Rejects unusable inputs before any search work: a bandwidth matrix
+    /// carrying NaN/zero/negative links, or a GPU spec with no memory.
+    /// Catching these up front turns what would be silent nonsense deep in
+    /// the cost model into typed [`ConfigureError`]s.
+    fn validate_inputs(&self) -> Result<(), ConfigureError> {
+        let topo = self.cluster.topology();
+        let bw = self.cluster.bandwidth();
+        for a in topo.gpus() {
+            for b in topo.gpus() {
+                if a == b {
+                    continue;
+                }
+                let value = bw.between(a, b);
+                if !(value.is_finite() && value > 0.0) {
+                    return Err(ConfigureError::InvalidBandwidth {
+                        from: a.0,
+                        to: b.0,
+                        value,
+                    });
+                }
+            }
+        }
+        if self.cluster.gpu().memory_bytes == 0 {
+            return Err(ConfigureError::InvalidCluster {
+                reason: "GPU spec reports zero memory capacity".to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// The profiling sweep for this cluster/model/batch (the paper's
     /// ≤ 4-node protocol over a ladder of model scales) and the
     /// ground-truth simulator it runs against.
-    fn profiling_spec(&self) -> (SampleSpec, MemorySim) {
+    pub(crate) fn profiling_spec(&self) -> (SampleSpec, MemorySim) {
         let truth = ClusterRun::new(self.cluster, self.gpt).memory_sim();
         let nodes = self.cluster.topology().num_nodes().min(4);
         let gpus_per_node = self.cluster.topology().gpus_per_node();
@@ -291,8 +399,12 @@ impl<'a> Pipette<'a> {
         self.run_with(Some(trace))
     }
 
-    fn run_with(&self, mut trace: Option<&mut Trace>) -> Result<Recommendation, ConfigureError> {
+    pub(crate) fn run_with(
+        &self,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<Recommendation, ConfigureError> {
         let topo = self.cluster.topology();
+        self.validate_inputs()?;
         if let Some(t) = trace.as_deref_mut() {
             t.push(EventKind::RunStart {
                 schema: SCHEMA_VERSION,
@@ -302,57 +414,74 @@ impl<'a> Pipette<'a> {
             });
         }
 
-        // Line 1: profile the actual bandwidth matrix.
-        let (profiled, profiling_cost) = self
-            .cluster
-            .profiler()
-            .profile(self.cluster.bandwidth(), self.options.seed);
-
-        // Memory estimator: pretrained > cached > trained now.
-        let (estimator, training_time, cached) = match (&self.pretrained, self.estimator_cache) {
-            (Some(e), _) => (e.clone(), Duration::ZERO, true),
-            (None, Some(cache)) => {
-                let start = Instant::now();
-                let (spec, truth) = self.profiling_spec();
-                let hits_before = cache.hits();
-                let e = cache.get_or_train(
-                    &spec,
-                    self.gpt,
-                    &self.options.memory,
-                    &truth,
-                    self.options.threads,
-                );
-                (e, start.elapsed(), cache.hits() > hits_before)
-            }
-            (None, None) => {
-                let (e, t, _) = self.train_memory_estimator();
-                (e, t, false)
-            }
+        // Line 1: profile the actual bandwidth matrix (or accept the
+        // caller's robustly-profiled one).
+        let (profiled, profiling_cost) = match &self.profiled_override {
+            Some((p, c)) => (p.clone(), *c),
+            None => self
+                .cluster
+                .profiler()
+                .profile(self.cluster.bandwidth(), self.options.seed),
         };
 
-        if let Some(t) = trace.as_deref_mut() {
-            let summary = estimator.train_summary();
-            t.push(EventKind::MemTrain {
-                samples: summary.samples,
-                iterations: summary.iterations,
-                final_loss: summary.final_loss,
-                cached,
-            });
-            for (i, &loss) in summary.loss_curve.iter().enumerate() {
-                t.push(EventKind::MemLoss {
-                    iteration: i * summary.record_every,
-                    loss,
+        // Memory model: pretrained > cached > trained now — or the
+        // analytic fallback, which skips training entirely.
+        let (memory_model, training_time) = if self.analytic_memory {
+            (
+                MemoryModel::Analytic {
+                    margin: self.options.memory.soft_margin,
+                    seq_len: self.gpt.seq_len,
+                    vocab: self.gpt.vocab,
+                },
+                Duration::ZERO,
+            )
+        } else {
+            let (estimator, training_time, cached) = match (&self.pretrained, self.estimator_cache)
+            {
+                (Some(e), _) => (e.clone(), Duration::ZERO, true),
+                (None, Some(cache)) => {
+                    let start = Instant::now();
+                    let (spec, truth) = self.profiling_spec();
+                    let hits_before = cache.hits();
+                    let e = cache.get_or_train(
+                        &spec,
+                        self.gpt,
+                        &self.options.memory,
+                        &truth,
+                        self.options.threads,
+                    );
+                    (e, start.elapsed(), cache.hits() > hits_before)
+                }
+                (None, None) => {
+                    let (e, t, _) = self.train_memory_estimator();
+                    (e, t, false)
+                }
+            };
+            if let Some(t) = trace.as_deref_mut() {
+                let summary = estimator.train_summary();
+                t.push(EventKind::MemTrain {
+                    samples: summary.samples,
+                    iterations: summary.iterations,
+                    final_loss: summary.final_loss,
+                    cached,
                 });
+                for (i, &loss) in summary.loss_curve.iter().enumerate() {
+                    t.push(EventKind::MemLoss {
+                        iteration: i * summary.record_every,
+                        loss,
+                    });
+                }
+                if let Some(cache) = self.estimator_cache {
+                    let c = cache.counters();
+                    t.push(EventKind::CacheStats {
+                        hits: c.hits,
+                        misses: c.misses,
+                        corrupt: c.corrupt,
+                    });
+                }
             }
-            if let Some(cache) = self.estimator_cache {
-                let c = cache.counters();
-                t.push(EventKind::CacheStats {
-                    hits: c.hits,
-                    misses: c.misses,
-                    corrupt: c.corrupt,
-                });
-            }
-        }
+            (MemoryModel::Learned(estimator), training_time)
+        };
 
         let limit = self.cluster.gpu().memory_bytes;
         let profiler = ComputeProfiler::default();
@@ -391,7 +520,7 @@ impl<'a> Pipette<'a> {
             })
             .collect();
         let t0 = Instant::now();
-        let runnable = estimator.is_runnable_batch(&features, limit, self.options.threads);
+        let runnable = memory_model.is_runnable_batch(&features, limit, self.options.threads);
         let mem_time = t0.elapsed();
 
         if let Some(t) = trace.as_deref_mut() {
@@ -527,7 +656,7 @@ impl<'a> Pipette<'a> {
         let breakdown = latency.breakdown(best_cfg, &best_mapping, best_plan, &winner.compute);
         debug_assert_eq!(breakdown.terms.total_seconds.to_bits(), best_t.to_bits());
         let memory = MemoryHeadroom {
-            predicted_bytes: estimator.predict_bytes(&MemorySample::features_for(
+            predicted_bytes: memory_model.predict_bytes(&MemorySample::features_for(
                 self.gpt,
                 topo.num_gpus(),
                 best_cfg,
@@ -535,7 +664,7 @@ impl<'a> Pipette<'a> {
                 self.global_batch,
             )),
             limit_bytes: limit,
-            soft_margin: estimator.soft_margin(),
+            soft_margin: memory_model.soft_margin(),
         };
 
         let alternatives: Vec<Alternative> = candidates

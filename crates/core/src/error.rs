@@ -22,6 +22,31 @@ pub enum ConfigureError {
     },
     /// A structural problem with the requested configuration space.
     Invalid(pipette_model::ModelError),
+    /// The cluster's bandwidth matrix carries a non-finite or
+    /// non-positive off-diagonal entry.
+    InvalidBandwidth {
+        /// Source GPU of the offending link.
+        from: usize,
+        /// Destination GPU of the offending link.
+        to: usize,
+        /// The offending value (GiB/s).
+        value: f64,
+    },
+    /// The cluster description is unusable (e.g. zero-capacity GPUs).
+    InvalidCluster {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A fault plan failed every GPU; there is nothing left to configure.
+    ClusterExhausted {
+        /// GPUs taken out by the plan.
+        failed_gpus: usize,
+        /// GPUs the cluster had.
+        total_gpus: usize,
+    },
+    /// An error surfaced by the cluster layer (fault-plan validation,
+    /// subcluster selection).
+    Cluster(pipette_cluster::ClusterError),
 }
 
 impl fmt::Display for ConfigureError {
@@ -35,6 +60,21 @@ impl fmt::Display for ConfigureError {
                 write!(f, "global batch {global_batch} cannot be split by any candidate dp")
             }
             ConfigureError::Invalid(e) => write!(f, "invalid search space: {e}"),
+            ConfigureError::InvalidBandwidth { from, to, value } => write!(
+                f,
+                "bandwidth matrix entry gpu{from}->gpu{to} is {value}, must be finite and positive"
+            ),
+            ConfigureError::InvalidCluster { reason } => {
+                write!(f, "invalid cluster: {reason}")
+            }
+            ConfigureError::ClusterExhausted {
+                failed_gpus,
+                total_gpus,
+            } => write!(
+                f,
+                "fault plan fails {failed_gpus} of {total_gpus} GPUs; no subcluster survives"
+            ),
+            ConfigureError::Cluster(e) => write!(f, "cluster error: {e}"),
         }
     }
 }
@@ -43,6 +83,7 @@ impl Error for ConfigureError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ConfigureError::Invalid(e) => Some(e),
+            ConfigureError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -51,6 +92,12 @@ impl Error for ConfigureError {
 impl From<pipette_model::ModelError> for ConfigureError {
     fn from(e: pipette_model::ModelError) -> Self {
         ConfigureError::Invalid(e)
+    }
+}
+
+impl From<pipette_cluster::ClusterError> for ConfigureError {
+    fn from(e: pipette_cluster::ClusterError) -> Self {
+        ConfigureError::Cluster(e)
     }
 }
 
@@ -67,5 +114,19 @@ mod tests {
         assert!(e.to_string().contains("40"));
         let e = ConfigureError::NoValidBatchSplit { global_batch: 13 };
         assert!(e.to_string().contains("13"));
+        let e = ConfigureError::InvalidBandwidth {
+            from: 2,
+            to: 7,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("gpu2") && e.to_string().contains("gpu7"));
+        let e = ConfigureError::ClusterExhausted {
+            failed_gpus: 16,
+            total_gpus: 16,
+        };
+        assert!(e.to_string().contains("16"));
+        let e = ConfigureError::from(pipette_cluster::ClusterError::EmptySelection);
+        assert!(matches!(e, ConfigureError::Cluster(_)));
+        assert!(e.to_string().contains("zero nodes"));
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod baselines;
 pub mod configurator;
+pub mod degraded;
 pub mod error;
 pub mod latency;
 pub mod mapping;
@@ -52,6 +53,7 @@ pub mod report;
 pub mod telemetry;
 
 pub use configurator::{Alternative, MemoryHeadroom, Pipette, PipetteOptions, Recommendation};
+pub use degraded::{run_under_faults, DegradedOutcome, ReconfigurationPlan};
 pub use error::ConfigureError;
 pub use latency::{AmpLatencyModel, Eq1Flavor, PipetteLatencyModel};
 pub use mapping::{AnnealStats, Annealer, AnnealerConfig};

@@ -144,13 +144,19 @@ impl TrainedEstimatorCache {
 
     fn load_from_disk(&self, fp: u64) -> Option<MemoryEstimator> {
         let path = self.disk_path(fp)?;
-        let text = std::fs::read_to_string(path).ok()?;
+        let text = std::fs::read_to_string(&path).ok()?;
         // The file exists: a parse failure here is a *corrupt* entry
-        // (truncated write, schema change), not a plain miss.
+        // (truncated write, schema change), not a plain miss. Quarantine
+        // it as `<name>.corrupt` so the bad bytes stay inspectable and the
+        // retrained entry gets a clean slot — without the rename the same
+        // corrupt file would be re-parsed (and silently retrained over)
+        // every single run.
         match serde_json::from_str(&text) {
             Ok(estimator) => Some(estimator),
             Err(_) => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
+                let quarantine = path.with_extension("json.corrupt");
+                let _ = std::fs::rename(&path, quarantine);
                 None
             }
         }
@@ -307,6 +313,31 @@ mod tests {
                 hits: 0,
                 misses: 1,
                 corrupt: 1,
+            }
+        );
+        // The corrupt bytes are quarantined, not overwritten: the slot now
+        // holds the retrained entry and the `.corrupt` file keeps the
+        // original for inspection.
+        let entry = dir.join(format!("pipette-mem-estimator-{fp:016x}.json"));
+        let quarantined = entry.with_extension("json.corrupt");
+        assert_eq!(
+            std::fs::read_to_string(&quarantined).unwrap(),
+            "not json",
+            "quarantine file preserves the corrupt bytes"
+        );
+        assert!(
+            serde_json::from_str::<MemoryEstimator>(&std::fs::read_to_string(&entry).unwrap())
+                .is_ok()
+        );
+        // A second cold cache now hits the retrained entry cleanly.
+        let warm = TrainedEstimatorCache::with_dir(&dir);
+        let _ = warm.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!(
+            warm.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 0,
+                corrupt: 0,
             }
         );
         let _ = std::fs::remove_dir_all(&dir);

@@ -127,10 +127,50 @@ fn log_features(features: &[f64; 10]) -> Vec<f64> {
     features.iter().map(|&f| f.max(1.0).ln()).collect()
 }
 
+/// Why memory-estimator training cannot produce a trustworthy network.
+///
+/// Under cluster faults the profiling sweep can lose most of its samples
+/// (crashed profiling jobs) or return a collapsed target distribution
+/// (every surviving sample identical). Training an MLP on such a corpus
+/// silently yields garbage; [`MemoryEstimator::train_checked`] detects
+/// both so the caller can fall back to the analytic model instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorDegeneracy {
+    /// The corpus is too small to fit the ten-feature MLP.
+    TooFewSamples {
+        /// Samples that survived.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// The log-residual targets have (near-)zero variance; the network
+    /// would learn a constant and extrapolate it everywhere.
+    CollapsedTargets {
+        /// Standard deviation of the residual targets.
+        y_std: f64,
+    },
+}
+
+impl std::fmt::Display for EstimatorDegeneracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimatorDegeneracy::TooFewSamples { got, need } => {
+                write!(f, "only {got} profiled samples survived (need {need})")
+            }
+            EstimatorDegeneracy::CollapsedTargets { y_std } => {
+                write!(f, "memory targets collapsed (residual std {y_std:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimatorDegeneracy {}
+
 /// The analytic prior for a feature vector: rebuild the model and
 /// configuration Eq. 7's features describe and run the baseline \[20\]
-/// estimate on them.
-fn analytic_prior(features: &[f64; 10], seq_len: usize, vocab: usize) -> f64 {
+/// estimate on them. Also the fallback estimate when MLP training
+/// degenerates (see [`EstimatorDegeneracy`]).
+pub(crate) fn analytic_prior(features: &[f64; 10], seq_len: usize, vocab: usize) -> f64 {
     let gpt = GptConfig::new(
         features[1] as usize,
         features[2] as usize,
@@ -226,6 +266,54 @@ impl MemoryEstimator {
                 loss_curve: report.loss_curve,
             },
         }
+    }
+
+    /// Fallible variant of [`Self::train_with_threads`] for corpora that
+    /// may have degenerated under cluster faults: checks the sample count
+    /// and target variance *before* spending the training iterations.
+    ///
+    /// On a healthy corpus the returned estimator is bit-identical to
+    /// [`Self::train_with_threads`].
+    ///
+    /// # Errors
+    ///
+    /// [`EstimatorDegeneracy`] when the corpus cannot support training;
+    /// the caller should fall back to the analytic memory model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if non-empty `samples` mix sequence lengths or vocabularies
+    /// (a profiling-pipeline bug, not a runtime fault).
+    pub fn train_checked(
+        samples: &[MemorySample],
+        config: &MemoryEstimatorConfig,
+        threads: usize,
+    ) -> Result<Self, EstimatorDegeneracy> {
+        const MIN_SAMPLES: usize = 8;
+        if samples.len() < MIN_SAMPLES {
+            return Err(EstimatorDegeneracy::TooFewSamples {
+                got: samples.len(),
+                need: MIN_SAMPLES,
+            });
+        }
+        let seq_len = samples[0].seq_len;
+        let vocab = samples[0].vocab;
+        let y_log: Vec<f64> = samples
+            .iter()
+            .map(|s| {
+                (s.peak_bytes as f64 / analytic_prior(&s.features, seq_len, vocab))
+                    .max(1e-6)
+                    .ln()
+            })
+            .collect();
+        let n = y_log.len() as f64;
+        let y_mean = y_log.iter().sum::<f64>() / n;
+        let var = y_log.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n;
+        let y_std = var.sqrt();
+        if !(y_std.is_finite() && y_std >= 1e-12) {
+            return Err(EstimatorDegeneracy::CollapsedTargets { y_std });
+        }
+        Ok(Self::train_with_threads(samples, config, threads))
     }
 
     /// Telemetry of the training run that produced this estimator (also
@@ -433,6 +521,35 @@ mod tests {
         assert!(s.final_loss.is_finite());
         // Training converges: the curve ends well below where it starts.
         assert!(s.loss_curve.last().unwrap() < s.loss_curve.first().unwrap());
+    }
+
+    #[test]
+    fn train_checked_matches_plain_training_on_healthy_corpus() {
+        let samples = corpus();
+        let checked = MemoryEstimator::train_checked(&samples, &quick_config(), 1)
+            .expect("healthy corpus trains");
+        let plain = MemoryEstimator::train(&samples, &quick_config());
+        assert_eq!(checked, plain);
+    }
+
+    #[test]
+    fn train_checked_rejects_degenerate_corpora() {
+        let samples = corpus();
+        // Too few samples: a corpus decimated by failed profiling jobs.
+        let few = &samples[..3];
+        assert!(matches!(
+            MemoryEstimator::train_checked(few, &quick_config(), 1),
+            Err(EstimatorDegeneracy::TooFewSamples { got: 3, need: 8 })
+        ));
+        // Collapsed targets: every sample reports the same residual.
+        let collapsed: Vec<MemorySample> = (0..12).map(|_| samples[0]).collect();
+        assert!(matches!(
+            MemoryEstimator::train_checked(&collapsed, &quick_config(), 1),
+            Err(EstimatorDegeneracy::CollapsedTargets { .. })
+        ));
+        // The errors render a reason.
+        let e = EstimatorDegeneracy::TooFewSamples { got: 3, need: 8 };
+        assert!(e.to_string().contains('3'));
     }
 
     #[test]

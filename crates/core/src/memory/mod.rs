@@ -12,4 +12,6 @@ pub use analytic::AnalyticMemoryEstimator;
 pub use cache::{estimator_fingerprint, CacheCounters, TrainedEstimatorCache};
 pub use calibration::{calibrate, CalibrationReport};
 pub use dataset::{collect_samples, collect_samples_parallel, MemorySample, SampleSpec};
-pub use estimator::{MemoryEstimator, MemoryEstimatorConfig, TrainSummary};
+pub use estimator::{EstimatorDegeneracy, MemoryEstimator, MemoryEstimatorConfig, TrainSummary};
+
+pub(crate) use estimator::analytic_prior;

@@ -228,6 +228,94 @@ pub enum EventKind {
         /// Finish time, simulated seconds.
         finish: f64,
     },
+    /// A fault plan was applied to the run (counts only; the full plan
+    /// lives in the caller's `--faults` file).
+    FaultPlanApplied {
+        /// Plan seed.
+        plan_seed: u64,
+        /// Degraded node-to-node links.
+        degraded_links: usize,
+        /// Straggler GPUs.
+        straggler_gpus: usize,
+        /// Explicitly failed GPUs.
+        failed_gpus: usize,
+        /// Explicitly failed nodes.
+        failed_nodes: usize,
+        /// Pairs with injected corrupt readings.
+        corrupt_pairs: usize,
+        /// Per-attempt measurement failure probability.
+        measurement_failure_rate: f64,
+        /// Per-sample memory-profile loss probability.
+        sample_loss_rate: f64,
+    },
+    /// A profiled pair needed retries and/or discarded corrupt samples.
+    ProfilerRetry {
+        /// Source GPU.
+        from: usize,
+        /// Destination GPU.
+        to: usize,
+        /// Extra attempts beyond the requested repeats.
+        retries: usize,
+        /// Samples discarded as NaN/zero/implausible.
+        corrupt_samples: usize,
+        /// Whether a valid measurement was eventually obtained (false
+        /// means the pair fell through to imputation).
+        recovered: bool,
+    },
+    /// A profiled pair exhausted its retries and was imputed from
+    /// topology priors.
+    PairImputed {
+        /// Source GPU.
+        from: usize,
+        /// Destination GPU.
+        to: usize,
+        /// The imputed bandwidth in GiB/s.
+        gib_s: f64,
+        /// Attempts spent before giving up.
+        retries: usize,
+    },
+    /// A GPU was excluded from configuration (its node is cordoned).
+    GpuExcluded {
+        /// The excluded GPU.
+        gpu: usize,
+        /// Its (cordoned) host node.
+        node: usize,
+    },
+    /// A pipeline component degraded to a simpler fallback.
+    Fallback {
+        /// The component that degraded (e.g. `"memory_estimator"`).
+        component: String,
+        /// Why the fallback was taken.
+        reason: String,
+    },
+    /// Diff between the healthy-cluster recommendation and the one
+    /// recomputed for the surviving subcluster.
+    Reconfiguration {
+        /// Healthy pipeline ways.
+        healthy_pp: usize,
+        /// Healthy tensor ways.
+        healthy_tp: usize,
+        /// Healthy data ways.
+        healthy_dp: usize,
+        /// Healthy microbatch size.
+        healthy_micro: u64,
+        /// Healthy estimated iteration seconds.
+        healthy_seconds: f64,
+        /// Degraded pipeline ways.
+        degraded_pp: usize,
+        /// Degraded tensor ways.
+        degraded_tp: usize,
+        /// Degraded data ways.
+        degraded_dp: usize,
+        /// Degraded microbatch size.
+        degraded_micro: u64,
+        /// Degraded estimated iteration seconds.
+        degraded_seconds: f64,
+        /// GPUs in the healthy cluster.
+        healthy_gpus: usize,
+        /// GPUs surviving the fault plan.
+        surviving_gpus: usize,
+    },
     /// A named monotonic counter, flushed from [`crate::Metrics`].
     Counter {
         /// Counter name.
@@ -269,6 +357,12 @@ impl EventKind {
             EventKind::Recommendation { .. } => "recommendation",
             EventKind::Alternative { .. } => "alternative",
             EventKind::SimTask { .. } => "sim_task",
+            EventKind::FaultPlanApplied { .. } => "fault_plan",
+            EventKind::ProfilerRetry { .. } => "profiler_retry",
+            EventKind::PairImputed { .. } => "pair_imputed",
+            EventKind::GpuExcluded { .. } => "gpu_excluded",
+            EventKind::Fallback { .. } => "fallback",
+            EventKind::Reconfiguration { .. } => "reconfiguration",
             EventKind::Counter { .. } => "counter",
             EventKind::Histogram { .. } => "histogram",
         }
@@ -567,6 +661,84 @@ impl Event {
                 o.float("start", *start);
                 o.float("finish", *finish);
             }
+            EventKind::FaultPlanApplied {
+                plan_seed,
+                degraded_links,
+                straggler_gpus,
+                failed_gpus,
+                failed_nodes,
+                corrupt_pairs,
+                measurement_failure_rate,
+                sample_loss_rate,
+            } => {
+                o.uint("plan_seed", *plan_seed);
+                o.uint("degraded_links", *degraded_links as u64);
+                o.uint("straggler_gpus", *straggler_gpus as u64);
+                o.uint("failed_gpus", *failed_gpus as u64);
+                o.uint("failed_nodes", *failed_nodes as u64);
+                o.uint("corrupt_pairs", *corrupt_pairs as u64);
+                o.float("measurement_failure_rate", *measurement_failure_rate);
+                o.float("sample_loss_rate", *sample_loss_rate);
+            }
+            EventKind::ProfilerRetry {
+                from,
+                to,
+                retries,
+                corrupt_samples,
+                recovered,
+            } => {
+                o.uint("from", *from as u64);
+                o.uint("to", *to as u64);
+                o.uint("retries", *retries as u64);
+                o.uint("corrupt_samples", *corrupt_samples as u64);
+                o.boolean("recovered", *recovered);
+            }
+            EventKind::PairImputed {
+                from,
+                to,
+                gib_s,
+                retries,
+            } => {
+                o.uint("from", *from as u64);
+                o.uint("to", *to as u64);
+                o.float("gib_s", *gib_s);
+                o.uint("retries", *retries as u64);
+            }
+            EventKind::GpuExcluded { gpu, node } => {
+                o.uint("gpu", *gpu as u64);
+                o.uint("node", *node as u64);
+            }
+            EventKind::Fallback { component, reason } => {
+                o.string("component", component);
+                o.string("reason", reason);
+            }
+            EventKind::Reconfiguration {
+                healthy_pp,
+                healthy_tp,
+                healthy_dp,
+                healthy_micro,
+                healthy_seconds,
+                degraded_pp,
+                degraded_tp,
+                degraded_dp,
+                degraded_micro,
+                degraded_seconds,
+                healthy_gpus,
+                surviving_gpus,
+            } => {
+                o.uint("healthy_pp", *healthy_pp as u64);
+                o.uint("healthy_tp", *healthy_tp as u64);
+                o.uint("healthy_dp", *healthy_dp as u64);
+                o.uint("healthy_micro", *healthy_micro);
+                o.float("healthy_seconds", *healthy_seconds);
+                o.uint("degraded_pp", *degraded_pp as u64);
+                o.uint("degraded_tp", *degraded_tp as u64);
+                o.uint("degraded_dp", *degraded_dp as u64);
+                o.uint("degraded_micro", *degraded_micro);
+                o.float("degraded_seconds", *degraded_seconds);
+                o.uint("healthy_gpus", *healthy_gpus as u64);
+                o.uint("surviving_gpus", *surviving_gpus as u64);
+            }
             EventKind::Counter { name, value } => {
                 o.string("name", name);
                 o.uint("value", *value);
@@ -689,6 +861,53 @@ mod tests {
             .kind(),
         ];
         assert_eq!(kinds, ["run_start", "cache_stats", "sim_task"]);
+    }
+
+    #[test]
+    fn degradation_events_serialize_with_fixed_shape() {
+        let e = Event {
+            wall_ms: None,
+            kind: EventKind::ProfilerRetry {
+                from: 0,
+                to: 5,
+                retries: 1,
+                corrupt_samples: 1,
+                recovered: true,
+            },
+        };
+        let mut out = String::new();
+        e.write_json(3, false, &mut out);
+        assert_eq!(
+            out,
+            r#"{"seq":3,"kind":"profiler_retry","from":0,"to":5,"retries":1,"corrupt_samples":1,"recovered":true}"#
+        );
+        let e = Event {
+            wall_ms: None,
+            kind: EventKind::Fallback {
+                component: "memory_estimator".into(),
+                reason: "too few samples".into(),
+            },
+        };
+        let mut out = String::new();
+        e.write_json(4, false, &mut out);
+        assert_eq!(
+            out,
+            r#"{"seq":4,"kind":"fallback","component":"memory_estimator","reason":"too few samples"}"#
+        );
+        assert_eq!(
+            EventKind::GpuExcluded { gpu: 9, node: 1 }.kind(),
+            "gpu_excluded"
+        );
+        assert_eq!(
+            EventKind::PairImputed {
+                from: 0,
+                to: 1,
+                gib_s: 11.6,
+                retries: 3
+            }
+            .kind(),
+            "pair_imputed"
+        );
     }
 
     #[test]
