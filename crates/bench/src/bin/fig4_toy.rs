@@ -97,7 +97,7 @@ fn gantt_for(
     mapping: &Mapping,
     plan: MicrobatchPlan,
 ) -> String {
-    use pipette_sim::compute::{stage_bwd_time, stage_fwd_time};
+    use pipette_sim::compute::{stage_bwd_time_s, stage_fwd_time_s};
     use pipette_sim::CommModel;
     let comm = CommModel::new(cluster.bandwidth());
     let gpu = cluster.gpu().clone();
@@ -108,10 +108,10 @@ fn gantt_for(
         n_mb: plan.n_microbatches,
         schedule: PipelineSchedule::OneFOneB,
         fwd_time: (0..cfg.pp)
-            .map(|s| stage_fwd_time(gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
+            .map(|s| stage_fwd_time_s(gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
             .collect(),
         bwd_time: (0..cfg.pp)
-            .map(|s| stage_bwd_time(gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
+            .map(|s| stage_bwd_time_s(gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
             .collect(),
         fwd_comm: (0..cfg.pp - 1)
             .map(|s| comm.p2p(chain[s], chain[s + 1], msg))

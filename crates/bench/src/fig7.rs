@@ -153,6 +153,7 @@ pub fn run_with_training(
             s.features[6] as usize,
         );
         let plan = MicrobatchPlan::new(s.features[8] as u64, s.features[7] as u64)
+            // pipette-lint: allow(D2) -- profiling samples come from our own sweep; a malformed one is a bug in the bench
             .expect("samples are valid");
         points.push(MemoryPoint {
             actual: s.peak_bytes,

@@ -49,7 +49,7 @@ pub fn run(
 ) -> Fig8Result {
     let mut points = Vec::new();
     for &g in gpu_counts {
-        assert!(g % 8 == 0, "GPU counts must be whole nodes");
+        debug_assert!(g % 8 == 0, "GPU counts must be whole nodes");
         let nodes = g / 8;
         let r = fig6::run(kind, nodes, global_batch, opts);
         let model = kind.model_for_gpus(g);

@@ -64,6 +64,7 @@ pub fn run_cell(
 
     let rec = Pipette::new(&cluster, &gpt, global_batch, opts.pipette_options())
         .run()
+        // pipette-lint: allow(D2) -- experiment harness over baked-in presets; aborting the table run is the right failure mode
         .expect("Pipette must find a configuration");
     let pipette_seconds = runner
         .execute(rec.config, &rec.mapping, rec.plan)

@@ -31,8 +31,8 @@ pub fn launch_recommendation(
 ///
 /// Panics if the slices differ in length or are empty.
 pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(pred.len(), truth.len(), "length mismatch");
-    assert!(!pred.is_empty(), "need at least one point");
+    debug_assert_eq!(pred.len(), truth.len(), "length mismatch");
+    debug_assert!(!pred.is_empty(), "need at least one point");
     pred.iter()
         .zip(truth)
         .map(|(p, t)| (p - t).abs() / t)

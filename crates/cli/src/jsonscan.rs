@@ -115,7 +115,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -148,7 +148,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members: Vec<(String, JsonValue)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -162,7 +162,7 @@ impl Parser<'_> {
                 return Err(self.err(&format!("duplicate key {key:?}")));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             members.push((key, value));
@@ -179,7 +179,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -202,7 +202,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -253,6 +253,8 @@ impl Parser<'_> {
                         self.pos += 1;
                     }
                     out.push_str(
+                        // pipette-lint: allow(D2) -- the range spans whole chars of
+                        // an input that arrived as &str, so it is valid UTF-8
                         std::str::from_utf8(&self.bytes[start..self.pos])
                             .expect("input was a &str"),
                     );

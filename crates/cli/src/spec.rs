@@ -243,6 +243,7 @@ fn check_job_shape(doc: &JsonValue) -> Result<(), SpecError> {
         TOP_FIELDS,
         &["cluster", "model", "global_batch"],
     )?;
+    // pipette-lint: allow(D2) -- check_fields above just verified `cluster` is present
     let cluster = doc.get("cluster").expect("required above");
     check_fields(
         cluster,
@@ -251,6 +252,7 @@ fn check_job_shape(doc: &JsonValue) -> Result<(), SpecError> {
         CLUSTER_FIELDS,
         &["preset", "nodes"],
     )?;
+    // pipette-lint: allow(D2) -- check_fields above just verified `model` is present
     let model = doc.get("model").expect("required above");
     if model.get("preset").is_some() {
         check_fields(model, "model", &["preset"], MODEL_FIELDS, &["preset"])?;

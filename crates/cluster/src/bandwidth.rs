@@ -154,7 +154,7 @@ impl BandwidthMatrix {
     }
 
     /// Per-message latency (alpha) between two GPUs, in seconds.
-    pub fn latency(&self, a: GpuId, b: GpuId) -> f64 {
+    pub fn latency_s(&self, a: GpuId, b: GpuId) -> f64 {
         match self.link_class(a, b) {
             LinkClass::Loopback => 0.0,
             LinkClass::IntraNode => self.intra_spec.latency_s,
@@ -169,7 +169,7 @@ impl BandwidthMatrix {
     /// Panics if either id is out of range.
     pub fn between(&self, a: GpuId, b: GpuId) -> f64 {
         let n = self.topology.num_gpus();
-        assert!(a.0 < n && b.0 < n, "gpu id out of range");
+        debug_assert!(a.0 < n && b.0 < n, "gpu id out of range");
         self.data[a.0 * n + b.0]
     }
 
@@ -180,9 +180,9 @@ impl BandwidthMatrix {
     /// Panics if ids are out of range, if `a == b`, or `gib_s <= 0`.
     pub fn set(&mut self, a: GpuId, b: GpuId, gib_s: f64) {
         let n = self.topology.num_gpus();
-        assert!(a.0 < n && b.0 < n, "gpu id out of range");
-        assert!(a != b, "cannot set loopback bandwidth");
-        assert!(gib_s > 0.0, "bandwidth must be positive");
+        debug_assert!(a.0 < n && b.0 < n, "gpu id out of range");
+        debug_assert!(a != b, "cannot set loopback bandwidth");
+        debug_assert!(gib_s > 0.0, "bandwidth must be positive");
         self.data[a.0 * n + b.0] = gib_s;
     }
 
@@ -347,8 +347,8 @@ mod tests {
         assert_eq!(m.link_class(GpuId(0), GpuId(0)), LinkClass::Loopback);
         assert_eq!(m.link_class(GpuId(0), GpuId(1)), LinkClass::IntraNode);
         assert_eq!(m.link_class(GpuId(0), GpuId(5)), LinkClass::InterNode);
-        assert_eq!(m.latency(GpuId(0), GpuId(5)), 5e-6);
-        assert_eq!(m.latency(GpuId(0), GpuId(0)), 0.0);
+        assert_eq!(m.latency_s(GpuId(0), GpuId(5)), 5e-6);
+        assert_eq!(m.latency_s(GpuId(0), GpuId(0)), 0.0);
     }
 
     #[test]

@@ -46,6 +46,7 @@ impl LinkSpec {
     ///
     /// Panics if bandwidth is not strictly positive or latency is negative.
     pub fn new(bandwidth_gib_s: f64, latency_s: f64) -> Self {
+        // pipette-lint: allow(D2) -- documented `# Panics` contract for hand-authored link specs
         assert!(bandwidth_gib_s > 0.0, "bandwidth must be positive");
         assert!(latency_s >= 0.0, "latency must be non-negative");
         Self {
@@ -55,7 +56,7 @@ impl LinkSpec {
     }
 
     /// Time in seconds to move `bytes` over this link at nominal speed.
-    pub fn transfer_time(&self, bytes: u64) -> f64 {
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
         self.latency_s + bytes as f64 / (self.bandwidth_gib_s * GIB)
     }
 }
@@ -75,7 +76,7 @@ mod tests {
     #[test]
     fn transfer_time_includes_alpha() {
         let spec = LinkSpec::new(1.0, 1e-6);
-        let t = spec.transfer_time(GIB as u64);
+        let t = spec.transfer_time_s(GIB as u64);
         assert!((t - 1.000001).abs() < 1e-9);
     }
 

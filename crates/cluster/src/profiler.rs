@@ -103,7 +103,7 @@ impl Aggregation {
         debug_assert!(!samples.is_empty());
         match self {
             Aggregation::Median => {
-                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                samples.sort_by(f64::total_cmp);
                 let n = samples.len();
                 if n % 2 == 1 {
                     samples[n / 2]
@@ -115,7 +115,7 @@ impl Aggregation {
                 if samples.len() < 3 {
                     return Aggregation::Mean.collapse(samples);
                 }
-                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                samples.sort_by(f64::total_cmp);
                 let inner = &samples[1..samples.len() - 1];
                 inner.iter().sum::<f64>() / inner.len() as f64
             }
@@ -253,7 +253,7 @@ impl NetworkProfiler {
     ///
     /// Panics if any parameter is negative.
     pub fn new(noise_sigma: f64, base_seconds: f64, per_pair_seconds: f64) -> Self {
-        assert!(noise_sigma >= 0.0 && base_seconds >= 0.0 && per_pair_seconds >= 0.0);
+        debug_assert!(noise_sigma >= 0.0 && base_seconds >= 0.0 && per_pair_seconds >= 0.0);
         Self {
             noise_sigma,
             base_seconds,
@@ -357,6 +357,8 @@ impl NetworkProfiler {
         let class_idx = |c: LinkClass| match c {
             LinkClass::IntraNode => 0,
             LinkClass::InterNode => 1,
+            // pipette-lint: allow(D2) -- the profiling loops below visit only
+            // a != b pairs, so a loopback class here is a broken iteration
             LinkClass::Loopback => unreachable!("loopback pairs are skipped"),
         };
         let cordoned: Vec<GpuId> = plan.excluded_gpu_ids(&topo);

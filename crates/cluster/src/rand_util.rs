@@ -21,7 +21,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `sigma` is negative.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
-    assert!(sigma >= 0.0, "sigma must be non-negative");
+    debug_assert!(sigma >= 0.0, "sigma must be non-negative");
     mean + sigma * standard_normal(rng)
 }
 

@@ -56,6 +56,7 @@ impl ClusterTopology {
     ///
     /// Panics if either dimension is zero.
     pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+        // pipette-lint: allow(D2) -- documented `# Panics` contract; dimensions come from presets or validated specs
         assert!(nodes > 0, "cluster must have at least one node");
         assert!(gpus_per_node > 0, "nodes must host at least one GPU");
         Self {
@@ -110,13 +111,13 @@ impl ClusterTopology {
     ///
     /// Panics if `gpu` is out of range.
     pub fn node_of(&self, gpu: GpuId) -> NodeId {
-        assert!(gpu.0 < self.num_gpus(), "gpu {gpu} out of range");
+        debug_assert!(gpu.0 < self.num_gpus(), "gpu {gpu} out of range");
         NodeId(gpu.0 / self.gpus_per_node)
     }
 
     /// Local rank of `gpu` within its node (0-based).
     pub fn local_rank(&self, gpu: GpuId) -> usize {
-        assert!(gpu.0 < self.num_gpus(), "gpu {gpu} out of range");
+        debug_assert!(gpu.0 < self.num_gpus(), "gpu {gpu} out of range");
         gpu.0 % self.gpus_per_node
     }
 
@@ -126,8 +127,8 @@ impl ClusterTopology {
     ///
     /// Panics if `node` or `local_rank` are out of range.
     pub fn gpu(&self, node: usize, local_rank: usize) -> GpuId {
-        assert!(node < self.nodes, "node {node} out of range");
-        assert!(
+        debug_assert!(node < self.nodes, "node {node} out of range");
+        debug_assert!(
             local_rank < self.gpus_per_node,
             "local rank {local_rank} out of range"
         );
@@ -151,7 +152,7 @@ impl ClusterTopology {
 
     /// The GPUs hosted on `node`, in local-rank order.
     pub fn gpus_of_node(&self, node: NodeId) -> impl Iterator<Item = GpuId> + '_ {
-        assert!(node.0 < self.nodes, "node {node} out of range");
+        debug_assert!(node.0 < self.nodes, "node {node} out of range");
         let base = node.0 * self.gpus_per_node;
         (base..base + self.gpus_per_node).map(GpuId)
     }
@@ -165,7 +166,7 @@ impl ClusterTopology {
     ///
     /// Panics if `nodes` is zero or exceeds the current node count.
     pub fn truncated(&self, nodes: usize) -> Self {
-        assert!(
+        debug_assert!(
             nodes > 0 && nodes <= self.nodes,
             "invalid truncation to {nodes} nodes"
         );

@@ -93,7 +93,7 @@ impl<'a> AmpLatencyModel<'a> {
         plan: MicrobatchPlan,
         compute: &ProfiledCompute,
     ) -> f64 {
-        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        debug_assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
         let mapping = Mapping::identity(cfg, *self.nominal.topology());
         let comm = CommModel::new(&self.nominal);
 

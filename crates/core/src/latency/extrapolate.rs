@@ -76,6 +76,7 @@ fn least_squares(rows: &[[f64; 4]], y: &[f64]) -> [f64; 4] {
     for col in 0..4 {
         let pivot = (col..4)
             .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            // pipette-lint: allow(D2) -- `col..4` with `col < 4` is never empty
             .expect("non-empty range");
         m.swap(col, pivot);
         let p = m[col][col];
@@ -129,6 +130,7 @@ impl ComputeExtrapolator {
     /// Panics if fewer than four observations are provided (the model has
     /// four coefficients).
     pub fn fit(observations: &[ComputeObservation]) -> Self {
+        // pipette-lint: allow(D2) -- documented `# Panics` contract: fewer observations than coefficients is a caller bug
         assert!(
             observations.len() >= 4,
             "need at least 4 observations to fit 4 coefficients"

@@ -93,8 +93,8 @@ impl<'a> PipetteLatencyModel<'a> {
         plan: MicrobatchPlan,
         compute: &ProfiledCompute,
     ) -> f64 {
-        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
-        assert_eq!(
+        debug_assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        debug_assert_eq!(
             mapping.config(),
             cfg,
             "mapping built for another configuration"
@@ -109,7 +109,7 @@ impl<'a> PipetteLatencyModel<'a> {
         // Every term is recomputed from the mapping on each call; the
         // incremental objective feeds the same reduction from its caches.
         let mut stage_cost = Vec::with_capacity(cfg.pp);
-        terms::reduce_latency(
+        terms::reduce_latency_s(
             cfg,
             plan,
             compute,
@@ -135,8 +135,8 @@ impl<'a> PipetteLatencyModel<'a> {
         plan: MicrobatchPlan,
         compute: &ProfiledCompute,
     ) -> LatencyExplanation {
-        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
-        assert_eq!(
+        debug_assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        debug_assert_eq!(
             mapping.config(),
             cfg,
             "mapping built for another configuration"
@@ -218,15 +218,15 @@ impl<'a> PipetteLatencyModel<'a> {
         v: usize,
         compute: &ProfiledCompute,
     ) -> f64 {
-        assert!(v >= 2, "use estimate() for v = 1");
-        assert_eq!(
+        debug_assert!(v >= 2, "use estimate() for v = 1");
+        debug_assert_eq!(
             mapping.config(),
             cfg,
             "mapping built for another configuration"
         );
         let s_total = cfg.pp * v;
-        assert_eq!(compute.num_stages(), s_total, "profiled stages mismatch");
-        assert!(
+        debug_assert_eq!(compute.num_stages(), s_total, "profiled stages mismatch");
+        debug_assert!(
             plan.n_microbatches.is_multiple_of(cfg.pp as u64),
             "interleaving requires pp | n_mb"
         );

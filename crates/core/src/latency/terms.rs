@@ -5,7 +5,7 @@
 //! Both evaluation paths — the batch estimator
 //! ([`crate::latency::PipetteLatencyModel::estimate`]) and the incremental
 //! SA objective ([`crate::mapping::IncrementalObjective`]) — feed these
-//! terms through [`reduce_latency`], so the two are bit-identical by
+//! terms through [`reduce_latency_s`], so the two are bit-identical by
 //! construction: the incremental path merely caches term values that the
 //! batch path recomputes.
 
@@ -51,7 +51,7 @@ pub fn t_pp_chain_hop(
     x: usize,
 ) -> f64 {
     let cfg = mapping.config();
-    assert!(x + 1 < cfg.pp, "hop {x} out of range");
+    debug_assert!(x + 1 < cfg.pp, "hop {x} out of range");
     // Worker (s, y, z) lives at linear index ((s·dp + z)·tp + y), so the
     // two stages' tensor ranks are consecutive `tp`-slices of the
     // assignment (one block each).
@@ -190,7 +190,7 @@ pub fn t_tp_from_allreduce(gpt: &GptConfig, pp: usize, stage: usize, allreduce: 
 /// data-parallel all-reduce time. `stage_cost` is caller-provided scratch.
 /// Closure call order and floating-point reduction order are fixed, so two
 /// callers feeding bitwise-equal terms get bitwise-equal estimates.
-pub fn reduce_latency<FT, FH>(
+pub fn reduce_latency_s<FT, FH>(
     cfg: ParallelConfig,
     plan: MicrobatchPlan,
     compute: &ProfiledCompute,
@@ -252,7 +252,7 @@ where
 /// The Eq. 3–6 decomposition of one latency estimate, as recorded for
 /// telemetry and `pipette explain`.
 ///
-/// `total_seconds` is **bit-identical** to what [`reduce_latency`] returns
+/// `total_seconds` is **bit-identical** to what [`reduce_latency_s`] returns
 /// for the same inputs ([`reduce_latency_breakdown`] mirrors its arithmetic
 /// op for op; `reduce_is_bitwise_equal_to_breakdown` guards the invariant).
 /// The component terms are reported for the critical replica — the one
@@ -278,9 +278,9 @@ pub struct LatencyBreakdown {
     pub straggler_stage: usize,
 }
 
-/// [`reduce_latency`], but also reporting where the time went.
+/// [`reduce_latency_s`], but also reporting where the time went.
 ///
-/// Mirrors [`reduce_latency`]'s floating-point operations in the same
+/// Mirrors [`reduce_latency_s`]'s floating-point operations in the same
 /// order, so `breakdown.total_seconds` is bitwise equal to the plain
 /// estimate. Kept separate from the hot-path reduction (which the SA inner
 /// loop calls thousands of times per pass) so instrumentation costs
@@ -442,7 +442,7 @@ mod tests {
                 .map(|s| t_dp_stage(c.bandwidth(), &m, &gpt, s))
                 .collect();
             let mut scratch = Vec::new();
-            let plain = reduce_latency(
+            let plain = reduce_latency_s(
                 cfg,
                 plan,
                 &compute,

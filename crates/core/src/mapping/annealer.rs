@@ -169,10 +169,12 @@ impl Annealer {
     ///
     /// Panics if `alpha` is not in `(0, 1)` or every move is disabled.
     pub fn new(config: AnnealerConfig) -> Self {
+        // pipette-lint: allow(D2) -- documented `# Panics` constructor contract on hand-written annealer configs
         assert!(
             config.alpha > 0.0 && config.alpha < 1.0,
             "alpha must be in (0, 1)"
         );
+        // pipette-lint: allow(D2) -- same documented `# Panics` contract: a config with every move disabled cannot anneal
         assert!(
             config.enable_migration || config.enable_swap || config.enable_reverse,
             "at least one move kind must be enabled"
@@ -225,6 +227,7 @@ impl Annealer {
         objective: &mut O,
         observer: &mut Obs,
     ) -> (Mapping, f64, AnnealStats) {
+        // pipette-lint: allow(D1) -- opt-in wall-clock budget for operators; deterministic runs leave it unset and replay from the seed alone
         let start = Instant::now();
         let block = initial.config().tp.max(1);
         let num_blocks = initial.as_slice().len() / block;

@@ -92,7 +92,7 @@ impl Move {
     ///
     /// Panics if `num_blocks < 2`.
     pub fn random_of_kind<R: Rng + ?Sized>(rng: &mut R, kind: MoveKind, num_blocks: usize) -> Self {
-        assert!(num_blocks >= 2, "need at least two blocks to move");
+        debug_assert!(num_blocks >= 2, "need at least two blocks to move");
         match kind {
             MoveKind::Migration => {
                 let from = rng.gen_range(0..num_blocks);
@@ -158,14 +158,14 @@ impl Move {
     /// Panics if `assign.len()` is not a multiple of `block_size` or block
     /// indices are out of range.
     pub fn apply_to<T>(&self, assign: &mut [T], block_size: usize) {
-        assert!(
+        debug_assert!(
             block_size > 0 && assign.len().is_multiple_of(block_size),
             "invalid block size"
         );
         let nb = assign.len() / block_size;
         match *self {
             Move::Migration { from, to } => {
-                assert!(from < nb && to < nb, "block out of range");
+                debug_assert!(from < nb && to < nb, "block out of range");
                 if from == to {
                     return;
                 }
@@ -177,7 +177,7 @@ impl Move {
                 }
             }
             Move::Swap { a, b } => {
-                assert!(a < nb && b < nb, "block out of range");
+                debug_assert!(a < nb && b < nb, "block out of range");
                 if a == b {
                     return;
                 }
@@ -187,7 +187,7 @@ impl Move {
                     .swap_with_slice(&mut right[..block_size]);
             }
             Move::Reverse { start, end } => {
-                assert!(start <= end && end < nb, "range out of bounds");
+                debug_assert!(start <= end && end < nb, "range out of bounds");
                 let mut lo = start;
                 let mut hi = end;
                 while lo < hi {

@@ -18,7 +18,7 @@
 //!   stage's replica row — recomputed only for stages owning a displaced
 //!   block.
 //!
-//! The cached terms feed the same [`terms::reduce_latency`] reduction the
+//! The cached terms feed the same [`terms::reduce_latency_s`] reduction the
 //! batch estimator uses, so `propose` returns a bit-identical cost to a
 //! from-scratch `estimate` of the moved mapping — the annealer's
 //! accept/reject trace (and therefore its result for a given seed) is
@@ -29,7 +29,7 @@ use crate::mapping::moves::Move;
 use pipette_cluster::{BandwidthMatrix, GpuId};
 use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
 use pipette_sim::{HierScratch, Mapping, ProfiledCompute};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What the annealer needs from a cost function: a full evaluation for the
 /// starting point and a propose/commit/rollback protocol for moves.
@@ -112,8 +112,10 @@ pub struct IncrementalObjective<'a> {
     hop_table: Vec<f64>,
     /// Lazily memoized per-stage DP all-reduce times, keyed by
     /// `(stage, packed content-id tuple)`. Values are pure in the key, so
-    /// hits are bitwise identical to recomputation.
-    dp_memo: HashMap<(usize, u128), f64>,
+    /// hits are bitwise identical to recomputation. An ordered map keeps
+    /// every observable traversal deterministic by construction (rule D4),
+    /// and the keys' common `(stage, …)` prefix makes the lookups cheap.
+    dp_memo: BTreeMap<(usize, u128), f64>,
     current_cost: f64,
     pending: Option<Pending>,
     /// `(index, old value)` journals for the in-flight proposal.
@@ -153,7 +155,7 @@ impl<'a> IncrementalObjective<'a> {
         initial: &Mapping,
     ) -> Self {
         let cfg = initial.config();
-        assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        debug_assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
         let mut obj = Self {
             matrix,
             gpt,
@@ -167,7 +169,7 @@ impl<'a> IncrementalObjective<'a> {
             dp_times: Vec::new(),
             block_ids: Vec::new(),
             hop_table: Vec::new(),
-            dp_memo: HashMap::new(),
+            dp_memo: BTreeMap::new(),
             current_cost: 0.0,
             pending: None,
             hop_undo: Vec::new(),
@@ -202,7 +204,7 @@ impl<'a> IncrementalObjective<'a> {
     /// Recomputes every cache from scratch for `mapping`, whose blocks
     /// become the content ids all later proposals are tracked against.
     fn rebuild(&mut self, mapping: &Mapping) {
-        assert_eq!(
+        debug_assert_eq!(
             mapping.config(),
             self.cfg,
             "mapping built for another configuration"
@@ -288,7 +290,7 @@ impl<'a> IncrementalObjective<'a> {
         let tp_small = self.cfg.tp < 2;
         let block_allreduce = &self.block_allreduce;
         let hops = &self.hops;
-        terms::reduce_latency(
+        terms::reduce_latency_s(
             self.cfg,
             self.plan,
             self.compute,
@@ -329,7 +331,7 @@ impl Objective for IncrementalObjective<'_> {
     /// applied (at `tp`-block granularity), which is exactly how the
     /// annealer drives it.
     fn propose(&mut self, mv: Move, candidate: &Mapping) -> f64 {
-        assert!(
+        debug_assert!(
             self.pending.is_none(),
             "propose while a proposal is in flight"
         );
@@ -414,11 +416,15 @@ impl Objective for IncrementalObjective<'_> {
     }
 
     fn commit(&mut self) {
-        assert!(self.pending.take().is_some(), "commit without a proposal");
+        let committed = self.pending.take();
+        debug_assert!(committed.is_some(), "commit without a proposal");
     }
 
     fn rollback(&mut self) {
-        let p = self.pending.take().expect("rollback without a proposal");
+        let Some(p) = self.pending.take() else {
+            debug_assert!(false, "rollback without a proposal");
+            return;
+        };
         let inv = p.mv.inverse();
         inv.apply_to(&mut self.block_allreduce, 1);
         inv.apply_to(&mut self.block_ids, 1);

@@ -23,7 +23,7 @@ use crate::memory::estimator::{MemoryEstimator, MemoryEstimatorConfig};
 use pipette_model::GptConfig;
 use pipette_sim::MemorySim;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -45,6 +45,8 @@ pub fn estimator_fingerprint(
         }
     }
     fn part<T: Serialize>(hash: &mut u64, value: &T) {
+        // pipette-lint: allow(D2) -- vendored serde_json cannot fail on these
+        // plain derive(Serialize) structs; a failure would be a build bug
         let json = serde_json::to_string(value).expect("cache key serializes");
         fnv(hash, json.as_bytes());
         fnv(hash, &[0x1e]);
@@ -79,7 +81,9 @@ pub struct CacheCounters {
 #[derive(Debug, Default)]
 pub struct TrainedEstimatorCache {
     dir: Option<PathBuf>,
-    entries: Mutex<HashMap<u64, MemoryEstimator>>,
+    // Ordered by fingerprint so any future iteration (debug dumps,
+    // eviction) is deterministic by construction (rule D4).
+    entries: Mutex<BTreeMap<u64, MemoryEstimator>>,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
@@ -128,12 +132,22 @@ impl TrainedEstimatorCache {
 
     /// Entries currently held in memory.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.lock_entries().len()
     }
 
     /// Whether the in-memory map is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Locks the entry map, recovering from poisoning: a panic in some
+    /// other thread mid-training never half-writes the map (inserts are
+    /// single calls), so the data is still sound and a typed-error-free
+    /// recovery beats propagating a panic (rule D2).
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, MemoryEstimator>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn disk_path(&self, fp: u64) -> Option<PathBuf> {
@@ -190,26 +204,20 @@ impl TrainedEstimatorCache {
         threads: usize,
     ) -> MemoryEstimator {
         let fp = estimator_fingerprint(spec, gpt, config, truth);
-        if let Some(found) = self.entries.lock().expect("cache lock").get(&fp) {
+        if let Some(found) = self.lock_entries().get(&fp) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return found.clone();
         }
         if let Some(found) = self.load_from_disk(fp) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.entries
-                .lock()
-                .expect("cache lock")
-                .insert(fp, found.clone());
+            self.lock_entries().insert(fp, found.clone());
             return found;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let samples = collect_samples_parallel(spec, truth, threads);
         let estimator = MemoryEstimator::train_with_threads(&samples, config, threads);
         self.store_to_disk(fp, &estimator);
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(fp, estimator.clone());
+        self.lock_entries().insert(fp, estimator.clone());
         estimator
     }
 }

@@ -1,0 +1,20 @@
+//! Dev aid: compare lexer line numbers against the real file.
+fn main() {
+    let path = std::env::args().nth(1).expect("path");
+    let src = std::fs::read_to_string(&path).expect("read");
+    let lexed = pipette_lint::lexer::lex(&src);
+    let real: Vec<&str> = src.lines().collect();
+    for t in &lexed.tokens {
+        if let pipette_lint::lexer::TokenKind::Ident(name) = &t.kind {
+            let line = real.get(t.line as usize - 1).copied().unwrap_or("");
+            if !line.contains(name.as_str()) {
+                println!(
+                    "DRIFT at token line {}: ident `{}` not on that line: {:?}",
+                    t.line, name, line
+                );
+                return;
+            }
+        }
+    }
+    println!("no drift");
+}

@@ -1,0 +1,197 @@
+//! `pipette-lint` — the workspace invariant checker.
+//!
+//! Pipette's headline guarantees live outside the type system: a
+//! recommendation is bit-identical at any thread count, a telemetry trace
+//! replays, a fault surfaces as a typed error. This crate turns those
+//! conventions into a CI-gated contract: a hand-rolled Rust scanner
+//! ([`lexer`]) feeds a small rule engine ([`rules`]) that walks every
+//! first-party crate under `crates/` (never `vendor/`) and reports
+//! violations of the named rules `D1`–`D4`, honoring inline
+//! `// pipette-lint: allow(<rule>) -- <justification>` waivers.
+//!
+//! The library API is what the fixture tests and the workspace-clean
+//! integration test drive; the `pipette-lint` binary adds human and
+//! `--json` output plus `--baseline` waiver snapshots for CI.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use rules::{classify, lint_source, Config, Diagnostic, FileClass, RuleInfo, RULES};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Everything one workspace scan produced.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Files scanned, workspace-relative, in deterministic (sorted) order.
+    pub files: Vec<String>,
+    /// All findings — waived and active — in file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl WorkspaceReport {
+    /// Active (unwaived) violations.
+    pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.waived)
+    }
+
+    /// Pragma-waived findings.
+    pub fn waivers(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.waived)
+    }
+
+    /// Whether the scan found no active violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none()
+    }
+
+    /// `(active, waived)` counts per rule, in rule order.
+    pub fn per_rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for d in &self.diagnostics {
+            let slot = counts.entry(d.rule).or_default();
+            if d.waived {
+                slot.1 += 1;
+            } else {
+                slot.0 += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Why a scan could not complete.
+#[derive(Debug)]
+pub enum LintError {
+    /// The workspace root has no `crates/` directory.
+    NoCratesDir {
+        /// The root that was searched.
+        root: PathBuf,
+    },
+    /// A directory or file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::NoCratesDir { root } => {
+                write!(f, "no crates/ directory under {}", root.display())
+            }
+            LintError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::NoCratesDir { .. } => None,
+        }
+    }
+}
+
+/// Collects every first-party `.rs` file under `<root>/crates`, sorted
+/// for deterministic reports; `target/` and dotted directories are
+/// skipped. Returned paths are workspace-relative with `/` separators.
+pub fn collect_sources(root: &Path) -> Result<Vec<String>, LintError> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(LintError::NoCratesDir {
+            root: root.to_path_buf(),
+        });
+    }
+    let mut files = Vec::new();
+    let mut stack = vec![crates];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|source| LintError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|source| LintError::Io {
+                path: dir.clone(),
+                source,
+            })?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scans the whole workspace under `root` with `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceReport, LintError> {
+    let files = collect_sources(root)?;
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path).map_err(|source| LintError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        diagnostics.extend(lint_source(rel, &src, cfg));
+    }
+    Ok(WorkspaceReport { files, diagnostics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_crates_dir_is_a_typed_error() {
+        let err = lint_workspace(Path::new("/nonexistent-pipette-root"), &Config::default());
+        assert!(matches!(err, Err(LintError::NoCratesDir { .. })));
+        assert!(err.unwrap_err().to_string().contains("crates/"));
+    }
+
+    #[test]
+    fn per_rule_counts_split_active_and_waived() {
+        let report = WorkspaceReport {
+            files: Vec::new(),
+            diagnostics: vec![
+                Diagnostic {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 1,
+                    rule: "D2",
+                    message: "m".into(),
+                    waived: false,
+                    justification: None,
+                },
+                Diagnostic {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 2,
+                    rule: "D2",
+                    message: "m".into(),
+                    waived: true,
+                    justification: Some("why".into()),
+                },
+            ],
+        };
+        assert_eq!(report.per_rule_counts().get("D2"), Some(&(1, 1)));
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,101 @@
+//! `pipette-lint` — scan the workspace's first-party crates for
+//! invariant violations.
+//!
+//! ```sh
+//! pipette-lint                      # human-readable report, exit 1 on violations
+//! pipette-lint --json               # machine report (pipette-lint/v1)
+//! pipette-lint --baseline waivers.json   # snapshot current waivers
+//! pipette-lint --list-rules         # what each rule enforces
+//! pipette-lint --root ../elsewhere  # lint another checkout
+//! ```
+//!
+//! Exit codes: `0` clean, `1` active violations, `2` usage or I/O error.
+
+use pipette_lint::report::{render_baseline, render_human, render_json};
+use pipette_lint::{lint_workspace, Config, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pipette-lint [--root <dir>] [--json] [--baseline <path>] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in RULES {
+                    println!(
+                        "{}: {}",
+                        rule.name,
+                        rule.summary
+                            .split_whitespace()
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage(),
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => baseline = Some(PathBuf::from(path)),
+                    None => return usage(),
+                }
+            }
+            other => {
+                eprintln!("pipette-lint: unknown argument `{other}`");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let report = match lint_workspace(&root, &Config::default()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("pipette-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = baseline {
+        if let Err(e) = std::fs::write(&path, render_baseline(&report)) {
+            eprintln!(
+                "pipette-lint: cannot write baseline {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "pipette-lint: baseline with {} waiver(s) written to {}",
+            report.waivers().count(),
+            path.display()
+        );
+    }
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

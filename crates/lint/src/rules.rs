@@ -1,0 +1,803 @@
+//! The named invariant rules and the per-file rule engine.
+//!
+//! Each rule turns a convention the compiler cannot see into a checked
+//! contract (see DESIGN.md §7f):
+//!
+//! * **D1 — no ambient nondeterminism.** `Instant::now`, `SystemTime`,
+//!   `UNIX_EPOCH`, `thread_rng`, `RandomState`, and `rand::random` are
+//!   banned outside benches/tests: recommendations must be bit-identical
+//!   across runs and thread counts, and traces must be replayable.
+//! * **D2 — no panics in library code.** `.unwrap()`, `.expect(…)`,
+//!   `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and `assert!`
+//!   family macros are banned in library crates (tests, benches,
+//!   examples, and binaries keep them); faults must surface as the typed
+//!   `ClusterError`/`ConfigureError` enums. `debug_assert!` is allowed.
+//! * **D3 — unit-suffix discipline.** A public `f64`/`u64` field or
+//!   nullary-ish getter whose name says it measures time, memory, or
+//!   bandwidth must carry a unit suffix (`_ms`, `_bytes`, `_gib_s`, …):
+//!   Eq. 3–6 mix all three dimensions, and an unlabeled number is how
+//!   seconds get added to milliseconds.
+//! * **D4 — ordered collections only.** `HashMap`/`HashSet` are banned in
+//!   first-party code: their iteration (and hence serialization) order is
+//!   seeded per-process, the exact nondeterminism D1 exists to keep out.
+//!   Use `BTreeMap`/`BTreeSet` or a sorted `Vec` of pairs.
+//!
+//! A violation can be waived only by an adjacent pragma comment:
+//!
+//! ```text
+//! // pipette-lint: allow(D2) -- justification for this exact site
+//! ```
+//!
+//! The pragma covers its own comment block (the justification may run
+//! over several `//` lines) plus the next two source lines — enough for
+//! one statement even when rustfmt wraps a method chain — must name
+//! known rules, and must carry a non-empty justification after `--`;
+//! anything else is a `P0` (malformed pragma). A pragma that waives
+//! nothing is a `P1` (stale pragma). Neither `P0` nor `P1` can itself be
+//! waived.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// Machine name, summary, and rationale of one rule (drives `--explain`
+/// output and DESIGN.md stays the prose source of truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Short machine name (`D1` … `D4`, `P0`, `P1`).
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "D1",
+        summary: "no wall-clock or ambient RNG outside benches/tests \
+                  (Instant::now, SystemTime, thread_rng, RandomState)",
+    },
+    RuleInfo {
+        name: "D2",
+        summary: "no unwrap/expect/panic!/assert! in library code; \
+                  surface faults as typed errors (debug_assert! allowed)",
+    },
+    RuleInfo {
+        name: "D3",
+        summary: "public f64/u64 time/memory/bandwidth names need a unit \
+                  suffix (_ms, _bytes, _gib_s, ...)",
+    },
+    RuleInfo {
+        name: "D4",
+        summary: "no HashMap/HashSet in first-party code; use BTreeMap/\
+                  BTreeSet or sorted Vec pairs for deterministic order",
+    },
+    RuleInfo {
+        name: "P0",
+        summary: "malformed pipette-lint pragma (unknown rule, missing \
+                  `-- justification`)",
+    },
+    RuleInfo {
+        name: "P1",
+        summary: "stale pragma: waives no violation in its comment block or the two lines after it",
+    },
+];
+
+const WAIVABLE: &[&str] = &["D1", "D2", "D3", "D4"];
+
+/// One finding: either an active violation or a pragma-waived one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`D1` … `D4`, `P0`, `P1`).
+    pub rule: &'static str,
+    /// Human-readable description of the exact finding.
+    pub message: String,
+    /// Whether an adjacent pragma waived it.
+    pub waived: bool,
+    /// The pragma's justification, when waived.
+    pub justification: Option<String>,
+}
+
+/// How a file participates in the rules, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`src/**`, minus binary roots): all rules apply.
+    Lib,
+    /// Binary root (`src/main.rs`, `src/bin/**`): D2/D3 exempt (a CLI may
+    /// abort), determinism rules D1/D4 still apply.
+    Bin,
+    /// Integration tests (`tests/**`): exempt from everything.
+    Test,
+    /// Benchmarks (`benches/**`): exempt (timing is their whole point).
+    Bench,
+    /// Examples (`examples/**`): exempt.
+    Example,
+}
+
+/// Classifies a workspace-relative path (`crates/<name>/src/...`).
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    // parts = ["crates", crate_name, top, ...]
+    match parts.get(2).copied() {
+        Some("tests") => FileClass::Test,
+        Some("benches") => FileClass::Bench,
+        Some("examples") => FileClass::Example,
+        Some("src") => {
+            if parts.get(3).copied() == Some("bin") || parts.last().copied() == Some("main.rs") {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            }
+        }
+        _ => FileClass::Lib,
+    }
+}
+
+/// The crate segment of a workspace-relative path, or "" at top level.
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "",
+    }
+}
+
+/// Engine configuration: which crates get a blanket pass per rule.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates where D1 does not apply at all. Default: `bench` — the
+    /// experiment/benchmark crate whose purpose is measuring wall time.
+    pub d1_exempt_crates: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            d1_exempt_crates: vec!["bench".to_string()],
+        }
+    }
+}
+
+/// A parsed `// pipette-lint: allow(R1,R2) -- justification` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pragma {
+    line: u32,
+    rules: Vec<String>,
+    justification: String,
+}
+
+/// Recognizes pragma comments; anything starting with `pipette-lint` that
+/// does not parse becomes a `P0` diagnostic. Doc comments never match:
+/// their captured text starts with the extra `/` or `!` marker.
+fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Diagnostic>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start();
+        if !text.starts_with("pipette-lint") {
+            continue;
+        }
+        let mut malformed = |why: &str| {
+            bad.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                rule: "P0",
+                message: format!("malformed pragma: {why}"),
+                waived: false,
+                justification: None,
+            });
+        };
+        let rest = text["pipette-lint".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            malformed("expected `pipette-lint: allow(<rules>) -- <justification>`");
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            malformed("expected `allow(<rules>)` after `pipette-lint:`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            malformed("unclosed `allow(`");
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            malformed("`allow()` names no rules");
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !WAIVABLE.contains(&r.as_str())) {
+            malformed(&format!(
+                "unknown or unwaivable rule `{unknown}` (waivable: {})",
+                WAIVABLE.join(", ")
+            ));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let Some(justification) = after.strip_prefix("--").map(str::trim) else {
+            malformed("missing `-- <justification>`");
+            continue;
+        };
+        if justification.is_empty() {
+            malformed("empty justification after `--`");
+            continue;
+        }
+        pragmas.push(Pragma {
+            line: c.line,
+            rules,
+            justification: justification.to_string(),
+        });
+    }
+    (pragmas, bad)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`-gated item, so inline
+/// unit-test modules keep their asserts. The scan is structural: after
+/// the attribute it skips further attributes, then swallows either a
+/// braced item (to its matching `}`) or a `;`-terminated one.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if punct_at(tokens, i) == Some('#')
+            && punct_at(tokens, i + 1) == Some('[')
+            && ident_at(tokens, i + 2) == Some("cfg")
+            && punct_at(tokens, i + 3) == Some('(')
+        {
+            // Find the attribute's closing `]`, noting whether `test`
+            // appears anywhere inside (covers `cfg(all(test, …))`).
+            let start = i;
+            let mut j = i + 4;
+            let mut brackets = 1usize;
+            let mut has_test = false;
+            while j < tokens.len() && brackets > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct('[') => brackets += 1,
+                    TokenKind::Punct(']') => brackets -= 1,
+                    TokenKind::Ident(s) if s == "test" => has_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test {
+                // Skip trailing attributes, then the gated item itself.
+                while punct_at(tokens, j) == Some('#') && punct_at(tokens, j + 1) == Some('[') {
+                    let mut b = 1usize;
+                    j += 2;
+                    while j < tokens.len() && b > 0 {
+                        match &tokens[j].kind {
+                            TokenKind::Punct('[') => b += 1,
+                            TokenKind::Punct(']') => b -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        TokenKind::Punct(';') if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                mask[start..j.min(tokens.len())]
+                    .iter_mut()
+                    .for_each(|m| *m = true);
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Names that say an `f64`/`u64` carries a physical dimension.
+const DIMENSION_WORDS: &[&str] = &[
+    "time",
+    "latency",
+    "duration",
+    "elapsed",
+    "memory",
+    "bandwidth",
+    "bw",
+    "wall",
+];
+
+/// Approved unit suffixes (a name may also *be* a bare unit, e.g.
+/// `seconds`). Seeded from the workspace's latency (`_s`, `_ms`),
+/// memory (`_bytes`, `_gib`), and bandwidth (`_gib_s`, `_gbps`) modules.
+const UNIT_SUFFIXES: &[&str] = &[
+    "_ns",
+    "_us",
+    "_ms",
+    "_s",
+    "_secs",
+    "_seconds",
+    "_minutes",
+    "_hours",
+    "_bits",
+    "_bytes",
+    "_kib",
+    "_mib",
+    "_gib",
+    "_kb",
+    "_mb",
+    "_gb",
+    "_gbps",
+    "_mbps",
+    "_gib_s",
+    "_bytes_s",
+    "_flops",
+    "_gflops",
+    "_tflops",
+    "_per_s",
+    "_per_sec",
+    "_per_iter",
+    "_hz",
+    "_pct",
+    "_ratio",
+    "_factor",
+    "_frac",
+    "_iters",
+    "_count",
+    "_rank",
+    "_id",
+    "_idx",
+    "_seed",
+];
+
+fn has_dimension_word(name: &str) -> bool {
+    name.split('_').any(|w| DIMENSION_WORDS.contains(&w))
+}
+
+fn has_unit_suffix(name: &str) -> bool {
+    UNIT_SUFFIXES
+        .iter()
+        .any(|s| name.ends_with(s) || name == &s[1..])
+}
+
+/// Identifiers the panic rule bans when followed by `!`.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Item-introducing keywords that rule out a `pub <name>: f64` field.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "mod", "use", "trait", "type", "const", "static", "crate", "impl",
+    "unsafe", "async", "extern", "union", "in", "self", "super",
+];
+
+/// Lints one file's source text. `rel_path` is workspace-relative and
+/// only used for classification and diagnostics.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let class = classify(rel_path);
+    let krate = crate_of(rel_path);
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let in_test = test_region_mask(tokens);
+
+    let mut found: Vec<Diagnostic> = Vec::new();
+    let mut emit = |line: u32, rule: &'static str, message: String| {
+        found.push(Diagnostic {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            message,
+            waived: false,
+            justification: None,
+        });
+    };
+
+    let d1_applies = matches!(class, FileClass::Lib | FileClass::Bin)
+        && !cfg.d1_exempt_crates.iter().any(|c| c == krate);
+    let d2_applies = class == FileClass::Lib;
+    let d3_applies = class == FileClass::Lib;
+    let d4_applies = matches!(class, FileClass::Lib | FileClass::Bin);
+
+    for i in 0..tokens.len() {
+        if in_test[i] {
+            continue;
+        }
+        let line = tokens[i].line;
+        let id = match ident_at(tokens, i) {
+            Some(id) => id,
+            None => continue,
+        };
+
+        if d1_applies {
+            let d1_hit = match id {
+                "Instant"
+                    if punct_at(tokens, i + 1) == Some(':')
+                        && punct_at(tokens, i + 2) == Some(':')
+                        && ident_at(tokens, i + 3) == Some("now") =>
+                {
+                    Some("`Instant::now()` reads the wall clock")
+                }
+                "SystemTime" => Some("`SystemTime` reads the wall clock"),
+                "UNIX_EPOCH" => Some("`UNIX_EPOCH` anchors wall-clock arithmetic"),
+                "thread_rng" => Some("`thread_rng()` is ambient, unseeded randomness"),
+                "RandomState" => Some("`RandomState` seeds hashing per-process"),
+                "random"
+                    if punct_at(tokens, i.wrapping_sub(1)) == Some(':')
+                        && ident_at(tokens, i.wrapping_sub(3)) == Some("rand") =>
+                {
+                    Some("`rand::random()` is ambient, unseeded randomness")
+                }
+                _ => None,
+            };
+            if let Some(what) = d1_hit {
+                emit(
+                    line,
+                    "D1",
+                    format!("{what}; results must be replayable from seeds alone"),
+                );
+            }
+        }
+
+        if d2_applies {
+            if (id == "unwrap" || id == "expect")
+                && punct_at(tokens, i.wrapping_sub(1)) == Some('.')
+                && punct_at(tokens, i + 1) == Some('(')
+            {
+                emit(
+                    line,
+                    "D2",
+                    format!("`.{id}()` in library code; return a typed error instead"),
+                );
+            } else if PANIC_MACROS.contains(&id) && punct_at(tokens, i + 1) == Some('!') {
+                emit(
+                    line,
+                    "D2",
+                    format!("`{id}!` in library code; return a typed error instead"),
+                );
+            }
+        }
+
+        if d4_applies && (id == "HashMap" || id == "HashSet") {
+            emit(
+                line,
+                "D4",
+                format!(
+                    "`{id}` has per-process iteration order; use `BTree{}` or a sorted `Vec`",
+                    &id[4..]
+                ),
+            );
+        }
+
+        if d3_applies && id == "pub" && punct_at(tokens, i + 1) != Some('(') {
+            // `pub <name>: f64,` — a public struct field.
+            if let (Some(name), Some(':'), Some(ty)) = (
+                ident_at(tokens, i + 1),
+                punct_at(tokens, i + 2).unwrap_or(' ').into(),
+                ident_at(tokens, i + 3),
+            ) {
+                let terminated = matches!(punct_at(tokens, i + 4), Some(',') | Some('}'));
+                if (ty == "f64" || ty == "u64")
+                    && terminated
+                    && !ITEM_KEYWORDS.contains(&name)
+                    && has_dimension_word(name)
+                    && !has_unit_suffix(name)
+                {
+                    emit(
+                        tokens[i + 1].line,
+                        "D3",
+                        format!(
+                            "public `{ty}` field `{name}` measures a physical quantity \
+                             but has no unit suffix (e.g. `{name}_ms`, `{name}_bytes`)"
+                        ),
+                    );
+                }
+            }
+            // `pub fn <name>(…) -> f64` — a public getter.
+            if ident_at(tokens, i + 1) == Some("fn") {
+                if let Some(name) = ident_at(tokens, i + 2) {
+                    if let Some((ty, sig_ok)) = fn_scalar_return(tokens, i + 3) {
+                        if sig_ok && has_dimension_word(name) && !has_unit_suffix(name) {
+                            emit(
+                                tokens[i + 2].line,
+                                "D3",
+                                format!(
+                                    "public fn `{name}` returns a bare `{ty}` measuring a \
+                                     physical quantity; add a unit suffix (e.g. `{name}_ms`)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Attach waivers. A pragma covers its whole comment block (multi-line
+    // justifications) and the two lines after it (a statement, even when
+    // rustfmt wraps the method chain carrying the violation).
+    let (pragmas, mut diags) = parse_pragmas(rel_path, &lexed.comments);
+    let comment_lines: std::collections::BTreeSet<u32> =
+        lexed.comments.iter().map(|c| c.line).collect();
+    let mut used = vec![false; pragmas.len()];
+    for v in &mut found {
+        let covering = pragmas.iter().position(|p| {
+            let mut block_end = p.line;
+            while comment_lines.contains(&(block_end + 1)) {
+                block_end += 1;
+            }
+            (p.line..=block_end + 2).contains(&v.line) && p.rules.iter().any(|r| r == v.rule)
+        });
+        if let Some(pi) = covering {
+            used[pi] = true;
+            v.waived = true;
+            v.justification = Some(pragmas[pi].justification.clone());
+        }
+    }
+    for (p, used) in pragmas.iter().zip(&used) {
+        if !used {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: p.line,
+                rule: "P1",
+                message: format!(
+                    "stale pragma: allow({}) waives no violation on this or the next line",
+                    p.rules.join(",")
+                ),
+                waived: false,
+                justification: None,
+            });
+        }
+    }
+    diags.extend(found);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// For a `pub fn name` whose token after the name starts at `i` (at the
+/// `(` or a `<…>` generic list), returns `Some((ty, true))` when the
+/// return type is exactly a bare `f64`/`u64`.
+fn fn_scalar_return(tokens: &[Token], mut i: usize) -> Option<(&'static str, bool)> {
+    // Skip a generic parameter list if present. Generic bounds with
+    // `->` inside (`Fn() -> T`) do not occur on the simple getters this
+    // rule targets; a miscount only costs a false negative.
+    if punct_at(tokens, i) == Some('<') {
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match punct_at(tokens, i) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    if punct_at(tokens, i) != Some('(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match punct_at(tokens, i) {
+            Some('(') => depth += 1,
+            Some(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if punct_at(tokens, i) != Some('-') || punct_at(tokens, i + 1) != Some('>') {
+        return None;
+    }
+    let ty = match ident_at(tokens, i + 2) {
+        Some("f64") => "f64",
+        Some("u64") => "u64",
+        _ => return None,
+    };
+    let after = i + 3;
+    let bare = matches!(punct_at(tokens, after), Some('{') | Some(';'))
+        || ident_at(tokens, after) == Some("where");
+    Some((ty, bare))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/core/src/fixture.rs", src, &Config::default())
+    }
+
+    fn active(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| !d.waived).collect()
+    }
+
+    #[test]
+    fn d1_flags_wall_clock_and_ambient_rng() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["D1", "D1"]);
+    }
+
+    #[test]
+    fn d1_negative_seeded_rng_and_elapsed_math() {
+        let src = "fn f(seed: u64) { let rng = ChaCha8Rng::seed_from_u64(seed); }";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn d1_exempt_in_bench_crate_and_tests_dir() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let cfg = Config::default();
+        assert!(lint_source("crates/bench/src/util.rs", src, &cfg).is_empty());
+        assert!(lint_source("crates/core/tests/t.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn d1_waived_by_pragma_with_justification() {
+        let src = "// pipette-lint: allow(D1) -- opt-in wall_ms extras only\n\
+                   fn f() { let t = Instant::now(); }";
+        let diags = lint_lib(src);
+        assert!(active(&diags).is_empty(), "{diags:?}");
+        let waived: Vec<_> = diags.iter().filter(|d| d.waived).collect();
+        assert_eq!(waived.len(), 1);
+        assert_eq!(
+            waived[0].justification.as_deref(),
+            Some("opt-in wall_ms extras only")
+        );
+    }
+
+    #[test]
+    fn d2_flags_unwrap_expect_and_panic_macros() {
+        let src = "fn f(x: Option<u32>) -> u32 { assert!(true); x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+                   fn h() { panic!(\"boom\"); }";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["D2", "D2", "D2", "D2"]);
+    }
+
+    #[test]
+    fn d2_negative_debug_assert_unwrap_or_and_cfg_test() {
+        let src = "fn f(x: Option<u32>) -> u32 { debug_assert!(x.is_some()); x.unwrap_or(0) }\n\
+                   #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { assert!(Some(1).unwrap() == 1); panic!(); }\n}";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn d2_exempt_in_binary_roots() {
+        let src = "fn main() { std::fs::read(\"x\").unwrap(); }";
+        let cfg = Config::default();
+        assert!(lint_source("crates/cli/src/main.rs", src, &cfg).is_empty());
+        assert!(lint_source("crates/bench/src/bin/b.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn d2_waiver_same_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   x.unwrap() // pipette-lint: allow(D2) -- checked by caller\n}";
+        let diags = lint_lib(src);
+        assert!(active(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn d3_flags_unsuffixed_public_scalars() {
+        let src = "pub struct S {\n  pub decode_latency: f64,\n  pub peak_memory: u64,\n}\n\
+                   impl S { pub fn total_time(&self) -> f64 { self.decode_latency } }";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["D3", "D3", "D3"]);
+    }
+
+    #[test]
+    fn d3_negative_suffixed_private_or_structured() {
+        let src = "pub struct S {\n  pub decode_latency_ms: f64,\n  pub memory_bytes: u64,\n\
+                   \n  latency: f64,\n  pub memory_parts: Vec<f64>,\n  pub seconds: f64,\n}\n\
+                   impl S { pub fn memory_gib(&self) -> f64 { 0.0 }\n\
+                   pub fn latency_breakdown(&self) -> Result<f64, ()> { Ok(0.0) } }";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn d4_flags_hash_collections_also_in_bins() {
+        let src = "use std::collections::HashMap;\npub struct S { m: HashMap<u32, u32> }";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["D4", "D4"]);
+        let bin = lint_source(
+            "crates/cli/src/main.rs",
+            "fn main() { let s: HashSet<u8> = Default::default(); }",
+            &Config::default(),
+        );
+        assert_eq!(active(&bin).len(), 1);
+    }
+
+    #[test]
+    fn d4_negative_btree_and_strings() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f() { let msg = \"HashMap is banned\"; } // HashMap in a comment";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_justification_is_p0() {
+        let src = "// pipette-lint: allow(D2)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let diags = lint_lib(src);
+        let rules: Vec<_> = active(&diags).iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"P0"), "{diags:?}");
+        assert!(rules.contains(&"D2"), "a malformed pragma must not waive");
+    }
+
+    #[test]
+    fn pragma_unknown_rule_is_p0_and_stale_pragma_is_p1() {
+        let src = "// pipette-lint: allow(D9) -- nope\nfn f() {}";
+        let diags = lint_lib(src);
+        assert_eq!(
+            active(&diags).iter().map(|d| d.rule).collect::<Vec<_>>(),
+            vec!["P0"]
+        );
+        let src = "// pipette-lint: allow(D2) -- nothing here violates\nfn f() {}";
+        let diags = lint_lib(src);
+        assert_eq!(
+            active(&diags).iter().map(|d| d.rule).collect::<Vec<_>>(),
+            vec!["P1"]
+        );
+    }
+
+    #[test]
+    fn doc_comment_mentioning_pragma_grammar_is_ignored() {
+        let src = "/// Write `// pipette-lint: allow(D2) -- why` to waive.\nfn f() {}";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_ends_at_matching_brace() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n\
+                   fn after(x: Option<u32>) -> u32 { x.unwrap() }";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["D2"], "only the post-module unwrap counts");
+    }
+}

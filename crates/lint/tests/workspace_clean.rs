@@ -1,0 +1,57 @@
+//! The gate that keeps the gate honest: lint the real workspace from the
+//! test suite, so `cargo test` fails the moment a violation lands —
+//! even for contributors who never run `pipette-lint` by hand.
+
+use pipette_lint::{lint_workspace, Config};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    // crates/lint -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has two ancestors")
+}
+
+#[test]
+fn workspace_has_no_active_violations() {
+    let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
+    let active: Vec<String> = report
+        .violations()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "workspace must stay lint-clean; fix or waive (with justification):\n{}",
+        active.join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_covers_all_first_party_crates() {
+    let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
+    for krate in [
+        "bench", "cli", "cluster", "core", "lint", "mlp", "model", "obs", "sim",
+    ] {
+        let prefix = format!("crates/{krate}/");
+        assert!(
+            report.files.iter().any(|f| f.starts_with(&prefix)),
+            "no files scanned under {prefix}; did the walker break?"
+        );
+    }
+}
+
+#[test]
+fn every_waiver_carries_a_justification() {
+    let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
+    for w in report.waivers() {
+        let why = w.justification.as_deref().unwrap_or("");
+        assert!(
+            why.split_whitespace().count() >= 3,
+            "{}:{} waives {} with a throwaway justification: {why:?}",
+            w.file,
+            w.line,
+            w.rule
+        );
+    }
+}

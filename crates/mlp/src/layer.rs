@@ -43,7 +43,7 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, relu: bool, rng: &mut R) -> Self {
-        assert!(
+        debug_assert!(
             in_dim > 0 && out_dim > 0,
             "layer dimensions must be positive"
         );
@@ -112,10 +112,12 @@ impl Dense {
         let x = self
             .cache_input
             .take()
+            // pipette-lint: allow(D2) -- documented `# Panics` protocol: backward consumes the cache forward just stored
             .expect("backward called before forward");
         let pre = self
             .cache_pre_activation
             .take()
+            // pipette-lint: allow(D2) -- forward stores both caches together; reaching here means the first take succeeded
             .expect("missing pre-activation cache");
         let d_pre = if self.relu {
             d_out.zip(&pre, |g, p| if p > 0.0 { g } else { 0.0 })

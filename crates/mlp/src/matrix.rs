@@ -109,7 +109,7 @@ impl Matrix {
     ///
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        debug_assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         Self {
             rows,
             cols,
@@ -123,8 +123,8 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length mismatch");
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        debug_assert_eq!(data.len(), rows * cols, "data length mismatch");
+        debug_assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         Self { rows, cols, data }
     }
 
@@ -134,12 +134,12 @@ impl Matrix {
     ///
     /// Panics if rows are empty or ragged.
     pub fn from_rows(rows: &[&[f64]]) -> Self {
-        assert!(!rows.is_empty(), "need at least one row");
+        debug_assert!(!rows.is_empty(), "need at least one row");
         let cols = rows[0].len();
-        assert!(cols > 0, "rows must be non-empty");
+        debug_assert!(cols > 0, "rows must be non-empty");
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
-            assert_eq!(r.len(), cols, "ragged rows");
+            debug_assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
         Self {
@@ -166,7 +166,7 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c]
     }
 
@@ -177,7 +177,7 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
         self.data[r * self.cols + c] = v;
     }
 
@@ -197,7 +197,7 @@ impl Matrix {
     ///
     /// Panics if `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row out of bounds");
+        debug_assert!(r < self.rows, "row out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -208,7 +208,7 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         self.matmul_into(rhs, &mut out);
         out
@@ -220,8 +220,8 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree or `out` has the wrong shape.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        assert_eq!(
+        debug_assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(
             (out.rows, out.cols),
             (self.rows, rhs.cols),
             "output shape mismatch"
@@ -241,9 +241,9 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_bias_into(&self, rhs: &Matrix, bias: &[f64], out: &mut Matrix) {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
-        assert_eq!(
+        debug_assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
+        debug_assert_eq!(
             (out.rows, out.cols),
             (self.rows, rhs.cols),
             "output shape mismatch"
@@ -262,8 +262,8 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_transpose_a_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(self.rows, rhs.rows, "inner dimensions must agree");
-        assert_eq!(
+        debug_assert_eq!(self.rows, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(
             (out.rows, out.cols),
             (self.cols, rhs.cols),
             "output shape mismatch"
@@ -293,7 +293,7 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_transpose_b_into(&self, rhs: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
-        assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
+        debug_assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
         rhs.transpose_into(scratch);
         self.matmul_into(scratch, out);
     }
@@ -304,7 +304,7 @@ impl Matrix {
     ///
     /// Panics if the column counts disagree.
     pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
+        debug_assert_eq!(self.cols, rhs.cols, "inner dimensions must agree");
         let mut scratch = Matrix::zeros(rhs.cols, rhs.rows);
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         self.matmul_transpose_b_into(rhs, &mut scratch, &mut out);
@@ -322,7 +322,7 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul_parallel(&self, rhs: &Matrix, threads: usize) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         self.mm_threaded(rhs, None, &mut out, threads);
         out
@@ -342,9 +342,9 @@ impl Matrix {
         out: &mut Matrix,
         threads: usize,
     ) {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
-        assert_eq!(
+        debug_assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
+        debug_assert_eq!(
             (out.rows, out.cols),
             (self.rows, rhs.cols),
             "output shape mismatch"
@@ -389,7 +389,7 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        debug_assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -420,7 +420,7 @@ impl Matrix {
     ///
     /// Panics if `out` has the wrong shape.
     pub fn transpose_into(&self, out: &mut Matrix) {
-        assert_eq!(
+        debug_assert_eq!(
             (out.rows, out.cols),
             (self.cols, self.rows),
             "output shape mismatch"
@@ -438,7 +438,7 @@ impl Matrix {
     ///
     /// Panics if `bias.len() != cols`.
     pub fn add_row(&mut self, bias: &[f64]) {
-        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        debug_assert_eq!(bias.len(), self.cols, "bias length mismatch");
         for row in self.data.chunks_mut(self.cols) {
             for (cell, b) in row.iter_mut().zip(bias) {
                 *cell += b;
@@ -460,7 +460,7 @@ impl Matrix {
     ///
     /// Panics if `out.len() != cols`.
     pub fn col_sums_into(&self, out: &mut [f64]) {
-        assert_eq!(out.len(), self.cols, "output length mismatch");
+        debug_assert_eq!(out.len(), self.cols, "output length mismatch");
         out.iter_mut().for_each(|v| *v = 0.0);
         for row in self.data.chunks(self.cols) {
             for (acc, cell) in out.iter_mut().zip(row) {
@@ -484,7 +484,7 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!(
+        debug_assert_eq!(
             (self.rows, self.cols),
             (rhs.rows, rhs.cols),
             "shape mismatch"
@@ -507,7 +507,7 @@ impl Matrix {
     ///
     /// Panics if `indices` is empty or contains an out-of-range row.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        assert!(!indices.is_empty(), "need at least one row");
+        debug_assert!(!indices.is_empty(), "need at least one row");
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
             data.extend_from_slice(self.row(i));
@@ -527,8 +527,8 @@ impl Matrix {
     /// Panics if `out.rows() != indices.len()`, widths differ, or an
     /// index is out of range.
     pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
-        assert_eq!(out.rows, indices.len(), "output row count mismatch");
-        assert_eq!(out.cols, self.cols, "output width mismatch");
+        debug_assert_eq!(out.rows, indices.len(), "output row count mismatch");
+        debug_assert_eq!(out.cols, self.cols, "output width mismatch");
         for (&i, out_row) in indices.iter().zip(out.data.chunks_mut(self.cols)) {
             out_row.copy_from_slice(self.row(i));
         }

@@ -33,7 +33,7 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given or any width is zero.
     pub fn new(widths: &[usize], seed: u64) -> Self {
-        assert!(widths.len() >= 2, "need at least input and output widths");
+        debug_assert!(widths.len() >= 2, "need at least input and output widths");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let n = widths.len() - 1;
         let layers = (0..n)
@@ -50,11 +50,13 @@ impl Mlp {
 
     /// Input feature dimension.
     pub fn in_dim(&self) -> usize {
+        // pipette-lint: allow(D2) -- constructor rejects empty layer lists, so first() always succeeds
         self.layers.first().expect("non-empty").in_dim()
     }
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
+        // pipette-lint: allow(D2) -- constructor rejects empty layer lists, so last() always succeeds
         self.layers.last().expect("non-empty").out_dim()
     }
 
@@ -82,7 +84,7 @@ impl Mlp {
     ///
     /// Panics if `x.cols() != in_dim()`.
     pub fn predict_with_threads(&self, x: &Matrix, threads: usize) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        debug_assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
         let mut h = x.clone();
         for l in &self.layers {
             h = l.infer_threaded(&h, threads);
@@ -166,13 +168,13 @@ impl Mlp {
         config: &TrainConfig,
         threads: usize,
     ) -> TrainReport {
-        assert_eq!(
+        debug_assert_eq!(
             x.rows(),
             y.rows(),
             "x and y must have the same number of rows"
         );
-        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
-        assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
+        debug_assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        debug_assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut opt = Adam::new(self.num_params(), config.learning_rate);
         let batch = config.batch_size.min(x.rows()).max(1);
@@ -341,13 +343,13 @@ impl Mlp {
     /// Panics if `x` and `y` disagree on row count or widths mismatch the
     /// network.
     pub fn fit_reference(&mut self, x: &Matrix, y: &Matrix, config: &TrainConfig) -> TrainReport {
-        assert_eq!(
+        debug_assert_eq!(
             x.rows(),
             y.rows(),
             "x and y must have the same number of rows"
         );
-        assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
-        assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
+        debug_assert_eq!(x.cols(), self.in_dim(), "input width mismatch");
+        debug_assert_eq!(y.cols(), self.out_dim(), "output width mismatch");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut opt = Adam::new(self.num_params(), config.learning_rate);
         let batch = config.batch_size.min(x.rows()).max(1);

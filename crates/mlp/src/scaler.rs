@@ -57,7 +57,7 @@ impl StandardScaler {
     ///
     /// Panics if the column count differs from the fitted data.
     pub fn transform(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
+        debug_assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
         let mut out = x.clone();
         for r in 0..out.rows() {
             for c in 0..out.cols() {
@@ -73,7 +73,7 @@ impl StandardScaler {
     ///
     /// Panics if the column count differs from the fitted data.
     pub fn inverse_transform(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
+        debug_assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
         let mut out = x.clone();
         for r in 0..out.rows() {
             for c in 0..out.cols() {

@@ -21,6 +21,7 @@ impl BatchConfig {
     ///
     /// Panics if `global_batch` is zero.
     pub fn new(global_batch: u64) -> Self {
+        // pipette-lint: allow(D2) -- documented `# Panics` constructor contract
         assert!(global_batch > 0, "global batch must be positive");
         Self { global_batch }
     }
@@ -96,7 +97,7 @@ impl MicrobatchPlan {
 ///
 /// Panics if `n` is zero.
 pub fn divisors(n: u64) -> Vec<u64> {
-    assert!(n > 0, "divisors of zero are undefined");
+    debug_assert!(n > 0, "divisors of zero are undefined");
     let mut small = Vec::new();
     let mut large = Vec::new();
     let mut d = 1;

@@ -47,6 +47,7 @@ impl GptConfig {
         seq_len: usize,
         vocab: usize,
     ) -> Self {
+        // pipette-lint: allow(D2) -- documented `# Panics` constructor contract for model presets
         assert!(n_layers > 0 && hidden > 0 && n_heads > 0 && seq_len > 0 && vocab > 0);
         assert_eq!(hidden % n_heads, 0, "heads must divide hidden dimension");
         Self {
@@ -91,8 +92,8 @@ impl GptConfig {
     ///
     /// Panics if `pp == 0`, `stage >= pp`, or `pp > n_layers`.
     pub fn layers_of_stage(&self, pp: usize, stage: usize) -> usize {
-        assert!(pp > 0 && stage < pp, "invalid stage {stage} of {pp}");
-        assert!(pp <= self.n_layers, "more stages than layers");
+        debug_assert!(pp > 0 && stage < pp, "invalid stage {stage} of {pp}");
+        debug_assert!(pp <= self.n_layers, "more stages than layers");
         let base = self.n_layers / pp;
         let extra = self.n_layers % pp;
         base + usize::from(stage < extra)
@@ -148,6 +149,7 @@ impl GptConfig {
             64 => Self::gpt_1_1b(),
             96 => Self::new(28, 2560, 32, 2048, 51200), // ~2.2B
             128 => Self::gpt_3_1b(),
+            // pipette-lint: allow(D2) -- documented `# Panics`: the weak-scaling ladder exists only at these fixed GPU counts
             _ => panic!("no mid-range weak-scaling point for {n_gpus} GPUs"),
         }
     }
@@ -163,6 +165,7 @@ impl GptConfig {
             64 => Self::gpt_8_1b(),
             96 => Self::new(44, 4224, 32, 2048, 51200), // ~9.6B
             128 => Self::gpt_11_1b(),
+            // pipette-lint: allow(D2) -- documented `# Panics`: the weak-scaling ladder exists only at these fixed GPU counts
             _ => panic!("no high-end weak-scaling point for {n_gpus} GPUs"),
         }
     }

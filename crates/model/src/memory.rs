@@ -61,7 +61,7 @@ pub fn model_state_bytes_zero1(
     dp: usize,
     stage: usize,
 ) -> u64 {
-    assert!(tp > 0 && dp > 0, "parallel degrees must be positive");
+    debug_assert!(tp > 0 && dp > 0, "parallel degrees must be positive");
     let shard = cfg.stage_params(pp, stage).div_ceil(tp as u64);
     shard * 6 + (shard * 12).div_ceil(dp as u64)
 }

@@ -38,7 +38,7 @@ impl ParallelConfig {
     ///
     /// Panics if any degree is zero.
     pub fn new(pp: usize, tp: usize, dp: usize) -> Self {
-        assert!(
+        debug_assert!(
             pp > 0 && tp > 0 && dp > 0,
             "parallel degrees must be positive"
         );
@@ -59,7 +59,7 @@ impl ParallelConfig {
     ///
     /// Panics if the worker is out of range for this configuration.
     pub fn index_of(&self, w: WorkerId) -> usize {
-        assert!(
+        debug_assert!(
             w.stage < self.pp && w.tensor < self.tp && w.data < self.dp,
             "worker out of range"
         );
@@ -72,7 +72,7 @@ impl ParallelConfig {
     ///
     /// Panics if `idx >= num_workers()`.
     pub fn worker_at(&self, idx: usize) -> WorkerId {
-        assert!(idx < self.num_workers(), "worker index out of range");
+        debug_assert!(idx < self.num_workers(), "worker index out of range");
         let tensor = idx % self.tp;
         let rest = idx / self.tp;
         let data = rest % self.dp;

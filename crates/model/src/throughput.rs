@@ -31,8 +31,8 @@ pub fn of_iteration(
     iteration_seconds: f64,
     peak_flops_total: f64,
 ) -> Throughput {
-    assert!(iteration_seconds > 0.0, "iteration time must be positive");
-    assert!(peak_flops_total > 0.0, "peak FLOPs must be positive");
+    debug_assert!(iteration_seconds > 0.0, "iteration time must be positive");
+    debug_assert!(peak_flops_total > 0.0, "peak FLOPs must be positive");
     let samples_per_second = global_batch as f64 / iteration_seconds;
     let tokens_per_second = samples_per_second * gpt.seq_len as f64;
     let achieved = flops::iteration_flops(gpt, global_batch) / iteration_seconds;
@@ -55,8 +55,8 @@ pub fn weak_scaling_efficiency(
     large_tokens_per_second: f64,
     large_gpus: usize,
 ) -> f64 {
-    assert!(small_tokens_per_second > 0.0 && large_tokens_per_second > 0.0);
-    assert!(small_gpus > 0 && large_gpus > 0);
+    debug_assert!(small_tokens_per_second > 0.0 && large_tokens_per_second > 0.0);
+    debug_assert!(small_gpus > 0 && large_gpus > 0);
     (large_tokens_per_second / large_gpus as f64) / (small_tokens_per_second / small_gpus as f64)
 }
 

@@ -69,6 +69,7 @@ impl Trace {
     pub fn new(config: TraceConfig) -> Self {
         Self {
             config,
+            // pipette-lint: allow(D1) -- the epoch anchors opt-in wall_ms extras only; replay ordering uses logical ticks
             epoch: Instant::now(),
             events: Vec::new(),
         }

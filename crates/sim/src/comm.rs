@@ -91,7 +91,7 @@ impl<'a> CommModel<'a> {
     ///
     /// Panics if `flows == 0`.
     pub fn with_inter_flows(mut self, flows: usize) -> Self {
-        assert!(flows > 0, "need at least one flow");
+        debug_assert!(flows > 0, "need at least one flow");
         self.inter_flows = flows as f64;
         self
     }
@@ -117,7 +117,7 @@ impl<'a> CommModel<'a> {
         if src == dst {
             return 0.0;
         }
-        self.matrix.latency(src, dst) + bytes as f64 / (self.effective(src, dst) * GIB)
+        self.matrix.latency_s(src, dst) + bytes as f64 / (self.effective(src, dst) * GIB)
     }
 
     /// Flat ring all-reduce over `group` of `bytes` per rank, with the
@@ -201,7 +201,7 @@ impl<'a> CommModel<'a> {
         let mut alpha: f64 = 0.0;
         for (i, &a) in group.iter().enumerate() {
             for &b in &group[i + 1..] {
-                alpha = alpha.max(self.matrix.latency(a, b));
+                alpha = alpha.max(self.matrix.latency_s(a, b));
             }
         }
         alpha

@@ -12,7 +12,7 @@ pub const LAYER_OVERHEAD_S: f64 = 40e-6;
 
 /// Forward time of one microbatch on stage `stage` (compute only, no
 /// communication).
-pub fn stage_fwd_time(
+pub fn stage_fwd_time_s(
     gpt: &GptConfig,
     gpu: &GpuSpec,
     pp: usize,
@@ -27,7 +27,7 @@ pub fn stage_fwd_time(
 
 /// Backward time of one microbatch on stage `stage` (2× the forward
 /// FLOPs).
-pub fn stage_bwd_time(
+pub fn stage_bwd_time_s(
     gpt: &GptConfig,
     gpu: &GpuSpec,
     pp: usize,
@@ -51,8 +51,8 @@ mod tests {
     #[test]
     fn backward_roughly_twice_forward() {
         let g = GptConfig::gpt_1_1b();
-        let f = stage_fwd_time(&g, &gpu(), 4, 2, 1, 2);
-        let b = stage_bwd_time(&g, &gpu(), 4, 2, 1, 2);
+        let f = stage_fwd_time_s(&g, &gpu(), 4, 2, 1, 2);
+        let b = stage_bwd_time_s(&g, &gpu(), 4, 2, 1, 2);
         let ratio = b / f;
         assert!(ratio > 1.8 && ratio < 2.1, "ratio {ratio}");
     }
@@ -60,16 +60,16 @@ mod tests {
     #[test]
     fn tensor_parallelism_cuts_compute() {
         let g = GptConfig::gpt_1_1b();
-        let t1 = stage_fwd_time(&g, &gpu(), 2, 1, 0, 2);
-        let t8 = stage_fwd_time(&g, &gpu(), 2, 8, 0, 2);
+        let t1 = stage_fwd_time_s(&g, &gpu(), 2, 1, 0, 2);
+        let t8 = stage_fwd_time_s(&g, &gpu(), 2, 8, 0, 2);
         assert!(t1 / t8 > 6.0 && t1 / t8 < 8.5);
     }
 
     #[test]
     fn a100_is_faster() {
         let g = GptConfig::gpt_3_1b();
-        let v = stage_fwd_time(&g, &GpuSpec::v100(), 4, 8, 0, 1);
-        let a = stage_fwd_time(&g, &GpuSpec::a100(), 4, 8, 0, 1);
+        let v = stage_fwd_time_s(&g, &GpuSpec::v100(), 4, 8, 0, 1);
+        let a = stage_fwd_time_s(&g, &GpuSpec::a100(), 4, 8, 0, 1);
         assert!(a < v);
     }
 
@@ -78,7 +78,7 @@ mod tests {
         // One microbatch (1 sample, 2048 tokens) of GPT-3.1B on a V100
         // stage with pp=4, tp=8 should take on the order of milliseconds.
         let g = GptConfig::gpt_3_1b();
-        let t = stage_fwd_time(&g, &gpu(), 4, 8, 1, 1);
+        let t = stage_fwd_time_s(&g, &gpu(), 4, 8, 1, 1);
         assert!(t > 1e-4 && t < 0.2, "t = {t}");
     }
 }

@@ -50,11 +50,11 @@ pub struct ChainResult {
 
 impl ChainSpec {
     fn validate(&self) {
-        assert!(self.pp > 0 && self.n_mb > 0, "empty chain");
-        assert_eq!(self.fwd_time.len(), self.pp, "fwd_time length");
-        assert_eq!(self.bwd_time.len(), self.pp, "bwd_time length");
-        assert_eq!(self.fwd_comm.len(), self.pp - 1, "fwd_comm length");
-        assert_eq!(self.bwd_comm.len(), self.pp - 1, "bwd_comm length");
+        debug_assert!(self.pp > 0 && self.n_mb > 0, "empty chain");
+        debug_assert_eq!(self.fwd_time.len(), self.pp, "fwd_time length");
+        debug_assert_eq!(self.bwd_time.len(), self.pp, "bwd_time length");
+        debug_assert_eq!(self.fwd_comm.len(), self.pp - 1, "fwd_comm length");
+        debug_assert_eq!(self.bwd_comm.len(), self.pp - 1, "bwd_comm length");
         let all_finite = self
             .fwd_time
             .iter()
@@ -62,7 +62,7 @@ impl ChainSpec {
             .chain(&self.fwd_comm)
             .chain(&self.bwd_comm)
             .all(|t| t.is_finite() && *t >= 0.0);
-        assert!(all_finite, "durations must be finite and non-negative");
+        debug_assert!(all_finite, "durations must be finite and non-negative");
     }
 
     /// Evaluates the chain, returning exact task timing.
@@ -156,6 +156,7 @@ impl ChainSpec {
                     progressed = true;
                 }
             }
+            // pipette-lint: allow(D2) -- deadlock guard: an invalid schedule must abort in release too, or the loop spins forever
             assert!(
                 progressed,
                 "pipeline schedule deadlocked — invalid schedule"

@@ -50,9 +50,9 @@ fn backward_item(pp: usize, v: usize, k: u64) -> (usize, u64) {
 /// (Megatron-LM requires the microbatch count to be a multiple of the
 /// pipeline depth for this schedule).
 pub fn device_order(pp: usize, v: usize, device: usize, n_mb: u64) -> Vec<ChunkTask> {
-    assert!(v >= 2, "interleaving needs at least two chunks per device");
-    assert!(device < pp, "device out of range");
-    assert!(
+    debug_assert!(v >= 2, "interleaving needs at least two chunks per device");
+    debug_assert!(device < pp, "device out of range");
+    debug_assert!(
         n_mb > 0 && n_mb.is_multiple_of(pp as u64),
         "n_mb must be a positive multiple of pp"
     );
@@ -109,7 +109,7 @@ pub fn peak_inflight_weighted(
     n_mb: u64,
     weights: &[u64],
 ) -> u64 {
-    assert_eq!(weights.len(), v, "one weight per chunk");
+    debug_assert_eq!(weights.len(), v, "one weight per chunk");
     let mut load: i128 = 0;
     let mut peak: i128 = 0;
     for item in device_order(pp, v, device, n_mb) {
@@ -158,18 +158,18 @@ pub struct VirtualChainResult {
 impl VirtualChainSpec {
     fn validate(&self) {
         let s = self.pp * self.chunks;
-        assert!(
+        debug_assert!(
             self.pp > 0 && self.chunks >= 2,
             "need pp >= 1 and chunks >= 2"
         );
-        assert!(
+        debug_assert!(
             self.n_mb > 0 && self.n_mb.is_multiple_of(self.pp as u64),
             "n_mb must be a multiple of pp"
         );
-        assert_eq!(self.fwd_time.len(), s, "fwd_time length");
-        assert_eq!(self.bwd_time.len(), s, "bwd_time length");
-        assert_eq!(self.fwd_comm.len(), s - 1, "fwd_comm length");
-        assert_eq!(self.bwd_comm.len(), s - 1, "bwd_comm length");
+        debug_assert_eq!(self.fwd_time.len(), s, "fwd_time length");
+        debug_assert_eq!(self.bwd_time.len(), s, "bwd_time length");
+        debug_assert_eq!(self.fwd_comm.len(), s - 1, "fwd_comm length");
+        debug_assert_eq!(self.bwd_comm.len(), s - 1, "bwd_comm length");
     }
 
     /// Evaluates the chain with the same dependency relaxation as the
@@ -245,6 +245,7 @@ impl VirtualChainSpec {
                     progressed = true;
                 }
             }
+            // pipette-lint: allow(D2) -- deadlock guard: an invalid device order must abort in release too, or the loop spins forever
             assert!(
                 progressed,
                 "interleaved schedule deadlocked — invalid device order"

@@ -9,7 +9,7 @@
 //! exactly why Eq. 6 charges only the first stage's DP communication).
 
 use crate::comm::CommModel;
-use crate::compute::{stage_bwd_time, stage_fwd_time};
+use crate::compute::{stage_bwd_time_s, stage_fwd_time_s};
 use crate::engine::{ChainResult, ChainSpec};
 use crate::mapping::Mapping;
 use crate::options::{ActivationMode, TrainingOptions};
@@ -128,18 +128,18 @@ impl<'a> IterationSim<'a> {
         mapping: &Mapping,
         plan: MicrobatchPlan,
     ) -> IterationReport {
-        assert_eq!(
+        debug_assert_eq!(
             mapping.config(),
             cfg,
             "mapping built for a different configuration"
         );
-        assert_eq!(
+        debug_assert_eq!(
             cfg.num_workers(),
             self.matrix.topology().num_gpus(),
             "configuration does not cover the cluster"
         );
         if self.options.virtual_stages > 1 {
-            assert_eq!(
+            debug_assert_eq!(
                 self.options.schedule,
                 PipelineSchedule::OneFOneB,
                 "interleaving requires the 1F1B schedule"
@@ -164,10 +164,10 @@ impl<'a> IterationSim<'a> {
                 // Two all-reduces per layer in each direction.
                 let ar = comm.ring_allreduce(&group, tp_bytes);
                 fwd_time.push(
-                    stage_fwd_time(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch)
+                    stage_fwd_time_s(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch)
                         + 2.0 * layers * ar,
                 );
-                let mut bwd = stage_bwd_time(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch)
+                let mut bwd = stage_bwd_time_s(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch)
                     + 2.0 * layers * ar;
                 match self.options.activation {
                     ActivationMode::Full => {}
@@ -178,12 +178,13 @@ impl<'a> IterationSim<'a> {
                         let seq = self.gpt.seq_len as f64;
                         let attn_share = 4.0 * seq * h / (24.0 * h * h + 4.0 * seq * h);
                         bwd += attn_share
-                            * stage_fwd_time(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch);
+                            * stage_fwd_time_s(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch);
                     }
                     ActivationMode::FullRecompute => {
                         // Replay the forward before the backward.
-                        bwd += stage_fwd_time(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch)
-                            + 2.0 * layers * ar;
+                        bwd +=
+                            stage_fwd_time_s(self.gpt, self.gpu, pp, cfg.tp, s, plan.micro_batch)
+                                + 2.0 * layers * ar;
                     }
                 }
                 bwd_time.push(bwd);
@@ -249,6 +250,7 @@ impl<'a> IterationSim<'a> {
         let slowest = chain_results
             .iter()
             .max_by(|a, b| a.makespan.total_cmp(&b.makespan))
+            // pipette-lint: allow(D2) -- `dp >= 1` by ParallelConfig, so there is at least one replica chain
             .expect("at least one replica");
         let critical_busy = slowest.stage_busy.iter().cloned().fold(0.0, f64::max);
 
@@ -276,11 +278,11 @@ impl<'a> IterationSim<'a> {
         let v = self.options.virtual_stages;
         let pp = cfg.pp;
         let s_total = pp * v;
-        assert!(
+        debug_assert!(
             s_total <= self.gpt.n_layers,
             "pp * virtual_stages must not exceed the layer count"
         );
-        assert!(
+        debug_assert!(
             plan.n_microbatches.is_multiple_of(pp as u64),
             "interleaved 1F1B requires pp | n_mb"
         );
@@ -300,7 +302,7 @@ impl<'a> IterationSim<'a> {
                 let group = mapping.tensor_group(device, z);
                 let layers = self.gpt.layers_of_stage(s_total, s) as f64;
                 let ar = comm.ring_allreduce(&group, tp_bytes);
-                let fwd = crate::compute::stage_fwd_time(
+                let fwd = crate::compute::stage_fwd_time_s(
                     self.gpt,
                     self.gpu,
                     s_total,
@@ -308,7 +310,7 @@ impl<'a> IterationSim<'a> {
                     s,
                     plan.micro_batch,
                 ) + 2.0 * layers * ar;
-                let mut bwd = crate::compute::stage_bwd_time(
+                let mut bwd = crate::compute::stage_bwd_time_s(
                     self.gpt,
                     self.gpu,
                     s_total,
@@ -323,7 +325,7 @@ impl<'a> IterationSim<'a> {
                         let seq = self.gpt.seq_len as f64;
                         let attn_share = 4.0 * seq * h / (24.0 * h * h + 4.0 * seq * h);
                         bwd += attn_share
-                            * crate::compute::stage_fwd_time(
+                            * crate::compute::stage_fwd_time_s(
                                 self.gpt,
                                 self.gpu,
                                 s_total,
@@ -333,7 +335,7 @@ impl<'a> IterationSim<'a> {
                             );
                     }
                     ActivationMode::FullRecompute => {
-                        bwd += crate::compute::stage_fwd_time(
+                        bwd += crate::compute::stage_fwd_time_s(
                             self.gpt,
                             self.gpu,
                             s_total,
@@ -413,6 +415,7 @@ impl<'a> IterationSim<'a> {
         let slowest = chain_results
             .iter()
             .max_by(|a, b| a.makespan.total_cmp(&b.makespan))
+            // pipette-lint: allow(D2) -- `dp >= 1` by ParallelConfig, so there is at least one replica chain
             .expect("at least one replica");
         let critical_busy = slowest.device_busy.iter().cloned().fold(0.0, f64::max);
 

@@ -28,7 +28,7 @@ impl Mapping {
     ///
     /// Panics if the worker count does not equal the GPU count.
     pub fn identity(config: ParallelConfig, topology: ClusterTopology) -> Self {
-        assert_eq!(
+        debug_assert_eq!(
             config.num_workers(),
             topology.num_gpus(),
             "mapping requires as many workers as GPUs"
@@ -46,15 +46,15 @@ impl Mapping {
     ///
     /// Panics if `assign` is not a permutation of `0..num_workers`.
     pub fn from_assignment(config: ParallelConfig, assign: Vec<GpuId>) -> Self {
-        assert_eq!(
+        debug_assert_eq!(
             assign.len(),
             config.num_workers(),
             "assignment length mismatch"
         );
         let mut seen = vec![false; assign.len()];
         for g in &assign {
-            assert!(g.0 < assign.len(), "gpu id {g} out of range");
-            assert!(!seen[g.0], "gpu {g} assigned twice");
+            debug_assert!(g.0 < assign.len(), "gpu id {g} out of range");
+            debug_assert!(!seen[g.0], "gpu {g} assigned twice");
             seen[g.0] = true;
         }
         Self { config, assign }

@@ -88,7 +88,7 @@ impl TrainingOptions {
     ///
     /// Panics if `v == 0`.
     pub fn with_interleaving(mut self, v: usize) -> Self {
-        assert!(v >= 1, "need at least one virtual stage");
+        debug_assert!(v >= 1, "need at least one virtual stage");
         self.virtual_stages = v;
         self
     }

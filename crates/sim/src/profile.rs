@@ -7,7 +7,7 @@
 //! compute model through a small measurement noise.
 
 use crate::comm::CommModel;
-use crate::compute::{stage_bwd_time, stage_fwd_time};
+use crate::compute::{stage_bwd_time_s, stage_fwd_time_s};
 use pipette_cluster::rand_util::normal;
 use pipette_cluster::{BandwidthMatrix, GpuSpec};
 use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
@@ -65,7 +65,7 @@ impl ComputeProfiler {
     ///
     /// Panics if `noise_sigma` is negative.
     pub fn new(noise_sigma: f64) -> Self {
-        assert!(noise_sigma >= 0.0, "noise must be non-negative");
+        debug_assert!(noise_sigma >= 0.0, "noise must be non-negative");
         Self { noise_sigma }
     }
 
@@ -104,11 +104,11 @@ impl ComputeProfiler {
         plan: MicrobatchPlan,
         seed: u64,
     ) -> ProfiledCompute {
-        assert!(
+        debug_assert!(
             stages >= 1 && stages <= gpt.n_layers,
             "stages must be in 1..=n_layers"
         );
-        assert!(
+        debug_assert!(
             tp >= 1 && tp <= matrix.topology().gpus_per_node(),
             "tp must fit within a node"
         );
@@ -122,7 +122,7 @@ impl ComputeProfiler {
         let mut bwd = Vec::with_capacity(stages);
         let mut tp_comm = Vec::with_capacity(stages);
         for s in 0..stages {
-            fwd.push(noisy(stage_fwd_time(
+            fwd.push(noisy(stage_fwd_time_s(
                 gpt,
                 gpu,
                 stages,
@@ -130,7 +130,7 @@ impl ComputeProfiler {
                 s,
                 plan.micro_batch,
             )));
-            bwd.push(noisy(stage_bwd_time(
+            bwd.push(noisy(stage_bwd_time_s(
                 gpt,
                 gpu,
                 stages,

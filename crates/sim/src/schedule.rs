@@ -58,8 +58,8 @@ impl PipelineSchedule {
     ///
     /// Panics if `stage >= pp` or `n_mb == 0`.
     pub fn stage_order(&self, pp: usize, stage: usize, n_mb: u64) -> Vec<Task> {
-        assert!(stage < pp, "stage out of range");
-        assert!(n_mb > 0, "need at least one microbatch");
+        debug_assert!(stage < pp, "stage out of range");
+        debug_assert!(n_mb > 0, "need at least one microbatch");
         let mut order = Vec::with_capacity(2 * n_mb as usize);
         match self {
             PipelineSchedule::GPipe => {

@@ -12,7 +12,7 @@
 
 use pipette_cluster::presets;
 use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
-use pipette_sim::compute::{stage_bwd_time, stage_fwd_time};
+use pipette_sim::compute::{stage_bwd_time_s, stage_fwd_time_s};
 use pipette_sim::engine::ChainSpec;
 use pipette_sim::trace::{idle_fractions, render_gantt};
 use pipette_sim::{
@@ -42,10 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_mb: plan.n_microbatches,
             schedule,
             fwd_time: (0..cfg.pp)
-                .map(|s| stage_fwd_time(&gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
+                .map(|s| stage_fwd_time_s(&gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
                 .collect(),
             bwd_time: (0..cfg.pp)
-                .map(|s| stage_bwd_time(&gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
+                .map(|s| stage_bwd_time_s(&gpt, &gpu, cfg.pp, cfg.tp, s, plan.micro_batch))
                 .collect(),
             fwd_comm: (0..cfg.pp - 1)
                 .map(|s| comm.p2p(chain[s], chain[s + 1], msg))
