@@ -32,13 +32,64 @@ use pipette_sim::{ComputeProfiler, Mapping, MemorySim};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use std::time::{Duration, Instant};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with allocation counters, installed as the
+/// global allocator of this binary only. This is what turns "the SA hot
+/// path is allocation-free" from a code-review claim into a measured,
+/// CI-enforced invariant: the steady-state section below snapshots the
+/// counters around a propose/commit/rollback loop and aborts the run on
+/// any delta.
+struct CountingAlloc;
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOCATION_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the added atomics never observe
+// or alter the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOCATION_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOCATION_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is the allocation the arenas exist to prevent; count it.
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOCATION_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOCATION_COUNT.load(Ordering::Relaxed),
+        ALLOCATION_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 #[derive(Serialize)]
 struct Report {
     smoke: bool,
     cluster: ClusterShape,
     objective: ObjectiveThroughput,
+    hot_path_allocs: HotPathAllocs,
     end_to_end: EndToEnd,
     sa_budgeted: SaBudgeted,
     memory_estimator: MemoryEstimatorPerf,
@@ -57,6 +108,12 @@ struct ClusterShape {
 #[derive(Serialize)]
 struct ObjectiveThroughput {
     evaluations: usize,
+    /// Moves driven through the incremental path. Far more than
+    /// `evaluations`: one incremental eval is ~100× cheaper than a full
+    /// one, and a run long enough to amortize the one-time memo warmup
+    /// (the working set is ~2k keys) is what "steady-state throughput"
+    /// means — any real SA run is millions of moves.
+    incremental_evaluations: usize,
     full_evals_per_sec: f64,
     incremental_evals_per_sec: f64,
     speedup: f64,
@@ -70,9 +127,31 @@ struct EndToEnd {
     estimated_iteration_seconds: f64,
 }
 
+/// Steady-state allocator activity of the incremental SA loop, measured
+/// with [`CountingAlloc`]: after warmup, `measured_moves` full
+/// propose + commit/rollback cycles must allocate **nothing** — the
+/// undo logs, touched-sets, and DP memo are all arena-backed and sized
+/// at construction. The binary aborts if the count is nonzero, so a
+/// regression can never write a green-looking report.
+#[derive(Serialize)]
+struct HotPathAllocs {
+    warmup_moves: usize,
+    measured_moves: usize,
+    allocations: u64,
+    allocated_bytes: u64,
+}
+
+/// Fixed-iteration SA through the incremental objective. Earlier
+/// baselines annealed against a wall-clock budget, which made
+/// `evaluations` and `improvement` machine-speed-dependent — useless to
+/// diff across runs. With the iteration count pinned, both are
+/// deterministic (seeded SA, bit-stable objective) and only the
+/// wall-clock field varies between machines.
 #[derive(Serialize)]
 struct SaBudgeted {
-    budget_seconds: f64,
+    iterations: usize,
+    wall_clock_seconds: f64,
+    evals_per_sec: f64,
     evaluations: usize,
     improvement: f64,
 }
@@ -143,24 +222,68 @@ fn main() {
     let num_blocks = cfg.num_workers() / block;
 
     // Throughput of the full-estimate path: move, re-estimate everything.
+    // Fastest of three passes, same minimum-time estimator as the
+    // incremental loop below, so the speedup ratio compares like with
+    // like.
     let mut mapping = identity.clone();
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let mut sink = 0.0f64;
-    let t0 = Instant::now();
-    for _ in 0..evals {
-        let mv = Move::random(&mut rng, num_blocks);
-        mv.apply(mapping.as_mut_slice(), block);
-        sink += model.estimate(cfg, &mapping, plan, &compute);
+    let mut full_elapsed = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..evals {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            sink += model.estimate(cfg, &mapping, plan, &compute);
+        }
+        full_elapsed = full_elapsed.min(t0.elapsed().as_secs_f64());
     }
-    let full_elapsed = t0.elapsed().as_secs_f64();
 
-    // Throughput of the incremental path: same move stream, alternating
-    // commit/rollback so both bookkeeping branches are measured.
+    // Throughput of the incremental path: the same kind of move stream,
+    // alternating commit/rollback so both bookkeeping branches are
+    // measured. Each pass runs long enough (sub-second — each eval is
+    // sub-μs) that the one-time memo/hop-table warmup is amortized away,
+    // and the *fastest of three passes* is reported: the minimum-time
+    // estimator rejects scheduler and frequency-scaling noise that a
+    // single pass is exposed to, while any real slowdown in the code
+    // shows up in every pass.
+    let inc_evals = if smoke { 100_000 } else { 1_000_000 };
+    let inc_passes = 3;
     let mut mapping = identity.clone();
     let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &mapping);
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let t0 = Instant::now();
-    for i in 0..evals {
+    let mut inc_elapsed = f64::INFINITY;
+    for _ in 0..inc_passes {
+        let t0 = Instant::now();
+        for i in 0..inc_evals {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            sink += obj.propose(mv, &mapping);
+            if i % 2 == 0 {
+                obj.commit();
+            } else {
+                obj.rollback();
+                mv.inverse().apply(mapping.as_mut_slice(), block);
+            }
+        }
+        inc_elapsed = inc_elapsed.min(t0.elapsed().as_secs_f64());
+    }
+
+    let objective = ObjectiveThroughput {
+        evaluations: evals,
+        incremental_evaluations: inc_evals,
+        full_evals_per_sec: evals as f64 / full_elapsed,
+        incremental_evals_per_sec: inc_evals as f64 / inc_elapsed,
+        speedup: (full_elapsed / evals as f64) / (inc_elapsed / inc_evals as f64),
+    };
+
+    // Zero-allocation proof: keep driving the (already warm) incremental
+    // objective and snapshot the global allocator around the loop. Any
+    // nonzero delta is a hot-path regression and fails the run outright.
+    let warmup_moves = inc_evals * inc_passes;
+    let measured_moves = if smoke { 10_000 } else { 200_000 };
+    let (alloc0, bytes0) = alloc_snapshot();
+    for i in 0..measured_moves {
         let mv = Move::random(&mut rng, num_blocks);
         mv.apply(mapping.as_mut_slice(), block);
         sink += obj.propose(mv, &mapping);
@@ -171,14 +294,19 @@ fn main() {
             mv.inverse().apply(mapping.as_mut_slice(), block);
         }
     }
-    let inc_elapsed = t0.elapsed().as_secs_f64();
-
-    let objective = ObjectiveThroughput {
-        evaluations: evals,
-        full_evals_per_sec: evals as f64 / full_elapsed,
-        incremental_evals_per_sec: evals as f64 / inc_elapsed,
-        speedup: full_elapsed / inc_elapsed,
+    let (alloc1, bytes1) = alloc_snapshot();
+    let hot_path_allocs = HotPathAllocs {
+        warmup_moves,
+        measured_moves,
+        allocations: alloc1 - alloc0,
+        allocated_bytes: bytes1 - bytes0,
     };
+    assert_eq!(
+        hot_path_allocs.allocations, 0,
+        "SA hot path allocated {} times ({} bytes) over {} moves — the \
+         propose/commit/rollback cycle must be allocation-free",
+        hot_path_allocs.allocations, hot_path_allocs.allocated_bytes, measured_moves
+    );
 
     // End-to-end Algorithm 1 on the same cluster, with a modest memory
     // training budget (the estimator is trained once per cluster in
@@ -200,23 +328,22 @@ fn main() {
         estimated_iteration_seconds: rec.estimated_seconds,
     };
 
-    // Fixed-wall-clock SA: how much mapping improvement one budget buys
-    // through the incremental objective.
-    let budget = if smoke {
-        Duration::from_millis(50)
-    } else {
-        Duration::from_secs(1)
-    };
+    // Fixed-iteration SA: how much mapping improvement a known number of
+    // incremental evaluations buys (deterministic — see `SaBudgeted`).
+    let budget_iters = if smoke { 5_000 } else { 1_500_000 };
     let sa = Annealer::new(AnnealerConfig {
-        time_limit: Some(budget),
-        iterations: usize::MAX,
+        iterations: budget_iters,
         seed: 2,
         ..Default::default()
     });
     let mut obj = IncrementalObjective::from_model(&model, &gpt, plan, &compute, &identity);
+    let t0 = Instant::now();
     let (_, _, stats) = sa.anneal_with(&identity, &mut obj);
+    let budget_elapsed = t0.elapsed().as_secs_f64();
     let sa_budgeted = SaBudgeted {
-        budget_seconds: budget.as_secs_f64(),
+        iterations: budget_iters,
+        wall_clock_seconds: budget_elapsed,
+        evals_per_sec: stats.evaluations as f64 / budget_elapsed,
         evaluations: stats.evaluations,
         improvement: stats.improvement(),
     };
@@ -396,6 +523,7 @@ fn main() {
             dp: cfg.dp,
         },
         objective,
+        hot_path_allocs,
         end_to_end,
         sa_budgeted,
         memory_estimator,

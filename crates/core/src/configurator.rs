@@ -539,33 +539,44 @@ impl<'a> Pipette<'a> {
         // the bare estimate; `breakdown.total_seconds` is bit-identical to
         // `estimate()` (see `latency::terms`), so the search is unchanged.
         let tracing = trace.is_some();
-        let evaluated = parallel::ordered_map(self.options.threads, &work, |i, &(cfg, plan)| {
-            if !runnable[i] {
-                return None;
-            }
-            let compute = profiler.profile(
-                self.cluster.bandwidth(),
-                &gpu,
-                self.gpt,
-                cfg,
-                plan,
-                self.options.seed,
-            );
-            let identity = Mapping::identity(cfg, *topo);
-            let (est, explanation) = if tracing {
-                let ex = latency.breakdown(cfg, &identity, plan, &compute);
-                (ex.terms.total_seconds, Some(ex))
-            } else {
-                (latency.estimate(cfg, &identity, plan, &compute), None)
-            };
-            Some(Candidate {
-                config: cfg,
-                plan,
-                compute,
-                identity_estimate: est,
-                explanation,
-            })
-        });
+        // Candidate ring: each worker keeps one Mapping buffer and resets
+        // it in place per candidate (worker count always equals the GPU
+        // count, so the buffer length never changes). The scratch is fully
+        // overwritten by `set_identity`, so results stay thread-count
+        // invariant.
+        let evaluated = parallel::ordered_map_scratch(
+            self.options.threads,
+            &work,
+            || None::<Mapping>,
+            |ring, i, &(cfg, plan)| {
+                if !runnable[i] {
+                    return None;
+                }
+                let compute = profiler.profile(
+                    self.cluster.bandwidth(),
+                    &gpu,
+                    self.gpt,
+                    cfg,
+                    plan,
+                    self.options.seed,
+                );
+                let identity = ring.get_or_insert_with(|| Mapping::identity(cfg, *topo));
+                identity.set_identity(cfg, *topo);
+                let (est, explanation) = if tracing {
+                    let ex = latency.breakdown(cfg, identity, plan, &compute);
+                    (ex.terms.total_seconds, Some(ex))
+                } else {
+                    (latency.estimate(cfg, identity, plan, &compute), None)
+                };
+                Some(Candidate {
+                    config: cfg,
+                    plan,
+                    compute,
+                    identity_estimate: est,
+                    explanation,
+                })
+            },
+        );
 
         let mut candidates: Vec<Candidate> = Vec::with_capacity(evaluated.len());
         let mut rejected = 0usize;
@@ -612,15 +623,19 @@ impl<'a> Pipette<'a> {
             // the merged stream never depends on thread scheduling.
             let k = self.options.sa_top_k.max(1).min(candidates.len());
             let proto: Option<&Trace> = trace.as_deref();
-            let annealed =
-                parallel::ordered_map(self.options.threads, &candidates[..k], |i, cand| {
-                    let initial = Mapping::identity(cand.config, *topo);
+            let annealed = parallel::ordered_map_scratch(
+                self.options.threads,
+                &candidates[..k],
+                || None::<Mapping>,
+                |ring, i, cand| {
+                    let initial = ring.get_or_insert_with(|| Mapping::identity(cand.config, *topo));
+                    initial.set_identity(cand.config, *topo);
                     let mut objective = IncrementalObjective::new(
                         latency.matrix(),
                         self.gpt,
                         cand.plan,
                         &cand.compute,
-                        &initial,
+                        initial,
                     );
                     let mut sa_cfg = self.options.annealer;
                     sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
@@ -629,13 +644,14 @@ impl<'a> Pipette<'a> {
                         Some(mut child) => {
                             let mut observer = SaTraceObserver::new(&mut child, i);
                             let result =
-                                annealer.anneal_observed(&initial, &mut objective, &mut observer);
+                                annealer.anneal_observed(initial, &mut objective, &mut observer);
                             observer.finish(&result.2);
                             (result, Some(child))
                         }
-                        None => (annealer.anneal_with(&initial, &mut objective), None),
+                        None => (annealer.anneal_with(initial, &mut objective), None),
                     }
-                });
+                },
+            );
             for (i, ((mapping, cost, stats), child)) in annealed.into_iter().enumerate() {
                 if let (Some(t), Some(child)) = (trace.as_deref_mut(), child) {
                     t.absorb(child);

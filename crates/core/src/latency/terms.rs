@@ -249,6 +249,96 @@ where
     worst + OPTIMIZER_STEP_S
 }
 
+/// Hot-path form of [`reduce_latency_s`] over precomputed slices — the
+/// once-per-proposal call of [`crate::mapping::IncrementalObjective`].
+///
+/// The closure-based reduction re-derives two stage-static factors on
+/// every call: the profiled compute time `compute.compute(s)` and the
+/// tensor-parallel scaling `TP_ALLREDUCES_PER_LAYER · layers_of_stage`
+/// (two integer divisions per stage per replica). Here both are hoisted
+/// into caller-precomputed slices — `comp[s]` and `tp_factor[s]` — and
+/// the three inner passes (stage costs, hop sum, backward-wave gap) are
+/// fused into two. Every floating-point operation still happens in the
+/// same order on the same values, so the result is **bit-identical** to
+/// [`reduce_latency_s`] fed the equivalent closures (guarded by
+/// `cached_reduce_is_bitwise_equal_to_closure_form` below and by the
+/// propose-vs-batch parity suite).
+///
+/// Contract: `comp[s] = compute.compute(s)`; `tp_factor[s] =
+/// TP_ALLREDUCES_PER_LAYER as f64 * (layers_of_stage(pp, s) as f64)`
+/// (ignored when `cfg.tp < 2`); `block_allreduce` is indexed `s·dp + z`
+/// and `hops` is indexed `x·dp + z`; `stage_cost` is caller scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_latency_cached_s(
+    cfg: ParallelConfig,
+    plan: MicrobatchPlan,
+    comp: &[f64],
+    tp_factor: &[f64],
+    block_allreduce: &[f64],
+    hops: &[f64],
+    dp_times: &[f64],
+    stage_cost: &mut Vec<f64>,
+) -> f64 {
+    let pp = cfg.pp as f64;
+    let dp = cfg.dp;
+    let tp_small = cfg.tp < 2;
+    if stage_cost.len() != cfg.pp {
+        stage_cost.clear();
+        stage_cost.resize(cfg.pp, 0.0);
+    }
+    // Prefix bindings let the compiler drop the per-element bounds checks
+    // in the stage loops (every index is `< cfg.pp` by construction).
+    let comp = &comp[..cfg.pp];
+    let tp_factor = &tp_factor[..cfg.pp];
+    let dp_times = &dp_times[..cfg.pp];
+    let stage_cost = &mut stage_cost[..cfg.pp];
+    // Replica-invariant factors, hoisted out of the z loop.
+    let n_mb = plan.n_microbatches as f64;
+    let loops = (n_mb / pp - 1.0).max(0.0);
+    let mut worst = 0.0f64;
+    for z in 0..dp {
+        // Pass 1: per-stage costs, with the running sum and max folded in
+        // (identical accumulation order to `iter().sum()` and
+        // `fold(0.0, f64::max)` over the finished slice). The `tp < 2`
+        // test is hoisted to loop selection; the degenerate branch keeps
+        // the closure form's `+ 0.0` so signed zeros round-trip.
+        let mut sum = 0.0f64;
+        let mut max = 0.0f64;
+        if tp_small {
+            for s in 0..cfg.pp {
+                let c = comp[s] + 0.0;
+                stage_cost[s] = c;
+                sum += c;
+                max = f64::max(max, c);
+            }
+        } else {
+            for s in 0..cfg.pp {
+                let c = comp[s] + tp_factor[s] * block_allreduce[s * dp + z];
+                stage_cost[s] = c;
+                sum += c;
+                max = f64::max(max, c);
+            }
+        }
+        let mean = sum / pp;
+        // Pass 2: hop sum and backward-wave gap share the same hop reads,
+        // in the same left-to-right order as the two separate loops of
+        // the closure form.
+        let mut t_pp = 0.0;
+        let mut gap = 0.0;
+        let mut dp_exposed: f64 = dp_times[0];
+        for s in 1..cfg.pp {
+            let h = hops[(s - 1) * dp + z];
+            t_pp += h;
+            gap += 2.0 * stage_cost[s - 1] / 3.0 + h / 2.0;
+            dp_exposed = dp_exposed.max(dp_times[s] - gap);
+        }
+        let loop_excess = (sum + t_pp - pp * max).max(0.0);
+        let chain = n_mb * max + (pp - 1.0) * mean + t_pp + loops * loop_excess;
+        worst = worst.max(chain + dp_exposed);
+    }
+    worst + OPTIMIZER_STEP_S
+}
+
 /// The Eq. 3–6 decomposition of one latency estimate, as recorded for
 /// telemetry and `pipette explain`.
 ///
@@ -367,6 +457,75 @@ mod tests {
             presets::mid_range(4).build(11),
             GptConfig::new(8, 1024, 16, 2048, 51200),
         )
+    }
+
+    #[test]
+    fn cached_reduce_is_bitwise_equal_to_closure_form() {
+        use pipette_sim::ComputeProfiler;
+        let (c, gpt) = setup();
+        // Cover tp ≥ 2 and the tp-small branch, plus pp = 1 edge.
+        for cfg in [
+            ParallelConfig::new(4, 2, 4),
+            ParallelConfig::new(8, 2, 2),
+            ParallelConfig::new(4, 1, 8),
+            ParallelConfig::new(1, 4, 8),
+        ] {
+            let plan = MicrobatchPlan::new(64, 2).unwrap();
+            let gpu = c.gpu().clone();
+            let compute =
+                ComputeProfiler::default().profile(c.bandwidth(), &gpu, &gpt, cfg, plan, 3);
+            let (pp, dp) = (cfg.pp, cfg.dp);
+            // Synthetic but irregular term values: bit-equality must hold
+            // for arbitrary inputs, not just physically plausible ones.
+            let block_allreduce: Vec<f64> = (0..pp * dp)
+                .map(|i| 1e-4 * (1.0 + (i as f64).sin().abs()))
+                .collect();
+            let hops: Vec<f64> = (0..pp.saturating_sub(1) * dp)
+                .map(|i| 2e-4 * (1.0 + (i as f64).cos().abs()))
+                .collect();
+            let dp_times: Vec<f64> = (0..pp)
+                .map(|s| 3e-4 * (1.0 + (s as f64 * 0.7).fract()))
+                .collect();
+            let comp: Vec<f64> = (0..pp).map(|s| compute.compute(s)).collect();
+            let tp_factor: Vec<f64> = (0..pp)
+                .map(|s| {
+                    messages::TP_ALLREDUCES_PER_LAYER as f64 * gpt.layers_of_stage(pp, s) as f64
+                })
+                .collect();
+            let mut scratch_a = Vec::new();
+            let mut scratch_b = Vec::new();
+            let tp_small = cfg.tp < 2;
+            let closure_form = reduce_latency_s(
+                cfg,
+                plan,
+                &compute,
+                &dp_times,
+                |s, z| {
+                    if tp_small {
+                        0.0
+                    } else {
+                        t_tp_from_allreduce(&gpt, pp, s, block_allreduce[s * dp + z])
+                    }
+                },
+                |x, z| hops[x * dp + z],
+                &mut scratch_a,
+            );
+            let cached_form = reduce_latency_cached_s(
+                cfg,
+                plan,
+                &comp,
+                &tp_factor,
+                &block_allreduce,
+                &hops,
+                &dp_times,
+                &mut scratch_b,
+            );
+            assert_eq!(
+                closure_form.to_bits(),
+                cached_form.to_bits(),
+                "{cfg:?}: {closure_form} vs {cached_form}"
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@
 //! # Ok::<(), pipette::ConfigureError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: exactly one module opts out —
+// `memory::mmap_index` wraps `mmap(2)` behind a safe API for the binary
+// estimator-cache read path. Every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;

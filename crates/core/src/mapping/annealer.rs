@@ -247,21 +247,26 @@ impl Annealer {
             return (initial.clone(), initial_cost, stats);
         }
 
-        // Enabled move kinds, fixed once. The order mirrors the arms of
+        // Enabled move kinds, fixed once, in a stack array (the loop below
+        // is the hottest in the crate; no reason for its one lookup table
+        // to live on the heap). The order mirrors the arms of
         // `Move::random`, so with all three enabled the index draw below
         // consumes the same `gen_range(0..3u8)` the old rejection-sampling
         // loop did — the RNG stream (and thus every historical result for a
         // given seed) is preserved.
-        let mut enabled: Vec<MoveKind> = Vec::with_capacity(3);
-        if self.config.enable_migration {
-            enabled.push(MoveKind::Migration);
+        let mut enabled_buf = [MoveKind::Migration; 3];
+        let mut enabled_len = 0usize;
+        for (on, kind) in [
+            (self.config.enable_migration, MoveKind::Migration),
+            (self.config.enable_swap, MoveKind::Swap),
+            (self.config.enable_reverse, MoveKind::Reverse),
+        ] {
+            if on {
+                enabled_buf[enabled_len] = kind;
+                enabled_len += 1;
+            }
         }
-        if self.config.enable_swap {
-            enabled.push(MoveKind::Swap);
-        }
-        if self.config.enable_reverse {
-            enabled.push(MoveKind::Reverse);
-        }
+        let enabled = &enabled_buf[..enabled_len];
         debug_assert!(!enabled.is_empty(), "checked in Annealer::new");
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);

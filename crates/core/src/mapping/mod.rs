@@ -7,11 +7,15 @@
 //! the paper's temperature schedule (α = 0.999).
 
 mod annealer;
+mod arena;
 mod moves;
 mod objective;
 mod search;
 
 pub use annealer::{AnnealStats, Annealer, AnnealerConfig, NoOpObserver, SaMoveRecord, SaObserver};
+pub use arena::{
+    DenseDpMemo, DpMemo, MemoBackend, MemoStats, ReferenceDpMemo, TouchedSet, UndoLog,
+};
 pub use moves::{Move, MoveKind};
 pub use objective::{FnObjective, IncrementalObjective, Objective};
 pub use search::{greedy_swap, random_search};

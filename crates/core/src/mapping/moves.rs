@@ -181,6 +181,11 @@ impl Move {
                 if a == b {
                     return;
                 }
+                if block_size == 1 {
+                    // Single-element blocks: a plain swap, no slicing.
+                    assign.swap(a, b);
+                    return;
+                }
                 let (lo, hi) = if a < b { (a, b) } else { (b, a) };
                 let (left, right) = assign.split_at_mut(hi * block_size);
                 left[lo * block_size..(lo + 1) * block_size]

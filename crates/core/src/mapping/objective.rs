@@ -25,11 +25,11 @@
 //! unchanged, only faster.
 
 use crate::latency::{terms, PipetteLatencyModel};
+use crate::mapping::arena::{DenseDpMemo, DpMemo, MemoBackend, MemoStats, TouchedSet, UndoLog};
 use crate::mapping::moves::Move;
 use pipette_cluster::{BandwidthMatrix, GpuId};
 use pipette_model::{messages, GptConfig, MicrobatchPlan, ParallelConfig};
 use pipette_sim::{HierScratch, Mapping, ProfiledCompute};
-use std::collections::BTreeMap;
 
 /// What the annealer needs from a cost function: a full evaluation for the
 /// starting point and a propose/commit/rollback protocol for moves.
@@ -89,7 +89,6 @@ pub struct IncrementalObjective<'a> {
     gpt: &'a GptConfig,
     cfg: ParallelConfig,
     plan: MicrobatchPlan,
-    compute: &'a ProfiledCompute,
     msg_pp: u64,
     tp_bytes: u64,
     /// Ring all-reduce time of the tensor group currently at each block
@@ -112,18 +111,38 @@ pub struct IncrementalObjective<'a> {
     hop_table: Vec<f64>,
     /// Lazily memoized per-stage DP all-reduce times, keyed by
     /// `(stage, packed content-id tuple)`. Values are pure in the key, so
-    /// hits are bitwise identical to recomputation. An ordered map keeps
-    /// every observable traversal deterministic by construction (rule D4),
-    /// and the keys' common `(stage, …)` prefix makes the lookups cheap.
-    dp_memo: BTreeMap<(usize, u128), f64>,
+    /// hits are bitwise identical to recomputation — and so is a *miss*
+    /// after eviction, which merely recomputes the same bits. The default
+    /// backend is the perfect-hash [`DenseDpMemo`] when the key space
+    /// fits, otherwise the fixed-capacity open-addressed [`DpMemo`]; the
+    /// `BTreeMap` reference path survives behind
+    /// [`IncrementalObjective::with_memo_backend`] as the equivalence
+    /// oracle. Any observable traversal goes through the ordered drain
+    /// (rule D4's intent).
+    dp_memo: MemoBackend,
+    /// `compute.compute(s)` per stage, hoisted once — static over the
+    /// objective's lifetime (the profiled compute never changes).
+    stage_compute: Vec<f64>,
+    /// Stage of each block position `b = s·dp + z` (`pos_stage[b] = s`),
+    /// so `mark_block` never divides by the runtime `dp`.
+    pos_stage: Vec<u16>,
+    /// `TP_ALLREDUCES_PER_LAYER · layers_of_stage(pp, s)` per stage —
+    /// the static factor of the tensor-parallel term (two integer
+    /// divisions per evaluation, hoisted out of the per-proposal
+    /// reduction).
+    tp_factor: Vec<f64>,
     current_cost: f64,
     pending: Option<Pending>,
-    /// `(index, old value)` journals for the in-flight proposal.
-    hop_undo: Vec<(usize, f64)>,
-    dp_undo: Vec<(usize, f64)>,
-    /// Scratch: dirty hop indices / dirty stages of the current proposal.
-    touched_hops: Vec<usize>,
-    touched_stages: Vec<usize>,
+    /// `(index, old value)` journals for the in-flight proposal — SoA
+    /// arenas sized at construction, so steady-state journaling never
+    /// allocates.
+    hop_undo: UndoLog,
+    dp_undo: UndoLog,
+    /// Scratch: dirty hop indices / dirty stages of the current proposal —
+    /// fixed-capacity buffers sized to the worst case a single move can
+    /// touch.
+    touched_hops: TouchedSet,
+    touched_stages: TouchedSet,
     stage_cost: Vec<f64>,
     group: Vec<GpuId>,
     hier: HierScratch,
@@ -138,6 +157,12 @@ const HOP_TABLE_MAX_ENTRIES: usize = 1 << 20;
 /// DP tuples are packed into a `u128` as 16-bit content ids, so stages
 /// with more replicas than this fall back to direct recomputation.
 const DP_MEMO_MAX_DP: usize = 8;
+
+/// Default slot count of the open-addressed DP memo. 4096 slots hold the
+/// working set of every preset in the suite with hit rates ≥90%; under
+/// harder churn the seeded-eviction policy degrades to recomputation, not
+/// to wrong answers.
+const DP_MEMO_DEFAULT_CAPACITY: usize = 1 << 12;
 
 impl<'a> IncrementalObjective<'a> {
     /// Builds the evaluator for one candidate `(cfg, plan)` over the same
@@ -155,27 +180,72 @@ impl<'a> IncrementalObjective<'a> {
         initial: &Mapping,
     ) -> Self {
         let cfg = initial.config();
+        // Memo values are pure in their keys, so backend choice can never
+        // change a result — pick by key-space size. Small spaces get the
+        // perfect-hash dense table (one load per lookup, no eviction);
+        // everything else the open-addressed table, whose eviction seed is
+        // a pure function of the shape so a given (config, move stream)
+        // replays the same hit/miss/evict history in every process (rule
+        // D1: replayable from seeds alone).
+        let num_blocks = cfg.pp * cfg.dp;
+        let memo = match DenseDpMemo::try_new(cfg.pp, num_blocks, cfg.dp) {
+            Some(dense) if cfg.dp >= 2 => MemoBackend::Dense(dense),
+            _ => {
+                let eviction_seed = (cfg.pp as u64) << 40
+                    ^ (cfg.dp as u64) << 20
+                    ^ cfg.tp as u64
+                    ^ 0x0050_4950_4554_5445;
+                MemoBackend::Open(DpMemo::new(DP_MEMO_DEFAULT_CAPACITY, eviction_seed))
+            }
+        };
+        Self::with_memo_backend(matrix, gpt, plan, compute, initial, memo)
+    }
+
+    /// [`Self::new`] with an explicit memo backend — the reference
+    /// `BTreeMap` path for equivalence tests, or an open table at a chosen
+    /// capacity (tiny capacities force eviction pressure).
+    pub fn with_memo_backend(
+        matrix: &'a BandwidthMatrix,
+        gpt: &'a GptConfig,
+        plan: MicrobatchPlan,
+        compute: &'a ProfiledCompute,
+        initial: &Mapping,
+        memo: MemoBackend,
+    ) -> Self {
+        let cfg = initial.config();
         debug_assert_eq!(compute.num_stages(), cfg.pp, "profiled stages mismatch");
+        let num_blocks = cfg.pp * cfg.dp;
+        let num_hops = cfg.pp.saturating_sub(1) * cfg.dp;
         let mut obj = Self {
             matrix,
             gpt,
             cfg,
             plan,
-            compute,
             msg_pp: messages::pp_message_bytes(gpt, plan.micro_batch),
             tp_bytes: messages::tp_allreduce_bytes(gpt, plan.micro_batch),
-            block_allreduce: Vec::new(),
-            hops: Vec::new(),
-            dp_times: Vec::new(),
-            block_ids: Vec::new(),
+            block_allreduce: Vec::with_capacity(num_blocks),
+            hops: Vec::with_capacity(num_hops),
+            dp_times: Vec::with_capacity(cfg.pp),
+            block_ids: Vec::with_capacity(num_blocks),
             hop_table: Vec::new(),
-            dp_memo: BTreeMap::new(),
+            dp_memo: memo,
+            pos_stage: (0..num_blocks).map(|b| (b / cfg.dp) as u16).collect(),
+            stage_compute: (0..cfg.pp).map(|s| compute.compute(s)).collect(),
+            tp_factor: (0..cfg.pp)
+                .map(|s| {
+                    messages::TP_ALLREDUCES_PER_LAYER as f64 * gpt.layers_of_stage(cfg.pp, s) as f64
+                })
+                .collect(),
             current_cost: 0.0,
             pending: None,
-            hop_undo: Vec::new(),
-            dp_undo: Vec::new(),
-            touched_hops: Vec::new(),
-            touched_stages: Vec::new(),
+            // Worst case one move can journal: every hop dirty (a full-span
+            // Migration/Reverse), every stage dirty.
+            hop_undo: UndoLog::new(num_hops),
+            dp_undo: UndoLog::new(cfg.pp),
+            // Touched sets dedup on push, so their domains bound them:
+            // every hop / every stage dirty at most once per proposal.
+            touched_hops: TouchedSet::new(num_hops),
+            touched_stages: TouchedSet::new(cfg.pp),
             stage_cost: Vec::with_capacity(cfg.pp),
             group: Vec::with_capacity(cfg.dp),
             hier: HierScratch::new(),
@@ -199,6 +269,17 @@ impl<'a> IncrementalObjective<'a> {
     /// The cost of the current (committed or in-flight) mapping.
     pub fn cost(&self) -> f64 {
         self.current_cost
+    }
+
+    /// Hit/miss/eviction counters of the dense or open-addressed memo,
+    /// or `None` on the reference backend (which never evicts and keeps
+    /// no counters).
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        match &self.dp_memo {
+            MemoBackend::Dense(m) => Some(m.stats()),
+            MemoBackend::Open(m) => Some(m.stats()),
+            MemoBackend::Reference(_) => None,
+        }
     }
 
     /// Recomputes every cache from scratch for `mapping`, whose blocks
@@ -245,10 +326,21 @@ impl<'a> IncrementalObjective<'a> {
 
         // Content ids: id i names the block at position i of *this*
         // mapping. Earlier ids (from a previous rebuild) are obsolete, and
-        // so is everything memoized against them.
+        // so is everything memoized against them — but the freshly
+        // computed dp_times are valid *per stage* under the new ids, so
+        // reseed those instead of leaving the whole memo cold: the first
+        // rollback to (or re-proposal of) any stage's identity tuple is a
+        // hit, not a recompute.
         self.block_ids.clear();
         self.block_ids.extend((0..num_blocks).map(|i| i as u16));
         self.dp_memo.clear();
+        if dp >= 2 {
+            for s in 0..pp {
+                if let Some(k) = self.dp_key(s) {
+                    self.dp_memo.insert(s, k, self.dp_times[s]);
+                }
+            }
+        }
         self.hop_table.clear();
         if pp >= 2 && num_blocks * num_blocks <= HOP_TABLE_MAX_ENTRIES {
             let assign = mapping.as_slice();
@@ -283,40 +375,41 @@ impl<'a> IncrementalObjective<'a> {
         Some(key)
     }
 
-    /// Runs the shared reduction over the cached terms.
+    // pipette-lint: hot-path
+    /// Runs the shared reduction over the cached terms. Uses the
+    /// precomputed-slice form: bitwise-identical to
+    /// [`terms::reduce_latency_s`] with the closure lookups (proven by the
+    /// parity test in `latency::terms`), but with the per-stage compute
+    /// and tensor-parallel factors hoisted to construction time.
     fn reduce(&mut self) -> f64 {
-        let dp = self.cfg.dp;
-        let (gpt, pp_total) = (self.gpt, self.cfg.pp);
-        let tp_small = self.cfg.tp < 2;
-        let block_allreduce = &self.block_allreduce;
-        let hops = &self.hops;
-        terms::reduce_latency_s(
+        terms::reduce_latency_cached_s(
             self.cfg,
             self.plan,
-            self.compute,
+            &self.stage_compute,
+            &self.tp_factor,
+            &self.block_allreduce,
+            &self.hops,
             &self.dp_times,
-            |s, z| {
-                if tp_small {
-                    0.0
-                } else {
-                    terms::t_tp_from_allreduce(gpt, pp_total, s, block_allreduce[s * dp + z])
-                }
-            },
-            |x, z| hops[x * dp + z],
             &mut self.stage_cost,
         )
     }
 
+    // pipette-lint: hot-path
     /// Marks every hop and stage adjacent to block position `b` dirty.
+    ///
+    /// With `b = s·dp + z`, the upstream hop `(s−1)·dp + z` is just
+    /// `b − dp` and the downstream hop `s·dp + z` is `b` itself, and the
+    /// stage comes from the precomputed position table — no division by
+    /// the runtime `dp` on the hot path.
+    #[inline]
     fn mark_block(&mut self, b: usize) {
-        let (pp, dp) = (self.cfg.pp, self.cfg.dp);
-        let (s, z) = (b / dp, b % dp);
-        self.touched_stages.push(s);
-        if s > 0 {
-            self.touched_hops.push((s - 1) * dp + z);
+        let dp = self.cfg.dp;
+        self.touched_stages.push(self.pos_stage[b] as usize);
+        if b >= dp {
+            self.touched_hops.push(b - dp);
         }
-        if s + 1 < pp {
-            self.touched_hops.push(s * dp + z);
+        if b + dp < self.pos_stage.len() {
+            self.touched_hops.push(b);
         }
     }
 }
@@ -327,9 +420,11 @@ impl Objective for IncrementalObjective<'_> {
         self.current_cost
     }
 
+    // pipette-lint: hot-path
     /// `candidate` must be the last evaluated/committed mapping with `mv`
     /// applied (at `tp`-block granularity), which is exactly how the
-    /// annealer drives it.
+    /// annealer drives it. Steady-state allocation-free: every buffer
+    /// written here is a fixed-capacity arena sized at construction.
     fn propose(&mut self, mv: Move, candidate: &Mapping) -> f64 {
         debug_assert!(
             self.pending.is_none(),
@@ -359,50 +454,102 @@ impl Objective for IncrementalObjective<'_> {
                 }
             }
         }
-        self.touched_hops.sort_unstable();
-        self.touched_hops.dedup();
-        self.touched_stages.sort_unstable();
-        self.touched_stages.dedup();
-
         self.hop_undo.clear();
         let dp = self.cfg.dp;
         let num_blocks = self.cfg.pp * dp;
-        for i in 0..self.touched_hops.len() {
-            let h = self.touched_hops[i];
-            self.hop_undo.push((h, self.hops[h]));
-            // Hop h = (x, z) joins the blocks at positions x·dp+z and
-            // (x+1)·dp+z; its time is tabulated by their content pair.
-            self.hops[h] = if self.hop_table.is_empty() {
-                terms::t_pp_chain_hop(self.matrix, candidate, self.msg_pp, h % dp, h / dp)
-            } else {
-                let from = self.block_ids[h] as usize;
-                let to = self.block_ids[h + dp] as usize;
-                self.hop_table[from * num_blocks + to]
-            };
+        // Destructure so the touched lists can be iterated directly while
+        // the journals and term arrays are written (disjoint borrows; the
+        // index-loop alternative re-checks bounds on every access).
+        let Self {
+            touched_hops,
+            hop_undo,
+            hops,
+            hop_table,
+            block_ids,
+            matrix,
+            msg_pp,
+            ..
+        } = self;
+        if hop_table.is_empty() {
+            for &h in touched_hops.as_slice() {
+                let h = h as usize;
+                hop_undo.push(h, hops[h]);
+                // Hop h = (x, z) joins the blocks at positions x·dp+z and
+                // (x+1)·dp+z.
+                hops[h] = terms::t_pp_chain_hop(matrix, candidate, *msg_pp, h % dp, h / dp);
+            }
+        } else {
+            for &h in touched_hops.as_slice() {
+                let h = h as usize;
+                hop_undo.push(h, hops[h]);
+                // The hop's time is tabulated by its content pair.
+                let from = block_ids[h] as usize;
+                let to = block_ids[h + dp] as usize;
+                hops[h] = hop_table[from * num_blocks + to];
+            }
         }
-        self.dp_undo.clear();
+        let Self {
+            touched_stages,
+            dp_undo,
+            dp_times,
+            dp_memo,
+            block_ids,
+            hier,
+            group,
+            matrix,
+            gpt,
+            ..
+        } = self;
+        dp_undo.clear();
         if dp >= 2 {
-            for i in 0..self.touched_stages.len() {
-                let s = self.touched_stages[i];
-                self.dp_undo.push((s, self.dp_times[s]));
-                let key = self.dp_key(s);
-                self.dp_times[s] = match key.and_then(|k| self.dp_memo.get(&(s, k)).copied()) {
-                    Some(v) => v,
-                    None => {
-                        let v = terms::t_dp_stage_with(
-                            &mut self.hier,
-                            &mut self.group,
-                            self.matrix,
-                            candidate,
-                            self.gpt,
-                            s,
-                        );
-                        if let Some(k) = key {
-                            self.dp_memo.insert((s, k), v);
-                        }
-                        v
+            match dp_memo {
+                // Dense backend: address the memo by the id tuple itself —
+                // no u128 packing, no per-lookup backend dispatch.
+                MemoBackend::Dense(memo) => {
+                    for &s in touched_stages.as_slice() {
+                        let s = s as usize;
+                        dp_undo.push(s, dp_times[s]);
+                        let ids = &block_ids[s * dp..(s + 1) * dp];
+                        dp_times[s] = match memo.get_tuple(s, ids) {
+                            Some(v) => v,
+                            None => {
+                                let v =
+                                    terms::t_dp_stage_with(hier, group, matrix, candidate, gpt, s);
+                                memo.insert_tuple(s, ids, v);
+                                v
+                            }
+                        };
                     }
-                };
+                }
+                dp_memo => {
+                    let packable = dp <= DP_MEMO_MAX_DP;
+                    for &s in touched_stages.as_slice() {
+                        let s = s as usize;
+                        dp_undo.push(s, dp_times[s]);
+                        // Inline `dp_key`: pack the stage's content-id
+                        // tuple.
+                        let key = if packable {
+                            let mut k = 0u128;
+                            for &id in &block_ids[s * dp..(s + 1) * dp] {
+                                k = k << 16 | id as u128;
+                            }
+                            Some(k)
+                        } else {
+                            None
+                        };
+                        dp_times[s] = match key.and_then(|k| dp_memo.get(s, k)) {
+                            Some(v) => v,
+                            None => {
+                                let v =
+                                    terms::t_dp_stage_with(hier, group, matrix, candidate, gpt, s);
+                                if let Some(k) = key {
+                                    dp_memo.insert(s, k, v);
+                                }
+                                v
+                            }
+                        };
+                    }
+                }
             }
         }
 
@@ -415,11 +562,13 @@ impl Objective for IncrementalObjective<'_> {
         cost
     }
 
+    // pipette-lint: hot-path
     fn commit(&mut self) {
         let committed = self.pending.take();
         debug_assert!(committed.is_some(), "commit without a proposal");
     }
 
+    // pipette-lint: hot-path
     fn rollback(&mut self) {
         let Some(p) = self.pending.take() else {
             debug_assert!(false, "rollback without a proposal");
@@ -428,10 +577,10 @@ impl Objective for IncrementalObjective<'_> {
         let inv = p.mv.inverse();
         inv.apply_to(&mut self.block_allreduce, 1);
         inv.apply_to(&mut self.block_ids, 1);
-        for &(h, old) in &self.hop_undo {
+        for (h, old) in self.hop_undo.entries() {
             self.hops[h] = old;
         }
-        for &(s, old) in &self.dp_undo {
+        for (s, old) in self.dp_undo.entries() {
             self.dp_times[s] = old;
         }
         self.current_cost = p.prev_cost;

@@ -20,6 +20,7 @@
 
 use crate::memory::dataset::{collect_samples_parallel, SampleSpec};
 use crate::memory::estimator::{MemoryEstimator, MemoryEstimatorConfig};
+use crate::memory::mmap_index;
 use pipette_model::GptConfig;
 use pipette_sim::MemorySim;
 use serde::{Deserialize, Serialize};
@@ -156,8 +157,30 @@ impl TrainedEstimatorCache {
             .map(|d| d.join(format!("pipette-mem-estimator-{fp:016x}.json")))
     }
 
+    /// The binary-snapshot sibling of [`Self::disk_path`], read by mmap
+    /// (see [`mmap_index`]). Purely an acceleration of the JSON entry:
+    /// both deserialize bit-exactly, so whichever answers first is
+    /// interchangeable with the other.
+    fn index_path(&self, fp: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("pipette-mem-estimator-{fp:016x}.idx")))
+    }
+
     fn load_from_disk(&self, fp: u64) -> Option<MemoryEstimator> {
         let path = self.disk_path(fp)?;
+        // Fast path: the mmap-backed snapshot, no JSON parsing at all.
+        // `read_index` refuses anything torn, truncated, stale-versioned,
+        // or checksum-broken, so falling through here is always safe.
+        if let Some(idx) = self.index_path(fp) {
+            if let Some(estimator) = mmap_index::read_index(&idx, fp) {
+                return Some(estimator);
+            }
+            // The snapshot (if any) is unreadable. Unlike a corrupt JSON
+            // entry it carries no unique bytes worth quarantining — it is
+            // a derived artifact — so just drop it; it is rebuilt below.
+            let _ = std::fs::remove_file(&idx);
+        }
         let text = std::fs::read_to_string(&path).ok()?;
         // The file exists: a parse failure here is a *corrupt* entry
         // (truncated write, schema change), not a plain miss. Quarantine
@@ -166,7 +189,15 @@ impl TrainedEstimatorCache {
         // corrupt file would be re-parsed (and silently retrained over)
         // every single run.
         match serde_json::from_str(&text) {
-            Ok(estimator) => Some(estimator),
+            Ok(estimator) => {
+                // Heal the fast path: the JSON entry was readable but its
+                // snapshot was missing or bad, so rewrite it (best-effort)
+                // and the next cold process maps instead of parsing.
+                if let Some(idx) = self.index_path(fp) {
+                    let _ = mmap_index::write_index(&idx, fp, &estimator);
+                }
+                Some(estimator)
+            }
             Err(_) => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 let quarantine = path.with_extension("json.corrupt");
@@ -187,6 +218,12 @@ impl TrainedEstimatorCache {
         }
         if let Ok(json) = serde_json::to_string(estimator) {
             let _ = std::fs::write(path, json);
+        }
+        // Write the binary snapshot alongside (same best-effort policy,
+        // JSON source of truth first). A torn snapshot write fails the
+        // checksum on the next read and falls back to the JSON entry.
+        if let Some(idx) = self.index_path(fp) {
+            let _ = mmap_index::write_index(&idx, fp, estimator);
         }
     }
 
@@ -348,6 +385,80 @@ mod tests {
                 corrupt: 0,
             }
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_snapshot_alone_serves_a_warm_lookup() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-idx-only");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trained = {
+            let cold = TrainedEstimatorCache::with_dir(&dir);
+            cold.get_or_train(&spec, &gpt, &config, &truth, 1)
+        };
+        // Remove the JSON entry so only the binary snapshot can answer:
+        // this pins the lookup to the mmap path, and the estimator it
+        // yields must be the bit-exact original.
+        let fp = estimator_fingerprint(&spec, &gpt, &config, &truth);
+        std::fs::remove_file(dir.join(format!("pipette-mem-estimator-{fp:016x}.json"))).unwrap();
+        let warm = TrainedEstimatorCache::with_dir(&dir);
+        let reloaded = warm.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        assert_eq!(reloaded, trained);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_falls_back_to_json_and_heals() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-idx-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trained = {
+            let cold = TrainedEstimatorCache::with_dir(&dir);
+            cold.get_or_train(&spec, &gpt, &config, &truth, 1)
+        };
+        let fp = estimator_fingerprint(&spec, &gpt, &config, &truth);
+        let idx = dir.join(format!("pipette-mem-estimator-{fp:016x}.idx"));
+        std::fs::write(&idx, b"definitely not a snapshot").unwrap();
+        let warm = TrainedEstimatorCache::with_dir(&dir);
+        let reloaded = warm.get_or_train(&spec, &gpt, &config, &truth, 1);
+        // Still a clean hit (via JSON), still bit-exact, and *not* counted
+        // as corrupt — the JSON source of truth was fine.
+        assert_eq!(
+            warm.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 0,
+                corrupt: 0,
+            }
+        );
+        assert_eq!(reloaded, trained);
+        // The fallback healed the snapshot: it now round-trips again.
+        assert_eq!(
+            super::super::mmap_index::read_index(&idx, fp),
+            Some(trained)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_index_falls_back_to_json() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-idx-truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trained = {
+            let cold = TrainedEstimatorCache::with_dir(&dir);
+            cold.get_or_train(&spec, &gpt, &config, &truth, 1)
+        };
+        let fp = estimator_fingerprint(&spec, &gpt, &config, &truth);
+        let idx = dir.join(format!("pipette-mem-estimator-{fp:016x}.idx"));
+        let bytes = std::fs::read(&idx).unwrap();
+        std::fs::write(&idx, &bytes[..bytes.len() / 2]).unwrap();
+        let warm = TrainedEstimatorCache::with_dir(&dir);
+        let reloaded = warm.get_or_train(&spec, &gpt, &config, &truth, 1);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        assert_eq!(reloaded, trained);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

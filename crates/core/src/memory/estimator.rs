@@ -328,6 +328,49 @@ impl MemoryEstimator {
         self.soft_margin
     }
 
+    /// Every field of the estimator, for the binary cache-index writer
+    /// (`memory::mmap_index`). Order: network, feature scaler,
+    /// `(y_mean, y_std, soft_margin)`, `(seq_len, vocab)`, train summary.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn index_parts(
+        &self,
+    ) -> (
+        &Mlp,
+        &StandardScaler,
+        (f64, f64, f64),
+        (usize, usize),
+        &TrainSummary,
+    ) {
+        (
+            &self.mlp,
+            &self.x_scaler,
+            (self.y_mean, self.y_std, self.soft_margin),
+            (self.seq_len, self.vocab),
+            &self.train_summary,
+        )
+    }
+
+    /// Reassembles an estimator from the parts [`Self::index_parts`]
+    /// persists. Inverse of `index_parts` by construction.
+    pub(crate) fn from_index_parts(
+        mlp: Mlp,
+        x_scaler: StandardScaler,
+        (y_mean, y_std, soft_margin): (f64, f64, f64),
+        (seq_len, vocab): (usize, usize),
+        train_summary: TrainSummary,
+    ) -> Self {
+        Self {
+            mlp,
+            x_scaler,
+            y_mean,
+            y_std,
+            soft_margin,
+            seq_len,
+            vocab,
+            train_summary,
+        }
+    }
+
     /// Overrides the soft margin (for the ablation sweep).
     pub fn with_soft_margin(mut self, margin: f64) -> Self {
         self.soft_margin = margin;

@@ -1,0 +1,530 @@
+//! Binary, mmap-readable snapshots of trained memory estimators.
+//!
+//! The JSON cache entries (see [`super::cache`]) are the durable,
+//! inspectable source of truth — this module adds a *fixed-layout* `.idx`
+//! sibling per entry so that readers (many concurrent configurator
+//! workers, the future `pipette-serve` daemon) load an estimator with no
+//! text parsing at all: the file is mapped (or read) once, the header is
+//! validated, and every weight is copied straight out of the
+//! little-endian payload at a known offset. Numbers survive bit-exactly
+//! by construction — `f64::to_le_bytes` round-trips — so a snapshot-
+//! loaded estimator predicts byte-identically to the JSON path (which is
+//! itself bit-exact; both are test-covered in `tests/estimator_cache.rs`).
+//!
+//! ## Layout (all little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"PIPMEMIX"
+//!      8     4  format version (currently 1)
+//!     12     4  reserved (zero)
+//!     16     8  training-input fingerprint (must match the cache key)
+//!     24     8  payload length in bytes
+//!     32     8  FNV-1a checksum of the payload
+//!     40     …  payload
+//! ```
+//!
+//! Payload, a flat run of 8-byte little-endian words (`u64` or `f64`):
+//! `y_mean, y_std, soft_margin`, `seq_len, vocab`, the train summary
+//! (`samples, iterations, record_every, final_loss, curve_len, curve…`),
+//! the scaler (`num_features, means…, stds…`), then the network
+//! (`num_layers`, and per layer `rows, cols, relu, weights…, bias…`).
+//!
+//! ## Corruption policy
+//!
+//! `read_index` returns `None` — never an error, never a partial value —
+//! on *any* defect: short file, bad magic, version or fingerprint
+//! mismatch, checksum mismatch, truncated payload, or counts that do not
+//! fit the remaining bytes. The caller falls back to the JSON entry and
+//! rewrites the snapshot, so a torn write costs one parse, not a wrong
+//! answer.
+
+// The crate denies unsafe_code; this module is the single opt-out — two
+// audited unsafe blocks (the mmap syscall and the slice view over the
+// mapping) live in `mmap_sys` below, each with a SAFETY comment.
+#![allow(unsafe_code)]
+
+use crate::memory::estimator::MemoryEstimator;
+use pipette_mlp::{Dense, Matrix, Mlp, StandardScaler};
+use std::path::Path;
+
+use crate::memory::estimator::TrainSummary;
+
+const MAGIC: [u8; 8] = *b"PIPMEMIX";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 40;
+
+/// FNV-1a over the payload (same constants as the cache fingerprint).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Read-only view of a file: memory-mapped on unix, buffered elsewhere
+/// (and whenever mapping fails — empty files, exotic filesystems).
+enum FileBytes {
+    #[cfg(unix)]
+    Mapped(mmap_sys::MappedFile),
+    Owned(Vec<u8>),
+}
+
+impl FileBytes {
+    fn open(path: &Path) -> Option<Self> {
+        #[cfg(unix)]
+        {
+            if let Some(mapped) = mmap_sys::MappedFile::open(path) {
+                return Some(FileBytes::Mapped(mapped));
+            }
+        }
+        std::fs::read(path).ok().map(FileBytes::Owned)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            FileBytes::Mapped(m) => m.bytes(),
+            FileBytes::Owned(v) => v,
+        }
+    }
+}
+
+/// `mmap(2)` via direct `extern "C"` bindings: the toolchain vendors no
+/// `libc`/`memmap2` crate, but std already links the platform libc, so
+/// the two symbols we need are available to declare by hand.
+#[cfg(unix)]
+mod mmap_sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// A whole file mapped read-only private; unmapped on drop.
+    pub(super) struct MappedFile {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: sharing a `&MappedFile` across
+    // threads only ever reads immutable pages.
+    unsafe impl Send for MappedFile {}
+    unsafe impl Sync for MappedFile {}
+
+    impl MappedFile {
+        /// Maps `path` read-only, or `None` when anything fails (missing
+        /// file, zero length — `mmap` rejects empty ranges — or platform
+        /// refusal); the caller then falls back to a buffered read.
+        pub(super) fn open(path: &Path) -> Option<Self> {
+            let file = File::open(path).ok()?;
+            let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: fd is a valid open file for the duration of the
+            // call; we request a fresh read-only private mapping (addr
+            // null, offset 0) of exactly the file's length and check for
+            // MAP_FAILED before use. The fd may close after mmap returns;
+            // the mapping survives it (POSIX).
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return None;
+            }
+            Some(Self {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live read-only mapping owned by
+            // self; it is unmapped only in Drop, after every borrow ends.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for MappedFile {
+        fn drop(&mut self) {
+            // SAFETY: exactly the range mmap returned; called once.
+            unsafe {
+                munmap(self.ptr as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over the payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(chunk)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let chunk = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        Some(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// Reads `n` f64s. The length is validated against the remaining
+    /// bytes *before* allocating, so a corrupt count cannot trigger a
+    /// huge allocation.
+    fn f64s(&mut self, n: usize) -> Option<Vec<f64>> {
+        let byte_len = n.checked_mul(8)?;
+        if self.bytes.len().saturating_sub(self.pos) < byte_len {
+            return None;
+        }
+        let chunk = self.take(byte_len)?;
+        Some(
+            chunk
+                .chunks_exact(8)
+                .map(|c| {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(c);
+                    f64::from_bits(u64::from_le_bytes(buf))
+                })
+                .collect(),
+        )
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Little-endian writer building the payload.
+#[derive(Default)]
+struct Builder {
+    bytes: Vec<u8>,
+}
+
+impl Builder {
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// Serializes `estimator` into the fixed payload layout.
+fn encode_payload(estimator: &MemoryEstimator) -> Vec<u8> {
+    let (mlp, scaler, (y_mean, y_std, soft_margin), (seq_len, vocab), summary) =
+        estimator.index_parts();
+    let mut b = Builder::default();
+    b.f64(y_mean);
+    b.f64(y_std);
+    b.f64(soft_margin);
+    b.u64(seq_len as u64);
+    b.u64(vocab as u64);
+    b.u64(summary.samples as u64);
+    b.u64(summary.iterations as u64);
+    b.u64(summary.record_every as u64);
+    b.f64(summary.final_loss);
+    b.u64(summary.loss_curve.len() as u64);
+    b.f64s(&summary.loss_curve);
+    b.u64(scaler.num_features() as u64);
+    b.f64s(scaler.means());
+    b.f64s(scaler.stds());
+    b.u64(mlp.layers().len() as u64);
+    for layer in mlp.layers() {
+        b.u64(layer.weights.rows() as u64);
+        b.u64(layer.weights.cols() as u64);
+        b.u64(u64::from(layer.relu));
+        b.f64s(layer.weights.as_slice());
+        b.f64s(&layer.bias);
+    }
+    b.bytes
+}
+
+/// Parses a payload back into an estimator; `None` on any truncation or
+/// inconsistency.
+fn decode_payload(payload: &[u8]) -> Option<MemoryEstimator> {
+    let mut c = Cursor::new(payload);
+    let y_mean = c.f64()?;
+    let y_std = c.f64()?;
+    let soft_margin = c.f64()?;
+    let seq_len = c.usize()?;
+    let vocab = c.usize()?;
+    let samples = c.usize()?;
+    let iterations = c.usize()?;
+    let record_every = c.usize()?;
+    let final_loss = c.f64()?;
+    let curve_len = c.usize()?;
+    let loss_curve = c.f64s(curve_len)?;
+    let num_features = c.usize()?;
+    let means = c.f64s(num_features)?;
+    let stds = c.f64s(num_features)?;
+    let num_layers = c.usize()?;
+    if num_layers == 0 {
+        return None;
+    }
+    let mut layers = Vec::new();
+    for _ in 0..num_layers {
+        let rows = c.usize()?;
+        let cols = c.usize()?;
+        let relu = match c.u64()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let n = rows.checked_mul(cols)?;
+        let weights = c.f64s(n)?;
+        let bias = c.f64s(cols)?;
+        layers.push(Dense::from_parts(
+            Matrix::from_vec(rows, cols, weights),
+            bias,
+            relu,
+        ));
+    }
+    if !c.finished() {
+        return None;
+    }
+    Some(MemoryEstimator::from_index_parts(
+        Mlp::from_layers(layers),
+        StandardScaler::from_parts(means, stds),
+        (y_mean, y_std, soft_margin),
+        (seq_len, vocab),
+        TrainSummary {
+            samples,
+            iterations,
+            record_every,
+            final_loss,
+            loss_curve,
+        },
+    ))
+}
+
+/// Writes the binary snapshot of `estimator` for cache key `fingerprint`
+/// to `path`. Best-effort like the JSON writer: an error only costs the
+/// fast read path, never correctness.
+pub(crate) fn write_index(
+    path: &Path,
+    fingerprint: u64,
+    estimator: &MemoryEstimator,
+) -> std::io::Result<()> {
+    let payload = encode_payload(estimator);
+    let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&VERSION.to_le_bytes());
+    file.extend_from_slice(&0u32.to_le_bytes());
+    file.extend_from_slice(&fingerprint.to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    file.extend_from_slice(&payload);
+    std::fs::write(path, file)
+}
+
+/// Loads the snapshot at `path` if — and only if — it is intact and was
+/// written for `fingerprint`. Any defect returns `None` (see the module
+/// docs' corruption policy).
+pub(crate) fn read_index(path: &Path, fingerprint: u64) -> Option<MemoryEstimator> {
+    let file = FileBytes::open(path)?;
+    let bytes = file.bytes();
+    if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+        return None;
+    }
+    let mut header = Cursor::new(&bytes[8..HEADER_LEN]);
+    let version = header.u64()? as u32; // version u32 + reserved u32 read together
+    if version != VERSION {
+        return None;
+    }
+    if header.u64()? != fingerprint {
+        return None;
+    }
+    let payload_len = header.usize()?;
+    let checksum = header.u64()?;
+    let payload = bytes.get(HEADER_LEN..)?;
+    if payload.len() != payload_len || fnv1a(payload) != checksum {
+        return None;
+    }
+    decode_payload(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::dataset::{collect_samples, SampleSpec};
+    use crate::memory::estimator::MemoryEstimatorConfig;
+    use pipette_mlp::TrainConfig;
+    use pipette_model::GptConfig;
+    use pipette_sim::MemorySim;
+
+    fn tiny_estimator() -> MemoryEstimator {
+        tiny_estimator_with_features().0
+    }
+
+    fn tiny_estimator_with_features() -> (MemoryEstimator, [f64; 10]) {
+        let gpt = GptConfig::new(8, 1024, 16, 2048, 51200);
+        let spec = SampleSpec {
+            gpu_counts: vec![8],
+            gpus_per_node: 8,
+            models: vec![gpt],
+            global_batches: vec![32],
+            max_micro: 2,
+        };
+        let config = MemoryEstimatorConfig {
+            train: TrainConfig {
+                iterations: 120,
+                learning_rate: 3e-3,
+                batch_size: 32,
+                record_every: 40,
+                seed: 0,
+            },
+            hidden: 12,
+            depth: 2,
+            soft_margin: 0.08,
+            seed: 1,
+        };
+        let samples = collect_samples(&spec, &MemorySim::new(1));
+        let features = samples[0].features;
+        (MemoryEstimator::train(&samples, &config), features)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pipette-mmap-index-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_is_exactly_equal() {
+        let (estimator, features) = tiny_estimator_with_features();
+        let path = temp_path("round-trip.idx");
+        write_index(&path, 0xdead_beef, &estimator).unwrap();
+        let loaded = read_index(&path, 0xdead_beef).expect("intact snapshot loads");
+        assert_eq!(loaded, estimator);
+        // Byte-identical predictions, not merely close ones.
+        assert_eq!(
+            loaded.predict_bytes(&features),
+            estimator.predict_bytes(&features)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let estimator = tiny_estimator();
+        let path = temp_path("fingerprint.idx");
+        write_index(&path, 1, &estimator).unwrap();
+        assert!(read_index(&path, 2).is_none());
+        assert!(read_index(&path, 1).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let estimator = tiny_estimator();
+        let path = temp_path("truncate.idx");
+        write_index(&path, 7, &estimator).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Every strictly shorter prefix must fail cleanly — header cuts,
+        // payload cuts, and the empty file alike.
+        for keep in [0, 1, 8, 16, HEADER_LEN - 1, HEADER_LEN, full.len() - 1] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            assert!(read_index(&path, 7).is_none(), "prefix of {keep} accepted");
+        }
+        std::fs::write(&path, &full).unwrap();
+        assert!(read_index(&path, 7).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let estimator = tiny_estimator();
+        let path = temp_path("bitflip.idx");
+        write_index(&path, 9, &estimator).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_index(&path, 9).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let estimator = tiny_estimator();
+        let path = temp_path("trailing.idx");
+        write_index(&path, 3, &estimator).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_index(&path, 3).is_none(), "length check must catch");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_none() {
+        assert!(read_index(Path::new("/nonexistent/p.idx"), 0).is_none());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let estimator = tiny_estimator();
+        let path = temp_path("magic.idx");
+        write_index(&path, 5, &estimator).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let good = bytes.clone();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_index(&path, 5).is_none());
+        bytes = good;
+        bytes[8] = 99; // version
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_index(&path, 5).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

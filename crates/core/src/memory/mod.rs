@@ -7,6 +7,7 @@ mod cache;
 mod calibration;
 mod dataset;
 mod estimator;
+mod mmap_index;
 
 pub use analytic::AnalyticMemoryEstimator;
 pub use cache::{estimator_fingerprint, CacheCounters, TrainedEstimatorCache};

@@ -21,6 +21,14 @@
 //!   first-party code: their iteration (and hence serialization) order is
 //!   seeded per-process, the exact nondeterminism D1 exists to keep out.
 //!   Use `BTreeMap`/`BTreeSet` or a sorted `Vec` of pairs.
+//! * **D5 — no allocation in hot-path regions** (opt-in). A
+//!   `// pipette-lint: hot-path` marker pragma covers the next item (its
+//!   attributes and doc comments included, through the matching `}`), and
+//!   inside that region the allocating idioms `Box::new`, `vec!`,
+//!   `.to_vec()`, `.collect()`, `String::from`, and `format!` are banned:
+//!   the SA steady-state loop (DESIGN.md §7g) promises zero heap
+//!   allocations per move, and this rule turns that promise into a
+//!   compile-gate instead of a bench-only assertion.
 //!
 //! A violation can be waived only by an adjacent pragma comment:
 //!
@@ -71,6 +79,11 @@ pub const RULES: &[RuleInfo] = &[
                   BTreeSet or sorted Vec pairs for deterministic order",
     },
     RuleInfo {
+        name: "D5",
+        summary: "no heap allocation (Box::new, vec!, to_vec, collect, \
+                  String::from, format!) inside a `hot-path` region",
+    },
+    RuleInfo {
         name: "P0",
         summary: "malformed pipette-lint pragma (unknown rule, missing \
                   `-- justification`)",
@@ -81,7 +94,7 @@ pub const RULES: &[RuleInfo] = &[
     },
 ];
 
-const WAIVABLE: &[&str] = &["D1", "D2", "D3", "D4"];
+const WAIVABLE: &[&str] = &["D1", "D2", "D3", "D4", "D5"];
 
 /// One finding: either an active violation or a pragma-waived one.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -170,9 +183,12 @@ struct Pragma {
 
 /// Recognizes pragma comments; anything starting with `pipette-lint` that
 /// does not parse becomes a `P0` diagnostic. Doc comments never match:
-/// their captured text starts with the extra `/` or `!` marker.
-fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Diagnostic>) {
+/// their captured text starts with the extra `/` or `!` marker. Returns
+/// waiver pragmas, the lines of `hot-path` region markers, and the
+/// malformed-pragma diagnostics.
+fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<u32>, Vec<Diagnostic>) {
     let mut pragmas = Vec::new();
+    let mut hot_marks = Vec::new();
     let mut bad = Vec::new();
     for c in comments {
         let text = c.text.trim_start();
@@ -195,8 +211,16 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Diagnost
             continue;
         };
         let rest = rest.trim_start();
+        if let Some(after_marker) = rest.strip_prefix("hot-path") {
+            if after_marker.trim().is_empty() {
+                hot_marks.push(c.line);
+            } else {
+                malformed("unexpected text after `hot-path` region marker");
+            }
+            continue;
+        }
         let Some(rest) = rest.strip_prefix("allow(") else {
-            malformed("expected `allow(<rules>)` after `pipette-lint:`");
+            malformed("expected `allow(<rules>)` or `hot-path` after `pipette-lint:`");
             continue;
         };
         let Some(close) = rest.find(')') else {
@@ -234,7 +258,7 @@ fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Diagnost
             justification: justification.to_string(),
         });
     }
-    (pragmas, bad)
+    (pragmas, hot_marks, bad)
 }
 
 fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
@@ -322,6 +346,61 @@ fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
         i += 1;
     }
     mask
+}
+
+/// Exclusive token index just past the item starting at `j`: skips any
+/// leading `#[…]` attributes, then swallows either a braced item (to its
+/// matching `}`) or a `;`-terminated one — the same structural scan
+/// `test_region_mask` uses.
+fn item_end(tokens: &[Token], mut j: usize) -> usize {
+    while punct_at(tokens, j) == Some('#') && punct_at(tokens, j + 1) == Some('[') {
+        let mut b = 1usize;
+        j += 2;
+        while j < tokens.len() && b > 0 {
+            match &tokens[j].kind {
+                TokenKind::Punct('[') => b += 1,
+                TokenKind::Punct(']') => b -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Marks every token inside a `// pipette-lint: hot-path` region: each
+/// marker covers the next item (attributes and all, through its matching
+/// `}`). Returns the mask and the lines of markers that cover no code —
+/// those become `P1` stale-pragma diagnostics.
+fn hot_region_mask(tokens: &[Token], marks: &[u32]) -> (Vec<bool>, Vec<u32>) {
+    let mut mask = vec![false; tokens.len()];
+    let mut stale = Vec::new();
+    for &mark_line in marks {
+        let Some(start) = tokens.iter().position(|t| t.line > mark_line) else {
+            stale.push(mark_line);
+            continue;
+        };
+        let end = item_end(tokens, start);
+        mask[start..end.min(tokens.len())]
+            .iter_mut()
+            .for_each(|m| *m = true);
+    }
+    (mask, stale)
 }
 
 /// Names that say an `f64`/`u64` carries a physical dimension.
@@ -414,6 +493,8 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     let lexed = lex(src);
     let tokens = &lexed.tokens;
     let in_test = test_region_mask(tokens);
+    let (pragmas, hot_marks, mut diags) = parse_pragmas(rel_path, &lexed.comments);
+    let (in_hot, stale_hot) = hot_region_mask(tokens, &hot_marks);
 
     let mut found: Vec<Diagnostic> = Vec::new();
     let mut emit = |line: u32, rule: &'static str, message: String| {
@@ -432,6 +513,8 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     let d2_applies = class == FileClass::Lib;
     let d3_applies = class == FileClass::Lib;
     let d4_applies = matches!(class, FileClass::Lib | FileClass::Bin);
+    // D5 is opt-in via the marker, so it applies wherever markers appear.
+    let d5_applies = true;
 
     for i in 0..tokens.len() {
         if in_test[i] {
@@ -503,6 +586,43 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
             );
         }
 
+        if d5_applies && in_hot[i] {
+            let d5_hit = match id {
+                "Box"
+                    if punct_at(tokens, i + 1) == Some(':')
+                        && punct_at(tokens, i + 2) == Some(':')
+                        && ident_at(tokens, i + 3) == Some("new") =>
+                {
+                    Some("`Box::new` heap-allocates")
+                }
+                "String"
+                    if punct_at(tokens, i + 1) == Some(':')
+                        && punct_at(tokens, i + 2) == Some(':')
+                        && ident_at(tokens, i + 3) == Some("from") =>
+                {
+                    Some("`String::from` heap-allocates")
+                }
+                "vec" if punct_at(tokens, i + 1) == Some('!') => Some("`vec!` heap-allocates"),
+                "format" if punct_at(tokens, i + 1) == Some('!') => {
+                    Some("`format!` heap-allocates")
+                }
+                "to_vec" if punct_at(tokens, i.wrapping_sub(1)) == Some('.') => {
+                    Some("`.to_vec()` copies into a fresh heap buffer")
+                }
+                "collect" if punct_at(tokens, i.wrapping_sub(1)) == Some('.') => {
+                    Some("`.collect()` builds a fresh heap container")
+                }
+                _ => None,
+            };
+            if let Some(what) = d5_hit {
+                emit(
+                    line,
+                    "D5",
+                    format!("{what} inside a `hot-path` region; use a preallocated arena"),
+                );
+            }
+        }
+
         if d3_applies && id == "pub" && punct_at(tokens, i + 1) != Some('(') {
             // `pub <name>: f64,` — a public struct field.
             if let (Some(name), Some(':'), Some(ty)) = (
@@ -547,10 +667,22 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         }
     }
 
+    // A hot-path marker that covers no code is as stale as an unused
+    // waiver: the region it promises to protect does not exist.
+    for line in stale_hot {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line,
+            rule: "P1",
+            message: "stale pragma: `hot-path` marker is followed by no code item".to_string(),
+            waived: false,
+            justification: None,
+        });
+    }
+
     // Attach waivers. A pragma covers its whole comment block (multi-line
     // justifications) and the two lines after it (a statement, even when
     // rustfmt wraps the method chain carrying the violation).
-    let (pragmas, mut diags) = parse_pragmas(rel_path, &lexed.comments);
     let comment_lines: std::collections::BTreeSet<u32> =
         lexed.comments.iter().map(|c| c.line).collect();
     let mut used = vec![false; pragmas.len()];
@@ -785,6 +917,78 @@ mod tests {
             active(&diags).iter().map(|d| d.rule).collect::<Vec<_>>(),
             vec!["P1"]
         );
+    }
+
+    #[test]
+    fn d5_flags_allocs_only_inside_hot_region() {
+        let src = "fn cold() -> Vec<u32> { vec![1, 2] }\n\
+                   // pipette-lint: hot-path\n\
+                   fn hot(xs: &[u32]) -> Vec<u32> {\n\
+                     let b = Box::new(1);\n\
+                     let v = xs.to_vec();\n\
+                     let c: Vec<u32> = xs.iter().copied().collect();\n\
+                     let s = String::from(\"x\");\n\
+                     let m = format!(\"{}\", 1);\n\
+                     vec![*b]\n\
+                   }\n\
+                   fn cold_again() -> String { format!(\"ok\") }";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["D5"; 6], "one per alloc idiom, none outside");
+    }
+
+    #[test]
+    fn d5_region_covers_attributes_and_doc_comments() {
+        let src = "// pipette-lint: hot-path\n\
+                   /// Doc comment between marker and item.\n\
+                   #[inline]\n\
+                   pub fn hot(&self) { let v = self.xs.to_vec(); }\n\
+                   fn cold() { let v = x.to_vec(); }";
+        let diags = lint_lib(src);
+        let d5 = active(&diags).iter().filter(|d| d.rule == "D5").count();
+        assert_eq!(d5, 1, "only the marked fn is a region: {diags:?}");
+    }
+
+    #[test]
+    fn d5_waived_by_allow_pragma() {
+        let src = "// pipette-lint: hot-path\n\
+                   fn hot() {\n\
+                     // pipette-lint: allow(D5) -- cold-start warmup only\n\
+                     let v = xs.to_vec();\n\
+                   }";
+        let diags = lint_lib(src);
+        assert!(active(&diags).is_empty(), "{diags:?}");
+        assert_eq!(diags.iter().filter(|d| d.waived).count(), 1);
+    }
+
+    #[test]
+    fn d5_clean_hot_region_is_not_stale() {
+        let src = "// pipette-lint: hot-path\n\
+                   fn hot(a: &mut [f64]) { a[0] = 1.0; }";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "a clean region is the goal: {diags:?}");
+    }
+
+    #[test]
+    fn hot_path_marker_with_trailing_text_is_p0() {
+        let src = "// pipette-lint: hot-path because fast\nfn f() {}";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["P0"]);
+    }
+
+    #[test]
+    fn hot_path_marker_at_eof_is_p1() {
+        let src = "fn f() {}\n// pipette-lint: hot-path";
+        let rules: Vec<_> = active(&lint_lib(src)).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["P1"]);
+    }
+
+    #[test]
+    fn d5_skips_cfg_test_code_inside_region() {
+        let src = "// pipette-lint: hot-path\n\
+                   fn hot() { let x = 1; }\n\
+                   #[cfg(test)]\nmod tests { fn t() { let v = vec![1]; } }";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

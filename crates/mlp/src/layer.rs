@@ -60,6 +60,21 @@ impl Dense {
         }
     }
 
+    /// Reassembles a layer from its persisted parts (weights, bias,
+    /// activation flag) with cold forward/backward caches — the
+    /// deserialization path of binary estimator snapshots, equivalent to
+    /// what `serde(skip)` produces when decoding JSON.
+    pub fn from_parts(weights: Matrix, bias: Vec<f64>, relu: bool) -> Self {
+        debug_assert_eq!(weights.cols(), bias.len(), "bias length mismatch");
+        Self {
+            weights,
+            bias,
+            relu,
+            cache_input: None,
+            cache_pre_activation: None,
+        }
+    }
+
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
         self.weights.rows()

@@ -32,6 +32,7 @@ pub mod optim;
 pub mod scaler;
 pub mod train;
 
+pub use layer::Dense;
 pub use matrix::Matrix;
 pub use net::Mlp;
 pub use optim::Adam;

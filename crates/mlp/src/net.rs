@@ -48,6 +48,18 @@ impl Mlp {
         Self::new(&[in_dim, 200, 200, 200, 200, 1], seed)
     }
 
+    /// The layer stack, input to output.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Reassembles a network from persisted layers (the binary-snapshot
+    /// deserialization path).
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        debug_assert!(!layers.is_empty(), "a network needs at least one layer");
+        Self { layers }
+    }
+
     /// Input feature dimension.
     pub fn in_dim(&self) -> usize {
         // pipette-lint: allow(D2) -- constructor rejects empty layer lists, so first() always succeeds

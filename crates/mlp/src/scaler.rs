@@ -46,6 +46,24 @@ impl StandardScaler {
         Self { means, stds }
     }
 
+    /// Reassembles a scaler from persisted per-column statistics (the
+    /// binary-snapshot deserialization path).
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        debug_assert_eq!(means.len(), stds.len(), "column count mismatch");
+        Self { means, stds }
+    }
+
+    /// Per-column means, as fitted.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations, as fitted (zero-variance columns
+    /// hold 1.0).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
     /// Number of features this scaler was fitted on.
     pub fn num_features(&self) -> usize {
         self.means.len()

@@ -12,7 +12,11 @@
 
 use pipette::configurator::{Pipette, PipetteOptions};
 use pipette::latency::PipetteLatencyModel;
-use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
+use pipette::mapping::{
+    Annealer, AnnealerConfig, DenseDpMemo, DpMemo, IncrementalObjective, MemoBackend, Move,
+    Objective, ReferenceDpMemo,
+};
+use pipette::parallel::{ordered_map, ordered_map_scratch};
 use pipette_cluster::presets;
 use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
 use pipette_sim::{ComputeProfiler, Mapping};
@@ -75,6 +79,143 @@ proptest! {
             let settled = model.estimate(cfg, &mapping, plan, &compute);
             prop_assert_eq!(obj.cost().to_bits(), settled.to_bits());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The open-addressed and dense memos are bit-identical to the
+    /// retained `BTreeMap` reference path over random move/commit/rollback
+    /// streams — including at tiny open capacities where the
+    /// seeded-eviction policy fires constantly. Memo values are pure in
+    /// their keys, so eviction (or a perfect-hash slot layout) can only
+    /// turn a hit into an identical recompute; this test is the executable
+    /// form of that argument.
+    #[test]
+    fn open_memo_bit_matches_reference_memo(
+        seed in 0u64..500,
+        accepts in proptest::collection::vec(proptest::bool::ANY, 40),
+        capacity_log2 in 4u32..10,
+        cfg_idx in 0usize..3,
+    ) {
+        let (cluster, gpt) = setup();
+        let cfg = [
+            ParallelConfig::new(4, 2, 2),
+            ParallelConfig::new(2, 2, 4),
+            ParallelConfig::new(2, 4, 2),
+        ][cfg_idx];
+        let plan = MicrobatchPlan::new(64, 2).unwrap();
+        let gpu = cluster.gpu().clone();
+        let compute =
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 9);
+        let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 9);
+        let mut mapping = Mapping::identity(cfg, *cluster.topology());
+        let mut open = IncrementalObjective::with_memo_backend(
+            profiled.matrix(), &gpt, plan, &compute, &mapping,
+            MemoBackend::Open(DpMemo::new(1 << capacity_log2, seed)),
+        );
+        let mut reference = IncrementalObjective::with_memo_backend(
+            profiled.matrix(), &gpt, plan, &compute, &mapping,
+            MemoBackend::Reference(ReferenceDpMemo::new()),
+        );
+        let block = cfg.tp.max(1);
+        let num_blocks = cfg.num_workers() / block;
+        let mut dense = IncrementalObjective::with_memo_backend(
+            profiled.matrix(), &gpt, plan, &compute, &mapping,
+            MemoBackend::Dense(
+                DenseDpMemo::try_new(cfg.pp, num_blocks, cfg.dp)
+                    .expect("test configs fit the dense key space"),
+            ),
+        );
+        prop_assert_eq!(open.cost().to_bits(), reference.cost().to_bits());
+        prop_assert_eq!(dense.cost().to_bits(), reference.cost().to_bits());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for &accept in &accepts {
+            let mv = Move::random(&mut rng, num_blocks);
+            mv.apply(mapping.as_mut_slice(), block);
+            let a = open.propose(mv, &mapping);
+            let b = reference.propose(mv, &mapping);
+            let c = dense.propose(mv, &mapping);
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "memo backends diverged on {:?}: {} vs {}", mv, a, b
+            );
+            prop_assert_eq!(
+                c.to_bits(), b.to_bits(),
+                "dense memo diverged on {:?}: {} vs {}", mv, c, b
+            );
+            if accept {
+                open.commit();
+                reference.commit();
+                dense.commit();
+            } else {
+                open.rollback();
+                reference.rollback();
+                dense.rollback();
+                mv.inverse().apply(mapping.as_mut_slice(), block);
+            }
+            prop_assert_eq!(open.cost().to_bits(), reference.cost().to_bits());
+            prop_assert_eq!(dense.cost().to_bits(), reference.cost().to_bits());
+        }
+        // The tiny capacities above must actually exercise eviction for
+        // this test to mean anything; the default capacity need not.
+        if capacity_log2 == 4 {
+            let stats = open.memo_stats().expect("open backend keeps stats");
+            prop_assert!(stats.hits + stats.misses > 0);
+        }
+    }
+}
+
+/// The candidate ring (`ordered_map_scratch`) is bit-identical to the
+/// plain `ordered_map` path at every thread count: scratch reuse must be
+/// invisible in the results, because each call fully overwrites the
+/// mapping buffer it inherits from whatever item previously ran on that
+/// worker.
+#[test]
+fn candidate_ring_is_thread_count_bit_identical() {
+    let (cluster, gpt) = setup();
+    let plan = MicrobatchPlan::new(64, 2).unwrap();
+    let gpu = cluster.gpu().clone();
+    let (profiled, _) = cluster.profiler().profile(cluster.bandwidth(), 9);
+    let model = PipetteLatencyModel::new(&profiled, &gpt);
+    let topo = *cluster.topology();
+    let configs = [
+        ParallelConfig::new(4, 2, 2),
+        ParallelConfig::new(2, 2, 4),
+        ParallelConfig::new(2, 4, 2),
+        ParallelConfig::new(8, 2, 1),
+        ParallelConfig::new(4, 4, 1),
+        ParallelConfig::new(1, 2, 8),
+    ];
+    let computes: Vec<_> = configs
+        .iter()
+        .map(|&cfg| {
+            ComputeProfiler::default().profile(cluster.bandwidth(), &gpu, &gpt, cfg, plan, 9)
+        })
+        .collect();
+    let work: Vec<usize> = (0..configs.len()).collect();
+
+    // Reference: a fresh Mapping per item, no scratch.
+    let baseline: Vec<u64> = ordered_map(1, &work, |_, &i| {
+        let m = Mapping::identity(configs[i], topo);
+        model.estimate(configs[i], &m, plan, &computes[i]).to_bits()
+    });
+
+    for threads in [1, 2, 3, 8] {
+        let ringed: Vec<u64> = ordered_map_scratch(
+            threads,
+            &work,
+            || None::<Mapping>,
+            |ring, _, &i| {
+                let m = ring.get_or_insert_with(|| Mapping::identity(configs[i], topo));
+                m.set_identity(configs[i], topo);
+                model
+                    .estimate(configs[i], &*m, plan, &computes[i])
+                    .to_bits()
+            },
+        );
+        assert_eq!(baseline, ringed, "threads = {threads}");
     }
 }
 
