@@ -21,8 +21,12 @@
 
 use pipette::configurator::{Pipette, PipetteOptions};
 use pipette::latency::PipetteLatencyModel;
-use pipette::mapping::{Annealer, AnnealerConfig, IncrementalObjective, Move, Objective};
+use pipette::mapping::{
+    Annealer, AnnealerConfig, IncrementalObjective, Move, Objective, ParallelTemperingAnnealer,
+    TemperingSchedule,
+};
 use pipette::memory::{collect_samples, MemoryEstimator, SampleSpec, TrainedEstimatorCache};
+use pipette::parallel;
 use pipette::telemetry::SaTraceObserver;
 use pipette_cluster::presets;
 use pipette_mlp::{Matrix, Mlp, TrainConfig};
@@ -92,6 +96,7 @@ struct Report {
     hot_path_allocs: HotPathAllocs,
     end_to_end: EndToEnd,
     sa_budgeted: SaBudgeted,
+    pt: ParallelTempering,
     memory_estimator: MemoryEstimatorPerf,
     telemetry: TelemetryOverhead,
 }
@@ -154,6 +159,67 @@ struct SaBudgeted {
     evals_per_sec: f64,
     evaluations: usize,
     improvement: f64,
+}
+
+/// Parallel tempering (PR 7): K-chain search throughput, steady-state
+/// allocation proof, and equal-per-chain-budget quality vs. the single
+/// chain.
+///
+/// The throughput headline is `aggregate_evals_per_sec` =
+/// `total_evaluations / max_chain_busy_seconds`: every chain's busy time
+/// is metered inside its own segments, so the metric is what a box with
+/// one dedicated core per replica sustains — independent of how many
+/// cores *this* machine has (recorded in `host_cpus`; CI runs on shared
+/// 1–2-core runners, where wall-clock aggregate throughput would be
+/// meaningless and machine-dependent).
+#[derive(Serialize)]
+struct ParallelTempering {
+    replicas: usize,
+    exchange_interval: usize,
+    /// SA iterations per chain (same budget as `sa_budgeted`, so the
+    /// quality comparison below is equal wall clock on >= `replicas`
+    /// cores).
+    chain_iterations: usize,
+    total_evaluations: usize,
+    wall_clock_seconds: f64,
+    max_chain_busy_seconds: f64,
+    /// `total_evaluations / max_chain_busy_seconds` — see struct docs.
+    aggregate_evals_per_sec: f64,
+    host_cpus: usize,
+    /// `sa_budgeted.evals_per_sec`, repeated here so the speedup is
+    /// self-contained.
+    single_chain_evals_per_sec: f64,
+    /// `aggregate_evals_per_sec / single_chain_evals_per_sec`; the full
+    /// run asserts >= 3 at 4 replicas.
+    speedup_vs_single_chain: f64,
+    exchanges_attempted: usize,
+    exchanges_accepted: usize,
+    steady_state: PtSteadyState,
+    /// `sa_budgeted.improvement` — the single chain at the same
+    /// per-chain budget and seed.
+    equal_budget_single_improvement: f64,
+    /// The ladder's merged improvement at that budget; asserted >= the
+    /// single chain's (the cold rung replays it until the first accepted
+    /// exchange, and the ladder keeps the best of all rungs).
+    equal_budget_tempering_improvement: f64,
+}
+
+/// K-chain steady-state allocation proof. Measuring "allocations during
+/// the hot loop" directly would catch the ladder's setup (K objectives,
+/// K mapping clones), so instead two *identical* runs that differ only
+/// in per-chain budget are compared: same seed, same ladder, same setup
+/// allocations — any difference in allocator totals is, exactly, what
+/// the extra `measured_moves` steady-state moves and their exchange
+/// rounds allocated. The binary aborts unless that difference is zero.
+#[derive(Serialize)]
+struct PtSteadyState {
+    short_chain_iterations: usize,
+    long_chain_iterations: usize,
+    /// `(long - short) * replicas` — the move count the zero-alloc claim
+    /// is measured over.
+    measured_moves: usize,
+    allocations: u64,
+    allocated_bytes: u64,
 }
 
 /// Memory-estimator fast path (PR 2): training kernel speedup, batch
@@ -348,6 +414,117 @@ fn main() {
         improvement: stats.improvement(),
     };
 
+    // Parallel tempering: the same per-chain budget and seed as
+    // `sa_budgeted`, K = 4 replicas on the default ladder. One core per
+    // chain is the deployment model, so throughput is metered on busy
+    // time (see `ParallelTempering` docs) and the quality row is the
+    // equal-wall-clock comparison on a >= 4-core box.
+    let pt_replicas = 4usize;
+    let pt_schedule = TemperingSchedule {
+        replicas: pt_replicas,
+        ..Default::default()
+    };
+    let pt = ParallelTemperingAnnealer::new(
+        AnnealerConfig {
+            iterations: budget_iters,
+            seed: 2,
+            ..Default::default()
+        },
+        pt_schedule,
+    );
+    let pt_threads = parallel::default_threads().min(pt_replicas);
+    let t0 = Instant::now();
+    let (_, _, pt_stats) = pt.anneal(pt_threads, &identity, |_, init| {
+        IncrementalObjective::from_model(&model, &gpt, plan, &compute, init)
+    });
+    let pt_wall = t0.elapsed().as_secs_f64();
+    let pt_merged = pt_stats.merged();
+    let max_busy = pt_stats
+        .replica_stats
+        .iter()
+        .map(|s| s.elapsed.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    let aggregate_evals_per_sec = pt_merged.evaluations as f64 / max_busy.max(1e-12);
+    let speedup_vs_single_chain = aggregate_evals_per_sec / sa_budgeted.evals_per_sec;
+
+    // Steady-state allocation proof: two runs differing only in budget
+    // (sequential, so the allocator totals are single-threaded and
+    // exact); equal totals mean the extra moves allocated nothing.
+    let pt_short_iters = if smoke { 2_500 } else { 50_000 };
+    let pt_long_iters = if smoke { 5_000 } else { 100_000 };
+    let pt_alloc_run = |iters: usize| -> (u64, u64) {
+        let pt = ParallelTemperingAnnealer::new(
+            AnnealerConfig {
+                iterations: iters,
+                seed: 2,
+                ..Default::default()
+            },
+            pt_schedule,
+        );
+        let (a0, b0) = alloc_snapshot();
+        let _ = pt.anneal(1, &identity, |_, init| {
+            IncrementalObjective::from_model(&model, &gpt, plan, &compute, init)
+        });
+        let (a1, b1) = alloc_snapshot();
+        (a1 - a0, b1 - b0)
+    };
+    let (short_allocs, short_bytes) = pt_alloc_run(pt_short_iters);
+    let (long_allocs, long_bytes) = pt_alloc_run(pt_long_iters);
+    let pt_measured_moves = (pt_long_iters - pt_short_iters) * pt_replicas;
+    let steady_state = PtSteadyState {
+        short_chain_iterations: pt_short_iters,
+        long_chain_iterations: pt_long_iters,
+        measured_moves: pt_measured_moves,
+        allocations: long_allocs.saturating_sub(short_allocs),
+        allocated_bytes: long_bytes.saturating_sub(short_bytes),
+    };
+    assert_eq!(
+        long_allocs,
+        short_allocs,
+        "tempering steady state allocated {} times ({} bytes) over {} \
+         moves — chain stepping and replica exchange must be \
+         allocation-free",
+        long_allocs.saturating_sub(short_allocs),
+        long_bytes.saturating_sub(short_bytes),
+        pt_measured_moves
+    );
+    // Deterministic (seeded) comparison, so this holds on every machine,
+    // smoke or full: the ladder's best never trails the single chain at
+    // the committed seed and budget.
+    assert!(
+        pt_merged.improvement() >= sa_budgeted.improvement,
+        "tempering improvement {} fell below the single chain's {} at \
+         equal per-chain budget",
+        pt_merged.improvement(),
+        sa_budgeted.improvement
+    );
+    if !smoke {
+        // Timing-based, so only enforced on the full run (smoke budgets
+        // finish in microseconds and the ratio is all noise).
+        assert!(
+            speedup_vs_single_chain >= 3.0,
+            "aggregate tempering throughput is only {speedup_vs_single_chain:.2}x \
+             the single chain's (need >= 3x at 4 replicas)"
+        );
+    }
+    let pt = ParallelTempering {
+        replicas: pt_replicas,
+        exchange_interval: pt_schedule.exchange_interval,
+        chain_iterations: budget_iters,
+        total_evaluations: pt_merged.evaluations,
+        wall_clock_seconds: pt_wall,
+        max_chain_busy_seconds: max_busy,
+        aggregate_evals_per_sec,
+        host_cpus: parallel::default_threads(),
+        single_chain_evals_per_sec: sa_budgeted.evals_per_sec,
+        speedup_vs_single_chain,
+        exchanges_attempted: pt_stats.exchanges_attempted,
+        exchanges_accepted: pt_stats.exchanges_accepted,
+        steady_state,
+        equal_budget_single_improvement: sa_budgeted.improvement,
+        equal_budget_tempering_improvement: pt_merged.improvement(),
+    };
+
     // Memory-estimator fast path: a deterministic profiling corpus (the
     // shape the configurator's ≤ 4-node sweep produces), the paper's MLP
     // architecture, and the three measured claims — training kernel
@@ -526,6 +703,7 @@ fn main() {
         hot_path_allocs,
         end_to_end,
         sa_budgeted,
+        pt,
         memory_estimator,
         telemetry,
     };
@@ -534,8 +712,9 @@ fn main() {
     std::fs::write("BENCH_configurator.json", &json).expect("write BENCH_configurator.json");
     println!("{json}");
     eprintln!(
-        "wrote BENCH_configurator.json  (objective speedup: {:.1}x, telemetry overhead: {:.2}%, checksum {sink:.3})",
+        "wrote BENCH_configurator.json  (objective speedup: {:.1}x, tempering aggregate: {:.1}x, telemetry overhead: {:.2}%, checksum {sink:.3})",
         report.objective.speedup,
+        report.pt.speedup_vs_single_chain,
         100.0 * report.telemetry.overhead_fraction
     );
 }

@@ -22,7 +22,9 @@ const EXAMPLE_SPEC: &str = r#"{
   "max_micro": 8,
   "worker_dedication": true,
   "sa_iterations": 30000,
-  "seed": 7
+  "seed": 7,
+  "replicas": 4,
+  "exchange_interval": 512
 }"#;
 
 fn usage() -> ExitCode {

@@ -39,10 +39,18 @@ pub struct CliReport {
     pub memory_rejected: usize,
     /// Worker→GPU assignment (worker linear index → GPU id).
     pub mapping: Vec<usize>,
+    /// Parallel-tempering replicas the SA passes ran with (1 = classic
+    /// single chain).
+    #[serde(default = "default_report_replicas")]
+    pub replicas: usize,
     /// Trained-estimator cache traffic (absent when no cache directory
     /// was configured).
     #[serde(default)]
     pub estimator_cache: Option<CacheCounters>,
+}
+
+fn default_report_replicas() -> usize {
+    1
 }
 
 fn options_for(spec: &JobSpec) -> PipetteOptions {
@@ -57,6 +65,8 @@ fn options_for(spec: &JobSpec) -> PipetteOptions {
         },
         memory,
         seed: spec.seed,
+        replicas: spec.replicas,
+        exchange_interval: spec.exchange_interval,
         ..PipetteOptions::default()
     }
 }
@@ -109,6 +119,7 @@ pub fn run_configure_traced(
         examined: rec.examined,
         memory_rejected: rec.memory_rejected,
         mapping: rec.mapping.as_slice().iter().map(|g| g.0).collect(),
+        replicas: rec.tempering.map_or(1, |t| t.replicas),
         estimator_cache: rec.cache_counters,
     };
     Ok((report, rec))
@@ -179,6 +190,7 @@ pub fn run_drill_traced(
             examined: rec.examined,
             memory_rejected: rec.memory_rejected,
             mapping: rec.mapping.as_slice().iter().map(|g| g.0).collect(),
+            replicas: rec.tempering.map_or(1, |t| t.replicas),
             estimator_cache: rec.cache_counters,
         },
         healthy_gpus: cluster.topology().num_gpus(),
@@ -349,6 +361,13 @@ pub fn render_explain(report: &CliReport, rec: &Recommendation, top_k: usize) ->
                 sa.best_cost,
                 100.0 * sa.improvement()
             );
+            if let Some(t) = &rec.tempering {
+                let _ = writeln!(
+                    out,
+                    "  tempering: {} replicas, exchange every {} iterations, {}/{} exchanges accepted",
+                    t.replicas, t.exchange_interval, t.exchanges_accepted, t.exchanges_attempted
+                );
+            }
         }
         None => {
             let _ = writeln!(out, "\nworker dedication: disabled (identity mapping)");
@@ -479,6 +498,8 @@ mod tests {
             worker_dedication: true,
             sa_iterations: 1_500,
             seed: 1,
+            replicas: 1,
+            exchange_interval: 512,
             memory_training_iterations: 1_500,
             estimator_cache_dir: None,
         }
@@ -529,6 +550,21 @@ mod tests {
         assert_eq!(trace.count_kind("run_start"), 1);
         assert_eq!(trace.count_kind("recommendation"), 1);
         assert!(trace.count_kind("latency_estimate") > 0);
+    }
+
+    #[test]
+    fn tempered_configure_surfaces_replica_count() {
+        let single = run_configure(&small_spec()).expect("feasible job");
+        assert_eq!(single.replicas, 1, "single chain reports 1");
+        let mut spec = small_spec();
+        spec.replicas = 2;
+        spec.exchange_interval = 256;
+        let report = run_configure(&spec).expect("feasible job");
+        assert_eq!(report.replicas, 2);
+        assert_eq!(report.pp * report.tp * report.dp, 16);
+        // Tempering may find a different mapping but never a worse one
+        // than the identity-mapping estimate it started from.
+        assert!(report.estimated_seconds > 0.0);
     }
 
     #[test]

@@ -89,6 +89,16 @@ pub struct JobSpec {
     /// Search seed (default 0).
     #[serde(default)]
     pub seed: u64,
+    /// Parallel-tempering replicas per SA pass (default 1 = classic
+    /// single chain). More replicas search a temperature ladder with
+    /// deterministic state exchange; results stay machine-independent
+    /// because this is an explicit choice, never derived from core count.
+    #[serde(default = "default_replicas")]
+    pub replicas: usize,
+    /// Iterations between tempering exchange rounds (default 512;
+    /// ignored when `replicas` is 1).
+    #[serde(default = "default_exchange_interval")]
+    pub exchange_interval: usize,
     /// Memory-estimator training iterations (default 12000; lower for
     /// quick runs).
     #[serde(default = "default_mem_iterations")]
@@ -114,6 +124,14 @@ fn default_true() -> bool {
 
 fn default_sa() -> usize {
     30_000
+}
+
+fn default_replicas() -> usize {
+    1
+}
+
+fn default_exchange_interval() -> usize {
+    512
 }
 
 /// Errors turning a spec into concrete objects.
@@ -182,7 +200,8 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 const TOP_FIELDS: &str = "cluster, model, global_batch, max_micro, worker_dedication, \
-     sa_iterations, seed, memory_training_iterations, estimator_cache_dir";
+     sa_iterations, seed, replicas, exchange_interval, memory_training_iterations, \
+     estimator_cache_dir";
 const CLUSTER_FIELDS: &str = "preset, nodes, seed";
 const MODEL_FIELDS: &str = "preset — or layers, hidden, heads, seq_len, vocab";
 const PLAN_FIELDS: &str = "seed, degraded_links, straggler_gpus, failed_gpus, failed_nodes, \
@@ -237,6 +256,8 @@ fn check_job_shape(doc: &JsonValue) -> Result<(), SpecError> {
             "worker_dedication",
             "sa_iterations",
             "seed",
+            "replicas",
+            "exchange_interval",
             "memory_training_iterations",
             "estimator_cache_dir",
         ],
@@ -320,6 +341,21 @@ impl JobSpec {
         }
         if self.memory_training_iterations == 0 {
             return range_err("memory_training_iterations", "must be at least 1".into());
+        }
+        if !(1..=64).contains(&self.replicas) {
+            return range_err(
+                "replicas",
+                format!(
+                    "{} not in 1..=64 (1 = single chain; a few chains per core is the useful range)",
+                    self.replicas
+                ),
+            );
+        }
+        if self.exchange_interval == 0 {
+            return range_err(
+                "exchange_interval",
+                "must be at least 1 (iterations between tempering exchange rounds)".into(),
+            );
         }
         if let ModelSpec::Custom {
             layers,
@@ -618,6 +654,8 @@ mod tests {
             worker_dedication: true,
             sa_iterations: 10_000,
             seed: 5,
+            replicas: 4,
+            exchange_interval: 256,
             memory_training_iterations: 12_000,
             estimator_cache_dir: None,
         };
@@ -625,5 +663,52 @@ mod tests {
         let back: JobSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.global_batch, 512);
         assert_eq!(back.max_micro, 4);
+        assert_eq!(back.replicas, 4);
+        assert_eq!(back.exchange_interval, 256);
+    }
+
+    #[test]
+    fn tempering_fields_parse_with_defaults_and_range_checks() {
+        let defaulted = JobSpec::parse_strict(
+            r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                "model": {"preset": "gpt-1.1b"}, "global_batch": 256}"#,
+        )
+        .unwrap();
+        assert_eq!(defaulted.replicas, 1, "single chain is the default");
+        assert_eq!(defaulted.exchange_interval, 512);
+
+        let tempered = JobSpec::parse_strict(
+            r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                "model": {"preset": "gpt-1.1b"}, "global_batch": 256,
+                "replicas": 4, "exchange_interval": 128}"#,
+        )
+        .unwrap();
+        assert_eq!(tempered.replicas, 4);
+        assert_eq!(tempered.exchange_interval, 128);
+
+        for (json, needle) in [
+            (
+                r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                    "model": {"preset": "gpt-1.1b"}, "global_batch": 256,
+                    "replicas": 0}"#,
+                "1..=64",
+            ),
+            (
+                r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                    "model": {"preset": "gpt-1.1b"}, "global_batch": 256,
+                    "replicas": 65}"#,
+                "1..=64",
+            ),
+            (
+                r#"{"cluster": {"preset": "mid-range", "nodes": 4},
+                    "model": {"preset": "gpt-1.1b"}, "global_batch": 256,
+                    "exchange_interval": 0}"#,
+                "exchange_interval",
+            ),
+        ] {
+            let err = JobSpec::parse_strict(json).unwrap_err();
+            assert!(matches!(err, SpecError::OutOfRange { .. }), "{json}");
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 }

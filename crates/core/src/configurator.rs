@@ -16,7 +16,10 @@
 
 use crate::error::ConfigureError;
 use crate::latency::{LatencyExplanation, PipetteLatencyModel};
-use crate::mapping::{AnnealStats, Annealer, AnnealerConfig, IncrementalObjective};
+use crate::mapping::{
+    AnnealStats, Annealer, AnnealerConfig, IncrementalObjective, ParallelTemperingAnnealer,
+    TemperingSchedule,
+};
 use crate::memory::{
     analytic_prior, collect_samples_parallel, CacheCounters, MemoryEstimator,
     MemoryEstimatorConfig, MemorySample, SampleSpec, TrainedEstimatorCache,
@@ -58,6 +61,25 @@ pub struct PipetteOptions {
     /// Cap on [`Recommendation::alternatives`] — the paper surfaces a
     /// short ranked list, not the whole (often hundreds-deep) feasible set.
     pub top_n: usize,
+    /// Parallel-tempering replicas per SA pass. `1` (the default) runs
+    /// the classic single chain, bit-identical to every earlier release.
+    /// Deliberately *not* defaulted from `threads`: the recommendation
+    /// must never depend on the machine's core count, so widening the
+    /// ladder is an explicit opt-in ([`PipetteOptions::with_tempering`]).
+    #[serde(default = "default_replicas")]
+    pub replicas: usize,
+    /// Iterations each tempering chain runs between replica-exchange
+    /// rounds. Ignored when `replicas == 1`.
+    #[serde(default = "default_exchange_interval")]
+    pub exchange_interval: usize,
+}
+
+fn default_replicas() -> usize {
+    1
+}
+
+fn default_exchange_interval() -> usize {
+    TemperingSchedule::default().exchange_interval
 }
 
 impl Default for PipetteOptions {
@@ -71,6 +93,8 @@ impl Default for PipetteOptions {
             seed: 0,
             threads: parallel::default_threads(),
             top_n: 10,
+            replicas: default_replicas(),
+            exchange_interval: default_exchange_interval(),
         }
     }
 }
@@ -104,6 +128,17 @@ impl PipetteOptions {
         self.use_worker_dedication = false;
         self
     }
+
+    /// Opts into parallel tempering with a ladder sized for `threads`
+    /// workers ([`TemperingSchedule::for_threads`]). The result is still
+    /// bit-identical at any *runtime* thread count — only this explicit
+    /// replica choice changes the search trajectory.
+    pub fn with_tempering(mut self, threads: usize) -> Self {
+        let schedule = TemperingSchedule::for_threads(threads);
+        self.replicas = schedule.replicas;
+        self.exchange_interval = schedule.exchange_interval;
+        self
+    }
 }
 
 /// One scored candidate before annealing.
@@ -127,6 +162,19 @@ pub struct Alternative {
     pub plan: MicrobatchPlan,
     /// Its identity-mapping latency estimate (seconds).
     pub estimated_seconds: f64,
+}
+
+/// Parallel-tempering shape and exchange outcome of the winning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperingSummary {
+    /// Chains per SA pass.
+    pub replicas: usize,
+    /// Iterations between exchange rounds.
+    pub exchange_interval: usize,
+    /// Adjacent-pair swap decisions taken across all annealed candidates.
+    pub exchanges_attempted: usize,
+    /// Decisions that swapped states.
+    pub exchanges_accepted: usize,
 }
 
 /// Predicted memory position of the recommendation on its GPUs.
@@ -172,7 +220,12 @@ pub struct Recommendation {
     /// Candidates rejected by the memory estimator.
     pub memory_rejected: usize,
     /// Annealing statistics of the winning candidate (None for PPT-L).
+    /// Under tempering this is the merged view (counters summed across
+    /// replicas, best cost over the ladder).
     pub anneal_stats: Option<AnnealStats>,
+    /// Parallel-tempering shape and exchange counters (None for the
+    /// single-chain path and for PPT-L).
+    pub tempering: Option<TemperingSummary>,
     /// Estimator-cache counters, when a cache was attached.
     pub cache_counters: Option<CacheCounters>,
     /// Runner-up candidates (identity mapping), best first — Pipette's
@@ -611,9 +664,84 @@ impl<'a> Pipette<'a> {
         let mut best_mapping = Mapping::identity(candidates[0].config, *topo);
         let mut best_t = candidates[0].identity_estimate;
         let mut best_stats: Option<AnnealStats> = None;
+        let mut tempering_summary: Option<TemperingSummary> = None;
         let mut sa_time = Duration::ZERO;
+        let replicas = self.options.replicas.max(1);
 
-        if self.options.use_worker_dedication {
+        if self.options.use_worker_dedication && replicas > 1 {
+            // Parallel tempering: the thread budget moves *inside* each
+            // pass (replicas spread across workers, rendezvousing at
+            // exchange rounds), so candidates run sequentially. Every
+            // chain is seeded by (candidate, replica) and exchanges are
+            // keyed by (round, pair), so the result — and the merged
+            // child-trace stream — is identical at any thread count.
+            let k = self.options.sa_top_k.max(1).min(candidates.len());
+            let schedule = TemperingSchedule {
+                replicas,
+                exchange_interval: self.options.exchange_interval.max(1),
+                ..TemperingSchedule::default()
+            };
+            let mut exchanges_attempted = 0usize;
+            let mut exchanges_accepted = 0usize;
+            for (i, cand) in candidates[..k].iter().enumerate() {
+                let initial = Mapping::identity(cand.config, *topo);
+                let mut sa_cfg = self.options.annealer;
+                sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
+                let pt = ParallelTemperingAnnealer::new(sa_cfg, schedule);
+                let make_objective = |_replica: usize, init: &Mapping| {
+                    IncrementalObjective::new(
+                        latency.matrix(),
+                        self.gpt,
+                        cand.plan,
+                        &cand.compute,
+                        init,
+                    )
+                };
+                let (mapping, cost, stats) = match trace.as_deref_mut() {
+                    Some(t) => {
+                        let mut children: Vec<Trace> = (0..replicas).map(|_| t.child()).collect();
+                        let mut exchange_child = t.child();
+                        let mut observers: Vec<SaTraceObserver> = children
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(r, c)| SaTraceObserver::for_replica(c, i, r))
+                            .collect();
+                        let result = pt.anneal_observed(
+                            self.options.threads,
+                            &initial,
+                            make_objective,
+                            &mut observers,
+                            |rec| telemetry::push_pt_exchange(&mut exchange_child, i, rec),
+                        );
+                        for (observer, rstats) in observers.into_iter().zip(&result.2.replica_stats)
+                        {
+                            observer.finish(rstats);
+                        }
+                        for child in children {
+                            t.absorb(child);
+                        }
+                        t.absorb(exchange_child);
+                        result
+                    }
+                    None => pt.anneal(self.options.threads, &initial, make_objective),
+                };
+                sa_time += stats.elapsed;
+                exchanges_attempted += stats.exchanges_attempted;
+                exchanges_accepted += stats.exchanges_accepted;
+                if cost < best_t {
+                    best_idx = i;
+                    best_mapping = mapping;
+                    best_t = cost;
+                    best_stats = Some(stats.merged());
+                }
+            }
+            tempering_summary = Some(TemperingSummary {
+                replicas,
+                exchange_interval: schedule.exchange_interval,
+                exchanges_attempted,
+                exchanges_accepted,
+            });
+        } else if self.options.use_worker_dedication {
             // Each pass is seeded by its candidate index and evaluated
             // through the incremental objective (bit-identical to the
             // closure path, see `mapping::objective`), so the annealed
@@ -734,6 +862,7 @@ impl<'a> Pipette<'a> {
             examined,
             memory_rejected: rejected,
             anneal_stats: best_stats,
+            tempering: tempering_summary,
             cache_counters: self.estimator_cache.map(TrainedEstimatorCache::counters),
             alternatives,
         })

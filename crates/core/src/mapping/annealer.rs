@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 /// How often (in iterations) the wall-clock budget is consulted. With the
 /// incremental objective an iteration is sub-microsecond, so checking
 /// `Instant::now()` every step would be a measurable fraction of the loop.
-const TIME_CHECK_INTERVAL: usize = 64;
+pub(crate) const TIME_CHECK_INTERVAL: usize = 64;
 
 /// Annealer parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -140,6 +140,123 @@ impl SaObserver for NoOpObserver {
     fn on_move(&mut self, _record: &SaMoveRecord) {}
 }
 
+/// The enabled move kinds of a config as a stack array (the annealing
+/// loop's one lookup table has no reason to live on the heap). The order
+/// mirrors the arms of `Move::random`, so with all three enabled the
+/// per-iteration index draw consumes the same `gen_range(0..3u8)` the old
+/// rejection-sampling loop did — the RNG stream (and thus every
+/// historical result for a given seed) is preserved.
+pub(crate) fn enabled_moves(config: &AnnealerConfig) -> ([MoveKind; 3], usize) {
+    let mut buf = [MoveKind::Migration; 3];
+    let mut len = 0usize;
+    for (on, kind) in [
+        (config.enable_migration, MoveKind::Migration),
+        (config.enable_swap, MoveKind::Swap),
+        (config.enable_reverse, MoveKind::Reverse),
+    ] {
+        if on {
+            buf[len] = kind;
+            len += 1;
+        }
+    }
+    (buf, len)
+}
+
+/// The per-chain state of one annealing trajectory, shared by the
+/// single-chain [`Annealer`] loop and the parallel-tempering layer
+/// (`mapping::tempering`), which runs K of these side by side.
+///
+/// One [`ChainCore::step`] consumes exactly the RNG draws the historical
+/// single-chain loop consumed per iteration, so any segmentation of a
+/// trajectory into steps replays the same moves for the same seed — that
+/// is what makes `replicas = 1` tempering bit-identical to [`Annealer`].
+pub(crate) struct ChainCore {
+    pub(crate) current: Mapping,
+    pub(crate) current_cost: f64,
+    pub(crate) best: Mapping,
+    pub(crate) best_cost: f64,
+    pub(crate) temp: f64,
+    pub(crate) rng: ChaCha8Rng,
+    /// Moves proposed so far (the initial evaluation is *not* counted
+    /// here; [`AnnealStats::evaluations`] adds it at reporting time).
+    pub(crate) evaluations: usize,
+    pub(crate) accepted: usize,
+    pub(crate) improvements: usize,
+}
+
+impl ChainCore {
+    pub(crate) fn new(initial: &Mapping, initial_cost: f64, temp: f64, seed: u64) -> Self {
+        Self {
+            current: initial.clone(),
+            current_cost: initial_cost,
+            best: initial.clone(),
+            best_cost: initial_cost,
+            temp,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            evaluations: 0,
+            accepted: 0,
+            improvements: 0,
+        }
+    }
+
+    /// One annealing iteration: propose a move, take the Metropolis
+    /// decision, commit or roll back, notify the observer, cool.
+    ///
+    /// The loop context (move set, geometry, cooling rate) is threaded
+    /// flat rather than bundled: the values are hoisted out of the hot
+    /// loop once by every caller, and a context struct would be built
+    /// per segment for no gain.
+    #[allow(clippy::too_many_arguments)]
+    // pipette-lint: hot-path
+    #[inline]
+    pub(crate) fn step<O: Objective, Obs: SaObserver>(
+        &mut self,
+        it: usize,
+        enabled: &[MoveKind],
+        num_blocks: usize,
+        block: usize,
+        alpha: f64,
+        objective: &mut O,
+        observer: &mut Obs,
+    ) {
+        let kind = enabled[self.rng.gen_range(0..enabled.len() as u8) as usize];
+        let mv = Move::random_of_kind(&mut self.rng, kind, num_blocks);
+        // Apply in place; every move has an exact inverse, so rejection
+        // undoes it without cloning a candidate per iteration.
+        mv.apply(self.current.as_mut_slice(), block);
+        let cost = objective.propose(mv, &self.current);
+        self.evaluations += 1;
+        let delta = cost - self.current_cost;
+        let accept =
+            delta <= 0.0 || (self.temp > 0.0 && self.rng.gen::<f64>() < (-delta / self.temp).exp());
+        if accept {
+            objective.commit();
+            self.current_cost = cost;
+            self.accepted += 1;
+            if cost < self.best_cost {
+                self.best
+                    .as_mut_slice()
+                    .copy_from_slice(self.current.as_slice());
+                self.best_cost = cost;
+                self.improvements += 1;
+            }
+        } else {
+            objective.rollback();
+            mv.inverse().apply(self.current.as_mut_slice(), block);
+        }
+        observer.on_move(&SaMoveRecord {
+            iteration: it,
+            kind,
+            delta,
+            temperature: self.temp,
+            accepted: accept,
+            current_cost: self.current_cost,
+            best_cost: self.best_cost,
+        });
+        self.temp *= alpha;
+    }
+}
+
 /// Simulated-annealing searcher over mappings.
 ///
 /// ```
@@ -247,34 +364,16 @@ impl Annealer {
             return (initial.clone(), initial_cost, stats);
         }
 
-        // Enabled move kinds, fixed once, in a stack array (the loop below
-        // is the hottest in the crate; no reason for its one lookup table
-        // to live on the heap). The order mirrors the arms of
-        // `Move::random`, so with all three enabled the index draw below
-        // consumes the same `gen_range(0..3u8)` the old rejection-sampling
-        // loop did — the RNG stream (and thus every historical result for a
-        // given seed) is preserved.
-        let mut enabled_buf = [MoveKind::Migration; 3];
-        let mut enabled_len = 0usize;
-        for (on, kind) in [
-            (self.config.enable_migration, MoveKind::Migration),
-            (self.config.enable_swap, MoveKind::Swap),
-            (self.config.enable_reverse, MoveKind::Reverse),
-        ] {
-            if on {
-                enabled_buf[enabled_len] = kind;
-                enabled_len += 1;
-            }
-        }
+        let (enabled_buf, enabled_len) = enabled_moves(&self.config);
         let enabled = &enabled_buf[..enabled_len];
         debug_assert!(!enabled.is_empty(), "checked in Annealer::new");
 
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut current = initial.clone();
-        let mut current_cost = initial_cost;
-        let mut best = initial.clone();
-        let mut best_cost = initial_cost;
-        let mut temp = initial_cost * self.config.initial_temp_fraction;
+        let mut chain = ChainCore::new(
+            initial,
+            initial_cost,
+            initial_cost * self.config.initial_temp_fraction,
+            self.config.seed,
+        );
 
         for it in 0..self.config.iterations {
             if it % TIME_CHECK_INTERVAL == 0 {
@@ -284,43 +383,23 @@ impl Annealer {
                     }
                 }
             }
-            let kind = enabled[rng.gen_range(0..enabled.len() as u8) as usize];
-            let mv = Move::random_of_kind(&mut rng, kind, num_blocks);
-            // Apply in place; every move has an exact inverse, so rejection
-            // undoes it without cloning a candidate per iteration.
-            mv.apply(current.as_mut_slice(), block);
-            let cost = objective.propose(mv, &current);
-            stats.evaluations += 1;
-            let delta = cost - current_cost;
-            let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
-            if accept {
-                objective.commit();
-                current_cost = cost;
-                stats.accepted += 1;
-                if cost < best_cost {
-                    best.as_mut_slice().copy_from_slice(current.as_slice());
-                    best_cost = cost;
-                    stats.improvements += 1;
-                }
-            } else {
-                objective.rollback();
-                mv.inverse().apply(current.as_mut_slice(), block);
-            }
-            observer.on_move(&SaMoveRecord {
-                iteration: it,
-                kind,
-                delta,
-                temperature: temp,
-                accepted: accept,
-                current_cost,
-                best_cost,
-            });
-            temp *= self.config.alpha;
+            chain.step(
+                it,
+                enabled,
+                num_blocks,
+                block,
+                self.config.alpha,
+                objective,
+                observer,
+            );
         }
 
-        stats.best_cost = best_cost;
+        stats.evaluations += chain.evaluations;
+        stats.accepted = chain.accepted;
+        stats.improvements = chain.improvements;
+        stats.best_cost = chain.best_cost;
         stats.elapsed = start.elapsed();
-        (best, best_cost, stats)
+        (chain.best, chain.best_cost, stats)
     }
 }
 

@@ -11,6 +11,7 @@ mod arena;
 mod moves;
 mod objective;
 mod search;
+mod tempering;
 
 pub use annealer::{AnnealStats, Annealer, AnnealerConfig, NoOpObserver, SaMoveRecord, SaObserver};
 pub use arena::{
@@ -19,3 +20,7 @@ pub use arena::{
 pub use moves::{Move, MoveKind};
 pub use objective::{FnObjective, IncrementalObjective, Objective};
 pub use search::{greedy_swap, random_search};
+pub use tempering::{
+    exchange_accepts, ParallelTemperingAnnealer, PtExchangeRecord, TemperingSchedule,
+    TemperingStats,
+};

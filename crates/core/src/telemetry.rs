@@ -8,7 +8,7 @@
 //! (documented in DESIGN.md §7d) has a single producer per kind.
 
 use crate::latency::LatencyExplanation;
-use crate::mapping::{AnnealStats, SaMoveRecord, SaObserver};
+use crate::mapping::{AnnealStats, PtExchangeRecord, SaMoveRecord, SaObserver};
 use pipette_model::{MicrobatchPlan, ParallelConfig};
 use pipette_obs::{EventKind, Trace};
 
@@ -24,6 +24,7 @@ use pipette_obs::{EventKind, Trace};
 pub struct SaTraceObserver<'a> {
     trace: &'a mut Trace,
     candidate: usize,
+    replica: usize,
     move_every: usize,
     summary_every: usize,
     window_proposed: usize,
@@ -33,12 +34,21 @@ pub struct SaTraceObserver<'a> {
 impl<'a> SaTraceObserver<'a> {
     /// An observer recording into `trace`, tagging every event with the
     /// candidate rank whose SA pass it belongs to. Sampling cadences come
-    /// from the trace's [`pipette_obs::TraceConfig`].
+    /// from the trace's [`pipette_obs::TraceConfig`]. Events carry
+    /// `replica: 0` — the single-chain tag; tempering passes use
+    /// [`SaTraceObserver::for_replica`].
     pub fn new(trace: &'a mut Trace, candidate: usize) -> Self {
+        Self::for_replica(trace, candidate, 0)
+    }
+
+    /// An observer for one chain of a parallel-tempering pass, tagging
+    /// every event with both the candidate rank and the replica index.
+    pub fn for_replica(trace: &'a mut Trace, candidate: usize, replica: usize) -> Self {
         let config = *trace.config();
         Self {
             trace,
             candidate,
+            replica,
             move_every: config.sa_move_sample_every,
             summary_every: config.sa_summary_every,
             window_proposed: 0,
@@ -52,6 +62,7 @@ impl<'a> SaTraceObserver<'a> {
     pub fn finish(self, stats: &AnnealStats) {
         self.trace.push(EventKind::SaResult {
             candidate: self.candidate,
+            replica: self.replica,
             evaluations: stats.evaluations,
             accepted: stats.accepted,
             improvements: stats.improvements,
@@ -66,6 +77,7 @@ impl SaObserver for SaTraceObserver<'_> {
         if self.move_every > 0 && r.iteration.is_multiple_of(self.move_every) {
             self.trace.push(EventKind::SaMove {
                 candidate: self.candidate,
+                replica: self.replica,
                 iteration: r.iteration,
                 kind: r.kind.name(),
                 delta: r.delta,
@@ -80,6 +92,7 @@ impl SaObserver for SaTraceObserver<'_> {
         if self.summary_every > 0 && (r.iteration + 1).is_multiple_of(self.summary_every) {
             self.trace.push(EventKind::SaSummary {
                 candidate: self.candidate,
+                replica: self.replica,
                 iteration: r.iteration,
                 acceptance_rate: self.window_accepted as f64 / self.window_proposed as f64,
                 current_cost: r.current_cost,
@@ -90,6 +103,22 @@ impl SaObserver for SaTraceObserver<'_> {
             self.window_accepted = 0;
         }
     }
+}
+
+/// Records one replica-exchange decision of a parallel-tempering pass as
+/// a `pt_exchange` event.
+pub fn push_pt_exchange(trace: &mut Trace, candidate: usize, rec: &PtExchangeRecord) {
+    trace.push(EventKind::PtExchange {
+        candidate,
+        round: rec.round,
+        replica_lo: rec.replica_lo,
+        replica_hi: rec.replica_hi,
+        temp_lo: rec.temp_lo,
+        temp_hi: rec.temp_hi,
+        cost_lo: rec.cost_lo,
+        cost_hi: rec.cost_hi,
+        accepted: rec.accepted,
+    });
 }
 
 /// Records one screened candidate's identity-mapping estimate with its
@@ -214,6 +243,55 @@ mod tests {
         assert_eq!(trace.count_kind("sa_move"), 0);
         assert_eq!(trace.count_kind("sa_summary"), 0);
         assert_eq!(trace.count_kind("sa_result"), 1);
+    }
+
+    #[test]
+    fn for_replica_tags_every_event_and_pt_exchange_round_trips() {
+        let mut trace = Trace::new(TraceConfig {
+            sa_move_sample_every: 256,
+            sa_summary_every: 1024,
+            ..TraceConfig::default()
+        });
+        let cfg = ParallelConfig::new(4, 2, 2);
+        let initial = Mapping::identity(cfg, ClusterTopology::new(4, 4));
+        let annealer = Annealer::new(AnnealerConfig {
+            iterations: 1_024,
+            seed: 7,
+            ..Default::default()
+        });
+        let mut observer = SaTraceObserver::for_replica(&mut trace, 2, 3);
+        let (_, _, stats) = annealer.anneal_observed(
+            &initial,
+            &mut crate::mapping::FnObjective::new(|m: &Mapping| m.as_slice()[0].0 as f64),
+            &mut observer,
+        );
+        observer.finish(&stats);
+        push_pt_exchange(
+            &mut trace,
+            2,
+            &PtExchangeRecord {
+                round: 4,
+                replica_lo: 2,
+                replica_hi: 3,
+                temp_lo: 0.5,
+                temp_hi: 1.0,
+                cost_lo: 3.0,
+                cost_hi: 2.5,
+                accepted: true,
+            },
+        );
+        assert_eq!(trace.count_kind("pt_exchange"), 1);
+        for line in trace.to_jsonl().lines() {
+            if line.contains(r#""kind":"sa_"#) {
+                assert!(line.contains(r#""replica":3"#), "untagged event: {line}");
+            }
+            if line.contains(r#""kind":"pt_exchange""#) {
+                assert!(line.contains(r#""round":4"#), "bad round: {line}");
+                assert!(line.contains(r#""replica_lo":2"#));
+                assert!(line.contains(r#""replica_hi":3"#));
+                assert!(line.contains(r#""accepted":true"#));
+            }
+        }
     }
 
     #[test]

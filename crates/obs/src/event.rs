@@ -123,6 +123,8 @@ pub enum EventKind {
         /// Candidate rank (0 = best identity estimate) this SA pass
         /// belongs to.
         candidate: usize,
+        /// Tempering replica the chain runs as (0 for single-chain SA).
+        replica: usize,
         /// SA iteration within the pass.
         iteration: usize,
         /// Move kind (`"migration"`, `"swap"`, `"reverse"`).
@@ -139,6 +141,8 @@ pub enum EventKind {
     SaSummary {
         /// Candidate rank this SA pass belongs to.
         candidate: usize,
+        /// Tempering replica the chain runs as (0 for single-chain SA).
+        replica: usize,
         /// SA iteration the window ended at.
         iteration: usize,
         /// Accepted / proposed within the window.
@@ -154,6 +158,8 @@ pub enum EventKind {
     SaResult {
         /// Candidate rank this SA pass belongs to.
         candidate: usize,
+        /// Tempering replica the chain ran as (0 for single-chain SA).
+        replica: usize,
         /// Objective evaluations performed.
         evaluations: usize,
         /// Accepted moves (including uphill).
@@ -164,6 +170,28 @@ pub enum EventKind {
         initial_cost: f64,
         /// Cost of the best mapping found.
         best_cost: f64,
+    },
+    /// One parallel-tempering replica-exchange decision between the
+    /// adjacent ladder rungs `replica_lo` (colder) and `replica_hi`.
+    PtExchange {
+        /// Candidate rank this tempering pass belongs to.
+        candidate: usize,
+        /// Exchange round (one per `exchange_interval` iterations).
+        round: usize,
+        /// Colder replica of the pair.
+        replica_lo: usize,
+        /// Hotter replica of the pair (`replica_lo + 1`).
+        replica_hi: usize,
+        /// Colder slot's temperature at the decision.
+        temp_lo: f64,
+        /// Hotter slot's temperature at the decision.
+        temp_hi: f64,
+        /// Colder slot's current objective before the decision (seconds).
+        cost_lo: f64,
+        /// Hotter slot's current objective before the decision (seconds).
+        cost_hi: f64,
+        /// Whether the states were swapped.
+        accepted: bool,
     },
     /// The winning configuration with its full Eq. 3–6 breakdown.
     Recommendation {
@@ -354,6 +382,7 @@ impl EventKind {
             EventKind::SaMove { .. } => "sa_move",
             EventKind::SaSummary { .. } => "sa_summary",
             EventKind::SaResult { .. } => "sa_result",
+            EventKind::PtExchange { .. } => "pt_exchange",
             EventKind::Recommendation { .. } => "recommendation",
             EventKind::Alternative { .. } => "alternative",
             EventKind::SimTask { .. } => "sim_task",
@@ -537,6 +566,7 @@ impl Event {
             }
             EventKind::SaMove {
                 candidate,
+                replica,
                 iteration,
                 kind,
                 delta,
@@ -544,6 +574,7 @@ impl Event {
                 accepted,
             } => {
                 o.uint("candidate", *candidate as u64);
+                o.uint("replica", *replica as u64);
                 o.uint("iteration", *iteration as u64);
                 o.string("move", kind);
                 o.float("delta", *delta);
@@ -552,6 +583,7 @@ impl Event {
             }
             EventKind::SaSummary {
                 candidate,
+                replica,
                 iteration,
                 acceptance_rate,
                 current_cost,
@@ -559,6 +591,7 @@ impl Event {
                 temperature,
             } => {
                 o.uint("candidate", *candidate as u64);
+                o.uint("replica", *replica as u64);
                 o.uint("iteration", *iteration as u64);
                 o.float("acceptance_rate", *acceptance_rate);
                 o.float("current_cost", *current_cost);
@@ -567,6 +600,7 @@ impl Event {
             }
             EventKind::SaResult {
                 candidate,
+                replica,
                 evaluations,
                 accepted,
                 improvements,
@@ -574,11 +608,33 @@ impl Event {
                 best_cost,
             } => {
                 o.uint("candidate", *candidate as u64);
+                o.uint("replica", *replica as u64);
                 o.uint("evaluations", *evaluations as u64);
                 o.uint("accepted", *accepted as u64);
                 o.uint("improvements", *improvements as u64);
                 o.float("initial_cost", *initial_cost);
                 o.float("best_cost", *best_cost);
+            }
+            EventKind::PtExchange {
+                candidate,
+                round,
+                replica_lo,
+                replica_hi,
+                temp_lo,
+                temp_hi,
+                cost_lo,
+                cost_hi,
+                accepted,
+            } => {
+                o.uint("candidate", *candidate as u64);
+                o.uint("round", *round as u64);
+                o.uint("replica_lo", *replica_lo as u64);
+                o.uint("replica_hi", *replica_hi as u64);
+                o.float("temp_lo", *temp_lo);
+                o.float("temp_hi", *temp_hi);
+                o.float("cost_lo", *cost_lo);
+                o.float("cost_hi", *cost_hi);
+                o.boolean("accepted", *accepted);
             }
             EventKind::Recommendation {
                 pp,
