@@ -31,7 +31,7 @@ use pipette::telemetry::SaTraceObserver;
 use pipette_cluster::presets;
 use pipette_mlp::{Matrix, Mlp, TrainConfig};
 use pipette_model::{GptConfig, MicrobatchPlan, ParallelConfig};
-use pipette_obs::{Trace, TraceConfig};
+use pipette_obs::{SpanTree, Trace, TraceConfig};
 use pipette_sim::{ComputeProfiler, Mapping, MemorySim};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -99,6 +99,7 @@ struct Report {
     pt: ParallelTempering,
     memory_estimator: MemoryEstimatorPerf,
     telemetry: TelemetryOverhead,
+    reference_trace: ReferenceTrace,
 }
 
 #[derive(Serialize)]
@@ -264,6 +265,27 @@ struct TelemetryOverhead {
     /// `(plain - traced) / plain` throughput loss; target < 0.05.
     overhead_fraction: f64,
     trace_events: usize,
+}
+
+/// The committed reference trace (PR 8): a fixed small job — identical
+/// in smoke and full runs, and identical to the `tests/telemetry.rs`
+/// reference shape — traced at the default cadence and written to
+/// `BENCH_trace.jsonl`. CI uploads the file and gates it with
+/// `pipette-cli trace check` against the committed `trace_budgets.json`,
+/// so the ceilings are on *logical* work (span costs, event counts) and
+/// are machine-independent. The binary itself asserts the span stream is
+/// balanced and bit-stable across two back-to-back runs.
+#[derive(Serialize)]
+struct ReferenceTrace {
+    path: String,
+    seed: u64,
+    total_lines: usize,
+    span_instances: usize,
+    span_names: Vec<String>,
+    /// Total SA objective evaluations (the `anneal` span's cost).
+    anneal_evals: u64,
+    /// Screened-in candidates (the `estimates` span's cost).
+    estimated_candidates: u64,
 }
 
 fn main() {
@@ -689,6 +711,60 @@ fn main() {
         overhead_fraction: 1.0 - plain_best / traced_best.max(1e-12),
         trace_events,
     };
+    if !smoke {
+        // Timing-based, so only enforced on the full run: span + event
+        // recording must cost less than 5% of SA throughput.
+        assert!(
+            telemetry.overhead_fraction < 0.05,
+            "telemetry overhead is {:.2}% of SA throughput (need < 5%)",
+            100.0 * telemetry.overhead_fraction
+        );
+    }
+
+    // Reference trace for the CI budget gate: a fixed job whose logical
+    // trace is identical on every machine and in smoke and full modes,
+    // so `trace_budgets.json` ceilings apply to both.
+    let reference_trace = {
+        let ref_cluster = presets::mid_range(2).build(5);
+        let ref_gpt = GptConfig::new(8, 1024, 16, 2048, 51200);
+        let mut ref_options = PipetteOptions::fast_test();
+        ref_options.seed = 21;
+        let run = || -> Trace {
+            let mut trace = Trace::new(TraceConfig::default());
+            Pipette::new(&ref_cluster, &ref_gpt, 64, ref_options)
+                .run_traced(&mut trace)
+                .expect("reference job is feasible");
+            trace
+        };
+        let trace = run();
+        let again = run();
+        assert_eq!(
+            trace.to_jsonl(),
+            again.to_jsonl(),
+            "reference trace must be bit-stable across runs"
+        );
+        let tree = SpanTree::from_trace(&trace).expect("reference span stream is balanced");
+        let rollups = tree.rollups();
+        let span_cost = |name: &str| {
+            rollups
+                .iter()
+                .find(|r| r.name == name)
+                .map_or(0, |r| r.cost)
+        };
+        let path = "BENCH_trace.jsonl";
+        trace
+            .write_jsonl(std::path::Path::new(path))
+            .expect("write BENCH_trace.jsonl");
+        ReferenceTrace {
+            path: path.to_string(),
+            seed: ref_options.seed,
+            total_lines: trace.len(),
+            span_instances: tree.nodes().len(),
+            span_names: rollups.iter().map(|r| r.name.clone()).collect(),
+            anneal_evals: span_cost("anneal"),
+            estimated_candidates: span_cost("estimates"),
+        }
+    };
 
     let report = Report {
         smoke,
@@ -706,6 +782,7 @@ fn main() {
         pt,
         memory_estimator,
         telemetry,
+        reference_trace,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -716,5 +793,12 @@ fn main() {
         report.objective.speedup,
         report.pt.speedup_vs_single_chain,
         100.0 * report.telemetry.overhead_fraction
+    );
+    eprintln!(
+        "wrote {}  ({} lines, {} span instances, anneal cost {} evals)",
+        report.reference_trace.path,
+        report.reference_trace.total_lines,
+        report.reference_trace.span_instances,
+        report.reference_trace.anneal_evals
     );
 }

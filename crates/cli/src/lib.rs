@@ -10,9 +10,11 @@
 pub mod jsonscan;
 pub mod report;
 pub mod spec;
+pub mod trace_cmd;
 
 pub use report::{
-    render_drill, render_explain, run_compare, run_configure, run_configure_traced,
+    render_drill, render_explain, render_metrics, run_compare, run_configure, run_configure_traced,
     run_drill_traced, CliReport, DrillReport,
 };
 pub use spec::{parse_fault_plan_strict, ClusterSpec, JobSpec, ModelSpec, SpecError};
+pub use trace_cmd::{trace_check, trace_diff, trace_flame, trace_summarize, TraceCmdOutput};

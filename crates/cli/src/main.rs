@@ -8,8 +8,9 @@
 //! ```
 
 use pipette_cli::{
-    parse_fault_plan_strict, render_drill, render_explain, run_compare, run_configure_traced,
-    run_drill_traced, JobSpec,
+    parse_fault_plan_strict, render_drill, render_explain, render_metrics, run_compare,
+    run_configure_traced, run_drill_traced, trace_check, trace_diff, trace_flame, trace_summarize,
+    JobSpec, TraceCmdOutput,
 };
 use pipette_cluster::FaultPlan;
 use pipette_obs::{Trace, TraceConfig};
@@ -33,11 +34,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "       pipette-cli drill <job.json> --faults <plan.json> [--json] [--trace-out <path>]"
     );
+    eprintln!("       pipette-cli trace summarize <trace.jsonl> [--top <n>]");
+    eprintln!("       pipette-cli trace flame <trace.jsonl>");
+    eprintln!("       pipette-cli trace diff <a.jsonl> <b.jsonl>");
+    eprintln!("       pipette-cli trace check <trace.jsonl> --budgets <manifest.json>");
     eprintln!("       pipette-cli import-mpigraph <table.txt> <gpus-per-node>");
     eprintln!("       pipette-cli example-spec [--faults]");
     eprintln!();
     eprintln!("  --trace-out writes a deterministic JSONL telemetry trace of the run");
     eprintln!("  drill replays a fault plan: robust profiling, node exclusion, reconfiguration");
+    eprintln!("  trace diff exits 1 on drift; trace check exits 1 on a violated budget");
     ExitCode::from(2)
 }
 
@@ -97,6 +103,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "trace" => trace_command(&args[1..]),
         "configure" | "compare" | "explain" | "drill" => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -155,6 +162,62 @@ fn main() -> ExitCode {
     }
 }
 
+/// Dispatches the `trace <summarize|flame|diff|check>` analytics family.
+/// Reports that find drift or a violated budget exit with failure so CI
+/// can gate on them directly.
+fn trace_command(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first() else {
+        return usage();
+    };
+    let result: Result<TraceCmdOutput, _> = match (verb.as_str(), args.get(1), args.get(2)) {
+        ("summarize", Some(path), _) => {
+            let top = match value_arg(args, "--top") {
+                Ok(None) => 5,
+                Ok(Some(n)) => match n.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("error: --top needs a non-negative integer");
+                        return usage();
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            trace_summarize(path, top)
+        }
+        ("flame", Some(path), _) => trace_flame(path),
+        ("diff", Some(left), Some(right)) => trace_diff(left, right),
+        ("check", Some(path), _) => match value_arg(args, "--budgets") {
+            Ok(Some(budgets)) => trace_check(path, &budgets),
+            Ok(None) => {
+                eprintln!("error: trace check needs --budgets <manifest.json>");
+                return usage();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(output) => {
+            print!("{}", output.text);
+            if output.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Reads and strictly parses a fault plan file.
 fn read_fault_plan(path: &str) -> Result<FaultPlan, String> {
     std::fs::read_to_string(path)
@@ -195,8 +258,16 @@ fn run_with_optional_trace(
 }
 
 fn explain(spec: &JobSpec, trace_out: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
-    let (report, rec) = run_with_optional_trace(spec, trace_out)?;
+    // Explain always records a trace: the metrics section reads the
+    // run's counter/histogram events back out of it.
+    let mut trace = Trace::new(TraceConfig::default());
+    let result = run_configure_traced(spec, Some(&mut trace));
+    if let Some(path) = trace_out {
+        trace.write_jsonl(std::path::Path::new(path))?;
+    }
+    let (report, rec) = result?;
     print!("{}", render_explain(&report, &rec, 5));
+    print!("{}", render_metrics(&trace));
     Ok(())
 }
 

@@ -7,7 +7,7 @@ use pipette::degraded::{run_under_faults, DegradedOutcome};
 use pipette::mapping::AnnealerConfig;
 use pipette::memory::CacheCounters;
 use pipette_cluster::{FaultPlan, RobustProfilingPolicy};
-use pipette_obs::Trace;
+use pipette_obs::{EventKind, Trace};
 use pipette_sim::ClusterRun;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -389,6 +389,59 @@ pub fn render_explain(report: &CliReport, rec: &Recommendation, top_k: usize) ->
                 pct(alt.estimated_seconds - total)
             );
         }
+    }
+    out
+}
+
+/// Renders the metrics section of the `explain` report from the trace's
+/// `counter` / `histogram` events: the run's own accounting (candidates
+/// examined, SA evaluations, per-candidate estimate latency) as the
+/// configurator recorded it, not re-derived. Empty when the trace
+/// carries no metrics events.
+pub fn render_metrics(trace: &Trace) -> String {
+    let mut out = String::new();
+    let counters: Vec<(&str, u64)> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Counter { name, value } => Some((name.as_str(), *value)),
+            _ => None,
+        })
+        .collect();
+    let histograms: Vec<(&str, u64, f64, f64, f64)> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                ..
+            } => Some((name.as_str(), *count, *sum, *min, *max)),
+            _ => None,
+        })
+        .collect();
+    if counters.is_empty() && histograms.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "\nrun metrics (from the telemetry trace):");
+    let width = counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(histograms.iter().map(|(n, ..)| n.len()))
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &counters {
+        let _ = writeln!(out, "  {name:<width$}  {value}");
+    }
+    for (name, count, sum, min, max) in &histograms {
+        let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {name:<width$}  n={count} mean={mean:.6} min={min:.6} max={max:.6}"
+        );
     }
     out
 }

@@ -213,6 +213,200 @@ fn drill_replays_a_fault_plan_end_to_end() {
 }
 
 #[test]
+fn trace_subcommands_summarize_diff_and_check_a_real_run() {
+    let dir = std::env::temp_dir().join("pipette_cli_test_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let job = dir.join("job.json");
+    std::fs::write(
+        &job,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 2, "seed": 3},
+            "model": {"layers": 8, "hidden": 1024, "heads": 16},
+            "global_batch": 64,
+            "max_micro": 2,
+            "sa_iterations": 800,
+            "memory_training_iterations": 1200
+        }"#,
+    )
+    .unwrap();
+    // Two identical-seed runs.
+    let (a, b) = (dir.join("a.jsonl"), dir.join("b.jsonl"));
+    for path in [&a, &b] {
+        let out = bin()
+            .args([
+                "configure",
+                job.to_str().unwrap(),
+                "--trace-out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // summarize: span rollups over a real trace.
+    let out = bin()
+        .args(["trace", "summarize", a.to_str().unwrap(), "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["spans:", "mem_train", "estimates", "anneal", "hot spans"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+
+    // flame: indented span forest.
+    let out = bin()
+        .args(["trace", "flame", a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let flame = String::from_utf8_lossy(&out.stdout);
+    assert!(flame.contains("sa_chain"), "{flame}");
+
+    // diff of identical-seed runs: zero drift, exit 0.
+    let out = bin()
+        .args(["trace", "diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "identical-seed traces must not drift: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("zero drift"));
+
+    // diff against a genuinely different run: drift, exit 1.
+    let other_job = dir.join("job2.json");
+    std::fs::write(
+        &other_job,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 2, "seed": 3},
+            "model": {"layers": 8, "hidden": 1024, "heads": 16},
+            "global_batch": 64,
+            "max_micro": 2,
+            "sa_iterations": 900,
+            "memory_training_iterations": 1200
+        }"#,
+    )
+    .unwrap();
+    let c = dir.join("c.jsonl");
+    let out = bin()
+        .args([
+            "configure",
+            other_job.to_str().unwrap(),
+            "--trace-out",
+            c.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["trace", "diff", a.to_str().unwrap(), c.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "drift must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("drift detected"));
+
+    // check: a loose manifest passes (exit 0), a tight one fails (exit 1).
+    let loose = dir.join("loose.json");
+    std::fs::write(
+        &loose,
+        r#"{"schema":"pipette-trace-budgets/v1","spans":[{"span":"anneal","unit":"evals","max_count":1,"require":true}]}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "trace",
+            "check",
+            a.to_str().unwrap(),
+            "--budgets",
+            loose.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "loose budgets must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+    let tight = dir.join("tight.json");
+    std::fs::write(
+        &tight,
+        r#"{"schema":"pipette-trace-budgets/v1","spans":[{"span":"anneal","max_cost":1}]}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "trace",
+            "check",
+            a.to_str().unwrap(),
+            "--budgets",
+            tight.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "violated budget must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FAIL"));
+}
+
+#[test]
+fn trace_check_without_budgets_is_rejected() {
+    let out = bin()
+        .args(["trace", "check", "whatever.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budgets"));
+}
+
+#[test]
+fn explain_prints_the_metrics_section() {
+    let dir = std::env::temp_dir().join("pipette_cli_test_metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let job = dir.join("job.json");
+    std::fs::write(
+        &job,
+        r#"{
+            "cluster": {"preset": "mid-range", "nodes": 2, "seed": 3},
+            "model": {"layers": 8, "hidden": 1024, "heads": 16},
+            "global_batch": 64,
+            "max_micro": 2,
+            "sa_iterations": 800,
+            "memory_training_iterations": 1200
+        }"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["explain", job.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "run metrics (from the telemetry trace):",
+        "candidates_examined",
+        "sa_evaluations",
+        "candidate_estimate_seconds",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
 fn drill_without_faults_is_rejected() {
     let out = bin().args(["drill", "job.json"]).output().unwrap();
     assert!(!out.status.success());

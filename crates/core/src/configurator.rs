@@ -29,7 +29,7 @@ use crate::report::OverheadReport;
 use crate::telemetry::{self, SaTraceObserver};
 use pipette_cluster::{Cluster, ProfiledBandwidth, ProfilingCost};
 use pipette_model::{BatchConfig, GptConfig, MicrobatchPlan, ParallelConfig};
-use pipette_obs::{EventKind, Trace, SCHEMA_VERSION};
+use pipette_obs::{CostUnit, EventKind, Metrics, Trace, SCHEMA_VERSION};
 use pipette_sim::{ClusterRun, ComputeProfiler, Mapping, MemorySim, ProfiledCompute};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -469,13 +469,22 @@ impl<'a> Pipette<'a> {
         }
 
         // Line 1: profile the actual bandwidth matrix (or accept the
-        // caller's robustly-profiled one).
+        // caller's robustly-profiled one — no in-run profiling, hence no
+        // profile span; the robust path records its own).
         let (profiled, profiling_cost) = match &self.profiled_override {
             Some((p, c)) => (p.clone(), *c),
-            None => self
-                .cluster
-                .profiler()
-                .profile(self.cluster.bandwidth(), self.options.seed),
+            None => {
+                let span = trace.as_deref_mut().map(|t| t.open_span("profile"));
+                let result = self
+                    .cluster
+                    .profiler()
+                    .profile(self.cluster.bandwidth(), self.options.seed);
+                if let (Some(t), Some(g)) = (trace.as_deref_mut(), span) {
+                    let gpus = topo.num_gpus() as u64;
+                    t.close_span(g, CostUnit::Pairs, gpus * gpus.saturating_sub(1));
+                }
+                result
+            }
         };
 
         // Memory model: pretrained > cached > trained now — or the
@@ -490,6 +499,7 @@ impl<'a> Pipette<'a> {
                 Duration::ZERO,
             )
         } else {
+            let mut mem_span = trace.as_deref_mut().map(|t| t.open_span("mem_train"));
             let (estimator, training_time, cached) = match (&self.pretrained, self.estimator_cache)
             {
                 (Some(e), _) => (e.clone(), Duration::ZERO, true),
@@ -534,6 +544,9 @@ impl<'a> Pipette<'a> {
                         corrupt: c.corrupt,
                     });
                 }
+                if let Some(g) = mem_span.take() {
+                    t.close_span(g, CostUnit::Iterations, summary.iterations as u64);
+                }
             }
             (MemoryModel::Learned(estimator), training_time)
         };
@@ -568,6 +581,7 @@ impl<'a> Pipette<'a> {
         // a single batched forward pass — bit-identical to screening them
         // one row at a time (rows are independent), but one matmul per
         // layer instead of `examined` of them.
+        let screen_span = trace.as_deref_mut().map(|t| t.open_span("mem_screen"));
         let features: Vec<[f64; 10]> = work
             .iter()
             .map(|&(cfg, plan)| {
@@ -586,12 +600,16 @@ impl<'a> Pipette<'a> {
                 accepted,
                 rejected: examined - accepted,
             });
+            if let Some(g) = screen_span {
+                t.close_span(g, CostUnit::Candidates, examined as u64);
+            }
         }
 
         // When tracing, the closure computes the term breakdown instead of
         // the bare estimate; `breakdown.total_seconds` is bit-identical to
         // `estimate()` (see `latency::terms`), so the search is unchanged.
         let tracing = trace.is_some();
+        let estimate_span = trace.as_deref_mut().map(|t| t.open_span("estimates"));
         // Candidate ring: each worker keeps one Mapping buffer and resets
         // it in place per candidate (worker count always equals the GPU
         // count, so the buffer length never changes). The scratch is fully
@@ -644,6 +662,11 @@ impl<'a> Pipette<'a> {
                 None => rejected += 1,
             }
         }
+        if let Some(t) = trace.as_deref_mut() {
+            if let Some(g) = estimate_span {
+                t.close_span(g, CostUnit::Candidates, candidates.len() as u64);
+            }
+        }
 
         if !any_split {
             return Err(ConfigureError::NoValidBatchSplit {
@@ -666,7 +689,15 @@ impl<'a> Pipette<'a> {
         let mut best_stats: Option<AnnealStats> = None;
         let mut tempering_summary: Option<TemperingSummary> = None;
         let mut sa_time = Duration::ZERO;
+        let mut sa_evaluations = 0u64;
+        let mut sa_accepted = 0u64;
+        let mut sa_improvements = 0u64;
         let replicas = self.options.replicas.max(1);
+        let mut anneal_span = if self.options.use_worker_dedication {
+            trace.as_deref_mut().map(|t| t.open_span("anneal"))
+        } else {
+            None
+        };
 
         if self.options.use_worker_dedication && replicas > 1 {
             // Parallel tempering: the thread budget moves *inside* each
@@ -701,6 +732,7 @@ impl<'a> Pipette<'a> {
                     Some(t) => {
                         let mut children: Vec<Trace> = (0..replicas).map(|_| t.child()).collect();
                         let mut exchange_child = t.child();
+                        let exchange_span = exchange_child.open_span("exchange");
                         let mut observers: Vec<SaTraceObserver> = children
                             .iter_mut()
                             .enumerate()
@@ -717,6 +749,11 @@ impl<'a> Pipette<'a> {
                         {
                             observer.finish(rstats);
                         }
+                        exchange_child.close_span(
+                            exchange_span,
+                            CostUnit::Rounds,
+                            result.2.exchanges_attempted as u64,
+                        );
                         for child in children {
                             t.absorb(child);
                         }
@@ -728,11 +765,15 @@ impl<'a> Pipette<'a> {
                 sa_time += stats.elapsed;
                 exchanges_attempted += stats.exchanges_attempted;
                 exchanges_accepted += stats.exchanges_accepted;
+                let merged = stats.merged();
+                sa_evaluations += merged.evaluations as u64;
+                sa_accepted += merged.accepted as u64;
+                sa_improvements += merged.improvements as u64;
                 if cost < best_t {
                     best_idx = i;
                     best_mapping = mapping;
                     best_t = cost;
-                    best_stats = Some(stats.merged());
+                    best_stats = Some(merged);
                 }
             }
             tempering_summary = Some(TemperingSummary {
@@ -785,12 +826,20 @@ impl<'a> Pipette<'a> {
                     t.absorb(child);
                 }
                 sa_time += stats.elapsed;
+                sa_evaluations += stats.evaluations as u64;
+                sa_accepted += stats.accepted as u64;
+                sa_improvements += stats.improvements as u64;
                 if cost < best_t {
                     best_idx = i;
                     best_mapping = mapping;
                     best_t = cost;
                     best_stats = Some(stats);
                 }
+            }
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            if let Some(g) = anneal_span.take() {
+                t.close_span(g, CostUnit::Evals, sa_evaluations);
             }
         }
 
@@ -826,6 +875,7 @@ impl<'a> Pipette<'a> {
             .collect();
 
         if let Some(t) = trace {
+            let finalize_span = t.open_span("finalize");
             t.push(EventKind::MemHeadroom {
                 predicted_bytes: memory.predicted_bytes,
                 limit_bytes: memory.limit_bytes,
@@ -844,6 +894,39 @@ impl<'a> Pipette<'a> {
                     delta_seconds: alt.estimated_seconds - best_t,
                 });
             }
+            t.close_span(
+                finalize_span,
+                CostUnit::Candidates,
+                alternatives.len() as u64,
+            );
+
+            // Run-level metrics, flushed after the last span so the
+            // stream ends with a fixed counter/histogram block the
+            // `explain` subcommand can render without replaying events.
+            let mut metrics = Metrics::new();
+            metrics.counter("candidates_examined").add(examined as u64);
+            metrics
+                .counter("candidates_memory_rejected")
+                .add(rejected as u64);
+            metrics
+                .counter("candidates_estimated")
+                .add(candidates.len() as u64);
+            metrics.counter("sa_evaluations").add(sa_evaluations);
+            metrics.counter("sa_accepted").add(sa_accepted);
+            metrics.counter("sa_improvements").add(sa_improvements);
+            if let Some(ts) = &tempering_summary {
+                metrics
+                    .counter("pt_exchanges_attempted")
+                    .add(ts.exchanges_attempted as u64);
+                metrics
+                    .counter("pt_exchanges_accepted")
+                    .add(ts.exchanges_accepted as u64);
+            }
+            let estimates = metrics.histogram("candidate_estimate_seconds");
+            for c in &candidates {
+                estimates.record(c.identity_estimate);
+            }
+            metrics.emit_into(t);
         }
 
         Ok(Recommendation {

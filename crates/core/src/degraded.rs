@@ -27,7 +27,7 @@ use pipette_cluster::{
 };
 use pipette_cluster::{GpuId, NodeId};
 use pipette_model::GptConfig;
-use pipette_obs::{EventKind, Trace};
+use pipette_obs::{CostUnit, EventKind, Trace};
 
 /// How the degraded recommendation differs from what the healthy cluster
 /// would have been told to run.
@@ -123,10 +123,20 @@ pub fn run_under_faults(
     // plan's fault coordinates reference original GPU indices), with
     // retries and imputation handled inside the profiler.
     let degraded_truth = plan.apply_to_truth(cluster.bandwidth());
+    let robust_span = trace.as_deref_mut().map(|t| t.open_span("robust_profile"));
     let (profiled, cost) =
-        cluster
+        match cluster
             .profiler()
-            .profile_robust(&degraded_truth, options.seed, plan, policy)?;
+            .profile_robust(&degraded_truth, options.seed, plan, policy)
+        {
+            Ok(result) => result,
+            Err(e) => {
+                if let (Some(t), Some(g)) = (trace.as_deref_mut(), robust_span) {
+                    t.close_span(g, CostUnit::Pairs, 0);
+                }
+                return Err(e.into());
+            }
+        };
     let report = profiled.report().cloned().unwrap_or_default();
     if let Some(t) = trace.as_deref_mut() {
         for incident in &report.incidents {
@@ -149,6 +159,9 @@ pub fn run_under_faults(
                     retries,
                 }),
             }
+        }
+        if let Some(g) = robust_span {
+            t.close_span(g, CostUnit::Pairs, report.incidents.len() as u64);
         }
     }
 

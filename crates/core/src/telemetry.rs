@@ -10,7 +10,7 @@
 use crate::latency::LatencyExplanation;
 use crate::mapping::{AnnealStats, PtExchangeRecord, SaMoveRecord, SaObserver};
 use pipette_model::{MicrobatchPlan, ParallelConfig};
-use pipette_obs::{EventKind, Trace};
+use pipette_obs::{CostUnit, EventKind, SpanGuard, Trace};
 
 /// An [`SaObserver`] that records the annealing run into a [`Trace`]:
 /// every `sa_move_sample_every`-th decision as an `sa_move` event, and a
@@ -23,6 +23,7 @@ use pipette_obs::{EventKind, Trace};
 #[derive(Debug)]
 pub struct SaTraceObserver<'a> {
     trace: &'a mut Trace,
+    span: SpanGuard,
     candidate: usize,
     replica: usize,
     move_every: usize,
@@ -43,10 +44,17 @@ impl<'a> SaTraceObserver<'a> {
 
     /// An observer for one chain of a parallel-tempering pass, tagging
     /// every event with both the candidate rank and the replica index.
+    ///
+    /// Construction opens an `sa_chain` span on the trace; [`Self::finish`]
+    /// closes it with the chain's evaluation count as its logical cost, so
+    /// every observed chain — configurator passes, benches, tests — gets
+    /// span attribution for free.
     pub fn for_replica(trace: &'a mut Trace, candidate: usize, replica: usize) -> Self {
         let config = *trace.config();
+        let span = trace.open_span("sa_chain");
         Self {
             trace,
+            span,
             candidate,
             replica,
             move_every: config.sa_move_sample_every,
@@ -57,8 +65,9 @@ impl<'a> SaTraceObserver<'a> {
     }
 
     /// Records the final [`AnnealStats`] of the pass as an `sa_result`
-    /// event. Wall-clock (`stats.elapsed`) is deliberately *not* recorded:
-    /// the event stream must be identical across machines and runs.
+    /// event and closes the chain's `sa_chain` span. Wall-clock
+    /// (`stats.elapsed`) is deliberately *not* recorded: the event stream
+    /// must be identical across machines and runs.
     pub fn finish(self, stats: &AnnealStats) {
         self.trace.push(EventKind::SaResult {
             candidate: self.candidate,
@@ -69,6 +78,8 @@ impl<'a> SaTraceObserver<'a> {
             initial_cost: stats.initial_cost,
             best_cost: stats.best_cost,
         });
+        self.trace
+            .close_span(self.span, CostUnit::Evals, stats.evaluations as u64);
     }
 }
 

@@ -366,35 +366,130 @@ pub enum EventKind {
         /// Sparse power-of-two buckets as `(binary exponent, count)`.
         buckets: Vec<(i32, u64)>,
     },
+    /// A hierarchical span opened (see [`crate::span`]). Nesting is
+    /// purely structural: a span's parent is the nearest enclosing
+    /// unclosed `span_open` in the stream, so the tree is recoverable
+    /// from the JSONL alone and is as deterministic as the stream.
+    SpanOpen {
+        /// Phase name (stable identifier, aggregated across instances).
+        name: &'static str,
+    },
+    /// The matching close of the innermost open span, carrying the
+    /// span's logical cost (evals, iterations, bytes, …) and the number
+    /// of events it enclosed.
+    SpanClose {
+        /// Phase name; must equal the innermost open span's.
+        name: &'static str,
+        /// Unit of `cost` ([`crate::span::CostUnit`] tag).
+        unit: &'static str,
+        /// Logical cost of the span in `unit`s — a domain counter, never
+        /// wall time, so it is bit-stable across machines and threads.
+        cost: u64,
+        /// Events recorded between open and close (nested spans' own
+        /// open/close lines included).
+        events: usize,
+    },
+}
+
+/// Fieldless discriminant of [`EventKind`] — the typed form of the
+/// `kind` tag. Asserting on `EventTag` variants instead of `"sa_move"`
+/// strings means a renamed event breaks at compile time, not silently
+/// in a `count_kind` that starts returning zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum EventTag {
+    RunStart,
+    MemTrain,
+    MemLoss,
+    MemScreen,
+    MemHeadroom,
+    CacheStats,
+    LatencyEstimate,
+    SaMove,
+    SaSummary,
+    SaResult,
+    PtExchange,
+    Recommendation,
+    Alternative,
+    SimTask,
+    FaultPlanApplied,
+    ProfilerRetry,
+    PairImputed,
+    GpuExcluded,
+    Fallback,
+    Reconfiguration,
+    Counter,
+    Histogram,
+    SpanOpen,
+    SpanClose,
+}
+
+impl EventTag {
+    /// The tag as written to JSONL (`"kind"` field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventTag::RunStart => "run_start",
+            EventTag::MemTrain => "mem_train",
+            EventTag::MemLoss => "mem_loss",
+            EventTag::MemScreen => "mem_screen",
+            EventTag::MemHeadroom => "mem_headroom",
+            EventTag::CacheStats => "cache_stats",
+            EventTag::LatencyEstimate => "latency_estimate",
+            EventTag::SaMove => "sa_move",
+            EventTag::SaSummary => "sa_summary",
+            EventTag::SaResult => "sa_result",
+            EventTag::PtExchange => "pt_exchange",
+            EventTag::Recommendation => "recommendation",
+            EventTag::Alternative => "alternative",
+            EventTag::SimTask => "sim_task",
+            EventTag::FaultPlanApplied => "fault_plan",
+            EventTag::ProfilerRetry => "profiler_retry",
+            EventTag::PairImputed => "pair_imputed",
+            EventTag::GpuExcluded => "gpu_excluded",
+            EventTag::Fallback => "fallback",
+            EventTag::Reconfiguration => "reconfiguration",
+            EventTag::Counter => "counter",
+            EventTag::Histogram => "histogram",
+            EventTag::SpanOpen => "span_open",
+            EventTag::SpanClose => "span_close",
+        }
+    }
 }
 
 impl EventKind {
-    /// The event's `kind` tag as written to JSONL.
-    pub fn kind(&self) -> &'static str {
+    /// The typed discriminant of this event.
+    pub const fn tag(&self) -> EventTag {
         match self {
-            EventKind::RunStart { .. } => "run_start",
-            EventKind::MemTrain { .. } => "mem_train",
-            EventKind::MemLoss { .. } => "mem_loss",
-            EventKind::MemScreen { .. } => "mem_screen",
-            EventKind::MemHeadroom { .. } => "mem_headroom",
-            EventKind::CacheStats { .. } => "cache_stats",
-            EventKind::LatencyEstimate { .. } => "latency_estimate",
-            EventKind::SaMove { .. } => "sa_move",
-            EventKind::SaSummary { .. } => "sa_summary",
-            EventKind::SaResult { .. } => "sa_result",
-            EventKind::PtExchange { .. } => "pt_exchange",
-            EventKind::Recommendation { .. } => "recommendation",
-            EventKind::Alternative { .. } => "alternative",
-            EventKind::SimTask { .. } => "sim_task",
-            EventKind::FaultPlanApplied { .. } => "fault_plan",
-            EventKind::ProfilerRetry { .. } => "profiler_retry",
-            EventKind::PairImputed { .. } => "pair_imputed",
-            EventKind::GpuExcluded { .. } => "gpu_excluded",
-            EventKind::Fallback { .. } => "fallback",
-            EventKind::Reconfiguration { .. } => "reconfiguration",
-            EventKind::Counter { .. } => "counter",
-            EventKind::Histogram { .. } => "histogram",
+            EventKind::RunStart { .. } => EventTag::RunStart,
+            EventKind::MemTrain { .. } => EventTag::MemTrain,
+            EventKind::MemLoss { .. } => EventTag::MemLoss,
+            EventKind::MemScreen { .. } => EventTag::MemScreen,
+            EventKind::MemHeadroom { .. } => EventTag::MemHeadroom,
+            EventKind::CacheStats { .. } => EventTag::CacheStats,
+            EventKind::LatencyEstimate { .. } => EventTag::LatencyEstimate,
+            EventKind::SaMove { .. } => EventTag::SaMove,
+            EventKind::SaSummary { .. } => EventTag::SaSummary,
+            EventKind::SaResult { .. } => EventTag::SaResult,
+            EventKind::PtExchange { .. } => EventTag::PtExchange,
+            EventKind::Recommendation { .. } => EventTag::Recommendation,
+            EventKind::Alternative { .. } => EventTag::Alternative,
+            EventKind::SimTask { .. } => EventTag::SimTask,
+            EventKind::FaultPlanApplied { .. } => EventTag::FaultPlanApplied,
+            EventKind::ProfilerRetry { .. } => EventTag::ProfilerRetry,
+            EventKind::PairImputed { .. } => EventTag::PairImputed,
+            EventKind::GpuExcluded { .. } => EventTag::GpuExcluded,
+            EventKind::Fallback { .. } => EventTag::Fallback,
+            EventKind::Reconfiguration { .. } => EventTag::Reconfiguration,
+            EventKind::Counter { .. } => EventTag::Counter,
+            EventKind::Histogram { .. } => EventTag::Histogram,
+            EventKind::SpanOpen { .. } => EventTag::SpanOpen,
+            EventKind::SpanClose { .. } => EventTag::SpanClose,
         }
+    }
+
+    /// The event's `kind` tag as written to JSONL.
+    pub const fn kind(&self) -> &'static str {
+        self.tag().name()
     }
 }
 
@@ -822,6 +917,20 @@ impl Event {
                 }
                 o.out.push(']');
             }
+            EventKind::SpanOpen { name } => {
+                o.string("name", name);
+            }
+            EventKind::SpanClose {
+                name,
+                unit,
+                cost,
+                events,
+            } => {
+                o.string("name", name);
+                o.string("unit", unit);
+                o.uint("cost", *cost);
+                o.uint("events", *events as u64);
+            }
         }
         if !strip_wall {
             if let Some(w) = self.wall_ms {
@@ -917,6 +1026,69 @@ mod tests {
             .kind(),
         ];
         assert_eq!(kinds, ["run_start", "cache_stats", "sim_task"]);
+    }
+
+    #[test]
+    fn span_events_serialize_with_fixed_shape() {
+        let e = Event {
+            wall_ms: None,
+            kind: EventKind::SpanOpen { name: "anneal" },
+        };
+        let mut out = String::new();
+        e.write_json(7, false, &mut out);
+        assert_eq!(out, r#"{"seq":7,"kind":"span_open","name":"anneal"}"#);
+
+        let e = Event {
+            wall_ms: Some(1.5),
+            kind: EventKind::SpanClose {
+                name: "anneal",
+                unit: "evals",
+                cost: 4800,
+                events: 12,
+            },
+        };
+        let mut out = String::new();
+        e.write_json(8, false, &mut out);
+        assert_eq!(
+            out,
+            r#"{"seq":8,"kind":"span_close","name":"anneal","unit":"evals","cost":4800,"events":12,"wall_ms":1.5}"#
+        );
+        let mut stripped = String::new();
+        e.write_json(8, true, &mut stripped);
+        assert_eq!(
+            stripped,
+            r#"{"seq":8,"kind":"span_close","name":"anneal","unit":"evals","cost":4800,"events":12}"#
+        );
+    }
+
+    #[test]
+    fn tags_round_trip_through_names() {
+        let tags = [
+            EventTag::RunStart,
+            EventTag::SaMove,
+            EventTag::PtExchange,
+            EventTag::Counter,
+            EventTag::Histogram,
+            EventTag::SpanOpen,
+            EventTag::SpanClose,
+        ];
+        let names = [
+            "run_start",
+            "sa_move",
+            "pt_exchange",
+            "counter",
+            "histogram",
+            "span_open",
+            "span_close",
+        ];
+        for (tag, name) in tags.iter().zip(names) {
+            assert_eq!(tag.name(), name);
+        }
+        assert_eq!(EventKind::SpanOpen { name: "x" }.tag(), EventTag::SpanOpen);
+        assert_eq!(
+            EventKind::SpanOpen { name: "x" }.kind(),
+            EventTag::SpanOpen.name()
+        );
     }
 
     #[test]

@@ -23,14 +23,22 @@
 //! [`Metrics`] adds named monotonic [`Counter`]s and power-of-two-bucket
 //! [`Histogram`]s that flush into the same sink as `counter` / `histogram`
 //! events, sorted by name.
+//!
+//! [`span`] layers deterministic hierarchical spans over the flat stream
+//! (logical cost units, structural nesting, no ids), and [`analysis`]
+//! parses JSONL back into a [`span::SpanTree`] for rollups, two-trace
+//! diffs, and the committed `trace_budgets.json` CI gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod event;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
-pub use event::{Event, EventKind, SCHEMA_VERSION};
+pub use event::{Event, EventKind, EventTag, SCHEMA_VERSION};
 pub use metrics::{Counter, Histogram, Metrics};
+pub use span::{CostUnit, SpanGuard, SpanTree};
 pub use trace::{Trace, TraceConfig};

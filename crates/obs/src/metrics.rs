@@ -204,4 +204,92 @@ mod tests {
         m.counter("evals").add(9);
         assert_eq!(m.counter("evals").get(), 10);
     }
+
+    #[test]
+    fn exponent_bucket_uses_magnitude_for_negatives() {
+        // Sign is dropped: the bucket is the exponent of |v|.
+        assert_eq!(exponent_bucket(-1.0), exponent_bucket(1.0));
+        assert_eq!(exponent_bucket(-0.5), -1);
+        assert_eq!(exponent_bucket(-1e-3), -10);
+        assert_eq!(exponent_bucket(-0.0), -1023);
+    }
+
+    #[test]
+    fn exponent_bucket_handles_subnormals_and_extremes() {
+        // All subnormals share the zero bucket: their exponent bits are 0.
+        assert_eq!(exponent_bucket(f64::MIN_POSITIVE / 2.0), -1023);
+        assert_eq!(exponent_bucket(f64::from_bits(1)), -1023); // smallest subnormal
+        assert_eq!(exponent_bucket(-f64::from_bits(1)), -1023);
+        // Boundary normals.
+        assert_eq!(exponent_bucket(f64::MIN_POSITIVE), -1022);
+        assert_eq!(exponent_bucket(f64::MAX), 1023);
+        // Non-finite values all carry the maximal exponent field.
+        assert_eq!(exponent_bucket(f64::INFINITY), 1024);
+        assert_eq!(exponent_bucket(f64::NEG_INFINITY), 1024);
+        assert_eq!(exponent_bucket(f64::NAN), 1024);
+    }
+
+    #[test]
+    fn histogram_routes_non_finite_to_the_sentinel_bucket() {
+        let mut h = Histogram::default();
+        h.record(1.0);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.buckets(), vec![(0, 1), (1024, 3)]);
+        // Summary stats follow f64 propagation: once NaN enters, sum is NaN.
+        assert!(h.sum().is_nan());
+    }
+
+    #[test]
+    fn histogram_min_max_track_negatives() {
+        let mut h = Histogram::default();
+        h.record(-2.0);
+        h.record(4.0);
+        h.record(-8.0);
+        assert_eq!(h.min(), -8.0);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.sum(), -6.0);
+        // -2 and 4 land in distinct buckets; -8 shares |v|'s exponent 3.
+        assert_eq!(h.buckets(), vec![(1, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn histogram_subnormal_values_are_counted_not_lost() {
+        let mut h = Histogram::default();
+        let tiny = f64::from_bits(1);
+        h.record(tiny);
+        h.record(0.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets(), vec![(-1023, 2)]);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), tiny);
+    }
+
+    #[test]
+    fn emit_into_is_deterministic_and_insertion_order_free() {
+        // Two registries built in opposite insertion orders emit identical
+        // streams: BTreeMap keying makes name order canonical.
+        let mut forward = Metrics::new();
+        forward.counter("alpha").add(1);
+        forward.counter("beta").add(2);
+        forward.histogram("gamma").record(0.5);
+        forward.histogram("delta").record(2.0);
+        let mut reversed = Metrics::new();
+        reversed.histogram("delta").record(2.0);
+        reversed.histogram("gamma").record(0.5);
+        reversed.counter("beta").add(2);
+        reversed.counter("alpha").add(1);
+
+        let mut tf = Trace::default();
+        forward.emit_into(&mut tf);
+        let mut tr = Trace::default();
+        reversed.emit_into(&mut tr);
+        assert_eq!(tf.to_jsonl(), tr.to_jsonl());
+        // Counters first (sorted), then histograms (sorted).
+        let kinds: Vec<&str> = tf.events().iter().map(|e| e.kind.kind()).collect();
+        assert_eq!(kinds, ["counter", "counter", "histogram", "histogram"]);
+        assert!(tf.to_jsonl().contains(r#""name":"alpha""#));
+    }
 }

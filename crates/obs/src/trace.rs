@@ -7,7 +7,8 @@
 //! numbers are assigned at serialization time as the JSONL line index —
 //! events carry only logical coordinates of their own domain.
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, EventTag};
+use crate::span::{CostUnit, SpanGuard};
 use std::time::Instant;
 
 /// Recording policy for a [`Trace`].
@@ -56,6 +57,7 @@ pub struct Trace {
     config: TraceConfig,
     epoch: Instant,
     events: Vec<Event>,
+    open_spans: usize,
 }
 
 impl Default for Trace {
@@ -72,6 +74,7 @@ impl Trace {
             // pipette-lint: allow(D1) -- the epoch anchors opt-in wall_ms extras only; replay ordering uses logical ticks
             epoch: Instant::now(),
             events: Vec::new(),
+            open_spans: 0,
         }
     }
 
@@ -97,11 +100,19 @@ impl Trace {
             config: self.config,
             epoch: self.epoch,
             events: Vec::new(),
+            open_spans: 0,
         }
     }
 
-    /// Appends all of `child`'s events after this trace's own.
+    /// Appends all of `child`'s events after this trace's own. A child
+    /// must have all its spans closed: its events nest under whatever
+    /// span is open here at absorb time, so an unbalanced child would
+    /// corrupt the bracketing of the merged stream.
     pub fn absorb(&mut self, child: Trace) {
+        debug_assert_eq!(
+            child.open_spans, 0,
+            "absorbing a child trace with unclosed spans"
+        );
         self.events.extend(child.events);
     }
 
@@ -154,6 +165,45 @@ impl Trace {
     /// How many recorded events have the given `kind` tag.
     pub fn count_kind(&self, kind: &str) -> usize {
         self.events.iter().filter(|e| e.kind.kind() == kind).count()
+    }
+
+    /// How many recorded events have the given typed discriminant.
+    /// Prefer this over [`Self::count_kind`] in Rust call sites: a
+    /// renamed event then fails to compile instead of silently counting
+    /// zero.
+    pub fn count_tag(&self, tag: EventTag) -> usize {
+        self.events.iter().filter(|e| e.kind.tag() == tag).count()
+    }
+
+    /// Opens a hierarchical span (emits a `span_open` event) and returns
+    /// the guard that [`Self::close_span`] consumes. Spans opened on a
+    /// trace must be closed on the *same* trace in LIFO order; child
+    /// traces carry their own independent stack (see [`Self::absorb`]).
+    #[must_use = "a span guard must be passed back to close_span, or the trace is left unbalanced"]
+    pub fn open_span(&mut self, name: &'static str) -> SpanGuard {
+        self.push(EventKind::SpanOpen { name });
+        self.open_spans += 1;
+        SpanGuard::new(name, self.events.len())
+    }
+
+    /// Closes the span opened by `guard` (emits a `span_close` event),
+    /// recording its logical `cost` in `unit`s and the number of events
+    /// it enclosed.
+    pub fn close_span(&mut self, guard: SpanGuard, unit: CostUnit, cost: u64) {
+        let events = self.events.len().saturating_sub(guard.open_len());
+        debug_assert!(self.open_spans > 0, "close_span without a matching open");
+        self.open_spans = self.open_spans.saturating_sub(1);
+        self.push(EventKind::SpanClose {
+            name: guard.name(),
+            unit: unit.name(),
+            cost,
+            events,
+        });
+    }
+
+    /// Number of spans opened on this trace and not yet closed.
+    pub fn open_span_count(&self) -> usize {
+        self.open_spans
     }
 }
 

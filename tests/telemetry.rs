@@ -1,11 +1,13 @@
 //! Telemetry integration tests: the structured trace must be bitwise
 //! deterministic — independent of thread count and identical across
-//! repeated runs — and must cover every phase of Algorithm 1.
+//! repeated runs — and must cover every phase of Algorithm 1, spans
+//! included.
 
 use pipette::configurator::{Pipette, PipetteOptions};
 use pipette_cluster::presets;
 use pipette_model::GptConfig;
-use pipette_obs::{Trace, TraceConfig};
+use pipette_obs::analysis::first_divergence;
+use pipette_obs::{EventTag, SpanTree, Trace, TraceConfig};
 
 fn small_gpt() -> GptConfig {
     GptConfig::new(8, 1024, 16, 2048, 51200)
@@ -36,13 +38,8 @@ fn trace_is_identical_across_thread_counts() {
         r1.estimated_seconds.to_bits(),
         r8.estimated_seconds.to_bits()
     );
-    let a = t1.to_jsonl_stripped();
-    let b = t8.to_jsonl_stripped();
-    if a != b {
-        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
-            assert_eq!(la, lb, "first divergence at line {i}");
-        }
-        assert_eq!(a.lines().count(), b.lines().count());
+    if let Some(d) = first_divergence(&t1.to_jsonl_stripped(), &t8.to_jsonl_stripped()) {
+        panic!("trace diverged between threads=1 and threads=8\n{d}");
     }
 }
 
@@ -50,7 +47,9 @@ fn trace_is_identical_across_thread_counts() {
 fn trace_is_identical_across_repeated_runs() {
     let (a, _) = traced_run(4, TraceConfig::default());
     let (b, _) = traced_run(4, TraceConfig::default());
-    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    if let Some(d) = first_divergence(&a.to_jsonl(), &b.to_jsonl()) {
+        panic!("trace diverged between repeated identical runs\n{d}");
+    }
 }
 
 #[test]
@@ -70,25 +69,33 @@ fn wall_clock_is_the_only_difference_when_enabled() {
 #[test]
 fn trace_covers_every_phase_of_algorithm_1() {
     let (trace, rec) = traced_run(2, TraceConfig::full());
-    for kind in [
-        "run_start",
-        "mem_train",
-        "mem_loss",
-        "mem_screen",
-        "mem_headroom",
-        "latency_estimate",
-        "sa_move",
-        "sa_summary",
-        "sa_result",
-        "recommendation",
-        "alternative",
+    for tag in [
+        EventTag::RunStart,
+        EventTag::MemTrain,
+        EventTag::MemLoss,
+        EventTag::MemScreen,
+        EventTag::MemHeadroom,
+        EventTag::LatencyEstimate,
+        EventTag::SaMove,
+        EventTag::SaSummary,
+        EventTag::SaResult,
+        EventTag::Recommendation,
+        EventTag::Alternative,
+        EventTag::SpanOpen,
+        EventTag::SpanClose,
+        EventTag::Counter,
+        EventTag::Histogram,
     ] {
-        assert!(trace.count_kind(kind) > 0, "no {kind} events recorded");
+        assert!(
+            trace.count_tag(tag) > 0,
+            "no {} events recorded",
+            tag.name()
+        );
     }
-    assert_eq!(trace.count_kind("run_start"), 1);
-    assert_eq!(trace.count_kind("recommendation"), 1);
+    assert_eq!(trace.count_tag(EventTag::RunStart), 1);
+    assert_eq!(trace.count_tag(EventTag::Recommendation), 1);
     assert_eq!(
-        trace.count_kind("alternative"),
+        trace.count_tag(EventTag::Alternative),
         rec.alternatives.len(),
         "one alternative event per runner-up"
     );
@@ -99,6 +106,60 @@ fn trace_covers_every_phase_of_algorithm_1() {
         first.starts_with("{\"seq\":0,\"kind\":\"run_start\""),
         "{first}"
     );
+}
+
+#[test]
+fn spans_are_balanced_and_cover_every_phase() {
+    let (trace, rec) = traced_run(2, TraceConfig::full());
+    assert_eq!(trace.open_span_count(), 0, "run left spans open");
+    let tree = SpanTree::from_trace(&trace).expect("span stream is balanced");
+    let rollups = tree.rollups();
+    for name in [
+        "profile",
+        "mem_train",
+        "mem_screen",
+        "estimates",
+        "anneal",
+        "sa_chain",
+        "finalize",
+    ] {
+        assert!(
+            rollups.iter().any(|r| r.name == name),
+            "no '{name}' span recorded"
+        );
+    }
+    // sa_chain spans nest under the anneal phase and their summed cost is
+    // the anneal span's cost (total objective evaluations).
+    let anneal = rollups.iter().find(|r| r.name == "anneal").expect("anneal");
+    let chains = rollups
+        .iter()
+        .find(|r| r.name == "sa_chain")
+        .expect("sa_chain");
+    assert_eq!(anneal.count, 1);
+    assert_eq!(anneal.unit, "evals");
+    assert_eq!(
+        chains.cost, anneal.cost,
+        "chain evals must sum to the phase"
+    );
+    let anneal_idx = tree
+        .nodes()
+        .iter()
+        .position(|n| n.name == "anneal")
+        .expect("anneal node");
+    assert!(
+        tree.nodes()
+            .iter()
+            .filter(|n| n.name == "sa_chain")
+            .all(|n| n.parent == Some(anneal_idx)),
+        "every sa_chain must nest under anneal"
+    );
+    // The estimates span's cost is the number of screened-in candidates.
+    let estimates = rollups
+        .iter()
+        .find(|r| r.name == "estimates")
+        .expect("estimates");
+    assert_eq!(estimates.unit, "candidates");
+    assert_eq!(estimates.cost, (rec.examined - rec.memory_rejected) as u64);
 }
 
 #[test]

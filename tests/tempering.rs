@@ -9,7 +9,8 @@ use pipette::mapping::{
 };
 use pipette_cluster::{presets, ClusterTopology};
 use pipette_model::{GptConfig, ParallelConfig};
-use pipette_obs::{Trace, TraceConfig};
+use pipette_obs::analysis::first_divergence;
+use pipette_obs::{EventTag, SpanTree, Trace, TraceConfig};
 use pipette_sim::Mapping;
 
 fn small_gpt() -> GptConfig {
@@ -50,13 +51,8 @@ fn tempering_trajectory_is_bit_identical_across_thread_counts() {
             rn.estimated_seconds.to_bits()
         );
         assert_eq!(r1.tempering, rn.tempering);
-        let a = t1.to_jsonl_stripped();
-        let b = tn.to_jsonl_stripped();
-        if a != b {
-            for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
-                assert_eq!(la, lb, "first divergence at line {i} (threads={threads})");
-            }
-            assert_eq!(a.lines().count(), b.lines().count());
+        if let Some(d) = first_divergence(&t1.to_jsonl_stripped(), &tn.to_jsonl_stripped()) {
+            panic!("trace diverged between threads=1 and threads={threads}\n{d}");
         }
     }
 }
@@ -69,9 +65,27 @@ fn tempered_trace_records_replicas_and_exchanges() {
     assert_eq!(summary.exchange_interval, 128);
     assert!(summary.exchanges_attempted > 0, "ladder never rendezvoused");
     assert_eq!(
-        trace.count_kind("pt_exchange"),
+        trace.count_tag(EventTag::PtExchange),
         summary.exchanges_attempted,
         "one pt_exchange event per decision"
+    );
+    // Spans: each annealed candidate contributes one sa_chain span per
+    // replica plus one exchange span, all nested under the anneal phase.
+    let tree = SpanTree::from_trace(&trace).expect("balanced spans");
+    let rollups = tree.rollups();
+    let chains = rollups
+        .iter()
+        .find(|r| r.name == "sa_chain")
+        .expect("sa_chain spans");
+    assert_eq!(chains.count % 4, 0, "replica chains come in ladder widths");
+    let exchange = rollups
+        .iter()
+        .find(|r| r.name == "exchange")
+        .expect("exchange spans");
+    assert_eq!(exchange.unit, "rounds");
+    assert_eq!(
+        exchange.cost as usize, summary.exchanges_attempted,
+        "exchange span cost sums the attempted rendezvous"
     );
     // Every replica contributed a per-replica sa_result; the highest
     // replica tag matches the ladder width.

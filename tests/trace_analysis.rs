@@ -1,0 +1,105 @@
+//! Trace-analytics integration tests: the offline toolkit (`parse`,
+//! `diff`, `check`) against real configurator traces, and the committed
+//! `trace_budgets.json` against the perf-baseline reference job — the
+//! same gate CI runs, so a budget regression fails here first.
+
+use pipette::configurator::{Pipette, PipetteOptions};
+use pipette_cluster::presets;
+use pipette_model::GptConfig;
+use pipette_obs::analysis::{
+    diff_jsonl, render_diff, span_tree_from_jsonl, BudgetManifest, JsonValue, ParsedTrace,
+};
+use pipette_obs::{Trace, TraceConfig};
+
+/// The perf-baseline reference job: fixed shape, identical to
+/// `perf_baseline`'s `BENCH_trace.jsonl` producer, so the committed
+/// budget manifest is exercised against the exact trace CI gates on.
+fn reference_run() -> Trace {
+    let cluster = presets::mid_range(2).build(5);
+    let gpt = GptConfig::new(8, 1024, 16, 2048, 51200);
+    let mut options = PipetteOptions::fast_test();
+    options.seed = 21;
+    let mut trace = Trace::new(TraceConfig::default());
+    Pipette::new(&cluster, &gpt, 64, options)
+        .run_traced(&mut trace)
+        .expect("feasible space");
+    trace
+}
+
+#[test]
+fn identical_seed_runs_diff_to_zero_drift() {
+    let a = reference_run().to_jsonl();
+    let b = reference_run().to_jsonl();
+    let diff = diff_jsonl(&a, &b).expect("both traces parse");
+    assert!(
+        !diff.has_drift(),
+        "identical-seed runs drifted:\n{}",
+        render_diff(&diff)
+    );
+    assert!(render_diff(&diff).contains("zero drift"));
+    // The structural deltas agree side for side too.
+    for delta in &diff.spans {
+        assert!(!delta.changed(), "span '{}' changed", delta.name);
+    }
+    for delta in &diff.kinds {
+        assert_eq!(delta.count.0, delta.count.1, "kind '{}'", delta.kind);
+    }
+}
+
+#[test]
+fn canonical_jsonl_round_trips_through_the_analyzer() {
+    let trace = reference_run();
+    let jsonl = trace.to_jsonl();
+    let parsed = ParsedTrace::from_jsonl(&jsonl).expect("canonical output parses");
+    assert_eq!(parsed.events().len(), trace.len());
+    // seq fields are line indices; every line has a kind the writer knows.
+    for event in parsed.events() {
+        assert_eq!(
+            event.field("seq").and_then(JsonValue::as_u64),
+            Some(event.line as u64)
+        );
+    }
+    // The reparsed span tree matches the in-memory one.
+    let from_text = parsed.span_tree().expect("balanced");
+    let from_mem = pipette_obs::SpanTree::from_trace(&trace).expect("balanced");
+    assert_eq!(from_mem.nodes(), from_text.nodes());
+    assert_eq!(from_mem.kind_counts(), from_text.kind_counts());
+}
+
+#[test]
+fn committed_budget_manifest_passes_on_the_reference_trace() {
+    // The same evaluation CI runs: perf_baseline's reference trace
+    // against the repo's committed ceilings.
+    let manifest_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../trace_budgets.json");
+    let manifest_text =
+        std::fs::read_to_string(manifest_path).expect("trace_budgets.json is committed");
+    let manifest = BudgetManifest::parse(&manifest_text).expect("manifest is well-formed");
+    let tree = span_tree_from_jsonl(&reference_run().to_jsonl()).expect("balanced");
+    let report = manifest.check(&tree);
+    assert!(
+        report.ok(),
+        "committed budgets violated: {:?}",
+        report
+            .violations()
+            .iter()
+            .map(|v| format!("{}: {} > {}", v.label, v.actual, v.limit))
+            .collect::<Vec<_>>()
+    );
+    // The manifest is not vacuous: it pins every phase span and checks
+    // both cost and count ceilings.
+    assert!(report.checks.len() >= 20, "manifest too thin");
+    assert!(manifest.spans.iter().all(|s| s.require));
+}
+
+#[test]
+fn tightened_manifest_trips_on_the_reference_trace() {
+    // The negative control CI also runs: a ceiling below the reference
+    // cost must be reported as a violation.
+    let manifest = BudgetManifest::parse(
+        r#"{"schema":"pipette-trace-budgets/v1","spans":[{"span":"anneal","max_cost":1}]}"#,
+    )
+    .expect("valid manifest");
+    let tree = span_tree_from_jsonl(&reference_run().to_jsonl()).expect("balanced");
+    let report = manifest.check(&tree);
+    assert!(!report.ok(), "a 1-eval anneal ceiling must trip");
+}
