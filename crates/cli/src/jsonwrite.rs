@@ -1,0 +1,271 @@
+//! Deterministic hand-rolled JSON writing.
+//!
+//! The vendored `serde_json` pretty-printer is fine for humans but its
+//! output is not something we want CI or the serving loop to depend on:
+//! machine-readable surfaces (`drill --json`, the `pipette serve`
+//! response stream) need byte-stable output under a writer this repo
+//! controls. This module renders with a fixed field order, shortest
+//! round-trip floats, and no whitespace — the same conventions as the
+//! `pipette-obs` event writer — so identical inputs always produce
+//! byte-identical JSON.
+
+use crate::jsonscan::JsonValue;
+use crate::report::DrillReport;
+use std::fmt::Write as _;
+
+/// Minimal JSON object writer with a fixed field order.
+pub(crate) struct Obj<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> Obj<'a> {
+    pub(crate) fn open(out: &'a mut String) -> Self {
+        out.push('{');
+        Self { out }
+    }
+
+    pub(crate) fn key(&mut self, name: &str) {
+        if !self.out.ends_with('{') {
+            self.out.push(',');
+        }
+        push_json_string(self.out, name);
+        self.out.push(':');
+    }
+
+    pub(crate) fn uint(&mut self, name: &str, v: u64) {
+        self.key(name);
+        let _ = write!(self.out, "{v}");
+    }
+
+    pub(crate) fn float(&mut self, name: &str, v: f64) {
+        self.key(name);
+        push_f64(self.out, v);
+    }
+
+    pub(crate) fn boolean(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub(crate) fn string(&mut self, name: &str, v: &str) {
+        self.key(name);
+        push_json_string(self.out, v);
+    }
+
+    /// Writes a pre-rendered JSON value (object, array, `null`) verbatim.
+    pub(crate) fn raw(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.out.push_str(v);
+    }
+
+    pub(crate) fn close(self) {
+        self.out.push('}');
+    }
+}
+
+/// Shortest-round-trip float; non-finite values become `null` (JSON has
+/// no NaN/Inf).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a parsed [`JsonValue`] back to canonical single-line JSON:
+/// source key order, no whitespace, shortest round-trip numbers. Used to
+/// re-render envelope subtrees (`job`, `faults`) into standalone
+/// documents for the strict spec parsers, and as the canonical form
+/// hashed for the profiled-bandwidth store.
+pub fn render_value(value: &JsonValue) -> String {
+    let mut out = String::new();
+    push_value(&mut out, value);
+    out
+}
+
+fn push_value(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(n) => push_f64(out, *n),
+        JsonValue::String(s) => push_json_string(out, s),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_value(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(out, k);
+                out.push(':');
+                push_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a [`CliReport`](crate::report::CliReport) as one
+/// deterministic JSON object — the `result` payload of serve responses
+/// and the `recommendation` member of the drill report.
+pub fn cli_report_json(rec: &crate::report::CliReport) -> String {
+    let mut rec_json = String::new();
+    let mut o = Obj::open(&mut rec_json);
+    o.uint("pp", rec.pp as u64);
+    o.uint("tp", rec.tp as u64);
+    o.uint("dp", rec.dp as u64);
+    o.uint("micro_batch", rec.micro_batch);
+    o.uint("n_microbatches", rec.n_microbatches);
+    o.float("estimated_seconds", rec.estimated_seconds);
+    o.float("measured_seconds", rec.measured_seconds);
+    o.float("peak_memory_gib", rec.peak_memory_gib);
+    o.uint("examined", rec.examined as u64);
+    o.uint("memory_rejected", rec.memory_rejected as u64);
+    let mut mapping = String::from("[");
+    for (i, g) in rec.mapping.iter().enumerate() {
+        if i > 0 {
+            mapping.push(',');
+        }
+        let _ = write!(mapping, "{g}");
+    }
+    mapping.push(']');
+    o.raw("mapping", &mapping);
+    o.uint("replicas", rec.replicas as u64);
+    match &rec.estimator_cache {
+        Some(c) => {
+            let mut cache = String::new();
+            let mut co = Obj::open(&mut cache);
+            co.uint("hits", c.hits);
+            co.uint("misses", c.misses);
+            co.uint("corrupt", c.corrupt);
+            co.close();
+            o.raw("estimator_cache", &cache);
+        }
+        None => o.raw("estimator_cache", "null"),
+    }
+    o.close();
+    rec_json
+}
+
+/// Renders a [`DrillReport`] as one deterministic JSON line — the
+/// machine-readable `pipette drill --json` output CI parses.
+pub fn drill_report_json(report: &DrillReport) -> String {
+    let mut out = String::new();
+    let mut o = Obj::open(&mut out);
+    o.raw("recommendation", &cli_report_json(&report.recommendation));
+    o.uint("healthy_gpus", report.healthy_gpus as u64);
+    o.uint("surviving_gpus", report.surviving_gpus as u64);
+    let mut excluded = String::from("[");
+    for (i, g) in report.excluded_gpus.iter().enumerate() {
+        if i > 0 {
+            excluded.push(',');
+        }
+        let _ = write!(excluded, "{g}");
+    }
+    excluded.push(']');
+    o.raw("excluded_gpus", &excluded);
+    o.uint("profiler_retries", report.profiler_retries as u64);
+    o.uint("imputed_pairs", report.imputed_pairs as u64);
+    o.uint("corrupt_samples", report.corrupt_samples as u64);
+    o.boolean("analytic_memory_fallback", report.analytic_memory_fallback);
+    match report.slowdown_factor {
+        Some(f) => o.float("slowdown_factor", f),
+        None => o.raw("slowdown_factor", "null"),
+    }
+    o.uint("degraded_requests", report.degraded_requests);
+    o.close();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonscan;
+
+    #[test]
+    fn render_value_round_trips_canonically() {
+        let src = r#"{"b": 1, "a": [true, null, "x\n"], "n": -2.5}"#;
+        let parsed = jsonscan::parse(src).unwrap();
+        let rendered = render_value(&parsed);
+        // Source key order, no whitespace, shortest floats.
+        assert_eq!(rendered, r#"{"b":1,"a":[true,null,"x\n"],"n":-2.5}"#);
+        // Canonical form is a fixed point.
+        let reparsed = jsonscan::parse(&rendered).unwrap();
+        assert_eq!(render_value(&reparsed), rendered);
+    }
+
+    #[test]
+    fn drill_report_renders_every_ci_field() {
+        use crate::report::CliReport;
+        let report = DrillReport {
+            recommendation: CliReport {
+                pp: 2,
+                tp: 2,
+                dp: 3,
+                micro_batch: 4,
+                n_microbatches: 8,
+                estimated_seconds: 1.25,
+                measured_seconds: 1.5,
+                peak_memory_gib: 10.0,
+                examined: 30,
+                memory_rejected: 5,
+                mapping: vec![0, 2, 1],
+                replicas: 1,
+                estimator_cache: None,
+            },
+            healthy_gpus: 16,
+            surviving_gpus: 12,
+            excluded_gpus: vec![3, 7, 11, 15],
+            profiler_retries: 2,
+            imputed_pairs: 4,
+            corrupt_samples: 9,
+            analytic_memory_fallback: true,
+            slowdown_factor: Some(1.4),
+            degraded_requests: 0,
+        };
+        let json = drill_report_json(&report);
+        for needle in [
+            r#""recommendation":{"pp":2,"tp":2,"dp":3"#,
+            r#""mapping":[0,2,1]"#,
+            r#""estimator_cache":null"#,
+            r#""healthy_gpus":16"#,
+            r#""surviving_gpus":12"#,
+            r#""excluded_gpus":[3,7,11,15]"#,
+            r#""analytic_memory_fallback":true"#,
+            r#""slowdown_factor":1.4"#,
+            r#""degraded_requests":0"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // The writer's output parses back under the strict scanner.
+        assert!(jsonscan::parse(&json).is_ok());
+    }
+}

@@ -8,13 +8,17 @@
 #![warn(missing_docs)]
 
 pub mod jsonscan;
+pub mod jsonwrite;
 pub mod report;
+pub mod serve_cmd;
 pub mod spec;
 pub mod trace_cmd;
 
+pub use jsonwrite::{cli_report_json, drill_report_json, render_value};
 pub use report::{
     render_drill, render_explain, render_metrics, run_compare, run_configure, run_configure_traced,
     run_drill_traced, CliReport, DrillReport,
 };
+pub use serve_cmd::{run_drill_serve, PipetteHandler, ServeJob};
 pub use spec::{parse_fault_plan_strict, ClusterSpec, JobSpec, ModelSpec, SpecError};
 pub use trace_cmd::{trace_check, trace_diff, trace_flame, trace_summarize, TraceCmdOutput};

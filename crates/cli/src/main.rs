@@ -8,12 +8,13 @@
 //! ```
 
 use pipette_cli::{
-    parse_fault_plan_strict, render_drill, render_explain, render_metrics, run_compare,
-    run_configure_traced, run_drill_traced, trace_check, trace_diff, trace_flame, trace_summarize,
-    JobSpec, TraceCmdOutput,
+    drill_report_json, parse_fault_plan_strict, render_drill, render_explain, render_metrics,
+    run_compare, run_configure_traced, run_drill_serve, run_drill_traced, trace_check, trace_diff,
+    trace_flame, trace_summarize, JobSpec, PipetteHandler, TraceCmdOutput,
 };
 use pipette_cluster::FaultPlan;
 use pipette_obs::{Trace, TraceConfig};
+use pipette_serve::{run_pipe, run_unix, ServerConfig};
 use std::process::ExitCode;
 
 const EXAMPLE_SPEC: &str = r#"{
@@ -34,6 +35,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "       pipette-cli drill <job.json> --faults <plan.json> [--json] [--trace-out <path>]"
     );
+    eprintln!("       pipette-cli drill <job.json> --faults <plan.json> --serve");
+    eprintln!(
+        "       pipette-cli serve [--socket <path>] [--workers <n>] [--queue-limit <n>] \
+         [--retry-after <units>] [--cache-dir <dir>] [--trace-out <path>]"
+    );
     eprintln!("       pipette-cli trace summarize <trace.jsonl> [--top <n>]");
     eprintln!("       pipette-cli trace flame <trace.jsonl>");
     eprintln!("       pipette-cli trace diff <a.jsonl> <b.jsonl>");
@@ -43,6 +49,8 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("  --trace-out writes a deterministic JSONL telemetry trace of the run");
     eprintln!("  drill replays a fault plan: robust profiling, node exclusion, reconfiguration");
+    eprintln!("  drill --serve replays the plan's drift timeline against a live serve loop");
+    eprintln!("  serve answers newline-delimited JSON requests on stdin/stdout (or a unix socket)");
     eprintln!("  trace diff exits 1 on drift; trace check exits 1 on a violated budget");
     ExitCode::from(2)
 }
@@ -104,6 +112,7 @@ fn main() -> ExitCode {
             }
         }
         "trace" => trace_command(&args[1..]),
+        "serve" => serve_command(&args[1..]),
         "configure" | "compare" | "explain" | "drill" => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -142,10 +151,15 @@ fn main() -> ExitCode {
             };
             // `configure --faults plan.json` is a synonym for `drill`:
             // a configuration run that degrades gracefully under faults.
+            let serve_replay = args.iter().any(|a| a == "--serve");
             let result = match (command.as_str(), &faults) {
                 ("configure", None) => configure(&spec, json_output, trace_out.as_deref()),
                 ("configure" | "drill", Some(plan)) => {
-                    drill(&spec, plan, json_output, trace_out.as_deref())
+                    if serve_replay {
+                        drill_serve(path, faults_path.as_deref().unwrap_or_default())
+                    } else {
+                        drill(&spec, plan, json_output, trace_out.as_deref())
+                    }
                 }
                 ("explain", _) => explain(&spec, trace_out.as_deref()),
                 _ => compare(&spec, json_output),
@@ -325,11 +339,130 @@ fn drill(
         }
     };
     if json {
-        println!("{}", serde_json::to_string_pretty(&report)?);
+        // The hand-rolled writer, not the serde pretty-printer: CI and
+        // downstream tooling get one byte-stable line under a renderer
+        // this repo controls.
+        println!("{}", drill_report_json(&report));
     } else {
         print!("{}", render_drill(&report, &outcome));
     }
     Ok(())
+}
+
+/// `drill --serve`: replay the fault plan's drift timeline against a
+/// live in-process server and print one response line per day.
+fn drill_serve(spec_path: &str, faults_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read job spec {spec_path}: {e}"))?;
+    let fault_text = std::fs::read_to_string(faults_path)
+        .map_err(|e| format!("cannot read fault plan {faults_path}: {e}"))?;
+    let (lines, summary) = run_drill_serve(&spec_text, &fault_text)?;
+    for line in &lines {
+        println!("{line}");
+    }
+    eprintln!(
+        "drill --serve: {} requests, {} degraded, {} breaker trips, shutdown={}",
+        summary.admitted, summary.degraded_requests, summary.breaker_trips, summary.shutdown
+    );
+    Ok(())
+}
+
+/// Parses `--<name> <n>` as a number, with a default.
+fn numeric_arg(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match value_arg(args, name)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("{name} needs a non-negative integer, got {v:?}")),
+    }
+}
+
+/// `pipette serve`: the hardened configurator daemon. Pipe mode (the
+/// default) answers newline-delimited JSON requests on stdin/stdout;
+/// `--socket` serves connections on a unix socket instead. Responses go
+/// to stdout; operational chatter (cache sweep, drain summaries) goes to
+/// stderr so the response stream stays machine-readable.
+fn serve_command(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<_, String> {
+        let socket = value_arg(args, "--socket")?;
+        let cache_dir = value_arg(args, "--cache-dir")?;
+        let trace_out = value_arg(args, "--trace-out")?;
+        let workers = numeric_arg(args, "--workers", 2)?;
+        let queue_limit = numeric_arg(args, "--queue-limit", 64)?;
+        let retry_after = numeric_arg(args, "--retry-after", 4096)?;
+        if socket.is_some() && trace_out.is_some() {
+            return Err("--trace-out is pipe-mode only (one trace per stream)".to_string());
+        }
+        Ok((
+            socket,
+            cache_dir,
+            trace_out,
+            workers,
+            queue_limit,
+            retry_after,
+        ))
+    })();
+    let (socket, cache_dir, trace_out, workers, queue_limit, retry_after) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let handler = match cache_dir {
+        Some(dir) => {
+            let (handler, sweep) = PipetteHandler::with_cache_dir(&dir);
+            eprintln!(
+                "serve: cache sweep of {dir}: {} scanned, {} quarantined, {} indexes healed",
+                sweep.scanned, sweep.quarantined, sweep.healed_indexes
+            );
+            handler
+        }
+        None => PipetteHandler::new(),
+    };
+    let config = ServerConfig {
+        workers: workers as usize,
+        queue_limit: queue_limit as usize,
+        retry_after_units: retry_after,
+        ..ServerConfig::default()
+    };
+    let drained = |summary: &pipette_serve::ServeSummary| {
+        eprintln!(
+            "serve: drained {} requests ({} completed, {} shed, {} errors, {} degraded, {} breaker trips, shutdown={})",
+            summary.admitted,
+            summary.completed,
+            summary.shed,
+            summary.errors,
+            summary.degraded_requests,
+            summary.breaker_trips,
+            summary.shutdown
+        );
+    };
+    let result = match socket {
+        Some(path) => run_unix(&handler, config, std::path::Path::new(&path)).map(|summaries| {
+            for summary in &summaries {
+                drained(summary);
+            }
+        }),
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            run_pipe(&handler, config, stdin.lock(), &mut stdout).and_then(|summary| {
+                drained(&summary);
+                if let Some(path) = trace_out {
+                    summary.trace.write_jsonl(std::path::Path::new(&path))?;
+                }
+                Ok(())
+            })
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn compare(spec: &JobSpec, json: bool) -> Result<(), Box<dyn std::error::Error>> {

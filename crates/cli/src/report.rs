@@ -53,7 +53,7 @@ fn default_report_replicas() -> usize {
     1
 }
 
-fn options_for(spec: &JobSpec) -> PipetteOptions {
+pub(crate) fn options_for(spec: &JobSpec) -> PipetteOptions {
     let mut memory = pipette::memory::MemoryEstimatorConfig::default();
     memory.train.iterations = spec.memory_training_iterations;
     PipetteOptions {
@@ -148,6 +148,12 @@ pub struct DrillReport {
     /// `degraded_seconds / healthy_seconds` when GPUs were lost.
     #[serde(default)]
     pub slowdown_factor: Option<f64>,
+    /// Requests answered in breaker-degraded (analytic-memory) mode.
+    /// Zero for one-shot drills; populated by `pipette drill --serve`
+    /// replays, where the server's circuit breaker may force analytic
+    /// responses mid-timeline.
+    #[serde(default)]
+    pub degraded_requests: u64,
 }
 
 /// Runs the spec's job under a fault plan: robust profiling, exclusion
@@ -201,6 +207,7 @@ pub fn run_drill_traced(
         corrupt_samples: outcome.report.corrupt_samples,
         analytic_memory_fallback: outcome.used_analytic_fallback,
         slowdown_factor: outcome.reconfiguration.as_ref().map(|r| r.slowdown_factor),
+        degraded_requests: 0,
     };
     Ok((report, outcome))
 }

@@ -205,7 +205,7 @@ const TOP_FIELDS: &str = "cluster, model, global_batch, max_micro, worker_dedica
 const CLUSTER_FIELDS: &str = "preset, nodes, seed";
 const MODEL_FIELDS: &str = "preset — or layers, hidden, heads, seq_len, vocab";
 const PLAN_FIELDS: &str = "seed, degraded_links, straggler_gpus, failed_gpus, failed_nodes, \
-     corrupt_pairs, measurement_failure_rate, sample_loss_rate";
+     corrupt_pairs, measurement_failure_rate, sample_loss_rate, drift";
 
 /// Checks that every key of `value` (which must be an object) is in
 /// `allowed`, and that every `required` key is present.
@@ -447,10 +447,20 @@ pub fn parse_fault_plan_strict(text: &str) -> Result<FaultPlan, SpecError> {
             "corrupt_pairs",
             "measurement_failure_rate",
             "sample_loss_rate",
+            "drift",
         ],
         PLAN_FIELDS,
         &[],
     )?;
+    if let Some(drift) = doc.get("drift") {
+        check_fields(
+            drift,
+            "drift",
+            &["day", "daily_sigma", "reversion"],
+            "day, daily_sigma, reversion",
+            &["day"],
+        )?;
+    }
     let item_fields: [(&str, &[&'static str], &'static str); 3] = [
         (
             "degraded_links",

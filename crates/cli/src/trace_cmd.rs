@@ -14,11 +14,13 @@
 //!   (`trace_budgets.json`) against a trace; exits nonzero on any
 //!   violated ceiling, which is the CI perf gate.
 
+use crate::jsonscan::{self, JsonValue};
 use pipette_obs::analysis::{
     diff_jsonl, render_budget_report, render_diff, render_flame, render_summary,
     span_tree_from_jsonl, BudgetManifest,
 };
 use std::error::Error;
+use std::fmt::Write as _;
 
 /// What a `trace` subcommand produced: the report text plus whether the
 /// invocation should exit nonzero (drift found, budget violated).
@@ -40,11 +42,45 @@ fn read(path: &str) -> Result<String, Box<dyn Error>> {
 ///
 /// I/O, JSON, or span-balance errors from the trace file.
 pub fn trace_summarize(path: &str, top: usize) -> Result<TraceCmdOutput, Box<dyn Error>> {
-    let tree = span_tree_from_jsonl(&read(path)?)?;
+    let text = read(path)?;
+    let tree = span_tree_from_jsonl(&text)?;
+    let mut rendered = render_summary(&tree, top);
+    rendered.push_str(&render_counters(&text));
     Ok(TraceCmdOutput {
-        text: render_summary(&tree, top),
+        text: rendered,
         ok: true,
     })
+}
+
+/// Renders the trace's `counter` events as a `name = value` section —
+/// how serve-loop accounting (`serve_degraded_requests`,
+/// `serve_breaker_trips`, …) surfaces in `trace summarize`. Counters are
+/// sorted by name; empty when the trace carries none.
+fn render_counters(text: &str) -> String {
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(doc) = jsonscan::parse(line) else {
+            continue;
+        };
+        if !matches!(doc.get("kind"), Some(JsonValue::String(k)) if k == "counter") {
+            continue;
+        }
+        if let (Some(JsonValue::String(name)), Some(JsonValue::Number(value))) =
+            (doc.get("name"), doc.get("value"))
+        {
+            counters.push((name.clone(), *value as u64));
+        }
+    }
+    if counters.is_empty() {
+        return String::new();
+    }
+    counters.sort();
+    let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::from("\ncounters:\n");
+    for (name, value) in &counters {
+        let _ = writeln!(out, "  {name:<width$} = {value}");
+    }
+    out
 }
 
 /// `trace flame <trace.jsonl>`.
@@ -135,6 +171,40 @@ mod tests {
         let flame = trace_flame(&path).expect("valid trace");
         assert!(flame.ok);
         assert!(flame.text.contains("mem_train"));
+    }
+
+    #[test]
+    fn summarize_surfaces_counters() {
+        let dir = tempdir("counters");
+        let mut t = Trace::new(TraceConfig::default());
+        let span = t.open_span("serve");
+        t.push(EventKind::Counter {
+            name: "serve_degraded_requests".to_string(),
+            value: 3,
+        });
+        t.push(EventKind::Counter {
+            name: "serve_breaker_trips".to_string(),
+            value: 1,
+        });
+        t.close_span(span, CostUnit::Requests, 5);
+        let path = dir.join("serve.jsonl");
+        t.write_jsonl(&path).expect("writable tempdir");
+        let summary = trace_summarize(&path.display().to_string(), 5).expect("valid trace");
+        assert!(summary.text.contains("counters:"), "{}", summary.text);
+        assert!(
+            summary.text.contains("serve_degraded_requests = 3"),
+            "{}",
+            summary.text
+        );
+        assert!(
+            summary.text.contains("serve_breaker_trips"),
+            "{}",
+            summary.text
+        );
+        // A trace without counter events keeps the old shape.
+        let plain = write_sample(&dir, "plain.jsonl", 2);
+        let plain_summary = trace_summarize(&plain, 5).expect("valid trace");
+        assert!(!plain_summary.text.contains("counters:"));
     }
 
     #[test]

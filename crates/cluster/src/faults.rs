@@ -13,6 +13,7 @@
 
 use crate::bandwidth::BandwidthMatrix;
 use crate::error::ClusterError;
+use crate::temporal::TemporalDrift;
 use crate::topology::{ClusterTopology, GpuId, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +75,30 @@ impl CorruptPair {
     }
 }
 
+/// A day-indexed temporal-drift episode: the ground-truth bandwidth
+/// matrix is replaced by day `day` of the mean-reverting
+/// [`TemporalDrift`] walk (Fig. 3's 40-day mpiGraph trace) before any
+/// other ground-truth fault applies. Day 0 is the base matrix itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftEpisode {
+    /// Which day of the drift walk to apply (0 = base matrix).
+    pub day: usize,
+    /// Per-day log-space noise scale of the walk.
+    #[serde(default = "default_daily_sigma")]
+    pub daily_sigma: f64,
+    /// Mean-reversion strength toward the base matrix, `[0, 1]`.
+    #[serde(default = "default_reversion")]
+    pub reversion: f64,
+}
+
+fn default_daily_sigma() -> f64 {
+    TemporalDrift::default().daily_sigma
+}
+
+fn default_reversion() -> f64 {
+    TemporalDrift::default().reversion
+}
+
 /// A seeded, serializable description of one cluster-fault episode.
 ///
 /// The plan separates *ground-truth* faults (degraded links, stragglers —
@@ -115,6 +140,10 @@ pub struct FaultPlan {
     /// is lost, forcing the analytic-estimator fallback.
     #[serde(default)]
     pub sample_loss_rate: f64,
+    /// Temporal-drift episode applied to the ground truth before the
+    /// link/straggler faults above.
+    #[serde(default)]
+    pub drift: Option<DriftEpisode>,
 }
 
 /// SplitMix64 finalizer — a cheap, well-mixed 64-bit hash.
@@ -145,6 +174,7 @@ impl FaultPlan {
             && self.corrupt_pairs.is_empty()
             && self.measurement_failure_rate == 0.0
             && self.sample_loss_rate == 0.0
+            && self.drift.is_none()
     }
 
     /// Checks the plan against a topology: every referenced GPU/node must
@@ -210,6 +240,18 @@ impl FaultPlan {
                 return bad(format!("{name} {rate} not in [0, 1]"));
             }
         }
+        if let Some(d) = &self.drift {
+            TemporalDrift::new(d.daily_sigma, d.reversion).map_err(|e| {
+                ClusterError::InvalidFaultPlan {
+                    reason: format!("drift episode: {e}"),
+                }
+            })?;
+            // The walk materializes one matrix per day; cap the horizon so
+            // a typo'd day index cannot balloon memory.
+            if d.day > 365 {
+                return bad(format!("drift day {} exceeds the 365-day horizon", d.day));
+            }
+        }
         Ok(())
     }
 
@@ -218,12 +260,20 @@ impl FaultPlan {
     /// not belong here — they affect availability and observation, not
     /// what the surviving links actually attain.
     pub fn apply_to_truth(&self, truth: &BandwidthMatrix) -> BandwidthMatrix {
-        let mut out = truth.clone();
-        let topo = *truth.topology();
+        // Drift first: the episode replaces the base matrix the rest of
+        // the ground-truth faults apply to, keyed by the plan's own seed
+        // so a drill replays bit-identically.
+        let drifted: Option<BandwidthMatrix> = self.drift.as_ref().and_then(|d| {
+            let model = TemporalDrift::new(d.daily_sigma, d.reversion).ok()?;
+            model.series(truth, d.day + 1, self.seed).pop()
+        });
+        let base = drifted.as_ref().unwrap_or(truth);
+        let mut out = base.clone();
+        let topo = *base.topology();
         for l in &self.degraded_links {
             for a in topo.gpus_of_node(NodeId(l.from_node)) {
                 for b in topo.gpus_of_node(NodeId(l.to_node)) {
-                    out.set(a, b, truth.between(a, b) * l.factor);
+                    out.set(a, b, base.between(a, b) * l.factor);
                 }
             }
         }
@@ -463,6 +513,95 @@ mod tests {
         assert_eq!(plan.corruption_for(2, 3, 0), Some(CorruptionKind::Nan));
         assert_eq!(plan.corruption_for(2, 3, 1), None);
         assert_eq!(plan.corruption_for(3, 2, 0), None);
+    }
+
+    #[test]
+    fn drift_episode_perturbs_truth_deterministically() {
+        let t = truth();
+        let plan = FaultPlan {
+            seed: 11,
+            drift: Some(DriftEpisode {
+                day: 5,
+                daily_sigma: 0.05,
+                reversion: 0.25,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_zero_fault());
+        plan.validate(t.topology()).unwrap();
+        let a = plan.apply_to_truth(&t);
+        let b = plan.apply_to_truth(&t);
+        assert_eq!(a, b, "drift must replay bit-identically");
+        assert_ne!(a, t, "a non-zero drift day must perturb inter-node links");
+        // Day 0 is the base matrix itself.
+        let day0 = FaultPlan {
+            drift: Some(DriftEpisode {
+                day: 0,
+                daily_sigma: 0.05,
+                reversion: 0.25,
+            }),
+            ..FaultPlan::default()
+        };
+        assert_eq!(day0.apply_to_truth(&t), t);
+        // Drift composes with degraded links: the factor applies to the
+        // drifted matrix, not the original.
+        let with_link = FaultPlan {
+            degraded_links: vec![DegradedLink {
+                from_node: 0,
+                to_node: 1,
+                factor: 0.5,
+            }],
+            ..plan.clone()
+        };
+        let composed = with_link.apply_to_truth(&t);
+        let (x, y) = (GpuId(0), GpuId(4));
+        assert!((composed.between(x, y) - a.between(x, y) * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_validation_rejects_bad_episodes() {
+        let topo = ClusterTopology::new(2, 4);
+        for episode in [
+            DriftEpisode {
+                day: 3,
+                daily_sigma: -0.1,
+                reversion: 0.25,
+            },
+            DriftEpisode {
+                day: 3,
+                daily_sigma: 0.03,
+                reversion: 1.5,
+            },
+            DriftEpisode {
+                day: 366,
+                daily_sigma: 0.03,
+                reversion: 0.25,
+            },
+        ] {
+            let plan = FaultPlan {
+                drift: Some(episode),
+                ..FaultPlan::default()
+            };
+            assert!(
+                matches!(
+                    plan.validate(&topo),
+                    Err(ClusterError::InvalidFaultPlan { .. })
+                ),
+                "episode should be rejected: {episode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_round_trips_and_defaults_fill_in() {
+        let sparse: FaultPlan = serde_json::from_str(r#"{"drift":{"day":4}}"#).unwrap();
+        let d = sparse.drift.unwrap();
+        assert_eq!(d.day, 4);
+        assert_eq!(d.daily_sigma, 0.03);
+        assert_eq!(d.reversion, 0.25);
+        let json = serde_json::to_string(&sparse).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sparse);
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod topology;
 
 pub use bandwidth::BandwidthMatrix;
 pub use error::ClusterError;
-pub use faults::{CorruptPair, CorruptionKind, DegradedLink, FaultPlan, StragglerGpu};
+pub use faults::{
+    CorruptPair, CorruptionKind, DegradedLink, DriftEpisode, FaultPlan, StragglerGpu,
+};
 pub use hardware::GpuSpec;
 pub use heterogeneity::HeterogeneityModel;
 pub use import::parse_mpigraph;

@@ -14,15 +14,16 @@
 //! memory estimators, identity mapping) and `PPT-LF` (adding fine-grained
 //! worker dedication).
 
+use crate::cancel::{CancelToken, DeadlineReport};
 use crate::error::ConfigureError;
 use crate::latency::{LatencyExplanation, PipetteLatencyModel};
 use crate::mapping::{
-    AnnealStats, Annealer, AnnealerConfig, IncrementalObjective, ParallelTemperingAnnealer,
-    TemperingSchedule,
+    AnnealStats, Annealer, AnnealerConfig, IncrementalObjective, NoOpObserver,
+    ParallelTemperingAnnealer, TemperingSchedule,
 };
 use crate::memory::{
-    analytic_prior, collect_samples_parallel, CacheCounters, MemoryEstimator,
-    MemoryEstimatorConfig, MemorySample, SampleSpec, TrainedEstimatorCache,
+    analytic_prior, collect_samples_cancellable, collect_samples_parallel, CacheCounters,
+    MemoryEstimator, MemoryEstimatorConfig, MemorySample, SampleSpec, TrainedEstimatorCache,
 };
 use crate::parallel;
 use crate::report::OverheadReport;
@@ -232,6 +233,9 @@ pub struct Recommendation {
     /// ranked fallback list should the top pick fail to launch, capped at
     /// [`PipetteOptions::top_n`].
     pub alternatives: Vec<Alternative>,
+    /// Logical deadline accounting, when a budget was set via
+    /// [`Pipette::with_deadline_units`]; `None` on unbudgeted runs.
+    pub deadline: Option<DeadlineReport>,
 }
 
 /// The memory model the screen runs against: the learned MLP on the
@@ -299,6 +303,12 @@ pub struct Pipette<'a> {
     /// Screen with the analytic memory model instead of training an MLP
     /// (the degradation ladder's last rung).
     analytic_memory: bool,
+    /// Logical deadline budget (Table II units); phases charge against it
+    /// and the SA passes are truncated deterministically when it runs low.
+    deadline_units: Option<u64>,
+    /// Cooperative cancellation, polled by the SA step loops and the
+    /// profiling sweep.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Pipette<'a> {
@@ -318,6 +328,8 @@ impl<'a> Pipette<'a> {
             estimator_cache: None,
             profiled_override: None,
             analytic_memory: false,
+            deadline_units: None,
+            cancel: None,
         }
     }
 
@@ -358,6 +370,34 @@ impl<'a> Pipette<'a> {
         self
     }
 
+    /// Sets a *logical* deadline budget, in the Table II cost units the
+    /// trace spans already report: profiled pairs + estimator-training
+    /// iterations + screened/estimated candidates + SA iterations. Phases
+    /// charge against the budget in a fixed sequential order, so the same
+    /// request, budget, and seed spend identically at any thread count.
+    /// When the budget runs low the run degrades deterministically —
+    /// estimator training falls back to the analytic model, SA passes are
+    /// shortened or skipped — and the recommendation carries a
+    /// [`DeadlineReport`] with `truncated = true`. Only a budget exhausted
+    /// before *any* candidate estimate exists yields
+    /// [`ConfigureError::DeadlineExpired`] (there is no best-so-far to
+    /// return).
+    pub fn with_deadline_units(mut self, budget_units: u64) -> Self {
+        self.deadline_units = Some(budget_units);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled by the SA step
+    /// loops (at their existing wall-clock checkpoint cadence) and by the
+    /// profiling sweep. Cancellation is best-so-far, never an error: SA
+    /// passes return the best mapping found, and a sweep cancelled before
+    /// training falls back to the analytic memory model. An un-cancelled
+    /// token leaves the run bit-identical.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Rejects unusable inputs before any search work: a bandwidth matrix
     /// carrying NaN/zero/negative links, or a GPU spec with no memory.
     /// Catching these up front turns what would be silent nonsense deep in
@@ -391,7 +431,7 @@ impl<'a> Pipette<'a> {
     /// The profiling sweep for this cluster/model/batch (the paper's
     /// ≤ 4-node protocol over a ladder of model scales) and the
     /// ground-truth simulator it runs against.
-    pub(crate) fn profiling_spec(&self) -> (SampleSpec, MemorySim) {
+    pub fn profiling_spec(&self) -> (SampleSpec, MemorySim) {
         let truth = ClusterRun::new(self.cluster, self.gpt).memory_sim();
         let nodes = self.cluster.topology().num_nodes().min(4);
         let gpus_per_node = self.cluster.topology().gpus_per_node();
@@ -468,9 +508,18 @@ impl<'a> Pipette<'a> {
             });
         }
 
+        // Logical deadline accounting: each phase charges the same units
+        // its trace span reports (the Table II cost model), sequentially,
+        // so the spend — and every truncation decision below — is a pure
+        // function of the request, budget, and seed.
+        let budget = self.deadline_units;
+        let mut spent_units: u64 = 0;
+        let mut truncated = false;
+
         // Line 1: profile the actual bandwidth matrix (or accept the
         // caller's robustly-profiled one — no in-run profiling, hence no
-        // profile span; the robust path records its own).
+        // profile span and no profiling charge; the robust path records
+        // its own).
         let (profiled, profiling_cost) = match &self.profiled_override {
             Some((p, c)) => (p.clone(), *c),
             None => {
@@ -479,76 +528,144 @@ impl<'a> Pipette<'a> {
                     .cluster
                     .profiler()
                     .profile(self.cluster.bandwidth(), self.options.seed);
+                let gpus = topo.num_gpus() as u64;
+                let pairs = gpus * gpus.saturating_sub(1);
+                spent_units = spent_units.saturating_add(pairs);
                 if let (Some(t), Some(g)) = (trace.as_deref_mut(), span) {
-                    let gpus = topo.num_gpus() as u64;
-                    t.close_span(g, CostUnit::Pairs, gpus * gpus.saturating_sub(1));
+                    t.close_span(g, CostUnit::Pairs, pairs);
                 }
                 result
             }
         };
 
+        // Deadline pre-check: estimator training is the dominant Table II
+        // cost. If the remaining budget cannot cover the training
+        // protocol, skip straight to the analytic rung instead of blowing
+        // the budget inside training.
+        let train_cost_units = self.options.memory.train.iterations as u64;
+        let train_over_budget = !self.analytic_memory
+            && self.pretrained.is_none()
+            && budget.is_some_and(|b| spent_units.saturating_add(train_cost_units) > b);
+
+        let analytic_model = || MemoryModel::Analytic {
+            margin: self.options.memory.soft_margin,
+            seq_len: self.gpt.seq_len,
+            vocab: self.gpt.vocab,
+        };
+
         // Memory model: pretrained > cached > trained now — or the
         // analytic fallback, which skips training entirely.
-        let (memory_model, training_time) = if self.analytic_memory {
-            (
-                MemoryModel::Analytic {
-                    margin: self.options.memory.soft_margin,
-                    seq_len: self.gpt.seq_len,
-                    vocab: self.gpt.vocab,
-                },
-                Duration::ZERO,
-            )
-        } else {
-            let mut mem_span = trace.as_deref_mut().map(|t| t.open_span("mem_train"));
-            let (estimator, training_time, cached) = match (&self.pretrained, self.estimator_cache)
-            {
-                (Some(e), _) => (e.clone(), Duration::ZERO, true),
-                (None, Some(cache)) => {
-                    // pipette-lint: allow(D1) -- wall time feeds the cache-timing extra only; the recommendation depends on the seed alone
-                    let start = Instant::now();
-                    let (spec, truth) = self.profiling_spec();
-                    let hits_before = cache.hits();
-                    let e = cache.get_or_train(
-                        &spec,
-                        self.gpt,
-                        &self.options.memory,
-                        &truth,
-                        self.options.threads,
-                    );
-                    (e, start.elapsed(), cache.hits() > hits_before)
-                }
-                (None, None) => {
-                    let (e, t, _) = self.train_memory_estimator();
-                    (e, t, false)
-                }
-            };
-            if let Some(t) = trace.as_deref_mut() {
-                let summary = estimator.train_summary();
-                t.push(EventKind::MemTrain {
-                    samples: summary.samples,
-                    iterations: summary.iterations,
-                    final_loss: summary.final_loss,
-                    cached,
-                });
-                for (i, &loss) in summary.loss_curve.iter().enumerate() {
-                    t.push(EventKind::MemLoss {
-                        iteration: i * summary.record_every,
-                        loss,
+        let (memory_model, training_time) = if self.analytic_memory || train_over_budget {
+            if train_over_budget {
+                truncated = true;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(EventKind::Fallback {
+                        component: "memory_estimator".to_string(),
+                        reason: format!(
+                            "deadline budget: training needs {train_cost_units} units, {} remaining",
+                            budget.unwrap_or(0).saturating_sub(spent_units)
+                        ),
                     });
-                }
-                if let Some(cache) = self.estimator_cache {
-                    let c = cache.counters();
-                    t.push(EventKind::CacheStats {
-                        hits: c.hits,
-                        misses: c.misses,
-                        corrupt: c.corrupt,
-                    });
-                }
-                if let Some(g) = mem_span.take() {
-                    t.close_span(g, CostUnit::Iterations, summary.iterations as u64);
                 }
             }
-            (MemoryModel::Learned(estimator), training_time)
+            (analytic_model(), Duration::ZERO)
+        } else {
+            let mut mem_span = trace.as_deref_mut().map(|t| t.open_span("mem_train"));
+            // `None` means the profiling sweep observed cancellation: a
+            // partial corpus must never train, so the run drops to the
+            // analytic rung below.
+            let trained: Option<(MemoryEstimator, Duration, bool)> =
+                match (&self.pretrained, self.estimator_cache) {
+                    (Some(e), _) => Some((e.clone(), Duration::ZERO, true)),
+                    (None, Some(cache)) => {
+                        // pipette-lint: allow(D1) -- wall time feeds the cache-timing extra only; the recommendation depends on the seed alone
+                        let start = Instant::now();
+                        let (spec, truth) = self.profiling_spec();
+                        let hits_before = cache.hits();
+                        let e = cache.get_or_train(
+                            &spec,
+                            self.gpt,
+                            &self.options.memory,
+                            &truth,
+                            self.options.threads,
+                        );
+                        Some((e, start.elapsed(), cache.hits() > hits_before))
+                    }
+                    (None, None) => match &self.cancel {
+                        Some(token) => {
+                            // pipette-lint: allow(D1) -- wall time feeds the report's training_seconds only; the trained weights depend on the seed alone
+                            let start = Instant::now();
+                            let (spec, truth) = self.profiling_spec();
+                            collect_samples_cancellable(
+                                &spec,
+                                &truth,
+                                self.options.threads,
+                                Some(token),
+                            )
+                            .map(|samples| {
+                                let e = MemoryEstimator::train_with_threads(
+                                    &samples,
+                                    &self.options.memory,
+                                    self.options.threads,
+                                );
+                                (e, start.elapsed(), false)
+                            })
+                        }
+                        None => {
+                            let (e, t, _) = self.train_memory_estimator();
+                            Some((e, t, false))
+                        }
+                    },
+                };
+            match trained {
+                Some((estimator, training_time, cached)) => {
+                    if !cached {
+                        // Reused estimators (pretrained or cache hit) cost
+                        // nothing — that is the point of reuse.
+                        spent_units =
+                            spent_units.saturating_add(estimator.train_summary().iterations as u64);
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        let summary = estimator.train_summary();
+                        t.push(EventKind::MemTrain {
+                            samples: summary.samples,
+                            iterations: summary.iterations,
+                            final_loss: summary.final_loss,
+                            cached,
+                        });
+                        for (i, &loss) in summary.loss_curve.iter().enumerate() {
+                            t.push(EventKind::MemLoss {
+                                iteration: i * summary.record_every,
+                                loss,
+                            });
+                        }
+                        if let Some(cache) = self.estimator_cache {
+                            let c = cache.counters();
+                            t.push(EventKind::CacheStats {
+                                hits: c.hits,
+                                misses: c.misses,
+                                corrupt: c.corrupt,
+                            });
+                        }
+                        if let Some(g) = mem_span.take() {
+                            t.close_span(g, CostUnit::Iterations, summary.iterations as u64);
+                        }
+                    }
+                    (MemoryModel::Learned(estimator), training_time)
+                }
+                None => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(EventKind::Fallback {
+                            component: "memory_estimator".to_string(),
+                            reason: "profiling sweep cancelled before training".to_string(),
+                        });
+                        if let Some(g) = mem_span.take() {
+                            t.close_span(g, CostUnit::Iterations, 0);
+                        }
+                    }
+                    (analytic_model(), Duration::ZERO)
+                }
+            }
         };
 
         let limit = self.cluster.gpu().memory_bytes;
@@ -592,6 +709,7 @@ impl<'a> Pipette<'a> {
         let t0 = Instant::now();
         let runnable = memory_model.is_runnable_batch(&features, limit, self.options.threads);
         let mem_time = t0.elapsed();
+        spent_units = spent_units.saturating_add(examined as u64);
 
         if let Some(t) = trace.as_deref_mut() {
             let accepted = runnable.iter().filter(|&&r| r).count();
@@ -602,6 +720,20 @@ impl<'a> Pipette<'a> {
             });
             if let Some(g) = screen_span {
                 t.close_span(g, CostUnit::Candidates, examined as u64);
+            }
+        }
+
+        // Deadline gate: past this point a recommendation can always be
+        // assembled from best-so-far state, so this is the only place a
+        // budget turns into a hard error — before any candidate has been
+        // estimated. Every span opened so far is closed, so the trace
+        // stays balanced.
+        if let Some(b) = budget {
+            if spent_units >= b {
+                return Err(ConfigureError::DeadlineExpired {
+                    budget_units: b,
+                    spent_units,
+                });
             }
         }
 
@@ -662,6 +794,7 @@ impl<'a> Pipette<'a> {
                 None => rejected += 1,
             }
         }
+        spent_units = spent_units.saturating_add(candidates.len() as u64);
         if let Some(t) = trace.as_deref_mut() {
             if let Some(g) = estimate_span {
                 t.close_span(g, CostUnit::Candidates, candidates.len() as u64);
@@ -693,6 +826,7 @@ impl<'a> Pipette<'a> {
         let mut sa_accepted = 0u64;
         let mut sa_improvements = 0u64;
         let replicas = self.options.replicas.max(1);
+        let cancel = self.cancel.as_ref();
         let mut anneal_span = if self.options.use_worker_dedication {
             trace.as_deref_mut().map(|t| t.open_span("anneal"))
         } else {
@@ -718,6 +852,22 @@ impl<'a> Pipette<'a> {
                 let initial = Mapping::identity(cand.config, *topo);
                 let mut sa_cfg = self.options.annealer;
                 sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
+                // Deadline cap: the remaining budget buys `remaining /
+                // replicas` steps per chain; a zero cap still runs the
+                // opening evaluations, so a fully-spent budget returns
+                // the identity-mapped candidate instead of erroring.
+                if let Some(b) = budget {
+                    let per_replica = b.saturating_sub(spent_units) / replicas as u64;
+                    let cap = sa_cfg
+                        .iterations
+                        .min(usize::try_from(per_replica).unwrap_or(usize::MAX));
+                    if cap < sa_cfg.iterations {
+                        truncated = true;
+                    }
+                    sa_cfg.iterations = cap;
+                }
+                spent_units = spent_units
+                    .saturating_add((sa_cfg.iterations as u64).saturating_mul(replicas as u64));
                 let pt = ParallelTemperingAnnealer::new(sa_cfg, schedule);
                 let make_objective = |_replica: usize, init: &Mapping| {
                     IncrementalObjective::new(
@@ -738,12 +888,13 @@ impl<'a> Pipette<'a> {
                             .enumerate()
                             .map(|(r, c)| SaTraceObserver::for_replica(c, i, r))
                             .collect();
-                        let result = pt.anneal_observed(
+                        let result = pt.anneal_cancellable_observed(
                             self.options.threads,
                             &initial,
                             make_objective,
                             &mut observers,
                             |rec| telemetry::push_pt_exchange(&mut exchange_child, i, rec),
+                            cancel,
                         );
                         for (observer, rstats) in observers.into_iter().zip(&result.2.replica_stats)
                         {
@@ -760,7 +911,12 @@ impl<'a> Pipette<'a> {
                         t.absorb(exchange_child);
                         result
                     }
-                    None => pt.anneal(self.options.threads, &initial, make_objective),
+                    None => pt.anneal_cancellable(
+                        self.options.threads,
+                        &initial,
+                        make_objective,
+                        cancel,
+                    ),
                 };
                 sa_time += stats.elapsed;
                 exchanges_attempted += stats.exchanges_attempted;
@@ -791,6 +947,25 @@ impl<'a> Pipette<'a> {
             // child traces that are absorbed below in candidate order —
             // the merged stream never depends on thread scheduling.
             let k = self.options.sa_top_k.max(1).min(candidates.len());
+            // Deadline caps, precomputed sequentially in candidate order so
+            // the per-candidate step budget — and thus the annealed result
+            // — never depends on worker scheduling.
+            let caps: Vec<usize> = (0..k)
+                .map(|_| {
+                    let full = self.options.annealer.iterations;
+                    let cap = match budget {
+                        Some(b) => full.min(
+                            usize::try_from(b.saturating_sub(spent_units)).unwrap_or(usize::MAX),
+                        ),
+                        None => full,
+                    };
+                    if cap < full {
+                        truncated = true;
+                    }
+                    spent_units = spent_units.saturating_add(cap as u64);
+                    cap
+                })
+                .collect();
             let proto: Option<&Trace> = trace.as_deref();
             let annealed = parallel::ordered_map_scratch(
                 self.options.threads,
@@ -808,16 +983,29 @@ impl<'a> Pipette<'a> {
                     );
                     let mut sa_cfg = self.options.annealer;
                     sa_cfg.seed = self.options.seed.wrapping_add(i as u64);
+                    sa_cfg.iterations = caps[i];
                     let annealer = Annealer::new(sa_cfg);
                     match proto.map(|p| p.child()) {
                         Some(mut child) => {
                             let mut observer = SaTraceObserver::new(&mut child, i);
-                            let result =
-                                annealer.anneal_observed(initial, &mut objective, &mut observer);
+                            let result = annealer.anneal_cancellable(
+                                initial,
+                                &mut objective,
+                                &mut observer,
+                                cancel,
+                            );
                             observer.finish(&result.2);
                             (result, Some(child))
                         }
-                        None => (annealer.anneal_with(initial, &mut objective), None),
+                        None => {
+                            let result = annealer.anneal_cancellable(
+                                initial,
+                                &mut objective,
+                                &mut NoOpObserver,
+                                cancel,
+                            );
+                            (result, None)
+                        }
                     }
                 },
             );
@@ -883,6 +1071,13 @@ impl<'a> Pipette<'a> {
                 headroom_fraction: memory.headroom_fraction(),
             });
             telemetry::push_recommendation(t, best_cfg, best_plan, &breakdown);
+            if let Some(b) = budget {
+                t.push(EventKind::Deadline {
+                    budget_units: b,
+                    spent_units,
+                    truncated,
+                });
+            }
             for (rank, alt) in alternatives.iter().enumerate() {
                 t.push(EventKind::Alternative {
                     rank: rank + 1,
@@ -948,6 +1143,11 @@ impl<'a> Pipette<'a> {
             tempering: tempering_summary,
             cache_counters: self.estimator_cache.map(TrainedEstimatorCache::counters),
             alternatives,
+            deadline: budget.map(|b| DeadlineReport {
+                budget_units: b,
+                spent_units,
+                truncated,
+            }),
         })
     }
 }

@@ -42,6 +42,9 @@ pub struct ReconfigurationPlan {
     /// `degraded_seconds / healthy_seconds`: how much slower one
     /// iteration runs after reconfiguration.
     pub slowdown_factor: f64,
+    /// Requests served in breaker-degraded (analytic-memory) mode; zero
+    /// for one-shot drills, populated by `pipette drill --serve` replays.
+    pub degraded_requests: u64,
 }
 
 /// Everything a degraded configuration run produced.
@@ -99,6 +102,13 @@ pub fn run_under_faults(
             measurement_failure_rate: plan.measurement_failure_rate,
             sample_loss_rate: plan.sample_loss_rate,
         });
+        if let Some(d) = &plan.drift {
+            t.push(EventKind::DriftApplied {
+                day: d.day,
+                daily_sigma: d.daily_sigma,
+                reversion: d.reversion,
+            });
+        }
     }
 
     // Rung 3 first, structurally: who is even available?
@@ -233,6 +243,7 @@ pub fn run_under_faults(
             healthy_gpus: topo.num_gpus(),
             surviving_gpus: survivor.topology().num_gpus(),
             slowdown_factor: slowdown,
+            degraded_requests: 0,
         })
     };
 

@@ -47,6 +47,17 @@ pub enum ConfigureError {
     /// An error surfaced by the cluster layer (fault-plan validation,
     /// subcluster selection).
     Cluster(pipette_cluster::ClusterError),
+    /// The logical deadline budget was exhausted before any candidate was
+    /// estimated — there is no best-so-far recommendation to return.
+    /// (Budgets that expire *after* estimation truncate the SA passes and
+    /// still return a recommendation, flagged in
+    /// [`crate::cancel::DeadlineReport::truncated`].)
+    DeadlineExpired {
+        /// The logical budget the run was given.
+        budget_units: u64,
+        /// Logical units already charged when the budget ran out.
+        spent_units: u64,
+    },
 }
 
 impl fmt::Display for ConfigureError {
@@ -75,6 +86,13 @@ impl fmt::Display for ConfigureError {
                 "fault plan fails {failed_gpus} of {total_gpus} GPUs; no subcluster survives"
             ),
             ConfigureError::Cluster(e) => write!(f, "cluster error: {e}"),
+            ConfigureError::DeadlineExpired {
+                budget_units,
+                spent_units,
+            } => write!(
+                f,
+                "deadline budget of {budget_units} logical units exhausted ({spent_units} spent) before any candidate was estimated"
+            ),
         }
     }
 }
@@ -128,5 +146,10 @@ mod tests {
         let e = ConfigureError::from(pipette_cluster::ClusterError::EmptySelection);
         assert!(matches!(e, ConfigureError::Cluster(_)));
         assert!(e.to_string().contains("zero nodes"));
+        let e = ConfigureError::DeadlineExpired {
+            budget_units: 500,
+            spent_units: 612,
+        };
+        assert!(e.to_string().contains("500") && e.to_string().contains("612"));
     }
 }

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cancel;
 pub mod configurator;
 pub mod degraded;
 pub mod error;
@@ -55,6 +56,7 @@ pub mod parallel;
 pub mod report;
 pub mod telemetry;
 
+pub use cancel::{CancelToken, DeadlineReport};
 pub use configurator::{Alternative, MemoryHeadroom, Pipette, PipetteOptions, Recommendation};
 pub use degraded::{run_under_faults, DegradedOutcome, ReconfigurationPlan};
 pub use error::ConfigureError;

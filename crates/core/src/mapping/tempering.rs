@@ -28,6 +28,7 @@
 //! trajectory is bit-identical to [`crate::mapping::Annealer`]
 //! (`tests/tempering.rs` asserts this).
 
+use crate::cancel::CancelToken;
 use crate::mapping::annealer::{
     enabled_moves, AnnealStats, Annealer, AnnealerConfig, ChainCore, NoOpObserver, SaObserver,
     TIME_CHECK_INTERVAL,
@@ -347,6 +348,30 @@ impl ParallelTemperingAnnealer {
         self.anneal_observed(threads, initial, make_objective, &mut observers, |_| {})
     }
 
+    /// [`Self::anneal`] polling a [`CancelToken`] at the step loop's
+    /// checkpoint cadence (see [`Self::anneal_cancellable_observed`]).
+    pub fn anneal_cancellable<O, MkO>(
+        &self,
+        threads: usize,
+        initial: &Mapping,
+        make_objective: MkO,
+        cancel: Option<&CancelToken>,
+    ) -> (Mapping, f64, TemperingStats)
+    where
+        O: Objective + Send,
+        MkO: FnMut(usize, &Mapping) -> O,
+    {
+        let mut observers = vec![NoOpObserver; self.schedule.replicas];
+        self.anneal_cancellable_observed(
+            threads,
+            initial,
+            make_objective,
+            &mut observers,
+            |_| {},
+            cancel,
+        )
+    }
+
     /// [`Self::anneal`] over a plain cost closure (each replica wraps a
     /// shared reference to it in its own [`FnObjective`]) — the
     /// counterpart of [`Annealer::anneal`] for baseline comparisons.
@@ -379,9 +404,40 @@ impl ParallelTemperingAnnealer {
         &self,
         threads: usize,
         initial: &Mapping,
+        make_objective: MkO,
+        observers: &mut [Obs],
+        on_exchange: impl FnMut(&PtExchangeRecord),
+    ) -> (Mapping, f64, TemperingStats)
+    where
+        O: Objective + Send,
+        MkO: FnMut(usize, &Mapping) -> O,
+        Obs: SaObserver + Send,
+    {
+        self.anneal_cancellable_observed(
+            threads,
+            initial,
+            make_objective,
+            observers,
+            on_exchange,
+            None,
+        )
+    }
+
+    /// [`Self::anneal_observed`] polling a [`CancelToken`] inside each
+    /// chain's step loop (same [`TIME_CHECK_INTERVAL`] cadence as the
+    /// wall-clock budget) and at exchange rounds. Cancellation marks every
+    /// chain done, so the run rendezvous at the next exchange interval and
+    /// returns the ladder's best-so-far — never an error, never a block
+    /// past one exchange interval. An un-cancelled token is bit-identical
+    /// to the token-less run.
+    pub fn anneal_cancellable_observed<O, MkO, Obs>(
+        &self,
+        threads: usize,
+        initial: &Mapping,
         mut make_objective: MkO,
         observers: &mut [Obs],
         mut on_exchange: impl FnMut(&PtExchangeRecord),
+        cancel: Option<&CancelToken>,
     ) -> (Mapping, f64, TemperingStats)
     where
         O: Objective + Send,
@@ -455,6 +511,11 @@ impl ParallelTemperingAnnealer {
                 let seg_to = seg_from.saturating_add(interval).min(total_iterations);
                 for it in seg_from..seg_to {
                     if it % TIME_CHECK_INTERVAL == 0 {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            chain.done = true;
+                            chain.busy += segment_start.elapsed();
+                            return;
+                        }
                         if let Some(limit) = time_limit {
                             if start.elapsed() >= limit {
                                 chain.done = true;
@@ -827,6 +888,61 @@ mod tests {
         assert_eq!(cost, 42.0);
         assert_eq!(stats.merged().evaluations, 4); // one opening eval per replica
         assert_eq!(stats.exchanges_attempted, 0);
+    }
+
+    #[test]
+    fn cancelled_tempering_returns_best_so_far() {
+        let initial = setup(4, 2, 2);
+        let target: Vec<usize> = (0..16).rev().collect();
+        let pt = ParallelTemperingAnnealer::new(
+            AnnealerConfig {
+                iterations: 1_000_000,
+                seed: 6,
+                ..Default::default()
+            },
+            TemperingSchedule {
+                replicas: 3,
+                exchange_interval: 64,
+                ..Default::default()
+            },
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let (best, cost, stats) = pt.anneal_cancellable(
+            2,
+            &initial,
+            |_, _| FnObjective::new(displacement_cost(&target)),
+            Some(&token),
+        );
+        // Pre-cancelled: every chain stops at its first checkpoint, so
+        // only the opening evaluations happen.
+        assert_eq!(stats.merged().evaluations, 3);
+        assert!(best.is_permutation());
+        assert_eq!(cost.to_bits(), stats.merged().initial_cost.to_bits());
+
+        // An un-cancelled token is bit-identical to no token at all.
+        let live = CancelToken::new();
+        let pt = ParallelTemperingAnnealer::new(
+            AnnealerConfig {
+                iterations: 2_000,
+                seed: 6,
+                ..Default::default()
+            },
+            TemperingSchedule {
+                replicas: 3,
+                exchange_interval: 64,
+                ..Default::default()
+            },
+        );
+        let with_token = pt.anneal_cancellable(
+            1,
+            &initial,
+            |_, _| FnObjective::new(displacement_cost(&target)),
+            Some(&live),
+        );
+        let without = pt.anneal_closure(1, &initial, displacement_cost(&target));
+        assert_eq!(with_token.0, without.0);
+        assert_eq!(with_token.1.to_bits(), without.1.to_bits());
     }
 
     #[test]

@@ -74,6 +74,18 @@ pub struct CacheCounters {
     pub corrupt: u64,
 }
 
+/// What a crash-only startup [`sweep`](TrainedEstimatorCache::sweep) of
+/// the cache directory found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// JSON entries examined.
+    pub scanned: u64,
+    /// Corrupt JSON entries renamed to `.json.corrupt`.
+    pub quarantined: u64,
+    /// Missing or defective `.idx` snapshots rebuilt from valid JSON.
+    pub healed_indexes: u64,
+}
+
 /// In-memory (and optionally on-disk) cache of trained memory estimators.
 ///
 /// Thread-safe behind `&self`; hit/miss/corrupt counters let callers (and
@@ -225,6 +237,60 @@ impl TrainedEstimatorCache {
         if let Some(idx) = self.index_path(fp) {
             let _ = mmap_index::write_index(&idx, fp, estimator);
         }
+    }
+
+    /// Crash-only startup sweep of the on-disk cache directory: every
+    /// `pipette-mem-estimator-*.json` entry is parsed eagerly, corrupt
+    /// entries are quarantined as `.json.corrupt` *now* (instead of
+    /// lazily at first lookup), and any missing or defective `.idx`
+    /// snapshot next to a valid entry is rebuilt. After a sweep, every
+    /// remaining entry is known-good: a process that died mid-write
+    /// leaves nothing a later lookup can trip over. Entries are visited
+    /// in path order, so the report is deterministic for a given
+    /// directory state. A no-op (all zeros) for in-memory caches.
+    pub fn sweep(&self) -> SweepReport {
+        let mut report = SweepReport::default();
+        let Some(dir) = &self.dir else {
+            return report;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return report;
+        };
+        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for path in paths {
+            let Some(fp) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("pipette-mem-estimator-"))
+                .and_then(|n| n.strip_suffix(".json"))
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            else {
+                continue;
+            };
+            report.scanned += 1;
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            match serde_json::from_str::<MemoryEstimator>(&text) {
+                Ok(estimator) => {
+                    if let Some(idx) = self.index_path(fp) {
+                        if mmap_index::read_index(&idx, fp).is_none() {
+                            let _ = std::fs::remove_file(&idx);
+                            if mmap_index::write_index(&idx, fp, &estimator).is_ok() {
+                                report.healed_indexes += 1;
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::fs::rename(&path, path.with_extension("json.corrupt"));
+                    report.quarantined += 1;
+                }
+            }
+        }
+        report
     }
 
     /// Returns the cached estimator for these training inputs, or collects
@@ -459,6 +525,61 @@ mod tests {
         let reloaded = warm.get_or_train(&spec, &gpt, &config, &truth, 1);
         assert_eq!((warm.hits(), warm.misses()), (1, 0));
         assert_eq!(reloaded, trained);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_quarantines_and_heals_eagerly() {
+        let (spec, gpt, config, truth) = tiny_inputs();
+        let dir = std::env::temp_dir().join("pipette-estimator-cache-sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trained = {
+            let cold = TrainedEstimatorCache::with_dir(&dir);
+            cold.get_or_train(&spec, &gpt, &config, &truth, 1)
+        };
+        let fp = estimator_fingerprint(&spec, &gpt, &config, &truth);
+        // Simulate a crash: a second entry died mid-write (truncated
+        // JSON) and the good entry's snapshot got torn.
+        std::fs::write(
+            dir.join("pipette-mem-estimator-00000000deadbeef.json"),
+            "{\"truncat",
+        )
+        .unwrap();
+        let idx = dir.join(format!("pipette-mem-estimator-{fp:016x}.idx"));
+        std::fs::write(&idx, b"torn").unwrap();
+        let cache = TrainedEstimatorCache::with_dir(&dir);
+        let report = cache.sweep();
+        assert_eq!(
+            report,
+            SweepReport {
+                scanned: 2,
+                quarantined: 1,
+                healed_indexes: 1,
+            }
+        );
+        assert_eq!(cache.corrupt(), 1);
+        // The torn entry is quarantined with its bytes intact...
+        assert_eq!(
+            std::fs::read_to_string(
+                dir.join("pipette-mem-estimator-00000000deadbeef.json.corrupt")
+            )
+            .unwrap(),
+            "{\"truncat"
+        );
+        // ...and the healed snapshot round-trips the good estimator.
+        assert_eq!(
+            super::super::mmap_index::read_index(&idx, fp),
+            Some(trained)
+        );
+        // A second sweep finds a fully healthy directory.
+        assert_eq!(
+            cache.sweep(),
+            SweepReport {
+                scanned: 1,
+                quarantined: 0,
+                healed_indexes: 0,
+            }
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

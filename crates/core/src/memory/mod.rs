@@ -10,9 +10,12 @@ mod estimator;
 mod mmap_index;
 
 pub use analytic::AnalyticMemoryEstimator;
-pub use cache::{estimator_fingerprint, CacheCounters, TrainedEstimatorCache};
+pub use cache::{estimator_fingerprint, CacheCounters, SweepReport, TrainedEstimatorCache};
 pub use calibration::{calibrate, CalibrationReport};
-pub use dataset::{collect_samples, collect_samples_parallel, MemorySample, SampleSpec};
+pub use dataset::{
+    collect_samples, collect_samples_cancellable, collect_samples_parallel, MemorySample,
+    SampleSpec,
+};
 pub use estimator::{EstimatorDegeneracy, MemoryEstimator, MemoryEstimatorConfig, TrainSummary};
 
 pub(crate) use estimator::analytic_prior;

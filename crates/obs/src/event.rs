@@ -344,6 +344,64 @@ pub enum EventKind {
         /// GPUs surviving the fault plan.
         surviving_gpus: usize,
     },
+    /// A day-indexed temporal-drift episode perturbed the ground-truth
+    /// bandwidth matrix before the rest of the fault plan applied.
+    DriftApplied {
+        /// Drift day applied (0 = the base matrix, no perturbation).
+        day: usize,
+        /// Per-day log-space noise scale of the drift walk.
+        daily_sigma: f64,
+        /// Mean-reversion strength of the drift walk, `[0, 1]`.
+        reversion: f64,
+    },
+    /// Logical-deadline accounting of a budgeted run, recorded in the
+    /// finalize phase.
+    Deadline {
+        /// Budget the run was given (Table II logical units).
+        budget_units: u64,
+        /// Units actually charged across all phases.
+        spent_units: u64,
+        /// Whether any phase was truncated to fit the budget.
+        truncated: bool,
+    },
+    /// A serve request was admitted (sequence numbers are the logical
+    /// clock: admission order, never wall time).
+    RequestStart {
+        /// Logical sequence number of the request.
+        seq: u64,
+        /// Requested operation (`"configure"`, `"drill"`, …).
+        op: String,
+    },
+    /// A serve request's response was committed to the output stream.
+    RequestDone {
+        /// Logical sequence number of the request.
+        seq: u64,
+        /// Response status (`"ok"`, `"deadline"`, `"shed"`, `"error"`).
+        outcome: String,
+        /// Whether the request was served in breaker-degraded
+        /// (analytic-memory) mode.
+        degraded: bool,
+    },
+    /// A serve request was rejected at admission by the bounded queue.
+    RequestShed {
+        /// Logical sequence number of the request.
+        seq: u64,
+        /// Queue occupancy observed at admission.
+        queue_len: u64,
+        /// Configured queue bound.
+        limit: u64,
+        /// Suggested logical backoff before retrying (cost-model units).
+        retry_after_units: u64,
+    },
+    /// The estimator circuit breaker changed state.
+    BreakerTransition {
+        /// State left (`"closed"`, `"open"`, `"half_open"`).
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+        /// Consecutive estimator failures observed at the transition.
+        failures: u64,
+    },
     /// A named monotonic counter, flushed from [`crate::Metrics`].
     Counter {
         /// Counter name.
@@ -418,6 +476,12 @@ pub enum EventTag {
     GpuExcluded,
     Fallback,
     Reconfiguration,
+    DriftApplied,
+    Deadline,
+    RequestStart,
+    RequestDone,
+    RequestShed,
+    BreakerTransition,
     Counter,
     Histogram,
     SpanOpen,
@@ -448,6 +512,12 @@ impl EventTag {
             EventTag::GpuExcluded => "gpu_excluded",
             EventTag::Fallback => "fallback",
             EventTag::Reconfiguration => "reconfiguration",
+            EventTag::DriftApplied => "drift_applied",
+            EventTag::Deadline => "deadline",
+            EventTag::RequestStart => "request_start",
+            EventTag::RequestDone => "request_done",
+            EventTag::RequestShed => "request_shed",
+            EventTag::BreakerTransition => "breaker_transition",
             EventTag::Counter => "counter",
             EventTag::Histogram => "histogram",
             EventTag::SpanOpen => "span_open",
@@ -480,6 +550,12 @@ impl EventKind {
             EventKind::GpuExcluded { .. } => EventTag::GpuExcluded,
             EventKind::Fallback { .. } => EventTag::Fallback,
             EventKind::Reconfiguration { .. } => EventTag::Reconfiguration,
+            EventKind::DriftApplied { .. } => EventTag::DriftApplied,
+            EventKind::Deadline { .. } => EventTag::Deadline,
+            EventKind::RequestStart { .. } => EventTag::RequestStart,
+            EventKind::RequestDone { .. } => EventTag::RequestDone,
+            EventKind::RequestShed { .. } => EventTag::RequestShed,
+            EventKind::BreakerTransition { .. } => EventTag::BreakerTransition,
             EventKind::Counter { .. } => EventTag::Counter,
             EventKind::Histogram { .. } => EventTag::Histogram,
             EventKind::SpanOpen { .. } => EventTag::SpanOpen,
@@ -890,6 +966,53 @@ impl Event {
                 o.uint("healthy_gpus", *healthy_gpus as u64);
                 o.uint("surviving_gpus", *surviving_gpus as u64);
             }
+            EventKind::DriftApplied {
+                day,
+                daily_sigma,
+                reversion,
+            } => {
+                o.uint("day", *day as u64);
+                o.float("daily_sigma", *daily_sigma);
+                o.float("reversion", *reversion);
+            }
+            EventKind::Deadline {
+                budget_units,
+                spent_units,
+                truncated,
+            } => {
+                o.uint("budget_units", *budget_units);
+                o.uint("spent_units", *spent_units);
+                o.boolean("truncated", *truncated);
+            }
+            EventKind::RequestStart { seq: rseq, op } => {
+                o.uint("request", *rseq);
+                o.string("op", op);
+            }
+            EventKind::RequestDone {
+                seq: rseq,
+                outcome,
+                degraded,
+            } => {
+                o.uint("request", *rseq);
+                o.string("outcome", outcome);
+                o.boolean("degraded", *degraded);
+            }
+            EventKind::RequestShed {
+                seq: rseq,
+                queue_len,
+                limit,
+                retry_after_units,
+            } => {
+                o.uint("request", *rseq);
+                o.uint("queue_len", *queue_len);
+                o.uint("limit", *limit);
+                o.uint("retry_after_units", *retry_after_units);
+            }
+            EventKind::BreakerTransition { from, to, failures } => {
+                o.string("from", from);
+                o.string("to", to);
+                o.uint("failures", *failures);
+            }
             EventKind::Counter { name, value } => {
                 o.string("name", name);
                 o.uint("value", *value);
@@ -1136,6 +1259,69 @@ mod tests {
             .kind(),
             "pair_imputed"
         );
+    }
+
+    #[test]
+    fn serve_events_serialize_with_fixed_shape() {
+        let cases: [(EventKind, &str); 6] = [
+            (
+                EventKind::DriftApplied {
+                    day: 3,
+                    daily_sigma: 0.03,
+                    reversion: 0.25,
+                },
+                r#"{"seq":0,"kind":"drift_applied","day":3,"daily_sigma":0.03,"reversion":0.25}"#,
+            ),
+            (
+                EventKind::Deadline {
+                    budget_units: 5000,
+                    spent_units: 4321,
+                    truncated: true,
+                },
+                r#"{"seq":0,"kind":"deadline","budget_units":5000,"spent_units":4321,"truncated":true}"#,
+            ),
+            (
+                EventKind::RequestStart {
+                    seq: 7,
+                    op: "configure".into(),
+                },
+                r#"{"seq":0,"kind":"request_start","request":7,"op":"configure"}"#,
+            ),
+            (
+                EventKind::RequestDone {
+                    seq: 7,
+                    outcome: "ok".into(),
+                    degraded: false,
+                },
+                r#"{"seq":0,"kind":"request_done","request":7,"outcome":"ok","degraded":false}"#,
+            ),
+            (
+                EventKind::RequestShed {
+                    seq: 9,
+                    queue_len: 4,
+                    limit: 4,
+                    retry_after_units: 2048,
+                },
+                r#"{"seq":0,"kind":"request_shed","request":9,"queue_len":4,"limit":4,"retry_after_units":2048}"#,
+            ),
+            (
+                EventKind::BreakerTransition {
+                    from: "closed",
+                    to: "open",
+                    failures: 3,
+                },
+                r#"{"seq":0,"kind":"breaker_transition","from":"closed","to":"open","failures":3}"#,
+            ),
+        ];
+        for (kind, expect) in cases {
+            let e = Event {
+                wall_ms: None,
+                kind,
+            };
+            let mut out = String::new();
+            e.write_json(0, false, &mut out);
+            assert_eq!(out, expect);
+        }
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub enum CostUnit {
     Rounds,
     /// Trace events produced (for spans whose work *is* emission).
     Events,
+    /// Serve requests admitted (the daemon's outermost span).
+    Requests,
 }
 
 impl CostUnit {
@@ -54,6 +56,7 @@ impl CostUnit {
             CostUnit::Pairs => "pairs",
             CostUnit::Rounds => "rounds",
             CostUnit::Events => "events",
+            CostUnit::Requests => "requests",
         }
     }
 }

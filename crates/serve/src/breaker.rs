@@ -1,0 +1,284 @@
+//! Circuit breaker over memory-estimator failures.
+//!
+//! The estimator is the one component of the pipeline with a real
+//! failure mode (degenerate training under heavy sample loss), and the
+//! fallback — the analytic memory model — is always available. The
+//! breaker turns repeated failures into a *policy*: after
+//! `failure_threshold` consecutive failures the breaker opens and every
+//! subsequent request is served in analytic mode without touching the
+//! estimator at all; after `cooldown_requests` degraded requests it
+//! half-opens and lets probe requests through; `halfopen_successes`
+//! clean probes close it again, while a single probe failure re-opens
+//! it.
+//!
+//! All transitions are counted in *requests*, never wall time, so a
+//! request stream drives the breaker through an identical state
+//! sequence on every replay.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive estimator failures that open the breaker.
+    pub failure_threshold: u64,
+    /// Degraded requests served while open before half-opening.
+    pub cooldown_requests: u64,
+    /// Successful probes needed to close from half-open.
+    pub halfopen_successes: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_requests: 2,
+            halfopen_successes: 2,
+        }
+    }
+}
+
+/// The breaker's current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests run the full estimator path.
+    Closed,
+    /// Tripped: requests are forced into analytic (degraded) mode.
+    Open,
+    /// Probing: requests run the full path; outcomes decide reclosure.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's name as written to telemetry.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A recorded state change, emitted as a `breaker_transition` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State left.
+    pub from: BreakerState,
+    /// State entered.
+    pub to: BreakerState,
+    /// Consecutive failures observed at the transition.
+    pub failures: u64,
+}
+
+/// The request-counted circuit breaker.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u64,
+    cooldown_left: u64,
+    probe_successes: u64,
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning. Zero thresholds are
+    /// clamped to 1 so every state remains reachable and leavable.
+    pub fn new(config: BreakerConfig) -> Self {
+        let config = BreakerConfig {
+            failure_threshold: config.failure_threshold.max(1),
+            cooldown_requests: config.cooldown_requests.max(1),
+            halfopen_successes: config.halfopen_successes.max(1),
+        };
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the next dequeued request must be served degraded.
+    pub fn degrade_next(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// Records the outcome of a request that ran the *full* estimator
+    /// path (closed or half-open probe). Returns the transition taken,
+    /// if any.
+    pub fn record_result(&mut self, estimator_failure: bool) -> Option<Transition> {
+        match self.state {
+            BreakerState::Closed => {
+                if estimator_failure {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.config.failure_threshold {
+                        return Some(self.open());
+                    }
+                } else {
+                    self.consecutive_failures = 0;
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                if estimator_failure {
+                    self.consecutive_failures += 1;
+                    Some(self.open())
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.config.halfopen_successes {
+                        let from = self.state;
+                        self.state = BreakerState::Closed;
+                        self.consecutive_failures = 0;
+                        Some(Transition {
+                            from,
+                            to: BreakerState::Closed,
+                            failures: 0,
+                        })
+                    } else {
+                        None
+                    }
+                }
+            }
+            // A request decided while open never reports here; it is
+            // recorded via `record_degraded_served`.
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Records one request served degraded while the breaker was open;
+    /// exhausting the cooldown half-opens it.
+    pub fn record_degraded_served(&mut self) -> Option<Transition> {
+        if self.state != BreakerState::Open {
+            return None;
+        }
+        self.cooldown_left = self.cooldown_left.saturating_sub(1);
+        if self.cooldown_left == 0 {
+            self.state = BreakerState::HalfOpen;
+            self.probe_successes = 0;
+            Some(Transition {
+                from: BreakerState::Open,
+                to: BreakerState::HalfOpen,
+                failures: self.consecutive_failures,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn open(&mut self) -> Transition {
+        let from = self.state;
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.config.cooldown_requests;
+        self.trips += 1;
+        Transition {
+            from,
+            to: BreakerState::Open,
+            failures: self.consecutive_failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown_requests: 2,
+            halfopen_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = Breaker::new(cfg());
+        assert!(b.record_result(true).is_none());
+        // A success resets the streak.
+        assert!(b.record_result(false).is_none());
+        assert!(b.record_result(true).is_none());
+        let t = b
+            .record_result(true)
+            .expect("second consecutive failure trips");
+        assert_eq!(t.from, BreakerState::Closed);
+        assert_eq!(t.to, BreakerState::Open);
+        assert_eq!(t.failures, 2);
+        assert!(b.degrade_next());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_half_opens_and_probes_close() {
+        let mut b = Breaker::new(cfg());
+        b.record_result(true);
+        b.record_result(true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.record_degraded_served().is_none());
+        let t = b.record_degraded_served().expect("cooldown exhausted");
+        assert_eq!(t.to, BreakerState::HalfOpen);
+        assert!(!b.degrade_next(), "half-open lets probes through");
+        assert!(b.record_result(false).is_none());
+        let t = b.record_result(false).expect("enough probes close");
+        assert_eq!(t.to, BreakerState::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let mut b = Breaker::new(cfg());
+        b.record_result(true);
+        b.record_result(true);
+        b.record_degraded_served();
+        b.record_degraded_served();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        let t = b.record_result(true).expect("probe failure reopens");
+        assert_eq!(t.from, BreakerState::HalfOpen);
+        assert_eq!(t.to, BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn zero_thresholds_are_clamped() {
+        let mut b = Breaker::new(BreakerConfig {
+            failure_threshold: 0,
+            cooldown_requests: 0,
+            halfopen_successes: 0,
+        });
+        let t = b.record_result(true).expect("threshold clamps to 1");
+        assert_eq!(t.to, BreakerState::Open);
+        let t = b.record_degraded_served().expect("cooldown clamps to 1");
+        assert_eq!(t.to, BreakerState::HalfOpen);
+        let t = b.record_result(false).expect("single probe closes");
+        assert_eq!(t.to, BreakerState::Closed);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let outcomes = [true, true, false, true, true, false, false];
+        let run = |outcomes: &[bool]| {
+            let mut b = Breaker::new(cfg());
+            let mut states = vec![b.state()];
+            for &fail in outcomes {
+                if b.degrade_next() {
+                    b.record_degraded_served();
+                } else {
+                    b.record_result(fail);
+                }
+                states.push(b.state());
+            }
+            states
+        };
+        assert_eq!(run(&outcomes), run(&outcomes));
+    }
+}

@@ -1,0 +1,83 @@
+//! The request vocabulary: how the server loop talks to whatever
+//! actually executes jobs.
+
+/// Server-level control operations recognized at parse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Stop admitting, drain in-flight work, flush, and exit.
+    Shutdown,
+}
+
+/// What one input line parsed into.
+#[derive(Debug)]
+pub enum ParseOutcome<J> {
+    /// A runnable job. `op` names the operation for telemetry
+    /// (`"configure"`, `"drill"`, …).
+    Job {
+        /// Operation name recorded in the `request_start` event.
+        op: String,
+        /// The parsed job, handed to [`RequestHandler::execute`].
+        job: J,
+    },
+    /// A control operation consumed by the server itself (no sequence
+    /// number, no response line).
+    Control(Control),
+    /// The line failed to parse; the server commits an error response in
+    /// sequence without dispatching a worker.
+    Error(String),
+}
+
+/// Execution context the server threads into [`RequestHandler::execute`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext {
+    /// Logical sequence number of the request (admission order).
+    pub seq: u64,
+    /// Whether the circuit breaker has forced this request into degraded
+    /// (analytic-memory) mode. The handler must skip estimator training
+    /// and say so in its response.
+    pub degraded: bool,
+}
+
+/// What executing one job produced.
+#[derive(Debug)]
+pub struct Execution {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// Response status for the `request_done` event (`"ok"`,
+    /// `"deadline"`, `"error"`, …).
+    pub outcome: String,
+    /// Whether the memory-estimator path failed; feeds the circuit
+    /// breaker.
+    pub estimator_failure: bool,
+    /// Whether the response was served from a degraded (analytic) path,
+    /// either because the breaker forced it or the handler fell back on
+    /// its own.
+    pub degraded: bool,
+}
+
+/// Supplies the server loop with parsing, execution, and the typed
+/// rejection/error responses. Implementations must be deterministic:
+/// the same line and context must yield byte-identical responses.
+pub trait RequestHandler: Sync {
+    /// The parsed job type dispatched to workers.
+    type Job: Send;
+
+    /// Parses one input line.
+    fn parse(&self, line: &str) -> ParseOutcome<Self::Job>;
+
+    /// Executes one job. Runs on a worker thread; everything it needs
+    /// for determinism must come from `job` and `ctx`.
+    fn execute(&self, job: Self::Job, ctx: &ExecContext) -> Execution;
+
+    /// The typed `overloaded` rejection for a request shed at admission.
+    fn overloaded_response(
+        &self,
+        seq: u64,
+        queue_len: u64,
+        limit: u64,
+        retry_after_units: u64,
+    ) -> String;
+
+    /// The typed `error` response for a line that failed to parse.
+    fn error_response(&self, seq: u64, message: &str) -> String;
+}

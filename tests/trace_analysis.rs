@@ -86,9 +86,18 @@ fn committed_budget_manifest_passes_on_the_reference_trace() {
             .collect::<Vec<_>>()
     );
     // The manifest is not vacuous: it pins every phase span and checks
-    // both cost and count ceilings.
+    // both cost and count ceilings. The `serve` entry is ceiling-only
+    // (pipette-serve traces carry it; batch traces must still pass).
     assert!(report.checks.len() >= 20, "manifest too thin");
-    assert!(manifest.spans.iter().all(|s| s.require));
+    assert!(manifest
+        .spans
+        .iter()
+        .filter(|s| s.span != "serve")
+        .all(|s| s.require));
+    assert!(manifest
+        .spans
+        .iter()
+        .any(|s| s.span == "serve" && !s.require));
 }
 
 #[test]
