@@ -264,8 +264,12 @@ fn check_job_shape(doc: &JsonValue) -> Result<(), SpecError> {
         TOP_FIELDS,
         &["cluster", "model", "global_batch"],
     )?;
-    // pipette-lint: allow(D2) -- check_fields above just verified `cluster` is present
-    let cluster = doc.get("cluster").expect("required above");
+    let Some(cluster) = doc.get("cluster") else {
+        return Err(SpecError::MissingField {
+            context: "spec".to_string(),
+            field: "cluster",
+        });
+    };
     check_fields(
         cluster,
         "cluster",
@@ -273,8 +277,12 @@ fn check_job_shape(doc: &JsonValue) -> Result<(), SpecError> {
         CLUSTER_FIELDS,
         &["preset", "nodes"],
     )?;
-    // pipette-lint: allow(D2) -- check_fields above just verified `model` is present
-    let model = doc.get("model").expect("required above");
+    let Some(model) = doc.get("model") else {
+        return Err(SpecError::MissingField {
+            context: "spec".to_string(),
+            field: "model",
+        });
+    };
     if model.get("preset").is_some() {
         check_fields(model, "model", &["preset"], MODEL_FIELDS, &["preset"])?;
     } else {

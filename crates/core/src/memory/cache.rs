@@ -46,10 +46,11 @@ pub fn estimator_fingerprint(
         }
     }
     fn part<T: Serialize>(hash: &mut u64, value: &T) {
-        // pipette-lint: allow(D2) -- vendored serde_json cannot fail on these
-        // plain derive(Serialize) structs; a failure would be a build bug
-        let json = serde_json::to_string(value).expect("cache key serializes");
-        fnv(hash, json.as_bytes());
+        // An unserializable value degrades to hashing only the separator:
+        // the key stays deterministic, at worst less discriminating.
+        if let Ok(json) = serde_json::to_string(value) {
+            fnv(hash, json.as_bytes());
+        }
         fnv(hash, &[0x1e]);
     }
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;

@@ -71,8 +71,7 @@ pub fn calibrate(
     under.sort_by(|a, b| a.total_cmp(b));
     let idx = ((under.len() as f64 * confidence).ceil() as usize).clamp(1, under.len()) - 1;
     let margin = under[idx];
-    // pipette-lint: allow(D2) -- callers split off a non-empty holdout before calibrating
-    let worst = *under.last().expect("non-empty holdout");
+    let worst = under.last().copied().unwrap_or(margin);
 
     let report = CalibrationReport {
         margin,

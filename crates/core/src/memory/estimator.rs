@@ -183,9 +183,11 @@ pub(crate) fn analytic_prior(features: &[f64; 10], seq_len: usize, vocab: usize)
         features[4] as usize,
         features[6] as usize,
     );
-    let plan = MicrobatchPlan::new(features[8] as u64, features[7] as u64)
-        // pipette-lint: allow(D2) -- feature vectors come from features_for, whose plans are valid by construction
-        .expect("feature vectors describe valid plans");
+    let Ok(plan) = MicrobatchPlan::new(features[8] as u64, features[7] as u64) else {
+        // Feature vectors come from features_for, whose plans are valid
+        // by construction; a degenerate vector degrades to the 1-byte floor.
+        return 1.0;
+    };
     AnalyticMemoryEstimator::new()
         .estimate_bytes(&gpt, cfg, plan)
         .max(1) as f64

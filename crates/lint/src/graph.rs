@@ -1,0 +1,603 @@
+//! The workspace call graph: call-site extraction and name resolution
+//! over the per-file symbol tables from [`crate::items`].
+//!
+//! Resolution is deliberately conservative. The graph rules (D6, D8,
+//! D9) turn an edge into a *violation path*, so a wrong edge is a
+//! phantom finding — far worse than a missing one. A call site
+//! resolves only when the evidence is unambiguous:
+//!
+//! * `self.helper()` resolves inside the caller's own `impl` block;
+//! * `Type::method(…)` and `Self::method(…)` resolve through the
+//!   owner index;
+//! * `module::func(…)` resolves when the qualifier names the callee's
+//!   inline module or file;
+//! * a bare `helper()` prefers a same-file definition, then a
+//!   workspace-unique name;
+//! * `.method()` on an arbitrary receiver resolves only when exactly
+//!   one first-party method has that name *and* the name is not a
+//!   common `std` method (`.len()`, `.lock()`, …) that would
+//!   misattribute standard-library calls to a first-party namesake.
+//!
+//! Everything else stays an unresolved site, counted in
+//! [`GraphStats::call_sites`] so the report still shows how much of
+//! the workspace the graph saw.
+
+use crate::items::FileItems;
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One function in the workspace-wide graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index into [`CallGraph::files`].
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Owning `impl`/`trait` type, if any.
+    pub owner: Option<String>,
+    /// Exported-`pub` flag (restricted `pub(crate)` is `false`).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the definition sits inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+    /// Index into the defining file's [`FileItems::fns`].
+    pub local_idx: usize,
+}
+
+impl FnNode {
+    /// `Owner::name` or `name`, for diagnostics.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One resolved caller→callee edge (deduplicated per pair; `line` is
+/// the first call site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Caller node index.
+    pub caller: usize,
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the first call site in the caller.
+    pub line: u32,
+}
+
+/// Headline numbers for the `--json` report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `fn` items across the workspace.
+    pub functions: usize,
+    /// Of those, exported-`pub`.
+    pub public_fns: usize,
+    /// `impl` blocks.
+    pub impl_blocks: usize,
+    /// Inline `mod` blocks.
+    pub modules: usize,
+    /// Call sites considered (resolved or not).
+    pub call_sites: usize,
+    /// Unique resolved caller→callee pairs.
+    pub resolved_edges: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Workspace-relative file paths, indexed by [`FnNode::file`].
+    pub files: Vec<String>,
+    /// All functions.
+    pub nodes: Vec<FnNode>,
+    /// Resolved edges, sorted by `(caller, callee)`.
+    pub edges: Vec<CallEdge>,
+    /// Summary counters.
+    pub stats: GraphStats,
+}
+
+/// One file's worth of input to the graph builder.
+pub struct FileSyms<'a> {
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// The file's token stream.
+    pub tokens: &'a [Token],
+    /// Its parsed symbol table.
+    pub items: &'a FileItems,
+    /// Per-token `#[cfg(test)]` mask (same length as `tokens`).
+    pub in_test: &'a [bool],
+}
+
+/// Method names so common on `std` types that a dotted call must not
+/// resolve to a first-party namesake.
+const COMMON_STD_METHODS: &[&str] = &[
+    "new",
+    "clone",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "next",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+    "powi",
+    "powf",
+    "to_string",
+    "into",
+    "from",
+    "as_ref",
+    "as_str",
+    "as_slice",
+    "cmp",
+    "eq",
+    "fmt",
+    "lock",
+    "unwrap",
+    "expect",
+    "collect",
+    "map",
+    "filter",
+    "fold",
+    "contains",
+    "clear",
+    "extend",
+    "split",
+    "join",
+    "find",
+    "position",
+    "sort",
+    "sort_by",
+    "drain",
+    "take",
+    "write",
+    "read",
+    "flush",
+    "wait",
+    "drop",
+    "default",
+    "clamp",
+    "floor",
+    "ceil",
+    "round",
+    "trim",
+    "parse",
+];
+
+/// Keywords that can directly precede a `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "fn", "let", "else",
+    "unsafe", "break", "continue", "where", "impl", "dyn", "ref", "mut", "box", "await", "use",
+    "pub", "crate", "super", "self", "Self", "Some", "Ok", "Err", "None", "Box", "Vec", "String",
+];
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Builds the workspace graph from per-file symbol tables.
+pub fn build_graph(files: &[FileSyms<'_>]) -> CallGraph {
+    let mut graph = CallGraph::default();
+    // Flatten nodes and build the resolution indexes.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fidx, fs) in files.iter().enumerate() {
+        graph.files.push(fs.rel_path.to_string());
+        graph.stats.impl_blocks += fs.items.impls;
+        graph.stats.modules += fs.items.modules;
+        for (lidx, f) in fs.items.fns.iter().enumerate() {
+            let node = FnNode {
+                file: fidx,
+                name: f.name.clone(),
+                owner: f.owner.clone(),
+                is_pub: f.is_pub,
+                line: f.line,
+                in_test: fs.in_test.get(f.sig_start).copied().unwrap_or(false),
+                local_idx: lidx,
+            };
+            graph.nodes.push(node);
+        }
+    }
+    graph.stats.functions = graph.nodes.len();
+    graph.stats.public_fns = graph
+        .nodes
+        .iter()
+        .filter(|n| n.is_pub && !n.in_test)
+        .count();
+    for (nidx, node) in graph.nodes.iter().enumerate() {
+        let fs = &files[node.file];
+        let f = &fs.items.fns[node.local_idx];
+        by_name.entry(f.name.as_str()).or_default().push(nidx);
+        if let Some(owner) = &f.owner {
+            by_owner
+                .entry((owner.as_str(), f.name.as_str()))
+                .or_default()
+                .push(nidx);
+            methods_by_name
+                .entry(f.name.as_str())
+                .or_default()
+                .push(nidx);
+        }
+    }
+    // A fast path for `module::func(` resolution: does the candidate's
+    // defining file or inline-module path mention the qualifier?
+    let module_matches = |cand: usize, qual: &str| -> bool {
+        let node = &graph.nodes[cand];
+        let f = &files[node.file].items.fns[node.local_idx];
+        f.module.iter().any(|m| m == qual)
+            || files[node.file].rel_path.ends_with(&format!("/{qual}.rs"))
+            || files[node.file].rel_path.contains(&format!("/{qual}/"))
+    };
+
+    // Walk every fn body, extract call sites, resolve.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut nodes_of_file: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
+    for (nidx, node) in graph.nodes.iter().enumerate() {
+        nodes_of_file[node.file].push(nidx);
+    }
+    for (fidx, fs) in files.iter().enumerate() {
+        let owner_of = fs.items.owner_of_token(fs.tokens.len());
+        for &caller in &nodes_of_file[fidx] {
+            let local = graph.nodes[caller].local_idx;
+            let Some((open, close)) = fs.items.fns[local].body else {
+                continue;
+            };
+            let caller_owner = graph.nodes[caller].owner.clone();
+            for (i, owner) in owner_of.iter().enumerate().take(close).skip(open + 1) {
+                // A nested fn's body belongs to the nested fn.
+                if *owner != Some(local) {
+                    continue;
+                }
+                let Some(name) = ident_at(fs.tokens, i) else {
+                    continue;
+                };
+                if punct_at(fs.tokens, i + 1) != Some('(') {
+                    continue;
+                }
+                if NON_CALL_IDENTS.contains(&name) {
+                    continue;
+                }
+                let prev = punct_at(fs.tokens, i.wrapping_sub(1));
+                let resolved: Option<usize> = if prev == Some('.') {
+                    // `recv.name(`: self-receiver resolves in the
+                    // caller's impl; otherwise only a workspace-unique,
+                    // non-std method name.
+                    graph.stats.call_sites += 1;
+                    let self_recv = ident_at(fs.tokens, i.wrapping_sub(2)) == Some("self");
+                    let own = caller_owner
+                        .as_deref()
+                        .and_then(|o| by_owner.get(&(o, name)))
+                        .and_then(|c| (c.len() == 1).then(|| c[0]));
+                    if self_recv && own.is_some() {
+                        own
+                    } else if COMMON_STD_METHODS.contains(&name) {
+                        None
+                    } else {
+                        methods_by_name
+                            .get(name)
+                            .and_then(|c| (c.len() == 1).then(|| c[0]))
+                    }
+                } else if prev == Some(':') && punct_at(fs.tokens, i.wrapping_sub(2)) == Some(':') {
+                    // `Qual::name(`.
+                    graph.stats.call_sites += 1;
+                    let qual = ident_at(fs.tokens, i.wrapping_sub(3));
+                    match qual {
+                        Some("Self") => caller_owner
+                            .as_deref()
+                            .and_then(|o| by_owner.get(&(o, name)))
+                            .and_then(|c| (c.len() == 1).then(|| c[0])),
+                        Some(q) => {
+                            if let Some(c) = by_owner.get(&(q, name)) {
+                                (c.len() == 1).then(|| c[0])
+                            } else {
+                                let cands = by_name.get(name).map(Vec::as_slice).unwrap_or(&[]);
+                                let in_mod: Vec<usize> = cands
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| module_matches(c, q))
+                                    .collect();
+                                if in_mod.len() == 1 {
+                                    Some(in_mod[0])
+                                } else if cands.len() == 1 {
+                                    Some(cands[0])
+                                } else {
+                                    None
+                                }
+                            }
+                        }
+                        None => None,
+                    }
+                } else if prev != Some('!') {
+                    // A bare `name(`: same-file first, then unique name.
+                    graph.stats.call_sites += 1;
+                    let cands = by_name.get(name).map(Vec::as_slice).unwrap_or(&[]);
+                    let same_file: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| graph.nodes[c].file == fidx)
+                        .collect();
+                    if same_file.len() == 1 {
+                        Some(same_file[0])
+                    } else if cands.len() == 1 {
+                        Some(cands[0])
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if let Some(callee) = resolved {
+                    if seen.insert((caller, callee)) {
+                        graph.edges.push(CallEdge {
+                            caller,
+                            callee,
+                            line: fs.tokens[i].line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    graph.edges.sort_by_key(|e| (e.caller, e.callee));
+    graph.stats.resolved_edges = graph.edges.len();
+    graph
+}
+
+impl CallGraph {
+    /// Caller-indexed adjacency: `adj[caller]` lists `(callee, line)`.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, u32)>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            adj[e.caller].push((e.callee, e.line));
+        }
+        adj
+    }
+
+    /// Breadth-first shortest path from `from` to any node where
+    /// `is_sink` holds, traversing only nodes where `allowed` holds.
+    /// Returns node indices from `from` to the sink inclusive; the
+    /// start itself may be the sink (path of length 1).
+    pub fn shortest_path(
+        &self,
+        from: usize,
+        adj: &[Vec<(usize, u32)>],
+        is_sink: impl Fn(usize) -> bool,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        if !allowed(from) {
+            return None;
+        }
+        if is_sink(from) {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut visited: BTreeSet<usize> = BTreeSet::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for &(next, _) in &adj[cur] {
+                if !visited.insert(next) || !allowed(next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if is_sink(next) {
+                    let mut path = vec![next];
+                    let mut at = next;
+                    while let Some(&p) = prev.get(&at) {
+                        path.push(p);
+                        at = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// Renders a node path as `a -> B::b -> c` for diagnostics.
+    pub fn render_path(&self, path: &[usize]) -> String {
+        path.iter()
+            .map(|&n| self.nodes[n].qualified())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+
+    struct Owned {
+        rel_path: String,
+        tokens: Vec<Token>,
+        items: FileItems,
+        in_test: Vec<bool>,
+    }
+
+    fn prep(files: &[(&str, &str)]) -> Vec<Owned> {
+        files
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let items = parse_items(&lexed.tokens);
+                let in_test = crate::rules::test_region_mask(&lexed.tokens);
+                Owned {
+                    rel_path: path.to_string(),
+                    tokens: lexed.tokens,
+                    items,
+                    in_test,
+                }
+            })
+            .collect()
+    }
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let owned = prep(files);
+        let syms: Vec<FileSyms<'_>> = owned
+            .iter()
+            .map(|o| FileSyms {
+                rel_path: &o.rel_path,
+                tokens: &o.tokens,
+                items: &o.items,
+                in_test: &o.in_test,
+            })
+            .collect();
+        build_graph(&syms)
+    }
+
+    fn edge_names(g: &CallGraph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .map(|e| (g.nodes[e.caller].qualified(), g.nodes[e.callee].qualified()))
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_unique() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn top() { helper(); other(); }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn other() {}"),
+        ]);
+        assert_eq!(
+            edge_names(&g),
+            vec![
+                ("top".into(), "helper".into()),
+                ("top".into(), "other".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn shadowed_names_do_not_resolve_across_files() {
+        // Two files define `shared`; a third calls it. Ambiguous:
+        // better no edge than a wrong one.
+        let g = graph_of(&[
+            ("crates/a/src/lib.rs", "pub fn shared() {}"),
+            ("crates/b/src/lib.rs", "pub fn shared() {}"),
+            ("crates/c/src/lib.rs", "pub fn call() { shared(); }"),
+        ]);
+        assert!(edge_names(&g).is_empty(), "{:?}", edge_names(&g));
+        assert_eq!(g.stats.call_sites, 1);
+    }
+
+    #[test]
+    fn self_and_qualified_method_calls_resolve_to_impl() {
+        let src = "struct S;\nimpl S {\n  fn a(&self) { self.b(); Self::c(); }\n  fn b(&self) {}\n  fn c() {}\n}";
+        let g = graph_of(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(
+            edge_names(&g),
+            vec![
+                ("S::a".into(), "S::b".into()),
+                ("S::a".into(), "S::c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn type_qualified_cross_crate_calls_resolve() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct W;\nimpl W { pub fn build() {} }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn go() { W::build(); }"),
+        ]);
+        assert_eq!(edge_names(&g), vec![("go".into(), "W::build".into())]);
+    }
+
+    #[test]
+    fn module_qualified_calls_resolve_by_path() {
+        let g = graph_of(&[
+            ("crates/a/src/latency/model.rs", "pub fn fit() {}"),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn fit() {}\npub fn go() { model::fit(); }",
+            ),
+        ]);
+        assert_eq!(edge_names(&g), vec![("go".into(), "fit".into())]);
+        let (_, callee) = (g.edges[0].caller, g.edges[0].callee);
+        assert_eq!(
+            g.files[g.nodes[callee].file],
+            "crates/a/src/latency/model.rs"
+        );
+    }
+
+    #[test]
+    fn common_std_method_names_never_resolve_on_foreign_receivers() {
+        let src = "struct S;\nimpl S { pub fn len(&self) -> usize { 0 } }\n\
+                   pub fn go(v: &[u8]) { let _n = v.len(); }";
+        let g = graph_of(&[("crates/a/src/lib.rs", src)]);
+        assert!(edge_names(&g).is_empty(), "{:?}", edge_names(&g));
+    }
+
+    #[test]
+    fn unique_first_party_method_resolves_through_any_receiver() {
+        let src = "struct S;\nimpl S { pub fn recompute_spans(&self) {} }\n\
+                   pub fn go(s: &S) { s.recompute_spans(); }";
+        let g = graph_of(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(
+            edge_names(&g),
+            vec![("go".into(), "S::recompute_spans".into())]
+        );
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_call_sites() {
+        let src = "pub fn go(x: u32) -> u32 { if (x > 1) { return x; } vec![1]; assert_ne!(x, 9); match (x) { _ => x } }";
+        let g = graph_of(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(g.stats.call_sites, 0, "{:?}", g.stats);
+    }
+
+    #[test]
+    fn shortest_path_finds_transitive_route() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { mid(); }\nfn mid() { deep(); }\nfn deep() {}",
+        )]);
+        let adj = g.adjacency();
+        let deep = g.nodes.iter().position(|n| n.name == "deep").unwrap();
+        let entry = g.nodes.iter().position(|n| n.name == "entry").unwrap();
+        let path = g
+            .shortest_path(entry, &adj, |n| n == deep, |_| true)
+            .unwrap();
+        assert_eq!(g.render_path(&path), "entry -> mid -> deep");
+    }
+
+    #[test]
+    fn test_gated_fns_are_marked() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests { fn t() { real(); } }",
+        )]);
+        let t = g.nodes.iter().find(|n| n.name == "t").unwrap();
+        assert!(t.in_test);
+        assert!(!g.nodes.iter().find(|n| n.name == "real").unwrap().in_test);
+        assert_eq!(g.stats.public_fns, 1);
+    }
+}

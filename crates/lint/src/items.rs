@@ -1,0 +1,391 @@
+//! The brace-structure item parser: from a token stream to a per-file
+//! symbol table.
+//!
+//! `pipette-lint` v1 pattern-matched token runs; the graph rules
+//! (D6–D9) need to know *which function* a token belongs to, whether
+//! that function is `pub`, and what `impl` block owns it. This module
+//! recovers exactly that much structure — modules, `impl`/`trait`
+//! blocks, and `fn` items with their body token ranges — from the
+//! [`crate::lexer`] output, without building an AST. The parse is a
+//! single forward pass with a scope stack: a `mod`/`impl`/`trait`/`fn`
+//! header arms a *pending scope* that the next `{` at signature level
+//! adopts; every `}` pops the frames opened at its depth. Anything the
+//! parser does not understand degrades to an anonymous block, never a
+//! mis-attribution: a function we fail to record costs a false
+//! negative in a lint, not a phantom violation.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `fn` item recovered from a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing inline-module path within the file (`["sub", "inner"]`).
+    pub module: Vec<String>,
+    /// The `impl`/`trait` type that owns it (`Server` for
+    /// `impl Server { fn f }`), or `None` for a free function.
+    pub owner: Option<String>,
+    /// Whether the item is exported `pub` (a restricted `pub(crate)` /
+    /// `pub(super)` does **not** count: graph rules that reason about
+    /// the public surface care about what external callers can reach).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Inclusive token range `[open brace, close brace]` of the body;
+    /// `None` for a bodiless trait-method signature.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `owner::name` when owned, else just `name` — the display form
+    /// used in call-path diagnostics.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The symbol table for one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Count of inline `mod name { … }` blocks.
+    pub modules: usize,
+    /// Count of `impl` blocks.
+    pub impls: usize,
+}
+
+impl FileItems {
+    /// Maps each token index to the innermost `fn` (index into
+    /// [`FileItems::fns`]) whose body contains it. Signature tokens
+    /// belong to no body, so a definition never looks like a call site.
+    pub fn owner_of_token(&self, token_count: usize) -> Vec<Option<usize>> {
+        let mut owner = vec![None; token_count];
+        // Source order means a nested fn is visited after its parent
+        // and overwrites the parent's claim on the inner range, so the
+        // innermost fn wins without any explicit nesting bookkeeping.
+        for (idx, f) in self.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                for slot in owner
+                    .iter_mut()
+                    .take(close.min(token_count.saturating_sub(1)) + 1)
+                    .skip(open)
+                {
+                    *slot = Some(idx);
+                }
+            }
+        }
+        owner
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Mod(String),
+    Owner(String),
+    Fn { fn_idx: usize },
+}
+
+#[derive(Debug)]
+enum Frame {
+    Mod,
+    Owner,
+    Fn { fn_idx: usize, open: usize },
+    Block,
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Whether the `fn` at token `i` is exported `pub`: walks back over the
+/// qualifier run (`const`/`unsafe`/`async`/`extern "C"`), accepting a
+/// bare `pub` and rejecting a restricted `pub(...)`.
+fn fn_is_pub(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].kind {
+            TokenKind::Ident(s)
+                if matches!(s.as_str(), "const" | "unsafe" | "async" | "extern") =>
+            {
+                continue;
+            }
+            TokenKind::Literal => continue, // an `extern "C"` ABI string
+            TokenKind::Punct(')') => {
+                // `pub(crate)` / `pub(super)` / `pub(in path)`: restricted.
+                return false;
+            }
+            TokenKind::Ident(s) if s == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Extracts the owning type name from an `impl`/`trait` header starting
+/// just after the keyword at `i`: the last path segment of the
+/// implemented-on type (`impl fmt::Display for LintError` → `LintError`,
+/// `impl<S> Pool<S>` → `Pool`), scanning only angle-depth-0 idents and
+/// cutting at a `where` clause or the body `{`.
+fn owner_name(tokens: &[Token], mut i: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Punct('{') if angle <= 0 => break,
+            TokenKind::Punct(';') if angle <= 0 => break,
+            TokenKind::Ident(s) if angle <= 0 => {
+                if s == "where" {
+                    break;
+                }
+                if s == "for" {
+                    saw_for = true;
+                } else if saw_for {
+                    // Keep the last segment: `cache::Cache` → `Cache`.
+                    after_for = Some(s.as_str());
+                } else {
+                    last = Some(s.as_str());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    after_for.or(last).map(str::to_string)
+}
+
+/// Parses one file's tokens into its symbol table.
+pub fn parse_items(tokens: &[Token]) -> FileItems {
+    let mut out = FileItems::default();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut mod_path: Vec<String> = Vec::new();
+    let mut owner_stack: Vec<String> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Ident(kw) if kw == "mod" => {
+                if let Some(name) = ident_at(tokens, i + 1) {
+                    // `mod name;` is an out-of-line declaration — its
+                    // file is scanned on its own; only `mod name {` opens
+                    // a scope here.
+                    if punct_at(tokens, i + 2) == Some('{') {
+                        pending = Some(Pending::Mod(name.to_string()));
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            TokenKind::Ident(kw) if kw == "impl" || kw == "trait" => {
+                // A `trait` scope also owns its default-bodied methods.
+                if kw == "impl" {
+                    out.impls += 1;
+                }
+                if let Some(name) = owner_name(tokens, i + 1) {
+                    pending = Some(Pending::Owner(name));
+                }
+            }
+            TokenKind::Ident(kw) if kw == "fn" => {
+                if let Some(name) = ident_at(tokens, i + 1) {
+                    out.fns.push(FnItem {
+                        name: name.to_string(),
+                        module: mod_path.clone(),
+                        owner: owner_stack.last().cloned(),
+                        is_pub: fn_is_pub(tokens, i),
+                        line: tokens[i].line,
+                        sig_start: i,
+                        body: None,
+                    });
+                    pending = Some(Pending::Fn {
+                        fn_idx: out.fns.len() - 1,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+            TokenKind::Punct(';') => {
+                // A bodiless trait-method signature (or `mod x;` missed
+                // above) discharges whatever header was pending.
+                pending = None;
+            }
+            TokenKind::Punct('{') => match pending.take() {
+                Some(Pending::Mod(name)) => {
+                    out.modules += 1;
+                    mod_path.push(name);
+                    stack.push(Frame::Mod);
+                }
+                Some(Pending::Owner(name)) => {
+                    owner_stack.push(name);
+                    stack.push(Frame::Owner);
+                }
+                Some(Pending::Fn { fn_idx }) => {
+                    stack.push(Frame::Fn { fn_idx, open: i });
+                }
+                None => stack.push(Frame::Block),
+            },
+            TokenKind::Punct('}') => match stack.pop() {
+                Some(Frame::Mod) => {
+                    mod_path.pop();
+                }
+                Some(Frame::Owner) => {
+                    owner_stack.pop();
+                }
+                Some(Frame::Fn { fn_idx, open }) => {
+                    out.fns[fn_idx].body = Some((open, i));
+                }
+                Some(Frame::Block) | None => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fns_and_pubness() {
+        let fi = items(
+            "pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\n\
+             pub const unsafe fn d() {}\npub async fn e() {}",
+        );
+        let flags: Vec<(String, bool)> =
+            fi.fns.iter().map(|f| (f.name.clone(), f.is_pub)).collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("a".into(), true),
+                ("b".into(), false),
+                ("c".into(), false),
+                ("d".into(), true),
+                ("e".into(), true),
+            ]
+        );
+        assert!(fi.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn impl_methods_get_their_owner() {
+        let fi = items(
+            "struct S;\nimpl S { pub fn m(&self) {} }\n\
+             impl<'a> Pool<'a> { fn grab(&self) {} }\n\
+             impl std::fmt::Display for LintError { fn fmt(&self) {} }",
+        );
+        let owners: Vec<(String, Option<String>)> = fi
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("m".into(), Some("S".into())),
+                ("grab".into(), Some("Pool".into())),
+                ("fmt".into(), Some("LintError".into())),
+            ]
+        );
+        assert_eq!(fi.impls, 3);
+        assert_eq!(fi.fns[0].qualified(), "S::m");
+    }
+
+    #[test]
+    fn inline_modules_nest_and_pop() {
+        let fi = items("mod outer { mod inner { fn deep() {} } fn shallow() {} }\nfn top() {}");
+        let mods: Vec<(String, Vec<String>)> = fi
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module.clone()))
+            .collect();
+        assert_eq!(
+            mods,
+            vec![
+                ("deep".into(), vec!["outer".into(), "inner".into()]),
+                ("shallow".into(), vec!["outer".into()]),
+                ("top".into(), vec![]),
+            ]
+        );
+        assert_eq!(fi.modules, 2);
+    }
+
+    #[test]
+    fn body_ranges_exclude_signatures_and_nested_fns_win() {
+        let src = "fn outer() { helper(); fn inner() { deep(); } tail(); }";
+        let lexed = lex(src);
+        let fi = parse_items(&lexed.tokens);
+        let owner = fi.owner_of_token(lexed.tokens.len());
+        let tok = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .position(|t| t.kind == TokenKind::Ident(name.into()))
+                .unwrap()
+        };
+        // The `outer` name token is signature, not body.
+        assert_eq!(owner[tok("outer")], None);
+        assert_eq!(
+            fi.fns[fi.owner_of_token(lexed.tokens.len())[tok("helper")].unwrap()].name,
+            "outer"
+        );
+        assert_eq!(fi.fns[owner[tok("deep")].unwrap()].name, "inner");
+        assert_eq!(fi.fns[owner[tok("tail")].unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body_but_defaults_do() {
+        let fi = items("trait T { fn sig(&self); fn dflt(&self) { work(); } }");
+        assert_eq!(fi.fns.len(), 2);
+        assert_eq!(fi.fns[0].body, None);
+        assert!(fi.fns[1].body.is_some());
+        assert_eq!(fi.fns[1].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn braces_in_expressions_do_not_confuse_scoping() {
+        let fi = items(
+            "fn f(x: u32) -> u32 { match x { 0 => { zero() } _ => x } }\n\
+             fn g() { if cond { a(); } else { b(); } let s = S { f: 1 }; }",
+        );
+        assert_eq!(fi.fns.len(), 2);
+        let (o0, c0) = fi.fns[0].body.unwrap();
+        let (o1, _) = fi.fns[1].body.unwrap();
+        assert!(c0 < o1, "f's body must close before g's opens");
+        assert!(o0 < c0);
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses_parse() {
+        let fi = items("pub fn pick<T: Ord>(xs: &[T]) -> Option<&T> where T: Clone { xs.first() }");
+        assert_eq!(fi.fns.len(), 1);
+        assert!(fi.fns[0].is_pub);
+        assert!(fi.fns[0].body.is_some());
+    }
+}

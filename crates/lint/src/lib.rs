@@ -1,24 +1,47 @@
 //! `pipette-lint` — the workspace invariant checker.
 //!
 //! Pipette's headline guarantees live outside the type system: a
-//! recommendation is bit-identical at any thread count, a telemetry trace
-//! replays, a fault surfaces as a typed error. This crate turns those
-//! conventions into a CI-gated contract: a hand-rolled Rust scanner
-//! ([`lexer`]) feeds a small rule engine ([`rules`]) that walks every
-//! first-party crate under `crates/` (never `vendor/`) and reports
-//! violations of the named rules `D1`–`D4`, honoring inline
-//! `// pipette-lint: allow(<rule>) -- <justification>` waivers.
+//! recommendation is bit-identical at any thread count, a telemetry
+//! trace replays, a fault surfaces as a typed error, the serve daemon
+//! never deadlocks. This crate turns those conventions into a
+//! CI-gated contract in two layers:
 //!
-//! The library API is what the fixture tests and the workspace-clean
+//! * a hand-rolled Rust scanner ([`lexer`]) feeds the *local* rule
+//!   engine ([`rules`]), which walks every first-party crate under
+//!   `crates/` (never `vendor/`) checking the site rules `D1`–`D5`
+//!   and `D7`;
+//! * a brace-structure item parser ([`items`]) builds a per-crate
+//!   symbol table, [`graph`] resolves a workspace-wide call graph
+//!   over it, and the *graph* rules run on top: lock-order deadlock
+//!   detection ([`locks`], `D6`), panic reachability from the public
+//!   surface and transitive hot-path allocation ([`reach`],
+//!   `D8`/`D9`);
+//! * every `Cargo.toml` is checked against the zero-dependency
+//!   invariant ([`manifest`], `D10`).
+//!
+//! All rules honor inline
+//! `// pipette-lint: allow(<rule>) -- <justification>` waivers. The
+//! library API is what the fixture tests and the workspace-clean
 //! integration test drive; the `pipette-lint` binary adds human and
-//! `--json` output plus `--baseline` waiver snapshots for CI.
+//! `--json` output (`pipette-lint/v2` schema with call-graph stats),
+//! `--explain <RULE>`, and `--baseline` waiver snapshots for CI.
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod locks;
+pub mod manifest;
+pub mod reach;
 pub mod report;
 pub mod rules;
+pub mod units;
 
-pub use rules::{classify, lint_source, Config, Diagnostic, FileClass, RuleInfo, RULES};
+pub use graph::GraphStats;
+pub use rules::{classify, Config, Diagnostic, FileClass, RuleInfo, RULES};
 
+use graph::FileSyms;
+use reach::ReachInput;
+use rules::FileAnalysis;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -26,10 +49,14 @@ use std::path::{Path, PathBuf};
 /// Everything one workspace scan produced.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
-    /// Files scanned, workspace-relative, in deterministic (sorted) order.
+    /// Source files scanned, workspace-relative, sorted.
     pub files: Vec<String>,
+    /// Manifests (`Cargo.toml`) scanned, workspace-relative, sorted.
+    pub manifests: Vec<String>,
     /// All findings — waived and active — in file/line order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Call-graph summary from the semantic layer.
+    pub graph: GraphStats,
 }
 
 impl WorkspaceReport {
@@ -142,19 +169,96 @@ pub fn collect_sources(root: &Path) -> Result<Vec<String>, LintError> {
     Ok(files)
 }
 
-/// Scans the whole workspace under `root` with `cfg`.
+/// Lints in-memory sources and manifests: the full pipeline (local
+/// rules, call graph, graph rules, manifest rule) minus the
+/// filesystem. This is the entry the fixture tests drive.
+pub fn lint_files(
+    sources: &[(String, String)],
+    manifests: &[(String, String)],
+    cfg: &Config,
+) -> WorkspaceReport {
+    // Phase 1 — local analysis per file.
+    let analyses: Vec<FileAnalysis> = sources
+        .iter()
+        .map(|(rel, src)| rules::analyze_file(rel, src, cfg))
+        .collect();
+
+    // Phase 2 — the semantic layer and its graph rules.
+    let syms: Vec<FileSyms<'_>> = analyses
+        .iter()
+        .map(|a| FileSyms {
+            rel_path: &a.rel_path,
+            tokens: &a.lexed.tokens,
+            items: &a.items,
+            in_test: &a.in_test,
+        })
+        .collect();
+    let call_graph = graph::build_graph(&syms);
+    let class: Vec<FileClass> = analyses.iter().map(|a| a.class).collect();
+    let in_hot: Vec<Vec<bool>> = analyses.iter().map(|a| a.in_hot.clone()).collect();
+    let panic_waived: Vec<Vec<(u32, u32)>> =
+        analyses.iter().map(|a| a.panic_waived_ranges()).collect();
+    let input = ReachInput {
+        syms: &syms,
+        graph: &call_graph,
+        class: &class,
+        in_hot: &in_hot,
+        panic_waived: &panic_waived,
+        strict_indexing: cfg.strict_indexing,
+    };
+    let mut global: Vec<Diagnostic> = locks::check_locks(&syms, &call_graph);
+    global.extend(reach::check_panic_reachability(&input));
+    global.extend(reach::check_hot_reachability(&input));
+    let mut global_by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for d in global {
+        global_by_file.entry(d.file.clone()).or_default().push(d);
+    }
+
+    // Phase 3 — waiver attachment per file, then the manifest rule.
+    let mut diagnostics = Vec::new();
+    for a in analyses {
+        let extra = global_by_file.remove(&a.rel_path).unwrap_or_default();
+        diagnostics.extend(rules::finalize(a, extra));
+    }
+    for (rel, src) in manifests {
+        diagnostics.extend(manifest::lint_manifest(rel, src));
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    WorkspaceReport {
+        files: sources.iter().map(|(rel, _)| rel.clone()).collect(),
+        manifests: manifests.iter().map(|(rel, _)| rel.clone()).collect(),
+        diagnostics,
+        graph: call_graph.stats,
+    }
+}
+
+/// Lints one file's source text through the full pipeline (the graph
+/// rules see just this file). `rel_path` is workspace-relative and
+/// only used for classification and diagnostics.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    lint_files(&[(rel_path.to_string(), src.to_string())], &[], cfg).diagnostics
+}
+
+/// Scans the whole workspace under `root` with `cfg`: every `.rs`
+/// under `crates/` plus every owned `Cargo.toml`.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceReport, LintError> {
     let files = collect_sources(root)?;
-    let mut diagnostics = Vec::new();
-    for rel in &files {
+    let read = |rel: &String| -> Result<(String, String), LintError> {
         let path = root.join(rel);
         let src = std::fs::read_to_string(&path).map_err(|source| LintError::Io {
             path: path.clone(),
             source,
         })?;
-        diagnostics.extend(lint_source(rel, &src, cfg));
-    }
-    Ok(WorkspaceReport { files, diagnostics })
+        Ok((rel.clone(), src))
+    };
+    let sources = files.iter().map(read).collect::<Result<Vec<_>, _>>()?;
+    let manifests = manifest::collect_manifests(root)
+        .iter()
+        .map(read)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(lint_files(&sources, &manifests, cfg))
 }
 
 #[cfg(test)]
@@ -172,6 +276,8 @@ mod tests {
     fn per_rule_counts_split_active_and_waived() {
         let report = WorkspaceReport {
             files: Vec::new(),
+            manifests: Vec::new(),
+            graph: GraphStats::default(),
             diagnostics: vec![
                 Diagnostic {
                     file: "crates/x/src/a.rs".into(),
@@ -193,5 +299,50 @@ mod tests {
         };
         assert_eq!(report.per_rule_counts().get("D2"), Some(&(1, 1)));
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn lint_files_runs_graph_rules_across_files() {
+        let sources = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "pub fn entry(x: Option<u32>) -> u32 { helper_unwrap(x) }".to_string(),
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                "pub fn helper_unwrap(x: Option<u32>) -> u32 { x.unwrap_or(0) }".to_string(),
+            ),
+        ];
+        let report = lint_files(&sources, &[], &Config::default());
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.graph.functions == 2 && report.graph.resolved_edges == 1);
+    }
+
+    #[test]
+    fn lint_files_flags_cross_file_panic_paths_and_manifests() {
+        let sources = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "pub fn entry(x: Option<u32>) -> u32 { grab_value(x) }".to_string(),
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                "pub fn grab_value(x: Option<u32>) -> u32 { x.unwrap() }".to_string(),
+            ),
+        ];
+        let manifests = vec![(
+            "crates/a/Cargo.toml".to_string(),
+            "[dependencies]\nserde = \"1.0\"\n".to_string(),
+        )];
+        let report = lint_files(&sources, &manifests, &Config::default());
+        let rules: Vec<&str> = report.violations().map(|d| d.rule).collect();
+        // entry -> grab_value (D8 on both pub fns), the D2 site itself,
+        // and the external dependency.
+        assert!(rules.contains(&"D8") && rules.contains(&"D2") && rules.contains(&"D10"));
+        let d8 = report
+            .violations()
+            .find(|d| d.rule == "D8" && d.file == "crates/a/src/lib.rs")
+            .expect("cross-file D8");
+        assert!(d8.message.contains("entry -> grab_value"), "{}", d8.message);
     }
 }

@@ -1,0 +1,621 @@
+//! D6 — static lock-order analysis over the call graph.
+//!
+//! The serve daemon (DESIGN.md §7j) made pipette a long-running
+//! multi-threaded process; a lock-order inversion there is a hang in
+//! production that no tier-1 test reproduces. This module extracts
+//! every `Mutex` acquisition site, tracks which locks are *held* at
+//! each point of a function body, and builds the acquired-while-held
+//! relation — including through one level of resolved calls, so
+//! `{ let q = self.lock(); self.helper() }` still records
+//! `inner -> <whatever helper locks>`. Four findings come out:
+//!
+//! * **lock-order cycle** — the global acquired-while-held digraph
+//!   has a cycle (`A -> B` in one function, `B -> A` in another):
+//!   the classic ABBA deadlock, reported with one example site per
+//!   edge.
+//! * **recursive acquisition** — a lock acquired while already held
+//!   (`std::sync::Mutex` self-deadlocks on this).
+//! * **notify under lock** — a `Condvar` notified while the guard
+//!   protecting its predicate is still held: legal, but every waiter
+//!   wakes straight into a contended mutex; drop the guard first
+//!   (the daemon's `worker_loop`/`finish_input` discipline).
+//! * **wait while holding another lock** — `Condvar::wait` releases
+//!   only the guard it is given; any *other* lock stays held for the
+//!   entire blocked wait, starving its users.
+//!
+//! Lock identity is name-based and deliberately scoped: `self.field`
+//! receivers become `Owner.field` (comparable across functions and
+//! files — the identities real deadlocks are made of), while bare
+//! locals are scoped to their function (`file:fn:name`), so two
+//! unrelated locals never fabricate a cross-function cycle. Aliasing
+//! through references defeats name identity; that limitation is
+//! documented in DESIGN.md §7k rather than papered over.
+
+use crate::graph::{CallGraph, FileSyms};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// The dotted receiver chain ending at the `.` token `dot`, outermost
+/// segment first: `self.state.inner.lock()` → `["self","state","inner"]`.
+/// An index (`cells[i]`) is skipped back over; a call or other complex
+/// receiver yields `None`.
+fn receiver_chain(tokens: &[Token], dot: usize) -> Option<Vec<String>> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot; // invariant: tokens[j] is the `.` before a segment
+    loop {
+        let mut k = j.checked_sub(1)?;
+        // Skip one trailing index expression: `base[i]`.
+        if punct_at(tokens, k) == Some(']') {
+            let mut depth = 1usize;
+            while depth > 0 {
+                k = k.checked_sub(1)?;
+                match punct_at(tokens, k) {
+                    Some(']') => depth += 1,
+                    Some('[') => depth -= 1,
+                    _ => {}
+                }
+            }
+            k = k.checked_sub(1)?;
+        }
+        let seg = ident_at(tokens, k)?;
+        segs.push(seg.to_string());
+        if k >= 1 && punct_at(tokens, k - 1) == Some('.') {
+            j = k - 1;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    Some(segs)
+}
+
+/// One direct acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct Acq {
+    lock: String,
+    line: u32,
+}
+
+/// Canonical lock identity for a receiver chain observed in `node`.
+fn lock_id(graph: &CallGraph, node: usize, chain: &[String]) -> String {
+    let n = &graph.nodes[node];
+    if chain.first().map(String::as_str) == Some("self") && chain.len() >= 2 {
+        let owner = n.owner.as_deref().unwrap_or("?");
+        return format!("{owner}.{}", chain[1..].join("."));
+    }
+    if chain.len() == 1 && chain[0].chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+        // A static: file-global identity.
+        return format!("{}:{}", graph.files[n.file], chain[0]);
+    }
+    format!(
+        "{}:{}:{}",
+        graph.files[n.file],
+        n.qualified(),
+        chain.join(".")
+    )
+}
+
+/// Scans one body for direct `.lock()` acquisitions (no held-tracking).
+fn direct_acquisitions(graph: &CallGraph, files: &[FileSyms<'_>], node: usize) -> Vec<Acq> {
+    let n = &graph.nodes[node];
+    let fs = &files[n.file];
+    let Some((open, close)) = fs.items.fns[n.local_idx].body else {
+        return Vec::new();
+    };
+    let owner_of = fs.items.owner_of_token(fs.tokens.len());
+    let mut out = Vec::new();
+    for (i, owner) in owner_of.iter().enumerate().take(close).skip(open + 1) {
+        if *owner != Some(n.local_idx) {
+            continue;
+        }
+        if ident_at(fs.tokens, i) == Some("lock")
+            && punct_at(fs.tokens, i.wrapping_sub(1)) == Some('.')
+            && punct_at(fs.tokens, i + 1) == Some('(')
+        {
+            if let Some(chain) = receiver_chain(fs.tokens, i - 1) {
+                // `self.lock()` is a call to a first-party helper, not a
+                // std `Mutex` acquisition; the held-tracking pass follows
+                // it through the call graph instead.
+                if chain.len() == 1 && chain[0] == "self" {
+                    continue;
+                }
+                out.push(Acq {
+                    lock: lock_id(graph, node, &chain),
+                    line: fs.tokens[i].line,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug)]
+struct Held {
+    lock: String,
+    vars: Vec<String>,
+    /// Brace depth the guard dies below (let-bound) …
+    depth: usize,
+    /// … or at the next `;` (an unbound temporary).
+    stmt_scoped: bool,
+}
+
+/// One acquired-while-held observation.
+#[derive(Debug, Clone)]
+struct HeldEdge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// Runs the full D6 analysis; returns unwaived diagnostics.
+pub fn check_locks(files: &[FileSyms<'_>], graph: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Pass 1: each function's direct acquisitions (the one-hop table).
+    let direct: Vec<Vec<Acq>> = (0..graph.nodes.len())
+        .map(|n| direct_acquisitions(graph, files, n))
+        .collect();
+    // Per-caller resolved out-edges, by callee name, for the held walk.
+    let mut callee_by_name: Vec<BTreeMap<&str, usize>> = vec![BTreeMap::new(); graph.nodes.len()];
+    for e in &graph.edges {
+        callee_by_name[e.caller].insert(graph.nodes[e.callee].name.as_str(), e.callee);
+    }
+
+    // Pass 2: held-tracking walk of every body.
+    let mut edges: Vec<HeldEdge> = Vec::new();
+    for (node, n) in graph.nodes.iter().enumerate() {
+        if n.in_test {
+            continue;
+        }
+        let fs = &files[n.file];
+        let Some((open, close)) = fs.items.fns[n.local_idx].body else {
+            continue;
+        };
+        let owner_of = fs.items.owner_of_token(fs.tokens.len());
+        let tokens = fs.tokens;
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 1usize;
+        // Statement context since the last `;`/`{`/`}`.
+        let mut stmt_let_vars: Vec<String> = Vec::new();
+        let mut stmt_has_let = false;
+        let mut stmt_conditional = false; // `if let` / `while let` / `match`
+        let record_edges =
+            |held: &[Held], to: &str, line: u32, via: &str, edges: &mut Vec<HeldEdge>| {
+                for h in held {
+                    edges.push(HeldEdge {
+                        from: h.lock.clone(),
+                        to: to.to_string(),
+                        file: graph.files[n.file].clone(),
+                        line,
+                        via: via.to_string(),
+                    });
+                }
+            };
+        let mut i = open + 1;
+        while i < close {
+            if owner_of[i] != Some(n.local_idx) {
+                i += 1;
+                continue;
+            }
+            match &tokens[i].kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    stmt_has_let = false;
+                    stmt_let_vars.clear();
+                    stmt_conditional = false;
+                }
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    held.retain(|h| h.depth <= depth);
+                    stmt_has_let = false;
+                    stmt_let_vars.clear();
+                    stmt_conditional = false;
+                }
+                TokenKind::Punct(';') => {
+                    held.retain(|h| !h.stmt_scoped);
+                    stmt_has_let = false;
+                    stmt_let_vars.clear();
+                    stmt_conditional = false;
+                }
+                TokenKind::Ident(id) => {
+                    match id.as_str() {
+                        "if" | "while" | "match" => stmt_conditional = true,
+                        "let" => {
+                            stmt_has_let = true;
+                            // Collect pattern idents up to `=`, skipping
+                            // wrappers: `let Ok(mut g)` binds `g`.
+                            let mut j = i + 1;
+                            stmt_let_vars.clear();
+                            while j < close {
+                                match &tokens[j].kind {
+                                    TokenKind::Punct('=') | TokenKind::Punct(';') => break,
+                                    TokenKind::Ident(p)
+                                        if !matches!(
+                                            p.as_str(),
+                                            "Ok" | "Some" | "Err" | "mut" | "ref"
+                                        ) =>
+                                    {
+                                        // Stop at a type annotation.
+                                        if punct_at(tokens, j.wrapping_sub(1)) == Some(':') {
+                                            break;
+                                        }
+                                        stmt_let_vars.push(p.clone());
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                        }
+                        "lock"
+                            if punct_at(tokens, i.wrapping_sub(1)) == Some('.')
+                                && punct_at(tokens, i + 1) == Some('(') =>
+                        {
+                            let line = tokens[i].line;
+                            if let Some(chain) = receiver_chain(tokens, i - 1) {
+                                let acquired: Vec<String> =
+                                    if chain.len() == 1 && chain[0] == "self" {
+                                        // Helper: what it directly locks.
+                                        callee_by_name[node]
+                                            .get("lock")
+                                            .map(|&c| {
+                                                direct[c].iter().map(|a| a.lock.clone()).collect()
+                                            })
+                                            .unwrap_or_default()
+                                    } else {
+                                        vec![lock_id(graph, node, &chain)]
+                                    };
+                                for m in &acquired {
+                                    if held.iter().any(|h| &h.lock == m) {
+                                        diags.push(Diagnostic {
+                                            file: graph.files[n.file].clone(),
+                                            line,
+                                            rule: "D6",
+                                            message: format!(
+                                                "recursive acquisition of `{m}` in `{}`; a \
+                                                 std Mutex self-deadlocks when relocked by \
+                                                 its holder",
+                                                n.qualified()
+                                            ),
+                                            waived: false,
+                                            justification: None,
+                                        });
+                                    }
+                                    record_edges(&held, m, line, &n.qualified(), &mut edges);
+                                }
+                                let h_depth = if stmt_conditional { depth + 1 } else { depth };
+                                for m in acquired {
+                                    held.push(Held {
+                                        lock: m,
+                                        vars: stmt_let_vars.clone(),
+                                        depth: h_depth,
+                                        stmt_scoped: !stmt_has_let,
+                                    });
+                                }
+                            }
+                        }
+                        "drop" if punct_at(tokens, i + 1) == Some('(') => {
+                            if let Some(var) = ident_at(tokens, i + 2) {
+                                if punct_at(tokens, i + 3) == Some(')') {
+                                    held.retain(|h| !h.vars.iter().any(|v| v == var));
+                                }
+                            }
+                        }
+                        "notify_all" | "notify_one"
+                            if punct_at(tokens, i.wrapping_sub(1)) == Some('.')
+                                && punct_at(tokens, i + 1) == Some('(')
+                                && !held.is_empty() =>
+                        {
+                            let locks: Vec<&str> = held.iter().map(|h| h.lock.as_str()).collect();
+                            diags.push(Diagnostic {
+                                file: graph.files[n.file].clone(),
+                                line: tokens[i].line,
+                                rule: "D6",
+                                message: format!(
+                                    "`.{id}()` in `{}` while holding `{}`; drop the guard \
+                                     before notifying so waiters do not wake into a \
+                                     contended mutex",
+                                    n.qualified(),
+                                    locks.join("`, `")
+                                ),
+                                waived: false,
+                                justification: None,
+                            });
+                        }
+                        "wait" | "wait_while" | "wait_timeout"
+                            if punct_at(tokens, i.wrapping_sub(1)) == Some('.')
+                                && punct_at(tokens, i + 1) == Some('(')
+                                && held.len() > 1 =>
+                        {
+                            let locks: Vec<&str> = held.iter().map(|h| h.lock.as_str()).collect();
+                            diags.push(Diagnostic {
+                                file: graph.files[n.file].clone(),
+                                line: tokens[i].line,
+                                rule: "D6",
+                                message: format!(
+                                    "`.{id}()` in `{}` releases only its own guard; also \
+                                     held: `{}` — those stay locked for the entire wait",
+                                    n.qualified(),
+                                    locks.join("`, `")
+                                ),
+                                waived: false,
+                                justification: None,
+                            });
+                        }
+                        callee => {
+                            // One call hop: `f()` / `self.f()` / `T::f()`
+                            // while holding L records L -> every lock f
+                            // directly acquires.
+                            if !held.is_empty()
+                                && punct_at(tokens, i + 1) == Some('(')
+                                && callee != "lock"
+                            {
+                                if let Some(&c) = callee_by_name[node].get(callee) {
+                                    for a in &direct[c] {
+                                        record_edges(
+                                            &held,
+                                            &a.lock,
+                                            tokens[i].line,
+                                            &format!(
+                                                "{} -> {} (acquires at line {})",
+                                                n.qualified(),
+                                                graph.nodes[c].qualified(),
+                                                a.line
+                                            ),
+                                            &mut edges,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Pass 3: cycle detection on the acquired-while-held digraph.
+    diags.extend(find_cycles(&edges));
+    diags
+}
+
+/// Finds cycles in the lock digraph; each distinct cycle (as a sorted
+/// lock set) is reported once, at its lexicographically-first edge site.
+fn find_cycles(edges: &[HeldEdge]) -> Vec<Diagnostic> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut site: BTreeMap<(&str, &str), &HeldEdge> = BTreeMap::new();
+    for e in edges {
+        if e.from == e.to {
+            continue; // recursive acquisition is reported at its site
+        }
+        adj.entry(&e.from).or_default().insert(&e.to);
+        site.entry((&e.from, &e.to)).or_insert(e);
+    }
+    let mut diags = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    // For each edge u -> v, a path v ->* u closes a cycle. The graph is
+    // tiny (locks, not functions), so a BFS per edge is fine.
+    for (&(u, v), &e) in &site {
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([v]);
+        let mut seen: BTreeSet<&str> = BTreeSet::from([v]);
+        let mut found = false;
+        while let Some(cur) = queue.pop_front() {
+            if cur == u {
+                found = true;
+                break;
+            }
+            if let Some(nexts) = adj.get(cur) {
+                for &nx in nexts {
+                    if seen.insert(nx) {
+                        prev.insert(nx, cur);
+                        queue.push_back(nx);
+                    }
+                }
+            }
+        }
+        if !found {
+            continue;
+        }
+        // Reconstruct u -> v -> (intermediates of the v ->* u path) -> u.
+        let mut cycle = vec![u.to_string(), v.to_string()];
+        {
+            let mut at = u;
+            let mut back = Vec::new();
+            while let Some(&p) = prev.get(at) {
+                if p == v {
+                    break;
+                }
+                back.push(p);
+                at = p;
+            }
+            back.reverse();
+            cycle.extend(back.iter().map(|s| s.to_string()));
+        }
+        let mut key: Vec<String> = cycle.clone();
+        key.sort();
+        key.dedup();
+        if !reported.insert(key) {
+            continue;
+        }
+        let mut ring = cycle.clone();
+        ring.push(u.to_string());
+        diags.push(Diagnostic {
+            file: e.file.clone(),
+            line: e.line,
+            rule: "D6",
+            message: format!(
+                "lock-order cycle: {} (edge `{u}` -> `{v}` acquired in {}); threads taking \
+                 these locks in different orders can deadlock — pick one global order",
+                ring.join(" -> "),
+                e.via
+            ),
+            waived: false,
+            justification: None,
+        });
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+
+    struct Owned {
+        rel_path: String,
+        tokens: Vec<Token>,
+        items: crate::items::FileItems,
+        in_test: Vec<bool>,
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let owned = Owned {
+            rel_path: "crates/a/src/lib.rs".into(),
+            tokens: lexed.tokens,
+            items: parse_items(&lex(src).tokens),
+            in_test: crate::rules::test_region_mask(&lex(src).tokens),
+        };
+        let syms = vec![FileSyms {
+            rel_path: &owned.rel_path,
+            tokens: &owned.tokens,
+            items: &owned.items,
+            in_test: &owned.in_test,
+        }];
+        let graph = build_graph(&syms);
+        check_locks(&syms, &graph)
+    }
+
+    #[test]
+    fn abba_inversion_is_a_cycle() {
+        let src = "struct S;\nimpl S {\n\
+                   fn ab(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n\
+                   fn ba(&self) { let b = self.b.lock(); let a = self.a.lock(); }\n}";
+        let d = run(src);
+        assert!(
+            d.iter().any(|d| d.message.contains("lock-order cycle")),
+            "{d:?}"
+        );
+        assert!(d[0].message.contains("S.a") && d[0].message.contains("S.b"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "struct S;\nimpl S {\n\
+                   fn ab(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n\
+                   fn ab2(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn guard_dropped_before_second_lock_is_clean() {
+        let src = "struct S;\nimpl S {\n\
+                   fn ab(&self) { let a = self.a.lock(); drop(a); let b = self.b.lock(); }\n\
+                   fn ba(&self) { let b = self.b.lock(); drop(b); let a = self.a.lock(); }\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn block_scope_releases_guard() {
+        let src = "struct S;\nimpl S {\n\
+                   fn ab(&self) { { let a = self.a.lock(); } let b = self.b.lock(); }\n\
+                   fn ba(&self) { { let b = self.b.lock(); } let a = self.a.lock(); }\n}";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn recursive_acquisition_is_flagged() {
+        let src = "struct S;\nimpl S {\n\
+                   fn f(&self) { let a = self.m.lock(); let b = self.m.lock(); }\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("recursive acquisition"));
+    }
+
+    #[test]
+    fn notify_under_lock_is_flagged_and_after_drop_is_clean() {
+        let bad = "struct S;\nimpl S {\n\
+                   fn f(&self) { let g = self.inner.lock(); self.cv.notify_all(); }\n}";
+        let d = run(bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("notify_all"));
+        let good = "struct S;\nimpl S {\n\
+                    fn f(&self) { let g = self.inner.lock(); drop(g); self.cv.notify_all(); }\n}";
+        assert!(run(good).is_empty(), "{:?}", run(good));
+    }
+
+    #[test]
+    fn one_call_hop_builds_the_edge() {
+        let src = "struct S;\nimpl S {\n\
+                   fn outer(&self) { let a = self.a.lock(); self.inner_b(); }\n\
+                   fn inner_b(&self) { let b = self.b.lock(); }\n\
+                   fn rev(&self) { let b = self.b.lock(); let a = self.a.lock(); }\n}";
+        let d = run(src);
+        assert!(
+            d.iter().any(|d| d.message.contains("lock-order cycle")),
+            "one-hop edge a->b plus direct b->a must close the cycle: {d:?}"
+        );
+    }
+
+    #[test]
+    fn helper_named_lock_holds_what_it_locks() {
+        let src = "struct S;\nimpl S {\n\
+                   fn lock(&self) { let g = self.inner.lock(); }\n\
+                   fn f(&self) { let q = self.lock(); self.cv.notify_one(); }\n}";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("notify_one") && d[0].message.contains("S.inner"));
+    }
+
+    #[test]
+    fn wait_while_holding_another_lock_is_flagged() {
+        let src = "struct S;\nimpl S {\n\
+                   fn f(&self) { let a = self.a.lock(); let g = self.b.lock(); \
+                   let g = self.cv.wait(g); }\n}";
+        let d = run(src);
+        assert!(
+            d.iter()
+                .any(|x| x.message.contains("releases only its own guard")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn locals_in_different_fns_do_not_fabricate_cycles() {
+        let src = "fn f(a: &M, b: &M) { let x = a.lock(); let y = b.lock(); }\n\
+                   fn g(a: &M, b: &M) { let y = b.lock(); let x = a.lock(); }";
+        // Same textual names, but lock ids are fn-scoped, so no cycle.
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn if_let_guard_scope_ends_with_its_block() {
+        let src = "struct S;\nimpl S {\n\
+                   fn f(&self) { if let Ok(g) = self.a.lock() { work(); } \
+                   let b = self.b.lock(); }\n\
+                   fn r(&self) { let b = self.b.lock(); if let Ok(g) = self.a.lock() { } }\n}";
+        // f: a's guard dies with the if-block, so f contributes no edge;
+        // r contributes b -> a; no cycle.
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+}

@@ -3,9 +3,11 @@
 //!
 //! ```sh
 //! pipette-lint                      # human-readable report, exit 1 on violations
-//! pipette-lint --json               # machine report (pipette-lint/v1)
+//! pipette-lint --json               # machine report (pipette-lint/v2)
 //! pipette-lint --baseline waivers.json   # snapshot current waivers
 //! pipette-lint --list-rules         # what each rule enforces
+//! pipette-lint --explain D6         # the long-form story behind one rule
+//! pipette-lint --strict-indexing    # D8 also counts `xs[i]` as a panic sink
 //! pipette-lint --root ../elsewhere  # lint another checkout
 //! ```
 //!
@@ -17,7 +19,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: pipette-lint [--root <dir>] [--json] [--baseline <path>] [--list-rules]");
+    eprintln!(
+        "usage: pipette-lint [--root <dir>] [--json] [--baseline <path>] [--list-rules] \
+         [--explain <RULE>] [--strict-indexing]"
+    );
     ExitCode::from(2)
 }
 
@@ -25,11 +30,37 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut cfg = Config::default();
     let mut baseline: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--strict-indexing" => cfg.strict_indexing = true,
+            "--explain" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    return usage();
+                };
+                match RULES.iter().find(|r| r.name.eq_ignore_ascii_case(name)) {
+                    Some(rule) => {
+                        println!(
+                            "{}: {}\n\n{}",
+                            rule.name,
+                            rule.summary
+                                .split_whitespace()
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                            rule.explain
+                        );
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("pipette-lint: no rule named `{name}`; try --list-rules");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--list-rules" => {
                 for rule in RULES {
                     println!(
@@ -65,7 +96,7 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let report = match lint_workspace(&root, &Config::default()) {
+    let report = match lint_workspace(&root, &cfg) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("pipette-lint: {e}");

@@ -1,0 +1,354 @@
+//! D10 — the zero-dependency invariant, machine-checked.
+//!
+//! Every crate in this workspace builds from the tree alone: first
+//! party code under `crates/`, vendored shims under `vendor/`, no
+//! network, no registry. That is a *policy* until something checks
+//! it; D10 is the check. A minimal line-oriented TOML scanner walks
+//! every `Cargo.toml` and flags any dependency that is not a
+//! workspace-internal `path`/`workspace = true` entry: a bare version
+//! string (`serde = "1.0"`), a `version =` key, `git =`, or
+//! `registry =` all mean the build would leave the tree.
+//!
+//! The scanner understands exactly the TOML this workspace uses:
+//! `[section]` headers, `key = value` lines, inline tables, and
+//! dotted dependency sections (`[dependencies.foo]`). A waiver is a
+//! `# pipette-lint: allow(D10) -- why` comment on the dependency's
+//! own line or the line above.
+
+use crate::rules::Diagnostic;
+
+/// Whether a `[section]` name declares dependencies.
+fn is_dep_section(name: &str) -> bool {
+    let name = name.trim();
+    for base in [
+        "dependencies",
+        "dev-dependencies",
+        "build-dependencies",
+        "workspace.dependencies",
+    ] {
+        if name == base || name.starts_with(&format!("{base}.")) {
+            return true;
+        }
+        // `[target.'cfg(unix)'.dependencies]` and friends.
+        if name.starts_with("target.")
+            && (name.ends_with(base) || name.contains(&format!(".{base}.")))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Verdict on one dependency value: `Ok` if workspace-internal.
+fn value_is_internal(value: &str) -> Result<(), String> {
+    let v = value.trim();
+    if v.starts_with('"') || v.starts_with('\'') {
+        return Err(format!(
+            "bare version requirement {v} resolves from a registry"
+        ));
+    }
+    let has = |key: &str| v.contains(&format!("{key} =")) || v.contains(&format!("{key}="));
+    if has("git") {
+        return Err("`git =` fetches from the network".to_string());
+    }
+    if has("registry") || has("version") {
+        return Err("`version =`/`registry =` resolves from a registry".to_string());
+    }
+    if has("path") || v.contains("workspace") {
+        return Ok(());
+    }
+    Err("no `path =` or `workspace = true`; cannot prove it stays in-tree".to_string())
+}
+
+/// Lints one `Cargo.toml`. `rel_path` is workspace-relative; returns
+/// D10 diagnostics (waived ones marked) and P0/P1 pragma findings.
+pub fn lint_manifest(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_dep_section = false;
+    let mut section_name;
+    // For a dotted section `[dependencies.foo]`, violations are judged
+    // at section end from the accumulated keys.
+    let mut dotted: Option<(String, u32, bool, Vec<String>)> = None; // (dep, line, waived, keys)
+    let mut prev_waiver: Option<(u32, String)> = None; // (line, justification)
+    let mut pending_waivers: Vec<(u32, String, bool)> = Vec::new(); // (line, just, used)
+
+    let flush_dotted = |dotted: &mut Option<(String, u32, bool, Vec<String>)>,
+                        diags: &mut Vec<Diagnostic>| {
+        if let Some((dep, line, waived, keys)) = dotted.take() {
+            let internal = keys.iter().any(|k| k == "path" || k == "workspace");
+            let external = keys
+                .iter()
+                .any(|k| k == "git" || k == "version" || k == "registry");
+            if !internal || external {
+                diags.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "D10",
+                    message: format!(
+                        "dependency `{dep}` is not workspace-internal: section keys \
+                             [{}] must include `path` and no `version`/`git`/`registry`",
+                        keys.join(", ")
+                    ),
+                    waived,
+                    justification: None,
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        // A `# pipette-lint: allow(D10) -- why` waiver comment.
+        let waiver_here = line
+            .split_once('#')
+            .map(|(_, c)| c.trim())
+            .filter(|c| c.starts_with("pipette-lint"))
+            .map(|c| parse_toml_pragma(rel_path, line_no, c, &mut diags));
+        if line.starts_with('#') {
+            if let Some(Some(just)) = waiver_here {
+                prev_waiver = Some((line_no, just.clone()));
+                pending_waivers.push((line_no, just, false));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            prev_waiver = None;
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_dotted(&mut dotted, &mut diags);
+            section_name = line
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .to_string();
+            in_dep_section = is_dep_section(&section_name);
+            // `[dependencies.foo]` starts a dotted dependency table.
+            if let Some(rest) = section_name
+                .strip_prefix("dependencies.")
+                .or_else(|| section_name.strip_prefix("workspace.dependencies."))
+            {
+                let waived = prev_waiver.is_some();
+                if waived {
+                    if let Some(last) = pending_waivers.last_mut() {
+                        last.2 = true;
+                    }
+                }
+                dotted = Some((rest.to_string(), line_no, waived, Vec::new()));
+                in_dep_section = false; // keys belong to the dotted table
+            }
+            prev_waiver = None;
+            continue;
+        }
+        let Some((key, value)) = raw.split_once('=') else {
+            prev_waiver = None;
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        // Strip a trailing comment outside quotes (good enough for the
+        // values this workspace writes).
+        let value = value.trim();
+        if let Some((_, keys_line, _, keys)) = &mut dotted {
+            let _ = keys_line;
+            keys.push(key);
+            continue;
+        }
+        if !in_dep_section {
+            prev_waiver = None;
+            continue;
+        }
+        if let Err(why) = value_is_internal(value) {
+            let same_line_waiver = waiver_here.flatten();
+            let waived_by = same_line_waiver
+                .clone()
+                .or_else(|| prev_waiver.clone().map(|(_, j)| j));
+            if waived_by.is_some() {
+                if let Some(last) = pending_waivers.last_mut() {
+                    last.2 = true;
+                }
+            }
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: line_no,
+                rule: "D10",
+                message: format!("dependency `{key}` is not workspace-internal: {why}"),
+                waived: waived_by.is_some(),
+                justification: waived_by,
+            });
+        }
+        prev_waiver = None;
+    }
+    flush_dotted(&mut dotted, &mut diags);
+    for (line, _, used) in pending_waivers {
+        if !used {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line,
+                rule: "P1",
+                message: "stale pragma: allow(D10) waives no dependency here".to_string(),
+                waived: false,
+                justification: None,
+            });
+        }
+    }
+    diags
+}
+
+/// Parses a `pipette-lint: …` comment in a manifest; only
+/// `allow(D10) -- why` is meaningful here. Returns the justification,
+/// pushing a P0 for anything malformed.
+fn parse_toml_pragma(
+    rel_path: &str,
+    line: u32,
+    text: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<String> {
+    let mut malformed = |why: &str| {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line,
+            rule: "P0",
+            message: format!("malformed pragma: {why}"),
+            waived: false,
+            justification: None,
+        });
+    };
+    let rest = text.trim_start_matches("pipette-lint").trim_start();
+    let Some(rest) = rest.strip_prefix(':') else {
+        malformed("expected `pipette-lint: allow(D10) -- <justification>`");
+        return None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        malformed("expected `allow(D10)` in a manifest pragma");
+        return None;
+    };
+    let Some(close) = rest.find(')') else {
+        malformed("unclosed `allow(`");
+        return None;
+    };
+    if rest[..close].trim() != "D10" {
+        malformed("only D10 can be waived in a manifest");
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(just) = after.strip_prefix("--").map(str::trim) else {
+        malformed("missing `-- <justification>`");
+        return None;
+    };
+    if just.is_empty() {
+        malformed("empty justification after `--`");
+        return None;
+    }
+    Some(just.to_string())
+}
+
+/// Collects every `Cargo.toml` the workspace owns: the root manifest
+/// plus one per directory under `crates/` and `vendor/`. Paths are
+/// workspace-relative with `/` separators, sorted.
+pub fn collect_manifests(root: &std::path::Path) -> Vec<String> {
+    let mut found = Vec::new();
+    if root.join("Cargo.toml").is_file() {
+        found.push("Cargo.toml".to_string());
+    }
+    for family in ["crates", "vendor"] {
+        let dir = root.join(family);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let member = entry.path().join("Cargo.toml");
+            if member.is_file() {
+                if let Ok(rel) = member.strip_prefix(root) {
+                    found.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| !d.waived).collect()
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                   pipette = { path = \"../core\" }\n\
+                   serde = { workspace = true }\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn version_git_and_bare_string_deps_fail() {
+        let src = "[dependencies]\n\
+                   serde = \"1.0\"\n\
+                   rand = { version = \"0.8\" }\n\
+                   left-pad = { git = \"https://example.com/x.git\" }\n";
+        let d = lint_manifest("crates/x/Cargo.toml", src);
+        assert_eq!(active(&d).len(), 3, "{d:?}");
+        assert!(d[0].message.contains("registry"));
+        assert!(d[2].message.contains("network"));
+    }
+
+    #[test]
+    fn dev_and_target_dependency_sections_are_covered() {
+        let src = "[dev-dependencies]\ncriterion = \"0.5\"\n\
+                   [target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        let d = lint_manifest("crates/x/Cargo.toml", src);
+        assert_eq!(active(&d).len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nversion = \"0.1.0\"\nname = \"x\"\n\
+                   [features]\ndefault = []\n\n[workspace]\nmembers = [\"crates/*\"]\n";
+        assert!(lint_manifest("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn dotted_dependency_sections_are_judged_whole() {
+        let good = "[dependencies.pipette]\npath = \"../core\"\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", good).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        let d = lint_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(active(&d).len(), 1, "{d:?}");
+        assert!(d[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn waiver_on_same_or_previous_line_works_and_stale_is_p1() {
+        let src = "[dependencies]\n\
+                   serde = \"1.0\" # pipette-lint: allow(D10) -- mirrored offline in CI cache\n";
+        let d = lint_manifest("crates/x/Cargo.toml", src);
+        assert!(active(&d).is_empty(), "{d:?}");
+        assert_eq!(d.iter().filter(|x| x.waived).count(), 1);
+
+        let src = "[dependencies]\n\
+                   # pipette-lint: allow(D10) -- mirrored offline in CI cache\n\
+                   serde = \"1.0\"\n";
+        let d = lint_manifest("crates/x/Cargo.toml", src);
+        assert!(active(&d).is_empty(), "{d:?}");
+
+        let src = "[dependencies]\n\
+                   # pipette-lint: allow(D10) -- waives nothing at all\n\
+                   pipette = { path = \"../core\" }\n";
+        let d = lint_manifest("crates/x/Cargo.toml", src);
+        assert_eq!(active(&d).len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "P1");
+    }
+
+    #[test]
+    fn malformed_manifest_pragma_is_p0() {
+        let src = "[dependencies]\n# pipette-lint: allow(D10)\nserde = \"1.0\"\n";
+        let d = lint_manifest("crates/x/Cargo.toml", src);
+        let rules: Vec<_> = active(&d).iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"P0") && rules.contains(&"D10"), "{d:?}");
+    }
+}

@@ -1,0 +1,370 @@
+//! D8 — panic reachability from the public surface, and
+//! D9 — transitive hot-path no-alloc, both walks over the call graph.
+//!
+//! **D8** upgrades D2 from a site check to a reachability check: for
+//! every exported `pub` library function, a breadth-first search over
+//! resolved edges looks for the nearest function containing a panic
+//! idiom (`.unwrap()`, `.expect(…)`, the `panic!` macro family, and —
+//! under `Config::strict_indexing` — `xs[i]` indexing, whose implicit
+//! bounds check is a panic in disguise). The finding lands on the
+//! *public* function and prints the path, which is the information D2
+//! cannot give: not "there is an unwrap" but "your API surface can
+//! hit it". Sites covered by a `D2`/`D8` waiver pragma are exempt —
+//! a documented `# Panics` contract stays a contract, not a finding.
+//!
+//! **D9** extends D5 through the graph: every function reachable from
+//! a `// pipette-lint: hot-path` region is checked for the same
+//! allocating idioms D5 bans, so hoisting the `vec!` into a helper no
+//! longer hides it. The finding lands on the allocation site and
+//! prints how the hot path reaches it.
+
+use crate::graph::{CallGraph, FileSyms};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Diagnostic, FileClass, PANIC_MACROS};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Everything the reachability rules need beyond the graph itself,
+/// indexed per file (parallel to `syms`).
+pub struct ReachInput<'a> {
+    /// Per-file symbol inputs (same order the graph was built from).
+    pub syms: &'a [FileSyms<'a>],
+    /// The workspace call graph.
+    pub graph: &'a CallGraph,
+    /// Per-file classification.
+    pub class: &'a [FileClass],
+    /// Per-file, per-token `hot-path` region mask.
+    pub in_hot: &'a [Vec<bool>],
+    /// Per-file inclusive line ranges covered by an `allow(D2)` or
+    /// `allow(D8)` pragma: panic sites inside are contract, not risk.
+    pub panic_waived: &'a [Vec<(u32, u32)>],
+    /// Whether `xs[i]` indexing counts as a panic idiom (see
+    /// `Config::strict_indexing`).
+    pub strict_indexing: bool,
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// The first unwaived panic site in each function's body:
+/// `node -> (line, what)`.
+fn panic_sites(input: &ReachInput<'_>) -> BTreeMap<usize, (u32, String)> {
+    let mut sites = BTreeMap::new();
+    for (node, n) in input.graph.nodes.iter().enumerate() {
+        if n.in_test || input.class[n.file] != FileClass::Lib {
+            continue;
+        }
+        let fs = &input.syms[n.file];
+        let Some((open, close)) = fs.items.fns[n.local_idx].body else {
+            continue;
+        };
+        let owner_of = fs.items.owner_of_token(fs.tokens.len());
+        let waived = &input.panic_waived[n.file];
+        for (i, owner) in owner_of.iter().enumerate().take(close).skip(open + 1) {
+            if *owner != Some(n.local_idx) || fs.in_test[i] {
+                continue;
+            }
+            let line = fs.tokens[i].line;
+            if waived.iter().any(|&(lo, hi)| (lo..=hi).contains(&line)) {
+                continue;
+            }
+            let what: Option<String> = match ident_at(fs.tokens, i) {
+                Some(id @ ("unwrap" | "expect"))
+                    if punct_at(fs.tokens, i.wrapping_sub(1)) == Some('.')
+                        && punct_at(fs.tokens, i + 1) == Some('(') =>
+                {
+                    Some(format!("`.{id}()`"))
+                }
+                Some(id)
+                    if PANIC_MACROS.contains(&id) && punct_at(fs.tokens, i + 1) == Some('!') =>
+                {
+                    Some(format!("`{id}!`"))
+                }
+                Some(id)
+                    if input.strict_indexing
+                        && punct_at(fs.tokens, i + 1) == Some('[')
+                        && ident_at(fs.tokens, i + 2).is_some() =>
+                {
+                    Some(format!("`{id}[…]` indexing (bounds check panics)"))
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                sites.entry(node).or_insert((line, what));
+            }
+        }
+    }
+    sites
+}
+
+/// D8: every exported `pub` library fn that can reach a panic site.
+pub fn check_panic_reachability(input: &ReachInput<'_>) -> Vec<Diagnostic> {
+    let graph = input.graph;
+    let sites = panic_sites(input);
+    let adj = graph.adjacency();
+    let mut diags = Vec::new();
+    for (node, n) in graph.nodes.iter().enumerate() {
+        if !n.is_pub || n.in_test || input.class[n.file] != FileClass::Lib {
+            continue;
+        }
+        let path = graph.shortest_path(
+            node,
+            &adj,
+            |x| sites.contains_key(&x),
+            |x| !graph.nodes[x].in_test,
+        );
+        if let Some(path) = path {
+            let sink = *path.last().unwrap_or(&node);
+            let (sline, what) = &sites[&sink];
+            diags.push(Diagnostic {
+                file: graph.files[n.file].clone(),
+                line: n.line,
+                rule: "D8",
+                message: format!(
+                    "public fn `{}` can reach {what} at {}:{sline} via {}; external callers \
+                     can panic the library — return a typed error along this path",
+                    n.qualified(),
+                    graph.files[graph.nodes[sink].file],
+                    graph.render_path(&path)
+                ),
+                waived: false,
+                justification: None,
+            });
+        }
+    }
+    diags
+}
+
+/// D9: allocation idioms in any function transitively reachable from a
+/// `hot-path` region (the region itself is D5's job).
+pub fn check_hot_reachability(input: &ReachInput<'_>) -> Vec<Diagnostic> {
+    let graph = input.graph;
+    // Seed set: functions whose body overlaps a hot region.
+    let mut hot_direct: BTreeSet<usize> = BTreeSet::new();
+    for (node, n) in graph.nodes.iter().enumerate() {
+        let fs = &input.syms[n.file];
+        if let Some((open, close)) = fs.items.fns[n.local_idx].body {
+            let mask = &input.in_hot[n.file];
+            if (open..=close).any(|i| mask.get(i).copied().unwrap_or(false)) {
+                hot_direct.insert(node);
+            }
+        }
+    }
+    // Multi-source BFS recording how each function was reached.
+    let adj = graph.adjacency();
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = hot_direct.iter().copied().collect();
+    let mut reached: BTreeSet<usize> = hot_direct.clone();
+    while let Some(cur) = queue.pop_front() {
+        for &(next, _) in &adj[cur] {
+            if graph.nodes[next].in_test || !reached.insert(next) {
+                continue;
+            }
+            prev.insert(next, cur);
+            queue.push_back(next);
+        }
+    }
+    let render_route = |node: usize| -> String {
+        let mut path = vec![node];
+        let mut at = node;
+        while let Some(&p) = prev.get(&at) {
+            path.push(p);
+            at = p;
+        }
+        path.reverse();
+        graph.render_path(&path)
+    };
+    let mut diags = Vec::new();
+    for &node in &reached {
+        if hot_direct.contains(&node) {
+            continue; // D5 already polices in-region code
+        }
+        let n = &graph.nodes[node];
+        let fs = &input.syms[n.file];
+        let Some((open, close)) = fs.items.fns[n.local_idx].body else {
+            continue;
+        };
+        let owner_of = fs.items.owner_of_token(fs.tokens.len());
+        for (i, owner) in owner_of.iter().enumerate().take(close).skip(open + 1) {
+            if *owner != Some(n.local_idx) || fs.in_test[i] {
+                continue;
+            }
+            let what = match ident_at(fs.tokens, i) {
+                Some("Box")
+                    if punct_at(fs.tokens, i + 1) == Some(':')
+                        && punct_at(fs.tokens, i + 2) == Some(':')
+                        && ident_at(fs.tokens, i + 3) == Some("new") =>
+                {
+                    Some("`Box::new`")
+                }
+                Some("String")
+                    if punct_at(fs.tokens, i + 1) == Some(':')
+                        && punct_at(fs.tokens, i + 2) == Some(':')
+                        && ident_at(fs.tokens, i + 3) == Some("from") =>
+                {
+                    Some("`String::from`")
+                }
+                Some("vec") if punct_at(fs.tokens, i + 1) == Some('!') => Some("`vec!`"),
+                Some("format") if punct_at(fs.tokens, i + 1) == Some('!') => Some("`format!`"),
+                Some("to_vec") if punct_at(fs.tokens, i.wrapping_sub(1)) == Some('.') => {
+                    Some("`.to_vec()`")
+                }
+                Some("collect") if punct_at(fs.tokens, i.wrapping_sub(1)) == Some('.') => {
+                    Some("`.collect()`")
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                diags.push(Diagnostic {
+                    file: graph.files[n.file].clone(),
+                    line: fs.tokens[i].line,
+                    rule: "D9",
+                    message: format!(
+                        "{what} allocates in `{}`, which a `hot-path` region reaches via {}; \
+                         hoist the buffer or move the helper out of the hot call chain",
+                        n.qualified(),
+                        render_route(node)
+                    ),
+                    waived: false,
+                    justification: None,
+                });
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+    use crate::rules::{hot_region_mask, parse_pragmas, test_region_mask};
+
+    struct Owned {
+        rel_path: String,
+        tokens: Vec<Token>,
+        items: crate::items::FileItems,
+        in_test: Vec<bool>,
+        in_hot: Vec<bool>,
+        waived: Vec<(u32, u32)>,
+    }
+
+    fn prep(src: &str) -> Owned {
+        let lexed = lex(src);
+        let items = parse_items(&lexed.tokens);
+        let in_test = test_region_mask(&lexed.tokens);
+        let (pragmas, hot_marks, _) = parse_pragmas("f.rs", &lexed.comments);
+        let (in_hot, _) = hot_region_mask(&lexed.tokens, &hot_marks);
+        let waived = pragmas
+            .iter()
+            .filter(|p| p.rules.iter().any(|r| r == "D2" || r == "D8"))
+            .map(|p| (p.line, p.line + 2))
+            .collect();
+        Owned {
+            rel_path: "crates/a/src/lib.rs".into(),
+            tokens: lexed.tokens,
+            items,
+            in_test,
+            in_hot,
+            waived,
+        }
+    }
+
+    fn run(src: &str, strict: bool) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+        let o = prep(src);
+        let syms = vec![FileSyms {
+            rel_path: &o.rel_path,
+            tokens: &o.tokens,
+            items: &o.items,
+            in_test: &o.in_test,
+        }];
+        let graph = build_graph(&syms);
+        let input = ReachInput {
+            syms: &syms,
+            graph: &graph,
+            class: &[FileClass::Lib],
+            in_hot: std::slice::from_ref(&o.in_hot),
+            panic_waived: std::slice::from_ref(&o.waived),
+            strict_indexing: strict,
+        };
+        (
+            check_panic_reachability(&input),
+            check_hot_reachability(&input),
+        )
+    }
+
+    #[test]
+    fn transitive_panic_path_is_printed_at_the_public_fn() {
+        let src = "pub fn entry(x: Option<u32>) -> u32 { mid(x) }\n\
+                   fn mid(x: Option<u32>) -> u32 { deep(x) }\n\
+                   fn deep(x: Option<u32>) -> u32 { x.unwrap() }";
+        let (d8, _) = run(src, false);
+        assert_eq!(d8.len(), 1, "{d8:?}");
+        assert_eq!(d8[0].line, 1, "finding lands on the public fn");
+        assert!(
+            d8[0].message.contains("entry -> mid -> deep"),
+            "{}",
+            d8[0].message
+        );
+        assert!(d8[0].message.contains("`.unwrap()`"));
+    }
+
+    #[test]
+    fn waived_sink_and_private_caller_are_clean() {
+        let src = "pub fn entry(x: Option<u32>) -> u32 { mid(x) }\n\
+                   fn mid(x: Option<u32>) -> u32 {\n\
+                   // pipette-lint: allow(D2) -- contract: caller checked is_some\n\
+                   x.unwrap()\n}\n\
+                   fn lone(x: Option<u32>) -> u32 { x.unwrap_or(0) }";
+        let (d8, _) = run(src, false);
+        assert!(d8.is_empty(), "{d8:?}");
+    }
+
+    #[test]
+    fn strict_indexing_is_a_sink_only_when_asked() {
+        let src = "pub fn entry(xs: &[u32], i: usize) -> u32 { pick(xs, i) }\n\
+                   fn pick(xs: &[u32], i: usize) -> u32 { xs[i] }";
+        let (lenient, _) = run(src, false);
+        assert!(lenient.is_empty(), "{lenient:?}");
+        let (strict, _) = run(src, true);
+        assert_eq!(strict.len(), 1, "{strict:?}");
+        assert!(strict[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn hot_path_reaches_helper_allocs_transitively() {
+        let src = "// pipette-lint: hot-path\n\
+                   fn hot_step() { helper(); }\n\
+                   fn helper() { let v = xs.to_vec(); deeper(); }\n\
+                   fn deeper() { let b = Box::new(1); }\n\
+                   fn cold() { let v = ys.to_vec(); }";
+        let (_, d9) = run(src, false);
+        assert_eq!(d9.len(), 2, "{d9:?}");
+        assert!(
+            d9[0].message.contains("hot_step -> helper"),
+            "{}",
+            d9[0].message
+        );
+        assert!(d9[1].message.contains("hot_step -> helper -> deeper"));
+    }
+
+    #[test]
+    fn test_code_is_outside_both_walks() {
+        let src = "pub fn entry() -> u32 { 1 }\n\
+                   #[cfg(test)]\nmod tests { fn t() { entry(); None.unwrap(); } }";
+        let (d8, d9) = run(src, false);
+        assert!(d8.is_empty() && d9.is_empty(), "{d8:?} {d9:?}");
+    }
+}

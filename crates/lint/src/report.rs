@@ -74,10 +74,23 @@ pub fn render_human(report: &WorkspaceReport) -> String {
     out
 }
 
-/// The `--json` machine report (`pipette-lint/v1` schema).
+/// The `--json` machine report (`pipette-lint/v2` schema): v1 plus
+/// `manifests_scanned`, a `call_graph` stats object, and a `per_rule`
+/// map that lists *every* rule (zeros included) so CI can assert on a
+/// rule's count without guarding against a missing key.
 pub fn render_json(report: &WorkspaceReport) -> String {
-    let mut out = String::from("{\"schema\":\"pipette-lint/v1\"");
+    let mut out = String::from("{\"schema\":\"pipette-lint/v2\"");
     out.push_str(&format!(",\"files_scanned\":{}", report.files.len()));
+    out.push_str(&format!(
+        ",\"manifests_scanned\":{}",
+        report.manifests.len()
+    ));
+    let g = &report.graph;
+    out.push_str(&format!(
+        ",\"call_graph\":{{\"functions\":{},\"public_fns\":{},\"impl_blocks\":{},\
+         \"modules\":{},\"call_sites\":{},\"resolved_edges\":{}}}",
+        g.functions, g.public_fns, g.impl_blocks, g.modules, g.call_sites, g.resolved_edges
+    ));
     let counts = report.per_rule_counts();
     out.push_str(",\"summary\":{");
     out.push_str(&format!(
@@ -86,13 +99,15 @@ pub fn render_json(report: &WorkspaceReport) -> String {
         report.waivers().count()
     ));
     let mut first = true;
-    for (rule, (active, waived)) in &counts {
+    for rule in RULES {
+        let (active, waived) = counts.get(rule.name).copied().unwrap_or((0, 0));
         if !first {
             out.push(',');
         }
         first = false;
         out.push_str(&format!(
-            "\"{rule}\":{{\"active\":{active},\"waived\":{waived}}}"
+            "\"{}\":{{\"active\":{active},\"waived\":{waived}}}",
+            rule.name
         ));
     }
     out.push_str("}},\"violations\":[");
@@ -158,6 +173,15 @@ mod tests {
     fn sample() -> WorkspaceReport {
         WorkspaceReport {
             files: vec!["crates/x/src/a.rs".into()],
+            manifests: vec!["crates/x/Cargo.toml".into()],
+            graph: crate::GraphStats {
+                functions: 4,
+                public_fns: 2,
+                impl_blocks: 1,
+                modules: 1,
+                call_sites: 6,
+                resolved_edges: 3,
+            },
             diagnostics: vec![
                 Diagnostic {
                     file: "crates/x/src/a.rs".into(),
@@ -190,12 +214,17 @@ mod tests {
     #[test]
     fn json_report_is_valid_and_escapes_strings() {
         let json = render_json(&sample());
-        assert!(json.contains("\"schema\":\"pipette-lint/v1\""));
+        assert!(json.contains("\"schema\":\"pipette-lint/v2\""));
         assert!(json.contains("\"files_scanned\":1"));
+        assert!(json.contains("\"manifests_scanned\":1"));
+        assert!(json.contains("\"call_graph\":{\"functions\":4,\"public_fns\":2"));
+        assert!(json.contains("\"resolved_edges\":3"));
         assert!(json.contains("opt-in \\\"wall_ms\\\" extras"));
-        assert!(json.contains(
-            "\"per_rule\":{\"D1\":{\"active\":0,\"waived\":1},\"D2\":{\"active\":1,\"waived\":0}}"
-        ));
+        // Every rule appears, zeros included, in RULES order.
+        assert!(json.contains("\"D1\":{\"active\":0,\"waived\":1}"));
+        assert!(json.contains("\"D2\":{\"active\":1,\"waived\":0}"));
+        assert!(json.contains("\"D10\":{\"active\":0,\"waived\":0}"));
+        assert!(json.contains("\"P1\":{\"active\":0,\"waived\":0}"));
         // The vendored serde_json can parse what we emit — cheap sanity
         // check that the hand-rolled writer stays RFC 8259.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

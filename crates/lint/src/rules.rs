@@ -46,14 +46,17 @@
 
 use crate::lexer::{lex, Comment, Token, TokenKind};
 
-/// Machine name, summary, and rationale of one rule (drives `--explain`
-/// output and DESIGN.md stays the prose source of truth).
+/// Machine name, summary, and rationale of one rule (drives
+/// `--list-rules` / `--explain` output; DESIGN.md stays the prose
+/// source of truth).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuleInfo {
-    /// Short machine name (`D1` … `D4`, `P0`, `P1`).
+    /// Short machine name (`D1` … `D10`, `P0`, `P1`).
     pub name: &'static str,
     /// One-line summary.
     pub summary: &'static str,
+    /// The longer `--explain` text: what, why, and how to fix.
+    pub explain: &'static str,
 }
 
 /// Every rule the engine knows, in report order.
@@ -62,39 +65,135 @@ pub const RULES: &[RuleInfo] = &[
         name: "D1",
         summary: "no wall-clock or ambient RNG outside benches/tests \
                   (Instant::now, SystemTime, thread_rng, RandomState)",
+        explain: "A recommendation must be bit-identical at any thread count and \
+                  every trace must replay from its seed. Instant::now, SystemTime, \
+                  UNIX_EPOCH, thread_rng, RandomState, and rand::random smuggle the \
+                  host's clock or entropy into results. Fix: thread a seeded \
+                  ChaCha8Rng or an explicit tick counter through the call chain. \
+                  Benches, tests, and the bench crate are exempt.",
     },
     RuleInfo {
         name: "D2",
         summary: "no unwrap/expect/panic!/assert! in library code; \
                   surface faults as typed errors (debug_assert! allowed)",
+        explain: ".unwrap(), .expect(), panic!, unreachable!, todo!, unimplemented!, \
+                  and the assert! family abort the process; a configurator embedded \
+                  in a training launcher must surface faults as ClusterError/\
+                  ConfigureError values the caller can route. debug_assert! is \
+                  allowed (dev-only). Binaries, tests, benches, examples keep their \
+                  asserts. Fix: return the typed error; waive only documented \
+                  `# Panics` contracts.",
     },
     RuleInfo {
         name: "D3",
         summary: "public f64/u64 time/memory/bandwidth names need a unit \
                   suffix (_ms, _bytes, _gib_s, ...)",
+        explain: "Eq. 3-6 of the paper mix time, memory, and bandwidth in one \
+                  objective; an unlabeled public scalar is how seconds get added to \
+                  milliseconds. Any public f64/u64 field or nullary getter whose \
+                  name contains a dimension word (time, latency, memory, bandwidth, \
+                  ...) must end in a unit suffix. Fix: rename (`decode_latency` -> \
+                  `decode_latency_ms`).",
     },
     RuleInfo {
         name: "D4",
         summary: "no HashMap/HashSet in first-party code; use BTreeMap/\
                   BTreeSet or sorted Vec pairs for deterministic order",
+        explain: "std hash collections seed their hasher per process, so iteration \
+                  (and any serialization derived from it) differs run to run - the \
+                  exact nondeterminism D1 exists to keep out. Fix: BTreeMap/BTreeSet \
+                  or a sorted Vec of pairs.",
     },
     RuleInfo {
         name: "D5",
         summary: "no heap allocation (Box::new, vec!, to_vec, collect, \
                   String::from, format!) inside a `hot-path` region",
+        explain: "The SA steady-state loop promises zero heap allocations per move \
+                  (DESIGN.md 7g). A `// pipette-lint: hot-path` marker covers the \
+                  next item through its closing brace; inside, the allocating idioms \
+                  are banned. Fix: preallocate in the arena and reuse; see D9 for \
+                  the transitive version.",
+    },
+    RuleInfo {
+        name: "D6",
+        summary: "no lock-order cycles, recursive Mutex acquisition, or \
+                  condvar notify/wait while holding another guard",
+        explain: "Static deadlock detection for the serve daemon. Every Mutex \
+                  acquisition site is extracted, the acquired-while-held relation is \
+                  built (including one level through resolved calls), and a cycle \
+                  (`inner -> committer` in one fn, `committer -> inner` in another) \
+                  is an ABBA deadlock waiting for load. Also flagged: relocking a \
+                  Mutex already held (std self-deadlocks), notifying a Condvar while \
+                  still holding its guard (waiters wake into a contended lock), and \
+                  Condvar::wait with a second lock held (it stays locked for the \
+                  whole wait). Fix: pick one global acquisition order; drop guards \
+                  before notifying.",
+    },
+    RuleInfo {
+        name: "D7",
+        summary: "no mixed-unit arithmetic/comparison (_s vs _bytes vs \
+                  _per_s suffixes) through let-bindings",
+        explain: "D3 makes names carry units; D7 makes the units flow. Inside a \
+                  body, `+`, `-`, `+=`, `-=`, and comparisons between operands whose \
+                  unit suffixes disagree (elapsed_s + queued_units, budget_ms < \
+                  deadline_s) are flagged; `let` bindings propagate a known unit to \
+                  suffixless locals. Operands adjacent to `*` or `/` are exempt - \
+                  that is how units legitimately convert. Fix: convert explicitly \
+                  and name the result with the right suffix.",
+    },
+    RuleInfo {
+        name: "D8",
+        summary: "no path from a public library fn to unwrap/expect/\
+                  panic! (transitive D2, path printed)",
+        explain: "D2 flags a panic site; D8 tells you which public API can hit it. \
+                  For every exported pub fn in library code, a BFS over the call \
+                  graph finds the nearest reachable panic idiom and prints the path \
+                  (`configure -> plan -> pick_stage: .unwrap()`). Sites under an \
+                  allow(D2)/allow(D8) pragma are contract, not risk, and are \
+                  skipped. With Config::strict_indexing, `xs[i]` counts as a panic \
+                  source too. Fix: return a typed error along the printed path.",
+    },
+    RuleInfo {
+        name: "D9",
+        summary: "no heap allocation in any fn reachable from a \
+                  `hot-path` region (transitive D5, path printed)",
+        explain: "Hoisting a vec! out of a hot-path region into a helper used to \
+                  hide it from D5. D9 walks the call graph from every hot region \
+                  and applies the same allocation ban to every reachable fn, \
+                  printing how the hot path gets there. Fix: hoist the buffer into \
+                  the caller's arena, or restructure so the helper is not on the \
+                  hot chain.",
+    },
+    RuleInfo {
+        name: "D10",
+        summary: "no external dependencies in any Cargo.toml: only \
+                  workspace-internal path deps pass",
+        explain: "The workspace builds from the tree alone - first-party crates \
+                  plus vendored shims, no registry, no network. D10 lints every \
+                  Cargo.toml (root, crates/*, vendor/*): a dependency must carry \
+                  `path = ...` or `workspace = true`; a bare version string, \
+                  `version =`, `git =`, or `registry =` fails. Waive with \
+                  `# pipette-lint: allow(D10) -- why` on the dependency's line.",
     },
     RuleInfo {
         name: "P0",
         summary: "malformed pipette-lint pragma (unknown rule, missing \
                   `-- justification`)",
+        explain: "A waiver that does not parse protects nothing. Pragmas must be \
+                  `// pipette-lint: allow(<rules>) -- <justification>` naming known \
+                  waivable rules, or the bare `// pipette-lint: hot-path` region \
+                  marker. P0 cannot itself be waived.",
     },
     RuleInfo {
         name: "P1",
         summary: "stale pragma: waives no violation in its comment block or the two lines after it",
+        explain: "A pragma that waives nothing is a lie in the source: it documents \
+                  a violation that no longer exists and will silently swallow the \
+                  next real one. Delete it. P1 cannot itself be waived.",
     },
 ];
 
-const WAIVABLE: &[&str] = &["D1", "D2", "D3", "D4", "D5"];
+const WAIVABLE: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10"];
 
 /// One finding: either an active violation or a pragma-waived one.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,22 +262,27 @@ pub struct Config {
     /// Crates where D1 does not apply at all. Default: `bench` — the
     /// experiment/benchmark crate whose purpose is measuring wall time.
     pub d1_exempt_crates: Vec<String>,
+    /// When set, D8 also counts `xs[i]` slice/array indexing as a
+    /// panic sink. Off by default: indexing after an explicit bounds
+    /// check is pervasive and the signal-to-noise is poor.
+    pub strict_indexing: bool,
 }
 
 impl Default for Config {
     fn default() -> Self {
         Self {
             d1_exempt_crates: vec!["bench".to_string()],
+            strict_indexing: false,
         }
     }
 }
 
 /// A parsed `// pipette-lint: allow(R1,R2) -- justification` comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Pragma {
-    line: u32,
-    rules: Vec<String>,
-    justification: String,
+pub(crate) struct Pragma {
+    pub(crate) line: u32,
+    pub(crate) rules: Vec<String>,
+    pub(crate) justification: String,
 }
 
 /// Recognizes pragma comments; anything starting with `pipette-lint` that
@@ -186,7 +290,10 @@ struct Pragma {
 /// their captured text starts with the extra `/` or `!` marker. Returns
 /// waiver pragmas, the lines of `hot-path` region markers, and the
 /// malformed-pragma diagnostics.
-fn parse_pragmas(file: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<u32>, Vec<Diagnostic>) {
+pub(crate) fn parse_pragmas(
+    file: &str,
+    comments: &[Comment],
+) -> (Vec<Pragma>, Vec<u32>, Vec<Diagnostic>) {
     let mut pragmas = Vec::new();
     let mut hot_marks = Vec::new();
     let mut bad = Vec::new();
@@ -279,7 +386,7 @@ fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
 /// unit-test modules keep their asserts. The scan is structural: after
 /// the attribute it skips further attributes, then swallows either a
 /// braced item (to its matching `}`) or a `;`-terminated one.
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -387,7 +494,7 @@ fn item_end(tokens: &[Token], mut j: usize) -> usize {
 /// marker covers the next item (attributes and all, through its matching
 /// `}`). Returns the mask and the lines of markers that cover no code —
 /// those become `P1` stale-pragma diagnostics.
-fn hot_region_mask(tokens: &[Token], marks: &[u32]) -> (Vec<bool>, Vec<u32>) {
+pub(crate) fn hot_region_mask(tokens: &[Token], marks: &[u32]) -> (Vec<bool>, Vec<u32>) {
     let mut mask = vec![false; tokens.len()];
     let mut stale = Vec::new();
     for &mark_line in marks {
@@ -469,7 +576,7 @@ fn has_unit_suffix(name: &str) -> bool {
 }
 
 /// Identifiers the panic rule bans when followed by `!`.
-const PANIC_MACROS: &[&str] = &[
+pub(crate) const PANIC_MACROS: &[&str] = &[
     "panic",
     "unreachable",
     "todo",
@@ -485,13 +592,60 @@ const ITEM_KEYWORDS: &[&str] = &[
     "unsafe", "async", "extern", "union", "in", "self", "super",
 ];
 
-/// Lints one file's source text. `rel_path` is workspace-relative and
-/// only used for classification and diagnostics.
-pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+/// Everything the per-file pass learned about one source file, kept
+/// alive so the workspace-level graph rules (D6, D8, D9) can append
+/// findings *before* waivers are attached — a pragma must be able to
+/// waive a graph finding exactly like a local one.
+pub(crate) struct FileAnalysis {
+    /// Workspace-relative path.
+    pub(crate) rel_path: String,
+    /// Path-derived classification.
+    pub(crate) class: FileClass,
+    /// The lexed source (tokens + comments).
+    pub(crate) lexed: crate::lexer::Lexed,
+    /// The parsed symbol table.
+    pub(crate) items: crate::items::FileItems,
+    /// Per-token `#[cfg(test)]` mask.
+    pub(crate) in_test: Vec<bool>,
+    /// Per-token `hot-path` region mask.
+    pub(crate) in_hot: Vec<bool>,
+    /// Waiver pragmas, in source order.
+    pub(crate) pragmas: Vec<Pragma>,
+    /// Unwaivable P0/P1 findings discovered during parsing.
+    pub(crate) pre_diags: Vec<Diagnostic>,
+    /// Local-rule findings (D1–D5, D7); waivers not yet attached.
+    pub(crate) found: Vec<Diagnostic>,
+}
+
+impl FileAnalysis {
+    /// Inclusive line ranges covered by an `allow(D2)`/`allow(D8)`
+    /// pragma (the pragma's comment block plus two lines), used by D8
+    /// to treat documented panic contracts as exempt sinks.
+    pub(crate) fn panic_waived_ranges(&self) -> Vec<(u32, u32)> {
+        let comment_lines: std::collections::BTreeSet<u32> =
+            self.lexed.comments.iter().map(|c| c.line).collect();
+        self.pragmas
+            .iter()
+            .filter(|p| p.rules.iter().any(|r| r == "D2" || r == "D8"))
+            .map(|p| {
+                let mut block_end = p.line;
+                while comment_lines.contains(&(block_end + 1)) {
+                    block_end += 1;
+                }
+                (p.line, block_end + 2)
+            })
+            .collect()
+    }
+}
+
+/// Runs the local (single-file) rules over one source file. The
+/// returned analysis feeds the graph rules and [`finalize`].
+pub(crate) fn analyze_file(rel_path: &str, src: &str, cfg: &Config) -> FileAnalysis {
     let class = classify(rel_path);
     let krate = crate_of(rel_path);
     let lexed = lex(src);
     let tokens = &lexed.tokens;
+    let items = crate::items::parse_items(tokens);
     let in_test = test_region_mask(tokens);
     let (pragmas, hot_marks, mut diags) = parse_pragmas(rel_path, &lexed.comments);
     let (in_hot, stale_hot) = hot_region_mask(tokens, &hot_marks);
@@ -680,6 +834,45 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         });
     }
 
+    // D7 — unit dataflow, body by body (test code keeps its shortcuts).
+    if matches!(class, FileClass::Lib | FileClass::Bin) {
+        for f in &items.fns {
+            if in_test.get(f.sig_start).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some((open, close)) = f.body {
+                crate::units::check_body(rel_path, tokens, open, close, &mut found);
+            }
+        }
+    }
+
+    FileAnalysis {
+        rel_path: rel_path.to_string(),
+        class,
+        lexed,
+        items,
+        in_test,
+        in_hot,
+        pragmas,
+        pre_diags: diags,
+        found,
+    }
+}
+
+/// Attaches waivers and emits stale-pragma P1s over the union of the
+/// local findings and `global` (graph-rule) findings, producing the
+/// file's final diagnostic list.
+pub(crate) fn finalize(analysis: FileAnalysis, global: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let FileAnalysis {
+        rel_path,
+        lexed,
+        pragmas,
+        pre_diags: mut diags,
+        mut found,
+        ..
+    } = analysis;
+    found.extend(global);
+
     // Attach waivers. A pragma covers its whole comment block (multi-line
     // justifications) and the two lines after it (a statement, even when
     // rustfmt wraps the method chain carrying the violation).
@@ -779,6 +972,7 @@ fn fn_scalar_return(tokens: &[Token], mut i: usize) -> Option<(&'static str, boo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_source;
 
     fn lint_lib(src: &str) -> Vec<Diagnostic> {
         lint_source("crates/core/src/fixture.rs", src, &Config::default())
@@ -905,7 +1099,7 @@ mod tests {
 
     #[test]
     fn pragma_unknown_rule_is_p0_and_stale_pragma_is_p1() {
-        let src = "// pipette-lint: allow(D9) -- nope\nfn f() {}";
+        let src = "// pipette-lint: allow(Z9) -- nope\nfn f() {}";
         let diags = lint_lib(src);
         assert_eq!(
             active(&diags).iter().map(|d| d.rule).collect::<Vec<_>>(),

@@ -1,0 +1,339 @@
+//! D7 — unit-dimension dataflow.
+//!
+//! D3 makes public scalar *names* carry a unit suffix; D7 makes the
+//! suffixes mean something: inside a function body, `+`, `-`, compound
+//! assignment, and comparisons between two operands whose units are
+//! *both* known and *different* are flagged. `elapsed_s + queued_units`
+//! is a bug no test catches until a latency estimate is off by a
+//! factor of a work-queue depth; `budget_ms < deadline_s` is the same
+//! bug wearing a comparison.
+//!
+//! Unit knowledge comes from three places, in priority order: the
+//! identifier's own suffix (`_s`, `_bytes`, `_per_s`, …, canonicalized
+//! so `_secs` and `_seconds` both mean seconds), a `let` binding whose
+//! initializer had exactly one known unit (propagation), and function
+//! parameters (their names are identifiers like any other). An operand
+//! adjacent to `*` or `/` is deliberately *unknown*: multiplication
+//! and division are how units legitimately convert (`y_s * 1000.0` is
+//! on its way to milliseconds), so only the additive and comparison
+//! operators — which require dimensional agreement — are checked.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Suffix → canonical unit. Same-dimension different-unit pairs (`_ms`
+/// vs `_s`) are still mismatches: adding them without a conversion is
+/// exactly the bug this rule exists for.
+const UNIT_CANON: &[(&str, &str)] = &[
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+    ("_s", "s"),
+    ("_secs", "s"),
+    ("_seconds", "s"),
+    ("_minutes", "min"),
+    ("_hours", "h"),
+    ("_bits", "bits"),
+    ("_bytes", "bytes"),
+    ("_kib", "kib"),
+    ("_mib", "mib"),
+    ("_gib", "gib"),
+    ("_kb", "kb"),
+    ("_mb", "mb"),
+    ("_gb", "gb"),
+    ("_gbps", "gbps"),
+    ("_mbps", "mbps"),
+    ("_gib_s", "gib/s"),
+    ("_bytes_s", "bytes/s"),
+    ("_flops", "flops"),
+    ("_gflops", "gflops"),
+    ("_tflops", "tflops"),
+    ("_per_s", "1/s"),
+    ("_per_sec", "1/s"),
+    ("_hz", "1/s"),
+    ("_units", "units"),
+];
+
+/// The canonical unit an identifier's suffix implies, if any. Longest
+/// suffix wins, so `bw_gib_s` is bandwidth, not seconds.
+pub fn unit_of_name(name: &str) -> Option<&'static str> {
+    let mut best: Option<(usize, &'static str)> = None;
+    for (suffix, canon) in UNIT_CANON {
+        if (name.ends_with(suffix) && name.len() > suffix.len()) || name == &suffix[1..] {
+            let len = suffix.len();
+            if best.map(|(l, _)| len > l).unwrap_or(true) {
+                best = Some((len, canon));
+            }
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// The operand immediately left of the operator at `op`: walks back
+/// over a dotted chain with optional trailing `()`, returning the
+/// unit-bearing identifier (the last chain segment) and the token
+/// index where the chain starts. `None` for literals, parens, or
+/// anything else a name cannot be read from.
+fn left_operand(tokens: &[Token], op: usize) -> Option<(String, usize)> {
+    let mut k = op.checked_sub(1)?;
+    // A trailing call: `self.elapsed_s()` — skip the `()`.
+    if punct_at(tokens, k) == Some(')') {
+        if punct_at(tokens, k.checked_sub(1)?) != Some('(') {
+            return None; // a real argument list: too complex to name
+        }
+        k = k.checked_sub(2)?;
+    }
+    let name = ident_at(tokens, k)?.to_string();
+    let mut start = k;
+    while start >= 2
+        && punct_at(tokens, start - 1) == Some('.')
+        && ident_at(tokens, start - 2).is_some()
+    {
+        start -= 2;
+    }
+    Some((name, start))
+}
+
+/// The operand immediately right of the operator at `op`: a dotted
+/// chain read forward, with optional trailing `()`. Returns the last
+/// segment's name and the exclusive end index of the chain.
+fn right_operand(tokens: &[Token], op: usize) -> Option<(String, usize)> {
+    let mut k = op + 1;
+    let mut name = ident_at(tokens, k)?.to_string();
+    k += 1;
+    while punct_at(tokens, k) == Some('.') {
+        match ident_at(tokens, k + 1) {
+            Some(seg) => {
+                name = seg.to_string();
+                k += 2;
+            }
+            None => return None,
+        }
+    }
+    if punct_at(tokens, k) == Some('(') {
+        if punct_at(tokens, k + 1) != Some(')') {
+            return None;
+        }
+        k += 2;
+    }
+    Some((name, k))
+}
+
+/// Checks one function body (`open`..=`close` token range); emits D7
+/// diagnostics into `out`. `file` is for diagnostics only.
+pub fn check_body(
+    file: &str,
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Propagated unit environment: `let x = total_s;` teaches `x`.
+    let mut env: BTreeMap<String, &'static str> = BTreeMap::new();
+    let unit_of = |env: &BTreeMap<String, &'static str>, name: &str| -> Option<&'static str> {
+        unit_of_name(name).or_else(|| env.get(name).copied())
+    };
+    let mut i = open + 1;
+    while i < close {
+        // `let x = <single known-unit chain> ;` propagation (only when
+        // `x` itself has no suffix — a suffixed name is authoritative).
+        if ident_at(tokens, i) == Some("let") {
+            let mut j = i + 1;
+            if ident_at(tokens, j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(var) = ident_at(tokens, j) {
+                if unit_of_name(var).is_none() && punct_at(tokens, j + 1) == Some('=') {
+                    if let Some((name, end)) = right_operand(tokens, j + 1) {
+                        if punct_at(tokens, end) == Some(';') {
+                            if let Some(u) = unit_of(&env, &name) {
+                                env.insert(var.to_string(), u);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The operator classes that demand unit agreement.
+        let p = punct_at(tokens, i);
+        let op: Option<(&str, usize)> = match p {
+            Some('+') | Some('-') => {
+                let c = if p == Some('+') { "+" } else { "-" };
+                // `->` is not arithmetic; `+=`/`-=` span two tokens.
+                if p == Some('-') && punct_at(tokens, i + 1) == Some('>') {
+                    None
+                } else if punct_at(tokens, i + 1) == Some('=') {
+                    Some((if c == "+" { "+=" } else { "-=" }, 2))
+                } else {
+                    Some((c, 1))
+                }
+            }
+            Some('<') => {
+                // `<<` is a shift; `<T>` generics fail the both-units
+                // test naturally (type names carry no unit).
+                if punct_at(tokens, i + 1) == Some('<') {
+                    None
+                } else if punct_at(tokens, i + 1) == Some('=') {
+                    Some(("<=", 2))
+                } else {
+                    Some(("<", 1))
+                }
+            }
+            Some('>') => {
+                if punct_at(tokens, i + 1) == Some('>')
+                    || punct_at(tokens, i.wrapping_sub(1)) == Some('-')
+                {
+                    None
+                } else if punct_at(tokens, i + 1) == Some('=') {
+                    Some((">=", 2))
+                } else {
+                    Some((">", 1))
+                }
+            }
+            Some('=')
+                if punct_at(tokens, i + 1) == Some('=')
+                    && punct_at(tokens, i.wrapping_sub(1)) != Some('=')
+                    && punct_at(tokens, i.wrapping_sub(1)) != Some('!')
+                    && punct_at(tokens, i.wrapping_sub(1)) != Some('<')
+                    && punct_at(tokens, i.wrapping_sub(1)) != Some('>') =>
+            {
+                Some(("==", 2))
+            }
+            Some('!') if punct_at(tokens, i + 1) == Some('=') => Some(("!=", 2)),
+            _ => None,
+        };
+        if let Some((op_text, width)) = op {
+            let lhs = left_operand(tokens, i);
+            let rhs = right_operand(tokens, i + width - 1);
+            if let (Some((lname, lstart)), Some((rname, mut rend))) = (lhs, rhs) {
+                // A cast is transparent for adjacency: `bytes as f64 / d`
+                // is still a division of `bytes`.
+                while ident_at(tokens, rend) == Some("as") && ident_at(tokens, rend + 1).is_some() {
+                    rend += 2;
+                }
+                // An operand touching `*` or `/` is mid-conversion:
+                // its effective unit is no longer its name's unit.
+                let l_converted =
+                    lstart > 0 && matches!(punct_at(tokens, lstart - 1), Some('*') | Some('/'));
+                let r_converted = matches!(punct_at(tokens, rend), Some('*') | Some('/'));
+                if !l_converted && !r_converted {
+                    if let (Some(lu), Some(ru)) = (unit_of(&env, &lname), unit_of(&env, &rname)) {
+                        if lu != ru {
+                            out.push(Diagnostic {
+                                file: file.to_string(),
+                                line: tokens[i].line,
+                                rule: "D7",
+                                message: format!(
+                                    "`{lname} {op_text} {rname}` mixes units: `{lname}` is \
+                                     [{lu}] but `{rname}` is [{ru}]; convert explicitly \
+                                     before combining"
+                                ),
+                                waived: false,
+                                justification: None,
+                            });
+                        }
+                    }
+                }
+            }
+            i += width;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(body: &str) -> Vec<Diagnostic> {
+        let src = format!("fn f() {{ {body} }}");
+        let lexed = lex(&src);
+        let items = crate::items::parse_items(&lexed.tokens);
+        let (open, close) = items.fns[0].body.unwrap();
+        let mut out = Vec::new();
+        check_body("crates/a/src/lib.rs", &lexed.tokens, open, close, &mut out);
+        out
+    }
+
+    #[test]
+    fn mixed_dimension_addition_is_flagged() {
+        let d = run("let x = elapsed_s + queued_units;");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("[s]") && d[0].message.contains("[units]"));
+    }
+
+    #[test]
+    fn same_dimension_different_unit_is_flagged() {
+        let d = run("let t = budget_ms - slack_s;");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn matching_units_and_unitless_are_clean() {
+        assert!(run("let x = a_s + b_s; let y = n + m; let z = a_s + plain;").is_empty());
+    }
+
+    #[test]
+    fn comparisons_and_compound_assigns_are_checked() {
+        assert_eq!(run("if deadline_s < elapsed_ms { }").len(), 1);
+        assert_eq!(run("total_bytes += extra_gib;").len(), 1);
+        assert_eq!(run("if size_bytes == cap_bytes { }").len(), 0);
+        assert_eq!(run("if size_bytes != cap_s { }").len(), 1);
+    }
+
+    #[test]
+    fn let_propagation_carries_units() {
+        let d = run("let total = elapsed_s; let bad = total + mem_bytes;");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`total + mem_bytes`"));
+    }
+
+    #[test]
+    fn field_chains_and_getter_calls_use_last_segment() {
+        assert_eq!(
+            run("let x = self.stats.elapsed_s + self.peak_bytes;").len(),
+            1
+        );
+        assert_eq!(run("let x = t.elapsed_s() + m.bytes_total();").len(), 0);
+        assert_eq!(run("let x = t.elapsed_s() + m.total_bytes();").len(), 1);
+    }
+
+    #[test]
+    fn conversion_via_mul_div_is_not_flagged() {
+        assert!(run("let ms = secs_s * 1000.0; let x = a_ms + b_s * 1000.0;").is_empty());
+        assert!(run("let x = a_bytes / span_s + rate_bytes_s;").is_empty());
+        // A cast between the operand and the divide is still a divide.
+        assert!(run("let t = latency_s + n_bytes as f64 / bw;").is_empty());
+    }
+
+    #[test]
+    fn shifts_generics_and_arrows_are_ignored() {
+        assert!(run("let x = flags_bits << 2; let v: Vec<f64> = Vec::new();").is_empty());
+        assert!(run("let f = |a_s: f64| -> f64 { a_s };").is_empty());
+    }
+
+    #[test]
+    fn bandwidth_suffix_outranks_seconds_suffix() {
+        assert_eq!(unit_of_name("link_gib_s"), Some("gib/s"));
+        assert_eq!(unit_of_name("wait_s"), Some("s"));
+        assert_eq!(unit_of_name("s"), Some("s"));
+        assert_eq!(unit_of_name("plain"), None);
+    }
+}

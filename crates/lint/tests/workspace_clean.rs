@@ -31,7 +31,7 @@ fn workspace_has_no_active_violations() {
 fn workspace_scan_covers_all_first_party_crates() {
     let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
     for krate in [
-        "bench", "cli", "cluster", "core", "lint", "mlp", "model", "obs", "sim",
+        "bench", "cli", "cluster", "core", "lint", "mlp", "model", "obs", "serve", "sim",
     ] {
         let prefix = format!("crates/{krate}/");
         assert!(
@@ -52,6 +52,62 @@ fn every_waiver_carries_a_justification() {
             w.file,
             w.line,
             w.rule
+        );
+    }
+}
+
+/// The PR-10 burn-down dropped the waiver count from 45 to 33. This is
+/// a ratchet: new waivers need either a removed one elsewhere or a
+/// deliberate bump here, reviewed like any other budget change.
+const WAIVER_CEILING: usize = 33;
+
+#[test]
+fn waiver_count_never_regresses_past_the_ceiling() {
+    let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
+    let count = report.waivers().count();
+    assert!(
+        count <= WAIVER_CEILING,
+        "{count} waivers exceeds the ceiling of {WAIVER_CEILING}; fix the \
+         violation instead of waiving it, or bump the ceiling with review"
+    );
+}
+
+#[test]
+fn semantic_layer_resolves_the_workspace_call_graph() {
+    let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
+    let g = &report.graph;
+    // The workspace has well over a thousand functions; if resolution
+    // drops below these floors the graph rules (D6/D8/D9) are running
+    // on air and their "0 active" means nothing.
+    assert!(g.functions >= 500, "only {} functions parsed", g.functions);
+    assert!(g.public_fns >= 200, "only {} public fns", g.public_fns);
+    assert!(
+        g.resolved_edges >= 300,
+        "only {} resolved call edges; the resolver has regressed",
+        g.resolved_edges
+    );
+    assert!(
+        g.resolved_edges <= g.call_sites,
+        "resolved more edges than call sites: {} > {}",
+        g.resolved_edges,
+        g.call_sites
+    );
+}
+
+#[test]
+fn every_first_party_manifest_is_scanned_for_d10() {
+    let report = lint_workspace(repo_root(), &Config::default()).expect("lint runs");
+    assert!(
+        report.manifests.iter().any(|m| m == "Cargo.toml"),
+        "workspace root manifest missing from the D10 scan"
+    );
+    for krate in [
+        "bench", "cli", "cluster", "core", "lint", "mlp", "model", "obs", "serve", "sim",
+    ] {
+        let want = format!("crates/{krate}/Cargo.toml");
+        assert!(
+            report.manifests.contains(&want),
+            "{want} missing from the D10 scan"
         );
     }
 }

@@ -62,14 +62,12 @@ impl Mlp {
 
     /// Input feature dimension.
     pub fn in_dim(&self) -> usize {
-        // pipette-lint: allow(D2) -- constructor rejects empty layer lists, so first() always succeeds
-        self.layers.first().expect("non-empty").in_dim()
+        self.layers.first().map(Dense::in_dim).unwrap_or(0)
     }
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
-        // pipette-lint: allow(D2) -- constructor rejects empty layer lists, so last() always succeeds
-        self.layers.last().expect("non-empty").out_dim()
+        self.layers.last().map(Dense::out_dim).unwrap_or(0)
     }
 
     /// Total trainable parameter count.

@@ -156,6 +156,9 @@ impl<J: Send> Server<J> {
                         degraded: false,
                     },
                 );
+                // Release the state lock before waking the committer so
+                // it never wakes straight into a contended mutex.
+                drop(inner);
                 self.commit_ready.notify_all();
                 true
             }
@@ -188,9 +191,11 @@ impl<J: Send> Server<J> {
                             degraded: false,
                         },
                     );
+                    drop(inner);
                     self.commit_ready.notify_all();
                 } else {
                     inner.queue.push_back((seq, job));
+                    drop(inner);
                     self.work_ready.notify_one();
                 }
                 true

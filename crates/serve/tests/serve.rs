@@ -1,0 +1,207 @@
+//! Cross-thread stress for the serving loop — also the ThreadSanitizer
+//! target in CI (`tsan` job): every admission/worker/committer
+//! interleaving these tests provoke runs under `-Z sanitizer=thread`
+//! on nightly, so a data race in the queue, reorder buffer, breaker,
+//! or condvar protocol fails the build even when it never corrupts a
+//! byte in practice.
+
+use pipette_serve::{
+    run_pipe, Control, ExecContext, Execution, ParseOutcome, RequestHandler, ServerConfig,
+};
+
+/// `job:<n>` answers `ok:<seq>:<n>`, `fail:<n>` reports an estimator
+/// failure (breaker food), `bad` fails to parse.
+struct Echo;
+
+impl RequestHandler for Echo {
+    type Job = (String, bool);
+
+    fn parse(&self, line: &str) -> ParseOutcome<Self::Job> {
+        if line == "shutdown" {
+            return ParseOutcome::Control(Control::Shutdown);
+        }
+        if let Some(rest) = line.strip_prefix("job:") {
+            return ParseOutcome::Job {
+                op: "configure".to_string(),
+                job: (rest.to_string(), false),
+            };
+        }
+        if let Some(rest) = line.strip_prefix("fail:") {
+            return ParseOutcome::Job {
+                op: "configure".to_string(),
+                job: (rest.to_string(), true),
+            };
+        }
+        ParseOutcome::Error(format!("unknown op in {line:?}"))
+    }
+
+    fn execute(&self, job: Self::Job, ctx: &ExecContext) -> Execution {
+        let (payload, fail) = job;
+        // Mix the payload so every request does a little real work on
+        // the worker thread instead of compiling down to a constant.
+        let digest = payload
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+        Execution {
+            response: format!(
+                "{}:{}:{payload}:{digest}",
+                if ctx.degraded { "degraded" } else { "ok" },
+                ctx.seq
+            ),
+            outcome: "ok".to_string(),
+            estimator_failure: fail && !ctx.degraded,
+            degraded: false,
+        }
+    }
+
+    fn overloaded_response(&self, seq: u64, queue_len: u64, limit: u64, retry: u64) -> String {
+        format!("overloaded:{seq}:{queue_len}/{limit}:retry={retry}")
+    }
+
+    fn error_response(&self, seq: u64, message: &str) -> String {
+        format!("error:{seq}:{message}")
+    }
+}
+
+fn run_lines(config: ServerConfig, lines: &[String]) -> Vec<String> {
+    let input = lines.join("\n");
+    let mut out = Vec::new();
+    run_pipe(&Echo, config, input.as_bytes(), &mut out).expect("pipe runs");
+    String::from_utf8(out)
+        .expect("utf8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// The determinism contract at stress volume: hundreds of mixed
+/// requests (no estimator failures, so the breaker stays closed and the
+/// stream is a pure function of the input) must commit byte-identically
+/// at every worker count.
+#[test]
+fn committed_stream_is_byte_identical_across_worker_counts() {
+    let lines: Vec<String> = (0..240)
+        .map(|i| match i % 5 {
+            4 => format!("bad-op-{i}"),
+            _ => format!("job:payload-{i}"),
+        })
+        .collect();
+    let mut baseline: Option<Vec<String>> = None;
+    for workers in [1, 2, 4, 8] {
+        let responses = run_lines(
+            ServerConfig {
+                workers,
+                queue_limit: 512,
+                ..ServerConfig::default()
+            },
+            &lines,
+        );
+        assert_eq!(responses.len(), 240, "workers = {workers}");
+        match &baseline {
+            None => baseline = Some(responses),
+            Some(b) => assert_eq!(&responses, b, "workers = {workers}"),
+        }
+    }
+    let baseline = baseline.expect("at least one run");
+    assert!(
+        baseline[0].starts_with("ok:0:payload-0:"),
+        "{}",
+        baseline[0]
+    );
+    assert!(baseline[4].starts_with("error:4:"), "{}", baseline[4]);
+}
+
+/// Breaker churn under maximum contention: a long fail-heavy stream at
+/// 8 workers exercises the trip/degrade/probe transitions from many
+/// threads at once. The breaker's *decisions* depend on completion
+/// order, so this asserts structure — one response per request, each
+/// carrying its own sequence number — not byte equality.
+#[test]
+fn breaker_churn_under_contention_commits_every_request_in_order() {
+    let lines: Vec<String> = (0..300)
+        .map(|i| {
+            if i % 3 == 0 {
+                format!("fail:{i}")
+            } else {
+                format!("job:{i}")
+            }
+        })
+        .collect();
+    let responses = run_lines(
+        ServerConfig {
+            workers: 8,
+            queue_limit: 512,
+            ..ServerConfig::default()
+        },
+        &lines,
+    );
+    assert_eq!(responses.len(), 300);
+    for (i, r) in responses.iter().enumerate() {
+        let seq: u64 = r
+            .split(':')
+            .nth(1)
+            .expect("seq field")
+            .parse()
+            .expect("seq");
+        assert_eq!(seq, i as u64, "commit order broke at {r}");
+        assert!(
+            r.starts_with("ok:") || r.starts_with("degraded:"),
+            "unexpected response {r}"
+        );
+    }
+}
+
+/// Load-shedding under a tiny queue with many workers: every admitted
+/// request gets exactly one committed response, sheds included, and the
+/// shed responses carry the configured retry hint. Occupancy at
+/// admission races with worker drain, so which requests shed varies —
+/// the invariant is accounting, not the shed set.
+#[test]
+fn shedding_with_concurrent_drain_accounts_for_every_request() {
+    let lines: Vec<String> = (0..200).map(|i| format!("job:{i}")).collect();
+    let responses = run_lines(
+        ServerConfig {
+            workers: 4,
+            queue_limit: 2,
+            retry_after_units: 7,
+            ..ServerConfig::default()
+        },
+        &lines,
+    );
+    assert_eq!(responses.len(), 200);
+    for (i, r) in responses.iter().enumerate() {
+        let seq: u64 = r
+            .split(':')
+            .nth(1)
+            .expect("seq field")
+            .parse()
+            .expect("seq");
+        assert_eq!(seq, i as u64, "commit order broke at {r}");
+        assert!(
+            r.starts_with("ok:") || (r.starts_with("overloaded:") && r.ends_with("retry=7")),
+            "unexpected response {r}"
+        );
+    }
+}
+
+/// Shutdown mid-stream: requests after the control line are never
+/// admitted, and the drain still commits everything admitted before it
+/// at any worker count.
+#[test]
+fn shutdown_drains_admitted_work_at_any_worker_count() {
+    let mut lines: Vec<String> = (0..50).map(|i| format!("job:{i}")).collect();
+    lines.push("shutdown".to_string());
+    lines.extend((50..80).map(|i| format!("job:{i}")));
+    for workers in [1, 8] {
+        let responses = run_lines(
+            ServerConfig {
+                workers,
+                queue_limit: 512,
+                ..ServerConfig::default()
+            },
+            &lines,
+        );
+        assert_eq!(responses.len(), 50, "workers = {workers}");
+        assert!(responses[49].starts_with("ok:49:49:"), "{}", responses[49]);
+    }
+}

@@ -247,12 +247,11 @@ impl<'a> IterationSim<'a> {
         }
 
         let pipeline_seconds = chain_results.iter().map(|c| c.makespan).fold(0.0, f64::max);
-        let slowest = chain_results
+        let critical_busy = chain_results
             .iter()
             .max_by(|a, b| a.makespan.total_cmp(&b.makespan))
-            // pipette-lint: allow(D2) -- `dp >= 1` by ParallelConfig, so there is at least one replica chain
-            .expect("at least one replica");
-        let critical_busy = slowest.stage_busy.iter().cloned().fold(0.0, f64::max);
+            .map(|slowest| slowest.stage_busy.iter().cloned().fold(0.0, f64::max))
+            .unwrap_or(0.0);
 
         IterationReport {
             total_seconds: total + OPTIMIZER_STEP_S,
@@ -412,12 +411,11 @@ impl<'a> IterationSim<'a> {
         }
 
         let pipeline_seconds = chain_results.iter().map(|c| c.makespan).fold(0.0, f64::max);
-        let slowest = chain_results
+        let critical_busy = chain_results
             .iter()
             .max_by(|a, b| a.makespan.total_cmp(&b.makespan))
-            // pipette-lint: allow(D2) -- `dp >= 1` by ParallelConfig, so there is at least one replica chain
-            .expect("at least one replica");
-        let critical_busy = slowest.device_busy.iter().cloned().fold(0.0, f64::max);
+            .map(|slowest| slowest.device_busy.iter().cloned().fold(0.0, f64::max))
+            .unwrap_or(0.0);
 
         IterationReport {
             total_seconds: total + OPTIMIZER_STEP_S,

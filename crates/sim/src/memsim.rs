@@ -211,8 +211,7 @@ impl MemorySim {
         let per_stage: Vec<u64> = (0..cfg.pp)
             .map(|s| self.stage_breakdown(gpt, cfg, plan, s).total())
             .collect();
-        // pipette-lint: allow(D2) -- `cfg.pp >= 1` by ParallelConfig, so the per-stage list is non-empty
-        let peak_bytes = *per_stage.iter().max().expect("at least one stage");
+        let peak_bytes = per_stage.iter().copied().max().unwrap_or(0);
         MemoryReport {
             per_stage,
             peak_bytes,
